@@ -1,0 +1,113 @@
+// Extension bench: ER embedding + spectral sparsifier pipeline. No paper
+// counterpart (the paper only runs RP as a single-pair baseline); this
+// bench quantifies what the embedding buys as a *bulk* primitive:
+//
+//   table 1 — embedding build cost and per-query latency vs k;
+//   table 2 — sparsifier quality/size as the sample budget shrinks
+//             (the ablation DESIGN.md calls out for the sparsify module).
+//
+//   ./bench/ext_embedding [--n=N] [--seed=N]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "embed/er_embedding.h"
+#include "graph/generators.h"
+#include "linalg/laplacian_solver.h"
+#include "rw/rng.h"
+#include "sparsify/spectral_sparsifier.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace geer;
+  NodeId n = 3000;
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--n=", 4) == 0) {
+      n = static_cast<NodeId>(std::atoi(argv[i] + 4));
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[i] + 7));
+    }
+  }
+
+  Graph g = gen::BarabasiAlbert(n, 8, seed);
+  std::printf("# ext_embedding: BA graph n=%u m=%llu\n\n", g.NumNodes(),
+              static_cast<unsigned long long>(g.NumEdges()));
+
+  // --- Table 1: build + query cost vs dimension k -----------------------
+  std::printf("%-6s %10s %14s %14s %14s %12s\n", "k", "build ms",
+              "pair query us", "single-src ms", "top-32 ms", "rel err");
+  LaplacianSolver exact(g);
+  Rng rng(seed ^ 77);
+  for (const int k : {16, 32, 64, 128, 256}) {
+    ErEmbeddingOptions opt;
+    opt.dimensions = k;
+    opt.seed = seed;
+    Timer build;
+    ErEmbedding embedding(g, opt);
+    const double build_ms = build.ElapsedMillis();
+
+    // Pair-query latency and relative error over random pairs.
+    double err_sum = 0.0;
+    const int pairs = 32;
+    Timer pair_timer;
+    double sink = 0.0;
+    std::vector<std::pair<NodeId, NodeId>> qs;
+    for (int i = 0; i < pairs; ++i) {
+      NodeId s = static_cast<NodeId>(rng.NextBounded(n));
+      NodeId t = static_cast<NodeId>(rng.NextBounded(n));
+      if (s == t) t = (t + 1) % n;
+      qs.emplace_back(s, t);
+    }
+    pair_timer.Reset();
+    for (auto [s, t] : qs) sink += embedding.PairwiseEr(s, t);
+    const double pair_us = pair_timer.ElapsedMillis() * 1000.0 / pairs;
+    for (auto [s, t] : qs) {
+      const double truth = exact.EffectiveResistance(s, t);
+      err_sum += std::abs(embedding.PairwiseEr(s, t) - truth) / truth;
+    }
+
+    Timer ss_timer;
+    Vector er;
+    embedding.SingleSource(0, &er);
+    const double ss_ms = ss_timer.ElapsedMillis();
+    Timer topk_timer;
+    (void)embedding.TopKNearest(0, 32);
+    const double topk_ms = topk_timer.ElapsedMillis();
+    std::printf("%-6d %10.0f %14.2f %14.2f %14.2f %12.4f\n", k, build_ms,
+                pair_us, ss_ms, topk_ms, err_sum / pairs);
+    (void)sink;
+  }
+
+  // --- Table 2: sparsifier quality vs sample budget ---------------------
+  // Sparsification pays off when m ≫ n log n / ε²; use a dense ER graph so
+  // the kept fraction actually drops as the budget shrinks.
+  const NodeId n2 = std::max<NodeId>(n / 5, 200);
+  Graph dense = gen::ErdosRenyi(n2, static_cast<std::uint64_t>(n2) * n2 / 8,
+                                seed + 1);
+  std::printf("\n# sparsifier input: dense ER n=%u m=%llu\n",
+              dense.NumNodes(),
+              static_cast<unsigned long long>(dense.NumEdges()));
+  std::printf("%-12s %12s %12s %12s %12s\n", "oversample", "samples",
+              "kept edges", "kept frac", "worst ratio");
+  ErEmbedding dense_embedding(dense, {.dimensions = 128, .seed = seed});
+  const auto edge_er = dense_embedding.AllEdgeEr();
+  for (const double oversample : {2.0, 1.0, 0.5, 0.25, 0.1}) {
+    SparsifierOptions sopt;
+    sopt.epsilon = 1.0;
+    sopt.oversample = oversample;
+    sopt.seed = seed;
+    WeightedGraph h = SparsifyByEffectiveResistance(dense, edge_er, sopt);
+    const SparsifierQuality q = EvaluateSparsifier(dense, h, 8, seed ^ 99);
+    std::printf("%-12.2f %12llu %12llu %12.3f %12.3f\n", oversample,
+                static_cast<unsigned long long>(
+                    SparsifierSampleCount(dense.NumNodes(), sopt)),
+                static_cast<unsigned long long>(q.kept_edges),
+                q.kept_fraction, q.worst_ratio);
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Extension bench: weighted (conductance) estimators. No paper
+// counterpart — the paper is unweighted — but the Fig. 4 shape must carry
+// over to conductance graphs: W-GEER ≤ W-AMC ≤ W-SMM in time as ε
+// shrinks, all within ε of the W-CG oracle.
+//
+// Workload: the orkut-like social-graph skeleton from the dataset
+// registry with Uniform[0.25, 4] conductances (two orders of magnitude of
+// weight skew once combined with the degree spread). A braced resistive
+// grid is deliberately NOT used here: its λ → 1 mixing makes every
+// truncated-walk method explode, which is a statement about grids, not
+// about the estimators (examples/circuits.cpp covers the grid story).
+//
+//   ./bench/ext_weighted [--scale=F] [--queries=N] [--seed=N]
+//                        [--deadline=SEC]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/datasets.h"
+#include "rw/rng.h"
+#include "util/timer.h"
+#include "weighted/weighted_amc.h"
+#include "weighted/weighted_estimator.h"
+#include "weighted/weighted_generators.h"
+#include "weighted/weighted_geer.h"
+#include "weighted/weighted_smm.h"
+#include "weighted/weighted_spectral.h"
+
+int main(int argc, char** argv) {
+  using namespace geer;
+  double scale = 0.25;
+  std::size_t num_queries = 20;
+  std::uint64_t seed = 1;
+  double deadline_seconds = 8.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--queries=", 10) == 0) {
+      num_queries = static_cast<std::size_t>(std::atoll(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--deadline=", 11) == 0) {
+      deadline_seconds = std::atof(argv[i] + 11);
+    }
+  }
+
+  auto dataset = MakeDataset("orkut", scale);
+  if (!dataset) return 1;
+  WeightedGraph g =
+      gen::WithUniformWeights(dataset->graph, 0.25, 4.0, seed ^ 0xbeef);
+  std::printf("# ext_weighted: orkut-like skeleton, n=%u m=%llu, "
+              "conductances U[0.25,4]\n",
+              g.NumNodes(), static_cast<unsigned long long>(g.NumEdges()));
+
+  Timer pre;
+  SpectralBounds spectral = ComputeWeightedSpectralBounds(g);
+  std::printf("# weighted lambda=%.5f (preprocessing %.0f ms)\n",
+              spectral.lambda, pre.ElapsedMillis());
+
+  Rng rng(seed ^ 0xabcdef);
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  while (queries.size() < num_queries) {
+    const NodeId s = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    if (s != t) queries.emplace_back(s, t);
+  }
+  WeightedSolverEstimator oracle(g);
+  std::vector<double> truth;
+  Timer truth_timer;
+  truth.reserve(queries.size());
+  for (auto [s, t] : queries) truth.push_back(oracle.Estimate(s, t));
+  std::printf("# ground truth: %.0f ms total (W-CG)\n\n",
+              truth_timer.ElapsedMillis());
+
+  std::printf("%-8s %-8s %12s %12s %10s\n", "method", "eps", "avg ms",
+              "avg err", "max err");
+  for (const double eps : {0.5, 0.2, 0.1, 0.05, 0.02}) {
+    ErOptions opt;
+    opt.epsilon = eps;
+    opt.lambda = spectral.lambda;
+    opt.seed = seed;
+    WeightedSmmEstimator smm(g, opt);
+    WeightedAmcEstimator amc(g, opt);
+    WeightedGeerEstimator geer(g, opt);
+    WeightedErEstimator* methods[] = {&geer, &amc, &smm};
+    for (WeightedErEstimator* m : methods) {
+      Deadline deadline(deadline_seconds);
+      Timer timer;
+      double err_sum = 0.0;
+      double err_max = 0.0;
+      std::size_t answered = 0;
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        if (deadline.Expired()) break;
+        const double v = m->Estimate(queries[i].first, queries[i].second);
+        const double err = std::abs(v - truth[i]);
+        err_sum += err;
+        err_max = std::max(err_max, err);
+        ++answered;
+      }
+      if (answered == 0) {
+        std::printf("%-8s %-8.2f %12s\n", m->Name().c_str(), eps, "DNF");
+        continue;
+      }
+      std::printf("%-8s %-8.2f %12.3f %12.5f %10.5f%s%s\n",
+                  m->Name().c_str(), eps,
+                  timer.ElapsedMillis() / static_cast<double>(answered),
+                  err_sum / static_cast<double>(answered), err_max,
+                  answered < queries.size() ? "  *partial" : "",
+                  err_max > eps ? "  ** exceeded eps **" : "");
+    }
+  }
+  return 0;
+}

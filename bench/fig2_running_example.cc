@@ -1,0 +1,76 @@
+// Fig. 2: the running example. Reproduces the table of #walks reachable
+// by deterministic traversal from s and t versus AMC's required sample
+// count η*, for ℓ_f ∈ 1..8 at ε = 0.5, δ = 0.1, on the reconstructed
+// 11-node toy graph (the paper's exact topology is unspecified; ours
+// matches d(s) = 2, d(t) = 7 — see generators.h). The qualitative
+// crossover is the point of the figure: traversal work explodes with
+// ℓ_f on the high-degree side while η* grows only quadratically.
+
+#include <cstdio>
+
+#include "core/amc.h"
+#include "eval/table.h"
+#include "graph/generators.h"
+#include "stats/bounds.h"
+#include "util/format.h"
+
+namespace geer {
+namespace {
+
+// Number of distinct length-≤ℓ walks from `source` (the work a
+// deterministic traversal enumerates), via the walk-count DP
+// w_i(v) = Σ_{u~v} w_{i−1}(u).
+std::uint64_t CountWalks(const Graph& g, NodeId source, std::uint32_t ell) {
+  std::vector<std::uint64_t> cur(g.NumNodes(), 0);
+  std::vector<std::uint64_t> next(g.NumNodes(), 0);
+  cur[source] = 1;
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 1; i <= ell; ++i) {
+    std::fill(next.begin(), next.end(), 0);
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (cur[v] == 0) continue;
+      for (NodeId u : g.Neighbors(v)) next[u] += cur[v];
+    }
+    cur.swap(next);
+  }
+  for (std::uint64_t c : cur) total += c;
+  return total;
+}
+
+void Run() {
+  gen::RunningExample ex = gen::Fig2RunningExample();
+  const double epsilon = 0.5;
+  const double delta = 0.1;
+  std::printf("Fig. 2 reproduction: toy graph n=%u m=%llu, d(s)=%llu "
+              "d(t)=%llu, eps=%.1f delta=%.1f\n\n",
+              ex.graph.NumNodes(),
+              static_cast<unsigned long long>(ex.graph.NumEdges()),
+              static_cast<unsigned long long>(ex.graph.Degree(ex.s)),
+              static_cast<unsigned long long>(ex.graph.Degree(ex.t)),
+              epsilon, delta);
+  TextTable table({"ell_f", "#walks(s)", "#walks(t)", "#walks(s)+#walks(t)",
+                   "eta*"});
+  for (std::uint32_t ell = 1; ell <= 8; ++ell) {
+    const std::uint64_t ws = CountWalks(ex.graph, ex.s, ell);
+    const std::uint64_t wt = CountWalks(ex.graph, ex.t, ell);
+    const double psi = AmcPsi(ell, 1.0, 0.0, ex.graph.Degree(ex.s), 1.0,
+                              0.0, ex.graph.Degree(ex.t));
+    const std::uint64_t eta_star = AmcMaxSamples(epsilon, psi, delta, 1);
+    table.AddRow({std::to_string(ell), FormatCount(ws), FormatCount(wt),
+                  FormatCount(ws + wt), FormatCount(eta_star)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nExpected shape (paper): eta* dominates the traversal counts at\n"
+      "small ell_f (favoring SMM there) and is overtaken by #walks(t) as\n"
+      "ell_f grows past ~6-7 (favoring sampling) — the motivation for\n"
+      "GEER's greedy switch.\n");
+}
+
+}  // namespace
+}  // namespace geer
+
+int main() {
+  geer::Run();
+  return 0;
+}

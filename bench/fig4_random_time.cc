@@ -1,0 +1,74 @@
+// Fig. 4: running time vs ε for RANDOM pair queries, all datasets,
+// methods GEER, AMC, SMM, TP, TPC, RP, EXACT. Prints one table per
+// dataset with per-ε average query time in ms ("*" = deadline partial,
+// DNF = skipped/over budget, OOM = infeasible — matching the paper's
+// missing points). TP/TPC run with scaled sample constants; the extra
+// "TP(x1)"/"TPC(x1)" rows extrapolate to the paper's constants.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "eval/queries.h"
+#include "eval/table.h"
+#include "util/format.h"
+
+namespace geer {
+namespace {
+
+void Run(const bench::BenchArgs& args) {
+  const std::vector<std::string> methods = {"GEER", "AMC", "SMM",
+                                            "TP",   "TPC", "RP", "EXACT"};
+  for (const Dataset& ds : args.LoadDatasets()) {
+    std::printf("== Fig.4 | %s\n", DescribeDataset(ds).c_str());
+    auto queries = RandomPairs(ds.graph, args.num_queries, args.seed);
+
+    std::vector<std::string> header = {"method"};
+    for (double eps : args.epsilons) header.push_back("eps=" + FormatSig(eps, 2));
+    TextTable table(header);
+
+    for (const std::string& method : methods) {
+      std::vector<std::string> row = {method};
+      std::vector<std::string> extrapolated_row = {method + "(x1)"};
+      bool any_scaled = false;
+      for (double eps : args.epsilons) {
+        ErOptions opt = args.BaseOptions(eps);
+        if (bench::ProjectedOpsPerQuery(method, ds, opt) >
+            args.ops_budget) {
+          row.push_back("DNF");
+          extrapolated_row.push_back("DNF");
+          continue;
+        }
+        RunConfig config;
+        config.deadline_seconds = args.deadline_seconds;
+        config.collect_errors = false;
+        MethodResult res = RunMethod(ds, method, opt, queries, {}, config);
+        row.push_back(bench::Cell(res));
+        if (res.sample_scale != 1.0) {
+          any_scaled = true;
+          extrapolated_row.push_back(bench::Cell(res, /*extrapolate=*/true));
+        } else {
+          extrapolated_row.push_back(row.back());
+        }
+      }
+      table.AddRow(row);
+      if (any_scaled) table.AddRow(extrapolated_row);
+    }
+    std::fputs(args.csv ? table.RenderCsv().c_str()
+                        : table.Render().c_str(),
+               stdout);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace geer
+
+int main(int argc, char** argv) {
+  auto args = geer::bench::BenchArgs::Parse(argc, argv);
+  std::printf("Fig. 4 reproduction: avg running time (ms) vs epsilon, "
+              "random queries (%zu per dataset, scale=%.3g, "
+              "tp-scale=%.3g)\n\n",
+              args.num_queries, args.scale, args.tp_scale);
+  geer::Run(args);
+  return 0;
+}

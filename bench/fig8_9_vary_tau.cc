@@ -1,0 +1,72 @@
+// Figs. 8 & 9: sensitivity of AMC and GEER to the batch count τ ∈ 1..8,
+// at ε = 0.2 (Fig. 8) and ε = 0.02 (Fig. 9), on the DBLP-, YouTube- and
+// Orkut-like datasets. The paper's finding: τ ≈ 5 is a good default; at
+// small ε more batches help AMC a lot.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "eval/queries.h"
+#include "eval/table.h"
+#include "util/format.h"
+
+namespace geer {
+namespace {
+
+void RunForEpsilon(const bench::BenchArgs& args, double epsilon) {
+  std::printf("-- epsilon = %.3g (Fig. %s)\n", epsilon,
+              epsilon >= 0.1 ? "8" : "9");
+  for (const Dataset& ds : args.LoadDatasets()) {
+    std::printf("== %s\n", DescribeDataset(ds).c_str());
+    auto queries = RandomPairs(ds.graph, args.num_queries, args.seed);
+    std::vector<std::string> header = {"method"};
+    for (int tau = 1; tau <= 8; ++tau) {
+      header.push_back("tau=" + std::to_string(tau));
+    }
+    TextTable table(header);
+    for (const char* method : {"GEER", "AMC"}) {
+      std::vector<std::string> row = {method};
+      for (int tau = 1; tau <= 8; ++tau) {
+        ErOptions opt = args.BaseOptions(epsilon);
+        opt.tau = tau;
+        if (bench::ProjectedOpsPerQuery(method, ds, opt) >
+            args.ops_budget) {
+          row.push_back("DNF");
+          continue;
+        }
+        RunConfig config;
+        config.deadline_seconds = args.deadline_seconds;
+        config.collect_errors = false;
+        MethodResult res = RunMethod(ds, method, opt, queries, {}, config);
+        row.push_back(bench::Cell(res));
+      }
+      table.AddRow(row);
+    }
+    std::fputs(args.csv ? table.RenderCsv().c_str()
+                        : table.Render().c_str(),
+               stdout);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace geer
+
+int main(int argc, char** argv) {
+  auto args = geer::bench::BenchArgs::Parse(argc, argv);
+  // Paper uses DBLP / YouTube / Orkut for this experiment.
+  if (args.graph_path.empty() && args.datasets == geer::DatasetNames()) {
+    args.datasets = {"dblp", "youtube", "orkut"};
+  }
+  std::printf("Figs. 8-9 reproduction: avg running time (ms) vs tau "
+              "(batches), %zu random queries per dataset\n\n",
+              args.num_queries);
+  const bool custom_eps = args.epsilons.size() <= 2;
+  if (custom_eps) {
+    for (double eps : args.epsilons) geer::RunForEpsilon(args, eps);
+  } else {
+    geer::RunForEpsilon(args, 0.2);   // Fig. 8
+    geer::RunForEpsilon(args, 0.02);  // Fig. 9
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Micro-benchmarks (google-benchmark) for whole-query latency of each
+// estimator at fixed ε, on a mid-size power-law graph. Complements the
+// figure harnesses with stable, repeatable single-query numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "core/registry.h"
+#include "graph/generators.h"
+#include "linalg/spectral.h"
+
+namespace geer {
+namespace {
+
+struct Fixture {
+  Graph graph = gen::RMat(12, 16, 3);  // ~4k nodes, ~65k edges
+  SpectralBounds spectral = ComputeSpectralBounds(graph);
+};
+
+Fixture& SharedFixture() {
+  static Fixture fixture;
+  return fixture;
+}
+
+void RunEstimator(benchmark::State& state, const std::string& name,
+                  double epsilon) {
+  Fixture& fx = SharedFixture();
+  ErOptions opt;
+  opt.epsilon = epsilon;
+  opt.lambda = fx.spectral.lambda;
+  opt.tp_scale = 0.01;
+  opt.tpc_scale = 0.01;
+  auto est = CreateEstimator(name, fx.graph, opt);
+  const NodeId s = 17;
+  const NodeId t = 2048 % fx.graph.NumNodes();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est->Estimate(s, t));
+  }
+}
+
+void BM_Geer(benchmark::State& state) {
+  RunEstimator(state, "GEER", 1.0 / state.range(0));
+}
+BENCHMARK(BM_Geer)->Arg(2)->Arg(10)->Arg(50);
+
+void BM_Amc(benchmark::State& state) {
+  RunEstimator(state, "AMC", 1.0 / state.range(0));
+}
+BENCHMARK(BM_Amc)->Arg(2)->Arg(10);
+
+void BM_Smm(benchmark::State& state) {
+  RunEstimator(state, "SMM", 1.0 / state.range(0));
+}
+BENCHMARK(BM_Smm)->Arg(2)->Arg(10);
+
+void BM_SmmPengEll(benchmark::State& state) {
+  RunEstimator(state, "SMM-PengEll", 1.0 / state.range(0));
+}
+BENCHMARK(BM_SmmPengEll)->Arg(2)->Arg(10);
+
+void BM_TpScaled(benchmark::State& state) {
+  RunEstimator(state, "TP", 1.0 / state.range(0));
+}
+BENCHMARK(BM_TpScaled)->Arg(2);
+
+void BM_Cg(benchmark::State& state) { RunEstimator(state, "CG", 0.1); }
+BENCHMARK(BM_Cg);
+
+}  // namespace
+}  // namespace geer
+
+BENCHMARK_MAIN();

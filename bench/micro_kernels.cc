@@ -1,0 +1,123 @@
+// Micro-benchmarks (google-benchmark) for the substrate kernels the
+// estimators are built on: RNG throughput, walk stepping, sparse vs
+// dense SpMV, Laplacian CG solve, Lanczos preprocessing, and Wilson's
+// UST sampling.
+
+#include <benchmark/benchmark.h>
+
+#include "eval/datasets.h"
+#include "graph/generators.h"
+#include "linalg/laplacian_solver.h"
+#include "linalg/spectral.h"
+#include "linalg/transition.h"
+#include "rw/rng.h"
+#include "rw/walker.h"
+#include "rw/wilson.h"
+
+namespace geer {
+namespace {
+
+const Graph& BenchGraph() {
+  static const Graph graph = gen::RMat(13, 16, 7);  // ~8k nodes, ~130k edges
+  return graph;
+}
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngBounded(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextBounded(12345));
+  }
+}
+BENCHMARK(BM_RngBounded);
+
+void BM_WalkStep(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  Walker walker(g);
+  Rng rng(2);
+  NodeId cur = 0;
+  for (auto _ : state) {
+    cur = walker.Step(cur, rng);
+    benchmark::DoNotOptimize(cur);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalkStep);
+
+void BM_TruncatedWalk(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  Walker walker(g);
+  Rng rng(3);
+  const std::uint32_t length = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(walker.WalkEndpoint(0, length, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * length);
+}
+BENCHMARK(BM_TruncatedWalk)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_SpmvDense(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  TransitionOperator op(g);
+  Vector x(g.NumNodes(), 1.0 / g.NumNodes());
+  Vector y;
+  for (auto _ : state) {
+    op.ApplyDense(x, &y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumArcs());
+}
+BENCHMARK(BM_SpmvDense);
+
+void BM_SpmvSparseFrontier(benchmark::State& state) {
+  // Cost of the first `hops` sparse iterations from a one-hot vector —
+  // the regime GEER's greedy rule lives in.
+  const Graph& g = BenchGraph();
+  TransitionOperator op(g);
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    TransitionOperator::SparseVector x;
+    x.InitOneHot(42, g);
+    for (int i = 0; i < hops; ++i) op.ApplyAuto(&x);
+    benchmark::DoNotOptimize(x.values.data());
+  }
+}
+BENCHMARK(BM_SpmvSparseFrontier)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_LaplacianCgSolve(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  LaplacianSolver solver(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.EffectiveResistance(0, 999));
+  }
+}
+BENCHMARK(BM_LaplacianCgSolve);
+
+void BM_SpectralPreprocessing(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSpectralBounds(g).lambda);
+  }
+}
+BENCHMARK(BM_SpectralPreprocessing);
+
+void BM_WilsonUst(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleUniformSpanningTree(g, 0, rng).parent);
+  }
+}
+BENCHMARK(BM_WilsonUst);
+
+}  // namespace
+}  // namespace geer
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Link recommendation by effective resistance (Fouss et al.; one of the
+// paper's motivating applications): for a user node u, rank non-neighbor
+// candidates by ascending r(u, v) — low ER means many short, heavy paths
+// connect the pair, i.e. high similarity. Candidates are the 2-hop
+// neighborhood; ERs come from GEER.
+//
+//   ./examples/recommend [user_node] [top_k]
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/geer.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "linalg/spectral.h"
+
+int main(int argc, char** argv) {
+  using namespace geer;
+
+  // A caveman-style social graph: tight friend groups, sparse bridges.
+  Graph graph = gen::Caveman(24, 12);
+  const NodeId user =
+      argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 5;
+  const std::size_t top_k =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 5;
+  std::printf("social graph: n=%u m=%llu; recommending for user %u\n",
+              graph.NumNodes(),
+              static_cast<unsigned long long>(graph.NumEdges()), user);
+
+  // Candidate pool: 2-hop neighbors that are not already friends.
+  std::set<NodeId> friends(graph.Neighbors(user).begin(),
+                           graph.Neighbors(user).end());
+  std::set<NodeId> candidates;
+  for (NodeId f : friends) {
+    for (NodeId ff : graph.Neighbors(f)) {
+      if (ff != user && friends.count(ff) == 0) candidates.insert(ff);
+    }
+  }
+  // Add a few far nodes as contrast.
+  for (NodeId v : {graph.NumNodes() / 2, graph.NumNodes() - 1}) {
+    if (v != user && friends.count(v) == 0) candidates.insert(v);
+  }
+
+  SpectralBounds spectral = ComputeSpectralBounds(graph);
+  ErOptions opt;
+  opt.epsilon = 0.05;
+  opt.lambda = spectral.lambda;
+  GeerEstimator geer(graph, opt);
+
+  std::vector<std::pair<double, NodeId>> scored;
+  for (NodeId v : candidates) {
+    scored.emplace_back(geer.Estimate(user, v), v);
+  }
+  std::sort(scored.begin(), scored.end());
+
+  std::printf("top-%zu recommendations (ascending effective resistance):\n",
+              top_k);
+  auto dist = BfsDistances(graph, user);
+  for (std::size_t i = 0; i < std::min(top_k, scored.size()); ++i) {
+    std::printf("  #%zu: node %u   r=%.4f   (%u hops away)\n", i + 1,
+                scored[i].second, scored[i].first, dist[scored[i].second]);
+  }
+  std::printf("least similar candidate: node %u   r=%.4f   (%u hops)\n",
+              scored.back().second, scored.back().first,
+              dist[scored.back().second]);
+
+  // Sanity: the nearest recommendation should beat the farthest contrast
+  // node (ER respects community structure).
+  return scored.front().first < scored.back().first ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+#include "centrality/spanning_edge_centrality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rw/rng.h"
+#include "rw/wilson.h"
+#include "util/check.h"
+
+namespace geer {
+namespace {
+
+// arc_edge_id[k] = index (in Graph::Edges() order) of the undirected edge
+// stored at CSR arc slot k. Edges() enumerates u < v in lexicographic
+// order, which is exactly ascending (u, adjacency) order, so a single
+// sweep assigns ids; the reverse arcs are filled by binary search.
+std::vector<std::uint64_t> BuildArcEdgeIds(const Graph& graph) {
+  const auto& offsets = graph.Offsets();
+  const auto& adj = graph.NeighborArray();
+  std::vector<std::uint64_t> arc_edge_id(adj.size(), 0);
+  std::uint64_t next_id = 0;
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    for (std::uint64_t k = offsets[u]; k < offsets[u + 1]; ++k) {
+      const NodeId v = adj[k];
+      if (u >= v) continue;
+      arc_edge_id[k] = next_id;
+      // Locate the reverse arc v→u.
+      const auto begin = adj.begin() + static_cast<std::ptrdiff_t>(offsets[v]);
+      const auto end = adj.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]);
+      const auto it = std::lower_bound(begin, end, u);
+      GEER_DCHECK(it != end && *it == u);
+      arc_edge_id[static_cast<std::uint64_t>(it - adj.begin())] = next_id;
+      ++next_id;
+    }
+  }
+  GEER_CHECK_EQ(next_id, graph.NumEdges());
+  return arc_edge_id;
+}
+
+// Edge id of the tree edge {v, parent}: binary search parent within v's
+// adjacency, then read the precomputed arc id.
+std::uint64_t EdgeIdOf(const Graph& graph,
+                       const std::vector<std::uint64_t>& arc_edge_id,
+                       NodeId v, NodeId parent) {
+  const auto& offsets = graph.Offsets();
+  const auto& adj = graph.NeighborArray();
+  const auto begin = adj.begin() + static_cast<std::ptrdiff_t>(offsets[v]);
+  const auto end = adj.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]);
+  const auto it = std::lower_bound(begin, end, parent);
+  GEER_DCHECK(it != end && *it == parent);
+  return arc_edge_id[static_cast<std::uint64_t>(it - adj.begin())];
+}
+
+}  // namespace
+
+std::uint64_t SpanningCentralityTreeCount(
+    std::uint64_t num_edges, const SpanningCentralityOptions& o) {
+  if (o.num_trees > 0) return o.num_trees;
+  GEER_CHECK(o.epsilon > 0.0);
+  GEER_CHECK(o.delta > 0.0 && o.delta < 1.0);
+  // Hoeffding + union bound over all m edges: each r̂(e) is a mean of
+  // Bernoulli(r(e)) indicators.
+  const double trees = std::log(2.0 * static_cast<double>(num_edges) /
+                                o.delta) /
+                       (2.0 * o.epsilon * o.epsilon);
+  return static_cast<std::uint64_t>(std::ceil(std::max(trees, 1.0)));
+}
+
+SpanningCentrality EstimateSpanningCentrality(
+    const Graph& graph, const SpanningCentralityOptions& options) {
+  GEER_CHECK_GE(graph.NumNodes(), 2u);
+  const std::vector<std::uint64_t> arc_edge_id = BuildArcEdgeIds(graph);
+  const std::uint64_t trees =
+      SpanningCentralityTreeCount(graph.NumEdges(), options);
+
+  std::vector<std::uint64_t> occurrences(graph.NumEdges(), 0);
+  Rng rng(options.seed ^ 0x57ee5a3b1ed6e1afULL);
+  for (std::uint64_t i = 0; i < trees; ++i) {
+    // Rotating the root does not change the UST distribution but spreads
+    // Wilson's walk cost across the graph.
+    const NodeId root =
+        static_cast<NodeId>(i % static_cast<std::uint64_t>(graph.NumNodes()));
+    const SpanningTree tree = SampleUniformSpanningTree(graph, root, rng);
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      if (v == tree.root) continue;
+      ++occurrences[EdgeIdOf(graph, arc_edge_id, v, tree.parent[v])];
+    }
+  }
+
+  SpanningCentrality out;
+  out.trees = trees;
+  out.edge_er.reserve(graph.NumEdges());
+  const double inv_trees = 1.0 / static_cast<double>(trees);
+  for (std::uint64_t e = 0; e < graph.NumEdges(); ++e) {
+    out.edge_er.push_back(static_cast<double>(occurrences[e]) * inv_trees);
+  }
+  return out;
+}
+
+}  // namespace geer

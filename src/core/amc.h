@@ -1,0 +1,74 @@
+// AMC (Alg. 1): adaptive Monte Carlo estimation of
+//   q(s,t) = Σ_{i=1}^{ℓf} Σ_v (p_i(s,v) − p_i(t,v)) (s(v)/d(s) − t(v)/d(t))
+// by batches of truncated random walks with an empirical-Bernstein
+// stopping rule. With s = e_s, t = e_t and ℓf = ℓ (Eq. 6),
+// r_f + 1_{s≠t}(1/d(s) + 1/d(t)) is an ε-approximate ER w.h.p.
+// (Theorem 3.4). GEER reuses RunAmc with the SMM iterates as s, t.
+
+#ifndef GEER_CORE_AMC_H_
+#define GEER_CORE_AMC_H_
+
+#include "core/estimator.h"
+#include "core/options.h"
+#include "linalg/dense.h"
+#include "rw/rng.h"
+#include "rw/walker.h"
+
+namespace geer {
+
+/// Parameters for one RunAmc invocation.
+struct AmcParams {
+  double epsilon = 0.1;   ///< target additive error (AMC aims for ε/2)
+  double delta = 0.01;    ///< failure probability
+  int tau = 5;            ///< maximum number of batches
+  std::uint32_t ell_f = 0;  ///< walk length
+};
+
+/// Instrumented output of RunAmc.
+struct AmcRunResult {
+  double r_f = 0.0;          ///< the estimate of q(s, t)
+  double psi = 0.0;          ///< the range bound ψ of Eq. (9)
+  std::uint64_t eta_star = 0;  ///< Hoeffding sample cap η* (Eq. 8)
+  std::uint64_t walks = 0;   ///< walks simulated (2 per sample pair)
+  std::uint64_t steps = 0;   ///< total walk steps
+  int batches = 0;           ///< batches executed
+  bool early_stop = false;   ///< Bernstein rule fired before batch τ
+};
+
+/// The range bound ψ of Eq. (9) for walk length ℓf and input vectors with
+/// top-two entries (max1_s, max2_s) and (max1_t, max2_t):
+///   ψ = 2⌈ℓf/2⌉(max1_s/d(s) + max1_t/d(t))
+///     + 2⌊ℓf/2⌋(max2_s/d(s) + max2_t/d(t)).
+double AmcPsi(std::uint32_t ell_f, double max1_s, double max2_s,
+              std::uint64_t degree_s, double max1_t, double max2_t,
+              std::uint64_t degree_t);
+
+/// Runs Algorithm 1. `svec` / `tvec` are the length-n non-negative input
+/// vectors (e_s / e_t for standalone AMC; the SMM iterates for GEER).
+/// Walks issue from `s` and `t`. Requires s ≠ t.
+AmcRunResult RunAmc(const Graph& graph, NodeId s, NodeId t,
+                    const Vector& svec, const Vector& tvec,
+                    const AmcParams& params, Rng& rng);
+
+/// The standalone AMC competitor: refined ℓ (Eq. 6) + Alg. 1 with one-hot
+/// inputs, returning r_f + 1_{s≠t}(1/d(s)+1/d(t)).
+class AmcEstimator : public ErEstimator {
+ public:
+  AmcEstimator(const Graph& graph, ErOptions options = {});
+
+  std::string Name() const override { return "AMC"; }
+  QueryStats EstimateWithStats(NodeId s, NodeId t) override;
+
+  double lambda() const { return lambda_; }
+
+ private:
+  const Graph* graph_;
+  ErOptions options_;
+  double lambda_;
+  Vector svec_;  // reusable one-hot buffers
+  Vector tvec_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_CORE_AMC_H_

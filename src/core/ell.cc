@@ -1,0 +1,65 @@
+#include "core/ell.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace geer {
+namespace {
+
+// Shared core: ℓ = ⌈ ln(numerator / (ε(1−λ))) / ln(1/λ) − 1 ⌉, clamped.
+std::uint32_t EllFromNumerator(double numerator, double epsilon,
+                               double lambda, std::uint32_t max_ell) {
+  GEER_CHECK(epsilon > 0.0);
+  GEER_CHECK(lambda >= 0.0 && lambda < 1.0) << "lambda=" << lambda;
+  if (lambda == 0.0) return 0;  // walks mix in one step; r_0 suffices
+  const double ratio = numerator / (epsilon * (1.0 - lambda));
+  if (ratio <= 1.0) return 0;  // truncation error already below ε/2 at ℓ=0
+  const double raw = std::log(ratio) / std::log(1.0 / lambda) - 1.0;
+  const double ceiled = std::ceil(raw);
+  if (ceiled <= 0.0) return 0;
+  if (ceiled >= static_cast<double>(max_ell)) return max_ell;
+  return static_cast<std::uint32_t>(ceiled);
+}
+
+}  // namespace
+
+std::uint32_t PengEll(double epsilon, double lambda, std::uint32_t max_ell) {
+  return EllFromNumerator(4.0, epsilon, lambda, max_ell);
+}
+
+std::uint32_t RefinedEll(double epsilon, double lambda,
+                         std::uint64_t degree_s, std::uint64_t degree_t,
+                         std::uint32_t max_ell) {
+  GEER_CHECK_GT(degree_s, 0u);
+  GEER_CHECK_GT(degree_t, 0u);
+  const double numerator = 2.0 / static_cast<double>(degree_s) +
+                           2.0 / static_cast<double>(degree_t);
+  return EllFromNumerator(numerator, epsilon, lambda, max_ell);
+}
+
+std::uint32_t RefinedEllWeighted(double epsilon, double lambda,
+                                 double strength_s, double strength_t,
+                                 std::uint32_t max_ell) {
+  GEER_CHECK_GT(strength_s, 0.0);
+  GEER_CHECK_GT(strength_t, 0.0);
+  const double numerator = 2.0 / strength_s + 2.0 / strength_t;
+  return EllFromNumerator(numerator, epsilon, lambda, max_ell);
+}
+
+bool EllWasTruncated(double epsilon, double lambda, std::uint64_t degree_s,
+                     std::uint64_t degree_t, std::uint32_t max_ell,
+                     bool use_peng) {
+  const std::uint32_t capped =
+      use_peng ? PengEll(epsilon, lambda, max_ell)
+               : RefinedEll(epsilon, lambda, degree_s, degree_t, max_ell);
+  if (capped < max_ell) return false;
+  // Recompute with a much larger cap to see if the cap actually bound it.
+  const std::uint32_t uncapped =
+      use_peng ? PengEll(epsilon, lambda, ~0u)
+               : RefinedEll(epsilon, lambda, degree_s, degree_t, ~0u);
+  return uncapped > max_ell;
+}
+
+}  // namespace geer

@@ -1,0 +1,45 @@
+// Maximum truncated-walk lengths.
+//
+//  * Eq. (5) — Peng et al.'s generic bound, one ℓ for all pairs:
+//        ℓ = ⌈ ln(4 / (ε(1−λ))) / ln(1/λ) − 1 ⌉
+//  * Eq. (6) — this paper's refined per-pair bound (Theorem 3.1):
+//        ℓ = ⌈ log( (2/d(s) + 2/d(t)) / (ε(1−λ)) ) / log(1/λ) − 1 ⌉
+//
+// with λ = max(|λ₂|, |λ_n|) of the transition matrix. Both guarantee
+// |r(s,t) − r_ℓ(s,t)| ≤ ε/2. The refined bound shrinks with the degrees
+// of the query pair — the paper's first contribution.
+
+#ifndef GEER_CORE_ELL_H_
+#define GEER_CORE_ELL_H_
+
+#include <cstdint>
+
+namespace geer {
+
+/// Peng et al.'s generic maximum walk length (Eq. 5), clamped to
+/// [0, max_ell]. Requires ε > 0 and λ ∈ [0, 1).
+std::uint32_t PengEll(double epsilon, double lambda,
+                      std::uint32_t max_ell = 200000);
+
+/// The refined per-pair maximum walk length (Eq. 6), clamped to
+/// [0, max_ell]. `degree_s`, `degree_t` are the query-node degrees.
+std::uint32_t RefinedEll(double epsilon, double lambda,
+                         std::uint64_t degree_s, std::uint64_t degree_t,
+                         std::uint32_t max_ell = 200000);
+
+/// True iff the requested length hit the safety cap (the estimate is then
+/// best-effort; see ErOptions::max_ell).
+bool EllWasTruncated(double epsilon, double lambda, std::uint64_t degree_s,
+                     std::uint64_t degree_t, std::uint32_t max_ell,
+                     bool use_peng);
+
+/// Weighted generalization of Eq. (6): degrees are replaced by the node
+/// strengths w(s), w(t) (Theorem 3.1's proof only uses
+/// Σ_k f_k²(v) = 2W/w(v), which holds verbatim for weighted walks).
+std::uint32_t RefinedEllWeighted(double epsilon, double lambda,
+                                 double strength_s, double strength_t,
+                                 std::uint32_t max_ell = 200000);
+
+}  // namespace geer
+
+#endif  // GEER_CORE_ELL_H_

@@ -1,0 +1,61 @@
+// The public query interface every ER algorithm implements, plus the
+// per-query instrumentation the benchmark harness and the paper's
+// cost-model analysis rely on.
+
+#ifndef GEER_CORE_ESTIMATOR_H_
+#define GEER_CORE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace geer {
+
+/// Result and cost instrumentation for a single ε-approximate PER query.
+struct QueryStats {
+  double value = 0.0;            ///< the estimate r'(s, t)
+  std::uint64_t walks = 0;       ///< random walks simulated
+  std::uint64_t walk_steps = 0;  ///< total walk steps taken
+  std::uint64_t spmv_ops = 0;    ///< arc traversals in SpMV iterations
+  std::uint32_t ell = 0;         ///< maximum walk length in effect
+  std::uint32_t ell_b = 0;       ///< SMM iterations performed (SMM/GEER)
+  std::uint64_t eta_star = 0;    ///< Hoeffding cap η* (AMC/GEER)
+  int batches = 0;               ///< adaptive batches executed (AMC/GEER)
+  bool early_stop = false;       ///< Bernstein rule fired before η* (AMC)
+  bool truncated = false;        ///< hit a safety cap; estimate best-effort
+};
+
+/// Interface for ε-approximate pairwise effective resistance estimators.
+///
+/// Estimators are constructed per graph (amortizing preprocessing such as
+/// the λ spectral bound) and answer repeated queries. Estimate() calls are
+/// deterministic given the seed in the options: each query derives its
+/// stream from (seed, s, t), so shuffling query order does not change
+/// individual answers.
+class ErEstimator {
+ public:
+  virtual ~ErEstimator() = default;
+
+  /// Short algorithm name as used in the paper ("GEER", "AMC", "TP", …).
+  virtual std::string Name() const = 0;
+
+  /// Answers the ε-approximate PER query for pair (s, t) with
+  /// instrumentation. Requires SupportsQuery(s, t).
+  virtual QueryStats EstimateWithStats(NodeId s, NodeId t) = 0;
+
+  /// Convenience: just the estimate.
+  double Estimate(NodeId s, NodeId t) { return EstimateWithStats(s, t).value; }
+
+  /// True iff the algorithm can answer this pair. Edge-only baselines
+  /// (MC2, HAY) require (s, t) ∈ E; everything else accepts any pair.
+  virtual bool SupportsQuery(NodeId s, NodeId t) const {
+    (void)s;
+    (void)t;
+    return true;
+  }
+};
+
+}  // namespace geer
+
+#endif  // GEER_CORE_ESTIMATOR_H_

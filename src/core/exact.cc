@@ -1,0 +1,42 @@
+#include "core/exact.h"
+
+#include "util/check.h"
+
+namespace geer {
+
+ExactEstimator::ExactEstimator(const Graph& graph, ErOptions options,
+                               NodeId max_nodes)
+    : graph_(&graph) {
+  ValidateOptions(options);
+  const NodeId n = graph.NumNodes();
+  GEER_CHECK_GE(n, 2u);
+  GEER_CHECK_LE(n, max_nodes)
+      << "EXACT needs an n×n dense factorization; " << n
+      << " nodes exceeds the memory stand-in cap of " << max_nodes;
+  const double shift = 1.0 / static_cast<double>(n);
+  Matrix m(n, n, shift);
+  for (NodeId u = 0; u < n; ++u) {
+    m(u, u) += static_cast<double>(graph.Degree(u));
+    for (NodeId v : graph.Neighbors(u)) m(u, v) -= 1.0;
+  }
+  auto factor = CholeskyFactor::Factorize(m);
+  GEER_CHECK(factor.has_value())
+      << "augmented Laplacian not PD — is the graph connected?";
+  factor_ = std::make_unique<CholeskyFactor>(std::move(*factor));
+}
+
+QueryStats ExactEstimator::EstimateWithStats(NodeId s, NodeId t) {
+  GEER_CHECK(s < graph_->NumNodes());
+  GEER_CHECK(t < graph_->NumNodes());
+  QueryStats stats;
+  if (s == t) return stats;
+  Vector b(graph_->NumNodes(), 0.0);
+  b[s] = 1.0;
+  b[t] = -1.0;
+  // (e_s − e_t) ⊥ 𝟙, so M⁻¹ agrees with L† on it.
+  Vector x = factor_->Solve(b);
+  stats.value = x[s] - x[t];
+  return stats;
+}
+
+}  // namespace geer

@@ -1,0 +1,41 @@
+// EXACT baseline: effective resistance from a dense factorization of
+// M = L + (1/n)𝟙𝟙ᵀ, which is SPD for connected graphs and agrees with L†
+// on 𝟙^⊥. O(n³) setup, O(n²) memory — only viable for small graphs,
+// reproducing the paper's OOM behaviour on everything but Facebook-scale.
+
+#ifndef GEER_CORE_EXACT_H_
+#define GEER_CORE_EXACT_H_
+
+#include <memory>
+
+#include "core/estimator.h"
+#include "core/options.h"
+#include "graph/graph.h"
+#include "linalg/cholesky.h"
+
+namespace geer {
+
+class ExactEstimator : public ErEstimator {
+ public:
+  /// Factorizes the augmented Laplacian. Aborts if the graph exceeds
+  /// `max_nodes` (the library's stand-in for running out of memory) or if
+  /// the graph is disconnected (M then not PD).
+  explicit ExactEstimator(const Graph& graph, ErOptions options = {},
+                          NodeId max_nodes = 8192);
+
+  std::string Name() const override { return "EXACT"; }
+  QueryStats EstimateWithStats(NodeId s, NodeId t) override;
+
+  /// True iff the dense factorization would fit under `max_nodes`.
+  static bool Feasible(const Graph& graph, NodeId max_nodes = 8192) {
+    return graph.NumNodes() <= max_nodes;
+  }
+
+ private:
+  const Graph* graph_;
+  std::unique_ptr<CholeskyFactor> factor_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_CORE_EXACT_H_

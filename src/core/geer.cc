@@ -1,0 +1,96 @@
+#include "core/geer.h"
+
+#include <cmath>
+
+#include "core/amc.h"
+#include "core/ell.h"
+#include "core/smm.h"
+#include "linalg/spectral.h"
+#include "stats/bounds.h"
+#include "util/check.h"
+
+namespace geer {
+
+std::uint64_t GeerEstimator::RemainingSampleBudget(double epsilon,
+                                                   double delta, int tau,
+                                                   double psi) {
+  if (psi <= 0.0) return 0;
+  const std::uint64_t eta_star = AmcMaxSamples(epsilon, psi, delta, tau);
+  const double pow_tau = std::pow(2.0, tau - 1);
+  const std::uint64_t eta = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(eta_star) / pow_tau));
+  // h(ℓf) = Σ_{i=1}^{τ} 2^{i−1} η = (2^τ − 1) η.
+  return ((1ull << tau) - 1ull) * (eta == 0 ? 1 : eta);
+}
+
+GeerEstimator::GeerEstimator(const Graph& graph, ErOptions options)
+    : graph_(&graph), options_(options), op_(graph) {
+  ValidateOptions(options_);
+  lambda_ = options_.lambda.has_value()
+                ? *options_.lambda
+                : ComputeSpectralBounds(graph).lambda;
+}
+
+QueryStats GeerEstimator::EstimateWithStats(NodeId s, NodeId t) {
+  GEER_CHECK(s < graph_->NumNodes());
+  GEER_CHECK(t < graph_->NumNodes());
+  QueryStats stats;
+  if (s == t) return stats;
+
+  const std::uint64_t ds = graph_->Degree(s);
+  const std::uint64_t dt = graph_->Degree(t);
+  // Line 1: ℓ per Eq. (6) (λ precomputed), or Eq. (5) for the ablation.
+  const std::uint32_t ell =
+      options_.use_peng_ell
+          ? PengEll(options_.epsilon, lambda_, options_.max_ell)
+          : RefinedEll(options_.epsilon, lambda_, ds, dt, options_.max_ell);
+  stats.ell = ell;
+  stats.truncated = EllWasTruncated(options_.epsilon, lambda_, ds, dt,
+                                    options_.max_ell, options_.use_peng_ell);
+
+  // Lines 2–9: SMM until the greedy rule (Eq. 17) fires or ℓ_b ≥ ℓ.
+  SmmIterator smm(*graph_, &op_, s, t);
+  const bool fixed_lb = options_.geer_fixed_lb >= 0;
+  const std::uint32_t lb_target =
+      fixed_lb ? std::min<std::uint32_t>(
+                     static_cast<std::uint32_t>(options_.geer_fixed_lb), ell)
+               : ell;
+  while (smm.iterations() < lb_target) {
+    if (!fixed_lb) {
+      // Evaluate Eq. 17 with the CURRENT iterates: the cost of one more
+      // SpMV pair vs AMC's worst-case remaining samples h(ℓ − ℓb).
+      const std::uint32_t remaining = ell - smm.iterations();
+      const auto [max1_s, max2_s] = TopTwo(smm.svec());
+      const auto [max1_t, max2_t] = TopTwo(smm.tvec());
+      const double psi =
+          AmcPsi(remaining, max1_s, max2_s, ds, max1_t, max2_t, dt);
+      const std::uint64_t budget = RemainingSampleBudget(
+          options_.epsilon, options_.delta, options_.tau, psi);
+      if (smm.NextIterationCost() > budget) break;
+    }
+    smm.Advance();
+  }
+  stats.ell_b = smm.iterations();
+  stats.spmv_ops = smm.spmv_ops();
+
+  // Line 10: AMC on the tail with the live iterates as input vectors.
+  AmcParams params;
+  params.epsilon = options_.epsilon;
+  params.delta = options_.delta;
+  params.tau = options_.tau;
+  params.ell_f = ell - smm.iterations();
+  Rng rng(options_.seed ^ (static_cast<std::uint64_t>(s) << 32) ^ t);
+  AmcRunResult run =
+      RunAmc(*graph_, s, t, smm.svec(), smm.tvec(), params, rng);
+
+  // Line 11: r'(s,t) = r_f + r_b.
+  stats.value = run.r_f + smm.rb();
+  stats.walks = run.walks;
+  stats.walk_steps = run.steps;
+  stats.eta_star = run.eta_star;
+  stats.batches = run.batches;
+  stats.early_stop = run.early_stop;
+  return stats;
+}
+
+}  // namespace geer

@@ -1,0 +1,48 @@
+// GEER (Alg. 3): Greedy Estimation of Effective Resistance — the paper's
+// main contribution. Splits r_ℓ(s,t) at a switch point ℓ_b:
+//
+//   r*_b = Σ_{i=0}^{ℓb} (…)   computed deterministically by SMM,
+//   r*_f = Σ_{i=ℓb+1}^{ℓ} (…) estimated by AMC seeded with the SMM
+//          iterates s*, t* (walk lengths shrink to ℓ−ℓb, and ψ and the
+//          empirical variance collapse because the iterates are flat),
+//
+// choosing ℓ_b greedily: keep iterating SMM while one more SpMV costs
+// less than the remaining AMC sampling budget (Eq. 17):
+//   Σ_{v∈supp(s*)} d(v) + Σ_{v∈supp(t*)} d(v)  >  h(ℓ − ℓb)
+// where h(ℓf) = (2^τ − 1)⌈η*(ℓf)/2^{τ−1}⌉ is AMC's worst-case sample
+// count for the remaining tail.
+
+#ifndef GEER_CORE_GEER_H_
+#define GEER_CORE_GEER_H_
+
+#include "core/estimator.h"
+#include "core/options.h"
+#include "linalg/transition.h"
+
+namespace geer {
+
+class GeerEstimator : public ErEstimator {
+ public:
+  GeerEstimator(const Graph& graph, ErOptions options = {});
+
+  std::string Name() const override { return "GEER"; }
+  QueryStats EstimateWithStats(NodeId s, NodeId t) override;
+
+  double lambda() const { return lambda_; }
+
+  /// AMC's worst-case remaining sample count h(ℓf) for the given range
+  /// bound ψ — the RHS of the greedy rule (Eq. 17). Exposed for tests and
+  /// the cost-model ablation bench.
+  static std::uint64_t RemainingSampleBudget(double epsilon, double delta,
+                                             int tau, double psi);
+
+ private:
+  const Graph* graph_;
+  ErOptions options_;
+  double lambda_;
+  TransitionOperator op_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_CORE_GEER_H_

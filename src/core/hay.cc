@@ -1,0 +1,38 @@
+#include "core/hay.h"
+
+#include <cmath>
+
+#include "rw/wilson.h"
+#include "util/check.h"
+
+namespace geer {
+
+HayEstimator::HayEstimator(const Graph& graph, ErOptions options)
+    : graph_(&graph), options_(options) {
+  ValidateOptions(options_);
+}
+
+std::uint64_t HayEstimator::NumTrees() const {
+  if (options_.hay_num_trees > 0) return options_.hay_num_trees;
+  const double n = std::log(2.0 / options_.delta) /
+                   (2.0 * options_.epsilon * options_.epsilon);
+  return static_cast<std::uint64_t>(std::ceil(std::max(n, 1.0)));
+}
+
+QueryStats HayEstimator::EstimateWithStats(NodeId s, NodeId t) {
+  GEER_CHECK(SupportsQuery(s, t))
+      << "HAY answers edge queries only: (" << s << "," << t << ") ∉ E";
+  QueryStats stats;
+  const std::uint64_t trees = NumTrees();
+  Rng rng(options_.seed ^ (static_cast<std::uint64_t>(s) << 32) ^ t);
+  std::uint64_t hits = 0;
+  for (std::uint64_t k = 0; k < trees; ++k) {
+    const SpanningTree tree = SampleUniformSpanningTree(*graph_, s, rng);
+    if (tree.ContainsEdge(s, t)) ++hits;
+  }
+  stats.walks = trees;  // one loop-erased-walk forest per tree
+  stats.value = static_cast<double>(hits) / static_cast<double>(trees);
+  return stats;
+}
+
+}  // namespace geer

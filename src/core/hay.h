@@ -1,0 +1,35 @@
+// HAY baseline [Hayashi, Akiba & Yoshida, IJCAI'16], edge queries only:
+// by the matrix-tree theorem, r(e) = Pr[e ∈ T] for a uniformly random
+// spanning tree T. Sample USTs with Wilson's algorithm; the hit fraction
+// is an unbiased estimate with Hoeffding sample bound ln(2/δ)/(2ε²).
+
+#ifndef GEER_CORE_HAY_H_
+#define GEER_CORE_HAY_H_
+
+#include "core/estimator.h"
+#include "core/options.h"
+
+namespace geer {
+
+class HayEstimator : public ErEstimator {
+ public:
+  HayEstimator(const Graph& graph, ErOptions options = {});
+
+  std::string Name() const override { return "HAY"; }
+  QueryStats EstimateWithStats(NodeId s, NodeId t) override;
+
+  bool SupportsQuery(NodeId s, NodeId t) const override {
+    return s != t && graph_->HasEdge(s, t);
+  }
+
+  /// Number of spanning trees sampled per query under the options.
+  std::uint64_t NumTrees() const;
+
+ private:
+  const Graph* graph_;
+  ErOptions options_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_CORE_HAY_H_

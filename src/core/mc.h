@@ -1,0 +1,35 @@
+// MC baseline [Peng et al., KDD'21]: commute-time Monte Carlo. The escape
+// probability of a walk from s (hit t before returning to s) equals
+// 1/(d(s)·r(s,t)); with η = 3γ d(s) log(1/δ)/ε² trials and η_r hits,
+// r'(s,t) = η / (d(s)·η_r). γ is an assumed upper bound on r(s,t).
+// Walks are unbounded in principle; a per-trial step cap (a multiple of
+// the expected return time 2m/d(s)) guards against pathological trials.
+
+#ifndef GEER_CORE_MC_H_
+#define GEER_CORE_MC_H_
+
+#include "core/estimator.h"
+#include "core/options.h"
+#include "rw/walker.h"
+
+namespace geer {
+
+class McEstimator : public ErEstimator {
+ public:
+  McEstimator(const Graph& graph, ErOptions options = {});
+
+  std::string Name() const override { return "MC"; }
+  QueryStats EstimateWithStats(NodeId s, NodeId t) override;
+
+  /// Trial count η for a given source degree under the options.
+  std::uint64_t NumTrials(std::uint64_t degree_s) const;
+
+ private:
+  const Graph* graph_;
+  ErOptions options_;
+  Walker walker_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_CORE_MC_H_

@@ -1,0 +1,46 @@
+#include "core/mc2.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace geer {
+
+Mc2Estimator::Mc2Estimator(const Graph& graph, ErOptions options)
+    : graph_(&graph), options_(options), walker_(graph) {
+  ValidateOptions(options_);
+}
+
+std::uint64_t Mc2Estimator::NumTrials() const {
+  double gamma = options_.mc2_gamma_lower;
+  if (gamma <= 0.0) {
+    gamma = 1.0 / static_cast<double>(graph_->NumArcs());  // 1/(2m)
+  }
+  const double eta = 3.0 * std::log(1.0 / options_.delta) /
+                     (options_.epsilon * options_.epsilon * gamma);
+  return static_cast<std::uint64_t>(std::ceil(std::max(eta, 1.0)));
+}
+
+QueryStats Mc2Estimator::EstimateWithStats(NodeId s, NodeId t) {
+  GEER_CHECK(SupportsQuery(s, t))
+      << "MC2 answers edge queries only: (" << s << "," << t << ") ∉ E";
+  QueryStats stats;
+  const std::uint64_t eta = NumTrials();
+  Rng rng(options_.seed ^ (static_cast<std::uint64_t>(s) << 32) ^ t);
+  std::uint64_t direct = 0;
+  for (std::uint64_t k = 0; k < eta; ++k) {
+    const Walker::FirstVisit trial = walker_.FirstVisitTrial(
+        s, t, options_.mc2_max_steps_per_trial, rng);
+    ++stats.walks;
+    stats.walk_steps += trial.steps;
+    if (!trial.hit) {
+      stats.truncated = true;  // step cap reached; trial counts as miss
+      continue;
+    }
+    if (trial.used_direct_edge) ++direct;
+  }
+  stats.value = static_cast<double>(direct) / static_cast<double>(eta);
+  return stats;
+}
+
+}  // namespace geer

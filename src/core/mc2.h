@@ -1,0 +1,38 @@
+// MC2 baseline [Peng et al., KDD'21], edge queries only: for (s,t) ∈ E,
+// r(s,t) equals the probability that a walk from s first visits t via the
+// direct edge (s,t). With γ a lower bound on r(s,t) (worst case 1/(2m)),
+// 3 log(1/δ)/(ε² γ) first-visit trials give an ε-approximation w.h.p.
+
+#ifndef GEER_CORE_MC2_H_
+#define GEER_CORE_MC2_H_
+
+#include "core/estimator.h"
+#include "core/options.h"
+#include "rw/walker.h"
+
+namespace geer {
+
+class Mc2Estimator : public ErEstimator {
+ public:
+  Mc2Estimator(const Graph& graph, ErOptions options = {});
+
+  std::string Name() const override { return "MC2"; }
+  QueryStats EstimateWithStats(NodeId s, NodeId t) override;
+
+  /// MC2 answers only pairs joined by an edge.
+  bool SupportsQuery(NodeId s, NodeId t) const override {
+    return s != t && graph_->HasEdge(s, t);
+  }
+
+  /// Trial count under the options' γ (0 ⇒ the worst-case 1/(2m)).
+  std::uint64_t NumTrials() const;
+
+ private:
+  const Graph* graph_;
+  ErOptions options_;
+  Walker walker_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_CORE_MC2_H_

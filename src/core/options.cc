@@ -1,0 +1,25 @@
+#include "core/options.h"
+
+#include "util/check.h"
+
+namespace geer {
+
+void ValidateOptions(const ErOptions& options) {
+  GEER_CHECK(options.epsilon > 0.0) << "epsilon must be positive";
+  GEER_CHECK(options.delta > 0.0 && options.delta < 1.0)
+      << "delta must lie in (0, 1)";
+  GEER_CHECK_GE(options.tau, 1);
+  GEER_CHECK_LE(options.tau, 62);
+  GEER_CHECK_GT(options.max_ell, 0u);
+  if (options.lambda.has_value()) {
+    GEER_CHECK(*options.lambda >= 0.0 && *options.lambda < 1.0)
+        << "lambda must lie in [0, 1)";
+  }
+  GEER_CHECK(options.mc_gamma_upper > 0.0);
+  GEER_CHECK(options.mc2_gamma_lower >= 0.0);
+  GEER_CHECK(options.tp_scale > 0.0);
+  GEER_CHECK(options.tpc_scale > 0.0);
+  GEER_CHECK_GE(options.rp_dimensions, 0);
+}
+
+}  // namespace geer

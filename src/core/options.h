@@ -1,0 +1,86 @@
+// Shared configuration for all estimators. One options struct keeps the
+// benchmark harness uniform; each algorithm reads only its own knobs.
+
+#ifndef GEER_CORE_OPTIONS_H_
+#define GEER_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <optional>
+
+namespace geer {
+
+/// Options for ε-approximate PER estimators. Defaults follow the paper's
+/// experimental setup (δ = 0.01, τ = 5).
+struct ErOptions {
+  /// Additive error threshold ε of the PER query.
+  double epsilon = 0.1;
+
+  /// Failure probability δ.
+  double delta = 0.01;
+
+  /// Maximum number of adaptive batches τ in AMC/GEER (paper default 5).
+  int tau = 5;
+
+  /// Seed for all randomized estimators; combined with (s, t) per query.
+  std::uint64_t seed = 1;
+
+  /// Precomputed λ = max(|λ₂|, |λ_n|) of P. If unset, estimators that
+  /// need it run the Lanczos preprocessing themselves (once).
+  std::optional<double> lambda;
+
+  /// Safety cap on the truncated walk length ℓ; queries that would exceed
+  /// it are answered best-effort with QueryStats::truncated set. Guards
+  /// against near-bipartite inputs where Eq. (5)/(6) explode.
+  std::uint32_t max_ell = 200000;
+
+  /// Use Peng et al.'s generic ℓ (Eq. 5) instead of the refined per-pair
+  /// ℓ (Eq. 6) — the ablation axis of Fig. 11 (applies to SMM/AMC/GEER).
+  bool use_peng_ell = false;
+
+  // --- MC (commute-time Monte Carlo) ---------------------------------------
+  /// Assumed upper bound γ on r(s, t) (drives the trial count).
+  double mc_gamma_upper = 4.0;
+  /// Per-trial step cap, as a multiple of the expected return time 2m/d(s).
+  double mc_step_cap_multiplier = 100.0;
+
+  // --- MC2 (edge queries) ---------------------------------------------------
+  /// Assumed lower bound γ on r(s, t); 0 means the worst case 1/(2m).
+  double mc2_gamma_lower = 0.05;
+  /// Per-trial step cap for the first-visit walk.
+  std::uint64_t mc2_max_steps_per_trial = 1u << 22;
+
+  // --- TP / TPC -------------------------------------------------------------
+  /// Multiplier on the paper's theoretical sample constants. 1.0 is
+  /// faithful; benchmarks may down-scale and extrapolate timings linearly
+  /// (documented in EXPERIMENTS.md).
+  double tp_scale = 1.0;
+  double tpc_scale = 1.0;
+
+  // --- RP (random projection) -----------------------------------------------
+  /// Projection dimension k; 0 derives the paper's 24·ln(n)/ε².
+  int rp_dimensions = 0;
+  /// Memory budget for the k×n sketch; exceeding it fails construction
+  /// (reproduces the paper's out-of-memory narrative).
+  std::uint64_t rp_max_bytes = 4ull << 30;
+
+  // --- HAY (spanning-tree sampling) ------------------------------------------
+  /// Number of uniform spanning trees; 0 derives it from Hoeffding.
+  std::uint64_t hay_num_trees = 0;
+
+  // --- SMM -------------------------------------------------------------------
+  /// Fixed iteration count override for SMM (0 = derive from ε and λ).
+  std::uint32_t smm_iterations = 0;
+
+  // --- GEER ------------------------------------------------------------------
+  /// Optional override of the greedy switch point ℓ_b (−1 = greedy rule of
+  /// Eq. 17). Used by the Fig. 10 ablation.
+  std::int32_t geer_fixed_lb = -1;
+};
+
+/// Validates option invariants (positive ε, δ ∈ (0,1), τ ≥ 1, …); aborts
+/// with a diagnostic on violation.
+void ValidateOptions(const ErOptions& options);
+
+}  // namespace geer
+
+#endif  // GEER_CORE_OPTIONS_H_

@@ -1,0 +1,56 @@
+#include "core/registry.h"
+
+#include "core/amc.h"
+#include "core/exact.h"
+#include "core/geer.h"
+#include "core/hay.h"
+#include "core/mc.h"
+#include "core/mc2.h"
+#include "core/rp.h"
+#include "core/smm.h"
+#include "core/solver_er.h"
+#include "core/tp.h"
+#include "core/tpc.h"
+
+namespace geer {
+
+std::unique_ptr<ErEstimator> CreateEstimator(const std::string& name,
+                                             const Graph& graph,
+                                             const ErOptions& options) {
+  if (name == "GEER") return std::make_unique<GeerEstimator>(graph, options);
+  if (name == "AMC") return std::make_unique<AmcEstimator>(graph, options);
+  if (name == "SMM") return std::make_unique<SmmEstimator>(graph, options);
+  if (name == "SMM-PengEll") {
+    ErOptions opt = options;
+    opt.use_peng_ell = true;
+    return std::make_unique<SmmEstimator>(graph, opt);
+  }
+  if (name == "TP") return std::make_unique<TpEstimator>(graph, options);
+  if (name == "TPC") return std::make_unique<TpcEstimator>(graph, options);
+  if (name == "MC") return std::make_unique<McEstimator>(graph, options);
+  if (name == "MC2") return std::make_unique<Mc2Estimator>(graph, options);
+  if (name == "HAY") return std::make_unique<HayEstimator>(graph, options);
+  if (name == "RP") return std::make_unique<RpEstimator>(graph, options);
+  if (name == "EXACT") {
+    return std::make_unique<ExactEstimator>(graph, options);
+  }
+  if (name == "CG") return std::make_unique<SolverEstimator>(graph, options);
+  return nullptr;
+}
+
+std::vector<std::string> EstimatorNames() {
+  return {"GEER", "AMC", "SMM", "SMM-PengEll", "TP",    "TPC",
+          "MC",   "MC2", "HAY", "RP",          "EXACT", "CG"};
+}
+
+bool EstimatorFeasible(const std::string& name, const Graph& graph,
+                       const ErOptions& options) {
+  if (name == "EXACT") return ExactEstimator::Feasible(graph);
+  if (name == "RP") return RpEstimator::Feasible(graph, options);
+  for (const std::string& known : EstimatorNames()) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+}  // namespace geer

@@ -1,0 +1,37 @@
+// Name-based estimator factory, so the benchmark harness and examples can
+// select algorithms from the command line.
+
+#ifndef GEER_CORE_REGISTRY_H_
+#define GEER_CORE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/options.h"
+#include "graph/graph.h"
+
+namespace geer {
+
+/// Creates the estimator registered under `name`. Known names:
+/// "GEER", "AMC", "SMM", "SMM-PengEll", "TP", "TPC", "MC", "MC2", "HAY",
+/// "RP", "EXACT", "CG" (case-sensitive). Returns nullptr for unknown
+/// names. Construction may abort if the algorithm's preconditions fail
+/// (e.g. EXACT on a too-large graph) — pre-check with EstimatorFeasible.
+std::unique_ptr<ErEstimator> CreateEstimator(const std::string& name,
+                                             const Graph& graph,
+                                             const ErOptions& options);
+
+/// All registered names, in the paper's presentation order.
+std::vector<std::string> EstimatorNames();
+
+/// True iff `name` can be constructed for this graph/options without
+/// violating resource preconditions (EXACT's dense cap, RP's sketch
+/// memory budget).
+bool EstimatorFeasible(const std::string& name, const Graph& graph,
+                       const ErOptions& options);
+
+}  // namespace geer
+
+#endif  // GEER_CORE_REGISTRY_H_

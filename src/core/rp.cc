@@ -1,0 +1,76 @@
+#include "core/rp.h"
+
+#include <cmath>
+
+#include "rw/rng.h"
+#include "util/check.h"
+
+namespace geer {
+
+int RpEstimator::DeriveDimensions(const Graph& graph,
+                                  const ErOptions& options) {
+  if (options.rp_dimensions > 0) return options.rp_dimensions;
+  const double n = static_cast<double>(graph.NumNodes());
+  const double k =
+      std::ceil(24.0 * std::log(n) / (options.epsilon * options.epsilon));
+  return static_cast<int>(k);
+}
+
+std::uint64_t RpEstimator::SketchBytes(const Graph& graph,
+                                       const ErOptions& options) {
+  return static_cast<std::uint64_t>(DeriveDimensions(graph, options)) *
+         graph.NumNodes() * sizeof(double);
+}
+
+RpEstimator::RpEstimator(const Graph& graph, ErOptions options)
+    : graph_(&graph) {
+  ValidateOptions(options);
+  k_ = DeriveDimensions(graph, options);
+  GEER_CHECK(Feasible(graph, options))
+      << "RP sketch of " << SketchBytes(graph, options)
+      << " bytes exceeds the rp_max_bytes budget (paper: out of memory)";
+  const NodeId n = graph.NumNodes();
+  sketch_ = Matrix(static_cast<std::size_t>(k_), n, 0.0);
+
+  LaplacianSolver::Options sopt;
+  // The JL distortion already costs ε; solve well below it.
+  sopt.tolerance = 1e-8;
+  LaplacianSolver solver(graph, sopt);
+  Rng rng(options.seed ^ 0x9d2c5680cafef00dULL);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(k_));
+
+  // Row j of Q W^{1/2} B has entry +q_e at e's lower endpoint and −q_e at
+  // the upper one, q_e = ±1/√k. Solve L z = row for each of the k rows.
+  Vector row(n, 0.0);
+  for (int j = 0; j < k_; ++j) {
+    std::fill(row.begin(), row.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v : graph.Neighbors(u)) {
+        if (u >= v) continue;
+        const double q = rng.NextBernoulli(0.5) ? scale : -scale;
+        row[u] += q;
+        row[v] -= q;
+      }
+    }
+    Vector z = solver.Solve(row);
+    double* out = sketch_.Row(static_cast<std::size_t>(j));
+    for (NodeId v = 0; v < n; ++v) out[v] = z[v];
+  }
+}
+
+QueryStats RpEstimator::EstimateWithStats(NodeId s, NodeId t) {
+  GEER_CHECK(s < graph_->NumNodes());
+  GEER_CHECK(t < graph_->NumNodes());
+  QueryStats stats;
+  if (s == t) return stats;
+  double acc = 0.0;
+  for (int j = 0; j < k_; ++j) {
+    const double* row = sketch_.Row(static_cast<std::size_t>(j));
+    const double diff = row[s] - row[t];
+    acc += diff * diff;
+  }
+  stats.value = acc;
+  return stats;
+}
+
+}  // namespace geer

@@ -1,0 +1,54 @@
+// RP baseline [Spielman & Srivastava, STOC'08]: approximate all-pairs ER
+// via Johnson–Lindenstrauss projection of W^{1/2} B L†. Preprocessing
+// builds a k×n sketch with k = ⌈24 ln n / ε²⌉ (one Laplacian solve per
+// row); queries are then O(k). Memory for the sketch is the bottleneck
+// the paper reports (OOM on Orkut/LiveJournal/Friendster).
+
+#ifndef GEER_CORE_RP_H_
+#define GEER_CORE_RP_H_
+
+#include <optional>
+
+#include "core/estimator.h"
+#include "core/options.h"
+#include "linalg/dense.h"
+#include "linalg/laplacian_solver.h"
+
+namespace geer {
+
+class RpEstimator : public ErEstimator {
+ public:
+  /// Builds the sketch. Aborts if the k×n sketch exceeds
+  /// options.rp_max_bytes — use Feasible() to pre-check (the benchmark
+  /// harness reports those configurations as OOM, like the paper).
+  explicit RpEstimator(const Graph& graph, ErOptions options = {});
+
+  std::string Name() const override { return "RP"; }
+  QueryStats EstimateWithStats(NodeId s, NodeId t) override;
+
+  /// Projection dimension in use.
+  int Dimensions() const { return k_; }
+
+  /// Derived sketch size in bytes for the given graph/options.
+  static std::uint64_t SketchBytes(const Graph& graph,
+                                   const ErOptions& options);
+
+  /// True iff the sketch fits the options' memory budget.
+  static bool Feasible(const Graph& graph, const ErOptions& options) {
+    return SketchBytes(graph, options) <= options.rp_max_bytes;
+  }
+
+  /// The projection dimension k implied by the options (paper's
+  /// 24 ln n / ε² unless overridden).
+  static int DeriveDimensions(const Graph& graph, const ErOptions& options);
+
+ private:
+  const Graph* graph_;
+  int k_ = 0;
+  // Row-major k×n sketch Z̃; r̂(s,t) = Σ_j (Z̃(j,s) − Z̃(j,t))².
+  Matrix sketch_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_CORE_RP_H_

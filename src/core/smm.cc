@@ -1,0 +1,66 @@
+#include "core/smm.h"
+
+#include "core/ell.h"
+#include "util/check.h"
+
+namespace geer {
+
+SmmIterator::SmmIterator(const Graph& graph, TransitionOperator* op,
+                         NodeId s, NodeId t)
+    : graph_(&graph), op_(op), s_(s), t_(t) {
+  GEER_CHECK(s < graph.NumNodes());
+  GEER_CHECK(t < graph.NumNodes());
+  inv_ds_ = 1.0 / static_cast<double>(graph.Degree(s));
+  inv_dt_ = 1.0 / static_cast<double>(graph.Degree(t));
+  s_vec_.InitOneHot(s, graph);
+  t_vec_.InitOneHot(t, graph);
+  // i = 0 term of Eq. (4): p_0(s,s)/d(s) + p_0(t,t)/d(t)
+  //                        − p_0(s,t)/d(s) − p_0(t,s)/d(t).
+  rb_ = s_vec_.values[s_] * inv_ds_ + t_vec_.values[t_] * inv_dt_ -
+        s_vec_.values[t_] * inv_ds_ - t_vec_.values[s_] * inv_dt_;
+}
+
+void SmmIterator::Advance() {
+  spmv_ops_ += op_->ApplyAuto(&s_vec_);
+  spmv_ops_ += op_->ApplyAuto(&t_vec_);
+  ++iterations_;
+  rb_ += s_vec_.values[s_] * inv_ds_ + t_vec_.values[t_] * inv_dt_ -
+         s_vec_.values[t_] * inv_ds_ - t_vec_.values[s_] * inv_dt_;
+}
+
+SmmEstimator::SmmEstimator(const Graph& graph, ErOptions options)
+    : graph_(&graph), options_(options), op_(graph) {
+  ValidateOptions(options_);
+  lambda_ = options_.lambda.has_value()
+                ? *options_.lambda
+                : ComputeSpectralBounds(graph).lambda;
+}
+
+QueryStats SmmEstimator::EstimateWithStats(NodeId s, NodeId t) {
+  QueryStats stats;
+  if (s == t) return stats;
+  std::uint32_t ell;
+  if (options_.smm_iterations > 0) {
+    ell = options_.smm_iterations;
+  } else if (options_.use_peng_ell) {
+    ell = PengEll(options_.epsilon, lambda_, options_.max_ell);
+    stats.truncated = EllWasTruncated(options_.epsilon, lambda_, 1, 1,
+                                      options_.max_ell, /*use_peng=*/true);
+  } else {
+    ell = RefinedEll(options_.epsilon, lambda_, graph_->Degree(s),
+                     graph_->Degree(t), options_.max_ell);
+    stats.truncated =
+        EllWasTruncated(options_.epsilon, lambda_, graph_->Degree(s),
+                        graph_->Degree(t), options_.max_ell,
+                        /*use_peng=*/false);
+  }
+  SmmIterator iter(*graph_, &op_, s, t);
+  for (std::uint32_t i = 0; i < ell; ++i) iter.Advance();
+  stats.value = iter.rb();
+  stats.ell = ell;
+  stats.ell_b = iter.iterations();
+  stats.spmv_ops = iter.spmv_ops();
+  return stats;
+}
+
+}  // namespace geer

@@ -1,0 +1,90 @@
+// SMM (Alg. 2): deterministic computation of the truncated effective
+// resistance r_ℓ(s,t) by iterated sparse matrix–vector products with the
+// transition matrix P. After i iterations the iterates satisfy
+// s*(v) = p_i(v, s) and t*(v) = p_i(v, t), and
+//   r_b(s,t) = Σ_{j=0}^{i} [ s*_j(s)/d(s) + t*_j(t)/d(t)
+//                            − s*_j(t)/d(s) − t*_j(s)/d(t) ].
+//
+// SmmIterator exposes the iteration one step at a time so GEER can apply
+// its greedy stopping rule (Eq. 17) between steps and hand the live
+// iterates to AMC.
+
+#ifndef GEER_CORE_SMM_H_
+#define GEER_CORE_SMM_H_
+
+#include "core/estimator.h"
+#include "core/options.h"
+#include "linalg/spectral.h"
+#include "linalg/transition.h"
+
+namespace geer {
+
+/// Step-at-a-time driver for Alg. 2 on a fixed query pair.
+class SmmIterator {
+ public:
+  /// Positions the iterator at ℓ_b = 0 (the i=0 term is already folded
+  /// into rb()). Requires s ≠ t handled by the caller.
+  SmmIterator(const Graph& graph, TransitionOperator* op, NodeId s, NodeId t);
+
+  /// Truncated ER accumulated so far: r_{ℓb}(s, t).
+  double rb() const { return rb_; }
+
+  /// Iterations performed so far (ℓ_b).
+  std::uint32_t iterations() const { return iterations_; }
+
+  /// Arc traversals charged by all iterations so far.
+  std::uint64_t spmv_ops() const { return spmv_ops_; }
+
+  /// Cost of the NEXT iteration under the paper's model:
+  /// Σ_{v∈supp(s*)} d(v) + Σ_{v∈supp(t*)} d(v)  (Eq. 17 LHS).
+  std::uint64_t NextIterationCost() const {
+    return s_vec_.support_degree_sum + t_vec_.support_degree_sum;
+  }
+
+  /// Performs one iteration: s* ← P s*, t* ← P t*, accumulates into rb.
+  void Advance();
+
+  /// Live iterates (s*(v) = p_{ℓb}(v, s), t*(v) = p_{ℓb}(v, t)).
+  const Vector& svec() const { return s_vec_.values; }
+  const Vector& tvec() const { return t_vec_.values; }
+
+ private:
+  const Graph* graph_;
+  TransitionOperator* op_;
+  NodeId s_;
+  NodeId t_;
+  double inv_ds_;
+  double inv_dt_;
+  TransitionOperator::SparseVector s_vec_;
+  TransitionOperator::SparseVector t_vec_;
+  double rb_ = 0.0;
+  std::uint32_t iterations_ = 0;
+  std::uint64_t spmv_ops_ = 0;
+};
+
+/// The standalone SMM competitor: runs Alg. 2 for ℓ_b = ℓ iterations
+/// (refined ℓ of Eq. 6 by default, Peng et al.'s Eq. 5 with
+/// options.use_peng_ell — the Fig. 11 comparison; or a fixed count with
+/// options.smm_iterations, which is how the paper builds ground truth).
+class SmmEstimator : public ErEstimator {
+ public:
+  SmmEstimator(const Graph& graph, ErOptions options = {});
+
+  std::string Name() const override {
+    return options_.use_peng_ell ? "SMM-PengEll" : "SMM";
+  }
+  QueryStats EstimateWithStats(NodeId s, NodeId t) override;
+
+  /// λ in use (from options or computed at construction).
+  double lambda() const { return lambda_; }
+
+ private:
+  const Graph* graph_;
+  ErOptions options_;
+  double lambda_;
+  TransitionOperator op_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_CORE_SMM_H_

@@ -1,0 +1,30 @@
+#include "core/solver_er.h"
+
+namespace geer {
+namespace {
+
+LaplacianSolver::Options SolverOptionsFor(const ErOptions& options) {
+  LaplacianSolver::Options sopt;
+  // Solve far below the query tolerance so this can serve as ground truth.
+  sopt.tolerance = 1e-12;
+  sopt.max_iterations = 20000;
+  (void)options;
+  return sopt;
+}
+
+}  // namespace
+
+SolverEstimator::SolverEstimator(const Graph& graph, ErOptions options)
+    : solver_(graph, SolverOptionsFor(options)) {
+  ValidateOptions(options);
+}
+
+QueryStats SolverEstimator::EstimateWithStats(NodeId s, NodeId t) {
+  QueryStats stats;
+  CgStats cg;
+  stats.value = solver_.EffectiveResistance(s, t, &cg);
+  stats.truncated = !cg.converged && s != t;
+  return stats;
+}
+
+}  // namespace geer

@@ -1,0 +1,27 @@
+// High-accuracy ER via a preconditioned CG Laplacian solve per query.
+// Not one of the paper's competitors; used as a scalable ground-truth
+// cross-check for the SMM-based ground truth of §5.1.
+
+#ifndef GEER_CORE_SOLVER_ER_H_
+#define GEER_CORE_SOLVER_ER_H_
+
+#include "core/estimator.h"
+#include "core/options.h"
+#include "linalg/laplacian_solver.h"
+
+namespace geer {
+
+class SolverEstimator : public ErEstimator {
+ public:
+  explicit SolverEstimator(const Graph& graph, ErOptions options = {});
+
+  std::string Name() const override { return "CG"; }
+  QueryStats EstimateWithStats(NodeId s, NodeId t) override;
+
+ private:
+  LaplacianSolver solver_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_CORE_SOLVER_ER_H_

@@ -1,0 +1,75 @@
+#include "core/tp.h"
+
+#include <cmath>
+
+#include "core/ell.h"
+#include "linalg/spectral.h"
+#include "util/check.h"
+
+namespace geer {
+
+TpEstimator::TpEstimator(const Graph& graph, ErOptions options)
+    : graph_(&graph), options_(options), walker_(graph) {
+  ValidateOptions(options_);
+  lambda_ = options_.lambda.has_value()
+                ? *options_.lambda
+                : ComputeSpectralBounds(graph).lambda;
+}
+
+std::uint64_t TpEstimator::WalksPerLength(std::uint32_t ell) const {
+  if (ell == 0) return 0;
+  const double l = static_cast<double>(ell);
+  const double raw = 40.0 * l * l * std::log(8.0 * l / options_.delta) /
+                     (options_.epsilon * options_.epsilon);
+  return static_cast<std::uint64_t>(
+      std::ceil(std::max(raw * options_.tp_scale, 1.0)));
+}
+
+QueryStats TpEstimator::EstimateWithStats(NodeId s, NodeId t) {
+  GEER_CHECK(s < graph_->NumNodes());
+  GEER_CHECK(t < graph_->NumNodes());
+  QueryStats stats;
+  if (s == t) return stats;
+
+  const std::uint32_t ell =
+      PengEll(options_.epsilon, lambda_, options_.max_ell);
+  stats.ell = ell;
+  stats.truncated =
+      EllWasTruncated(options_.epsilon, lambda_, 1, 1, options_.max_ell,
+                      /*use_peng=*/true);
+  const double inv_ds = 1.0 / static_cast<double>(graph_->Degree(s));
+  const double inv_dt = 1.0 / static_cast<double>(graph_->Degree(t));
+
+  // i = 0 term of Eq. (4).
+  double estimate = inv_ds + inv_dt;
+  const std::uint64_t eta = WalksPerLength(ell);
+  Rng rng(options_.seed ^ (static_cast<std::uint64_t>(s) << 32) ^ t);
+
+  for (std::uint32_t i = 1; i <= ell; ++i) {
+    std::uint64_t count_ss = 0;  // s-walks of length i ending at s
+    std::uint64_t count_st = 0;  // s-walks ending at t
+    std::uint64_t count_tt = 0;  // t-walks ending at t
+    std::uint64_t count_ts = 0;  // t-walks ending at s
+    for (std::uint64_t k = 0; k < eta; ++k) {
+      const NodeId end_s = walker_.WalkEndpoint(s, i, rng);
+      if (end_s == s) ++count_ss;
+      if (end_s == t) ++count_st;
+      const NodeId end_t = walker_.WalkEndpoint(t, i, rng);
+      if (end_t == t) ++count_tt;
+      if (end_t == s) ++count_ts;
+    }
+    stats.walks += 2 * eta;
+    stats.walk_steps += 2 * eta * i;
+    const double inv_eta = 1.0 / static_cast<double>(eta);
+    // Eq. (4) term for length i with the empirical probabilities.
+    estimate += (static_cast<double>(count_ss) * inv_ds +
+                 static_cast<double>(count_tt) * inv_dt -
+                 static_cast<double>(count_st) * inv_dt -
+                 static_cast<double>(count_ts) * inv_ds) *
+                inv_eta;
+  }
+  stats.value = estimate;
+  return stats;
+}
+
+}  // namespace geer

@@ -1,0 +1,39 @@
+// TP baseline [Peng et al., KDD'21]: truncated-walk Monte Carlo on the
+// Eq. (4) expansion with the generic ℓ of Eq. (5). For every length
+// i ∈ [1, ℓ] it draws 40 ℓ² ln(8ℓ/δ)/ε² walks from s and from t and uses
+// the end-node frequencies as estimates of p_i(s,·), p_i(t,·). The sheer
+// walk count makes it impractical at small ε — the inefficiency AMC/GEER
+// fix. options.tp_scale linearly rescales the sample constant so the
+// harness can extrapolate timings (see EXPERIMENTS.md).
+
+#ifndef GEER_CORE_TP_H_
+#define GEER_CORE_TP_H_
+
+#include "core/estimator.h"
+#include "core/options.h"
+#include "rw/walker.h"
+
+namespace geer {
+
+class TpEstimator : public ErEstimator {
+ public:
+  TpEstimator(const Graph& graph, ErOptions options = {});
+
+  std::string Name() const override { return "TP"; }
+  QueryStats EstimateWithStats(NodeId s, NodeId t) override;
+
+  double lambda() const { return lambda_; }
+
+  /// Walks per length per endpoint at the current options (after scaling).
+  std::uint64_t WalksPerLength(std::uint32_t ell) const;
+
+ private:
+  const Graph* graph_;
+  ErOptions options_;
+  double lambda_;
+  Walker walker_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_CORE_TP_H_

@@ -1,0 +1,110 @@
+#include "core/tpc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ell.h"
+#include "linalg/spectral.h"
+#include "util/check.h"
+
+namespace geer {
+
+TpcEstimator::TpcEstimator(const Graph& graph, ErOptions options)
+    : graph_(&graph),
+      options_(options),
+      walker_(graph),
+      count_a_(graph.NumNodes(), 0),
+      count_b_(graph.NumNodes(), 0) {
+  ValidateOptions(options_);
+  lambda_ = options_.lambda.has_value()
+                ? *options_.lambda
+                : ComputeSpectralBounds(graph).lambda;
+}
+
+double TpcEstimator::BetaHeuristic(std::uint32_t i, NodeId s,
+                                   NodeId t) const {
+  const double stationary = 1.0 / static_cast<double>(graph_->NumArcs());
+  const double start = std::max(1.0 / static_cast<double>(graph_->Degree(s)),
+                                1.0 / static_cast<double>(graph_->Degree(t)));
+  const double decay = std::pow(0.5, std::min<std::uint32_t>(i, 63));
+  return std::max(stationary, start * decay);
+}
+
+std::uint64_t TpcEstimator::WalksForLength(std::uint32_t i,
+                                           std::uint32_t ell, NodeId s,
+                                           NodeId t) const {
+  const double l = static_cast<double>(ell);
+  const double beta = BetaHeuristic(i, s, t);
+  const double raw =
+      40000.0 * (l * std::sqrt(l * beta) / options_.epsilon +
+                 l * l * l * std::pow(beta, 1.5) /
+                     (options_.epsilon * options_.epsilon));
+  return static_cast<std::uint64_t>(
+      std::ceil(std::max(raw * options_.tpc_scale, 1.0)));
+}
+
+QueryStats TpcEstimator::EstimateWithStats(NodeId s, NodeId t) {
+  GEER_CHECK(s < graph_->NumNodes());
+  GEER_CHECK(t < graph_->NumNodes());
+  QueryStats stats;
+  if (s == t) return stats;
+
+  const std::uint32_t ell =
+      PengEll(options_.epsilon, lambda_, options_.max_ell);
+  stats.ell = ell;
+  stats.truncated =
+      EllWasTruncated(options_.epsilon, lambda_, 1, 1, options_.max_ell,
+                      /*use_peng=*/true);
+  const double inv_ds = 1.0 / static_cast<double>(graph_->Degree(s));
+  const double inv_dt = 1.0 / static_cast<double>(graph_->Degree(t));
+  double estimate = inv_ds + inv_dt;  // i = 0 term
+
+  Rng rng(options_.seed ^ (static_cast<std::uint64_t>(s) << 32) ^ t);
+
+  // Collision statistic: Σ_v cntA(v)·cntB(v)/d(v) / (N_a·N_b), where A
+  // and B are independent endpoint populations.
+  auto collide = [this](NodeId from_a, std::uint32_t len_a, NodeId from_b,
+                        std::uint32_t len_b, std::uint64_t n_walks,
+                        Rng& r, QueryStats* st) {
+    touched_.clear();
+    for (std::uint64_t k = 0; k < n_walks; ++k) {
+      const NodeId end_a = walker_.WalkEndpoint(from_a, len_a, r);
+      if (count_a_[end_a] == 0 && count_b_[end_a] == 0) {
+        touched_.push_back(end_a);
+      }
+      ++count_a_[end_a];
+      const NodeId end_b = walker_.WalkEndpoint(from_b, len_b, r);
+      if (count_a_[end_b] == 0 && count_b_[end_b] == 0) {
+        touched_.push_back(end_b);
+      }
+      ++count_b_[end_b];
+    }
+    st->walks += 2 * n_walks;
+    st->walk_steps += n_walks * (len_a + len_b);
+    double acc = 0.0;
+    for (NodeId v : touched_) {
+      acc += static_cast<double>(count_a_[v]) *
+             static_cast<double>(count_b_[v]) /
+             static_cast<double>(graph_->Degree(v));
+      count_a_[v] = 0;
+      count_b_[v] = 0;
+    }
+    const double n = static_cast<double>(n_walks);
+    return acc / (n * n);
+  };
+
+  for (std::uint32_t i = 1; i <= ell; ++i) {
+    const std::uint32_t len_a = (i + 1) / 2;  // ⌈i/2⌉
+    const std::uint32_t len_b = i / 2;        // ⌊i/2⌋
+    const std::uint64_t n_walks = WalksForLength(i, ell, s, t);
+    // p_i(s,s)/d(s), p_i(t,t)/d(t), p_i(s,t)/d(t) (= p_i(t,s)/d(s)).
+    const double p_ss = collide(s, len_a, s, len_b, n_walks, rng, &stats);
+    const double p_tt = collide(t, len_a, t, len_b, n_walks, rng, &stats);
+    const double p_st = collide(s, len_a, t, len_b, n_walks, rng, &stats);
+    estimate += p_ss + p_tt - 2.0 * p_st;
+  }
+  stats.value = estimate;
+  return stats;
+}
+
+}  // namespace geer

@@ -1,0 +1,55 @@
+// TPC baseline [Peng et al., KDD'21]: the collision refinement of TP.
+// Each length-i probability in Eq. (4) is expressed through two
+// half-length walk populations using reversibility
+// (p_b(v,x) = d(x) p_b(x,v)/d(v) with a = ⌈i/2⌉, b = ⌊i/2⌋, a + b = i):
+//
+//   p_i(x,y)/d(y) = Σ_v p_a(x,v) · p_b(y,v) / d(v),
+//
+// estimated by the collision statistic Σ_v cntA(v)·cntB(v)/d(v) / N².
+// The per-length sample count is 40000·(ℓ√(ℓβ_i)/ε + ℓ³β_i^{3/2}/ε²)
+// where β_i ≥ max{Σ_v p_i(s,v)²/d(v), Σ_v p_i(t,v)²/d(v)} is unknown in
+// practice (paper §2.3.2); we use the documented heuristic
+//   β_i = max(1/(2m), 2^{-i}·max(1/d(s), 1/d(t)))
+// which interpolates the i=0 value toward the stationary limit 1/(2m),
+// and options.tpc_scale rescales the constant. With heuristic β the
+// ε-guarantee is forfeited — exactly the caveat the paper states.
+
+#ifndef GEER_CORE_TPC_H_
+#define GEER_CORE_TPC_H_
+
+#include "core/estimator.h"
+#include "core/options.h"
+#include "rw/walker.h"
+
+namespace geer {
+
+class TpcEstimator : public ErEstimator {
+ public:
+  TpcEstimator(const Graph& graph, ErOptions options = {});
+
+  std::string Name() const override { return "TPC"; }
+  QueryStats EstimateWithStats(NodeId s, NodeId t) override;
+
+  double lambda() const { return lambda_; }
+
+  /// The heuristic β_i used for the sample-count formula.
+  double BetaHeuristic(std::uint32_t i, NodeId s, NodeId t) const;
+
+  /// Walks per population for length i (after scaling).
+  std::uint64_t WalksForLength(std::uint32_t i, std::uint32_t ell, NodeId s,
+                               NodeId t) const;
+
+ private:
+  const Graph* graph_;
+  ErOptions options_;
+  double lambda_;
+  Walker walker_;
+  // Scratch: endpoint histograms with touched-lists, reused across calls.
+  std::vector<std::uint32_t> count_a_;
+  std::vector<std::uint32_t> count_b_;
+  std::vector<NodeId> touched_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_CORE_TPC_H_

@@ -1,0 +1,131 @@
+#include "embed/er_embedding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "linalg/laplacian_solver.h"
+#include "rw/rng.h"
+#include "util/check.h"
+#include "weighted/weighted_laplacian.h"
+
+namespace geer {
+
+int ErEmbedding::DeriveDimensions(NodeId num_nodes,
+                                  const ErEmbeddingOptions& options) {
+  if (options.dimensions > 0) return options.dimensions;
+  GEER_CHECK(options.epsilon > 0.0);
+  const double n = std::max<double>(num_nodes, 2.0);
+  return static_cast<int>(
+      std::ceil(24.0 * std::log(n) / (options.epsilon * options.epsilon)));
+}
+
+void ErEmbedding::Build(const std::vector<EdgeRef>& edges,
+                        const std::function<Vector(const Vector&)>& solve,
+                        const ErEmbeddingOptions& options) {
+  k_ = DeriveDimensions(num_nodes_, options);
+  GEER_CHECK(TableBytes(num_nodes_, k_) <= options.max_bytes)
+      << "embedding table of " << TableBytes(num_nodes_, k_)
+      << " bytes exceeds max_bytes";
+  table_.assign(static_cast<std::size_t>(num_nodes_) * k_, 0.0);
+
+  Rng rng(options.seed ^ 0x51b9a5e3c0ffee17ULL);
+  const double inv_sqrt_k = 1.0 / std::sqrt(static_cast<double>(k_));
+  Vector row(num_nodes_, 0.0);
+  for (int j = 0; j < k_; ++j) {
+    std::fill(row.begin(), row.end(), 0.0);
+    // Row j of Q W^{1/2} B: ±√(w_e)/√k at e's endpoints, opposite signs.
+    for (const EdgeRef& e : edges) {
+      const double q =
+          (rng.NextBernoulli(0.5) ? inv_sqrt_k : -inv_sqrt_k) *
+          std::sqrt(e.weight);
+      row[e.u] += q;
+      row[e.v] -= q;
+    }
+    const Vector z = solve(row);
+    // Scatter the solve into column j of the row-major node table.
+    for (NodeId v = 0; v < num_nodes_; ++v) {
+      table_[static_cast<std::size_t>(v) * k_ + j] = z[v];
+    }
+  }
+}
+
+ErEmbedding::ErEmbedding(const Graph& graph, ErEmbeddingOptions options)
+    : num_nodes_(graph.NumNodes()) {
+  edges_.reserve(graph.NumEdges());
+  for (const auto& [u, v] : graph.Edges()) edges_.push_back({u, v, 1.0});
+  LaplacianSolver::Options sopt;
+  sopt.tolerance = options.solve_tolerance;
+  LaplacianSolver solver(graph, sopt);
+  Build(edges_, [&solver](const Vector& b) { return solver.Solve(b); },
+        options);
+}
+
+ErEmbedding::ErEmbedding(const WeightedGraph& graph,
+                         ErEmbeddingOptions options)
+    : num_nodes_(graph.NumNodes()) {
+  edges_.reserve(graph.NumEdges());
+  for (const auto& e : graph.Edges()) edges_.push_back({e.u, e.v, e.weight});
+  WeightedLaplacianSolver::Options sopt;
+  sopt.tolerance = options.solve_tolerance;
+  WeightedLaplacianSolver solver(graph, sopt);
+  Build(edges_, [&solver](const Vector& b) { return solver.Solve(b); },
+        options);
+}
+
+double ErEmbedding::PairwiseEr(NodeId s, NodeId t) const {
+  GEER_CHECK(s < num_nodes_);
+  GEER_CHECK(t < num_nodes_);
+  if (s == t) return 0.0;
+  const double* zs = table_.data() + static_cast<std::size_t>(s) * k_;
+  const double* zt = table_.data() + static_cast<std::size_t>(t) * k_;
+  double acc = 0.0;
+  for (int j = 0; j < k_; ++j) {
+    const double diff = zs[j] - zt[j];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+void ErEmbedding::SingleSource(NodeId s, Vector* out) const {
+  GEER_CHECK(s < num_nodes_);
+  out->assign(num_nodes_, 0.0);
+  const double* zs = table_.data() + static_cast<std::size_t>(s) * k_;
+  const double* row = table_.data();
+  for (NodeId v = 0; v < num_nodes_; ++v, row += k_) {
+    double acc = 0.0;
+    for (int j = 0; j < k_; ++j) {
+      const double diff = zs[j] - row[j];
+      acc += diff * diff;
+    }
+    (*out)[v] = acc;
+  }
+  (*out)[s] = 0.0;
+}
+
+std::vector<ErNeighbor> ErEmbedding::TopKNearest(NodeId s,
+                                                 std::size_t count) const {
+  Vector er;
+  SingleSource(s, &er);
+  std::vector<ErNeighbor> all;
+  all.reserve(num_nodes_ > 0 ? num_nodes_ - 1 : 0);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    if (v != s) all.push_back({v, er[v]});
+  }
+  const std::size_t take = std::min(count, all.size());
+  auto by_er = [](const ErNeighbor& a, const ErNeighbor& b) {
+    return a.er != b.er ? a.er < b.er : a.node < b.node;
+  };
+  std::partial_sort(all.begin(), all.begin() + take, all.end(), by_er);
+  all.resize(take);
+  return all;
+}
+
+std::vector<double> ErEmbedding::AllEdgeEr() const {
+  std::vector<double> out;
+  out.reserve(edges_.size());
+  for (const EdgeRef& e : edges_) out.push_back(PairwiseEr(e.u, e.v));
+  return out;
+}
+
+}  // namespace geer

@@ -1,0 +1,77 @@
+#include "eval/experiment.h"
+
+#include <cmath>
+
+#include "core/registry.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace geer {
+
+MethodResult RunMethod(const Dataset& dataset, const std::string& method,
+                       const ErOptions& options,
+                       const std::vector<QueryPair>& queries,
+                       const std::vector<double>& ground_truth,
+                       const RunConfig& config) {
+  MethodResult result;
+  result.method = method;
+  result.dataset = dataset.name;
+  result.epsilon = options.epsilon;
+  if (method == "TP") result.sample_scale = options.tp_scale;
+  if (method == "TPC") result.sample_scale = options.tpc_scale;
+
+  if (!EstimatorFeasible(method, dataset.graph, options)) {
+    result.feasible = false;
+    result.completed = false;
+    return result;
+  }
+  ErOptions opt = options;
+  if (!opt.lambda.has_value()) opt.lambda = dataset.spectral.lambda;
+  std::unique_ptr<ErEstimator> estimator =
+      CreateEstimator(method, dataset.graph, opt);
+  GEER_CHECK(estimator != nullptr) << "unknown estimator " << method;
+
+  const bool check_errors =
+      config.collect_errors && ground_truth.size() == queries.size();
+  Deadline deadline(config.deadline_seconds);
+  double sum_millis = 0.0;
+  double sum_err = 0.0;
+  double sum_walks = 0.0;
+  double sum_spmv = 0.0;
+  double sum_ell = 0.0;
+  double sum_ell_b = 0.0;
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const QueryPair& q = queries[i];
+    if (!estimator->SupportsQuery(q.s, q.t)) continue;
+    Timer timer;
+    QueryStats stats = estimator->EstimateWithStats(q.s, q.t);
+    sum_millis += timer.ElapsedMillis();
+    if (check_errors) {
+      const double err = std::abs(stats.value - ground_truth[i]);
+      sum_err += err;
+      result.max_abs_error = std::max(result.max_abs_error, err);
+    }
+    sum_walks += static_cast<double>(stats.walks);
+    sum_spmv += static_cast<double>(stats.spmv_ops);
+    sum_ell += stats.ell;
+    sum_ell_b += stats.ell_b;
+    ++result.queries_answered;
+    if (deadline.Expired() && i + 1 < queries.size()) {
+      result.completed = false;  // paper: "fails to finish within one day"
+      break;
+    }
+  }
+  if (result.queries_answered > 0) {
+    const double n = static_cast<double>(result.queries_answered);
+    result.avg_millis = sum_millis / n;
+    result.avg_abs_error = sum_err / n;
+    result.total_walks = sum_walks / n;
+    result.total_spmv_ops = sum_spmv / n;
+    result.avg_ell = sum_ell / n;
+    result.avg_ell_b = sum_ell_b / n;
+  }
+  return result;
+}
+
+}  // namespace geer

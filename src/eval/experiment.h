@@ -1,0 +1,62 @@
+// The experiment runner behind every figure bench: runs one estimator
+// over a query set with a wall-clock budget, collecting the statistics
+// the paper reports (average query time, average absolute error) plus
+// cost instrumentation.
+
+#ifndef GEER_EVAL_EXPERIMENT_H_
+#define GEER_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "eval/datasets.h"
+#include "eval/queries.h"
+
+namespace geer {
+
+/// Outcome of running one (method, dataset, ε) cell.
+struct MethodResult {
+  std::string method;
+  std::string dataset;
+  double epsilon = 0.0;
+
+  bool feasible = true;     ///< false → OOM-style precondition failure
+  bool completed = true;    ///< false → deadline hit (paper's ">1 day")
+  std::size_t queries_answered = 0;
+
+  double avg_millis = 0.0;     ///< mean per-query wall time
+  double avg_abs_error = 0.0;  ///< vs supplied ground truth
+  double max_abs_error = 0.0;
+  double total_walks = 0.0;    ///< mean walks per query
+  double total_spmv_ops = 0.0; ///< mean SpMV arc traversals per query
+  double avg_ell = 0.0;        ///< mean walk-length bound in effect
+  double avg_ell_b = 0.0;      ///< mean SMM switch point (GEER)
+  double sample_scale = 1.0;   ///< tp/tpc constant scale in effect
+
+  /// Per-query time with the sample down-scaling undone (walk-dominated
+  /// methods scale linearly in the sample constant). Equals avg_millis
+  /// when sample_scale == 1.
+  double ExtrapolatedMillis() const {
+    return sample_scale > 0.0 ? avg_millis / sample_scale : avg_millis;
+  }
+};
+
+/// Budget and instrumentation knobs for a run.
+struct RunConfig {
+  double deadline_seconds = 60.0;  ///< per-(method, ε) budget; ≤0 = none
+  bool collect_errors = true;      ///< compare against ground truth
+};
+
+/// Runs `method` over `queries`. `ground_truth[i]` pairs with queries[i]
+/// (pass empty to skip error collection). Construction-infeasible methods
+/// (EXACT too big, RP over budget) return feasible=false without running.
+MethodResult RunMethod(const Dataset& dataset, const std::string& method,
+                       const ErOptions& options,
+                       const std::vector<QueryPair>& queries,
+                       const std::vector<double>& ground_truth,
+                       const RunConfig& config = {});
+
+}  // namespace geer
+
+#endif  // GEER_EVAL_EXPERIMENT_H_

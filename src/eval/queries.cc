@@ -1,0 +1,50 @@
+#include "eval/queries.h"
+
+#include <algorithm>
+
+#include "rw/rng.h"
+#include "util/check.h"
+
+namespace geer {
+
+NodeId ArcSource(const Graph& graph, std::uint64_t arc_index) {
+  GEER_CHECK(arc_index < graph.NumArcs());
+  const auto& offsets = graph.Offsets();
+  // First node whose offset range contains arc_index.
+  auto it = std::upper_bound(offsets.begin(), offsets.end(), arc_index);
+  return static_cast<NodeId>((it - offsets.begin()) - 1);
+}
+
+std::vector<QueryPair> RandomPairs(const Graph& graph, std::size_t count,
+                                   std::uint64_t seed) {
+  GEER_CHECK_GE(graph.NumNodes(), 2u);
+  Rng rng(seed);
+  std::vector<QueryPair> queries;
+  queries.reserve(count);
+  while (queries.size() < count) {
+    QueryPair q;
+    q.s = static_cast<NodeId>(rng.NextBounded(graph.NumNodes()));
+    q.t = static_cast<NodeId>(rng.NextBounded(graph.NumNodes()));
+    if (q.s == q.t) continue;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+std::vector<QueryPair> RandomEdges(const Graph& graph, std::size_t count,
+                                   std::uint64_t seed) {
+  GEER_CHECK_GT(graph.NumEdges(), 0u);
+  Rng rng(seed);
+  std::vector<QueryPair> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t arc = rng.NextBounded(graph.NumArcs());
+    QueryPair q;
+    q.s = ArcSource(graph, arc);
+    q.t = graph.NeighborArray()[arc];
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+}  // namespace geer

@@ -1,0 +1,35 @@
+// Query-set generation following the paper's §5.1 protocol: 100 node
+// pairs drawn uniformly at random, and 100 edges drawn uniformly from E.
+
+#ifndef GEER_EVAL_QUERIES_H_
+#define GEER_EVAL_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace geer {
+
+/// A single PER query.
+struct QueryPair {
+  NodeId s = 0;
+  NodeId t = 0;
+};
+
+/// `count` node pairs uniform over V×V with s ≠ t (deterministic in seed).
+std::vector<QueryPair> RandomPairs(const Graph& graph, std::size_t count,
+                                   std::uint64_t seed);
+
+/// `count` edges uniform over E (with replacement, like the paper's
+/// "randomly select 100 edges").
+std::vector<QueryPair> RandomEdges(const Graph& graph, std::size_t count,
+                                   std::uint64_t seed);
+
+/// The u of the arc stored at position `arc_index` in the CSR adjacency
+/// array (binary search over offsets). Exposed for tests.
+NodeId ArcSource(const Graph& graph, std::uint64_t arc_index);
+
+}  // namespace geer
+
+#endif  // GEER_EVAL_QUERIES_H_

@@ -1,0 +1,32 @@
+// Plain-text table / CSV emission for the benchmark harnesses, so each
+// bench binary prints the same rows/series its paper figure plots.
+
+#ifndef GEER_EVAL_TABLE_H_
+#define GEER_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace geer {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with two-space column separation, right-padding cells.
+  std::string Render() const;
+
+  /// Comma-separated rendering (no escaping; cells must be comma-free).
+  std::string RenderCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_EVAL_TABLE_H_

@@ -1,0 +1,171 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "graph/builder.h"
+#include "util/check.h"
+
+namespace geer {
+
+namespace {
+constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+bool IsConnected(const Graph& graph) {
+  const NodeId n = graph.NumNodes();
+  if (n <= 1) return true;
+  std::vector<std::uint32_t> dist = BfsDistances(graph, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnvisited; });
+}
+
+bool IsBipartite(const Graph& graph) {
+  const NodeId n = graph.NumNodes();
+  std::vector<std::int8_t> color(n, -1);
+  std::queue<NodeId> queue;
+  for (NodeId start = 0; start < n; ++start) {
+    if (color[start] != -1) continue;
+    color[start] = 0;
+    queue.push(start);
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop();
+      for (NodeId v : graph.Neighbors(u)) {
+        if (color[v] == -1) {
+          color[v] = static_cast<std::int8_t>(1 - color[u]);
+          queue.push(v);
+        } else if (color[v] == color[u]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> ConnectedComponents(const Graph& graph) {
+  const NodeId n = graph.NumNodes();
+  std::vector<std::uint32_t> label(n, kUnvisited);
+  std::uint32_t next_label = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (label[start] != kUnvisited) continue;
+    label[start] = next_label;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : graph.Neighbors(u)) {
+        if (label[v] == kUnvisited) {
+          label[v] = next_label;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next_label;
+  }
+  return label;
+}
+
+Graph LargestConnectedComponent(const Graph& graph) {
+  const NodeId n = graph.NumNodes();
+  if (n == 0) return graph;
+  std::vector<std::uint32_t> label = ConnectedComponents(graph);
+  std::uint32_t num_components =
+      *std::max_element(label.begin(), label.end()) + 1;
+  std::vector<std::uint64_t> size(num_components, 0);
+  for (std::uint32_t c : label) ++size[c];
+  std::uint32_t best = static_cast<std::uint32_t>(
+      std::max_element(size.begin(), size.end()) - size.begin());
+
+  std::vector<NodeId> remap(n, 0);
+  NodeId next_id = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (label[v] == best) remap[v] = next_id++;
+  }
+  GraphBuilder builder(next_id);
+  for (NodeId u = 0; u < n; ++u) {
+    if (label[u] != best) continue;
+    for (NodeId v : graph.Neighbors(u)) {
+      if (u < v) builder.AddEdge(remap[u], remap[v]);
+    }
+  }
+  return builder.Build();
+}
+
+Graph EnsureNonBipartite(const Graph& graph) {
+  if (!IsBipartite(graph)) return graph;
+  const NodeId n = graph.NumNodes();
+  GEER_CHECK_GE(n, 3u) << "cannot break bipartiteness with fewer than 3 nodes";
+  // 2-color, then connect the two smallest same-color non-adjacent nodes
+  // that share a component with an edge, closing an odd cycle.
+  std::vector<std::int8_t> color(n, -1);
+  std::vector<std::uint32_t> comp = ConnectedComponents(graph);
+  std::queue<NodeId> queue;
+  for (NodeId start = 0; start < n; ++start) {
+    if (color[start] != -1) continue;
+    color[start] = 0;
+    queue.push(start);
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop();
+      for (NodeId v : graph.Neighbors(u)) {
+        if (color[v] == -1) {
+          color[v] = static_cast<std::int8_t>(1 - color[u]);
+          queue.push(v);
+        }
+      }
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId w = u + 1; w < n; ++w) {
+      if (comp[u] == comp[w] && color[u] == color[w] && !graph.HasEdge(u, w)) {
+        GraphBuilder builder(n);
+        builder.AddEdges(graph.Edges());
+        builder.AddEdge(u, w);
+        return builder.Build();
+      }
+    }
+  }
+  GEER_CHECK(false) << "no odd-cycle-closing edge exists (graph too small)";
+  return graph;  // Unreachable.
+}
+
+std::vector<std::uint32_t> BfsDistances(const Graph& graph, NodeId source) {
+  const NodeId n = graph.NumNodes();
+  GEER_CHECK(source < n);
+  std::vector<std::uint32_t> dist(n, kUnvisited);
+  std::queue<NodeId> queue;
+  dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop();
+    for (NodeId v : graph.Neighbors(u)) {
+      if (dist[v] == kUnvisited) {
+        dist[v] = dist[u] + 1;
+        queue.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t ApproxDiameter(const Graph& graph) {
+  GEER_CHECK_GT(graph.NumNodes(), 0u);
+  GEER_CHECK(IsConnected(graph)) << "diameter of a disconnected graph";
+  auto farthest = [&graph](NodeId from) {
+    std::vector<std::uint32_t> dist = BfsDistances(graph, from);
+    auto it = std::max_element(dist.begin(), dist.end());
+    return std::make_pair(static_cast<NodeId>(it - dist.begin()), *it);
+  };
+  auto [far_node, d1] = farthest(0);
+  auto [ignored, d2] = farthest(far_node);
+  (void)ignored;
+  (void)d1;
+  return d2;
+}
+
+}  // namespace geer

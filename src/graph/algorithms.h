@@ -1,0 +1,44 @@
+// Structural graph algorithms needed to normalize inputs to the ergodicity
+// assumptions of the paper (connected + non-bipartite) and by tests.
+
+#ifndef GEER_GRAPH_ALGORITHMS_H_
+#define GEER_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace geer {
+
+/// True iff the graph is connected (the empty graph counts as connected,
+/// a single node as connected).
+bool IsConnected(const Graph& graph);
+
+/// True iff the graph is bipartite (2-colorable). Bipartite graphs have
+/// λ_n = −1, making the truncated-walk length ℓ of Eq. (5)/(6) unbounded.
+bool IsBipartite(const Graph& graph);
+
+/// Connected-component label per node; labels are dense in [0, #components).
+std::vector<std::uint32_t> ConnectedComponents(const Graph& graph);
+
+/// Extracts the largest connected component with nodes relabelled densely.
+/// Ties broken toward the component containing the smallest node id.
+Graph LargestConnectedComponent(const Graph& graph);
+
+/// Returns a graph guaranteed non-bipartite: if `graph` is bipartite, adds
+/// one edge closing an odd cycle (between two same-color nodes at minimal
+/// id); otherwise returns the input unchanged. The graph must have ≥ 3
+/// nodes and at least one edge for a fix to exist.
+Graph EnsureNonBipartite(const Graph& graph);
+
+/// BFS hop distances from `source` (`UINT32_MAX` for unreachable nodes).
+std::vector<std::uint32_t> BfsDistances(const Graph& graph, NodeId source);
+
+/// Graph diameter estimated by a double-sweep BFS (exact on trees; a lower
+/// bound in general). Requires a connected, non-empty graph.
+std::uint32_t ApproxDiameter(const Graph& graph);
+
+}  // namespace geer
+
+#endif  // GEER_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,56 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace geer {
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  // Endpoints count as nodes even when the edge itself is dropped (SNAP
+  // files may mention a node only via a self-loop).
+  num_nodes_ = std::max(num_nodes_, static_cast<NodeId>(std::max(u, v) + 1));
+  if (u == v) return;  // Self-loops are not representable.
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+void GraphBuilder::AddEdges(const std::vector<Edge>& edges) {
+  for (const auto& [u, v] : edges) AddEdge(u, v);
+}
+
+Graph GraphBuilder::Build() const {
+  // Deduplicate canonicalized (u < v) edges.
+  std::vector<Edge> unique_edges = edges_;
+  std::sort(unique_edges.begin(), unique_edges.end());
+  unique_edges.erase(std::unique(unique_edges.begin(), unique_edges.end()),
+                     unique_edges.end());
+
+  const std::uint64_t n = num_nodes_;
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  for (const auto& [u, v] : unique_edges) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (std::uint64_t i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
+
+  std::vector<NodeId> neighbors(offsets[n]);
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : unique_edges) {
+    neighbors[cursor[u]++] = v;
+    neighbors[cursor[v]++] = u;
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    std::sort(neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+Graph BuildGraph(NodeId num_nodes, const std::vector<Edge>& edges) {
+  GraphBuilder builder(num_nodes);
+  builder.AddEdges(edges);
+  return builder.Build();
+}
+
+}  // namespace geer

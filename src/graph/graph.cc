@@ -1,0 +1,53 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace geer {
+
+Graph::Graph(std::vector<std::uint64_t> offsets,
+             std::vector<NodeId> neighbors)
+    : num_nodes_(offsets.empty() ? 0 : offsets.size() - 1),
+      offsets_(std::move(offsets)),
+      neighbors_(std::move(neighbors)) {
+  GEER_CHECK(!offsets_.empty()) << "offsets must contain at least one entry";
+  GEER_CHECK_EQ(offsets_.front(), 0u);
+  GEER_CHECK_EQ(offsets_.back(), neighbors_.size());
+  for (std::size_t v = 0; v + 1 < offsets_.size(); ++v) {
+    GEER_CHECK_LE(offsets_[v], offsets_[v + 1]);
+  }
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  GEER_DCHECK(u < num_nodes_);
+  GEER_DCHECK(v < num_nodes_);
+  // Search the smaller adjacency list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto adj = Neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+std::uint64_t Graph::MaxDegree() const {
+  std::uint64_t best = 0;
+  for (NodeId v = 0; v < NumNodes(); ++v) best = std::max(best, Degree(v));
+  return best;
+}
+
+std::uint64_t Graph::MinDegree() const {
+  if (NumNodes() == 0) return 0;
+  std::uint64_t best = Degree(0);
+  for (NodeId v = 1; v < NumNodes(); ++v) best = std::min(best, Degree(v));
+  return best;
+}
+
+std::vector<Edge> Graph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(NumEdges());
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    for (NodeId v : Neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+}  // namespace geer

@@ -1,0 +1,106 @@
+// Immutable compressed-sparse-row (CSR) representation of an undirected,
+// unweighted graph — the substrate every estimator in this library runs on.
+//
+// The paper (Yang & Tang, SIGMOD'23) assumes the input graph is connected
+// and non-bipartite so the random-walk matrix P = D^{-1} A is ergodic;
+// `Graph` itself stores any simple undirected graph and the checks live in
+// graph/algorithms.h so callers can normalize inputs explicitly.
+
+#ifndef GEER_GRAPH_GRAPH_H_
+#define GEER_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace geer {
+
+/// Node identifier. Nodes are dense integers in [0, NumNodes()).
+using NodeId = std::uint32_t;
+
+/// An undirected edge as an (unordered) pair of endpoints.
+using Edge = std::pair<NodeId, NodeId>;
+
+/// Immutable undirected, unweighted graph in CSR form.
+///
+/// Each undirected edge {u, v} is stored twice (u→v and v→u); NumEdges()
+/// reports the number of *undirected* edges m, matching the paper's m.
+/// Self-loops and parallel edges are disallowed; use GraphBuilder to
+/// normalize raw edge lists.
+class Graph {
+ public:
+  /// An empty graph with zero nodes.
+  Graph() = default;
+
+  /// Constructs from prebuilt CSR arrays. `offsets` has n+1 entries;
+  /// `neighbors[offsets[v]..offsets[v+1])` is the sorted adjacency of v.
+  /// Prefer GraphBuilder which validates and normalizes inputs.
+  Graph(std::vector<std::uint64_t> offsets, std::vector<NodeId> neighbors);
+
+  /// Number of nodes n.
+  NodeId NumNodes() const { return static_cast<NodeId>(num_nodes_); }
+
+  /// Number of undirected edges m.
+  std::uint64_t NumEdges() const { return neighbors_.size() / 2; }
+
+  /// Number of directed arcs (2m).
+  std::uint64_t NumArcs() const { return neighbors_.size(); }
+
+  /// Degree of node v.
+  std::uint64_t Degree(NodeId v) const {
+    GEER_DCHECK(v < num_nodes_);
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Sorted neighbor list of node v.
+  std::span<const NodeId> Neighbors(NodeId v) const {
+    GEER_DCHECK(v < num_nodes_);
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  /// The k-th neighbor of v (0-based), used by walk samplers to avoid
+  /// constructing a span on the hot path.
+  NodeId NeighborAt(NodeId v, std::uint64_t k) const {
+    GEER_DCHECK(v < num_nodes_);
+    GEER_DCHECK(k < Degree(v));
+    return neighbors_[offsets_[v] + k];
+  }
+
+  /// True iff the undirected edge {u, v} exists. O(log d(u)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Average degree 2m/n (0 for the empty graph).
+  double AverageDegree() const {
+    return num_nodes_ == 0
+               ? 0.0
+               : static_cast<double>(NumArcs()) / static_cast<double>(num_nodes_);
+  }
+
+  /// Maximum degree over all nodes (0 for the empty graph).
+  std::uint64_t MaxDegree() const;
+
+  /// Minimum degree over all nodes (0 for the empty graph).
+  std::uint64_t MinDegree() const;
+
+  /// All undirected edges with u < v, in lexicographic order.
+  std::vector<Edge> Edges() const;
+
+  /// Raw CSR offsets (n+1 entries), for linear-algebra kernels.
+  const std::vector<std::uint64_t>& Offsets() const { return offsets_; }
+
+  /// Raw CSR adjacency array (2m entries), for linear-algebra kernels.
+  const std::vector<NodeId>& NeighborArray() const { return neighbors_; }
+
+ private:
+  std::uint64_t num_nodes_ = 0;
+  std::vector<std::uint64_t> offsets_ = {0};
+  std::vector<NodeId> neighbors_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_GRAPH_GRAPH_H_

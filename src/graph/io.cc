@@ -1,0 +1,63 @@
+#include "graph/io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "graph/builder.h"
+
+namespace geer {
+namespace {
+
+std::optional<Graph> ParseStream(std::istream& in) {
+  GraphBuilder builder;
+  std::unordered_map<std::uint64_t, NodeId> remap;
+  auto intern = [&remap](std::uint64_t raw) {
+    auto [it, inserted] =
+        remap.emplace(raw, static_cast<NodeId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    // Skip blank lines and SNAP '#' comments.
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    std::uint64_t u_raw = 0;
+    std::uint64_t v_raw = 0;
+    if (!(fields >> u_raw >> v_raw)) return std::nullopt;
+    builder.AddEdge(intern(u_raw), intern(v_raw));
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+std::optional<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ParseStream(in);
+}
+
+std::optional<Graph> ParseEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  return ParseStream(in);
+}
+
+bool SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# geer edge list: " << graph.NumNodes() << " nodes, "
+      << graph.NumEdges() << " edges\n";
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    for (NodeId v : graph.Neighbors(u)) {
+      if (u < v) out << u << '\t' << v << '\n';
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace geer

@@ -1,0 +1,30 @@
+// Edge-list IO in the SNAP text format used by the paper's datasets:
+// one "u v" pair per line, '#' comment lines ignored, arbitrary ids
+// remapped to a dense [0, n) range.
+
+#ifndef GEER_GRAPH_IO_H_
+#define GEER_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace geer {
+
+/// Loads an undirected graph from a SNAP-style edge list. Node ids are
+/// remapped densely in first-appearance order; duplicate edges and
+/// self-loops are normalized away. Returns std::nullopt if the file cannot
+/// be opened or contains a malformed line.
+std::optional<Graph> LoadEdgeList(const std::string& path);
+
+/// Parses a SNAP-style edge list from an in-memory string (for tests).
+std::optional<Graph> ParseEdgeList(const std::string& text);
+
+/// Writes `graph` as a SNAP-style edge list (one undirected edge per line,
+/// u < v). Returns false on IO failure.
+bool SaveEdgeList(const Graph& graph, const std::string& path);
+
+}  // namespace geer
+
+#endif  // GEER_GRAPH_IO_H_

@@ -1,0 +1,49 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace geer {
+
+std::optional<CholeskyFactor> CholeskyFactor::Factorize(const Matrix& m) {
+  GEER_CHECK_EQ(m.Rows(), m.Cols());
+  const std::size_t n = m.Rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = m(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return std::nullopt;
+    const double pivot = std::sqrt(diag);
+    l(j, j) = pivot;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = m(i, j);
+      const double* li = l.Row(i);
+      const double* lj = l.Row(j);
+      for (std::size_t k = 0; k < j; ++k) acc -= li[k] * lj[k];
+      l(i, j) = acc / pivot;
+    }
+  }
+  return CholeskyFactor(std::move(l));
+}
+
+Vector CholeskyFactor::Solve(const Vector& b) const {
+  const std::size_t n = Dim();
+  GEER_CHECK_EQ(b.size(), n);
+  // Forward: L y = b.
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    const double* li = l_.Row(i);
+    for (std::size_t k = 0; k < i; ++k) acc -= li[k] * y[k];
+    y[i] = acc / li[i];
+  }
+  // Backward: Lᵀ x = y.
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace geer

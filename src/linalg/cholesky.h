@@ -1,0 +1,33 @@
+// Dense Cholesky factorization for symmetric positive-definite systems.
+// Used by the EXACT baseline: r(s,t) = (e_s−e_t)ᵀ M⁻¹ (e_s−e_t) with
+// M = L + (1/n)𝟙𝟙ᵀ, which is SPD for connected graphs.
+
+#ifndef GEER_LINALG_CHOLESKY_H_
+#define GEER_LINALG_CHOLESKY_H_
+
+#include <optional>
+
+#include "linalg/dense.h"
+
+namespace geer {
+
+/// Lower-triangular Cholesky factor of an SPD matrix; solves M x = b.
+class CholeskyFactor {
+ public:
+  /// Factorizes `m` (must be symmetric). Returns std::nullopt if a
+  /// non-positive pivot is met (matrix not positive definite).
+  static std::optional<CholeskyFactor> Factorize(const Matrix& m);
+
+  /// Solves M x = b via forward + backward substitution.
+  Vector Solve(const Vector& b) const;
+
+  std::size_t Dim() const { return l_.Rows(); }
+
+ private:
+  explicit CholeskyFactor(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_LINALG_CHOLESKY_H_

@@ -1,0 +1,80 @@
+#include "linalg/jacobi_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace geer {
+
+EigenDecomposition JacobiEigenSolve(const Matrix& m, double tol,
+                                    int max_sweeps) {
+  GEER_CHECK_EQ(m.Rows(), m.Cols());
+  const std::size_t n = m.Rows();
+  Matrix a = m;
+  Matrix v(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  auto off_diagonal_norm = [&a, n]() {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) acc += a(i, j) * a(i, j);
+    }
+    return std::sqrt(2.0 * acc);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= tol) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double cos_r = 1.0 / std::sqrt(t * t + 1.0);
+        const double sin_r = t * cos_r;
+        // Rotate rows/columns p and q of A.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = cos_r * akp - sin_r * akq;
+          a(k, q) = sin_r * akp + cos_r * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = cos_r * apk - sin_r * aqk;
+          a(q, k) = sin_r * apk + cos_r * aqk;
+        }
+        // Accumulate the rotation into V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = cos_r * vkp - sin_r * vkq;
+          v(k, q) = sin_r * vkp + cos_r * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs ascending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&a](std::size_t i, std::size_t j) { return a(i, i) < a(j, j); });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = a(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.eigenvectors(i, j) = v(i, order[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace geer

@@ -1,0 +1,27 @@
+// Dense symmetric eigensolver (cyclic Jacobi rotations). O(n³)-per-sweep;
+// used as the ground-truth oracle for the Lanczos spectral bounds and by
+// tests. Not intended for large n.
+
+#ifndef GEER_LINALG_JACOBI_EIGEN_H_
+#define GEER_LINALG_JACOBI_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/dense.h"
+
+namespace geer {
+
+/// Full eigendecomposition of a symmetric matrix.
+struct EigenDecomposition {
+  Vector eigenvalues;   ///< ascending order
+  Matrix eigenvectors;  ///< column j pairs with eigenvalues[j]
+};
+
+/// Computes all eigenvalues/vectors of symmetric `m` by cyclic Jacobi.
+/// `tol` bounds the off-diagonal Frobenius mass at convergence.
+EigenDecomposition JacobiEigenSolve(const Matrix& m, double tol = 1e-12,
+                                    int max_sweeps = 100);
+
+}  // namespace geer
+
+#endif  // GEER_LINALG_JACOBI_EIGEN_H_

@@ -1,0 +1,43 @@
+// Lanczos iteration with full reorthogonalization for extreme eigenvalues
+// of a symmetric operator. This replaces the paper's ARPACK dependency for
+// the λ = max(|λ₂|, |λ_n|) preprocessing step (§3.1).
+
+#ifndef GEER_LINALG_LANCZOS_H_
+#define GEER_LINALG_LANCZOS_H_
+
+#include <functional>
+#include <vector>
+
+#include "linalg/dense.h"
+
+namespace geer {
+
+/// Options controlling the Lanczos run.
+struct LanczosOptions {
+  int max_iterations = 200;   ///< Krylov dimension cap
+  double tolerance = 1e-10;   ///< residual/beta breakdown tolerance
+  std::uint64_t seed = 42;    ///< deterministic start vector
+};
+
+/// Result: extreme Ritz values of the operator restricted to the subspace
+/// orthogonal to the supplied deflation vectors.
+struct LanczosResult {
+  double max_eigenvalue = 0.0;  ///< largest Ritz value
+  double min_eigenvalue = 0.0;  ///< smallest Ritz value
+  int iterations = 0;           ///< Krylov dimension actually built
+  bool converged = false;
+};
+
+/// Runs Lanczos on the symmetric operator `apply` (y ← Op·x) of dimension
+/// `dim`, deflating the (orthonormal) vectors in `deflate` — pass the
+/// known top eigenvector to expose λ₂. Full reorthogonalization keeps the
+/// basis numerically orthogonal; fine for the ≤ few-hundred iterations the
+/// spectral preprocessing needs.
+LanczosResult LanczosExtremeEigenvalues(
+    const std::function<void(const Vector&, Vector*)>& apply,
+    std::size_t dim, const std::vector<Vector>& deflate,
+    const LanczosOptions& options = {});
+
+}  // namespace geer
+
+#endif  // GEER_LINALG_LANCZOS_H_

@@ -1,0 +1,99 @@
+#include "linalg/laplacian_solver.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace geer {
+
+LaplacianSolver::LaplacianSolver(const Graph& graph, Options options)
+    : graph_(&graph), options_(options), inv_degree_(graph.NumNodes(), 0.0) {
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    const std::uint64_t d = graph.Degree(v);
+    GEER_CHECK(d > 0) << "isolated node " << v
+                      << " — Laplacian solver requires a connected graph";
+    inv_degree_[v] = 1.0 / static_cast<double>(d);
+  }
+}
+
+void LaplacianSolver::ApplyLaplacian(const Vector& x, Vector* y) const {
+  const NodeId n = graph_->NumNodes();
+  GEER_CHECK_EQ(x.size(), static_cast<std::size_t>(n));
+  y->assign(n, 0.0);
+  const auto& offsets = graph_->Offsets();
+  const auto& adj = graph_->NeighborArray();
+  for (NodeId u = 0; u < n; ++u) {
+    double acc = 0.0;
+    for (std::uint64_t k = offsets[u]; k < offsets[u + 1]; ++k) {
+      acc += x[adj[k]];
+    }
+    const double d = static_cast<double>(offsets[u + 1] - offsets[u]);
+    (*y)[u] = d * x[u] - acc;
+  }
+}
+
+Vector LaplacianSolver::Solve(const Vector& b, CgStats* stats) const {
+  const NodeId n = graph_->NumNodes();
+  GEER_CHECK_EQ(b.size(), static_cast<std::size_t>(n));
+
+  Vector rhs = b;
+  RemoveMean(&rhs);
+  const double b_norm = Norm2(rhs);
+  Vector x(n, 0.0);
+  if (b_norm == 0.0) {
+    if (stats != nullptr) *stats = {0, 0.0, true};
+    return x;
+  }
+
+  Vector r = rhs;  // residual (x = 0 start)
+  Vector z(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) z[v] = inv_degree_[v] * r[v];
+  RemoveMean(&z);
+  Vector p = z;
+  Vector ap(n, 0.0);
+  double rz = Dot(r, z);
+
+  CgStats local;
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    ApplyLaplacian(p, &ap);
+    const double p_ap = Dot(p, ap);
+    if (p_ap <= 0.0) break;  // numerical breakdown (p in kernel)
+    const double alpha = rz / p_ap;
+    Axpy(alpha, p, &x);
+    Axpy(-alpha, ap, &r);
+    // Keep iterates in 𝟙^⊥ against floating-point drift.
+    RemoveMean(&r);
+    local.iterations = iter + 1;
+    local.residual_norm = Norm2(r);
+    if (local.residual_norm <= options_.tolerance * b_norm) {
+      local.converged = true;
+      break;
+    }
+    for (NodeId v = 0; v < n; ++v) z[v] = inv_degree_[v] * r[v];
+    RemoveMean(&z);
+    const double rz_next = Dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (NodeId v = 0; v < n; ++v) p[v] = z[v] + beta * p[v];
+  }
+  RemoveMean(&x);
+  if (stats != nullptr) *stats = local;
+  return x;
+}
+
+double LaplacianSolver::EffectiveResistance(NodeId s, NodeId t,
+                                            CgStats* stats) const {
+  GEER_CHECK(s < graph_->NumNodes());
+  GEER_CHECK(t < graph_->NumNodes());
+  if (s == t) {
+    if (stats != nullptr) *stats = {0, 0.0, true};
+    return 0.0;
+  }
+  Vector b(graph_->NumNodes(), 0.0);
+  b[s] = 1.0;
+  b[t] = -1.0;
+  Vector x = Solve(b, stats);
+  return x[s] - x[t];
+}
+
+}  // namespace geer

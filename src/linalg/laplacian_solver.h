@@ -1,0 +1,55 @@
+// Jacobi-preconditioned conjugate gradient for graph Laplacian systems
+// L x = b with b ⊥ 𝟙. Substrate for the RP baseline (Spielman–Srivastava
+// random projection) and the high-accuracy ground-truth pipeline.
+
+#ifndef GEER_LINALG_LAPLACIAN_SOLVER_H_
+#define GEER_LINALG_LAPLACIAN_SOLVER_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "linalg/dense.h"
+
+namespace geer {
+
+/// CG convergence report.
+struct CgStats {
+  int iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+};
+
+/// Solves connected-graph Laplacian systems. The Laplacian is singular
+/// with kernel span{𝟙}; both b and the iterates are projected onto 𝟙^⊥,
+/// making CG well-defined and returning the minimum-norm solution L† b.
+class LaplacianSolver {
+ public:
+  struct Options {
+    int max_iterations = 10000;
+    double tolerance = 1e-10;  ///< relative residual ‖r‖/‖b‖
+  };
+
+  explicit LaplacianSolver(const Graph& graph)
+      : LaplacianSolver(graph, Options()) {}
+  LaplacianSolver(const Graph& graph, Options options);
+
+  /// Solves L x = b. `b` is projected onto 𝟙^⊥ internally (the component
+  /// along 𝟙 is unsolvable and irrelevant to ER queries).
+  Vector Solve(const Vector& b, CgStats* stats = nullptr) const;
+
+  /// Effective resistance via two CG solves worth of work:
+  /// r(s,t) = (e_s − e_t)ᵀ L† (e_s − e_t) with b = e_s − e_t.
+  double EffectiveResistance(NodeId s, NodeId t, CgStats* stats = nullptr) const;
+
+  /// y ← L·x (L = D − A), dense.
+  void ApplyLaplacian(const Vector& x, Vector* y) const;
+
+ private:
+  const Graph* graph_;
+  Options options_;
+  Vector inv_degree_;  // Jacobi preconditioner diag(D)^{-1}
+};
+
+}  // namespace geer
+
+#endif  // GEER_LINALG_LAPLACIAN_SOLVER_H_

@@ -1,0 +1,63 @@
+#include "linalg/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/jacobi_eigen.h"
+#include "linalg/lanczos.h"
+#include "linalg/transition.h"
+#include "util/check.h"
+
+namespace geer {
+namespace {
+
+double ClampLambda(double lambda2, double lambda_n, double floor_gap) {
+  const double raw = std::max(std::abs(lambda2), std::abs(lambda_n));
+  return std::clamp(raw, 0.0, 1.0 - floor_gap);
+}
+
+}  // namespace
+
+SpectralBounds ComputeSpectralBounds(const Graph& graph,
+                                     const SpectralOptions& options) {
+  GEER_CHECK_GE(graph.NumNodes(), 2u);
+  NormalizedAdjacencyOperator op(graph);
+  LanczosOptions lopt;
+  lopt.max_iterations = options.max_iterations;
+  lopt.tolerance = options.tolerance;
+  lopt.seed = options.seed;
+  auto apply = [&op](const Vector& x, Vector* y) { op.Apply(x, y); };
+  LanczosResult res = LanczosExtremeEigenvalues(
+      apply, op.Dim(), {op.TopEigenvector()}, lopt);
+
+  SpectralBounds out;
+  out.lambda2 = std::min(res.max_eigenvalue, 1.0);
+  out.lambda_n = std::max(res.min_eigenvalue, -1.0);
+  out.lambda = ClampLambda(out.lambda2, out.lambda_n, options.floor_gap);
+  out.lanczos_iterations = res.iterations;
+  return out;
+}
+
+SpectralBounds ComputeSpectralBoundsDense(const Graph& graph) {
+  const NodeId n = graph.NumNodes();
+  GEER_CHECK_GE(n, 2u);
+  GEER_CHECK_LE(n, 4096u) << "dense spectral oracle limited to small graphs";
+  Matrix normalized(n, n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    const double du = static_cast<double>(graph.Degree(u));
+    GEER_CHECK(du > 0.0);
+    for (NodeId v : graph.Neighbors(u)) {
+      const double dv = static_cast<double>(graph.Degree(v));
+      normalized(u, v) = 1.0 / std::sqrt(du * dv);
+    }
+  }
+  EigenDecomposition eig = JacobiEigenSolve(normalized);
+  SpectralBounds out;
+  const std::size_t count = eig.eigenvalues.size();
+  out.lambda_n = eig.eigenvalues.front();
+  out.lambda2 = count >= 2 ? eig.eigenvalues[count - 2] : out.lambda_n;
+  out.lambda = ClampLambda(out.lambda2, out.lambda_n, 1e-12);
+  return out;
+}
+
+}  // namespace geer

@@ -1,0 +1,42 @@
+// Spectral preprocessing (paper §3.1): compute λ = max(|λ₂|, |λ_n|) of the
+// transition matrix P once per graph; it parameterizes the maximum walk
+// lengths of Eq. (5) and Eq. (6). P is similar to the symmetric
+// N = D^{-1/2} A D^{-1/2}, so Lanczos on N (with the known top eigenvector
+// deflated) yields λ₂ and λ_n exactly as the paper's ARPACK setup does.
+
+#ifndef GEER_LINALG_SPECTRAL_H_
+#define GEER_LINALG_SPECTRAL_H_
+
+#include "graph/graph.h"
+
+namespace geer {
+
+/// The spectral quantities reused across all queries on a graph.
+struct SpectralBounds {
+  double lambda2 = 0.0;   ///< second-largest eigenvalue of P
+  double lambda_n = 0.0;  ///< smallest eigenvalue of P
+  double lambda = 0.0;    ///< max(|λ₂|, |λ_n|), clamped into [0, 1)
+  int lanczos_iterations = 0;
+};
+
+struct SpectralOptions {
+  int max_iterations = 300;
+  double tolerance = 1e-10;
+  std::uint64_t seed = 42;
+  /// Safety margin: λ is clamped to ≤ 1 − `floor_gap` so the walk-length
+  /// formulas stay finite even if Lanczos slightly overshoots.
+  double floor_gap = 1e-9;
+};
+
+/// Computes λ₂, λ_n and λ for a connected graph. Non-bipartite inputs get
+/// λ < 1; bipartite inputs report λ_n = −1 (the caller should reject them
+/// for walk-based estimators, or run EnsureNonBipartite first).
+SpectralBounds ComputeSpectralBounds(const Graph& graph,
+                                     const SpectralOptions& options = {});
+
+/// Exact (dense Jacobi) spectral bounds for small graphs; test oracle.
+SpectralBounds ComputeSpectralBoundsDense(const Graph& graph);
+
+}  // namespace geer
+
+#endif  // GEER_LINALG_SPECTRAL_H_

@@ -1,0 +1,91 @@
+// The random-walk (transition) operator P = D^{-1} A applied to vectors,
+// with two execution modes:
+//
+//  * sparse "scatter" mode — iterates only the support of x; cost
+//    proportional to Σ_{v∈supp(x)} d(v), exactly the cost model GEER's
+//    greedy switch rule (Eq. 17) charges per SMM iteration;
+//  * dense "gather" mode — one cache-friendly sweep over the CSR arrays,
+//    the mode the paper credits for SMM's locality on saturated iterates.
+//
+// ApplyAuto picks the mode from the support size, and reports the support
+// degree-sum the greedy rule needs — so GEER never pays an extra pass.
+
+#ifndef GEER_LINALG_TRANSITION_H_
+#define GEER_LINALG_TRANSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/dense.h"
+
+namespace geer {
+
+/// Applies P = D^{-1}A. Stateless w.r.t. queries; owns scratch buffers so
+/// repeated applications do not allocate.
+class TransitionOperator {
+ public:
+  explicit TransitionOperator(const Graph& graph);
+
+  /// A vector together with its support (list of indices of non-zeros).
+  /// The support list may over-approximate (contain zero entries) but
+  /// never misses a non-zero.
+  struct SparseVector {
+    Vector values;                  ///< dense storage, length n
+    std::vector<NodeId> support;    ///< indices with (possibly) non-zero value
+    bool dense = false;             ///< true once support tracking stopped
+
+    /// Σ_{v∈supp} d(v): the paper's per-iteration SMM cost (Eq. 17 LHS).
+    std::uint64_t support_degree_sum = 0;
+
+    /// Initializes to the one-hot vector e_v.
+    void InitOneHot(NodeId v, const Graph& graph);
+  };
+
+  /// x ← P·x, choosing scatter vs gather from x's density, updating the
+  /// support metadata. Returns the number of arc traversals performed.
+  std::uint64_t ApplyAuto(SparseVector* x);
+
+  /// Dense gather: y(u) = (1/d(u)) Σ_{v∈N(u)} x(v). Always touches all 2m
+  /// arcs. `y` is resized to n.
+  void ApplyDense(const Vector& x, Vector* y) const;
+
+  /// Fraction of nodes in the support above which ApplyAuto switches to
+  /// dense mode permanently.
+  static constexpr double kDenseThreshold = 0.25;
+
+  const Graph& graph() const { return *graph_; }
+
+ private:
+  // Scatter from the support of x into scratch_, producing the new support.
+  void ApplySparse(SparseVector* x);
+
+  const Graph* graph_;
+  Vector scratch_;
+  std::vector<NodeId> touched_;
+  std::vector<char> touched_flag_;
+};
+
+/// Applies the symmetrically normalized adjacency N = D^{-1/2} A D^{-1/2}
+/// (similar to P, hence same spectrum) — the operator Lanczos runs on.
+class NormalizedAdjacencyOperator {
+ public:
+  explicit NormalizedAdjacencyOperator(const Graph& graph);
+
+  /// y ← N·x (dense).
+  void Apply(const Vector& x, Vector* y) const;
+
+  std::size_t Dim() const { return inv_sqrt_degree_.size(); }
+
+  /// The known top eigenvector of N: entries ∝ √d(v), unit-normalized.
+  const Vector& TopEigenvector() const { return top_eigenvector_; }
+
+ private:
+  const Graph* graph_;
+  Vector inv_sqrt_degree_;
+  Vector top_eigenvector_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_LINALG_TRANSITION_H_

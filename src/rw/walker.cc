@@ -1,0 +1,56 @@
+#include "rw/walker.h"
+
+namespace geer {
+
+NodeId Walker::WalkEndpoint(NodeId source, std::uint32_t length,
+                            Rng& rng) const {
+  NodeId cur = source;
+  for (std::uint32_t i = 0; i < length; ++i) cur = Step(cur, rng);
+  return cur;
+}
+
+void Walker::WalkPath(NodeId source, std::uint32_t length, Rng& rng,
+                      std::vector<NodeId>* out) const {
+  out->clear();
+  out->reserve(length);
+  NodeId cur = source;
+  for (std::uint32_t i = 0; i < length; ++i) {
+    cur = Step(cur, rng);
+    out->push_back(cur);
+  }
+}
+
+Walker::Absorption Walker::EscapeTrial(NodeId source, NodeId target,
+                                       std::uint64_t max_steps,
+                                       Rng& rng) const {
+  GEER_DCHECK(source != target);
+  NodeId cur = Step(source, rng);
+  for (std::uint64_t step = 1; step <= max_steps; ++step) {
+    if (cur == target) return Absorption::kHitTarget;
+    if (cur == source) return Absorption::kReturned;
+    cur = Step(cur, rng);
+  }
+  return Absorption::kStepLimit;
+}
+
+Walker::FirstVisit Walker::FirstVisitTrial(NodeId source, NodeId target,
+                                           std::uint64_t max_steps,
+                                           Rng& rng) const {
+  GEER_DCHECK(source != target);
+  FirstVisit result;
+  NodeId prev = source;
+  NodeId cur = Step(source, rng);
+  while (result.steps < max_steps) {
+    ++result.steps;
+    if (cur == target) {
+      result.hit = true;
+      result.used_direct_edge = (prev == source);
+      return result;
+    }
+    prev = cur;
+    cur = Step(cur, rng);
+  }
+  return result;
+}
+
+}  // namespace geer

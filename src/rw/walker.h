@@ -1,0 +1,74 @@
+// Random-walk samplers. A "simple random walk" moves from the current
+// node v to a uniformly random neighbor of v (transition matrix
+// P = D^{-1} A). These samplers are the Monte Carlo substrate for MC,
+// MC2, TP, TPC, AMC and GEER.
+
+#ifndef GEER_RW_WALKER_H_
+#define GEER_RW_WALKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "rw/rng.h"
+
+namespace geer {
+
+/// Samples simple random walks over a fixed graph.
+class Walker {
+ public:
+  explicit Walker(const Graph& graph) : graph_(&graph) {}
+
+  /// One walk step: a uniformly random neighbor of `v`. `v` must have
+  /// positive degree.
+  NodeId Step(NodeId v, Rng& rng) const {
+    const std::uint64_t d = graph_->Degree(v);
+    GEER_DCHECK(d > 0);
+    return graph_->NeighborAt(v, rng.NextBounded(d));
+  }
+
+  /// The node reached by a length-`length` walk from `source`.
+  NodeId WalkEndpoint(NodeId source, std::uint32_t length, Rng& rng) const;
+
+  /// The full node sequence visited by a length-`length` walk from
+  /// `source`, positions 1..length (the start node is NOT included,
+  /// matching the walk-sum convention of Lemma 3.3). Appends into `out`
+  /// (cleared first) to let callers reuse the buffer.
+  void WalkPath(NodeId source, std::uint32_t length, Rng& rng,
+                std::vector<NodeId>* out) const;
+
+  /// Outcome of an absorbing walk used by the MC baseline.
+  enum class Absorption {
+    kHitTarget,      ///< reached `target` before returning to `source`
+    kReturned,       ///< returned to `source` before reaching `target`
+    kStepLimit,      ///< exceeded `max_steps` (treated as a failed trial)
+  };
+
+  /// Walks from `source` (first step mandatory) until it either returns to
+  /// `source` or reaches `target`. The escape probability
+  /// Pr[hit target first] equals 1/(d(source)·r(source,target)).
+  Absorption EscapeTrial(NodeId source, NodeId target,
+                         std::uint64_t max_steps, Rng& rng) const;
+
+  /// Result of a first-visit trial used by the MC2 baseline.
+  struct FirstVisit {
+    bool used_direct_edge = false;  ///< first arrival at target came via
+                                    ///< the direct source→target edge
+    bool hit = false;               ///< target reached within max_steps
+    std::uint64_t steps = 0;        ///< steps taken
+  };
+
+  /// Walks from `source` until the first visit to `target` (or
+  /// `max_steps`), reporting whether that first arrival used the edge
+  /// (source, target) — the event whose probability equals r(source,target)
+  /// for (source,target) ∈ E.
+  FirstVisit FirstVisitTrial(NodeId source, NodeId target,
+                             std::uint64_t max_steps, Rng& rng) const;
+
+ private:
+  const Graph* graph_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_RW_WALKER_H_

@@ -1,0 +1,35 @@
+// Wilson's algorithm: exact uniform spanning tree (UST) sampling via
+// loop-erased random walks. Substrate for the HAY baseline (Hayashi et
+// al.), which uses Pr[e ∈ UST] = r(e) for edges e.
+
+#ifndef GEER_RW_WILSON_H_
+#define GEER_RW_WILSON_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "rw/rng.h"
+
+namespace geer {
+
+/// A spanning tree represented by a parent pointer per node; the root's
+/// parent is itself.
+struct SpanningTree {
+  NodeId root = 0;
+  std::vector<NodeId> parent;
+
+  /// True iff the undirected edge {u, v} is a tree edge.
+  bool ContainsEdge(NodeId u, NodeId v) const {
+    return parent[u] == v || parent[v] == u;
+  }
+};
+
+/// Samples a uniformly random spanning tree of the (connected) graph
+/// rooted at `root` using Wilson's loop-erased random-walk algorithm.
+/// Expected time O(mean hitting time).
+SpanningTree SampleUniformSpanningTree(const Graph& graph, NodeId root,
+                                       Rng& rng);
+
+}  // namespace geer
+
+#endif  // GEER_RW_WILSON_H_

@@ -1,0 +1,161 @@
+#include "sparsify/spectral_sparsifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "linalg/dense.h"
+#include "linalg/laplacian_solver.h"
+#include "rw/rng.h"
+#include "util/check.h"
+#include "weighted/weighted_laplacian.h"
+
+namespace geer {
+namespace {
+
+struct WeightedEdgeRef {
+  NodeId u;
+  NodeId v;
+  double weight;
+};
+
+WeightedGraph SampleSparsifier(NodeId num_nodes,
+                               const std::vector<WeightedEdgeRef>& edges,
+                               std::span<const double> edge_er,
+                               const SparsifierOptions& options) {
+  GEER_CHECK_EQ(edges.size(), edge_er.size())
+      << "one ER value per edge required";
+  GEER_CHECK(options.epsilon > 0.0);
+
+  // Leverage-score sampling distribution p_e ∝ w_e·r(e). Negative or NaN
+  // ER estimates (possible from randomized estimators at loose ε) are
+  // floored: every edge keeps a tiny escape probability so connectivity
+  // is never structurally impossible.
+  std::vector<double> cumulative(edges.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const double r = edge_er[e];
+    const double score =
+        std::isfinite(r) ? std::max(r, 1e-12) * edges[e].weight : 1e-12;
+    total += score;
+    cumulative[e] = total;
+  }
+  GEER_CHECK_GT(total, 0.0);
+
+  const std::uint64_t q = options.samples > 0
+                              ? options.samples
+                              : SparsifierSampleCount(num_nodes, options);
+  Rng rng(options.seed ^ 0x5a4c1f1e2d3b4a59ULL);
+  WeightedGraphBuilder builder(num_nodes);
+  const double inv_q = 1.0 / static_cast<double>(q);
+  for (std::uint64_t i = 0; i < q; ++i) {
+    const double u = rng.NextDouble() * total;
+    const std::size_t e = static_cast<std::size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+        cumulative.begin());
+    const std::size_t idx = std::min(e, edges.size() - 1);
+    const double p = (cumulative[idx] - (idx == 0 ? 0.0 : cumulative[idx - 1])) /
+                     total;
+    builder.AddEdge(edges[idx].u, edges[idx].v,
+                    edges[idx].weight * inv_q / p);
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+std::uint64_t SparsifierSampleCount(NodeId num_nodes,
+                                    const SparsifierOptions& options) {
+  const double n = std::max<double>(num_nodes, 2.0);
+  const double q = options.oversample * 9.0 * n * std::log(n) /
+                   (options.epsilon * options.epsilon);
+  return static_cast<std::uint64_t>(std::ceil(std::max(q, 1.0)));
+}
+
+WeightedGraph SparsifyByEffectiveResistance(const Graph& graph,
+                                            std::span<const double> edge_er,
+                                            const SparsifierOptions& options) {
+  std::vector<WeightedEdgeRef> edges;
+  edges.reserve(graph.NumEdges());
+  for (const auto& [u, v] : graph.Edges()) edges.push_back({u, v, 1.0});
+  return SampleSparsifier(graph.NumNodes(), edges, edge_er, options);
+}
+
+WeightedGraph SparsifyByEffectiveResistance(const WeightedGraph& graph,
+                                            std::span<const double> edge_er,
+                                            const SparsifierOptions& options) {
+  std::vector<WeightedEdgeRef> edges;
+  edges.reserve(graph.NumEdges());
+  for (const auto& e : graph.Edges()) edges.push_back({e.u, e.v, e.weight});
+  return SampleSparsifier(graph.NumNodes(), edges, edge_er, options);
+}
+
+namespace {
+
+template <typename ApplyOriginal>
+SparsifierQuality Evaluate(NodeId num_nodes, std::uint64_t original_edges,
+                           const ApplyOriginal& apply_original,
+                           const WeightedGraph& sparsifier, int probes,
+                           std::uint64_t seed) {
+  GEER_CHECK_EQ(sparsifier.NumNodes(), num_nodes);
+  GEER_CHECK_GT(probes, 0);
+  Rng rng(seed ^ 0x7e57a11ce5b0a7d1ULL);
+  SparsifierQuality quality;
+  quality.kept_edges = sparsifier.NumEdges();
+  quality.kept_fraction =
+      original_edges == 0
+          ? 0.0
+          : static_cast<double>(sparsifier.NumEdges()) /
+                static_cast<double>(original_edges);
+
+  // xᵀL_H x computed edge-wise (works even if H has isolated nodes).
+  const auto edges = sparsifier.Edges();
+  double ratio_sum = 0.0;
+  for (int p = 0; p < probes; ++p) {
+    Vector x(num_nodes);
+    for (auto& v : x) v = rng.NextGaussian();
+    RemoveMean(&x);
+    const double original = apply_original(x);
+    double sparse = 0.0;
+    for (const auto& e : edges) {
+      const double diff = x[e.u] - x[e.v];
+      sparse += e.weight * diff * diff;
+    }
+    const double ratio = sparse / original;
+    ratio_sum += ratio;
+    quality.worst_ratio =
+        std::max(quality.worst_ratio, std::max(ratio, 1.0 / ratio));
+  }
+  quality.mean_ratio = ratio_sum / probes;
+  return quality;
+}
+
+}  // namespace
+
+SparsifierQuality EvaluateSparsifier(const Graph& original,
+                                     const WeightedGraph& sparsifier,
+                                     int probes, std::uint64_t seed) {
+  LaplacianSolver solver(original);
+  auto apply = [&solver](const Vector& x) {
+    Vector lx;
+    solver.ApplyLaplacian(x, &lx);
+    return Dot(x, lx);
+  };
+  return Evaluate(original.NumNodes(), original.NumEdges(), apply,
+                  sparsifier, probes, seed);
+}
+
+SparsifierQuality EvaluateSparsifier(const WeightedGraph& original,
+                                     const WeightedGraph& sparsifier,
+                                     int probes, std::uint64_t seed) {
+  WeightedLaplacianSolver solver(original);
+  auto apply = [&solver](const Vector& x) {
+    Vector lx;
+    solver.ApplyLaplacian(x, &lx);
+    return Dot(x, lx);
+  };
+  return Evaluate(original.NumNodes(), original.NumEdges(), apply,
+                  sparsifier, probes, seed);
+}
+
+}  // namespace geer

@@ -1,0 +1,80 @@
+// Spectral graph sparsification by effective resistances
+// [Spielman & Srivastava, STOC'08] — the flagship application the paper's
+// introduction motivates (building block for cut approximation, max-flow,
+// and Laplacian solvers). Each edge e is sampled with probability
+// p_e ∝ w_e·r(e); q independent samples, each contributing w_e/(q·p_e) to
+// its edge, yield a reweighted subgraph H with
+//     (1−ε) xᵀL_G x ≤ xᵀL_H x ≤ (1+ε) xᵀL_G x   ∀x, w.h.p.
+// when q = O(n log n / ε²). The per-edge ER inputs come from any of the
+// library's estimators; the ErEmbedding's AllEdgeEr() is the natural bulk
+// source.
+
+#ifndef GEER_SPARSIFY_SPECTRAL_SPARSIFIER_H_
+#define GEER_SPARSIFY_SPECTRAL_SPARSIFIER_H_
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.h"
+#include "weighted/weighted_graph.h"
+
+namespace geer {
+
+/// Options for the sampling step.
+struct SparsifierOptions {
+  /// Target quadratic-form distortion ε; drives the sample count
+  /// q = ⌈oversample · 9 n ln n / ε²⌉ when `samples` is 0.
+  double epsilon = 0.5;
+
+  /// Explicit sample count (0 = derive from ε).
+  std::uint64_t samples = 0;
+
+  /// Multiplier on the derived sample count; < 1 trades accuracy for
+  /// sparsity (the ablation axis of the sparsifier bench).
+  double oversample = 1.0;
+
+  /// Sampling seed.
+  std::uint64_t seed = 1;
+};
+
+/// Sparsifies an unweighted graph. `edge_er[i]` is the (approximate)
+/// effective resistance of the i-th edge in Graph::Edges() order. Returns
+/// the reweighted sparsifier H; the builder merges repeated samples by
+/// summing weights. All nodes of `graph` are preserved (possibly
+/// isolated, if none of their edges survive).
+WeightedGraph SparsifyByEffectiveResistance(const Graph& graph,
+                                            std::span<const double> edge_er,
+                                            const SparsifierOptions& options);
+
+/// Weighted variant: sampling probabilities are w_e·r(e) (leverage
+/// scores), `edge_er` in WeightedGraph::Edges() order.
+WeightedGraph SparsifyByEffectiveResistance(const WeightedGraph& graph,
+                                            std::span<const double> edge_er,
+                                            const SparsifierOptions& options);
+
+/// The derived sample count for an n-node graph under `options`.
+std::uint64_t SparsifierSampleCount(NodeId num_nodes,
+                                    const SparsifierOptions& options);
+
+/// Quality report from probing quadratic forms with random vectors.
+struct SparsifierQuality {
+  double worst_ratio = 1.0;  ///< max over probes of max(ratio, 1/ratio)
+  double mean_ratio = 1.0;   ///< mean of xᵀL_H x / xᵀL_G x
+  std::uint64_t kept_edges = 0;
+  double kept_fraction = 0.0;  ///< kept_edges / m
+};
+
+/// Compares xᵀL_H x to xᵀL_G x on `probes` random centered Gaussian
+/// vectors. Deterministic in `seed`.
+SparsifierQuality EvaluateSparsifier(const Graph& original,
+                                     const WeightedGraph& sparsifier,
+                                     int probes, std::uint64_t seed);
+
+/// Weighted-original variant.
+SparsifierQuality EvaluateSparsifier(const WeightedGraph& original,
+                                     const WeightedGraph& sparsifier,
+                                     int probes, std::uint64_t seed);
+
+}  // namespace geer
+
+#endif  // GEER_SPARSIFY_SPECTRAL_SPARSIFIER_H_

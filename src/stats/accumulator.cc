@@ -1,0 +1,14 @@
+#include "stats/accumulator.h"
+
+#include <algorithm>
+
+namespace geer {
+
+void SummaryAccumulator::Add(double v) {
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+  ++count_;
+}
+
+}  // namespace geer

@@ -1,0 +1,94 @@
+// Streaming statistics accumulators.
+
+#ifndef GEER_STATS_ACCUMULATOR_H_
+#define GEER_STATS_ACCUMULATOR_H_
+
+#include <cstdint>
+
+namespace geer {
+
+/// Accumulates mean and (biased, 1/n) empirical variance in one pass using
+/// the Σz / Σz² identity the paper exploits (Alg. 1, lines 8–12). For the
+/// bounded variables AMC feeds it, the cancellation risk of the naive
+/// formula is negligible; `MeanVarWelford` exists for the general case and
+/// the two are cross-checked in tests.
+class MeanVarAccumulator {
+ public:
+  void Add(double z) {
+    sum_ += z;
+    sum_sq_ += z * z;
+    ++count_;
+  }
+
+  void Reset() {
+    sum_ = 0.0;
+    sum_sq_ = 0.0;
+    count_ = 0;
+  }
+
+  std::uint64_t Count() const { return count_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / Count64(); }
+
+  /// Biased empirical variance σ̂² = (Σz²)/n − mean², clamped at 0.
+  double Variance() const {
+    if (count_ == 0) return 0.0;
+    const double mean = Mean();
+    const double var = sum_sq_ / Count64() - mean * mean;
+    return var < 0.0 ? 0.0 : var;
+  }
+
+ private:
+  double Count64() const { return static_cast<double>(count_); }
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// Numerically stable Welford mean/variance (population, 1/n).
+class MeanVarWelford {
+ public:
+  void Add(double z) {
+    ++count_;
+    const double delta = z - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (z - mean_);
+  }
+
+  void Reset() {
+    mean_ = 0.0;
+    m2_ = 0.0;
+    count_ = 0;
+  }
+
+  std::uint64_t Count() const { return count_; }
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double Variance() const {
+    return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+
+ private:
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// Min/max/mean tracker for benchmark summaries.
+class SummaryAccumulator {
+ public:
+  void Add(double v);
+  std::uint64_t Count() const { return count_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+  double Sum() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace geer
+
+#endif  // GEER_STATS_ACCUMULATOR_H_

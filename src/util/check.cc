@@ -1,0 +1,21 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace geer {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "[geer] CHECK failed at %s:%d: %s", file, line, expr);
+  if (!message.empty()) {
+    std::fprintf(stderr, " — %s", message.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace geer

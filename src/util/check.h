@@ -1,0 +1,68 @@
+// Lightweight runtime-check macros used across the library.
+//
+// The library follows a fail-fast contract: violated preconditions abort
+// with a diagnostic instead of propagating exceptions. All macros are
+// active in both debug and release builds; they guard API contracts, not
+// internal invariants on hot paths (use GEER_DCHECK for those).
+
+#ifndef GEER_UTIL_CHECK_H_
+#define GEER_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace geer {
+namespace internal {
+
+// Aborts the process after printing `message` with source location info.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+// Stream-collecting helper so check macros can accept `<<` payloads.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace geer
+
+#define GEER_CHECK(condition)                                       \
+  if (condition) {                                                  \
+  } else                                                            \
+    ::geer::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define GEER_CHECK_EQ(a, b) GEER_CHECK((a) == (b))
+#define GEER_CHECK_NE(a, b) GEER_CHECK((a) != (b))
+#define GEER_CHECK_LT(a, b) GEER_CHECK((a) < (b))
+#define GEER_CHECK_LE(a, b) GEER_CHECK((a) <= (b))
+#define GEER_CHECK_GT(a, b) GEER_CHECK((a) > (b))
+#define GEER_CHECK_GE(a, b) GEER_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define GEER_DCHECK(condition) \
+  if (true) {                  \
+  } else                       \
+    ::geer::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+#else
+#define GEER_DCHECK(condition) GEER_CHECK(condition)
+#endif
+
+#endif  // GEER_UTIL_CHECK_H_

@@ -1,0 +1,52 @@
+#include "util/format.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace geer {
+
+std::string FormatSig(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+std::string FormatMillis(double millis) {
+  char buf[64];
+  if (millis < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", millis);
+  } else if (millis < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", millis);
+  } else if (millis < 6e4) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", millis / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f min", millis / 6e4);
+  }
+  return buf;
+}
+
+std::string FormatCount(std::int64_t value) {
+  std::string raw = std::to_string(value < 0 ? -value : value);
+  std::string out;
+  int count = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (value < 0) out.push_back('-');
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) os << sep;
+    os << parts[i];
+  }
+  return os.str();
+}
+
+}  // namespace geer

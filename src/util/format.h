@@ -1,0 +1,27 @@
+// Small string-formatting helpers shared by the eval harness and benches.
+
+#ifndef GEER_UTIL_FORMAT_H_
+#define GEER_UTIL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace geer {
+
+/// Formats `value` with `digits` significant digits (e.g. 0.00123, 1.23e+06).
+std::string FormatSig(double value, int digits = 4);
+
+/// Formats a duration in milliseconds with an adaptive unit suffix.
+std::string FormatMillis(double millis);
+
+/// Formats an integer with thousands separators ("1,806,067,135").
+std::string FormatCount(std::int64_t value);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace geer
+
+#endif  // GEER_UTIL_FORMAT_H_

@@ -1,0 +1,4 @@
+#include "util/timer.h"
+
+// Header-only; this translation unit exists so the target has a stable
+// object for the module and to catch header self-containment regressions.

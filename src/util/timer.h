@@ -1,0 +1,63 @@
+// Wall-clock timing utilities for the benchmark harnesses.
+
+#ifndef GEER_UTIL_TIMER_H_
+#define GEER_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace geer {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds (the unit the paper reports).
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in integral microseconds.
+  std::int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A soft deadline: benchmark loops poll Expired() to skip configurations
+/// that would run past their budget (mirrors the paper's one-day cutoff).
+class Deadline {
+ public:
+  /// A deadline `budget_seconds` from now. Non-positive budgets never expire.
+  explicit Deadline(double budget_seconds)
+      : budget_seconds_(budget_seconds) {}
+
+  bool Expired() const {
+    return budget_seconds_ > 0.0 && timer_.ElapsedSeconds() > budget_seconds_;
+  }
+
+  double RemainingSeconds() const {
+    if (budget_seconds_ <= 0.0) return 1e30;
+    return budget_seconds_ - timer_.ElapsedSeconds();
+  }
+
+ private:
+  double budget_seconds_;
+  Timer timer_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_UTIL_TIMER_H_

@@ -1,0 +1,88 @@
+#include "weighted/alias.h"
+
+#include <cmath>
+
+namespace geer {
+namespace {
+
+// Shared Vose construction: fills prob/alias slots [base, base+k) from the
+// k weights at `weights` (sum must be positive). Indices stored in `alias`
+// are absolute (base-relative + base) so the flat per-graph layout can
+// reuse the same routine.
+template <typename AliasIndex>
+void BuildVose(std::span<const double> weights, std::size_t base,
+               double* prob, AliasIndex* alias) {
+  const std::size_t k = weights.size();
+  double total = 0.0;
+  for (const double w : weights) {
+    GEER_CHECK(std::isfinite(w) && w >= 0.0)
+        << "alias weight must be non-negative and finite, got " << w;
+    total += w;
+  }
+  GEER_CHECK_GT(total, 0.0) << "alias table needs a positive total weight";
+
+  // Scaled weights: mean 1 per slot.
+  std::vector<double> scaled(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(k) / total;
+  }
+
+  std::vector<std::size_t> small, large;
+  small.reserve(k);
+  large.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    prob[base + s] = scaled[s];
+    alias[base + s] = static_cast<AliasIndex>(base + l);
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Remaining slots are (numerically) exactly 1.
+  for (const std::size_t i : large) {
+    prob[base + i] = 1.0;
+    alias[base + i] = static_cast<AliasIndex>(base + i);
+  }
+  for (const std::size_t i : small) {
+    prob[base + i] = 1.0;
+    alias[base + i] = static_cast<AliasIndex>(base + i);
+  }
+}
+
+}  // namespace
+
+void AliasTable::Build(std::span<const double> weights) {
+  GEER_CHECK(!weights.empty());
+  prob_.assign(weights.size(), 0.0);
+  alias_.assign(weights.size(), 0);
+  BuildVose(weights, 0, prob_.data(), alias_.data());
+}
+
+WeightedWalker::WeightedWalker(const WeightedGraph& graph) : graph_(&graph) {
+  const auto& offsets = graph.Offsets();
+  const auto& weights = graph.WeightArray();
+  prob_.assign(weights.size(), 0.0);
+  alias_.assign(weights.size(), 0);
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    const std::uint64_t off = offsets[v];
+    const std::uint64_t deg = offsets[v + 1] - off;
+    if (deg == 0) continue;  // isolated node: Step() is a caller error
+    BuildVose(std::span<const double>(weights.data() + off, deg), off,
+              prob_.data(), alias_.data());
+  }
+}
+
+NodeId WeightedWalker::WalkEndpoint(NodeId source, std::uint32_t length,
+                                    Rng& rng) const {
+  NodeId cur = source;
+  for (std::uint32_t i = 0; i < length; ++i) cur = Step(cur, rng);
+  return cur;
+}
+
+}  // namespace geer

@@ -1,0 +1,142 @@
+#include "weighted/weighted_amc.h"
+
+#include <cmath>
+
+#include "core/ell.h"
+#include "stats/accumulator.h"
+#include "stats/bounds.h"
+#include "util/check.h"
+#include "weighted/weighted_spectral.h"
+
+namespace geer {
+
+double WeightedAmcPsi(std::uint32_t ell_f, double max1_s, double max2_s,
+                      double strength_s, double max1_t, double max2_t,
+                      double strength_t) {
+  const double half_up = std::ceil(ell_f / 2.0);
+  const double half_down = std::floor(ell_f / 2.0);
+  return 2.0 * half_up * (max1_s / strength_s + max1_t / strength_t) +
+         2.0 * half_down * (max2_s / strength_s + max2_t / strength_t);
+}
+
+AmcRunResult RunWeightedAmc(const WeightedGraph& graph,
+                            const WeightedWalker& walker, NodeId s, NodeId t,
+                            const Vector& svec, const Vector& tvec,
+                            const AmcParams& params, Rng& rng) {
+  GEER_CHECK_NE(s, t);
+  GEER_CHECK_EQ(svec.size(), static_cast<std::size_t>(graph.NumNodes()));
+  GEER_CHECK_EQ(tvec.size(), static_cast<std::size_t>(graph.NumNodes()));
+  GEER_CHECK(params.epsilon > 0.0);
+  GEER_CHECK(params.delta > 0.0 && params.delta < 1.0);
+  GEER_CHECK_GE(params.tau, 1);
+
+  AmcRunResult result;
+  if (params.ell_f == 0) return result;  // q over an empty length range
+
+  const double inv_ws = 1.0 / graph.Strength(s);
+  const double inv_wt = 1.0 / graph.Strength(t);
+
+  const auto [max1_s, max2_s] = TopTwo(svec);
+  const auto [max1_t, max2_t] = TopTwo(tvec);
+  const double psi =
+      WeightedAmcPsi(params.ell_f, max1_s, max2_s, graph.Strength(s), max1_t,
+                     max2_t, graph.Strength(t));
+  result.psi = psi;
+  if (psi <= 0.0) return result;  // |Z_k| ≤ ψ/2 = 0: q is exactly 0
+
+  const std::uint64_t eta_star =
+      AmcMaxSamples(params.epsilon, psi, params.delta, params.tau);
+  result.eta_star = eta_star;
+  const double pow_tau = std::pow(2.0, params.tau - 1);
+  std::uint64_t eta = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(eta_star) / pow_tau));
+  if (eta == 0) eta = 1;
+
+  const double per_batch_delta = params.delta / params.tau;
+  MeanVarAccumulator acc;
+
+  double z_mean = 0.0;
+  for (int batch = 1; batch <= params.tau; ++batch) {
+    acc.Reset();
+    for (std::uint64_t k = 0; k < eta; ++k) {
+      double z = 0.0;
+      NodeId cur = s;
+      for (std::uint32_t step = 0; step < params.ell_f; ++step) {
+        cur = walker.Step(cur, rng);
+        z += svec[cur] * inv_ws - tvec[cur] * inv_wt;
+      }
+      cur = t;
+      for (std::uint32_t step = 0; step < params.ell_f; ++step) {
+        cur = walker.Step(cur, rng);
+        z += tvec[cur] * inv_wt - svec[cur] * inv_ws;
+      }
+      acc.Add(z);
+    }
+    result.walks += 2 * eta;
+    result.steps += 2 * eta * params.ell_f;
+    result.batches = batch;
+    z_mean = acc.Mean();
+    const double bound = EmpiricalBernsteinBound(eta, acc.Variance(), psi,
+                                                 per_batch_delta);
+    if (bound <= params.epsilon / 2.0) {
+      result.early_stop = batch < params.tau;
+      break;
+    }
+    eta *= 2;
+  }
+  result.r_f = z_mean;
+  return result;
+}
+
+WeightedAmcEstimator::WeightedAmcEstimator(const WeightedGraph& graph,
+                                           ErOptions options)
+    : graph_(&graph),
+      options_(options),
+      walker_(graph),
+      svec_(graph.NumNodes(), 0.0),
+      tvec_(graph.NumNodes(), 0.0) {
+  ValidateOptions(options_);
+  lambda_ = options_.lambda.has_value()
+                ? *options_.lambda
+                : ComputeWeightedSpectralBounds(graph).lambda;
+}
+
+QueryStats WeightedAmcEstimator::EstimateWithStats(NodeId s, NodeId t) {
+  GEER_CHECK(s < graph_->NumNodes());
+  GEER_CHECK(t < graph_->NumNodes());
+  QueryStats stats;
+  if (s == t) return stats;
+
+  const double ws = graph_->Strength(s);
+  const double wt = graph_->Strength(t);
+  const std::uint32_t ell =
+      options_.use_peng_ell
+          ? PengEll(options_.epsilon, lambda_, options_.max_ell)
+          : RefinedEllWeighted(options_.epsilon, lambda_, ws, wt,
+                               options_.max_ell);
+  stats.ell = ell;
+
+  svec_[s] = 1.0;
+  tvec_[t] = 1.0;
+  AmcParams params;
+  params.epsilon = options_.epsilon;
+  params.delta = options_.delta;
+  params.tau = options_.tau;
+  params.ell_f = ell;
+  Rng rng(options_.seed ^ (static_cast<std::uint64_t>(s) << 32) ^ t);
+  AmcRunResult run =
+      RunWeightedAmc(*graph_, walker_, s, t, svec_, tvec_, params, rng);
+  svec_[s] = 0.0;
+  tvec_[t] = 0.0;
+
+  // Theorem 3.4 (weighted): add the i = 0 term 1_{s≠t}(1/w(s) + 1/w(t)).
+  stats.value = run.r_f + 1.0 / ws + 1.0 / wt;
+  stats.walks = run.walks;
+  stats.walk_steps = run.steps;
+  stats.eta_star = run.eta_star;
+  stats.batches = run.batches;
+  stats.early_stop = run.early_stop;
+  return stats;
+}
+
+}  // namespace geer

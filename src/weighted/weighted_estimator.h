@@ -1,0 +1,56 @@
+// Query interface for weighted ε-approximate PER estimators. Reuses the
+// unweighted QueryStats instrumentation so the bench harness can print
+// weighted and unweighted runs side by side.
+
+#ifndef GEER_WEIGHTED_WEIGHTED_ESTIMATOR_H_
+#define GEER_WEIGHTED_WEIGHTED_ESTIMATOR_H_
+
+#include <string>
+
+#include "core/estimator.h"
+#include "weighted/weighted_graph.h"
+#include "weighted/weighted_laplacian.h"
+
+namespace geer {
+
+/// Interface for ε-approximate effective-resistance estimators on
+/// weighted (conductance) graphs. Same contract as ErEstimator.
+class WeightedErEstimator {
+ public:
+  virtual ~WeightedErEstimator() = default;
+
+  /// Short algorithm name ("W-GEER", "W-AMC", "W-SMM", "W-CG").
+  virtual std::string Name() const = 0;
+
+  /// Answers the ε-approximate PER query for pair (s, t).
+  virtual QueryStats EstimateWithStats(NodeId s, NodeId t) = 0;
+
+  /// Convenience: just the estimate.
+  double Estimate(NodeId s, NodeId t) { return EstimateWithStats(s, t).value; }
+};
+
+/// High-accuracy oracle: one CG solve per query on the weighted Laplacian.
+/// Deterministic; the ground truth for weighted tests and benches.
+class WeightedSolverEstimator : public WeightedErEstimator {
+ public:
+  explicit WeightedSolverEstimator(
+      const WeightedGraph& graph,
+      WeightedLaplacianSolver::Options options = {.max_iterations = 20000,
+                                                  .tolerance = 1e-12})
+      : solver_(graph, options) {}
+
+  std::string Name() const override { return "W-CG"; }
+
+  QueryStats EstimateWithStats(NodeId s, NodeId t) override {
+    QueryStats stats;
+    stats.value = solver_.EffectiveResistance(s, t);
+    return stats;
+  }
+
+ private:
+  WeightedLaplacianSolver solver_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_WEIGHTED_WEIGHTED_ESTIMATOR_H_

@@ -1,0 +1,78 @@
+#include "weighted/weighted_geer.h"
+
+#include "core/ell.h"
+#include "core/geer.h"
+#include "util/check.h"
+#include "weighted/weighted_amc.h"
+#include "weighted/weighted_smm.h"
+#include "weighted/weighted_spectral.h"
+
+namespace geer {
+
+WeightedGeerEstimator::WeightedGeerEstimator(const WeightedGraph& graph,
+                                             ErOptions options)
+    : graph_(&graph), options_(options), op_(graph), walker_(graph) {
+  ValidateOptions(options_);
+  lambda_ = options_.lambda.has_value()
+                ? *options_.lambda
+                : ComputeWeightedSpectralBounds(graph).lambda;
+}
+
+QueryStats WeightedGeerEstimator::EstimateWithStats(NodeId s, NodeId t) {
+  GEER_CHECK(s < graph_->NumNodes());
+  GEER_CHECK(t < graph_->NumNodes());
+  QueryStats stats;
+  if (s == t) return stats;
+
+  const double ws = graph_->Strength(s);
+  const double wt = graph_->Strength(t);
+  const std::uint32_t ell =
+      options_.use_peng_ell
+          ? PengEll(options_.epsilon, lambda_, options_.max_ell)
+          : RefinedEllWeighted(options_.epsilon, lambda_, ws, wt,
+                               options_.max_ell);
+  stats.ell = ell;
+
+  // SMM until the greedy rule (Eq. 17) fires or ℓ_b ≥ ℓ.
+  WeightedSmmIterator smm(*graph_, &op_, s, t);
+  const bool fixed_lb = options_.geer_fixed_lb >= 0;
+  const std::uint32_t lb_target =
+      fixed_lb ? std::min<std::uint32_t>(
+                     static_cast<std::uint32_t>(options_.geer_fixed_lb), ell)
+               : ell;
+  while (smm.iterations() < lb_target) {
+    if (!fixed_lb) {
+      const std::uint32_t remaining = ell - smm.iterations();
+      const auto [max1_s, max2_s] = TopTwo(smm.svec());
+      const auto [max1_t, max2_t] = TopTwo(smm.tvec());
+      const double psi =
+          WeightedAmcPsi(remaining, max1_s, max2_s, ws, max1_t, max2_t, wt);
+      const std::uint64_t budget = GeerEstimator::RemainingSampleBudget(
+          options_.epsilon, options_.delta, options_.tau, psi);
+      if (smm.NextIterationCost() > budget) break;
+    }
+    smm.Advance();
+  }
+  stats.ell_b = smm.iterations();
+  stats.spmv_ops = smm.spmv_ops();
+
+  // Weighted AMC on the tail with the live iterates as input vectors.
+  AmcParams params;
+  params.epsilon = options_.epsilon;
+  params.delta = options_.delta;
+  params.tau = options_.tau;
+  params.ell_f = ell - smm.iterations();
+  Rng rng(options_.seed ^ (static_cast<std::uint64_t>(s) << 32) ^ t);
+  AmcRunResult run = RunWeightedAmc(*graph_, walker_, s, t, smm.svec(),
+                                    smm.tvec(), params, rng);
+
+  stats.value = run.r_f + smm.rb();
+  stats.walks = run.walks;
+  stats.walk_steps = run.steps;
+  stats.eta_star = run.eta_star;
+  stats.batches = run.batches;
+  stats.early_stop = run.early_stop;
+  return stats;
+}
+
+}  // namespace geer

@@ -1,0 +1,104 @@
+#include "weighted/weighted_generators.h"
+
+#include "rw/rng.h"
+#include "util/check.h"
+
+namespace geer::gen {
+
+WeightedGraph WithUniformWeights(const Graph& graph, double lo, double hi,
+                                 std::uint64_t seed) {
+  GEER_CHECK(lo > 0.0 && lo <= hi) << "need 0 < lo <= hi";
+  Rng rng(seed);
+  WeightedGraphBuilder builder(graph.NumNodes());
+  for (const auto& [u, v] : graph.Edges()) {
+    builder.AddEdge(u, v, lo + (hi - lo) * rng.NextDouble());
+  }
+  return builder.Build();
+}
+
+WeightedGraph SeriesChain(const std::vector<double>& resistances) {
+  GEER_CHECK(!resistances.empty());
+  WeightedGraphBuilder builder(static_cast<NodeId>(resistances.size() + 1));
+  for (std::size_t i = 0; i < resistances.size(); ++i) {
+    GEER_CHECK_GT(resistances[i], 0.0);
+    builder.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1),
+                    1.0 / resistances[i]);
+  }
+  return builder.Build();
+}
+
+WeightedGraph ParallelPaths(const std::vector<double>& resistances) {
+  GEER_CHECK_GE(resistances.size(), 2u)
+      << "need >= 2 paths for a connected non-trivial network";
+  // Node 0 = source, node 1 = sink, nodes 2.. = path midpoints. Each path
+  // of resistance R is two series edges of resistance R/2 (conductance
+  // 2/R), keeping the graph simple.
+  WeightedGraphBuilder builder(static_cast<NodeId>(resistances.size() + 2));
+  for (std::size_t i = 0; i < resistances.size(); ++i) {
+    GEER_CHECK_GT(resistances[i], 0.0);
+    const NodeId mid = static_cast<NodeId>(2 + i);
+    const double conductance = 2.0 / resistances[i];
+    builder.AddEdge(0, mid, conductance);
+    builder.AddEdge(mid, 1, conductance);
+  }
+  return builder.Build();
+}
+
+WeightedGraph Ladder(NodeId rungs, double rail, double rung) {
+  GEER_CHECK_GE(rungs, 2u);
+  GEER_CHECK(rail > 0.0 && rung > 0.0);
+  // Node layout: left rail 0..rungs-1, right rail rungs..2*rungs-1.
+  WeightedGraphBuilder builder(2 * rungs);
+  for (NodeId i = 0; i + 1 < rungs; ++i) {
+    builder.AddEdge(i, i + 1, rail);
+    builder.AddEdge(rungs + i, rungs + i + 1, rail);
+  }
+  for (NodeId i = 0; i < rungs; ++i) {
+    builder.AddEdge(i, rungs + i, rung);
+  }
+  return builder.Build();
+}
+
+WeightedGraph GridCircuit(NodeId rows, NodeId cols, double lo, double hi,
+                          std::uint64_t seed) {
+  GEER_CHECK(rows >= 2 && cols >= 2);
+  GEER_CHECK(lo > 0.0 && lo <= hi);
+  Rng rng(seed);
+  WeightedGraphBuilder builder(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        builder.AddEdge(id(r, c), id(r, c + 1),
+                        lo + (hi - lo) * rng.NextDouble());
+      }
+      if (r + 1 < rows) {
+        builder.AddEdge(id(r, c), id(r + 1, c),
+                        lo + (hi - lo) * rng.NextDouble());
+      }
+    }
+  }
+  return builder.Build();
+}
+
+WeightedGraph TriangulatedGridCircuit(NodeId rows, NodeId cols, double lo,
+                                      double hi, std::uint64_t seed) {
+  GEER_CHECK(rows >= 2 && cols >= 2);
+  GEER_CHECK(lo > 0.0 && lo <= hi);
+  Rng rng(seed);
+  WeightedGraphBuilder builder(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  auto weight = [&rng, lo, hi] { return lo + (hi - lo) * rng.NextDouble(); };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.AddEdge(id(r, c), id(r, c + 1), weight());
+      if (r + 1 < rows) builder.AddEdge(id(r, c), id(r + 1, c), weight());
+      if (r + 1 < rows && c + 1 < cols) {
+        builder.AddEdge(id(r, c), id(r + 1, c + 1), weight());
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace geer::gen

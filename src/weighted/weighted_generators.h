@@ -1,0 +1,53 @@
+// Weighted-graph builders for tests, benches and the circuit example:
+// random conductances over any unweighted topology, plus classic resistor
+// networks (chains, ladders, grids) whose equivalent resistance has a
+// closed form or a well-known reduction — the oracles the weighted test
+// suite checks against.
+
+#ifndef GEER_WEIGHTED_WEIGHTED_GENERATORS_H_
+#define GEER_WEIGHTED_WEIGHTED_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "weighted/weighted_graph.h"
+
+namespace geer::gen {
+
+/// Assigns an independent Uniform[lo, hi] conductance to every edge of
+/// `graph` (deterministic in `seed`). Requires 0 < lo ≤ hi.
+WeightedGraph WithUniformWeights(const Graph& graph, double lo, double hi,
+                                 std::uint64_t seed);
+
+/// A series chain of resistors: nodes 0..k, edge (i, i+1) with resistance
+/// `resistances[i]` (conductance 1/R). Equivalent resistance between the
+/// endpoints is Σ R_i — the series-reduction oracle.
+WeightedGraph SeriesChain(const std::vector<double>& resistances);
+
+/// Two nodes joined by `k` parallel unit-length paths with per-path
+/// resistance `resistances[i]`, realized as length-2 paths through
+/// distinct middle nodes (parallel edges would merge). Equivalent
+/// resistance is 1 / Σ (1/R_i) — the parallel-reduction oracle.
+WeightedGraph ParallelPaths(const std::vector<double>& resistances);
+
+/// A ladder network with `rungs` rungs: two rails of `rungs` nodes each,
+/// rail edges with conductance `rail`, rung edges with conductance `rung`.
+WeightedGraph Ladder(NodeId rungs, double rail, double rung);
+
+/// rows × cols grid with independent Uniform[lo, hi] conductances — the
+/// "sheet of resistive material" workload of the electrical application.
+/// NOTE: grids are bipartite; fine for the Laplacian solver, but the
+/// walk-based estimators need non-bipartite inputs — use
+/// TriangulatedGridCircuit for those.
+WeightedGraph GridCircuit(NodeId rows, NodeId cols, double lo, double hi,
+                          std::uint64_t seed);
+
+/// GridCircuit plus one diagonal brace per cell. The triangles make the
+/// graph non-bipartite, so λ < 1 and the truncated-walk machinery applies.
+WeightedGraph TriangulatedGridCircuit(NodeId rows, NodeId cols, double lo,
+                                      double hi, std::uint64_t seed);
+
+}  // namespace geer::gen
+
+#endif  // GEER_WEIGHTED_WEIGHTED_GENERATORS_H_

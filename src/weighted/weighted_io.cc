@@ -1,0 +1,82 @@
+#include "weighted/weighted_io.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace geer {
+namespace {
+
+std::optional<WeightedGraph> ParseStream(std::istream& in) {
+  WeightedGraphBuilder builder;
+  std::unordered_map<std::uint64_t, NodeId> remap;
+  auto intern = [&remap](std::uint64_t raw) {
+    auto [it, inserted] =
+        remap.emplace(raw, static_cast<NodeId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    std::uint64_t u_raw = 0;
+    std::uint64_t v_raw = 0;
+    if (!(fields >> u_raw >> v_raw)) return std::nullopt;
+    double weight = 1.0;  // missing column: plain SNAP file
+    std::string weight_token;
+    if (fields >> weight_token) {
+      // Parse via strtod so a malformed token is an error, not silently
+      // zero (a failed istream extraction writes 0 since C++11).
+      char* end = nullptr;
+      weight = std::strtod(weight_token.c_str(), &end);
+      if (end != weight_token.c_str() + weight_token.size() ||
+          !std::isfinite(weight) || weight <= 0.0) {
+        return std::nullopt;
+      }
+    }
+    const NodeId u = intern(u_raw);
+    const NodeId v = intern(v_raw);
+    if (u == v) continue;  // endpoints interned; the loop itself dropped
+    builder.AddEdge(u, v, weight);
+  }
+  // Interning may have seen self-loop-only nodes the builder missed.
+  WeightedGraph graph = builder.Build();
+  if (graph.NumNodes() >= remap.size()) return graph;
+  WeightedGraphBuilder padded(static_cast<NodeId>(remap.size()));
+  for (const auto& e : graph.Edges()) padded.AddEdge(e.u, e.v, e.weight);
+  return padded.Build();
+}
+
+}  // namespace
+
+std::optional<WeightedGraph> LoadWeightedEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ParseStream(in);
+}
+
+std::optional<WeightedGraph> ParseWeightedEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  return ParseStream(in);
+}
+
+bool SaveWeightedEdgeList(const WeightedGraph& graph,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# geer weighted edge list: " << graph.NumNodes() << " nodes, "
+      << graph.NumEdges() << " edges\n";
+  out.precision(17);
+  for (const auto& e : graph.Edges()) {
+    out << e.u << '\t' << e.v << '\t' << e.weight << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace geer

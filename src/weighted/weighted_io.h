@@ -1,0 +1,32 @@
+// Weighted edge-list IO: "u v w" per line (whitespace-separated, '#'
+// comments), the standard format for conductance networks. A missing
+// third column defaults to weight 1, so plain SNAP files load too.
+
+#ifndef GEER_WEIGHTED_WEIGHTED_IO_H_
+#define GEER_WEIGHTED_WEIGHTED_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "weighted/weighted_graph.h"
+
+namespace geer {
+
+/// Loads a weighted edge list from `path`. Node ids are interned in
+/// first-appearance order (like the unweighted loader); parallel edges
+/// merge by summing conductance; self-loops are dropped (their endpoints
+/// still count as nodes). Returns std::nullopt on IO or parse errors or
+/// non-positive weights.
+std::optional<WeightedGraph> LoadWeightedEdgeList(const std::string& path);
+
+/// Parses the same format from a string (tests, embedding in tools).
+std::optional<WeightedGraph> ParseWeightedEdgeList(const std::string& text);
+
+/// Writes "u v w" lines (u < v) with a summary comment header. Returns
+/// false on IO errors.
+bool SaveWeightedEdgeList(const WeightedGraph& graph,
+                          const std::string& path);
+
+}  // namespace geer
+
+#endif  // GEER_WEIGHTED_WEIGHTED_IO_H_

@@ -1,0 +1,62 @@
+#include "weighted/weighted_smm.h"
+
+#include "core/ell.h"
+#include "util/check.h"
+#include "weighted/weighted_spectral.h"
+
+namespace geer {
+
+WeightedSmmIterator::WeightedSmmIterator(const WeightedGraph& graph,
+                                         WeightedTransitionOperator* op,
+                                         NodeId s, NodeId t)
+    : graph_(&graph), op_(op), s_(s), t_(t) {
+  GEER_CHECK(s < graph.NumNodes());
+  GEER_CHECK(t < graph.NumNodes());
+  inv_ws_ = 1.0 / graph.Strength(s);
+  inv_wt_ = 1.0 / graph.Strength(t);
+  s_vec_.InitOneHot(s, graph);
+  t_vec_.InitOneHot(t, graph);
+  // i = 0 term: p_0(s,s)/w(s) + p_0(t,t)/w(t) − p_0(t,s)/w(s) − p_0(s,t)/w(t).
+  rb_ = s_vec_.values[s_] * inv_ws_ + t_vec_.values[t_] * inv_wt_ -
+        s_vec_.values[t_] * inv_ws_ - t_vec_.values[s_] * inv_wt_;
+}
+
+void WeightedSmmIterator::Advance() {
+  spmv_ops_ += op_->ApplyAuto(&s_vec_);
+  spmv_ops_ += op_->ApplyAuto(&t_vec_);
+  ++iterations_;
+  rb_ += s_vec_.values[s_] * inv_ws_ + t_vec_.values[t_] * inv_wt_ -
+         s_vec_.values[t_] * inv_ws_ - t_vec_.values[s_] * inv_wt_;
+}
+
+WeightedSmmEstimator::WeightedSmmEstimator(const WeightedGraph& graph,
+                                           ErOptions options)
+    : graph_(&graph), options_(options), op_(graph) {
+  ValidateOptions(options_);
+  lambda_ = options_.lambda.has_value()
+                ? *options_.lambda
+                : ComputeWeightedSpectralBounds(graph).lambda;
+}
+
+QueryStats WeightedSmmEstimator::EstimateWithStats(NodeId s, NodeId t) {
+  QueryStats stats;
+  if (s == t) return stats;
+  std::uint32_t ell;
+  if (options_.smm_iterations > 0) {
+    ell = options_.smm_iterations;
+  } else if (options_.use_peng_ell) {
+    ell = PengEll(options_.epsilon, lambda_, options_.max_ell);
+  } else {
+    ell = RefinedEllWeighted(options_.epsilon, lambda_, graph_->Strength(s),
+                             graph_->Strength(t), options_.max_ell);
+  }
+  WeightedSmmIterator iter(*graph_, &op_, s, t);
+  for (std::uint32_t i = 0; i < ell; ++i) iter.Advance();
+  stats.value = iter.rb();
+  stats.ell = ell;
+  stats.ell_b = iter.iterations();
+  stats.spmv_ops = iter.spmv_ops();
+  return stats;
+}
+
+}  // namespace geer

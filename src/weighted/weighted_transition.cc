@@ -1,0 +1,132 @@
+#include "weighted/weighted_transition.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace geer {
+
+void WeightedTransitionOperator::SparseVector::InitOneHot(
+    NodeId v, const WeightedGraph& graph) {
+  values.assign(graph.NumNodes(), 0.0);
+  GEER_CHECK(v < graph.NumNodes());
+  values[v] = 1.0;
+  support.assign(1, v);
+  dense = false;
+  support_degree_sum = graph.Degree(v);
+}
+
+WeightedTransitionOperator::WeightedTransitionOperator(
+    const WeightedGraph& graph)
+    : graph_(&graph),
+      scratch_(graph.NumNodes(), 0.0),
+      touched_flag_(graph.NumNodes(), 0) {
+  touched_.reserve(graph.NumNodes());
+}
+
+std::uint64_t WeightedTransitionOperator::ApplyAuto(SparseVector* x) {
+  const NodeId n = graph_->NumNodes();
+  GEER_CHECK_EQ(x->values.size(), static_cast<std::size_t>(n));
+  if (!x->dense &&
+      x->support.size() > static_cast<std::size_t>(kDenseThreshold * n)) {
+    x->dense = true;
+  }
+  if (x->dense) {
+    ApplyDense(x->values, &scratch_);
+    x->values.swap(scratch_);
+    x->support.clear();
+    x->support_degree_sum = graph_->NumArcs();
+    return graph_->NumArcs();
+  }
+  const std::uint64_t work = x->support_degree_sum;
+  ApplySparse(x);
+  return work;
+}
+
+void WeightedTransitionOperator::ApplyDense(const Vector& x,
+                                            Vector* y) const {
+  const NodeId n = graph_->NumNodes();
+  GEER_CHECK_EQ(x.size(), static_cast<std::size_t>(n));
+  y->assign(n, 0.0);
+  const auto& offsets = graph_->Offsets();
+  const auto& adj = graph_->NeighborArray();
+  const auto& wts = graph_->WeightArray();
+  for (NodeId u = 0; u < n; ++u) {
+    double acc = 0.0;
+    for (std::uint64_t k = offsets[u]; k < offsets[u + 1]; ++k) {
+      acc += wts[k] * x[adj[k]];
+    }
+    const double strength = graph_->Strength(u);
+    (*y)[u] = strength == 0.0 ? 0.0 : acc / strength;
+  }
+}
+
+void WeightedTransitionOperator::ApplySparse(SparseVector* x) {
+  // Scatter: for v in supp(x), for u in N(v): y(u) += w(v,u)·x(v); then
+  // divide each touched u by w(u). Weight symmetry makes the scatter view
+  // (over v's arcs) equal the gather view (over u's arcs).
+  touched_.clear();
+  const auto& offsets = graph_->Offsets();
+  const auto& adj = graph_->NeighborArray();
+  const auto& wts = graph_->WeightArray();
+  for (NodeId v : x->support) {
+    const double xv = x->values[v];
+    if (xv == 0.0) continue;
+    for (std::uint64_t k = offsets[v]; k < offsets[v + 1]; ++k) {
+      const NodeId u = adj[k];
+      if (!touched_flag_[u]) {
+        touched_flag_[u] = 1;
+        touched_.push_back(u);
+        scratch_[u] = 0.0;
+      }
+      scratch_[u] += wts[k] * xv;
+    }
+  }
+  for (NodeId v : x->support) x->values[v] = 0.0;
+  std::uint64_t degree_sum = 0;
+  for (NodeId u : touched_) {
+    x->values[u] = scratch_[u] / graph_->Strength(u);
+    touched_flag_[u] = 0;
+    degree_sum += graph_->Degree(u);
+  }
+  x->support.assign(touched_.begin(), touched_.end());
+  x->support_degree_sum = degree_sum;
+}
+
+NormalizedWeightedAdjacencyOperator::NormalizedWeightedAdjacencyOperator(
+    const WeightedGraph& graph)
+    : graph_(&graph),
+      inv_sqrt_strength_(graph.NumNodes(), 0.0),
+      top_eigenvector_(graph.NumNodes(), 0.0) {
+  double norm_sq = 0.0;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    const double w = graph.Strength(v);
+    GEER_CHECK(w > 0.0) << "isolated node " << v
+                        << " — graph must be connected";
+    inv_sqrt_strength_[v] = 1.0 / std::sqrt(w);
+    top_eigenvector_[v] = std::sqrt(w);
+    norm_sq += w;
+  }
+  const double inv_norm = 1.0 / std::sqrt(norm_sq);
+  for (double& e : top_eigenvector_) e *= inv_norm;
+}
+
+void NormalizedWeightedAdjacencyOperator::Apply(const Vector& x,
+                                                Vector* y) const {
+  const NodeId n = graph_->NumNodes();
+  GEER_CHECK_EQ(x.size(), static_cast<std::size_t>(n));
+  y->assign(n, 0.0);
+  const auto& offsets = graph_->Offsets();
+  const auto& adj = graph_->NeighborArray();
+  const auto& wts = graph_->WeightArray();
+  for (NodeId u = 0; u < n; ++u) {
+    double acc = 0.0;
+    for (std::uint64_t k = offsets[u]; k < offsets[u + 1]; ++k) {
+      const NodeId v = adj[k];
+      acc += wts[k] * x[v] * inv_sqrt_strength_[v];
+    }
+    (*y)[u] = acc * inv_sqrt_strength_[u];
+  }
+}
+
+}  // namespace geer

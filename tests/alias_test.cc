@@ -1,0 +1,125 @@
+#include "weighted/alias.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "weighted/weighted_generators.h"
+
+namespace geer {
+namespace {
+
+TEST(AliasTableTest, SingleOutcomeAlwaysSampled) {
+  const double w[] = {3.0};
+  AliasTable table{std::span<const double>(w, 1)};
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  const double w[] = {1.0, 0.0, 1.0};
+  AliasTable table{std::span<const double>(w, 3)};
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) EXPECT_NE(table.Sample(rng), 1u);
+}
+
+TEST(AliasTableTest, UniformWeightsSampleUniformly) {
+  const std::vector<double> w(8, 2.5);
+  AliasTable table{std::span<const double>(w)};
+  Rng rng(3);
+  std::vector<int> counts(8, 0);
+  const int trials = 80000;
+  for (int i = 0; i < trials; ++i) ++counts[table.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.125, 0.01);
+  }
+}
+
+TEST(AliasTableTest, SkewedWeightsMatchProbabilities) {
+  const std::vector<double> w = {1.0, 2.0, 4.0, 8.0, 16.0};
+  const double total = 31.0;
+  AliasTable table{std::span<const double>(w)};
+  Rng rng(4);
+  std::vector<int> counts(w.size(), 0);
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) ++counts[table.Sample(rng)];
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double expected = w[i] / total;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / trials, expected,
+                5.0 * std::sqrt(expected * (1 - expected) / trials) + 1e-3)
+        << "outcome " << i;
+  }
+}
+
+TEST(AliasTableTest, DeterministicGivenSeed) {
+  const std::vector<double> w = {0.3, 0.5, 0.2};
+  AliasTable table{std::span<const double>(w)};
+  std::vector<std::uint32_t> a, b;
+  Rng rng_a(7), rng_b(7);
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(table.Sample(rng_a));
+    b.push_back(table.Sample(rng_b));
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(AliasTableDeathTest, RejectsEmptyAndAllZero) {
+  const std::vector<double> zeros = {0.0, 0.0};
+  AliasTable table;
+  EXPECT_DEATH(table.Build(std::span<const double>(zeros)), "positive");
+}
+
+TEST(WeightedWalkerTest, StepDistributionMatchesConductances) {
+  // Node 0 with three neighbors at conductances 1:2:5.
+  WeightedGraphBuilder b;
+  b.AddEdge(0, 1, 1.0).AddEdge(0, 2, 2.0).AddEdge(0, 3, 5.0);
+  b.AddEdge(1, 2, 1.0);  // keep it connected beyond the star
+  WeightedGraph g = b.Build();
+  WeightedWalker walker(g);
+  Rng rng(11);
+  std::vector<int> counts(4, 0);
+  const int trials = 160000;
+  for (int i = 0; i < trials; ++i) ++counts[walker.Step(0, rng)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(counts[1] / static_cast<double>(trials), 1.0 / 8.0, 0.008);
+  EXPECT_NEAR(counts[2] / static_cast<double>(trials), 2.0 / 8.0, 0.008);
+  EXPECT_NEAR(counts[3] / static_cast<double>(trials), 5.0 / 8.0, 0.008);
+}
+
+TEST(WeightedWalkerTest, UnitWeightsBehaveLikeSimpleWalk) {
+  // With equal conductances every neighbor is equally likely.
+  WeightedGraphBuilder b;
+  for (NodeId v = 1; v <= 4; ++v) b.AddEdge(0, v, 3.0);
+  WeightedGraph g = b.Build();
+  WeightedWalker walker(g);
+  Rng rng(13);
+  std::vector<int> counts(5, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[walker.Step(0, rng)];
+  for (NodeId v = 1; v <= 4; ++v) {
+    EXPECT_NEAR(counts[v] / static_cast<double>(trials), 0.25, 0.01);
+  }
+}
+
+TEST(WeightedWalkerTest, WalkEndpointStationaryOnStrength) {
+  // Long weighted walks land on v with probability ~ w(v)/(2W).
+  WeightedGraph g = gen::TriangulatedGridCircuit(4, 4, 0.5, 2.0, 17);
+  WeightedWalker walker(g);
+  Rng rng(19);
+  std::vector<int> counts(g.NumNodes(), 0);
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[walker.WalkEndpoint(0, 40, rng)];
+  }
+  const double two_w = 2.0 * g.TotalWeight();
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const double expected = g.Strength(v) / two_w;
+    EXPECT_NEAR(counts[v] / static_cast<double>(trials), expected,
+                5.0 * std::sqrt(expected * (1 - expected) / trials) + 2e-3)
+        << "node " << v;
+  }
+}
+
+}  // namespace
+}  // namespace geer

@@ -1,0 +1,208 @@
+#include "core/amc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/smm.h"
+#include "graph/generators.h"
+#include "linalg/spectral.h"
+#include "stats/accumulator.h"
+#include "test_util.h"
+
+namespace geer {
+namespace {
+
+TEST(AmcPsiTest, OneHotMatchesClosedForm) {
+  // With e_s, e_t inputs: ψ = 2⌈ℓ/2⌉(1/ds + 1/dt).
+  const double psi = AmcPsi(9, 1.0, 0.0, 4, 1.0, 0.0, 8);
+  EXPECT_NEAR(psi, 2.0 * 5.0 * (0.25 + 0.125), 1e-12);
+}
+
+TEST(AmcPsiTest, EvenLengthSplitsHalves) {
+  const double psi = AmcPsi(10, 0.5, 0.25, 2, 0.5, 0.25, 2);
+  // 2·5·(0.25+0.25) + 2·5·(0.125+0.125).
+  EXPECT_NEAR(psi, 5.0 + 2.5, 1e-12);
+}
+
+TEST(AmcPsiTest, FlatVectorsShrinkPsi) {
+  // GEER's effect: flat iterates (max ≈ 0.1) vs one-hot (max = 1).
+  const double onehot = AmcPsi(20, 1.0, 0.0, 4, 1.0, 0.0, 4);
+  const double flat = AmcPsi(20, 0.1, 0.1, 4, 0.1, 0.1, 4);
+  EXPECT_LT(flat, 0.25 * onehot);
+}
+
+TEST(AmcZkBoundTest, SampleValuesWithinPsiOverTwo) {
+  // Lemma 3.3 ⇒ |Z_k| ≤ ψ/2. Verify empirically on random inputs.
+  Graph g = testing::DenseTestGraph(14);
+  Rng vec_rng(3);
+  Vector svec(g.NumNodes());
+  Vector tvec(g.NumNodes());
+  for (auto& v : svec) v = vec_rng.NextDouble();
+  for (auto& v : tvec) v = vec_rng.NextDouble();
+  const NodeId s = 0;
+  const NodeId t = 9;
+  const auto [m1s, m2s] = TopTwo(svec);
+  const auto [m1t, m2t] = TopTwo(tvec);
+  const std::uint32_t ell = 7;
+  const double psi =
+      AmcPsi(ell, m1s, m2s, g.Degree(s), m1t, m2t, g.Degree(t));
+  Walker walker(g);
+  Rng rng(4);
+  const double inv_ds = 1.0 / g.Degree(s);
+  const double inv_dt = 1.0 / g.Degree(t);
+  for (int k = 0; k < 5000; ++k) {
+    double z = 0.0;
+    NodeId cur = s;
+    for (std::uint32_t i = 0; i < ell; ++i) {
+      cur = walker.Step(cur, rng);
+      z += svec[cur] * inv_ds - tvec[cur] * inv_dt;
+    }
+    cur = t;
+    for (std::uint32_t i = 0; i < ell; ++i) {
+      cur = walker.Step(cur, rng);
+      z += tvec[cur] * inv_dt - svec[cur] * inv_ds;
+    }
+    ASSERT_LE(std::abs(z), psi / 2.0 + 1e-12);
+  }
+}
+
+TEST(RunAmcTest, ZeroLengthReturnsZero) {
+  Graph g = gen::Complete(6);
+  Vector e0(6, 0.0);
+  Vector e1(6, 0.0);
+  e0[0] = 1.0;
+  e1[1] = 1.0;
+  AmcParams params;
+  params.ell_f = 0;
+  Rng rng(1);
+  AmcRunResult res = RunAmc(g, 0, 1, e0, e1, params, rng);
+  EXPECT_DOUBLE_EQ(res.r_f, 0.0);
+  EXPECT_EQ(res.walks, 0u);
+}
+
+TEST(RunAmcTest, UnbiasedForQst) {
+  // E[r_f] = q(s,t) = r_ℓ(s,t) − (1/ds + 1/dt). Average many runs.
+  Graph g = testing::DenseTestGraph(12);
+  const NodeId s = 0;
+  const NodeId t = 7;
+  const std::uint32_t ell = 6;
+  // Exact q via SMM partial sums.
+  TransitionOperator op(g);
+  SmmIterator iter(g, &op, s, t);
+  for (std::uint32_t i = 0; i < ell; ++i) iter.Advance();
+  const double q_exact = iter.rb() - (1.0 / g.Degree(s) + 1.0 / g.Degree(t));
+
+  Vector es(g.NumNodes(), 0.0);
+  Vector et(g.NumNodes(), 0.0);
+  es[s] = 1.0;
+  et[t] = 1.0;
+  AmcParams params;
+  params.epsilon = 0.3;
+  params.delta = 0.1;
+  params.tau = 3;
+  params.ell_f = ell;
+  MeanVarWelford mean_of_runs;
+  for (std::uint64_t rep = 0; rep < 40; ++rep) {
+    Rng rng(1000 + rep);
+    mean_of_runs.Add(RunAmc(g, s, t, es, et, params, rng).r_f);
+  }
+  EXPECT_NEAR(mean_of_runs.Mean(), q_exact, 0.03);
+}
+
+TEST(RunAmcTest, RespectsEtaStarCap) {
+  Graph g = testing::DenseTestGraph(12);
+  Vector es(g.NumNodes(), 0.0);
+  Vector et(g.NumNodes(), 0.0);
+  es[0] = 1.0;
+  et[5] = 1.0;
+  AmcParams params;
+  params.epsilon = 0.2;
+  params.delta = 0.01;
+  params.tau = 5;
+  params.ell_f = 8;
+  Rng rng(2);
+  AmcRunResult res = RunAmc(g, 0, 5, es, et, params, rng);
+  // Total walk pairs over all batches < 2η* ⇒ walks < 4η*.
+  EXPECT_LT(res.walks, 4 * res.eta_star);
+  EXPECT_GE(res.batches, 1);
+  EXPECT_LE(res.batches, params.tau);
+}
+
+TEST(RunAmcTest, EarlyStopOnLowVariance) {
+  // Constant input vectors with equal-degree endpoints make every Z_k
+  // exactly 0 (the s- and t-walk contributions cancel per step), so the
+  // empirical variance is 0 while ψ — computed from the vector maxima —
+  // stays large. Hoeffding then demands far more samples than Bernstein:
+  // η* ≈ 2ψ²log(2τ/δ)/ε² vs the variance-free 6ψ log(3τ/δ)/ε, and the
+  // Bernstein rule must fire batches before the η* cap.
+  Graph g = gen::Complete(30);  // all degrees 29
+  const double c = 29.0;        // ψ = 2(⌈2⌉+⌊2⌋)·(2c/29) = 16
+  Vector sv(g.NumNodes(), c);
+  Vector tv(g.NumNodes(), c);
+  AmcParams params;
+  params.epsilon = 0.4;
+  params.delta = 0.01;
+  params.tau = 6;
+  params.ell_f = 4;
+  Rng rng(3);
+  AmcRunResult res = RunAmc(g, 0, 1, sv, tv, params, rng);
+  EXPECT_DOUBLE_EQ(res.r_f, 0.0);
+  EXPECT_TRUE(res.early_stop);
+  EXPECT_LT(res.batches, params.tau);
+  EXPECT_LT(res.walks, res.eta_star);  // the whole point of adaptivity
+}
+
+TEST(AmcEstimatorTest, WithinEpsilonHighProbability) {
+  Graph g = testing::DenseTestGraph(16);
+  for (double eps : {0.5, 0.2}) {
+    ErOptions opt;
+    opt.epsilon = eps;
+    opt.delta = 0.01;
+    AmcEstimator amc(g, opt);
+    int failures = 0;
+    const std::pair<NodeId, NodeId> pairs[] = {{0, 8}, {1, 9}, {2, 12}};
+    for (auto [s, t] : pairs) {
+      const double truth = testing::ExactEr(g, s, t);
+      if (std::abs(amc.Estimate(s, t) - truth) > eps) ++failures;
+    }
+    EXPECT_EQ(failures, 0) << "eps=" << eps;
+  }
+}
+
+TEST(AmcEstimatorTest, SameNodeZero) {
+  AmcEstimator amc(gen::Complete(8));
+  EXPECT_DOUBLE_EQ(amc.Estimate(3, 3), 0.0);
+}
+
+TEST(AmcEstimatorTest, DeterministicPerSeedAndPair) {
+  Graph g = testing::DenseTestGraph(12);
+  ErOptions opt;
+  opt.epsilon = 0.3;
+  opt.seed = 99;
+  AmcEstimator a(g, opt);
+  AmcEstimator b(g, opt);
+  EXPECT_DOUBLE_EQ(a.Estimate(0, 5), b.Estimate(0, 5));
+  // Answer independent of any earlier queries on the same estimator.
+  AmcEstimator c(g, opt);
+  c.Estimate(1, 2);
+  EXPECT_DOUBLE_EQ(c.Estimate(0, 5), a.Estimate(0, 5));
+}
+
+TEST(AmcEstimatorTest, FewerWalksThanTpTheory) {
+  // The Remark in §3.3.2: AMC's sample count is far below TP's
+  // 40ℓ³ln(8ℓ/δ)/ε² for the same ε.
+  Graph g = testing::DenseTestGraph(20);
+  ErOptions opt;
+  opt.epsilon = 0.2;
+  AmcEstimator amc(g, opt);
+  QueryStats stats = amc.EstimateWithStats(0, 10);
+  const double ell = stats.ell;
+  const double tp_walks = 40.0 * ell * ell * ell *
+                          std::log(8.0 * ell / opt.delta) /
+                          (opt.epsilon * opt.epsilon);
+  EXPECT_LT(static_cast<double>(stats.walks), tp_walks / 10.0);
+}
+
+}  // namespace
+}  // namespace geer

@@ -1,0 +1,208 @@
+// Tests for the competitor algorithms: MC, MC2, TP, TPC, HAY, RP.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hay.h"
+#include "core/mc.h"
+#include "core/mc2.h"
+#include "core/rp.h"
+#include "core/tp.h"
+#include "core/tpc.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace geer {
+namespace {
+
+// Shared fixture graph: well-connected, non-bipartite, 16 nodes.
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override { graph_ = testing::DenseTestGraph(16); }
+  Graph graph_;
+};
+
+TEST_F(BaselinesTest, McWithinEpsilon) {
+  ErOptions opt;
+  opt.epsilon = 0.2;
+  opt.mc_gamma_upper = 2.0;
+  McEstimator mc(graph_, opt);
+  for (auto [s, t] : {std::pair<NodeId, NodeId>{0, 8}, {1, 12}}) {
+    const double truth = testing::ExactEr(graph_, s, t);
+    EXPECT_NEAR(mc.Estimate(s, t), truth, opt.epsilon);
+  }
+}
+
+TEST_F(BaselinesTest, McSameNodeZero) {
+  McEstimator mc(graph_);
+  EXPECT_DOUBLE_EQ(mc.Estimate(4, 4), 0.0);
+}
+
+TEST_F(BaselinesTest, McTrialCountFormula) {
+  ErOptions opt;
+  opt.epsilon = 0.1;
+  opt.delta = 0.01;
+  opt.mc_gamma_upper = 4.0;
+  McEstimator mc(graph_, opt);
+  const double expected = std::ceil(3.0 * 4.0 * 6.0 * std::log(100.0) / 0.01);
+  EXPECT_EQ(mc.NumTrials(6), static_cast<std::uint64_t>(expected));
+}
+
+TEST_F(BaselinesTest, Mc2EdgeQueryAccuracy) {
+  ErOptions opt;
+  opt.epsilon = 0.1;
+  Mc2Estimator mc2(graph_, opt);
+  ASSERT_TRUE(mc2.SupportsQuery(0, 1));
+  const double truth = testing::ExactEr(graph_, 0, 1);
+  EXPECT_NEAR(mc2.Estimate(0, 1), truth, opt.epsilon);
+}
+
+TEST_F(BaselinesTest, Mc2RejectsNonEdges) {
+  Mc2Estimator mc2(graph_);
+  // DenseTestGraph core is nodes 0..7 complete + ring; 0 and 9 are not
+  // adjacent (9 is outside the core, ring neighbors of 0 are 1 and 15).
+  ASSERT_FALSE(graph_.HasEdge(0, 9));
+  EXPECT_FALSE(mc2.SupportsQuery(0, 9));
+  EXPECT_FALSE(mc2.SupportsQuery(3, 3));
+}
+
+TEST_F(BaselinesTest, Mc2TrialCountUsesWorstCaseGamma) {
+  ErOptions opt;
+  opt.epsilon = 0.5;
+  opt.delta = 0.1;
+  opt.mc2_gamma_lower = 0.0;  // fall back to 1/(2m)
+  Mc2Estimator mc2(graph_, opt);
+  const double gamma = 1.0 / static_cast<double>(graph_.NumArcs());
+  const double expected = std::ceil(3.0 * std::log(10.0) / (0.25 * gamma));
+  EXPECT_EQ(mc2.NumTrials(), static_cast<std::uint64_t>(expected));
+}
+
+TEST_F(BaselinesTest, TpWithinEpsilon) {
+  ErOptions opt;
+  opt.epsilon = 0.3;
+  opt.tp_scale = 0.002;  // keep the test fast; bound still holds easily
+  TpEstimator tp(graph_, opt);
+  const double truth = testing::ExactEr(graph_, 0, 9);
+  EXPECT_NEAR(tp.Estimate(0, 9), truth, opt.epsilon);
+}
+
+TEST_F(BaselinesTest, TpWalkBudgetFormula) {
+  ErOptions opt;
+  opt.epsilon = 0.2;
+  opt.delta = 0.01;
+  opt.tp_scale = 1.0;
+  TpEstimator tp(graph_, opt);
+  const std::uint32_t ell = 10;
+  const double expected =
+      std::ceil(40.0 * 100.0 * std::log(8.0 * 10.0 / 0.01) / 0.04);
+  EXPECT_EQ(tp.WalksPerLength(ell), static_cast<std::uint64_t>(expected));
+}
+
+TEST_F(BaselinesTest, TpSameNodeZero) {
+  ErOptions opt;
+  opt.tp_scale = 0.001;
+  TpEstimator tp(graph_, opt);
+  EXPECT_DOUBLE_EQ(tp.Estimate(5, 5), 0.0);
+}
+
+TEST_F(BaselinesTest, TpcWithinEpsilon) {
+  ErOptions opt;
+  opt.epsilon = 0.3;
+  // The 40000× collision-sample constant makes full-scale TPC take hours
+  // even here (the paper's point); a 2e-4 scale still leaves thousands of
+  // samples per length, far more than needed empirically for ε = 0.3.
+  opt.tpc_scale = 2e-4;
+  TpcEstimator tpc(graph_, opt);
+  const double truth = testing::ExactEr(graph_, 2, 11);
+  EXPECT_NEAR(tpc.Estimate(2, 11), truth, opt.epsilon);
+}
+
+TEST_F(BaselinesTest, TpcBetaHeuristicBounds) {
+  TpcEstimator tpc(graph_);
+  // β decays with i but never below the stationary floor 1/(2m).
+  const double floor = 1.0 / static_cast<double>(graph_.NumArcs());
+  double prev = 1e9;
+  for (std::uint32_t i = 1; i <= 20; ++i) {
+    const double beta = tpc.BetaHeuristic(i, 0, 9);
+    EXPECT_GE(beta, floor);
+    EXPECT_LE(beta, prev + 1e-15);
+    prev = beta;
+  }
+}
+
+TEST_F(BaselinesTest, HayEdgeQueryAccuracy) {
+  ErOptions opt;
+  opt.epsilon = 0.05;
+  HayEstimator hay(graph_, opt);
+  ASSERT_TRUE(hay.SupportsQuery(0, 1));
+  const double truth = testing::ExactEr(graph_, 0, 1);
+  EXPECT_NEAR(hay.Estimate(0, 1), truth, opt.epsilon);
+}
+
+TEST_F(BaselinesTest, HayTreeCountFormula) {
+  ErOptions opt;
+  opt.epsilon = 0.1;
+  opt.delta = 0.01;
+  HayEstimator hay(graph_, opt);
+  const double expected = std::ceil(std::log(200.0) / 0.02);
+  EXPECT_EQ(hay.NumTrees(), static_cast<std::uint64_t>(expected));
+  opt.hay_num_trees = 500;
+  HayEstimator fixed(graph_, opt);
+  EXPECT_EQ(fixed.NumTrees(), 500u);
+}
+
+TEST_F(BaselinesTest, HayBridgeEdgeIsOne) {
+  Graph g = testing::TriangleWithTail();
+  ErOptions opt;
+  opt.hay_num_trees = 200;
+  HayEstimator hay(g, opt);
+  // Bridge (3,4) lies in every spanning tree: estimate exactly 1.
+  EXPECT_DOUBLE_EQ(hay.Estimate(3, 4), 1.0);
+}
+
+TEST_F(BaselinesTest, HayRejectsNonEdges) {
+  HayEstimator hay(graph_);
+  EXPECT_FALSE(hay.SupportsQuery(0, 9));
+}
+
+TEST_F(BaselinesTest, RpWithinJlError) {
+  ErOptions opt;
+  opt.epsilon = 0.25;  // RP's guarantee is (1±ε) relative
+  RpEstimator rp(graph_, opt);
+  for (auto [s, t] : {std::pair<NodeId, NodeId>{0, 8}, {3, 13}}) {
+    const double truth = testing::ExactEr(graph_, s, t);
+    EXPECT_NEAR(rp.Estimate(s, t), truth, opt.epsilon * truth + 0.05);
+  }
+}
+
+TEST_F(BaselinesTest, RpDimensionFormula) {
+  ErOptions opt;
+  opt.epsilon = 0.5;
+  const int k = RpEstimator::DeriveDimensions(graph_, opt);
+  const double expected =
+      std::ceil(24.0 * std::log(static_cast<double>(graph_.NumNodes())) / 0.25);
+  EXPECT_EQ(k, static_cast<int>(expected));
+  opt.rp_dimensions = 64;
+  EXPECT_EQ(RpEstimator::DeriveDimensions(graph_, opt), 64);
+}
+
+TEST_F(BaselinesTest, RpMemoryBudgetEnforced) {
+  ErOptions opt;
+  opt.epsilon = 0.01;  // k ≈ 24 ln n / 1e-4: enormous
+  opt.rp_max_bytes = 1 << 20;
+  EXPECT_FALSE(RpEstimator::Feasible(graph_, opt));
+  opt.epsilon = 0.5;
+  opt.rp_max_bytes = 64ull << 20;
+  EXPECT_TRUE(RpEstimator::Feasible(graph_, opt));
+}
+
+TEST_F(BaselinesTest, RpSameNodeZero) {
+  ErOptions opt;
+  opt.rp_dimensions = 32;
+  RpEstimator rp(graph_, opt);
+  EXPECT_DOUBLE_EQ(rp.Estimate(6, 6), 0.0);
+}
+
+}  // namespace
+}  // namespace geer

@@ -1,0 +1,73 @@
+#include "linalg/cholesky.h"
+
+#include <gtest/gtest.h>
+
+#include "rw/rng.h"
+
+namespace geer {
+namespace {
+
+TEST(CholeskyTest, SolvesIdentity) {
+  Matrix m(3, 3, 0.0);
+  for (int i = 0; i < 3; ++i) m(i, i) = 1.0;
+  auto f = CholeskyFactor::Factorize(m);
+  ASSERT_TRUE(f.has_value());
+  Vector x = f->Solve({1.0, 2.0, 3.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(CholeskyTest, SolvesKnownSpdSystem) {
+  Matrix m(2, 2, 0.0);
+  m(0, 0) = 4.0;
+  m(0, 1) = 2.0;
+  m(1, 0) = 2.0;
+  m(1, 1) = 3.0;
+  auto f = CholeskyFactor::Factorize(m);
+  ASSERT_TRUE(f.has_value());
+  // Solution of [4 2; 2 3] x = [10; 8]: x = [7/4; 3/2].
+  Vector x = f->Solve({10.0, 8.0});
+  EXPECT_NEAR(x[0], 1.75, 1e-12);
+  EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix m(2, 2, 0.0);
+  m(0, 0) = 1.0;
+  m(1, 1) = -1.0;
+  EXPECT_FALSE(CholeskyFactor::Factorize(m).has_value());
+}
+
+TEST(CholeskyTest, RejectsSingular) {
+  Matrix m(2, 2, 1.0);  // rank 1
+  EXPECT_FALSE(CholeskyFactor::Factorize(m).has_value());
+}
+
+TEST(CholeskyTest, RandomSpdRoundTrip) {
+  // M = AᵀA + I is SPD; check M·Solve(b) ≈ b.
+  Rng rng(77);
+  const std::size_t n = 20;
+  Matrix a(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.NextGaussian();
+  }
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = i == j ? 1.0 : 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += a(k, i) * a(k, j);
+      m(i, j) = acc;
+    }
+  }
+  auto f = CholeskyFactor::Factorize(m);
+  ASSERT_TRUE(f.has_value());
+  Vector b(n);
+  for (auto& v : b) v = rng.NextGaussian();
+  Vector x = f->Solve(b);
+  Vector back = MatVec(m, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], b[i], 1e-8);
+}
+
+}  // namespace
+}  // namespace geer

@@ -1,0 +1,157 @@
+#include "core/ell.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace geer {
+namespace {
+
+TEST(EllTest, PengMatchesFormula) {
+  const double eps = 0.1;
+  const double lambda = 0.9;
+  const double raw = std::log(4.0 / (eps * (1.0 - lambda))) /
+                         std::log(1.0 / lambda) -
+                     1.0;
+  EXPECT_EQ(PengEll(eps, lambda),
+            static_cast<std::uint32_t>(std::ceil(raw)));
+}
+
+TEST(EllTest, RefinedMatchesFormula) {
+  const double eps = 0.1;
+  const double lambda = 0.9;
+  const std::uint64_t ds = 10;
+  const std::uint64_t dt = 40;
+  const double numer = 2.0 / ds + 2.0 / dt;
+  const double raw = std::log(numer / (eps * (1.0 - lambda))) /
+                         std::log(1.0 / lambda) -
+                     1.0;
+  EXPECT_EQ(RefinedEll(eps, lambda, ds, dt),
+            static_cast<std::uint32_t>(std::ceil(raw)));
+}
+
+TEST(EllTest, RefinedNeverExceedsPengForDegreesAtLeastOne) {
+  // 2/ds + 2/dt ≤ 4 always, so the refined ℓ ≤ Peng ℓ.
+  for (double eps : {0.5, 0.1, 0.02}) {
+    for (double lambda : {0.5, 0.9, 0.99}) {
+      for (std::uint64_t d : {1ull, 2ull, 10ull, 100ull}) {
+        EXPECT_LE(RefinedEll(eps, lambda, d, d), PengEll(eps, lambda))
+            << eps << " " << lambda << " " << d;
+      }
+    }
+  }
+}
+
+TEST(EllTest, RefinedShrinksWithDegree) {
+  // The paper's key point: high-degree pairs get much shorter walks.
+  const std::uint32_t low = RefinedEll(0.1, 0.95, 2, 2);
+  const std::uint32_t high = RefinedEll(0.1, 0.95, 200, 200);
+  EXPECT_LT(high, low);
+  EXPECT_GE(low - high, 30u);  // log(100)/log(1/0.95) ≈ 90 steps saved
+}
+
+TEST(EllTest, GrowsAsEpsilonShrinks) {
+  EXPECT_LT(RefinedEll(0.5, 0.9, 4, 4), RefinedEll(0.01, 0.9, 4, 4));
+  EXPECT_LT(PengEll(0.5, 0.9), PengEll(0.01, 0.9));
+}
+
+TEST(EllTest, GrowsAsLambdaApproachesOne) {
+  EXPECT_LT(PengEll(0.1, 0.5), PengEll(0.1, 0.99));
+}
+
+TEST(EllTest, LambdaZeroGivesZero) {
+  EXPECT_EQ(PengEll(0.1, 0.0), 0u);
+  EXPECT_EQ(RefinedEll(0.1, 0.0, 5, 5), 0u);
+}
+
+TEST(EllTest, HugeDegreesGiveZero) {
+  // When 2/ds + 2/dt ≪ ε(1−λ), even ℓ = 0 meets the truncation bound.
+  EXPECT_EQ(RefinedEll(0.5, 0.5, 1000000, 1000000), 0u);
+}
+
+TEST(EllTest, CapApplies) {
+  // λ extremely close to 1 ⇒ astronomical ℓ; must clamp to the cap.
+  EXPECT_EQ(PengEll(0.01, 1.0 - 1e-9, 1000), 1000u);
+  EXPECT_TRUE(EllWasTruncated(0.01, 1.0 - 1e-9, 2, 2, 1000, true));
+  EXPECT_TRUE(EllWasTruncated(0.01, 1.0 - 1e-9, 2, 2, 1000, false));
+}
+
+TEST(EllTest, NoTruncationForModerateLambda) {
+  EXPECT_FALSE(EllWasTruncated(0.1, 0.9, 4, 4, 200000, false));
+  EXPECT_FALSE(EllWasTruncated(0.1, 0.9, 4, 4, 200000, true));
+}
+
+TEST(EllTest, TruncationGuaranteeHolds) {
+  // Theorem 3.1's bound: λ^{ℓ+1}/(1−λ) · (1/ds + 1/dt) ≤ ε/2.
+  for (double eps : {0.5, 0.1, 0.02}) {
+    for (double lambda : {0.3, 0.8, 0.97}) {
+      for (std::uint64_t d : {1ull, 3ull, 50ull}) {
+        const std::uint32_t ell = RefinedEll(eps, lambda, d, d);
+        const double tail = std::pow(lambda, ell + 1.0) / (1.0 - lambda) *
+                            (2.0 / static_cast<double>(d));
+        EXPECT_LE(tail, eps / 2.0 + 1e-12)
+            << "eps=" << eps << " lambda=" << lambda << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(EllTest, PengTruncationGuaranteeHolds) {
+  // Peng et al.'s bound uses the numerator 4: λ^{ℓ+1}/(1−λ)·4 ≤ … the
+  // paper states |r − r_ℓ| ≤ ε/2 via 4λ^{ℓ+1}/(1−λ) ≤ ε... check ≤ ε/2
+  // consistent with EllFromNumerator's contract numerator·λ^{ℓ+1}/(1−λ)≤ε.
+  for (double eps : {0.5, 0.1}) {
+    for (double lambda : {0.5, 0.9}) {
+      const std::uint32_t ell = PengEll(eps, lambda);
+      const double tail = 4.0 * std::pow(lambda, ell + 1.0) / (1.0 - lambda);
+      EXPECT_LE(tail, eps + 1e-12);
+    }
+  }
+}
+
+
+TEST(EllWeightedTest, IntegerStrengthsMatchUnweightedRefined) {
+  // With integral strengths equal to the degrees, the weighted bound is
+  // the same formula evaluated at the same numbers.
+  for (double eps : {0.5, 0.1, 0.02}) {
+    for (double lambda : {0.5, 0.9, 0.99}) {
+      for (std::uint64_t d : {1ull, 3ull, 17ull, 250ull}) {
+        EXPECT_EQ(RefinedEllWeighted(eps, lambda, static_cast<double>(d),
+                                     static_cast<double>(d)),
+                  RefinedEll(eps, lambda, d, d));
+      }
+    }
+  }
+}
+
+TEST(EllWeightedTest, ShrinksWithStrength) {
+  // Heavier endpoints need shorter walks, continuously in the strengths.
+  const double eps = 0.1;
+  const double lambda = 0.9;
+  std::uint32_t prev = ~0u;
+  for (double w : {0.25, 1.0, 4.0, 16.0, 64.0}) {
+    const std::uint32_t ell = RefinedEllWeighted(eps, lambda, w, w);
+    EXPECT_LE(ell, prev);
+    prev = ell;
+  }
+}
+
+TEST(EllWeightedTest, FractionalStrengthsCanExceedPeng) {
+  // Unlike degrees (>= 1), strengths below 1/2 push the numerator past 4:
+  // the weighted refined bound may exceed Peng's generic one. This is
+  // correct: a feather-weight endpoint genuinely mixes slower in the
+  // weighted truncation analysis.
+  const double eps = 0.1;
+  const double lambda = 0.9;
+  EXPECT_GT(RefinedEllWeighted(eps, lambda, 0.05, 0.05),
+            PengEll(eps, lambda));
+}
+
+TEST(EllWeightedTest, TinyEpsilonStillFinite) {
+  const std::uint32_t ell = RefinedEllWeighted(1e-6, 0.999, 0.5, 2.0);
+  EXPECT_GT(ell, 0u);
+  EXPECT_LE(ell, 200000u);
+}
+
+}  // namespace
+}  // namespace geer

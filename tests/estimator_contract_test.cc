@@ -1,0 +1,150 @@
+// Cross-cutting contract tests every registered estimator must satisfy:
+// determinism under a fixed seed, query-order independence (each query
+// derives its own stream), symmetry within the accuracy budget, zero at
+// s = t, and honest instrumentation. These pin the ErEstimator interface
+// promises that the bench harness and downstream users rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/registry.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace geer {
+namespace {
+
+ErOptions FastOptions() {
+  ErOptions opt;
+  opt.epsilon = 0.3;
+  opt.delta = 0.05;
+  opt.seed = 2024;
+  opt.tp_scale = 0.01;
+  opt.tpc_scale = 0.001;
+  opt.mc_gamma_upper = 8.0;
+  return opt;
+}
+
+class EstimatorContractTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  // Fast-mixing dense ER graph (λ ≈ 0.35): the contract properties under
+  // test are mixing-independent, and a small Peng ℓ keeps TP/TPC cheap.
+  void SetUp() override { graph_ = gen::ErdosRenyi(40, 400, 9); }
+  Graph graph_;
+};
+
+TEST_P(EstimatorContractTest, DeterministicUnderFixedSeed) {
+  ErOptions opt = FastOptions();
+  auto a = CreateEstimator(GetParam(), graph_, opt);
+  auto b = CreateEstimator(GetParam(), graph_, opt);
+  ASSERT_NE(a, nullptr);
+  for (auto [s, t] : {std::pair<NodeId, NodeId>{0, 1}, {2, 9}}) {
+    if (!a->SupportsQuery(s, t)) continue;
+    EXPECT_DOUBLE_EQ(a->Estimate(s, t), b->Estimate(s, t))
+        << GetParam() << " (" << s << "," << t << ")";
+  }
+}
+
+TEST_P(EstimatorContractTest, QueryOrderDoesNotChangeAnswers) {
+  ErOptions opt = FastOptions();
+  auto forward = CreateEstimator(GetParam(), graph_, opt);
+  auto backward = CreateEstimator(GetParam(), graph_, opt);
+  const std::pair<NodeId, NodeId> pairs[] = {{0, 1}, {2, 9}, {4, 12}};
+  double fwd[3] = {0, 0, 0};
+  double bwd[3] = {0, 0, 0};
+  for (int i = 0; i < 3; ++i) {
+    if (!forward->SupportsQuery(pairs[i].first, pairs[i].second)) continue;
+    fwd[i] = forward->Estimate(pairs[i].first, pairs[i].second);
+  }
+  for (int i = 2; i >= 0; --i) {
+    if (!backward->SupportsQuery(pairs[i].first, pairs[i].second)) continue;
+    bwd[i] = backward->Estimate(pairs[i].first, pairs[i].second);
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(fwd[i], bwd[i]) << GetParam() << " query " << i;
+  }
+}
+
+TEST_P(EstimatorContractTest, SameNodeIsZero) {
+  auto estimator = CreateEstimator(GetParam(), graph_, FastOptions());
+  if (estimator->SupportsQuery(5, 5)) {
+    EXPECT_DOUBLE_EQ(estimator->Estimate(5, 5), 0.0) << GetParam();
+  }
+}
+
+TEST_P(EstimatorContractTest, SymmetricWithinAccuracyBudget) {
+  // r(s,t) = r(t,s); two randomized runs may differ by 2ε at most
+  // (both within ε of the truth w.h.p.).
+  ErOptions opt = FastOptions();
+  auto estimator = CreateEstimator(GetParam(), graph_, opt);
+  const NodeId s = 1, t = 10;
+  if (!estimator->SupportsQuery(s, t)) GTEST_SKIP();
+  const double forward = estimator->Estimate(s, t);
+  const double backward = estimator->Estimate(t, s);
+  const double budget =
+      GetParam() == "RP" ? 0.7 * std::max(forward, backward) + 0.05
+                         : 2.0 * opt.epsilon + 1e-9;
+  EXPECT_NEAR(forward, backward, budget) << GetParam();
+}
+
+TEST_P(EstimatorContractTest, StatsValueMatchesEstimate) {
+  auto a = CreateEstimator(GetParam(), graph_, FastOptions());
+  auto b = CreateEstimator(GetParam(), graph_, FastOptions());
+  if (!a->SupportsQuery(0, 9)) GTEST_SKIP();
+  const QueryStats stats = a->EstimateWithStats(0, 9);
+  EXPECT_DOUBLE_EQ(stats.value, b->Estimate(0, 9)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEstimators, EstimatorContractTest,
+    ::testing::Values("GEER", "AMC", "SMM", "SMM-PengEll", "TP", "TPC", "MC",
+                      "MC2", "HAY", "RP", "EXACT", "CG"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(EstimatorInstrumentationTest, GeerSplitsLengthBetweenSmmAndAmc) {
+  Graph g = testing::DenseTestGraph(18);
+  ErOptions opt = FastOptions();
+  opt.epsilon = 0.1;
+  auto geer = CreateEstimator("GEER", g, opt);
+  const QueryStats stats = geer->EstimateWithStats(0, 9);
+  EXPECT_LE(stats.ell_b, stats.ell);
+  if (stats.ell_b > 0) EXPECT_GT(stats.spmv_ops, 0u);
+  if (stats.ell_b == stats.ell) EXPECT_EQ(stats.walks, 0u);
+}
+
+TEST(EstimatorInstrumentationTest, AmcBatchesBounded) {
+  Graph g = testing::DenseTestGraph(18);
+  ErOptions opt = FastOptions();
+  auto amc = CreateEstimator("AMC", g, opt);
+  const QueryStats stats = amc->EstimateWithStats(0, 9);
+  EXPECT_GE(stats.batches, 1);
+  EXPECT_LE(stats.batches, opt.tau);
+  EXPECT_EQ(stats.walks % 2, 0u);  // always paired: one from s, one from t
+  EXPECT_EQ(stats.walk_steps, stats.walks * stats.ell);
+}
+
+TEST(EstimatorInstrumentationTest, TruncationFlagOnNearBipartiteInput) {
+  // A long odd cycle has λ ≈ 1: the required ℓ blows past a tiny cap and
+  // estimators must disclose the truncation instead of silently lying.
+  Graph g = gen::Cycle(401);
+  ErOptions opt;
+  opt.epsilon = 0.1;
+  opt.max_ell = 32;
+  for (const char* name : {"GEER", "AMC", "SMM"}) {
+    auto estimator = CreateEstimator(name, g, opt);
+    const QueryStats stats = estimator->EstimateWithStats(0, 200);
+    EXPECT_TRUE(stats.truncated) << name;
+    EXPECT_EQ(stats.ell, 32u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace geer

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/datasets.h"
+#include "eval/experiment.h"
+#include "eval/ground_truth.h"
+#include "eval/queries.h"
+#include "eval/table.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace geer {
+namespace {
+
+TEST(DatasetsTest, RegistryNamesMatchPaperOrder) {
+  const auto names = DatasetNames();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.front(), "facebook");
+  EXPECT_EQ(names.back(), "friendster");
+}
+
+TEST(DatasetsTest, SmallScaleDatasetsAreNormalized) {
+  for (const std::string& name : DatasetNames()) {
+    auto ds = MakeDataset(name, /*scale=*/0.02);
+    ASSERT_TRUE(ds.has_value()) << name;
+    EXPECT_GT(ds->graph.NumNodes(), 10u) << name;
+    EXPECT_TRUE(IsConnected(ds->graph)) << name;
+    EXPECT_FALSE(IsBipartite(ds->graph)) << name;
+    EXPECT_GT(ds->spectral.lambda, 0.0) << name;
+    EXPECT_LT(ds->spectral.lambda, 1.0) << name;
+    EXPECT_FALSE(DescribeDataset(*ds).empty());
+  }
+}
+
+TEST(DatasetsTest, UnknownNameRejected) {
+  EXPECT_FALSE(MakeDataset("twitter", 1.0).has_value());
+}
+
+TEST(DatasetsTest, HighDegreeDatasetsAreDenser) {
+  auto orkut = MakeDataset("orkut", 0.03);
+  auto youtube = MakeDataset("youtube", 0.03);
+  ASSERT_TRUE(orkut.has_value() && youtube.has_value());
+  EXPECT_GT(orkut->graph.AverageDegree(),
+            3.0 * youtube->graph.AverageDegree());
+}
+
+TEST(QueriesTest, RandomPairsValid) {
+  Graph g = testing::DenseTestGraph(20);
+  auto qs = RandomPairs(g, 50, 1);
+  ASSERT_EQ(qs.size(), 50u);
+  for (const auto& q : qs) {
+    EXPECT_NE(q.s, q.t);
+    EXPECT_LT(q.s, g.NumNodes());
+    EXPECT_LT(q.t, g.NumNodes());
+  }
+}
+
+TEST(QueriesTest, RandomPairsDeterministic) {
+  Graph g = testing::DenseTestGraph(20);
+  auto a = RandomPairs(g, 20, 7);
+  auto b = RandomPairs(g, 20, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].s, b[i].s);
+    EXPECT_EQ(a[i].t, b[i].t);
+  }
+}
+
+TEST(QueriesTest, RandomEdgesAreEdges) {
+  Graph g = gen::BarabasiAlbert(100, 3, 5);
+  auto qs = RandomEdges(g, 80, 2);
+  for (const auto& q : qs) {
+    EXPECT_TRUE(g.HasEdge(q.s, q.t));
+  }
+}
+
+TEST(QueriesTest, ArcSourceInvertsCsr) {
+  Graph g = testing::TriangleWithTail();
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (std::uint64_t k = g.Offsets()[u]; k < g.Offsets()[u + 1]; ++k) {
+      EXPECT_EQ(ArcSource(g, k), u);
+    }
+  }
+}
+
+TEST(QueriesTest, EdgeSamplingHitsHighDegreeMore) {
+  // Arc-uniform sampling: the hub of a star is an endpoint of every edge.
+  Graph g = gen::Star(30);
+  auto qs = RandomEdges(g, 100, 3);
+  for (const auto& q : qs) {
+    EXPECT_TRUE(q.s == 0 || q.t == 0);
+  }
+}
+
+TEST(GroundTruthTest, CgMatchesExact) {
+  Graph g = testing::DenseTestGraph(16);
+  auto qs = RandomPairs(g, 10, 4);
+  auto truth = GroundTruthCg(g, qs);
+  ASSERT_EQ(truth.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_NEAR(truth[i], testing::ExactEr(g, qs[i].s, qs[i].t), 1e-7);
+  }
+}
+
+TEST(GroundTruthTest, SmmMatchesCg) {
+  Graph g = testing::DenseTestGraph(16);
+  auto qs = RandomPairs(g, 8, 5);
+  auto cg = GroundTruthCg(g, qs);
+  auto smm = GroundTruthSmm(g, qs, 800);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_NEAR(cg[i], smm[i], 1e-6);
+  }
+}
+
+TEST(GroundTruthTest, SingleThreadMatchesMulti) {
+  Graph g = testing::DenseTestGraph(16);
+  auto qs = RandomPairs(g, 6, 6);
+  auto multi = GroundTruthCg(g, qs, 0);
+  auto single = GroundTruthCg(g, qs, 1);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_NEAR(multi[i], single[i], 1e-12);
+  }
+}
+
+TEST(ExperimentTest, RunMethodCollectsStats) {
+  auto ds = MakeDataset("facebook", 0.05);
+  ASSERT_TRUE(ds.has_value());
+  auto qs = RandomPairs(ds->graph, 10, 1);
+  auto truth = GroundTruthCg(ds->graph, qs);
+  ErOptions opt;
+  opt.epsilon = 0.2;
+  MethodResult res = RunMethod(*ds, "GEER", opt, qs, truth);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.queries_answered, qs.size());
+  EXPECT_LE(res.avg_abs_error, opt.epsilon);
+  EXPECT_GE(res.avg_millis, 0.0);
+}
+
+TEST(ExperimentTest, InfeasibleMethodShortCircuits) {
+  auto ds = MakeDataset("facebook", 0.05);
+  ASSERT_TRUE(ds.has_value());
+  auto qs = RandomPairs(ds->graph, 5, 1);
+  ErOptions opt;
+  opt.epsilon = 0.01;
+  opt.rp_max_bytes = 1024;  // force the RP OOM path
+  MethodResult res = RunMethod(*ds, "RP", opt, qs, {});
+  EXPECT_FALSE(res.feasible);
+  EXPECT_EQ(res.queries_answered, 0u);
+}
+
+TEST(ExperimentTest, EdgeOnlyMethodSkipsNonEdges) {
+  auto ds = MakeDataset("facebook", 0.05);
+  ASSERT_TRUE(ds.has_value());
+  auto edges = RandomEdges(ds->graph, 10, 2);
+  ErOptions opt;
+  opt.epsilon = 0.3;
+  MethodResult res = RunMethod(*ds, "MC2", opt, edges, {});
+  EXPECT_EQ(res.queries_answered, edges.size());
+}
+
+TEST(ExperimentTest, ExtrapolationUndoesScale) {
+  MethodResult res;
+  res.method = "TP";
+  res.avg_millis = 5.0;
+  res.sample_scale = 0.01;
+  EXPECT_NEAR(res.ExtrapolatedMillis(), 500.0, 1e-9);
+}
+
+TEST(TableTest, RenderAlignsColumns) {
+  TextTable table({"method", "ms"});
+  table.AddRow({"GEER", "1.5"});
+  table.AddRow({"AMC", "123.0"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("GEER"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TableTest, CsvRendering) {
+  TextTable table({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.RenderCsv(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace geer

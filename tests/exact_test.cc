@@ -1,0 +1,100 @@
+#include "core/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "core/solver_er.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace geer {
+namespace {
+
+TEST(ExactTest, PathDistance) {
+  Graph g = gen::Path(10);
+  ExactEstimator exact(g);
+  EXPECT_NEAR(exact.Estimate(0, 9), 9.0, 1e-9);
+  EXPECT_NEAR(exact.Estimate(3, 4), 1.0, 1e-9);
+}
+
+TEST(ExactTest, TreeDistance) {
+  // Any tree: r(u,v) = hop distance.
+  Graph g = gen::BalancedBinaryTree(4);
+  ExactEstimator exact(g);
+  EXPECT_NEAR(exact.Estimate(7, 8), 2.0, 1e-9);   // siblings
+  EXPECT_NEAR(exact.Estimate(0, 7), 3.0, 1e-9);   // root to leaf
+  EXPECT_NEAR(exact.Estimate(7, 14), 6.0, 1e-9);  // leaf to far leaf
+}
+
+TEST(ExactTest, CompleteGraphClosedForm) {
+  const NodeId n = 14;
+  ExactEstimator exact(gen::Complete(n));
+  EXPECT_NEAR(exact.Estimate(0, 13), 2.0 / n, 1e-10);
+}
+
+TEST(ExactTest, CycleClosedForm) {
+  const NodeId n = 11;
+  Graph g = gen::Cycle(n);
+  ExactEstimator exact(g);
+  for (NodeId t = 1; t < n; ++t) {
+    EXPECT_NEAR(exact.Estimate(0, t), testing::CycleEr(n, 0, t), 1e-9);
+  }
+}
+
+TEST(ExactTest, ParallelEdgesViaMultigraphReduction) {
+  // Two node-disjoint 2-edge paths between 0 and 3: series 1+1 = 2 each,
+  // in parallel: r = 1/(1/2 + 1/2) = 1.
+  Graph g = BuildGraph(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  ExactEstimator exact(g);
+  EXPECT_NEAR(exact.Estimate(0, 3), 1.0, 1e-10);
+}
+
+TEST(ExactTest, WheatstoneBridge) {
+  // Balanced Wheatstone bridge (all unit resistors): r across = 1.
+  // 0-1, 0-2, 1-3, 2-3 (the square) + bridge 1-2.
+  Graph g = BuildGraph(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {1, 2}});
+  ExactEstimator exact(g);
+  EXPECT_NEAR(exact.Estimate(0, 3), 1.0, 1e-10);
+}
+
+TEST(ExactTest, SameNodeZero) {
+  ExactEstimator exact(gen::Complete(5));
+  EXPECT_DOUBLE_EQ(exact.Estimate(2, 2), 0.0);
+}
+
+TEST(ExactTest, SymmetricInArguments) {
+  Graph g = testing::TriangleWithTail();
+  ExactEstimator exact(g);
+  EXPECT_NEAR(exact.Estimate(0, 4), exact.Estimate(4, 0), 1e-12);
+}
+
+TEST(ExactTest, CutEdgeHasUnitResistance) {
+  // Bridge edges always have r = 1 (single path).
+  Graph g = testing::TriangleWithTail();  // 2-3 and 3-4 are bridges
+  ExactEstimator exact(g);
+  EXPECT_NEAR(exact.Estimate(2, 3), 1.0, 1e-10);
+  EXPECT_NEAR(exact.Estimate(3, 4), 1.0, 1e-10);
+}
+
+TEST(ExactTest, TriangleEdge) {
+  // Triangle edge: 1 Ω parallel with 2 Ω series path = 2/3.
+  ExactEstimator exact(gen::Complete(3));
+  EXPECT_NEAR(exact.Estimate(0, 1), 2.0 / 3.0, 1e-10);
+}
+
+TEST(ExactTest, AgreesWithCgSolver) {
+  Graph g = gen::BarabasiAlbert(80, 4, 17);
+  ExactEstimator exact(g);
+  SolverEstimator cg(g);
+  for (auto [s, t] : {std::pair<NodeId, NodeId>{0, 79}, {7, 33}, {1, 2}}) {
+    EXPECT_NEAR(exact.Estimate(s, t), cg.Estimate(s, t), 1e-7);
+  }
+}
+
+TEST(ExactTest, FeasibilityCap) {
+  Graph g = gen::Cycle(100);
+  EXPECT_TRUE(ExactEstimator::Feasible(g, 100));
+  EXPECT_FALSE(ExactEstimator::Feasible(g, 99));
+}
+
+}  // namespace
+}  // namespace geer

@@ -1,0 +1,172 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+
+namespace geer {
+namespace {
+
+TEST(DeterministicGenTest, PathShape) {
+  Graph g = gen::Path(6);
+  EXPECT_EQ(g.NumNodes(), 6u);
+  EXPECT_EQ(g.NumEdges(), 5u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(3), 2u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(DeterministicGenTest, CycleShape) {
+  Graph g = gen::Cycle(7);
+  EXPECT_EQ(g.NumEdges(), 7u);
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(g.Degree(v), 2u);
+}
+
+TEST(DeterministicGenTest, CompleteShape) {
+  Graph g = gen::Complete(6);
+  EXPECT_EQ(g.NumEdges(), 15u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.Degree(v), 5u);
+}
+
+TEST(DeterministicGenTest, StarShape) {
+  Graph g = gen::Star(8);
+  EXPECT_EQ(g.NumEdges(), 7u);
+  EXPECT_EQ(g.Degree(0), 7u);
+  EXPECT_EQ(g.Degree(5), 1u);
+}
+
+TEST(DeterministicGenTest, GridShape) {
+  Graph g = gen::Grid(3, 4);
+  EXPECT_EQ(g.NumNodes(), 12u);
+  // 3 rows × 3 horizontal + 2 rows-gaps × 4 vertical = 9 + 8.
+  EXPECT_EQ(g.NumEdges(), 17u);
+  EXPECT_TRUE(IsBipartite(g));
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(DeterministicGenTest, BarbellShape) {
+  Graph g = gen::Barbell(4, 2);
+  EXPECT_EQ(g.NumNodes(), 9u);
+  // Two K4 (6 edges each) + bridge path of 2 edges.
+  EXPECT_EQ(g.NumEdges(), 14u);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_FALSE(IsBipartite(g));
+}
+
+TEST(DeterministicGenTest, LollipopShape) {
+  Graph g = gen::Lollipop(5, 3);
+  EXPECT_EQ(g.NumNodes(), 8u);
+  EXPECT_EQ(g.NumEdges(), 10u + 3u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(DeterministicGenTest, BinaryTreeShape) {
+  Graph g = gen::BalancedBinaryTree(4);
+  EXPECT_EQ(g.NumNodes(), 15u);
+  EXPECT_EQ(g.NumEdges(), 14u);  // tree: n − 1 edges
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_TRUE(IsBipartite(g));
+}
+
+TEST(DeterministicGenTest, CompleteBipartiteShape) {
+  Graph g = gen::CompleteBipartite(3, 5);
+  EXPECT_EQ(g.NumNodes(), 8u);
+  EXPECT_EQ(g.NumEdges(), 15u);
+  EXPECT_TRUE(IsBipartite(g));
+  EXPECT_EQ(g.Degree(0), 5u);
+  EXPECT_EQ(g.Degree(3), 3u);
+}
+
+TEST(DeterministicGenTest, CavemanShape) {
+  Graph g = gen::Caveman(4, 5);
+  EXPECT_EQ(g.NumNodes(), 20u);
+  EXPECT_EQ(g.NumEdges(), 4u * 10u + 4u);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_FALSE(IsBipartite(g));
+}
+
+TEST(RandomGenTest, ErdosRenyiEdgeBudgetAndConnectivity) {
+  Graph g = gen::ErdosRenyi(100, 300, 7);
+  EXPECT_EQ(g.NumNodes(), 100u);
+  EXPECT_EQ(g.NumEdges(), 300u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(RandomGenTest, ErdosRenyiDeterministicInSeed) {
+  Graph a = gen::ErdosRenyi(60, 150, 11);
+  Graph b = gen::ErdosRenyi(60, 150, 11);
+  Graph c = gen::ErdosRenyi(60, 150, 12);
+  EXPECT_EQ(a.Edges(), b.Edges());
+  EXPECT_NE(a.Edges(), c.Edges());
+}
+
+TEST(RandomGenTest, ErdosRenyiUnconnectedVariant) {
+  Graph g = gen::ErdosRenyi(50, 30, 3, /*connect=*/false);
+  EXPECT_EQ(g.NumEdges(), 30u);
+}
+
+TEST(RandomGenTest, BarabasiAlbertDegreesAndConnectivity) {
+  Graph g = gen::BarabasiAlbert(300, 4, 99);
+  EXPECT_EQ(g.NumNodes(), 300u);
+  EXPECT_TRUE(IsConnected(g));
+  // Every non-seed node attaches 4 edges.
+  EXPECT_GE(g.MinDegree(), 4u);
+  // Preferential attachment produces a hub well above the minimum.
+  EXPECT_GT(g.MaxDegree(), 12u);
+}
+
+TEST(RandomGenTest, BarabasiAlbertEdgeCount) {
+  const NodeId n = 200;
+  const NodeId epn = 3;
+  Graph g = gen::BarabasiAlbert(n, epn, 5);
+  // Seed clique of epn+1 nodes + (n − epn − 1) nodes × epn edges.
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(epn + 1) * epn / 2 +
+      static_cast<std::uint64_t>(n - epn - 1) * epn;
+  EXPECT_EQ(g.NumEdges(), expected);
+}
+
+TEST(RandomGenTest, WattsStrogatzShape) {
+  Graph g = gen::WattsStrogatz(500, 3, 0.1, 21);
+  EXPECT_TRUE(IsConnected(g));
+  // Average degree ≈ 2k = 6 (minus rare rewire collisions / LCC trim).
+  EXPECT_NEAR(g.AverageDegree(), 6.0, 0.8);
+}
+
+TEST(RandomGenTest, WattsStrogatzZeroBetaIsRingLattice) {
+  Graph g = gen::WattsStrogatz(40, 2, 0.0, 4);
+  EXPECT_EQ(g.NumEdges(), 80u);
+  for (NodeId v = 0; v < 40; ++v) EXPECT_EQ(g.Degree(v), 4u);
+}
+
+TEST(RandomGenTest, RMatConnectedPowerLaw) {
+  Graph g = gen::RMat(10, 8, 17);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_GT(g.NumNodes(), 500u);
+  // Heavy tail: max degree far above average.
+  EXPECT_GT(static_cast<double>(g.MaxDegree()), 4.0 * g.AverageDegree());
+}
+
+TEST(RandomGenTest, RMatDeterministicInSeed) {
+  Graph a = gen::RMat(8, 4, 5);
+  Graph b = gen::RMat(8, 4, 5);
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(RandomGenTest, SbmBlockStructure) {
+  Graph g = gen::StochasticBlockModel(4, 25, 0.5, 0.01, 13);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_GT(g.NumEdges(), 400u);  // ~4 · (25·24/2 · 0.5) intra alone
+}
+
+TEST(RunningExampleTest, MatchesPaperDegrees) {
+  gen::RunningExample ex = gen::Fig2RunningExample();
+  EXPECT_EQ(ex.graph.NumNodes(), 11u);
+  EXPECT_EQ(ex.graph.Degree(ex.s), 2u);
+  EXPECT_EQ(ex.graph.Degree(ex.t), 7u);
+  EXPECT_TRUE(IsConnected(ex.graph));
+  EXPECT_FALSE(IsBipartite(ex.graph));
+}
+
+}  // namespace
+}  // namespace geer

@@ -1,0 +1,75 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.h"
+
+namespace geer {
+namespace {
+
+TEST(IoTest, ParseBasicEdgeList) {
+  auto g = ParseEdgeList("0 1\n1 2\n2 0\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumNodes(), 3u);
+  EXPECT_EQ(g->NumEdges(), 3u);
+}
+
+TEST(IoTest, SkipsCommentsAndBlankLines) {
+  auto g = ParseEdgeList(
+      "# SNAP header\n"
+      "# Nodes: 3 Edges: 2\n"
+      "\n"
+      "0\t1\n"
+      "   \n"
+      "1\t2\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumEdges(), 2u);
+}
+
+TEST(IoTest, RemapsSparseIds) {
+  auto g = ParseEdgeList("1000000 42\n42 777\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumNodes(), 3u);
+  EXPECT_EQ(g->NumEdges(), 2u);
+}
+
+TEST(IoTest, DropsDuplicatesAndSelfLoops) {
+  auto g = ParseEdgeList("0 1\n1 0\n2 2\n0 1\n");
+  ASSERT_TRUE(g.has_value());
+  // Self-loop node 2 still interned as a node.
+  EXPECT_EQ(g->NumNodes(), 3u);
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST(IoTest, MalformedLineFails) {
+  EXPECT_FALSE(ParseEdgeList("0 1\nnot numbers\n").has_value());
+}
+
+TEST(IoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadEdgeList("/nonexistent/geer.txt").has_value());
+}
+
+TEST(IoTest, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "geer_io_test.txt").string();
+  Graph original = gen::ErdosRenyi(50, 120, 3);
+  ASSERT_TRUE(SaveEdgeList(original, path));
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumNodes(), original.NumNodes());
+  EXPECT_EQ(loaded->NumEdges(), original.NumEdges());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, EmptyInputGivesEmptyGraph) {
+  auto g = ParseEdgeList("");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumNodes(), 0u);
+}
+
+}  // namespace
+}  // namespace geer

@@ -1,0 +1,117 @@
+// End-to-end pipeline tests: dataset → spectral preprocessing → query
+// sets → ground truth → estimators → experiment summaries. Mirrors what
+// each figure bench does, at smoke scale.
+
+#include <gtest/gtest.h>
+
+#include "core/amc.h"
+#include "core/registry.h"
+#include "eval/datasets.h"
+#include "eval/experiment.h"
+#include "eval/ground_truth.h"
+#include "eval/queries.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "stats/bounds.h"
+
+namespace geer {
+namespace {
+
+TEST(IntegrationTest, Fig4PipelineSmoke) {
+  auto ds = MakeDataset("facebook", 0.05);
+  ASSERT_TRUE(ds.has_value());
+  auto queries = RandomPairs(ds->graph, 20, 1);
+  auto truth = GroundTruthCg(ds->graph, queries);
+
+  for (const std::string& method : {"GEER", "AMC", "SMM"}) {
+    ErOptions opt;
+    opt.epsilon = 0.2;
+    MethodResult res = RunMethod(*ds, method, opt, queries, truth);
+    EXPECT_TRUE(res.completed) << method;
+    EXPECT_EQ(res.queries_answered, queries.size()) << method;
+    // The paper's Fig. 6 criterion: mean error below the ε diagonal.
+    EXPECT_LE(res.avg_abs_error, opt.epsilon) << method;
+  }
+}
+
+TEST(IntegrationTest, Fig5EdgePipelineSmoke) {
+  auto ds = MakeDataset("facebook", 0.05);
+  ASSERT_TRUE(ds.has_value());
+  auto queries = RandomEdges(ds->graph, 15, 2);
+  auto truth = GroundTruthCg(ds->graph, queries);
+  for (const std::string& method : {"GEER", "AMC", "MC2", "HAY"}) {
+    ErOptions opt;
+    opt.epsilon = 0.25;
+    MethodResult res = RunMethod(*ds, method, opt, queries, truth);
+    EXPECT_EQ(res.queries_answered, queries.size()) << method;
+    EXPECT_LE(res.avg_abs_error, opt.epsilon) << method;
+  }
+}
+
+TEST(IntegrationTest, GeerBeatsAmcOnWalkBudget) {
+  // The paper's central efficiency claim at reproduction scale: GEER's
+  // per-query sampling work is at most AMC's, typically far less.
+  auto ds = MakeDataset("orkut", 0.05);
+  ASSERT_TRUE(ds.has_value());
+  auto queries = RandomPairs(ds->graph, 10, 3);
+  ErOptions opt;
+  opt.epsilon = 0.05;
+  MethodResult geer_res = RunMethod(*ds, "GEER", opt, queries, {});
+  MethodResult amc_res = RunMethod(*ds, "AMC", opt, queries, {});
+  EXPECT_LE(geer_res.total_walks, amc_res.total_walks);
+}
+
+TEST(IntegrationTest, DeadlineProducesIncompleteResult) {
+  auto ds = MakeDataset("dblp", 0.05);
+  ASSERT_TRUE(ds.has_value());
+  auto queries = RandomPairs(ds->graph, 50, 4);
+  ErOptions opt;
+  opt.epsilon = 0.02;
+  RunConfig config;
+  config.deadline_seconds = 1e-4;  // expire essentially immediately
+  MethodResult res = RunMethod(*ds, "AMC", opt, queries, {}, config);
+  EXPECT_FALSE(res.completed);
+  EXPECT_LT(res.queries_answered, queries.size());
+  EXPECT_GE(res.queries_answered, 1u);
+}
+
+TEST(IntegrationTest, RunningExampleEtaStarGrowsWithLength) {
+  // Fig. 2's table: η* grows with ℓ_f on the toy graph. With one-hot
+  // inputs ψ depends on ⌈ℓ/2⌉ only (max2 = 0), so η* steps up every
+  // second length: non-decreasing everywhere, strictly larger at ℓ+2.
+  gen::RunningExample ex = gen::Fig2RunningExample();
+  ErOptions opt;
+  opt.epsilon = 0.5;
+  opt.delta = 0.1;
+  std::uint64_t eta[9] = {0};
+  for (std::uint32_t ell = 1; ell <= 8; ++ell) {
+    const double psi = AmcPsi(
+        ell, 1.0, 0.0, ex.graph.Degree(ex.s), 1.0, 0.0,
+        ex.graph.Degree(ex.t));
+    eta[ell] = AmcMaxSamples(opt.epsilon, psi, opt.delta, 1);
+    EXPECT_GE(eta[ell], eta[ell - 1]) << "ell=" << ell;
+    if (ell >= 3) EXPECT_GT(eta[ell], eta[ell - 2]) << "ell=" << ell;
+  }
+}
+
+TEST(IntegrationTest, SnapFormatRoundTripThroughDatasetLoader) {
+  // Write a small graph in SNAP format and run the full loader pipeline.
+  const std::string path = ::testing::TempDir() + "/geer_snap.txt";
+  {
+    Graph g = gen::BarabasiAlbert(60, 3, 1);
+    ASSERT_TRUE(SaveEdgeList(g, path));
+  }
+  auto ds = LoadDatasetFromFile(path);
+  ASSERT_TRUE(ds.has_value());
+  EXPECT_EQ(ds->graph.NumNodes(), 60u);
+  EXPECT_LT(ds->spectral.lambda, 1.0);
+  auto queries = RandomPairs(ds->graph, 5, 5);
+  auto truth = GroundTruthCg(ds->graph, queries);
+  ErOptions opt;
+  opt.epsilon = 0.3;
+  MethodResult res = RunMethod(*ds, "GEER", opt, queries, truth);
+  EXPECT_LE(res.avg_abs_error, opt.epsilon);
+}
+
+}  // namespace
+}  // namespace geer

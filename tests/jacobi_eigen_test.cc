@@ -1,0 +1,98 @@
+#include "linalg/jacobi_eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rw/rng.h"
+
+namespace geer {
+namespace {
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  Matrix m(3, 3, 0.0);
+  m(0, 0) = 3.0;
+  m(1, 1) = 1.0;
+  m(2, 2) = 2.0;
+  EigenDecomposition eig = JacobiEigenSolve(m);
+  ASSERT_EQ(eig.eigenvalues.size(), 3u);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, TwoByTwoClosedForm) {
+  Matrix m(2, 2, 0.0);
+  m(0, 0) = 2.0;
+  m(0, 1) = 1.0;
+  m(1, 0) = 1.0;
+  m(1, 1) = 2.0;
+  EigenDecomposition eig = JacobiEigenSolve(m);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, EigenpairsSatisfyDefinition) {
+  Rng rng(5);
+  const std::size_t n = 12;
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.NextGaussian();
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  EigenDecomposition eig = JacobiEigenSolve(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    Vector v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = eig.eigenvectors(i, k);
+    Vector mv = MatVec(m, v);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(mv[i], eig.eigenvalues[k] * v[i], 1e-8);
+    }
+  }
+}
+
+TEST(JacobiEigenTest, TraceEqualsEigenvalueSum) {
+  Rng rng(9);
+  const std::size_t n = 10;
+  Matrix m(n, n, 0.0);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.NextGaussian();
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+    trace += m(i, i);
+  }
+  EigenDecomposition eig = JacobiEigenSolve(m);
+  EXPECT_NEAR(Sum(eig.eigenvalues), trace, 1e-9);
+}
+
+TEST(JacobiEigenTest, EigenvectorsOrthonormal) {
+  Rng rng(31);
+  const std::size_t n = 8;
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.NextGaussian();
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  EigenDecomposition eig = JacobiEigenSolve(m);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += eig.eigenvectors(i, a) * eig.eigenvectors(i, b);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geer

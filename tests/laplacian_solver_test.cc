@@ -1,0 +1,98 @@
+#include "linalg/laplacian_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace geer {
+namespace {
+
+TEST(LaplacianSolverTest, ResidualIsSmall) {
+  Graph g = gen::ErdosRenyi(80, 240, 11);
+  LaplacianSolver solver(g);
+  Vector b(g.NumNodes(), 0.0);
+  b[3] = 1.0;
+  b[40] = -1.0;
+  CgStats stats;
+  Vector x = solver.Solve(b, &stats);
+  EXPECT_TRUE(stats.converged);
+  Vector lx;
+  solver.ApplyLaplacian(x, &lx);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(lx[i], b[i], 1e-7);
+  }
+}
+
+TEST(LaplacianSolverTest, SolutionIsMeanFree) {
+  Graph g = gen::Complete(10);
+  LaplacianSolver solver(g);
+  Vector b(10, 0.0);
+  b[0] = 1.0;
+  b[1] = -1.0;
+  Vector x = solver.Solve(b);
+  EXPECT_NEAR(Sum(x), 0.0, 1e-10);
+}
+
+TEST(LaplacianSolverTest, ProjectsUnbalancedRhs) {
+  // b with a 𝟙-component: the solver must strip it, not diverge.
+  Graph g = gen::Cycle(9);
+  LaplacianSolver solver(g);
+  Vector b(9, 1.0);  // pure kernel component
+  CgStats stats;
+  Vector x = solver.Solve(b, &stats);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_NEAR(Norm2(x), 0.0, 1e-10);
+}
+
+TEST(LaplacianSolverTest, ErOnPathEqualsDistance) {
+  Graph g = gen::Path(8);
+  LaplacianSolver solver(g);
+  EXPECT_NEAR(solver.EffectiveResistance(0, 7), 7.0, 1e-8);
+  EXPECT_NEAR(solver.EffectiveResistance(2, 5), 3.0, 1e-8);
+}
+
+TEST(LaplacianSolverTest, ErOnCompleteGraph) {
+  const NodeId n = 12;
+  Graph g = gen::Complete(n);
+  LaplacianSolver solver(g);
+  EXPECT_NEAR(solver.EffectiveResistance(1, 7), 2.0 / n, 1e-9);
+}
+
+TEST(LaplacianSolverTest, ErOnCycleClosedForm) {
+  const NodeId n = 10;
+  Graph g = gen::Cycle(n);
+  LaplacianSolver solver(g);
+  for (NodeId t = 1; t < n; ++t) {
+    EXPECT_NEAR(solver.EffectiveResistance(0, t),
+                testing::CycleEr(n, 0, t), 1e-8)
+        << "t=" << t;
+  }
+}
+
+TEST(LaplacianSolverTest, SameNodeIsZero) {
+  Graph g = gen::Complete(5);
+  LaplacianSolver solver(g);
+  EXPECT_DOUBLE_EQ(solver.EffectiveResistance(3, 3), 0.0);
+}
+
+TEST(LaplacianSolverTest, SymmetricInArguments) {
+  Graph g = testing::TriangleWithTail();
+  LaplacianSolver solver(g);
+  EXPECT_NEAR(solver.EffectiveResistance(0, 4),
+              solver.EffectiveResistance(4, 0), 1e-10);
+}
+
+TEST(LaplacianSolverTest, MatchesDenseExact) {
+  Graph g = gen::BarabasiAlbert(60, 3, 7);
+  LaplacianSolver solver(g);
+  for (auto [s, t] : {std::pair<NodeId, NodeId>{0, 59},
+                      {5, 20},
+                      {10, 11}}) {
+    EXPECT_NEAR(solver.EffectiveResistance(s, t),
+                testing::ExactEr(g, s, t), 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace geer

@@ -1,0 +1,77 @@
+#include "linalg/dense.h"
+
+#include <gtest/gtest.h>
+
+namespace geer {
+namespace {
+
+TEST(DenseVectorTest, DotAndNorm) {
+  Vector x = {1.0, 2.0, 3.0};
+  Vector y = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(x, y), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(Norm2({3.0, 4.0}), 5.0);
+}
+
+TEST(DenseVectorTest, AxpyAndScale) {
+  Vector x = {1.0, 2.0};
+  Vector y = {10.0, 20.0};
+  Axpy(2.0, x, &y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  Scale(0.5, &y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+}
+
+TEST(DenseVectorTest, SumMinMax) {
+  Vector x = {3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Sum(x), 4.0);
+  EXPECT_DOUBLE_EQ(Min(x), -1.0);
+  EXPECT_DOUBLE_EQ(Max(x), 3.0);
+}
+
+TEST(DenseVectorTest, TopTwoBasic) {
+  auto [m1, m2] = TopTwo({0.1, 0.7, 0.3, 0.7});
+  EXPECT_DOUBLE_EQ(m1, 0.7);
+  EXPECT_DOUBLE_EQ(m2, 0.7);  // duplicates count separately
+}
+
+TEST(DenseVectorTest, TopTwoSingleElementSecondIsZero) {
+  auto [m1, m2] = TopTwo({0.4});
+  EXPECT_DOUBLE_EQ(m1, 0.4);
+  EXPECT_DOUBLE_EQ(m2, 0.0);
+}
+
+TEST(DenseVectorTest, TopTwoOneHot) {
+  Vector e(10, 0.0);
+  e[4] = 1.0;
+  auto [m1, m2] = TopTwo(e);
+  EXPECT_DOUBLE_EQ(m1, 1.0);
+  EXPECT_DOUBLE_EQ(m2, 0.0);
+}
+
+TEST(DenseVectorTest, RemoveMeanCentersVector) {
+  Vector x = {1.0, 2.0, 3.0};
+  RemoveMean(&x);
+  EXPECT_NEAR(Sum(x), 0.0, 1e-15);
+  EXPECT_DOUBLE_EQ(x[0], -1.0);
+}
+
+TEST(DenseMatrixTest, IndexingAndMatVec) {
+  Matrix m(2, 3, 0.0);
+  m(0, 0) = 1.0;
+  m(0, 2) = 2.0;
+  m(1, 1) = 3.0;
+  Vector y = MatVec(m, {1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(DenseMatrixTest, RowPointerIsRowMajor) {
+  Matrix m(2, 2, 0.0);
+  m(1, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m.Row(1)[0], 7.0);
+}
+
+}  // namespace
+}  // namespace geer

@@ -1,0 +1,85 @@
+// Contract tests for ErOptions validation: every estimator calls
+// ValidateOptions at construction, so these death tests pin down the
+// fail-fast surface of the whole library.
+
+#include "core/options.h"
+
+#include <gtest/gtest.h>
+
+namespace geer {
+namespace {
+
+ErOptions Valid() { return ErOptions{}; }
+
+TEST(OptionsTest, DefaultsAreValid) { ValidateOptions(Valid()); }
+
+TEST(OptionsTest, PaperExperimentalDefaults) {
+  // §5.1: δ = 0.01, τ = 5 — pin the defaults the benches rely on.
+  const ErOptions opt;
+  EXPECT_DOUBLE_EQ(opt.delta, 0.01);
+  EXPECT_EQ(opt.tau, 5);
+  EXPECT_FALSE(opt.use_peng_ell);
+  EXPECT_EQ(opt.geer_fixed_lb, -1);
+}
+
+TEST(OptionsDeathTest, RejectsNonPositiveEpsilon) {
+  ErOptions opt = Valid();
+  opt.epsilon = 0.0;
+  EXPECT_DEATH(ValidateOptions(opt), "epsilon");
+  opt.epsilon = -0.1;
+  EXPECT_DEATH(ValidateOptions(opt), "epsilon");
+}
+
+TEST(OptionsDeathTest, RejectsDeltaOutsideUnitInterval) {
+  ErOptions opt = Valid();
+  opt.delta = 0.0;
+  EXPECT_DEATH(ValidateOptions(opt), "delta");
+  opt.delta = 1.0;
+  EXPECT_DEATH(ValidateOptions(opt), "delta");
+}
+
+TEST(OptionsDeathTest, RejectsBadTau) {
+  ErOptions opt = Valid();
+  opt.tau = 0;
+  EXPECT_DEATH(ValidateOptions(opt), "tau");
+  opt.tau = 63;  // 2^τ would overflow the sample-count arithmetic
+  EXPECT_DEATH(ValidateOptions(opt), "tau");
+}
+
+TEST(OptionsDeathTest, RejectsLambdaOutsideRange) {
+  ErOptions opt = Valid();
+  opt.lambda = 1.0;  // walk-length formulas divide by log(1/λ)
+  EXPECT_DEATH(ValidateOptions(opt), "lambda");
+  opt.lambda = -0.1;
+  EXPECT_DEATH(ValidateOptions(opt), "lambda");
+}
+
+TEST(OptionsTest, LambdaJustBelowOneAccepted) {
+  ErOptions opt = Valid();
+  opt.lambda = 1.0 - 1e-9;
+  ValidateOptions(opt);  // must not die — near-bipartite graphs hit this
+}
+
+TEST(OptionsDeathTest, RejectsZeroMaxEll) {
+  ErOptions opt = Valid();
+  opt.max_ell = 0;
+  EXPECT_DEATH(ValidateOptions(opt), "max_ell");
+}
+
+TEST(OptionsDeathTest, RejectsNonPositiveSampleScales) {
+  ErOptions opt = Valid();
+  opt.tp_scale = 0.0;
+  EXPECT_DEATH(ValidateOptions(opt), "tp_scale");
+  opt = Valid();
+  opt.tpc_scale = -1.0;
+  EXPECT_DEATH(ValidateOptions(opt), "tpc_scale");
+}
+
+TEST(OptionsDeathTest, RejectsNegativeRpDimensions) {
+  ErOptions opt = Valid();
+  opt.rp_dimensions = -8;
+  EXPECT_DEATH(ValidateOptions(opt), "rp_dimensions");
+}
+
+}  // namespace
+}  // namespace geer

@@ -1,0 +1,72 @@
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace geer {
+namespace {
+
+TEST(RegistryTest, AllNamesConstruct) {
+  Graph g = testing::DenseTestGraph(12);
+  ErOptions opt;
+  opt.epsilon = 0.5;
+  opt.tp_scale = 0.001;
+  opt.tpc_scale = 0.001;
+  opt.rp_dimensions = 16;
+  for (const std::string& name : EstimatorNames()) {
+    auto est = CreateEstimator(name, g, opt);
+    ASSERT_NE(est, nullptr) << name;
+    if (name == "SMM-PengEll") {
+      EXPECT_EQ(est->Name(), "SMM-PengEll");
+    } else {
+      EXPECT_EQ(est->Name(), name);
+    }
+  }
+}
+
+TEST(RegistryTest, UnknownNameReturnsNull) {
+  Graph g = gen::Complete(5);
+  EXPECT_EQ(CreateEstimator("NOPE", g, {}), nullptr);
+}
+
+TEST(RegistryTest, EdgeOnlyMethodsFlagNonEdges) {
+  Graph g = testing::DenseTestGraph(12);
+  ErOptions opt;
+  auto mc2 = CreateEstimator("MC2", g, opt);
+  auto hay = CreateEstimator("HAY", g, opt);
+  auto geer_est = CreateEstimator("GEER", g, opt);
+  ASSERT_FALSE(g.HasEdge(0, 9));
+  EXPECT_FALSE(mc2->SupportsQuery(0, 9));
+  EXPECT_FALSE(hay->SupportsQuery(0, 9));
+  EXPECT_TRUE(geer_est->SupportsQuery(0, 9));
+}
+
+TEST(RegistryTest, FeasibilityChecks) {
+  Graph small = testing::DenseTestGraph(12);
+  ErOptions opt;
+  opt.epsilon = 0.5;
+  EXPECT_TRUE(EstimatorFeasible("EXACT", small, opt));
+  EXPECT_TRUE(EstimatorFeasible("GEER", small, opt));
+  EXPECT_FALSE(EstimatorFeasible("NOPE", small, opt));
+
+  ErOptions tight = opt;
+  tight.epsilon = 0.01;
+  tight.rp_max_bytes = 1024;
+  EXPECT_FALSE(EstimatorFeasible("RP", small, tight));
+}
+
+TEST(RegistryTest, SmmPengVariantUsesPengEll) {
+  Graph g = testing::DenseTestGraph(16);
+  ErOptions opt;
+  opt.epsilon = 0.1;
+  auto refined = CreateEstimator("SMM", g, opt);
+  auto peng = CreateEstimator("SMM-PengEll", g, opt);
+  QueryStats a = refined->EstimateWithStats(0, 1);
+  QueryStats b = peng->EstimateWithStats(0, 1);
+  EXPECT_LT(a.ell, b.ell);
+}
+
+}  // namespace
+}  // namespace geer

@@ -1,0 +1,124 @@
+#include "centrality/spanning_edge_centrality.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "linalg/laplacian_solver.h"
+#include "sparsify/spectral_sparsifier.h"
+#include "test_util.h"
+
+namespace geer {
+namespace {
+
+TEST(SpanningCentralityTest, TreeCountFormula) {
+  SpanningCentralityOptions opt;
+  opt.epsilon = 0.1;
+  opt.delta = 0.01;
+  const double expected = std::ceil(std::log(2.0 * 500 / 0.01) / 0.02);
+  EXPECT_EQ(SpanningCentralityTreeCount(500, opt),
+            static_cast<std::uint64_t>(expected));
+  opt.num_trees = 77;
+  EXPECT_EQ(SpanningCentralityTreeCount(500, opt), 77u);
+}
+
+TEST(SpanningCentralityTest, TreeGraphAllEdgesExactlyOne) {
+  // Every edge of a tree is in every spanning tree: r̂(e) = 1 exactly.
+  Graph g = gen::BalancedBinaryTree(4);
+  SpanningCentralityOptions opt;
+  opt.num_trees = 50;
+  const SpanningCentrality sc = EstimateSpanningCentrality(g, opt);
+  for (const double r : sc.edge_er) EXPECT_DOUBLE_EQ(r, 1.0);
+}
+
+TEST(SpanningCentralityTest, FosterHoldsExactlyByConstruction) {
+  // Each UST contributes n−1 edges, so Σ r̂(e) = n−1 with zero variance.
+  Graph g = gen::ErdosRenyi(60, 300, 3);
+  SpanningCentralityOptions opt;
+  opt.num_trees = 40;
+  const SpanningCentrality sc = EstimateSpanningCentrality(g, opt);
+  double sum = 0.0;
+  for (const double r : sc.edge_er) sum += r;
+  EXPECT_NEAR(sum, static_cast<double>(g.NumNodes()) - 1.0, 1e-9);
+}
+
+TEST(SpanningCentralityTest, MatchesExactErOnAllEdges) {
+  Graph g = testing::DenseTestGraph(16);
+  SpanningCentralityOptions opt;
+  opt.epsilon = 0.05;
+  opt.delta = 0.01;
+  opt.seed = 7;
+  const SpanningCentrality sc = EstimateSpanningCentrality(g, opt);
+  LaplacianSolver solver(g);
+  const auto edges = g.Edges();
+  ASSERT_EQ(sc.edge_er.size(), edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const double truth =
+        solver.EffectiveResistance(edges[e].first, edges[e].second);
+    EXPECT_NEAR(sc.edge_er[e], truth, opt.epsilon)
+        << "edge (" << edges[e].first << "," << edges[e].second << ")";
+  }
+}
+
+TEST(SpanningCentralityTest, CompleteGraphUniformCentrality) {
+  // K_n: r(e) = 2/n for every edge, and symmetry forces equal estimates
+  // in expectation.
+  Graph g = gen::Complete(12);
+  SpanningCentralityOptions opt;
+  opt.epsilon = 0.04;
+  opt.seed = 11;
+  const SpanningCentrality sc = EstimateSpanningCentrality(g, opt);
+  for (const double r : sc.edge_er) EXPECT_NEAR(r, 2.0 / 12.0, 0.04);
+}
+
+TEST(SpanningCentralityTest, BridgeRanksHighestOnBarbell) {
+  // The barbell bridge is in every spanning tree (r = 1); clique edges
+  // are far below — the spanning-centrality ranking the module exists for.
+  Graph g = gen::Barbell(6, 1);
+  SpanningCentralityOptions opt;
+  opt.num_trees = 400;
+  opt.seed = 13;
+  const SpanningCentrality sc = EstimateSpanningCentrality(g, opt);
+  const auto edges = g.Edges();
+  double max_non_bridge = 0.0;
+  double bridge_value = 0.0;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const bool is_bridge = sc.edge_er[e] > 0.999;
+    if (is_bridge) {
+      bridge_value = sc.edge_er[e];
+    } else {
+      max_non_bridge = std::max(max_non_bridge, sc.edge_er[e]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(bridge_value, 1.0);
+  EXPECT_LT(max_non_bridge, 0.8);
+}
+
+TEST(SpanningCentralityTest, DeterministicInSeed) {
+  Graph g = gen::ErdosRenyi(40, 160, 17);
+  SpanningCentralityOptions opt;
+  opt.num_trees = 25;
+  opt.seed = 19;
+  const SpanningCentrality a = EstimateSpanningCentrality(g, opt);
+  const SpanningCentrality b = EstimateSpanningCentrality(g, opt);
+  EXPECT_EQ(a.edge_er, b.edge_er);
+}
+
+TEST(SpanningCentralityTest, FeedsSparsifierEndToEnd) {
+  // The bulk-ER pipeline without any Laplacian solve: USTs → sparsifier.
+  Graph g = gen::ErdosRenyi(80, 1600, 21);
+  SpanningCentralityOptions opt;
+  opt.epsilon = 0.1;
+  opt.seed = 23;
+  const SpanningCentrality sc = EstimateSpanningCentrality(g, opt);
+  SparsifierOptions sopt;
+  sopt.epsilon = 0.6;
+  sopt.seed = 25;
+  WeightedGraph h = SparsifyByEffectiveResistance(g, sc.edge_er, sopt);
+  const SparsifierQuality q = EvaluateSparsifier(g, h, 8, 27);
+  EXPECT_LT(q.worst_ratio, 1.8);
+}
+
+}  // namespace
+}  // namespace geer

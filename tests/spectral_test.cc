@@ -1,0 +1,71 @@
+#include "linalg/spectral.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace geer {
+namespace {
+
+TEST(SpectralTest, CompleteGraphClosedForm) {
+  // K_n: P has eigenvalues 1 and −1/(n−1) (n−1 times).
+  const NodeId n = 10;
+  SpectralBounds sb = ComputeSpectralBounds(gen::Complete(n));
+  EXPECT_NEAR(sb.lambda2, -1.0 / (n - 1.0), 1e-8);
+  EXPECT_NEAR(sb.lambda_n, -1.0 / (n - 1.0), 1e-8);
+  EXPECT_NEAR(sb.lambda, 1.0 / (n - 1.0), 1e-8);
+}
+
+TEST(SpectralTest, OddCycleClosedForm) {
+  // C_n: eigenvalues cos(2πk/n); for odd n, λ₂ = cos(2π/n) and
+  // λ_n = cos(π(n−1)/n).
+  const NodeId n = 9;
+  SpectralBounds sb = ComputeSpectralBounds(gen::Cycle(n));
+  EXPECT_NEAR(sb.lambda2, std::cos(2.0 * M_PI / n), 1e-8);
+  EXPECT_NEAR(sb.lambda_n, std::cos(2.0 * M_PI * 4.0 / n), 1e-8);
+}
+
+TEST(SpectralTest, BipartiteReportsMinusOne) {
+  SpectralBounds sb = ComputeSpectralBounds(gen::Cycle(8));
+  EXPECT_NEAR(sb.lambda_n, -1.0, 1e-8);
+  // λ is clamped below 1 so the ℓ formulas stay finite.
+  EXPECT_LT(sb.lambda, 1.0);
+}
+
+TEST(SpectralTest, MatchesDenseOracleOnRandomGraphs) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Graph g = gen::ErdosRenyi(60, 180, seed);
+    SpectralBounds lanczos = ComputeSpectralBounds(g);
+    SpectralBounds dense = ComputeSpectralBoundsDense(g);
+    EXPECT_NEAR(lanczos.lambda2, dense.lambda2, 1e-6) << "seed " << seed;
+    EXPECT_NEAR(lanczos.lambda_n, dense.lambda_n, 1e-6) << "seed " << seed;
+    EXPECT_NEAR(lanczos.lambda, dense.lambda, 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(SpectralTest, BarbellMixesSlowly) {
+  // The barbell's bottleneck pushes λ₂ toward 1.
+  SpectralBounds sb = ComputeSpectralBounds(gen::Barbell(8, 4));
+  EXPECT_GT(sb.lambda2, 0.9);
+}
+
+TEST(SpectralTest, DenseExpanderMixesFast) {
+  SpectralBounds sb = ComputeSpectralBounds(gen::ErdosRenyi(100, 1200, 5));
+  EXPECT_LT(sb.lambda, 0.6);
+}
+
+TEST(SpectralTest, LambdaWithinUnitInterval) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Graph g = gen::BarabasiAlbert(80, 3, seed);
+    SpectralBounds sb = ComputeSpectralBounds(g);
+    EXPECT_GE(sb.lambda, 0.0);
+    EXPECT_LT(sb.lambda, 1.0);
+    EXPECT_LE(sb.lambda2, 1.0);
+    EXPECT_GE(sb.lambda_n, -1.0);
+  }
+}
+
+}  // namespace
+}  // namespace geer

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rw/rng.h"
+#include "stats/accumulator.h"
+#include "stats/bounds.h"
+
+namespace geer {
+namespace {
+
+TEST(BoundsTest, BernsteinMatchesFormula) {
+  // f(n, σ̂², ψ, δ) = sqrt(2σ̂² log(3/δ)/n) + 3ψ log(3/δ)/n.
+  const double expected = std::sqrt(2.0 * 0.25 * std::log(3.0 / 0.05) / 100) +
+                          3.0 * 2.0 * std::log(3.0 / 0.05) / 100;
+  EXPECT_NEAR(EmpiricalBernsteinBound(100, 0.25, 2.0, 0.05), expected,
+              1e-12);
+}
+
+TEST(BoundsTest, BernsteinShrinksWithSamples) {
+  const double f1 = EmpiricalBernsteinBound(100, 0.5, 1.0, 0.01);
+  const double f2 = EmpiricalBernsteinBound(1000, 0.5, 1.0, 0.01);
+  EXPECT_LT(f2, f1);
+}
+
+TEST(BoundsTest, BernsteinShrinksWithVariance) {
+  const double high = EmpiricalBernsteinBound(100, 1.0, 1.0, 0.01);
+  const double low = EmpiricalBernsteinBound(100, 0.01, 1.0, 0.01);
+  EXPECT_LT(low, high);
+}
+
+TEST(BoundsTest, BernsteinZeroVarianceLeavesRangeTerm) {
+  const double f = EmpiricalBernsteinBound(50, 0.0, 1.0, 0.1);
+  EXPECT_NEAR(f, 3.0 * std::log(3.0 / 0.1) / 50, 1e-12);
+}
+
+TEST(BoundsTest, BernsteinTighterThanHoeffdingAtLowVariance)
+{
+  // The effect AMC exploits: at small empirical variance, Bernstein beats
+  // the variance-blind Hoeffding width for variables of range ψ.
+  const std::uint64_t n = 2000;
+  const double psi = 1.0;
+  const double bernstein = EmpiricalBernsteinBound(n, 1e-4, psi, 0.01);
+  const double hoeffding = HoeffdingBound(n, psi, 0.01);
+  EXPECT_LT(bernstein, hoeffding);
+}
+
+TEST(BoundsTest, HoeffdingSampleCountInverts) {
+  // The derived n makes the width ≤ ε (and n−1 would not).
+  const double eps = 0.05;
+  const double psi = 2.0;
+  const double delta = 0.01;
+  const std::uint64_t n = HoeffdingSampleCount(eps, psi, delta);
+  EXPECT_LE(HoeffdingBound(n, psi, delta), eps + 1e-12);
+  if (n > 1) EXPECT_GT(HoeffdingBound(n - 1, psi, delta), eps);
+}
+
+TEST(BoundsTest, AmcMaxSamplesMatchesEq8) {
+  // η* = 2ψ² log(2τ/δ)/ε².
+  const double psi = 1.5;
+  const double eps = 0.1;
+  const double delta = 0.01;
+  const int tau = 5;
+  const double expected =
+      std::ceil(2.0 * psi * psi * std::log(2.0 * tau / delta) / (eps * eps));
+  EXPECT_EQ(AmcMaxSamples(eps, psi, delta, tau),
+            static_cast<std::uint64_t>(expected));
+}
+
+TEST(BoundsTest, AmcMaxSamplesGrowsWithTau) {
+  EXPECT_LT(AmcMaxSamples(0.1, 1.0, 0.01, 1),
+            AmcMaxSamples(0.1, 1.0, 0.01, 8));
+}
+
+TEST(AccumulatorTest, MeanVarKnownValues) {
+  MeanVarAccumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(v);
+  EXPECT_EQ(acc.Count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 5.0);
+  EXPECT_NEAR(acc.Variance(), 4.0, 1e-12);  // population variance
+}
+
+TEST(AccumulatorTest, ResetClears) {
+  MeanVarAccumulator acc;
+  acc.Add(10.0);
+  acc.Reset();
+  EXPECT_EQ(acc.Count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Variance(), 0.0);
+}
+
+TEST(AccumulatorTest, AgreesWithWelford) {
+  Rng rng(3);
+  MeanVarAccumulator naive;
+  MeanVarWelford welford;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble() * 3.0 - 1.0;
+    naive.Add(v);
+    welford.Add(v);
+  }
+  EXPECT_NEAR(naive.Mean(), welford.Mean(), 1e-10);
+  EXPECT_NEAR(naive.Variance(), welford.Variance(), 1e-10);
+}
+
+TEST(AccumulatorTest, ConstantStreamZeroVariance) {
+  MeanVarAccumulator acc;
+  for (int i = 0; i < 100; ++i) acc.Add(3.14);
+  EXPECT_NEAR(acc.Variance(), 0.0, 1e-12);
+}
+
+TEST(SummaryAccumulatorTest, TracksExtremes) {
+  SummaryAccumulator acc;
+  acc.Add(3.0);
+  acc.Add(-1.0);
+  acc.Add(2.0);
+  EXPECT_EQ(acc.Count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.Min(), -1.0);
+  EXPECT_DOUBLE_EQ(acc.Max(), 3.0);
+  EXPECT_NEAR(acc.Mean(), 4.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.Sum(), 4.0);
+}
+
+TEST(BoundsTest, BernsteinCoverageEmpirical) {
+  // Property check: the bound holds with frequency ≥ 1−δ over repeated
+  // bounded samples (Bernoulli(0.3), ψ = 1).
+  Rng rng(9);
+  const double p = 0.3;
+  const double delta = 0.1;
+  const int reps = 400;
+  const std::uint64_t n = 500;
+  int violations = 0;
+  for (int r = 0; r < reps; ++r) {
+    MeanVarAccumulator acc;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      acc.Add(rng.NextBernoulli(p) ? 1.0 : 0.0);
+    }
+    const double f = EmpiricalBernsteinBound(n, acc.Variance(), 1.0, delta);
+    if (std::abs(acc.Mean() - p) > f) ++violations;
+  }
+  EXPECT_LE(violations, static_cast<int>(reps * delta));
+}
+
+}  // namespace
+}  // namespace geer

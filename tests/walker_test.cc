@@ -1,0 +1,130 @@
+#include "rw/walker.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace geer {
+namespace {
+
+TEST(WalkerTest, StepStaysOnNeighbors) {
+  Graph g = testing::TriangleWithTail();
+  Walker walker(g);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId next = walker.Step(2, rng);
+    EXPECT_TRUE(g.HasEdge(2, next));
+  }
+}
+
+TEST(WalkerTest, StepIsUniformOverNeighbors) {
+  Graph g = gen::Star(5);  // hub 0 with leaves 1..4
+  Walker walker(g);
+  Rng rng(2);
+  std::vector<int> counts(5, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[walker.Step(0, rng)];
+  for (NodeId leaf = 1; leaf < 5; ++leaf) {
+    EXPECT_NEAR(counts[leaf], n / 4, 400);
+  }
+}
+
+TEST(WalkerTest, WalkEndpointZeroLengthIsSource) {
+  Graph g = gen::Cycle(5);
+  Walker walker(g);
+  Rng rng(3);
+  EXPECT_EQ(walker.WalkEndpoint(2, 0, rng), 2u);
+}
+
+TEST(WalkerTest, WalkPathHasRequestedLength) {
+  Graph g = gen::Cycle(7);
+  Walker walker(g);
+  Rng rng(4);
+  std::vector<NodeId> path;
+  walker.WalkPath(3, 10, rng, &path);
+  ASSERT_EQ(path.size(), 10u);
+  // Consecutive nodes adjacent; first node adjacent to source.
+  EXPECT_TRUE(g.HasEdge(3, path[0]));
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_TRUE(g.HasEdge(path[i - 1], path[i]));
+  }
+}
+
+TEST(WalkerTest, WalkDistributionMatchesTransitionPower) {
+  // Empirical endpoint distribution of length-2 walks from node 0 on the
+  // triangle-with-tail graph vs exact p_2(0, ·).
+  Graph g = testing::TriangleWithTail();
+  Walker walker(g);
+  Rng rng(5);
+  std::vector<int> counts(g.NumNodes(), 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[walker.WalkEndpoint(0, 2, rng)];
+  // p_2(0,·): from 0 → {1,2} each 1/2; then from 1 → {0,2}/2,
+  // from 2 → {0,1,3}/3. p_2(0,0)=1/4+1/6, p_2(0,1)=1/6, p_2(0,2)=1/4,
+  // p_2(0,3)=1/6.
+  const double expected[5] = {1.0 / 4 + 1.0 / 6, 1.0 / 6, 1.0 / 4, 1.0 / 6,
+                              0.0};
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_NEAR(counts[v] / static_cast<double>(n), expected[v], 0.005)
+        << "node " << v;
+  }
+}
+
+TEST(WalkerTest, EscapeTrialProbabilityMatchesTheory) {
+  // Pr[hit t before returning to s] = 1/(d(s)·r(s,t)).
+  Graph g = testing::DenseTestGraph(12);
+  const NodeId s = 0;
+  const NodeId t = 7;
+  const double r = testing::ExactEr(g, s, t);
+  const double p_escape = 1.0 / (static_cast<double>(g.Degree(s)) * r);
+  Walker walker(g);
+  Rng rng(6);
+  const int n = 150000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (walker.EscapeTrial(s, t, 1u << 20, rng) ==
+        Walker::Absorption::kHitTarget) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), p_escape, 0.01);
+}
+
+TEST(WalkerTest, EscapeTrialStepLimit) {
+  Graph g = gen::Path(50);
+  Walker walker(g);
+  Rng rng(7);
+  int limited = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (walker.EscapeTrial(0, 49, 3, rng) ==
+        Walker::Absorption::kStepLimit) {
+      ++limited;
+    }
+  }
+  EXPECT_GT(limited, 0);  // can't reach node 49 in 3 steps
+}
+
+TEST(WalkerTest, FirstVisitProbabilityEqualsEdgeEr) {
+  // For (s,t) ∈ E: Pr[first visit to t uses edge (s,t)] = r(s,t).
+  Graph g = testing::DenseTestGraph(12);
+  const NodeId s = 0;
+  const NodeId t = 1;
+  ASSERT_TRUE(g.HasEdge(s, t));
+  const double r = testing::ExactEr(g, s, t);
+  Walker walker(g);
+  Rng rng(8);
+  const int n = 150000;
+  int direct = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto trial = walker.FirstVisitTrial(s, t, 1u << 20, rng);
+    ASSERT_TRUE(trial.hit);
+    if (trial.used_direct_edge) ++direct;
+  }
+  EXPECT_NEAR(direct / static_cast<double>(n), r, 0.01);
+}
+
+}  // namespace
+}  // namespace geer

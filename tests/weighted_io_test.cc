@@ -1,0 +1,100 @@
+#include "weighted/weighted_io.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "weighted/weighted_generators.h"
+
+namespace geer {
+namespace {
+
+TEST(WeightedIoTest, ParsesThreeColumnFormat) {
+  auto g = ParseWeightedEdgeList("0 1 2.5\n1 2 0.5\n# comment\n\n2 0 1.0\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumNodes(), 3u);
+  EXPECT_EQ(g->NumEdges(), 3u);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 2), 1.0);
+}
+
+TEST(WeightedIoTest, MissingWeightColumnDefaultsToOne) {
+  auto g = ParseWeightedEdgeList("0 1\n1 2 3.0\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(1, 2), 3.0);
+}
+
+TEST(WeightedIoTest, ParallelEdgesMergeBySummingConductance) {
+  auto g = ParseWeightedEdgeList("0 1 0.25\n1 0 0.25\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 0.5);
+}
+
+TEST(WeightedIoTest, SelfLoopDroppedButNodeInterned) {
+  auto g = ParseWeightedEdgeList("0 1 1.0\n2 2 9.0\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumNodes(), 3u);
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST(WeightedIoTest, RejectsNonPositiveOrMalformedWeights) {
+  EXPECT_FALSE(ParseWeightedEdgeList("0 1 0.0\n").has_value());
+  EXPECT_FALSE(ParseWeightedEdgeList("0 1 -2\n").has_value());
+  EXPECT_FALSE(ParseWeightedEdgeList("0 1 nan\n").has_value());
+  EXPECT_FALSE(ParseWeightedEdgeList("zero one 1.0\n").has_value());
+}
+
+TEST(WeightedIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadWeightedEdgeList("/nonexistent/geer_w.txt").has_value());
+}
+
+TEST(WeightedIoTest, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "geer_wio_test.txt").string();
+  WeightedGraph original = gen::GridCircuit(5, 6, 0.5, 2.0, 3);
+  ASSERT_TRUE(SaveWeightedEdgeList(original, path));
+  auto loaded = LoadWeightedEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  // The loader interns ids in first-appearance order, so node labels may
+  // permute; the graph itself must survive. Compare label-invariant
+  // views: edge count, full-precision weight multiset, strength multiset.
+  EXPECT_EQ(loaded->NumNodes(), original.NumNodes());
+  EXPECT_EQ(loaded->NumEdges(), original.NumEdges());
+  EXPECT_DOUBLE_EQ(loaded->TotalWeight(), original.TotalWeight());
+  auto weight_multiset = [](const WeightedGraph& g) {
+    std::vector<double> w;
+    for (const auto& e : g.Edges()) w.push_back(e.weight);
+    std::sort(w.begin(), w.end());
+    return w;
+  };
+  auto strength_multiset = [](const WeightedGraph& g) {
+    std::vector<double> s;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) s.push_back(g.Strength(v));
+    std::sort(s.begin(), s.end());
+    return s;
+  };
+  EXPECT_EQ(weight_multiset(*loaded), weight_multiset(original));
+  const auto ls = strength_multiset(*loaded);
+  const auto os = strength_multiset(original);
+  ASSERT_EQ(ls.size(), os.size());
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    EXPECT_NEAR(ls[i], os[i], 1e-12);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WeightedIoTest, NonContiguousIdsInterned) {
+  auto g = ParseWeightedEdgeList("100 200 1.5\n200 300 2.5\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumNodes(), 3u);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 1.5);
+}
+
+}  // namespace
+}  // namespace geer

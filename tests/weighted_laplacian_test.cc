@@ -1,0 +1,155 @@
+#include "weighted/weighted_laplacian.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "linalg/laplacian_solver.h"
+#include "weighted/weighted_generators.h"
+
+namespace geer {
+namespace {
+
+TEST(WeightedLaplacianTest, SeriesResistorsAdd) {
+  // 1Ω + 2Ω + 4Ω in series = 7Ω end to end; prefixes add too.
+  WeightedGraph g = gen::SeriesChain({1.0, 2.0, 4.0});
+  WeightedLaplacianSolver solver(g);
+  EXPECT_NEAR(solver.EffectiveResistance(0, 3), 7.0, 1e-8);
+  EXPECT_NEAR(solver.EffectiveResistance(0, 1), 1.0, 1e-8);
+  EXPECT_NEAR(solver.EffectiveResistance(0, 2), 3.0, 1e-8);
+  EXPECT_NEAR(solver.EffectiveResistance(1, 3), 6.0, 1e-8);
+}
+
+TEST(WeightedLaplacianTest, ParallelResistorsCombine) {
+  // 1Ω ∥ 2Ω ∥ 4Ω = 1 / (1 + 1/2 + 1/4) = 4/7 Ω.
+  WeightedGraph g = gen::ParallelPaths({1.0, 2.0, 4.0});
+  WeightedLaplacianSolver solver(g);
+  EXPECT_NEAR(solver.EffectiveResistance(0, 1), 4.0 / 7.0, 1e-8);
+}
+
+TEST(WeightedLaplacianTest, ParallelEdgeMergeMatchesCircuitReduction) {
+  // Building two parallel 4Ω resistors directly (merged by the builder)
+  // must equal one 2Ω resistor.
+  WeightedGraphBuilder b;
+  b.AddEdge(0, 1, 0.25).AddEdge(0, 1, 0.25).AddEdge(1, 2, 1.0);
+  WeightedGraph g = b.Build();
+  WeightedLaplacianSolver solver(g);
+  EXPECT_NEAR(solver.EffectiveResistance(0, 1), 2.0, 1e-8);
+  EXPECT_NEAR(solver.EffectiveResistance(0, 2), 3.0, 1e-8);
+}
+
+TEST(WeightedLaplacianTest, WheatstoneBridgeBalanced) {
+  // Balanced Wheatstone bridge: arms 1Ω/1Ω and 1Ω/1Ω, any galvanometer
+  // resistance across the middle — no current flows through the bridge,
+  // so r(source, sink) = (1+1) ∥ (1+1) = 1Ω regardless of the middle edge.
+  for (const double middle_conductance : {0.1, 1.0, 10.0}) {
+    WeightedGraphBuilder b;
+    b.AddEdge(0, 1, 1.0).AddEdge(0, 2, 1.0);  // source splits
+    b.AddEdge(1, 3, 1.0).AddEdge(2, 3, 1.0);  // arms rejoin at sink
+    b.AddEdge(1, 2, middle_conductance);      // galvanometer bridge
+    WeightedGraph g = b.Build();
+    WeightedLaplacianSolver solver(g);
+    EXPECT_NEAR(solver.EffectiveResistance(0, 3), 1.0, 1e-8)
+        << "middle conductance " << middle_conductance;
+  }
+}
+
+TEST(WeightedLaplacianTest, UnitWeightsMatchUnweightedSolver) {
+  Graph g = gen::BarabasiAlbert(60, 3, 5);
+  WeightedGraph wg = FromUnweighted(g);
+  LaplacianSolver unweighted(g);
+  WeightedLaplacianSolver weighted(wg);
+  for (auto [s, t] : {std::pair<NodeId, NodeId>{0, 30}, {5, 11}, {2, 59}}) {
+    EXPECT_NEAR(weighted.EffectiveResistance(s, t),
+                unweighted.EffectiveResistance(s, t), 1e-8);
+  }
+}
+
+TEST(WeightedLaplacianTest, ConductanceScalingInvertsResistance) {
+  // Scaling every conductance by c scales every ER by 1/c.
+  Graph skeleton = gen::ErdosRenyi(40, 120, 7);
+  WeightedGraph base = gen::WithUniformWeights(skeleton, 0.5, 2.0, 13);
+  WeightedGraphBuilder scaled_builder;
+  const double c = 3.5;
+  for (const auto& e : base.Edges()) {
+    scaled_builder.AddEdge(e.u, e.v, c * e.weight);
+  }
+  WeightedGraph scaled = scaled_builder.Build();
+  WeightedLaplacianSolver base_solver(base);
+  WeightedLaplacianSolver scaled_solver(scaled);
+  for (auto [s, t] : {std::pair<NodeId, NodeId>{0, 20}, {3, 39}, {7, 8}}) {
+    EXPECT_NEAR(scaled_solver.EffectiveResistance(s, t),
+                base_solver.EffectiveResistance(s, t) / c, 1e-8);
+  }
+}
+
+TEST(WeightedLaplacianTest, RayleighMonotonicityInConductance) {
+  // Increasing any single conductance can only decrease any ER.
+  WeightedGraph base = gen::TriangulatedGridCircuit(4, 4, 0.5, 2.0, 23);
+  WeightedLaplacianSolver base_solver(base);
+  const auto edges = base.Edges();
+  const WeightedEdge& bumped = edges[edges.size() / 2];
+  WeightedGraphBuilder b;
+  for (const auto& e : base.Edges()) {
+    const double w = (e.u == bumped.u && e.v == bumped.v) ? e.weight * 10.0
+                                                          : e.weight;
+    b.AddEdge(e.u, e.v, w);
+  }
+  WeightedGraph bumped_graph = b.Build();
+  WeightedLaplacianSolver bumped_solver(bumped_graph);
+  for (auto [s, t] :
+       {std::pair<NodeId, NodeId>{0, 15}, {1, 14}, {4, 11}, {2, 13}}) {
+    EXPECT_LE(bumped_solver.EffectiveResistance(s, t),
+              base_solver.EffectiveResistance(s, t) + 1e-9);
+  }
+}
+
+TEST(WeightedLaplacianTest, WeightedFosterTheorem) {
+  // Foster: Σ_{e∈E} w(e)·r(e) = n − 1 for any connected weighted graph.
+  WeightedGraph g = gen::TriangulatedGridCircuit(4, 4, 0.25, 3.0, 29);
+  WeightedLaplacianSolver solver(g);
+  double sum = 0.0;
+  for (const auto& e : g.Edges()) {
+    sum += e.weight * solver.EffectiveResistance(e.u, e.v);
+  }
+  EXPECT_NEAR(sum, static_cast<double>(g.NumNodes()) - 1.0, 1e-6);
+}
+
+TEST(WeightedLaplacianTest, TriangleInequalityHolds) {
+  // ER is a metric on weighted graphs as well.
+  WeightedGraph g = gen::GridCircuit(4, 5, 0.5, 2.0, 31);
+  WeightedLaplacianSolver solver(g);
+  const NodeId a = 0, b = 9, c = 19;
+  const double rab = solver.EffectiveResistance(a, b);
+  const double rbc = solver.EffectiveResistance(b, c);
+  const double rac = solver.EffectiveResistance(a, c);
+  EXPECT_LE(rac, rab + rbc + 1e-9);
+  EXPECT_LE(rab, rac + rbc + 1e-9);
+  EXPECT_LE(rbc, rab + rac + 1e-9);
+}
+
+TEST(WeightedLaplacianTest, SolveResidualSmall) {
+  WeightedGraph g = gen::GridCircuit(6, 6, 0.5, 2.0, 37);
+  WeightedLaplacianSolver solver(g);
+  Vector b(g.NumNodes(), 0.0);
+  b[0] = 1.0;
+  b[35] = -1.0;
+  CgStats stats;
+  Vector x = solver.Solve(b, &stats);
+  EXPECT_TRUE(stats.converged);
+  Vector lx;
+  solver.ApplyLaplacian(x, &lx);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_NEAR(lx[v], b[v], 1e-6);
+  }
+}
+
+TEST(WeightedLaplacianTest, SameNodeZero) {
+  WeightedGraph g = gen::SeriesChain({1.0, 1.0});
+  WeightedLaplacianSolver solver(g);
+  EXPECT_DOUBLE_EQ(solver.EffectiveResistance(1, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace geer

@@ -1,0 +1,139 @@
+// Parameterized property sweep for weighted effective resistance over
+// graph families × seeds, using the W-CG oracle. These are the weighted
+// analogues of er_properties_test.cc: circuit laws that must hold for
+// ANY conductance assignment, not just the hand-built circuits of
+// weighted_laplacian_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "graph/generators.h"
+#include "weighted/weighted_generators.h"
+#include "weighted/weighted_laplacian.h"
+
+namespace geer {
+namespace {
+
+using Param = std::tuple<std::string /*family*/, std::uint64_t /*seed*/>;
+
+WeightedGraph Family(const std::string& name, std::uint64_t seed) {
+  if (name == "tri-grid") {
+    return gen::TriangulatedGridCircuit(4, 5, 0.25, 4.0, seed);
+  }
+  if (name == "ba") {
+    return gen::WithUniformWeights(gen::BarabasiAlbert(40, 3, seed), 0.1,
+                                   10.0, seed ^ 1);
+  }
+  if (name == "er") {
+    return gen::WithUniformWeights(gen::ErdosRenyi(36, 140, seed), 0.5, 2.0,
+                                   seed ^ 2);
+  }
+  // "caveman": modular, slow mixing, unit-free weights.
+  return gen::WithUniformWeights(gen::Caveman(4, 7), 0.2, 5.0, seed ^ 3);
+}
+
+class WeightedErPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    graph_ = Family(std::get<0>(GetParam()), std::get<1>(GetParam()));
+    solver_ = std::make_unique<WeightedLaplacianSolver>(graph_);
+  }
+  WeightedGraph graph_;
+  std::unique_ptr<WeightedLaplacianSolver> solver_;
+};
+
+TEST_P(WeightedErPropertyTest, WeightedFosterTheorem) {
+  // Σ_{e∈E} w(e)·r(e) = n − 1.
+  double sum = 0.0;
+  for (const auto& e : graph_.Edges()) {
+    sum += e.weight * solver_->EffectiveResistance(e.u, e.v);
+  }
+  EXPECT_NEAR(sum, static_cast<double>(graph_.NumNodes()) - 1.0, 1e-5);
+}
+
+TEST_P(WeightedErPropertyTest, SymmetryAndPositivity) {
+  const NodeId n = graph_.NumNodes();
+  for (auto [s, t] : {std::pair<NodeId, NodeId>{0, n / 2}, {1, n - 1}}) {
+    const double fwd = solver_->EffectiveResistance(s, t);
+    const double bwd = solver_->EffectiveResistance(t, s);
+    EXPECT_GT(fwd, 0.0);
+    EXPECT_NEAR(fwd, bwd, 1e-8);
+  }
+}
+
+TEST_P(WeightedErPropertyTest, TriangleInequality) {
+  const NodeId n = graph_.NumNodes();
+  const NodeId a = 0, b = n / 3, c = (2 * n) / 3;
+  const double rab = solver_->EffectiveResistance(a, b);
+  const double rbc = solver_->EffectiveResistance(b, c);
+  const double rac = solver_->EffectiveResistance(a, c);
+  EXPECT_LE(rac, rab + rbc + 1e-9);
+  EXPECT_LE(rab, rac + rbc + 1e-9);
+  EXPECT_LE(rbc, rab + rac + 1e-9);
+}
+
+TEST_P(WeightedErPropertyTest, EdgeErBoundedByInverseConductance) {
+  // For (u,v) ∈ E: r(u,v) ≤ 1/w(u,v) (the direct edge is one path; the
+  // rest of the network can only help). Also r > 0.
+  for (const auto& e : graph_.Edges()) {
+    const double r = solver_->EffectiveResistance(e.u, e.v);
+    EXPECT_GT(r, 0.0);
+    EXPECT_LE(r, 1.0 / e.weight + 1e-9)
+        << "edge (" << e.u << "," << e.v << ") w=" << e.weight;
+  }
+}
+
+TEST_P(WeightedErPropertyTest, GlobalConductanceScaling) {
+  // r(s,t; c·w) = r(s,t; w)/c.
+  const double c = 2.75;
+  WeightedGraphBuilder scaled;
+  for (const auto& e : graph_.Edges()) {
+    scaled.AddEdge(e.u, e.v, c * e.weight);
+  }
+  WeightedGraph scaled_graph = scaled.Build();
+  WeightedLaplacianSolver scaled_solver(scaled_graph);
+  const NodeId n = graph_.NumNodes();
+  for (auto [s, t] : {std::pair<NodeId, NodeId>{0, n - 1}, {2, n / 2}}) {
+    EXPECT_NEAR(scaled_solver.EffectiveResistance(s, t),
+                solver_->EffectiveResistance(s, t) / c, 1e-7);
+  }
+}
+
+TEST_P(WeightedErPropertyTest, RayleighMonotonicityUnderEdgeBoost) {
+  // Boosting one conductance never increases any effective resistance.
+  const auto edges = graph_.Edges();
+  const WeightedEdge& boosted = edges[edges.size() / 3];
+  WeightedGraphBuilder b;
+  for (const auto& e : edges) {
+    b.AddEdge(e.u, e.v,
+              (e.u == boosted.u && e.v == boosted.v) ? e.weight * 8.0
+                                                     : e.weight);
+  }
+  WeightedGraph boosted_graph = b.Build();
+  WeightedLaplacianSolver boosted_solver(boosted_graph);
+  const NodeId n = graph_.NumNodes();
+  for (auto [s, t] :
+       {std::pair<NodeId, NodeId>{0, n - 1}, {1, n / 2}, {3, 2 * n / 3}}) {
+    EXPECT_LE(boosted_solver.EffectiveResistance(s, t),
+              solver_->EffectiveResistance(s, t) + 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, WeightedErPropertyTest,
+    ::testing::Combine(::testing::Values("tri-grid", "ba", "er", "caveman"),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = std::get<0>(info.param) + "_seed" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace geer

@@ -1,0 +1,103 @@
+#include "rw/wilson.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/algorithms.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace geer {
+namespace {
+
+// Checks that `tree` is a spanning tree of `g`: n−1 edges, all in g, and
+// every node reaches the root through parent pointers.
+void ExpectSpanningTree(const Graph& g, const SpanningTree& tree) {
+  ASSERT_EQ(tree.parent.size(), g.NumNodes());
+  EXPECT_EQ(tree.parent[tree.root], tree.root);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (v == tree.root) continue;
+    EXPECT_TRUE(g.HasEdge(v, tree.parent[v])) << "node " << v;
+    // Walk to the root; must terminate within n steps.
+    NodeId cur = v;
+    for (NodeId steps = 0; cur != tree.root; ++steps) {
+      ASSERT_LT(steps, g.NumNodes()) << "cycle through node " << v;
+      cur = tree.parent[cur];
+    }
+  }
+}
+
+TEST(WilsonTest, ProducesSpanningTrees) {
+  Graph g = gen::ErdosRenyi(40, 120, 13);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    ExpectSpanningTree(g, SampleUniformSpanningTree(g, i % 40, rng));
+  }
+}
+
+TEST(WilsonTest, TreeGraphHasUniqueSpanningTree) {
+  Graph g = gen::BalancedBinaryTree(4);
+  Rng rng(2);
+  SpanningTree tree = SampleUniformSpanningTree(g, 0, rng);
+  ExpectSpanningTree(g, tree);
+  // Every tree edge must be in the spanning tree.
+  for (const auto& [u, v] : g.Edges()) {
+    EXPECT_TRUE(tree.ContainsEdge(u, v));
+  }
+}
+
+TEST(WilsonTest, CycleTreesOmitExactlyOneEdge) {
+  const NodeId n = 7;
+  Graph g = gen::Cycle(n);
+  Rng rng(3);
+  std::map<int, int> omitted;  // count of which edge index was dropped
+  const int trials = 7000;
+  for (int i = 0; i < trials; ++i) {
+    SpanningTree tree = SampleUniformSpanningTree(g, 0, rng);
+    int missing = -1;
+    int missing_count = 0;
+    const auto edges = g.Edges();
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (!tree.ContainsEdge(edges[e].first, edges[e].second)) {
+        missing = static_cast<int>(e);
+        ++missing_count;
+      }
+    }
+    ASSERT_EQ(missing_count, 1);
+    ++omitted[missing];
+  }
+  // Uniformity: each of the n edges omitted ~ trials/n times.
+  for (const auto& [edge, count] : omitted) {
+    EXPECT_NEAR(count, trials / static_cast<int>(n), 300) << edge;
+  }
+  EXPECT_EQ(omitted.size(), static_cast<std::size_t>(n));
+}
+
+TEST(WilsonTest, EdgeFrequencyMatchesEffectiveResistance) {
+  // Pr[e ∈ UST] = r(e) — the identity HAY relies on.
+  Graph g = testing::DenseTestGraph(10);
+  const NodeId s = 0;
+  const NodeId t = 1;
+  ASSERT_TRUE(g.HasEdge(s, t));
+  const double r = testing::ExactEr(g, s, t);
+  Rng rng(4);
+  const int trials = 60000;
+  int hits = 0;
+  for (int i = 0; i < trials; ++i) {
+    if (SampleUniformSpanningTree(g, s, rng).ContainsEdge(s, t)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(trials), r, 0.01);
+}
+
+TEST(WilsonTest, RootParameterRespected) {
+  Graph g = gen::Complete(8);
+  Rng rng(5);
+  SpanningTree tree = SampleUniformSpanningTree(g, 5, rng);
+  EXPECT_EQ(tree.root, 5u);
+  EXPECT_EQ(tree.parent[5], 5u);
+}
+
+}  // namespace
+}  // namespace geer

@@ -1,0 +1,382 @@
+// geer — command-line ε-approximate effective-resistance queries.
+//
+// The tool a downstream user actually runs: load a SNAP edge list (or a
+// named synthetic dataset), pick an algorithm, and answer PER queries from
+// the command line or stdin.
+//
+//   geer --graph=com-dblp.txt --method=GEER --epsilon=0.05 --pair=3:17
+//   geer --dataset=facebook --random=100 --epsilon=0.1 --csv
+//   echo "0 42\n7 99" | geer --graph=g.txt --stdin
+//
+// Flags:
+//   --graph=PATH        SNAP edge list (largest CC, bipartiteness broken)
+//   --dataset=NAME      registry dataset (facebook|dblp|youtube|orkut|
+//                       livejournal|friendster), --scale=F node scale
+//   --method=NAME       GEER (default) | AMC | SMM | SMM-PengEll | TP |
+//                       TPC | MC | MC2 | HAY | RP | EXACT | CG
+//   --epsilon=F --delta=F --tau=N --seed=N   estimator knobs
+//   --pair=S:T          one query (repeatable)
+//   --random=N          N uniform random pairs
+//   --edges=N           N uniform random edges
+//   --stdin             read "s t" pairs from stdin
+//   --stats             print per-query cost columns
+//   --csv               machine-readable output
+//   --list              print registered estimators and datasets, exit
+//   --weighted          treat --graph as a "u v w" conductance list and
+//                       use the weighted estimators (--method=W-GEER |
+//                       W-AMC | W-SMM | W-CG)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "eval/datasets.h"
+#include "eval/queries.h"
+#include "graph/algorithms.h"
+#include "util/timer.h"
+#include "weighted/weighted_amc.h"
+#include "weighted/weighted_estimator.h"
+#include "weighted/weighted_geer.h"
+#include "weighted/weighted_io.h"
+#include "weighted/weighted_smm.h"
+#include "weighted/weighted_spectral.h"
+
+namespace geer {
+namespace {
+
+struct CliArgs {
+  std::string graph_path;
+  std::string dataset;
+  double scale = 1.0;
+  std::string method = "GEER";
+  ErOptions options;
+  std::vector<QueryPair> explicit_pairs;
+  std::size_t random_pairs = 0;
+  std::size_t random_edges = 0;
+  bool read_stdin = false;
+  bool stats = false;
+  bool csv = false;
+  bool list = false;
+  bool weighted = false;
+};
+
+std::unique_ptr<WeightedErEstimator> CreateWeightedEstimator(
+    const std::string& name, const WeightedGraph& graph,
+    const ErOptions& options) {
+  if (name == "W-GEER") {
+    return std::make_unique<WeightedGeerEstimator>(graph, options);
+  }
+  if (name == "W-AMC") {
+    return std::make_unique<WeightedAmcEstimator>(graph, options);
+  }
+  if (name == "W-SMM") {
+    return std::make_unique<WeightedSmmEstimator>(graph, options);
+  }
+  if (name == "W-CG") return std::make_unique<WeightedSolverEstimator>(graph);
+  return nullptr;
+}
+
+// The --weighted path: conductance edge list in, weighted estimators out.
+int RunWeighted(const CliArgs& args, const std::vector<QueryPair>& queries) {
+  Timer load_timer;
+  auto graph = LoadWeightedEdgeList(args.graph_path);
+  if (!graph) {
+    std::fprintf(stderr, "error: cannot load weighted list '%s'\n",
+                 args.graph_path.c_str());
+    return 1;
+  }
+  if (!IsConnected(graph->Skeleton())) {
+    std::fprintf(stderr,
+                 "error: weighted input must be connected (use the largest "
+                 "component)\n");
+    return 1;
+  }
+  ErOptions options = args.options;
+  const std::string method = args.method == "GEER" ? "W-GEER" : args.method;
+  if (method != "W-CG") {
+    options.lambda = ComputeWeightedSpectralBounds(*graph).lambda;
+  }
+  auto estimator = CreateWeightedEstimator(method, *graph, options);
+  if (estimator == nullptr) {
+    std::fprintf(stderr,
+                 "error: unknown weighted method '%s' (W-GEER, W-AMC, "
+                 "W-SMM, W-CG)\n",
+                 method.c_str());
+    return 2;
+  }
+  if (!args.csv) {
+    std::printf("# weighted graph: n=%u m=%llu W=%.3f (loaded in %.0f ms); "
+                "method=%s epsilon=%g\n",
+                graph->NumNodes(),
+                static_cast<unsigned long long>(graph->NumEdges()),
+                graph->TotalWeight(), load_timer.ElapsedMillis(),
+                estimator->Name().c_str(), options.epsilon);
+  }
+  for (const auto& q : queries) {
+    if (q.s >= graph->NumNodes() || q.t >= graph->NumNodes()) {
+      std::fprintf(stderr, "error: query (%u,%u) out of range (n=%u)\n", q.s,
+                   q.t, graph->NumNodes());
+      return 1;
+    }
+    Timer timer;
+    const QueryStats stats = estimator->EstimateWithStats(q.s, q.t);
+    if (args.csv) {
+      std::printf("%u,%u,%.9g,%.3f\n", q.s, q.t, stats.value,
+                  timer.ElapsedMillis());
+    } else {
+      std::printf("r(%u, %u) = %.6f   (%.2f ms)\n", q.s, q.t, stats.value,
+                  timer.ElapsedMillis());
+    }
+  }
+  return 0;
+}
+
+std::optional<QueryPair> ParsePair(const std::string& text) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  QueryPair q;
+  q.s = static_cast<NodeId>(std::strtoul(text.c_str(), nullptr, 10));
+  q.t = static_cast<NodeId>(
+      std::strtoul(text.c_str() + colon + 1, nullptr, 10));
+  return q;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--graph=PATH | --dataset=NAME) [--method=NAME]\n"
+               "          [--epsilon=F] [--pair=S:T ...] [--random=N]\n"
+               "          [--edges=N] [--stdin] [--stats] [--csv] [--list]\n",
+               argv0);
+  return 2;
+}
+
+int Run(const CliArgs& args) {
+  if (args.list) {
+    std::printf("estimators:");
+    for (const auto& name : EstimatorNames()) std::printf(" %s", name.c_str());
+    std::printf("\nweighted estimators (--weighted): W-GEER W-AMC W-SMM W-CG");
+    std::printf("\ndatasets:");
+    for (const auto& name : DatasetNames()) std::printf(" %s", name.c_str());
+    std::printf("\n");
+    return 0;
+  }
+
+  if (args.weighted) {
+    if (args.graph_path.empty()) {
+      std::fprintf(stderr, "error: --weighted requires --graph\n");
+      return 2;
+    }
+    if (args.random_pairs > 0 || args.random_edges > 0) {
+      std::fprintf(stderr,
+                   "error: --weighted supports --pair and --stdin queries\n");
+      return 2;
+    }
+    std::vector<QueryPair> queries = args.explicit_pairs;
+    if (args.read_stdin) {
+      unsigned long long s = 0, t = 0;
+      while (std::scanf("%llu %llu", &s, &t) == 2) {
+        queries.push_back({static_cast<NodeId>(s), static_cast<NodeId>(t)});
+      }
+    }
+    if (queries.empty()) {
+      std::fprintf(stderr, "error: no queries (--pair / --stdin)\n");
+      return 2;
+    }
+    return RunWeighted(args, queries);
+  }
+
+  // --- Load the graph ----------------------------------------------------
+  std::optional<Dataset> dataset;
+  Timer load_timer;
+  if (!args.graph_path.empty()) {
+    dataset = LoadDatasetFromFile(args.graph_path);
+    if (!dataset) {
+      std::fprintf(stderr, "error: cannot load '%s'\n",
+                   args.graph_path.c_str());
+      return 1;
+    }
+  } else if (!args.dataset.empty()) {
+    dataset = MakeDataset(args.dataset, args.scale);
+    if (!dataset) {
+      std::fprintf(stderr, "error: unknown dataset '%s'\n",
+                   args.dataset.c_str());
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr, "error: need --graph or --dataset\n");
+    return 2;
+  }
+  if (!args.csv) {
+    std::printf("# %s  (loaded in %.0f ms)\n",
+                DescribeDataset(*dataset).c_str(), load_timer.ElapsedMillis());
+  }
+
+  // --- Build the query set ------------------------------------------------
+  std::vector<QueryPair> queries = args.explicit_pairs;
+  if (args.random_pairs > 0) {
+    auto extra =
+        RandomPairs(dataset->graph, args.random_pairs, args.options.seed);
+    queries.insert(queries.end(), extra.begin(), extra.end());
+  }
+  if (args.random_edges > 0) {
+    auto extra =
+        RandomEdges(dataset->graph, args.random_edges, args.options.seed);
+    queries.insert(queries.end(), extra.begin(), extra.end());
+  }
+  if (args.read_stdin) {
+    unsigned long long s = 0, t = 0;
+    while (std::scanf("%llu %llu", &s, &t) == 2) {
+      queries.push_back(
+          {static_cast<NodeId>(s), static_cast<NodeId>(t)});
+    }
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr,
+                 "error: no queries (--pair / --random / --edges / --stdin)\n");
+    return 2;
+  }
+  for (const auto& q : queries) {
+    if (q.s >= dataset->graph.NumNodes() || q.t >= dataset->graph.NumNodes()) {
+      std::fprintf(stderr, "error: query (%u,%u) out of range (n=%u)\n", q.s,
+                   q.t, dataset->graph.NumNodes());
+      return 1;
+    }
+  }
+
+  // --- Build the estimator -----------------------------------------------
+  ErOptions options = args.options;
+  options.lambda = dataset->spectral.lambda;
+  if (!EstimatorFeasible(args.method, dataset->graph, options)) {
+    std::fprintf(stderr,
+                 "error: %s is infeasible on this graph (memory budget)\n",
+                 args.method.c_str());
+    return 1;
+  }
+  Timer build_timer;
+  auto estimator = CreateEstimator(args.method, dataset->graph, options);
+  if (estimator == nullptr) {
+    std::fprintf(stderr, "error: unknown method '%s' (try --list)\n",
+                 args.method.c_str());
+    return 2;
+  }
+  if (!args.csv) {
+    std::printf("# method=%s epsilon=%g delta=%g (constructed in %.0f ms)\n",
+                estimator->Name().c_str(), options.epsilon, options.delta,
+                build_timer.ElapsedMillis());
+  }
+
+  // --- Answer -------------------------------------------------------------
+  if (args.csv) {
+    std::printf(args.stats ? "s,t,er,ms,walks,walk_steps,spmv_ops,ell,ell_b\n"
+                           : "s,t,er,ms\n");
+  } else if (args.stats) {
+    std::printf("%8s %8s %12s %9s %10s %12s %12s %6s %6s\n", "s", "t", "er",
+                "ms", "walks", "walk_steps", "spmv_ops", "ell", "ell_b");
+  }
+  double total_ms = 0.0;
+  std::size_t skipped = 0;
+  for (const auto& q : queries) {
+    if (!estimator->SupportsQuery(q.s, q.t)) {
+      ++skipped;
+      if (!args.csv) {
+        std::printf("r(%u, %u): unsupported by %s (edge-only method)\n", q.s,
+                    q.t, estimator->Name().c_str());
+      }
+      continue;
+    }
+    Timer query_timer;
+    const QueryStats stats = estimator->EstimateWithStats(q.s, q.t);
+    const double ms = query_timer.ElapsedMillis();
+    total_ms += ms;
+    if (args.csv) {
+      if (args.stats) {
+        std::printf("%u,%u,%.9g,%.3f,%llu,%llu,%llu,%u,%u\n", q.s, q.t,
+                    stats.value, ms,
+                    static_cast<unsigned long long>(stats.walks),
+                    static_cast<unsigned long long>(stats.walk_steps),
+                    static_cast<unsigned long long>(stats.spmv_ops),
+                    stats.ell, stats.ell_b);
+      } else {
+        std::printf("%u,%u,%.9g,%.3f\n", q.s, q.t, stats.value, ms);
+      }
+    } else if (args.stats) {
+      std::printf("%8u %8u %12.6f %9.2f %10llu %12llu %12llu %6u %6u\n", q.s,
+                  q.t, stats.value, ms,
+                  static_cast<unsigned long long>(stats.walks),
+                  static_cast<unsigned long long>(stats.walk_steps),
+                  static_cast<unsigned long long>(stats.spmv_ops), stats.ell,
+                  stats.ell_b);
+    } else {
+      std::printf("r(%u, %u) = %.6f   (%.2f ms)\n", q.s, q.t, stats.value,
+                  ms);
+    }
+  }
+  if (!args.csv) {
+    std::printf("# %zu queries in %.1f ms (%.2f ms avg)%s\n",
+                queries.size() - skipped, total_ms,
+                total_ms / std::max<std::size_t>(queries.size() - skipped, 1),
+                skipped > 0 ? " — some skipped" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace geer
+
+int main(int argc, char** argv) {
+  using namespace geer;
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* key) -> std::optional<std::string> {
+      const std::string prefix = std::string(key) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (auto v = value("--graph")) {
+      args.graph_path = *v;
+    } else if (auto v = value("--dataset")) {
+      args.dataset = *v;
+    } else if (auto v = value("--scale")) {
+      args.scale = std::atof(v->c_str());
+    } else if (auto v = value("--method")) {
+      args.method = *v;
+    } else if (auto v = value("--epsilon")) {
+      args.options.epsilon = std::atof(v->c_str());
+    } else if (auto v = value("--delta")) {
+      args.options.delta = std::atof(v->c_str());
+    } else if (auto v = value("--tau")) {
+      args.options.tau = std::atoi(v->c_str());
+    } else if (auto v = value("--seed")) {
+      args.options.seed = static_cast<std::uint64_t>(std::atoll(v->c_str()));
+    } else if (auto v = value("--pair")) {
+      auto pair = ParsePair(*v);
+      if (!pair) return Usage(argv[0]);
+      args.explicit_pairs.push_back(*pair);
+    } else if (auto v = value("--random")) {
+      args.random_pairs = static_cast<std::size_t>(std::atoll(v->c_str()));
+    } else if (auto v = value("--edges")) {
+      args.random_edges = static_cast<std::size_t>(std::atoll(v->c_str()));
+    } else if (arg == "--stdin") {
+      args.read_stdin = true;
+    } else if (arg == "--stats") {
+      args.stats = true;
+    } else if (arg == "--csv") {
+      args.csv = true;
+    } else if (arg == "--list") {
+      args.list = true;
+    } else if (arg == "--weighted") {
+      args.weighted = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  return Run(args);
+}
