@@ -55,8 +55,11 @@ int main(int argc, char** argv) {
 
   const bool have_exact = ExactEstimator::Feasible(graph);
   ExactEstimator* exact = nullptr;
+  // The estimator keeps a pointer to its graph, so the tiny stand-in for
+  // the infeasible branch must outlive exact_storage too.
+  Graph standin = gen::Complete(3);
   ExactEstimator exact_storage =
-      have_exact ? ExactEstimator(graph) : ExactEstimator(gen::Complete(3));
+      have_exact ? ExactEstimator(graph) : ExactEstimator(standin);
   if (have_exact) exact = &exact_storage;
 
   const std::pair<NodeId, NodeId> pairs[] = {

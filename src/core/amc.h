@@ -55,6 +55,8 @@ AmcRunResult RunAmc(const Graph& graph, NodeId s, NodeId t,
 class AmcEstimator : public ErEstimator {
  public:
   AmcEstimator(const Graph& graph, ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  AmcEstimator(Graph&&, ErOptions = {}) = delete;
 
   std::string Name() const override { return "AMC"; }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;

@@ -22,6 +22,8 @@ class ExactEstimator : public ErEstimator {
   /// the graph is disconnected (M then not PD).
   explicit ExactEstimator(const Graph& graph, ErOptions options = {},
                           NodeId max_nodes = 8192);
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit ExactEstimator(Graph&&, ErOptions = {}, NodeId = 8192) = delete;
 
   std::string Name() const override { return "EXACT"; }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;

@@ -24,6 +24,8 @@ namespace geer {
 class GeerEstimator : public ErEstimator {
  public:
   GeerEstimator(const Graph& graph, ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  GeerEstimator(Graph&&, ErOptions = {}) = delete;
 
   std::string Name() const override { return "GEER"; }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;

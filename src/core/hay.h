@@ -14,6 +14,8 @@ namespace geer {
 class HayEstimator : public ErEstimator {
  public:
   HayEstimator(const Graph& graph, ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  HayEstimator(Graph&&, ErOptions = {}) = delete;
 
   std::string Name() const override { return "HAY"; }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;

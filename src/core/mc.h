@@ -17,6 +17,8 @@ namespace geer {
 class McEstimator : public ErEstimator {
  public:
   McEstimator(const Graph& graph, ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  McEstimator(Graph&&, ErOptions = {}) = delete;
 
   std::string Name() const override { return "MC"; }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;

@@ -15,6 +15,8 @@ namespace geer {
 class Mc2Estimator : public ErEstimator {
  public:
   Mc2Estimator(const Graph& graph, ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  Mc2Estimator(Graph&&, ErOptions = {}) = delete;
 
   std::string Name() const override { return "MC2"; }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;

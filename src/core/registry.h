@@ -23,6 +23,12 @@ std::unique_ptr<ErEstimator> CreateEstimator(const std::string& name,
                                              const Graph& graph,
                                              const ErOptions& options);
 
+/// Estimators hold a pointer to `graph` for their whole lifetime, so a
+/// temporary would dangle past the call — rejected at compile time.
+std::unique_ptr<ErEstimator> CreateEstimator(const std::string& name,
+                                             Graph&& graph,
+                                             const ErOptions& options) = delete;
+
 /// All registered names, in the paper's presentation order.
 std::vector<std::string> EstimatorNames();
 

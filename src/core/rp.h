@@ -22,6 +22,8 @@ class RpEstimator : public ErEstimator {
   /// options.rp_max_bytes — use Feasible() to pre-check (the benchmark
   /// harness reports those configurations as OOM, like the paper).
   explicit RpEstimator(const Graph& graph, ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit RpEstimator(Graph&&, ErOptions = {}) = delete;
 
   std::string Name() const override { return "RP"; }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;

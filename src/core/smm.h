@@ -25,6 +25,8 @@ class SmmIterator {
   /// Positions the iterator at ℓ_b = 0 (the i=0 term is already folded
   /// into rb()). Requires s ≠ t handled by the caller.
   SmmIterator(const Graph& graph, TransitionOperator* op, NodeId s, NodeId t);
+  // Stores a pointer to `graph`; a temporary would dangle.
+  SmmIterator(Graph&&, TransitionOperator*, NodeId, NodeId) = delete;
 
   /// Truncated ER accumulated so far: r_{ℓb}(s, t).
   double rb() const { return rb_; }
@@ -69,6 +71,8 @@ class SmmIterator {
 class SmmEstimator : public ErEstimator {
  public:
   SmmEstimator(const Graph& graph, ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  SmmEstimator(Graph&&, ErOptions = {}) = delete;
 
   std::string Name() const override {
     return options_.use_peng_ell ? "SMM-PengEll" : "SMM";

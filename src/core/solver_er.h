@@ -14,6 +14,8 @@ namespace geer {
 class SolverEstimator : public ErEstimator {
  public:
   explicit SolverEstimator(const Graph& graph, ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit SolverEstimator(Graph&&, ErOptions = {}) = delete;
 
   std::string Name() const override { return "CG"; }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;

@@ -18,6 +18,8 @@ namespace geer {
 class TpEstimator : public ErEstimator {
  public:
   TpEstimator(const Graph& graph, ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  TpEstimator(Graph&&, ErOptions = {}) = delete;
 
   std::string Name() const override { return "TP"; }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;

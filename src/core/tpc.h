@@ -26,6 +26,8 @@ namespace geer {
 class TpcEstimator : public ErEstimator {
  public:
   TpcEstimator(const Graph& graph, ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  TpcEstimator(Graph&&, ErOptions = {}) = delete;
 
   std::string Name() const override { return "TPC"; }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;

@@ -29,7 +29,12 @@ std::optional<Graph> ParseStream(std::istream& in) {
     std::uint64_t u_raw = 0;
     std::uint64_t v_raw = 0;
     if (!(fields >> u_raw >> v_raw)) return std::nullopt;
-    builder.AddEdge(intern(u_raw), intern(v_raw));
+    // Sequence the interning explicitly: argument evaluation order is
+    // unspecified, and first-appearance ids must follow the file's u-then-v
+    // reading order (this scrambled labels under right-to-left evaluation).
+    const NodeId u = intern(u_raw);
+    const NodeId v = intern(v_raw);
+    builder.AddEdge(u, v);
   }
   return builder.Build();
 }

@@ -32,6 +32,9 @@ class LaplacianSolver {
   explicit LaplacianSolver(const Graph& graph)
       : LaplacianSolver(graph, Options()) {}
   LaplacianSolver(const Graph& graph, Options options);
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit LaplacianSolver(Graph&&) = delete;
+  LaplacianSolver(Graph&&, Options) = delete;
 
   /// Solves L x = b. `b` is projected onto 𝟙^⊥ internally (the component
   /// along 𝟙 is unsolvable and irrelevant to ER queries).

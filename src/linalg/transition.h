@@ -26,6 +26,8 @@ namespace geer {
 class TransitionOperator {
  public:
   explicit TransitionOperator(const Graph& graph);
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit TransitionOperator(Graph&&) = delete;
 
   /// A vector together with its support (list of indices of non-zeros).
   /// The support list may over-approximate (contain zero entries) but
@@ -71,6 +73,8 @@ class TransitionOperator {
 class NormalizedAdjacencyOperator {
  public:
   explicit NormalizedAdjacencyOperator(const Graph& graph);
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit NormalizedAdjacencyOperator(Graph&&) = delete;
 
   /// y ← N·x (dense).
   void Apply(const Vector& x, Vector* y) const;

@@ -18,6 +18,8 @@ namespace geer {
 class Walker {
  public:
   explicit Walker(const Graph& graph) : graph_(&graph) {}
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit Walker(Graph&&) = delete;
 
   /// One walk step: a uniformly random neighbor of `v`. `v` must have
   /// positive degree.

@@ -51,6 +51,8 @@ class AliasTable {
 class WeightedWalker {
  public:
   explicit WeightedWalker(const WeightedGraph& graph);
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit WeightedWalker(WeightedGraph&&) = delete;
 
   /// One walk step from `v`: neighbor u with probability w(v,u)/w(v).
   /// `v` must have positive degree.

@@ -35,6 +35,8 @@ class WeightedAmcEstimator : public WeightedErEstimator {
  public:
   explicit WeightedAmcEstimator(const WeightedGraph& graph,
                                 ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit WeightedAmcEstimator(WeightedGraph&&, ErOptions = {}) = delete;
 
   std::string Name() const override { return "W-AMC"; }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;

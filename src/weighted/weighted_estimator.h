@@ -38,6 +38,9 @@ class WeightedSolverEstimator : public WeightedErEstimator {
       WeightedLaplacianSolver::Options options = {.max_iterations = 20000,
                                                   .tolerance = 1e-12})
       : solver_(graph, options) {}
+  // The solver stores a pointer to `graph`; a temporary would dangle.
+  explicit WeightedSolverEstimator(
+      WeightedGraph&&, WeightedLaplacianSolver::Options = {}) = delete;
 
   std::string Name() const override { return "W-CG"; }
 

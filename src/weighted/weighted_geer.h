@@ -18,6 +18,8 @@ class WeightedGeerEstimator : public WeightedErEstimator {
  public:
   explicit WeightedGeerEstimator(const WeightedGraph& graph,
                                  ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit WeightedGeerEstimator(WeightedGraph&&, ErOptions = {}) = delete;
 
   std::string Name() const override { return "W-GEER"; }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;

@@ -21,6 +21,9 @@ class WeightedLaplacianSolver {
   explicit WeightedLaplacianSolver(const WeightedGraph& graph)
       : WeightedLaplacianSolver(graph, Options()) {}
   WeightedLaplacianSolver(const WeightedGraph& graph, Options options);
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit WeightedLaplacianSolver(WeightedGraph&&) = delete;
+  WeightedLaplacianSolver(WeightedGraph&&, Options) = delete;
 
   /// Solves L_w x = b (b projected onto 𝟙^⊥ internally).
   Vector Solve(const Vector& b, CgStats* stats = nullptr) const;

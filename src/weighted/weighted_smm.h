@@ -19,6 +19,9 @@ class WeightedSmmIterator {
  public:
   WeightedSmmIterator(const WeightedGraph& graph,
                       WeightedTransitionOperator* op, NodeId s, NodeId t);
+  // Stores a pointer to `graph`; a temporary would dangle.
+  WeightedSmmIterator(WeightedGraph&&, WeightedTransitionOperator*, NodeId,
+                      NodeId) = delete;
 
   /// Truncated ER accumulated so far: r_{ℓb}(s, t).
   double rb() const { return rb_; }
@@ -61,6 +64,8 @@ class WeightedSmmEstimator : public WeightedErEstimator {
  public:
   explicit WeightedSmmEstimator(const WeightedGraph& graph,
                                 ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit WeightedSmmEstimator(WeightedGraph&&, ErOptions = {}) = delete;
 
   std::string Name() const override { return "W-SMM"; }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;

@@ -19,6 +19,8 @@ namespace geer {
 class WeightedTransitionOperator {
  public:
   explicit WeightedTransitionOperator(const WeightedGraph& graph);
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit WeightedTransitionOperator(WeightedGraph&&) = delete;
 
   /// A vector together with its (possibly over-approximated) support.
   struct SparseVector {
@@ -60,6 +62,8 @@ class WeightedTransitionOperator {
 class NormalizedWeightedAdjacencyOperator {
  public:
   explicit NormalizedWeightedAdjacencyOperator(const WeightedGraph& graph);
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit NormalizedWeightedAdjacencyOperator(WeightedGraph&&) = delete;
 
   /// y ← N·x (dense).
   void Apply(const Vector& x, Vector* y) const;

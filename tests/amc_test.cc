@@ -171,7 +171,10 @@ TEST(AmcEstimatorTest, WithinEpsilonHighProbability) {
 }
 
 TEST(AmcEstimatorTest, SameNodeZero) {
-  AmcEstimator amc(gen::Complete(8));
+  // Regression: passing a temporary graph left the estimator with a
+  // dangling pointer (caught by ASan); now rejected at compile time.
+  Graph g = gen::Complete(8);
+  AmcEstimator amc(g);
   EXPECT_DOUBLE_EQ(amc.Estimate(3, 3), 0.0);
 }
 

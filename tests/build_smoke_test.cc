@@ -1,0 +1,91 @@
+// Build-system smoke test: instantiate every estimator the registry knows
+// about on the smallest interesting fixture (TriangleWithTail) and check
+// each answer against the dense pseudo-inverse oracle. If a module fails
+// to link into libgeer or a registry entry rots, this suite is the first
+// to notice — it exercises core, graph, linalg, rw, and stats end to end
+// from a single binary.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/registry.h"
+#include "test_util.h"
+
+namespace geer {
+namespace {
+
+ErOptions SmokeOptions() {
+  ErOptions opt;
+  opt.epsilon = 0.25;
+  opt.delta = 0.05;
+  opt.seed = 1234;
+  // TP/TPC use Peng et al.'s generic sample constants, which explode on
+  // the slow-mixing tail; scale them down so the smoke test stays fast
+  // (the bounds are loose enough that ε still holds comfortably).
+  opt.tp_scale = 0.01;
+  opt.tpc_scale = 0.001;
+  // MC's guarantee needs γ ≥ r(s,t); the farthest pair on TriangleWithTail
+  // has r(0,4) = 2/3 + 2 ≈ 2.67.
+  opt.mc_gamma_upper = 4.0;
+  return opt;
+}
+
+TEST(BuildSmokeTest, RegistryListsThePapersAlgorithms) {
+  const auto names = EstimatorNames();
+  ASSERT_FALSE(names.empty());
+  // The paper's own contributions must always be registered.
+  for (const std::string required : {"GEER", "AMC", "SMM"}) {
+    bool found = false;
+    for (const auto& name : names) {
+      if (name == required) found = true;
+    }
+    EXPECT_TRUE(found) << required << " missing from registry";
+  }
+}
+
+TEST(BuildSmokeTest, EveryRegisteredEstimatorConstructs) {
+  Graph g = testing::TriangleWithTail();
+  const ErOptions opt = SmokeOptions();
+  for (const auto& name : EstimatorNames()) {
+    if (!EstimatorFeasible(name, g, opt)) continue;
+    auto estimator = CreateEstimator(name, g, opt);
+    ASSERT_NE(estimator, nullptr) << name;
+    EXPECT_EQ(estimator->Name(), name);
+  }
+}
+
+TEST(BuildSmokeTest, UnknownNameReturnsNull) {
+  Graph g = testing::TriangleWithTail();
+  EXPECT_EQ(CreateEstimator("NOT-AN-ALGORITHM", g, SmokeOptions()), nullptr);
+}
+
+TEST(BuildSmokeTest, EveryEstimatorMatchesExactOracle) {
+  Graph g = testing::TriangleWithTail();
+  const ErOptions opt = SmokeOptions();
+  // An edge pair inside the triangle, an edge pair on the tail, and the
+  // graph's diameter pair. MC2/HAY are edge-only and skip (0, 4) via
+  // SupportsQuery.
+  const std::pair<NodeId, NodeId> pairs[] = {{0, 1}, {3, 4}, {0, 4}};
+  for (const auto& name : EstimatorNames()) {
+    if (!EstimatorFeasible(name, g, opt)) continue;
+    auto estimator = CreateEstimator(name, g, opt);
+    ASSERT_NE(estimator, nullptr) << name;
+    int answered = 0;
+    for (auto [s, t] : pairs) {
+      if (!estimator->SupportsQuery(s, t)) continue;
+      ++answered;
+      const double truth = testing::ExactEr(g, s, t);
+      // RP's guarantee is relative (1±ε); everything else is additive ε.
+      const double budget = name == "RP" ? opt.epsilon * truth + 0.05
+                                         : opt.epsilon + 1e-9;
+      EXPECT_NEAR(estimator->Estimate(s, t), truth, budget)
+          << name << " (" << s << "," << t << ")";
+    }
+    EXPECT_GT(answered, 0) << name << " answered no smoke pair";
+  }
+}
+
+}  // namespace
+}  // namespace geer

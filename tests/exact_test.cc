@@ -27,7 +27,10 @@ TEST(ExactTest, TreeDistance) {
 
 TEST(ExactTest, CompleteGraphClosedForm) {
   const NodeId n = 14;
-  ExactEstimator exact(gen::Complete(n));
+  // Regression: these three tests passed temporaries, leaving dangling
+  // graph pointers (caught by ASan); now rejected at compile time.
+  Graph g = gen::Complete(n);
+  ExactEstimator exact(g);
   EXPECT_NEAR(exact.Estimate(0, 13), 2.0 / n, 1e-10);
 }
 
@@ -57,7 +60,8 @@ TEST(ExactTest, WheatstoneBridge) {
 }
 
 TEST(ExactTest, SameNodeZero) {
-  ExactEstimator exact(gen::Complete(5));
+  Graph g = gen::Complete(5);
+  ExactEstimator exact(g);
   EXPECT_DOUBLE_EQ(exact.Estimate(2, 2), 0.0);
 }
 
@@ -77,7 +81,8 @@ TEST(ExactTest, CutEdgeHasUnitResistance) {
 
 TEST(ExactTest, TriangleEdge) {
   // Triangle edge: 1 Ω parallel with 2 Ω series path = 2/3.
-  ExactEstimator exact(gen::Complete(3));
+  Graph g = gen::Complete(3);
+  ExactEstimator exact(g);
   EXPECT_NEAR(exact.Estimate(0, 1), 2.0 / 3.0, 1e-10);
 }
 

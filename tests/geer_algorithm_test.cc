@@ -29,7 +29,10 @@ TEST(GeerTest, WithinEpsilonOfTruth) {
 }
 
 TEST(GeerTest, SameNodeZero) {
-  GeerEstimator geer(gen::Complete(8));
+  // Regression: passing a temporary graph left the estimator with a
+  // dangling pointer (caught by ASan); now rejected at compile time.
+  Graph g = gen::Complete(8);
+  GeerEstimator geer(g);
   EXPECT_DOUBLE_EQ(geer.Estimate(2, 2), 0.0);
 }
 

@@ -23,7 +23,7 @@ TEST(IntegrationTest, Fig4PipelineSmoke) {
   auto queries = RandomPairs(ds->graph, 20, 1);
   auto truth = GroundTruthCg(ds->graph, queries);
 
-  for (const std::string& method : {"GEER", "AMC", "SMM"}) {
+  for (const char* method : {"GEER", "AMC", "SMM"}) {
     ErOptions opt;
     opt.epsilon = 0.2;
     MethodResult res = RunMethod(*ds, method, opt, queries, truth);
@@ -39,7 +39,7 @@ TEST(IntegrationTest, Fig5EdgePipelineSmoke) {
   ASSERT_TRUE(ds.has_value());
   auto queries = RandomEdges(ds->graph, 15, 2);
   auto truth = GroundTruthCg(ds->graph, queries);
-  for (const std::string& method : {"GEER", "AMC", "MC2", "HAY"}) {
+  for (const char* method : {"GEER", "AMC", "MC2", "HAY"}) {
     ErOptions opt;
     opt.epsilon = 0.25;
     MethodResult res = RunMethod(*ds, method, opt, queries, truth);

@@ -1,0 +1,202 @@
+// Write-then-read round trips for both edge-list formats (graph/io.h and
+// weighted/weighted_io.h), beyond the label-invariant summaries the
+// per-module IO tests check:
+//   * exact structural equality where the loader's first-appearance
+//     interning provably yields the identity mapping,
+//   * save∘load idempotence (the second round trip must be exact for any
+//     graph, because interning is deterministic),
+//   * cross-format reads (the unweighted loader drops a weight column;
+//     the weighted loader defaults a missing one to 1).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "test_util.h"
+#include "weighted/weighted_generators.h"
+#include "weighted/weighted_graph.h"
+#include "weighted/weighted_io.h"
+
+namespace geer {
+namespace {
+
+std::string ScratchPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// On Path(n) and Complete(n) the save order (u ascending, u < v) interns
+// nodes in identity order, so the reloaded graph must be bit-identical.
+TEST(IoRoundTripTest, IdentityOrderFamiliesRoundTripExactly) {
+  const std::string path = ScratchPath("geer_rt_exact.txt");
+  for (Graph original : {gen::Path(17), gen::Complete(9)}) {
+    ASSERT_TRUE(SaveEdgeList(original, path));
+    auto loaded = LoadEdgeList(path);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->NumNodes(), original.NumNodes());
+    EXPECT_EQ(loaded->Edges(), original.Edges());
+    EXPECT_EQ(loaded->Offsets(), original.Offsets());
+    EXPECT_EQ(loaded->NeighborArray(), original.NeighborArray());
+  }
+  std::remove(path.c_str());
+}
+
+// First-appearance interning over the edge list the saver emits (u
+// ascending, u < v). Applying it by hand to the original graph gives the
+// exact labeled graph the loader must return — an exact structural
+// round-trip check that works for arbitrary graphs, not just families
+// where the permutation happens to be the identity.
+std::vector<NodeId> SaveOrderInterning(const std::vector<Edge>& edges,
+                                       NodeId num_nodes) {
+  std::vector<NodeId> perm(num_nodes, num_nodes);
+  NodeId next = 0;
+  for (const auto& [u, v] : edges) {
+    if (perm[u] == num_nodes) perm[u] = next++;
+    if (perm[v] == num_nodes) perm[v] = next++;
+  }
+  return perm;
+}
+
+std::vector<Edge> MapEdges(const std::vector<Edge>& edges,
+                           const std::vector<NodeId>& perm) {
+  std::vector<Edge> out;
+  for (const auto& [u, v] : edges) {
+    const NodeId pu = perm[u];
+    const NodeId pv = perm[v];
+    out.emplace_back(std::min(pu, pv), std::max(pu, pv));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(IoRoundTripTest, ArbitraryGraphRoundTripsExactlyUpToInterning) {
+  const std::string path = ScratchPath("geer_rt_perm.txt");
+  Graph original = gen::BarabasiAlbert(60, 3, 11);
+  ASSERT_TRUE(SaveEdgeList(original, path));
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->NumNodes(), original.NumNodes());
+  const auto perm =
+      SaveOrderInterning(original.Edges(), original.NumNodes());
+  EXPECT_EQ(loaded->Edges(), MapEdges(original.Edges(), perm));
+  // Loading the same file twice must give bit-identical graphs.
+  auto again = LoadEdgeList(path);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->Edges(), loaded->Edges());
+  EXPECT_EQ(again->Offsets(), loaded->Offsets());
+  std::remove(path.c_str());
+}
+
+// Regression for a seed bug: ParseStream interned endpoints inside the
+// argument list of AddEdge, so GCC's right-to-left argument evaluation
+// assigned first-appearance ids in v-then-u order and scrambled labels.
+// Pin the documented contract: ids map in the file's reading order.
+TEST(IoRoundTripTest, InterningFollowsFirstAppearanceOrder) {
+  auto g = ParseEdgeList("10 20\n20 30\n30 10\n40 30\n");
+  ASSERT_TRUE(g.has_value());
+  // 10→0, 20→1, 30→2, 40→3.
+  const std::vector<Edge> expected = {{0, 1}, {0, 2}, {1, 2}, {2, 3}};
+  EXPECT_EQ(g->Edges(), expected);
+}
+
+// Effective resistance is invariant under the loader's relabeling, so the
+// multiset of resistances from any cycle node must match the closed form
+// {k(n−k)/n : k = 1..n−1} regardless of how labels permuted.
+TEST(IoRoundTripTest, RoundTripPreservesEffectiveResistance) {
+  const std::string path = ScratchPath("geer_rt_er.txt");
+  const NodeId n = 12;
+  Graph original = gen::Cycle(n);
+  ASSERT_TRUE(SaveEdgeList(original, path));
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->NumNodes(), n);
+  std::vector<double> got;
+  std::vector<double> want;
+  for (NodeId k = 1; k < n; ++k) {
+    got.push_back(testing::ExactEr(*loaded, 0, k));
+    want.push_back(testing::CycleEr(n, 0, k));
+  }
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-9) << "rank " << i;
+  }
+  std::remove(path.c_str());
+}
+
+// SeriesChain writes edges (0,1), (1,2), ... — identity interning — so
+// every weight must survive the round trip bit-for-bit.
+TEST(IoRoundTripTest, WeightedChainRoundTripsWeightsExactly) {
+  const std::string path = ScratchPath("geer_rt_wchain.txt");
+  const std::vector<double> resistances = {0.125, 2.0, 0.5, 8.0, 1.0};
+  WeightedGraph original = gen::SeriesChain(resistances);
+  ASSERT_TRUE(SaveWeightedEdgeList(original, path));
+  auto loaded = LoadWeightedEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->NumNodes(), original.NumNodes());
+  ASSERT_EQ(loaded->NumEdges(), original.NumEdges());
+  for (NodeId u = 0; u + 1 < original.NumNodes(); ++u) {
+    EXPECT_DOUBLE_EQ(loaded->EdgeWeight(u, u + 1),
+                     original.EdgeWeight(u, u + 1))
+        << "edge (" << u << "," << u + 1 << ")";
+  }
+  EXPECT_DOUBLE_EQ(loaded->TotalWeight(), original.TotalWeight());
+  std::remove(path.c_str());
+}
+
+TEST(IoRoundTripTest, WeightedGraphRoundTripsExactlyUpToInterning) {
+  const std::string path = ScratchPath("geer_rt_wperm.txt");
+  WeightedGraph original = gen::GridCircuit(4, 5, 0.25, 4.0, 7);
+  ASSERT_TRUE(SaveWeightedEdgeList(original, path));
+  auto loaded = LoadWeightedEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->NumNodes(), original.NumNodes());
+  ASSERT_EQ(loaded->NumEdges(), original.NumEdges());
+  std::vector<Edge> plain;
+  for (const auto& e : original.Edges()) plain.emplace_back(e.u, e.v);
+  const auto perm = SaveOrderInterning(plain, original.NumNodes());
+  // Every edge must reappear under the interning map with its weight
+  // preserved to full precision (the saver may round only in ways the
+  // loader reads back identically; pin that here).
+  for (const auto& e : original.Edges()) {
+    EXPECT_DOUBLE_EQ(loaded->EdgeWeight(perm[e.u], perm[e.v]), e.weight)
+        << "edge (" << e.u << "," << e.v << ")";
+  }
+  std::remove(path.c_str());
+}
+
+// The unweighted parser reads "u v" and ignores trailing columns, so a
+// weighted file loads as its topology; the weighted parser defaults a
+// missing third column to weight 1, so an unweighted file loads with unit
+// conductances. Both directions are part of the documented format contract.
+TEST(IoRoundTripTest, CrossFormatReadsAgreeOnTopology) {
+  const std::string wpath = ScratchPath("geer_rt_cross_w.txt");
+  const std::string upath = ScratchPath("geer_rt_cross_u.txt");
+  WeightedGraph weighted = gen::Ladder(6, 0.5, 2.0);
+  ASSERT_TRUE(SaveWeightedEdgeList(weighted, wpath));
+
+  auto topology = LoadEdgeList(wpath);
+  ASSERT_TRUE(topology.has_value());
+  EXPECT_EQ(topology->NumNodes(), weighted.NumNodes());
+  EXPECT_EQ(topology->NumEdges(), weighted.NumEdges());
+
+  ASSERT_TRUE(SaveEdgeList(*topology, upath));
+  auto unit = LoadWeightedEdgeList(upath);
+  ASSERT_TRUE(unit.has_value());
+  EXPECT_EQ(unit->NumNodes(), topology->NumNodes());
+  EXPECT_EQ(unit->NumEdges(), topology->NumEdges());
+  for (NodeId v = 0; v < unit->NumNodes(); ++v) {
+    // Unit weights: strength == degree.
+    EXPECT_DOUBLE_EQ(unit->Strength(v), static_cast<double>(unit->Degree(v)));
+  }
+  std::remove(wpath.c_str());
+  std::remove(upath.c_str());
+}
+
+}  // namespace
+}  // namespace geer

@@ -83,7 +83,10 @@ TEST(SmmEstimatorTest, WithinEpsilonOfTruth) {
 }
 
 TEST(SmmEstimatorTest, SameNodeZero) {
-  SmmEstimator smm(gen::Complete(6));
+  // Regression: passing a temporary graph left the estimator with a
+  // dangling pointer (caught by ASan); now rejected at compile time.
+  Graph g = gen::Complete(6);
+  SmmEstimator smm(g);
   EXPECT_DOUBLE_EQ(smm.Estimate(4, 4), 0.0);
 }
 

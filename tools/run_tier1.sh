@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, and run the full ctest suite.
+# This is the CI entry point; it exits non-zero as soon as any stage fails.
+#
+# Usage: tools/run_tier1.sh [build-dir]
+#   build-dir   defaults to "build" (relative to the repo root)
+#
+# Environment:
+#   JOBS        parallelism for build and ctest (default: nproc)
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+cd "$REPO_ROOT"
+
+echo "== tier-1: configure (${BUILD_DIR}) =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== tier-1: build (-j${JOBS}) =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== tier-1: ctest (-j${JOBS}) =="
+# cd instead of `ctest --test-dir`: the latter needs CTest >= 3.20 while
+# the build itself accepts CMake 3.16.
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+echo "== tier-1: PASS =="
