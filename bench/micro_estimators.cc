@@ -6,7 +6,9 @@
 
 #include "core/registry.h"
 #include "graph/generators.h"
+#include "graph/weighted_graph.h"
 #include "linalg/spectral.h"
+#include "weighted/weighted_generators.h"
 
 namespace geer {
 namespace {
@@ -62,8 +64,46 @@ void BM_TpScaled(benchmark::State& state) {
 }
 BENCHMARK(BM_TpScaled)->Arg(2);
 
+// Exercises the cached-population rewrite: per-length walk populations
+// are extended instead of re-simulated, so per-query cost is O(Σ η_i)
+// steps instead of O(Σ η_i·i).
+void BM_TpcScaled(benchmark::State& state) {
+  RunEstimator(state, "TPC", 1.0 / state.range(0));
+}
+BENCHMARK(BM_TpcScaled)->Arg(2);
+
 void BM_Cg(benchmark::State& state) { RunEstimator(state, "CG", 0.1); }
 BENCHMARK(BM_Cg);
+
+// Weighted (EdgeWeight-instantiation) counterpart on the same topology
+// with Uniform[0.25, 4] conductances — the "write it once, run it on
+// both" payoff of the weight-generic refactor, for eyeballing the alias
+// sampler and strength-normalized SpMV against the unit-weight numbers.
+void RunWeightedEstimator(benchmark::State& state, const std::string& name,
+                          double epsilon) {
+  static const WeightedGraph wg =
+      gen::WithUniformWeights(SharedFixture().graph, 0.25, 4.0, 7);
+  static const SpectralBounds spectral = ComputeWeightedSpectralBounds(wg);
+  ErOptions opt;
+  opt.epsilon = epsilon;
+  opt.lambda = spectral.lambda;
+  auto est = CreateWeightedEstimator(name, wg, opt);
+  const NodeId s = 17;
+  const NodeId t = 2048 % wg.NumNodes();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est->Estimate(s, t));
+  }
+}
+
+void BM_WeightedGeer(benchmark::State& state) {
+  RunWeightedEstimator(state, "GEER", 1.0 / state.range(0));
+}
+BENCHMARK(BM_WeightedGeer)->Arg(2)->Arg(10);
+
+void BM_WeightedSmm(benchmark::State& state) {
+  RunWeightedEstimator(state, "SMM", 1.0 / state.range(0));
+}
+BENCHMARK(BM_WeightedSmm)->Arg(2)->Arg(10);
 
 }  // namespace
 }  // namespace geer

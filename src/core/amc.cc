@@ -11,19 +11,19 @@
 namespace geer {
 
 double AmcPsi(std::uint32_t ell_f, double max1_s, double max2_s,
-              std::uint64_t degree_s, double max1_t, double max2_t,
-              std::uint64_t degree_t) {
-  const double ds = static_cast<double>(degree_s);
-  const double dt = static_cast<double>(degree_t);
+              double weight_s, double max1_t, double max2_t,
+              double weight_t) {
   const double half_up = std::ceil(ell_f / 2.0);
   const double half_down = std::floor(ell_f / 2.0);
-  return 2.0 * half_up * (max1_s / ds + max1_t / dt) +
-         2.0 * half_down * (max2_s / ds + max2_t / dt);
+  return 2.0 * half_up * (max1_s / weight_s + max1_t / weight_t) +
+         2.0 * half_down * (max2_s / weight_s + max2_t / weight_t);
 }
 
-AmcRunResult RunAmc(const Graph& graph, NodeId s, NodeId t,
-                    const Vector& svec, const Vector& tvec,
-                    const AmcParams& params, Rng& rng) {
+template <WeightPolicy WP>
+AmcRunResult RunAmcT(const typename WP::GraphT& graph,
+                     const WalkerFor<WP>& walker, NodeId s, NodeId t,
+                     const Vector& svec, const Vector& tvec,
+                     const AmcParams& params, Rng& rng) {
   GEER_CHECK_NE(s, t);
   GEER_CHECK_EQ(svec.size(), static_cast<std::size_t>(graph.NumNodes()));
   GEER_CHECK_EQ(tvec.size(), static_cast<std::size_t>(graph.NumNodes()));
@@ -34,15 +34,15 @@ AmcRunResult RunAmc(const Graph& graph, NodeId s, NodeId t,
   AmcRunResult result;
   if (params.ell_f == 0) return result;  // q over an empty length range
 
-  const std::uint64_t ds = graph.Degree(s);
-  const std::uint64_t dt = graph.Degree(t);
-  const double inv_ds = 1.0 / static_cast<double>(ds);
-  const double inv_dt = 1.0 / static_cast<double>(dt);
+  const double ws = WP::NodeWeight(graph, s);
+  const double wt = WP::NodeWeight(graph, t);
+  const double inv_ws = 1.0 / ws;
+  const double inv_wt = 1.0 / wt;
 
   const auto [max1_s, max2_s] = TopTwo(svec);
   const auto [max1_t, max2_t] = TopTwo(tvec);
-  const double psi = AmcPsi(params.ell_f, max1_s, max2_s, ds, max1_t,
-                            max2_t, dt);
+  const double psi =
+      AmcPsi(params.ell_f, max1_s, max2_s, ws, max1_t, max2_t, wt);
   result.psi = psi;
   if (psi <= 0.0) return result;  // |Z_k| ≤ ψ/2 = 0: q is exactly 0
 
@@ -56,7 +56,6 @@ AmcRunResult RunAmc(const Graph& graph, NodeId s, NodeId t,
   if (eta == 0) eta = 1;
 
   const double per_batch_delta = params.delta / params.tau;
-  const Walker walker(graph);
   MeanVarAccumulator acc;
 
   double z_mean = 0.0;
@@ -65,18 +64,18 @@ AmcRunResult RunAmc(const Graph& graph, NodeId s, NodeId t,
     acc.Reset();
     for (std::uint64_t k = 0; k < eta; ++k) {
       // Walk S_k from s and T_k from t, both of length ℓf; accumulate
-      //   Z_k = Σ_{u∈S_k} (s(u)/d(s) − t(u)/d(t))
-      //       + Σ_{u∈T_k} (t(u)/d(t) − s(u)/d(s)).
+      //   Z_k = Σ_{u∈S_k} (s(u)/w(s) − t(u)/w(t))
+      //       + Σ_{u∈T_k} (t(u)/w(t) − s(u)/w(s)).
       double z = 0.0;
       NodeId cur = s;
       for (std::uint32_t step = 0; step < params.ell_f; ++step) {
         cur = walker.Step(cur, rng);
-        z += svec[cur] * inv_ds - tvec[cur] * inv_dt;
+        z += svec[cur] * inv_ws - tvec[cur] * inv_wt;
       }
       cur = t;
       for (std::uint32_t step = 0; step < params.ell_f; ++step) {
         cur = walker.Step(cur, rng);
-        z += tvec[cur] * inv_dt - svec[cur] * inv_ds;
+        z += tvec[cur] * inv_wt - svec[cur] * inv_ws;
       }
       acc.Add(z);
     }
@@ -98,31 +97,35 @@ AmcRunResult RunAmc(const Graph& graph, NodeId s, NodeId t,
   return result;
 }
 
-AmcEstimator::AmcEstimator(const Graph& graph, ErOptions options)
+template <WeightPolicy WP>
+AmcEstimatorT<WP>::AmcEstimatorT(const GraphT& graph, ErOptions options)
     : graph_(&graph),
       options_(options),
+      walker_(graph),
       svec_(graph.NumNodes(), 0.0),
       tvec_(graph.NumNodes(), 0.0) {
   ValidateOptions(options_);
   lambda_ = options_.lambda.has_value()
                 ? *options_.lambda
-                : ComputeSpectralBounds(graph).lambda;
+                : ComputeSpectralBoundsT<WP>(graph).lambda;
 }
 
-QueryStats AmcEstimator::EstimateWithStats(NodeId s, NodeId t) {
+template <WeightPolicy WP>
+QueryStats AmcEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   GEER_CHECK(s < graph_->NumNodes());
   GEER_CHECK(t < graph_->NumNodes());
   QueryStats stats;
   if (s == t) return stats;
 
-  const std::uint64_t ds = graph_->Degree(s);
-  const std::uint64_t dt = graph_->Degree(t);
+  const double ws = WP::NodeWeight(*graph_, s);
+  const double wt = WP::NodeWeight(*graph_, t);
   const std::uint32_t ell =
       options_.use_peng_ell
           ? PengEll(options_.epsilon, lambda_, options_.max_ell)
-          : RefinedEll(options_.epsilon, lambda_, ds, dt, options_.max_ell);
+          : RefinedEllWeighted(options_.epsilon, lambda_, ws, wt,
+                               options_.max_ell);
   stats.ell = ell;
-  stats.truncated = EllWasTruncated(options_.epsilon, lambda_, ds, dt,
+  stats.truncated = EllWasTruncated(options_.epsilon, lambda_, ws, wt,
                                     options_.max_ell, options_.use_peng_ell);
 
   svec_[s] = 1.0;
@@ -135,13 +138,13 @@ QueryStats AmcEstimator::EstimateWithStats(NodeId s, NodeId t) {
   // Per-query deterministic stream: reordering queries never changes an
   // individual answer.
   Rng rng(options_.seed ^ (static_cast<std::uint64_t>(s) << 32) ^ t);
-  AmcRunResult run = RunAmc(*graph_, s, t, svec_, tvec_, params, rng);
+  AmcRunResult run =
+      RunAmcT<WP>(*graph_, walker_, s, t, svec_, tvec_, params, rng);
   svec_[s] = 0.0;
   tvec_[t] = 0.0;
 
-  // Theorem 3.4: add the i = 0 term 1_{s≠t}(1/d(s) + 1/d(t)).
-  stats.value = run.r_f + 1.0 / static_cast<double>(ds) +
-                1.0 / static_cast<double>(dt);
+  // Theorem 3.4: add the i = 0 term 1_{s≠t}(1/w(s) + 1/w(t)).
+  stats.value = run.r_f + 1.0 / ws + 1.0 / wt;
   stats.walks = run.walks;
   stats.walk_steps = run.steps;
   stats.eta_star = run.eta_star;
@@ -149,5 +152,17 @@ QueryStats AmcEstimator::EstimateWithStats(NodeId s, NodeId t) {
   stats.early_stop = run.early_stop;
   return stats;
 }
+
+template AmcRunResult RunAmcT<UnitWeight>(const Graph&, const Walker&,
+                                          NodeId, NodeId, const Vector&,
+                                          const Vector&, const AmcParams&,
+                                          Rng&);
+template AmcRunResult RunAmcT<EdgeWeight>(const WeightedGraph&,
+                                          const WeightedWalker&, NodeId,
+                                          NodeId, const Vector&,
+                                          const Vector&, const AmcParams&,
+                                          Rng&);
+template class AmcEstimatorT<UnitWeight>;
+template class AmcEstimatorT<EdgeWeight>;
 
 }  // namespace geer

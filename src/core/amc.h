@@ -1,18 +1,25 @@
 // AMC (Alg. 1): adaptive Monte Carlo estimation of
-//   q(s,t) = Σ_{i=1}^{ℓf} Σ_v (p_i(s,v) − p_i(t,v)) (s(v)/d(s) − t(v)/d(t))
+//   q(s,t) = Σ_{i=1}^{ℓf} Σ_v (p_i(s,v) − p_i(t,v)) (s(v)/w(s) − t(v)/w(t))
 // by batches of truncated random walks with an empirical-Bernstein
-// stopping rule. With s = e_s, t = e_t and ℓf = ℓ (Eq. 6),
-// r_f + 1_{s≠t}(1/d(s) + 1/d(t)) is an ε-approximate ER w.h.p.
-// (Theorem 3.4). GEER reuses RunAmc with the SMM iterates as s, t.
+// stopping rule, generic over the weight policy (w = d unweighted,
+// w = strength weighted; weighted walks step through the alias sampler).
+// With s = e_s, t = e_t and ℓf = ℓ (Eq. 6),
+// r_f + 1_{s≠t}(1/w(s) + 1/w(t)) is an ε-approximate ER w.h.p.
+// (Theorem 3.4 — the empirical Bernstein machinery is weight-independent
+// because Lemma 3.3 bounds walk sums by visit counts). GEER reuses
+// RunAmcT with the SMM iterates as s, t.
 
 #ifndef GEER_CORE_AMC_H_
 #define GEER_CORE_AMC_H_
 
+#include <string>
+
 #include "core/estimator.h"
 #include "core/options.h"
+#include "graph/weight_policy.h"
 #include "linalg/dense.h"
 #include "rw/rng.h"
-#include "rw/walker.h"
+#include "rw/walker_policy.h"
 
 namespace geer {
 
@@ -37,39 +44,71 @@ struct AmcRunResult {
 
 /// The range bound ψ of Eq. (9) for walk length ℓf and input vectors with
 /// top-two entries (max1_s, max2_s) and (max1_t, max2_t):
-///   ψ = 2⌈ℓf/2⌉(max1_s/d(s) + max1_t/d(t))
-///     + 2⌊ℓf/2⌋(max2_s/d(s) + max2_t/d(t)).
+///   ψ = 2⌈ℓf/2⌉(max1_s/w(s) + max1_t/w(t))
+///     + 2⌊ℓf/2⌋(max2_s/w(s) + max2_t/w(t))
+/// where the node weights are degrees (unweighted) or strengths.
 double AmcPsi(std::uint32_t ell_f, double max1_s, double max2_s,
-              std::uint64_t degree_s, double max1_t, double max2_t,
-              std::uint64_t degree_t);
+              double weight_s, double max1_t, double max2_t,
+              double weight_t);
 
-/// Runs Algorithm 1. `svec` / `tvec` are the length-n non-negative input
-/// vectors (e_s / e_t for standalone AMC; the SMM iterates for GEER).
-/// Walks issue from `s` and `t`. Requires s ≠ t.
-AmcRunResult RunAmc(const Graph& graph, NodeId s, NodeId t,
-                    const Vector& svec, const Vector& tvec,
-                    const AmcParams& params, Rng& rng);
+/// Runs Algorithm 1 under weight policy WP. `svec` / `tvec` are the
+/// length-n non-negative input vectors (e_s / e_t for standalone AMC; the
+/// SMM iterates for GEER). Walks issue from `s` and `t` through `walker`,
+/// which must be built on `graph` — passing it in lets GEER amortize the
+/// O(m) alias construction across queries. Requires s ≠ t.
+template <WeightPolicy WP>
+AmcRunResult RunAmcT(const typename WP::GraphT& graph,
+                     const WalkerFor<WP>& walker, NodeId s, NodeId t,
+                     const Vector& svec, const Vector& tvec,
+                     const AmcParams& params, Rng& rng);
+
+/// Unweighted compat entry point (constructs the trivial uniform walker).
+inline AmcRunResult RunAmc(const Graph& graph, NodeId s, NodeId t,
+                           const Vector& svec, const Vector& tvec,
+                           const AmcParams& params, Rng& rng) {
+  const Walker walker(graph);
+  return RunAmcT<UnitWeight>(graph, walker, s, t, svec, tvec, params, rng);
+}
 
 /// The standalone AMC competitor: refined ℓ (Eq. 6) + Alg. 1 with one-hot
-/// inputs, returning r_f + 1_{s≠t}(1/d(s)+1/d(t)).
-class AmcEstimator : public ErEstimator {
+/// inputs, returning r_f + 1_{s≠t}(1/w(s)+1/w(t)).
+template <WeightPolicy WP>
+class AmcEstimatorT : public ErEstimator {
  public:
-  AmcEstimator(const Graph& graph, ErOptions options = {});
-  // Stores a pointer to `graph`; a temporary would dangle.
-  AmcEstimator(Graph&&, ErOptions = {}) = delete;
+  using GraphT = typename WP::GraphT;
 
-  std::string Name() const override { return "AMC"; }
+  explicit AmcEstimatorT(const GraphT& graph, ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit AmcEstimatorT(GraphT&&, ErOptions = {}) = delete;
+
+  std::string Name() const override {
+    return std::string(WP::kNamePrefix) + "AMC";
+  }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
   double lambda() const { return lambda_; }
 
  private:
-  const Graph* graph_;
+  const GraphT* graph_;
   ErOptions options_;
   double lambda_;
+  WalkerFor<WP> walker_;
   Vector svec_;  // reusable one-hot buffers
   Vector tvec_;
 };
+
+/// The two stacks, by their historical names.
+using AmcEstimator = AmcEstimatorT<UnitWeight>;
+using WeightedAmcEstimator = AmcEstimatorT<EdgeWeight>;
+
+extern template AmcRunResult RunAmcT<UnitWeight>(
+    const Graph&, const Walker&, NodeId, NodeId, const Vector&,
+    const Vector&, const AmcParams&, Rng&);
+extern template AmcRunResult RunAmcT<EdgeWeight>(
+    const WeightedGraph&, const WeightedWalker&, NodeId, NodeId,
+    const Vector&, const Vector&, const AmcParams&, Rng&);
+extern template class AmcEstimatorT<UnitWeight>;
+extern template class AmcEstimatorT<EdgeWeight>;
 
 }  // namespace geer
 

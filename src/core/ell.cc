@@ -48,17 +48,17 @@ std::uint32_t RefinedEllWeighted(double epsilon, double lambda,
   return EllFromNumerator(numerator, epsilon, lambda, max_ell);
 }
 
-bool EllWasTruncated(double epsilon, double lambda, std::uint64_t degree_s,
-                     std::uint64_t degree_t, std::uint32_t max_ell,
-                     bool use_peng) {
+bool EllWasTruncated(double epsilon, double lambda, double weight_s,
+                     double weight_t, std::uint32_t max_ell, bool use_peng) {
   const std::uint32_t capped =
-      use_peng ? PengEll(epsilon, lambda, max_ell)
-               : RefinedEll(epsilon, lambda, degree_s, degree_t, max_ell);
+      use_peng
+          ? PengEll(epsilon, lambda, max_ell)
+          : RefinedEllWeighted(epsilon, lambda, weight_s, weight_t, max_ell);
   if (capped < max_ell) return false;
   // Recompute with a much larger cap to see if the cap actually bound it.
   const std::uint32_t uncapped =
       use_peng ? PengEll(epsilon, lambda, ~0u)
-               : RefinedEll(epsilon, lambda, degree_s, degree_t, ~0u);
+               : RefinedEllWeighted(epsilon, lambda, weight_s, weight_t, ~0u);
   return uncapped > max_ell;
 }
 

@@ -28,10 +28,11 @@ std::uint32_t RefinedEll(double epsilon, double lambda,
                          std::uint32_t max_ell = 200000);
 
 /// True iff the requested length hit the safety cap (the estimate is then
-/// best-effort; see ErOptions::max_ell).
-bool EllWasTruncated(double epsilon, double lambda, std::uint64_t degree_s,
-                     std::uint64_t degree_t, std::uint32_t max_ell,
-                     bool use_peng);
+/// best-effort; see ErOptions::max_ell). `weight_s`, `weight_t` are the
+/// query-node weights — degrees on unweighted graphs, strengths on
+/// weighted ones (ignored when use_peng).
+bool EllWasTruncated(double epsilon, double lambda, double weight_s,
+                     double weight_t, std::uint32_t max_ell, bool use_peng);
 
 /// Weighted generalization of Eq. (6): degrees are replaced by the node
 /// strengths w(s), w(t) (Theorem 3.1's proof only uses

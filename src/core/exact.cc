@@ -4,8 +4,9 @@
 
 namespace geer {
 
-ExactEstimator::ExactEstimator(const Graph& graph, ErOptions options,
-                               NodeId max_nodes)
+template <WeightPolicy WP>
+ExactEstimatorT<WP>::ExactEstimatorT(const GraphT& graph, ErOptions options,
+                                     NodeId max_nodes)
     : graph_(&graph) {
   ValidateOptions(options);
   const NodeId n = graph.NumNodes();
@@ -15,9 +16,13 @@ ExactEstimator::ExactEstimator(const Graph& graph, ErOptions options,
       << " nodes exceeds the memory stand-in cap of " << max_nodes;
   const double shift = 1.0 / static_cast<double>(n);
   Matrix m(n, n, shift);
+  const auto& offsets = graph.Offsets();
+  const auto& adj = graph.NeighborArray();
   for (NodeId u = 0; u < n; ++u) {
-    m(u, u) += static_cast<double>(graph.Degree(u));
-    for (NodeId v : graph.Neighbors(u)) m(u, v) -= 1.0;
+    m(u, u) += WP::NodeWeight(graph, u);
+    for (std::uint64_t k = offsets[u]; k < offsets[u + 1]; ++k) {
+      m(u, adj[k]) -= WP::ArcWeight(graph, k);
+    }
   }
   auto factor = CholeskyFactor::Factorize(m);
   GEER_CHECK(factor.has_value())
@@ -25,7 +30,8 @@ ExactEstimator::ExactEstimator(const Graph& graph, ErOptions options,
   factor_ = std::make_unique<CholeskyFactor>(std::move(*factor));
 }
 
-QueryStats ExactEstimator::EstimateWithStats(NodeId s, NodeId t) {
+template <WeightPolicy WP>
+QueryStats ExactEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   GEER_CHECK(s < graph_->NumNodes());
   GEER_CHECK(t < graph_->NumNodes());
   QueryStats stats;
@@ -38,5 +44,8 @@ QueryStats ExactEstimator::EstimateWithStats(NodeId s, NodeId t) {
   stats.value = x[s] - x[t];
   return stats;
 }
+
+template class ExactEstimatorT<UnitWeight>;
+template class ExactEstimatorT<EdgeWeight>;
 
 }  // namespace geer

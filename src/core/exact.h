@@ -1,42 +1,56 @@
 // EXACT baseline: effective resistance from a dense factorization of
-// M = L + (1/n)𝟙𝟙ᵀ, which is SPD for connected graphs and agrees with L†
-// on 𝟙^⊥. O(n³) setup, O(n²) memory — only viable for small graphs,
+// M = L_w + (1/n)𝟙𝟙ᵀ, which is SPD for connected graphs and agrees with
+// L_w† on 𝟙^⊥ (L_w = D_w − A_w; unit weights give the paper's unweighted
+// Laplacian). O(n³) setup, O(n²) memory — only viable for small graphs,
 // reproducing the paper's OOM behaviour on everything but Facebook-scale.
 
 #ifndef GEER_CORE_EXACT_H_
 #define GEER_CORE_EXACT_H_
 
 #include <memory>
+#include <string>
 
 #include "core/estimator.h"
 #include "core/options.h"
-#include "graph/graph.h"
+#include "graph/weight_policy.h"
 #include "linalg/cholesky.h"
 
 namespace geer {
 
-class ExactEstimator : public ErEstimator {
+template <WeightPolicy WP>
+class ExactEstimatorT : public ErEstimator {
  public:
+  using GraphT = typename WP::GraphT;
+
   /// Factorizes the augmented Laplacian. Aborts if the graph exceeds
   /// `max_nodes` (the library's stand-in for running out of memory) or if
   /// the graph is disconnected (M then not PD).
-  explicit ExactEstimator(const Graph& graph, ErOptions options = {},
-                          NodeId max_nodes = 8192);
+  explicit ExactEstimatorT(const GraphT& graph, ErOptions options = {},
+                           NodeId max_nodes = 8192);
   // Stores a pointer to `graph`; a temporary would dangle.
-  explicit ExactEstimator(Graph&&, ErOptions = {}, NodeId = 8192) = delete;
+  explicit ExactEstimatorT(GraphT&&, ErOptions = {}, NodeId = 8192) = delete;
 
-  std::string Name() const override { return "EXACT"; }
+  std::string Name() const override {
+    return std::string(WP::kNamePrefix) + "EXACT";
+  }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
   /// True iff the dense factorization would fit under `max_nodes`.
-  static bool Feasible(const Graph& graph, NodeId max_nodes = 8192) {
+  static bool Feasible(const GraphT& graph, NodeId max_nodes = 8192) {
     return graph.NumNodes() <= max_nodes;
   }
 
  private:
-  const Graph* graph_;
+  const GraphT* graph_;
   std::unique_ptr<CholeskyFactor> factor_;
 };
+
+/// The two stacks, by their historical names.
+using ExactEstimator = ExactEstimatorT<UnitWeight>;
+using WeightedExactEstimator = ExactEstimatorT<EdgeWeight>;
+
+extern template class ExactEstimatorT<UnitWeight>;
+extern template class ExactEstimatorT<EdgeWeight>;
 
 }  // namespace geer
 

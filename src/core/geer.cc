@@ -11,9 +11,8 @@
 
 namespace geer {
 
-std::uint64_t GeerEstimator::RemainingSampleBudget(double epsilon,
-                                                   double delta, int tau,
-                                                   double psi) {
+std::uint64_t GeerRemainingSampleBudget(double epsilon, double delta,
+                                        int tau, double psi) {
   if (psi <= 0.0) return 0;
   const std::uint64_t eta_star = AmcMaxSamples(epsilon, psi, delta, tau);
   const double pow_tau = std::pow(2.0, tau - 1);
@@ -23,33 +22,36 @@ std::uint64_t GeerEstimator::RemainingSampleBudget(double epsilon,
   return ((1ull << tau) - 1ull) * (eta == 0 ? 1 : eta);
 }
 
-GeerEstimator::GeerEstimator(const Graph& graph, ErOptions options)
-    : graph_(&graph), options_(options), op_(graph) {
+template <WeightPolicy WP>
+GeerEstimatorT<WP>::GeerEstimatorT(const GraphT& graph, ErOptions options)
+    : graph_(&graph), options_(options), op_(graph), walker_(graph) {
   ValidateOptions(options_);
   lambda_ = options_.lambda.has_value()
                 ? *options_.lambda
-                : ComputeSpectralBounds(graph).lambda;
+                : ComputeSpectralBoundsT<WP>(graph).lambda;
 }
 
-QueryStats GeerEstimator::EstimateWithStats(NodeId s, NodeId t) {
+template <WeightPolicy WP>
+QueryStats GeerEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   GEER_CHECK(s < graph_->NumNodes());
   GEER_CHECK(t < graph_->NumNodes());
   QueryStats stats;
   if (s == t) return stats;
 
-  const std::uint64_t ds = graph_->Degree(s);
-  const std::uint64_t dt = graph_->Degree(t);
+  const double ws = WP::NodeWeight(*graph_, s);
+  const double wt = WP::NodeWeight(*graph_, t);
   // Line 1: ℓ per Eq. (6) (λ precomputed), or Eq. (5) for the ablation.
   const std::uint32_t ell =
       options_.use_peng_ell
           ? PengEll(options_.epsilon, lambda_, options_.max_ell)
-          : RefinedEll(options_.epsilon, lambda_, ds, dt, options_.max_ell);
+          : RefinedEllWeighted(options_.epsilon, lambda_, ws, wt,
+                               options_.max_ell);
   stats.ell = ell;
-  stats.truncated = EllWasTruncated(options_.epsilon, lambda_, ds, dt,
+  stats.truncated = EllWasTruncated(options_.epsilon, lambda_, ws, wt,
                                     options_.max_ell, options_.use_peng_ell);
 
   // Lines 2–9: SMM until the greedy rule (Eq. 17) fires or ℓ_b ≥ ℓ.
-  SmmIterator smm(*graph_, &op_, s, t);
+  SmmIteratorT<WP> smm(*graph_, &op_, s, t);
   const bool fixed_lb = options_.geer_fixed_lb >= 0;
   const std::uint32_t lb_target =
       fixed_lb ? std::min<std::uint32_t>(
@@ -63,8 +65,8 @@ QueryStats GeerEstimator::EstimateWithStats(NodeId s, NodeId t) {
       const auto [max1_s, max2_s] = TopTwo(smm.svec());
       const auto [max1_t, max2_t] = TopTwo(smm.tvec());
       const double psi =
-          AmcPsi(remaining, max1_s, max2_s, ds, max1_t, max2_t, dt);
-      const std::uint64_t budget = RemainingSampleBudget(
+          AmcPsi(remaining, max1_s, max2_s, ws, max1_t, max2_t, wt);
+      const std::uint64_t budget = GeerRemainingSampleBudget(
           options_.epsilon, options_.delta, options_.tau, psi);
       if (smm.NextIterationCost() > budget) break;
     }
@@ -80,8 +82,8 @@ QueryStats GeerEstimator::EstimateWithStats(NodeId s, NodeId t) {
   params.tau = options_.tau;
   params.ell_f = ell - smm.iterations();
   Rng rng(options_.seed ^ (static_cast<std::uint64_t>(s) << 32) ^ t);
-  AmcRunResult run =
-      RunAmc(*graph_, s, t, smm.svec(), smm.tvec(), params, rng);
+  AmcRunResult run = RunAmcT<WP>(*graph_, walker_, s, t, smm.svec(),
+                                 smm.tvec(), params, rng);
 
   // Line 11: r'(s,t) = r_f + r_b.
   stats.value = run.r_f + smm.rb();
@@ -92,5 +94,8 @@ QueryStats GeerEstimator::EstimateWithStats(NodeId s, NodeId t) {
   stats.early_stop = run.early_stop;
   return stats;
 }
+
+template class GeerEstimatorT<UnitWeight>;
+template class GeerEstimatorT<EdgeWeight>;
 
 }  // namespace geer

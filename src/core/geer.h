@@ -1,5 +1,6 @@
 // GEER (Alg. 3): Greedy Estimation of Effective Resistance — the paper's
-// main contribution. Splits r_ℓ(s,t) at a switch point ℓ_b:
+// main contribution, weight-generic. Splits r_ℓ(s,t) at a switch point
+// ℓ_b:
 //
 //   r*_b = Σ_{i=0}^{ℓb} (…)   computed deterministically by SMM,
 //   r*_f = Σ_{i=ℓb+1}^{ℓ} (…) estimated by AMC seeded with the SMM
@@ -10,40 +11,65 @@
 // less than the remaining AMC sampling budget (Eq. 17):
 //   Σ_{v∈supp(s*)} d(v) + Σ_{v∈supp(t*)} d(v)  >  h(ℓ − ℓb)
 // where h(ℓf) = (2^τ − 1)⌈η*(ℓf)/2^{τ−1}⌉ is AMC's worst-case sample
-// count for the remaining tail.
+// count for the remaining tail. On weighted graphs every 1/d(·) becomes
+// 1/w(·) and walks step through the alias sampler; the control flow is
+// byte-for-byte the same template.
 
 #ifndef GEER_CORE_GEER_H_
 #define GEER_CORE_GEER_H_
 
+#include <string>
+
 #include "core/estimator.h"
 #include "core/options.h"
+#include "graph/weight_policy.h"
 #include "linalg/transition.h"
+#include "rw/walker_policy.h"
 
 namespace geer {
 
-class GeerEstimator : public ErEstimator {
- public:
-  GeerEstimator(const Graph& graph, ErOptions options = {});
-  // Stores a pointer to `graph`; a temporary would dangle.
-  GeerEstimator(Graph&&, ErOptions = {}) = delete;
+/// AMC's worst-case remaining sample count h(ℓf) for the given range
+/// bound ψ — the RHS of the greedy rule (Eq. 17). Exposed for tests and
+/// the cost-model ablation bench.
+std::uint64_t GeerRemainingSampleBudget(double epsilon, double delta,
+                                        int tau, double psi);
 
-  std::string Name() const override { return "GEER"; }
+template <WeightPolicy WP>
+class GeerEstimatorT : public ErEstimator {
+ public:
+  using GraphT = typename WP::GraphT;
+
+  explicit GeerEstimatorT(const GraphT& graph, ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit GeerEstimatorT(GraphT&&, ErOptions = {}) = delete;
+
+  std::string Name() const override {
+    return std::string(WP::kNamePrefix) + "GEER";
+  }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
   double lambda() const { return lambda_; }
 
-  /// AMC's worst-case remaining sample count h(ℓf) for the given range
-  /// bound ψ — the RHS of the greedy rule (Eq. 17). Exposed for tests and
-  /// the cost-model ablation bench.
+  /// Compat spelling of GeerRemainingSampleBudget.
   static std::uint64_t RemainingSampleBudget(double epsilon, double delta,
-                                             int tau, double psi);
+                                             int tau, double psi) {
+    return GeerRemainingSampleBudget(epsilon, delta, tau, psi);
+  }
 
  private:
-  const Graph* graph_;
+  const GraphT* graph_;
   ErOptions options_;
   double lambda_;
-  TransitionOperator op_;
+  TransitionOperatorT<WP> op_;
+  WalkerFor<WP> walker_;
 };
+
+/// The two stacks, by their historical names.
+using GeerEstimator = GeerEstimatorT<UnitWeight>;
+using WeightedGeerEstimator = GeerEstimatorT<EdgeWeight>;
+
+extern template class GeerEstimatorT<UnitWeight>;
+extern template class GeerEstimatorT<EdgeWeight>;
 
 }  // namespace geer
 

@@ -7,19 +7,22 @@
 
 namespace geer {
 
-HayEstimator::HayEstimator(const Graph& graph, ErOptions options)
-    : graph_(&graph), options_(options) {
+template <WeightPolicy WP>
+HayEstimatorT<WP>::HayEstimatorT(const GraphT& graph, ErOptions options)
+    : graph_(&graph), options_(options), walker_(graph) {
   ValidateOptions(options_);
 }
 
-std::uint64_t HayEstimator::NumTrees() const {
+template <WeightPolicy WP>
+std::uint64_t HayEstimatorT<WP>::NumTrees() const {
   if (options_.hay_num_trees > 0) return options_.hay_num_trees;
   const double n = std::log(2.0 / options_.delta) /
                    (2.0 * options_.epsilon * options_.epsilon);
   return static_cast<std::uint64_t>(std::ceil(std::max(n, 1.0)));
 }
 
-QueryStats HayEstimator::EstimateWithStats(NodeId s, NodeId t) {
+template <WeightPolicy WP>
+QueryStats HayEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   GEER_CHECK(SupportsQuery(s, t))
       << "HAY answers edge queries only: (" << s << "," << t << ") ∉ E";
   QueryStats stats;
@@ -27,12 +30,17 @@ QueryStats HayEstimator::EstimateWithStats(NodeId s, NodeId t) {
   Rng rng(options_.seed ^ (static_cast<std::uint64_t>(s) << 32) ^ t);
   std::uint64_t hits = 0;
   for (std::uint64_t k = 0; k < trees; ++k) {
-    const SpanningTree tree = SampleUniformSpanningTree(*graph_, s, rng);
+    const SpanningTree tree = SampleSpanningTree(walker_, s, rng);
     if (tree.ContainsEdge(s, t)) ++hits;
   }
   stats.walks = trees;  // one loop-erased-walk forest per tree
-  stats.value = static_cast<double>(hits) / static_cast<double>(trees);
+  // Pr[e ∈ T] = w(e)·r(e) under the w-weighted tree measure.
+  stats.value = static_cast<double>(hits) / static_cast<double>(trees) /
+                WP::EdgeConductance(*graph_, s, t);
   return stats;
 }
+
+template class HayEstimatorT<UnitWeight>;
+template class HayEstimatorT<EdgeWeight>;
 
 }  // namespace geer

@@ -1,23 +1,36 @@
 // HAY baseline [Hayashi, Akiba & Yoshida, IJCAI'16], edge queries only:
-// by the matrix-tree theorem, r(e) = Pr[e ∈ T] for a uniformly random
-// spanning tree T. Sample USTs with Wilson's algorithm; the hit fraction
-// is an unbiased estimate with Hoeffding sample bound ln(2/δ)/(2ε²).
+// by the matrix-tree theorem, w(e)·r(e) = Pr[e ∈ T] for a random
+// spanning tree T drawn from the w-weighted tree measure (uniform on
+// unweighted graphs). Sample trees with Wilson's algorithm under the
+// policy's walk law; the hit fraction divided by w(e) is an unbiased
+// estimate with Hoeffding sample bound ln(2/δ)/(2ε²)·(1/w(e))² — we keep
+// the unweighted bound and let the contract tests police the weighted
+// accuracy. Weight-generic over graph/weight_policy.h.
 
 #ifndef GEER_CORE_HAY_H_
 #define GEER_CORE_HAY_H_
 
+#include <string>
+
 #include "core/estimator.h"
 #include "core/options.h"
+#include "graph/weight_policy.h"
+#include "rw/walker_policy.h"
 
 namespace geer {
 
-class HayEstimator : public ErEstimator {
+template <WeightPolicy WP>
+class HayEstimatorT : public ErEstimator {
  public:
-  HayEstimator(const Graph& graph, ErOptions options = {});
-  // Stores a pointer to `graph`; a temporary would dangle.
-  HayEstimator(Graph&&, ErOptions = {}) = delete;
+  using GraphT = typename WP::GraphT;
 
-  std::string Name() const override { return "HAY"; }
+  explicit HayEstimatorT(const GraphT& graph, ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit HayEstimatorT(GraphT&&, ErOptions = {}) = delete;
+
+  std::string Name() const override {
+    return std::string(WP::kNamePrefix) + "HAY";
+  }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
   bool SupportsQuery(NodeId s, NodeId t) const override {
@@ -28,9 +41,17 @@ class HayEstimator : public ErEstimator {
   std::uint64_t NumTrees() const;
 
  private:
-  const Graph* graph_;
+  const GraphT* graph_;
   ErOptions options_;
+  WalkerFor<WP> walker_;
 };
+
+/// The two stacks, by their historical names.
+using HayEstimator = HayEstimatorT<UnitWeight>;
+using WeightedHayEstimator = HayEstimatorT<EdgeWeight>;
+
+extern template class HayEstimatorT<UnitWeight>;
+extern template class HayEstimatorT<EdgeWeight>;
 
 }  // namespace geer
 

@@ -1,36 +1,53 @@
 // MC baseline [Peng et al., KDD'21]: commute-time Monte Carlo. The escape
 // probability of a walk from s (hit t before returning to s) equals
-// 1/(d(s)·r(s,t)); with η = 3γ d(s) log(1/δ)/ε² trials and η_r hits,
-// r'(s,t) = η / (d(s)·η_r). γ is an assumed upper bound on r(s,t).
+// 1/(w(s)·r(s,t)) — degrees on unweighted graphs, strengths on weighted
+// ones; with η = 3γ w(s) log(1/δ)/ε² trials and η_r hits,
+// r'(s,t) = η / (w(s)·η_r). γ is an assumed upper bound on r(s,t).
 // Walks are unbounded in principle; a per-trial step cap (a multiple of
-// the expected return time 2m/d(s)) guards against pathological trials.
+// the expected return time 2W/w(s)) guards against pathological trials.
 
 #ifndef GEER_CORE_MC_H_
 #define GEER_CORE_MC_H_
 
+#include <string>
+
 #include "core/estimator.h"
 #include "core/options.h"
-#include "rw/walker.h"
+#include "graph/weight_policy.h"
+#include "rw/walker_policy.h"
 
 namespace geer {
 
-class McEstimator : public ErEstimator {
+template <WeightPolicy WP>
+class McEstimatorT : public ErEstimator {
  public:
-  McEstimator(const Graph& graph, ErOptions options = {});
-  // Stores a pointer to `graph`; a temporary would dangle.
-  McEstimator(Graph&&, ErOptions = {}) = delete;
+  using GraphT = typename WP::GraphT;
 
-  std::string Name() const override { return "MC"; }
+  explicit McEstimatorT(const GraphT& graph, ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit McEstimatorT(GraphT&&, ErOptions = {}) = delete;
+
+  std::string Name() const override {
+    return std::string(WP::kNamePrefix) + "MC";
+  }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
-  /// Trial count η for a given source degree under the options.
-  std::uint64_t NumTrials(std::uint64_t degree_s) const;
+  /// Trial count η for a given source weight (degree/strength) under the
+  /// options.
+  std::uint64_t NumTrials(double weight_s) const;
 
  private:
-  const Graph* graph_;
+  const GraphT* graph_;
   ErOptions options_;
-  Walker walker_;
+  WalkerFor<WP> walker_;
 };
+
+/// The two stacks, by their historical names.
+using McEstimator = McEstimatorT<UnitWeight>;
+using WeightedMcEstimator = McEstimatorT<EdgeWeight>;
+
+extern template class McEstimatorT<UnitWeight>;
+extern template class McEstimatorT<EdgeWeight>;
 
 }  // namespace geer
 

@@ -6,22 +6,25 @@
 
 namespace geer {
 
-Mc2Estimator::Mc2Estimator(const Graph& graph, ErOptions options)
+template <WeightPolicy WP>
+Mc2EstimatorT<WP>::Mc2EstimatorT(const GraphT& graph, ErOptions options)
     : graph_(&graph), options_(options), walker_(graph) {
   ValidateOptions(options_);
 }
 
-std::uint64_t Mc2Estimator::NumTrials() const {
+template <WeightPolicy WP>
+std::uint64_t Mc2EstimatorT<WP>::NumTrials() const {
   double gamma = options_.mc2_gamma_lower;
   if (gamma <= 0.0) {
-    gamma = 1.0 / static_cast<double>(graph_->NumArcs());  // 1/(2m)
+    gamma = 1.0 / WP::TotalNodeWeight(*graph_);  // 1/(2W)
   }
   const double eta = 3.0 * std::log(1.0 / options_.delta) /
                      (options_.epsilon * options_.epsilon * gamma);
   return static_cast<std::uint64_t>(std::ceil(std::max(eta, 1.0)));
 }
 
-QueryStats Mc2Estimator::EstimateWithStats(NodeId s, NodeId t) {
+template <WeightPolicy WP>
+QueryStats Mc2EstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   GEER_CHECK(SupportsQuery(s, t))
       << "MC2 answers edge queries only: (" << s << "," << t << ") ∉ E";
   QueryStats stats;
@@ -29,7 +32,7 @@ QueryStats Mc2Estimator::EstimateWithStats(NodeId s, NodeId t) {
   Rng rng(options_.seed ^ (static_cast<std::uint64_t>(s) << 32) ^ t);
   std::uint64_t direct = 0;
   for (std::uint64_t k = 0; k < eta; ++k) {
-    const Walker::FirstVisit trial = walker_.FirstVisitTrial(
+    const WalkFirstVisit trial = walker_.FirstVisitTrial(
         s, t, options_.mc2_max_steps_per_trial, rng);
     ++stats.walks;
     stats.walk_steps += trial.steps;
@@ -39,8 +42,13 @@ QueryStats Mc2Estimator::EstimateWithStats(NodeId s, NodeId t) {
     }
     if (trial.used_direct_edge) ++direct;
   }
-  stats.value = static_cast<double>(direct) / static_cast<double>(eta);
+  // Pr[first visit via the direct edge] = w(s,t)·r(s,t).
+  stats.value = static_cast<double>(direct) / static_cast<double>(eta) /
+                WP::EdgeConductance(*graph_, s, t);
   return stats;
 }
+
+template class Mc2EstimatorT<UnitWeight>;
+template class Mc2EstimatorT<EdgeWeight>;
 
 }  // namespace geer

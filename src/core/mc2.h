@@ -1,24 +1,34 @@
 // MC2 baseline [Peng et al., KDD'21], edge queries only: for (s,t) ∈ E,
-// r(s,t) equals the probability that a walk from s first visits t via the
-// direct edge (s,t). With γ a lower bound on r(s,t) (worst case 1/(2m)),
-// 3 log(1/δ)/(ε² γ) first-visit trials give an ε-approximation w.h.p.
+// w(s,t)·r(s,t) equals the probability that a walk from s first visits t
+// via the direct edge (s,t) (= r(s,t) itself on unweighted graphs). With
+// γ a lower bound on r(s,t) (worst case 1/(2W)), 3 log(1/δ)/(ε² γ)
+// first-visit trials give an ε-approximation w.h.p. Weight-generic over
+// graph/weight_policy.h.
 
 #ifndef GEER_CORE_MC2_H_
 #define GEER_CORE_MC2_H_
 
+#include <string>
+
 #include "core/estimator.h"
 #include "core/options.h"
-#include "rw/walker.h"
+#include "graph/weight_policy.h"
+#include "rw/walker_policy.h"
 
 namespace geer {
 
-class Mc2Estimator : public ErEstimator {
+template <WeightPolicy WP>
+class Mc2EstimatorT : public ErEstimator {
  public:
-  Mc2Estimator(const Graph& graph, ErOptions options = {});
-  // Stores a pointer to `graph`; a temporary would dangle.
-  Mc2Estimator(Graph&&, ErOptions = {}) = delete;
+  using GraphT = typename WP::GraphT;
 
-  std::string Name() const override { return "MC2"; }
+  explicit Mc2EstimatorT(const GraphT& graph, ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit Mc2EstimatorT(GraphT&&, ErOptions = {}) = delete;
+
+  std::string Name() const override {
+    return std::string(WP::kNamePrefix) + "MC2";
+  }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
   /// MC2 answers only pairs joined by an edge.
@@ -26,14 +36,21 @@ class Mc2Estimator : public ErEstimator {
     return s != t && graph_->HasEdge(s, t);
   }
 
-  /// Trial count under the options' γ (0 ⇒ the worst-case 1/(2m)).
+  /// Trial count under the options' γ (0 ⇒ the worst-case 1/(2W)).
   std::uint64_t NumTrials() const;
 
  private:
-  const Graph* graph_;
+  const GraphT* graph_;
   ErOptions options_;
-  Walker walker_;
+  WalkerFor<WP> walker_;
 };
+
+/// The two stacks, by their historical names.
+using Mc2Estimator = Mc2EstimatorT<UnitWeight>;
+using WeightedMc2Estimator = Mc2EstimatorT<EdgeWeight>;
+
+extern template class Mc2EstimatorT<UnitWeight>;
+extern template class Mc2EstimatorT<EdgeWeight>;
 
 }  // namespace geer
 

@@ -13,29 +13,71 @@
 #include "core/tpc.h"
 
 namespace geer {
+namespace {
+
+// One factory body for both weight modes: the registry IS the list of
+// weight-generic templates, instantiated per policy.
+template <WeightPolicy WP>
+std::unique_ptr<ErEstimator> CreateEstimatorT(
+    const std::string& name, const typename WP::GraphT& graph,
+    const ErOptions& options) {
+  if (name == "GEER") {
+    return std::make_unique<GeerEstimatorT<WP>>(graph, options);
+  }
+  if (name == "AMC") return std::make_unique<AmcEstimatorT<WP>>(graph, options);
+  if (name == "SMM") return std::make_unique<SmmEstimatorT<WP>>(graph, options);
+  if (name == "SMM-PengEll") {
+    ErOptions opt = options;
+    opt.use_peng_ell = true;
+    return std::make_unique<SmmEstimatorT<WP>>(graph, opt);
+  }
+  if (name == "TP") return std::make_unique<TpEstimatorT<WP>>(graph, options);
+  if (name == "TPC") {
+    return std::make_unique<TpcEstimatorT<WP>>(graph, options);
+  }
+  if (name == "MC") return std::make_unique<McEstimatorT<WP>>(graph, options);
+  if (name == "MC2") return std::make_unique<Mc2EstimatorT<WP>>(graph, options);
+  if (name == "HAY") return std::make_unique<HayEstimatorT<WP>>(graph, options);
+  if (name == "RP") return std::make_unique<RpEstimatorT<WP>>(graph, options);
+  if (name == "EXACT") {
+    return std::make_unique<ExactEstimatorT<WP>>(graph, options);
+  }
+  if (name == "CG") {
+    return std::make_unique<SolverEstimatorT<WP>>(graph, options);
+  }
+  return nullptr;
+}
+
+template <WeightPolicy WP>
+bool EstimatorFeasibleT(const std::string& name,
+                        const typename WP::GraphT& graph,
+                        const ErOptions& options) {
+  if (name == "EXACT") return ExactEstimatorT<WP>::Feasible(graph);
+  if (name == "RP") return RpEstimatorT<WP>::Feasible(graph, options);
+  for (const std::string& known : EstimatorNames()) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string CanonicalEstimatorName(const std::string& name) {
+  if (name.rfind("W-", 0) == 0) return name.substr(2);
+  return name;
+}
+
+bool EstimatorReadsLambda(const std::string& name) {
+  const std::string canonical = CanonicalEstimatorName(name);
+  return canonical == "GEER" || canonical == "AMC" || canonical == "SMM" ||
+         canonical == "SMM-PengEll" || canonical == "TP" ||
+         canonical == "TPC";
+}
 
 std::unique_ptr<ErEstimator> CreateEstimator(const std::string& name,
                                              const Graph& graph,
                                              const ErOptions& options) {
-  if (name == "GEER") return std::make_unique<GeerEstimator>(graph, options);
-  if (name == "AMC") return std::make_unique<AmcEstimator>(graph, options);
-  if (name == "SMM") return std::make_unique<SmmEstimator>(graph, options);
-  if (name == "SMM-PengEll") {
-    ErOptions opt = options;
-    opt.use_peng_ell = true;
-    return std::make_unique<SmmEstimator>(graph, opt);
-  }
-  if (name == "TP") return std::make_unique<TpEstimator>(graph, options);
-  if (name == "TPC") return std::make_unique<TpcEstimator>(graph, options);
-  if (name == "MC") return std::make_unique<McEstimator>(graph, options);
-  if (name == "MC2") return std::make_unique<Mc2Estimator>(graph, options);
-  if (name == "HAY") return std::make_unique<HayEstimator>(graph, options);
-  if (name == "RP") return std::make_unique<RpEstimator>(graph, options);
-  if (name == "EXACT") {
-    return std::make_unique<ExactEstimator>(graph, options);
-  }
-  if (name == "CG") return std::make_unique<SolverEstimator>(graph, options);
-  return nullptr;
+  return CreateEstimatorT<UnitWeight>(name, graph, options);
 }
 
 std::vector<std::string> EstimatorNames() {
@@ -45,12 +87,27 @@ std::vector<std::string> EstimatorNames() {
 
 bool EstimatorFeasible(const std::string& name, const Graph& graph,
                        const ErOptions& options) {
-  if (name == "EXACT") return ExactEstimator::Feasible(graph);
-  if (name == "RP") return RpEstimator::Feasible(graph, options);
-  for (const std::string& known : EstimatorNames()) {
-    if (known == name) return true;
-  }
-  return false;
+  return EstimatorFeasibleT<UnitWeight>(name, graph, options);
+}
+
+std::unique_ptr<ErEstimator> CreateWeightedEstimator(
+    const std::string& name, const WeightedGraph& graph,
+    const ErOptions& options) {
+  return CreateEstimatorT<EdgeWeight>(CanonicalEstimatorName(name), graph,
+                                      options);
+}
+
+std::vector<std::string> WeightedEstimatorNames() {
+  // Every registered algorithm generalizes: degrees become strengths and
+  // walks step through the alias sampler.
+  return EstimatorNames();
+}
+
+bool WeightedEstimatorFeasible(const std::string& name,
+                               const WeightedGraph& graph,
+                               const ErOptions& options) {
+  return EstimatorFeasibleT<EdgeWeight>(CanonicalEstimatorName(name), graph,
+                                        options);
 }
 
 }  // namespace geer

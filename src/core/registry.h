@@ -1,5 +1,7 @@
-// Name-based estimator factory, so the benchmark harness and examples can
-// select algorithms from the command line.
+// Name-based estimator factories, so the benchmark harness, CLI and
+// examples can select algorithms from the command line — one factory per
+// weight mode, both returning the same ErEstimator interface (every
+// estimator body is a weight-generic template; see graph/weight_policy.h).
 
 #ifndef GEER_CORE_REGISTRY_H_
 #define GEER_CORE_REGISTRY_H_
@@ -11,6 +13,7 @@
 #include "core/estimator.h"
 #include "core/options.h"
 #include "graph/graph.h"
+#include "graph/weighted_graph.h"
 
 namespace geer {
 
@@ -37,6 +40,38 @@ std::vector<std::string> EstimatorNames();
 /// memory budget).
 bool EstimatorFeasible(const std::string& name, const Graph& graph,
                        const ErOptions& options);
+
+/// Weighted factory: creates the EdgeWeight instantiation of the
+/// algorithm registered under `name` on a conductance graph. Accepts the
+/// same canonical names as CreateEstimator (every registered algorithm is
+/// weight-generalizable) plus their "W-"-prefixed display names
+/// ("W-GEER" ≡ "GEER"). Returns nullptr for unknown names.
+std::unique_ptr<ErEstimator> CreateWeightedEstimator(
+    const std::string& name, const WeightedGraph& graph,
+    const ErOptions& options);
+
+/// Estimators hold a pointer to `graph`; a temporary would dangle.
+std::unique_ptr<ErEstimator> CreateWeightedEstimator(
+    const std::string& name, WeightedGraph&& graph,
+    const ErOptions& options) = delete;
+
+/// All names accepted by CreateWeightedEstimator, canonical form.
+std::vector<std::string> WeightedEstimatorNames();
+
+/// Weighted analogue of EstimatorFeasible.
+bool WeightedEstimatorFeasible(const std::string& name,
+                               const WeightedGraph& graph,
+                               const ErOptions& options);
+
+/// Strips the "W-" display prefix ("W-GEER" → "GEER"); canonical names
+/// pass through unchanged. Does not validate the name.
+std::string CanonicalEstimatorName(const std::string& name);
+
+/// True iff the algorithm behind `name` (canonical or "W-"-prefixed)
+/// reads options.lambda — the walk-length formulas of Eq. (5)/(6).
+/// Callers use it to decide whether to precompute λ once per graph;
+/// estimators without a precomputed λ run Lanczos themselves.
+bool EstimatorReadsLambda(const std::string& name);
 
 }  // namespace geer
 

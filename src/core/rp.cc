@@ -7,8 +7,9 @@
 
 namespace geer {
 
-int RpEstimator::DeriveDimensions(const Graph& graph,
-                                  const ErOptions& options) {
+template <WeightPolicy WP>
+int RpEstimatorT<WP>::DeriveDimensions(const GraphT& graph,
+                                       const ErOptions& options) {
   if (options.rp_dimensions > 0) return options.rp_dimensions;
   const double n = static_cast<double>(graph.NumNodes());
   const double k =
@@ -16,13 +17,15 @@ int RpEstimator::DeriveDimensions(const Graph& graph,
   return static_cast<int>(k);
 }
 
-std::uint64_t RpEstimator::SketchBytes(const Graph& graph,
-                                       const ErOptions& options) {
+template <WeightPolicy WP>
+std::uint64_t RpEstimatorT<WP>::SketchBytes(const GraphT& graph,
+                                            const ErOptions& options) {
   return static_cast<std::uint64_t>(DeriveDimensions(graph, options)) *
          graph.NumNodes() * sizeof(double);
 }
 
-RpEstimator::RpEstimator(const Graph& graph, ErOptions options)
+template <WeightPolicy WP>
+RpEstimatorT<WP>::RpEstimatorT(const GraphT& graph, ErOptions options)
     : graph_(&graph) {
   ValidateOptions(options);
   k_ = DeriveDimensions(graph, options);
@@ -32,22 +35,28 @@ RpEstimator::RpEstimator(const Graph& graph, ErOptions options)
   const NodeId n = graph.NumNodes();
   sketch_ = Matrix(static_cast<std::size_t>(k_), n, 0.0);
 
-  LaplacianSolver::Options sopt;
+  typename LaplacianSolverT<WP>::Options sopt;
   // The JL distortion already costs ε; solve well below it.
   sopt.tolerance = 1e-8;
-  LaplacianSolver solver(graph, sopt);
+  LaplacianSolverT<WP> solver(graph, sopt);
   Rng rng(options.seed ^ 0x9d2c5680cafef00dULL);
   const double scale = 1.0 / std::sqrt(static_cast<double>(k_));
 
-  // Row j of Q W^{1/2} B has entry +q_e at e's lower endpoint and −q_e at
-  // the upper one, q_e = ±1/√k. Solve L z = row for each of the k rows.
+  // Row j of Q W^{1/2} B has entry +q_e·√w_e at e's lower endpoint and
+  // −q_e·√w_e at the upper one, q_e = ±1/√k (√w_e ≡ 1 unweighted). Solve
+  // L z = row for each of the k rows.
+  const auto& offsets = graph.Offsets();
+  const auto& adj = graph.NeighborArray();
   Vector row(n, 0.0);
   for (int j = 0; j < k_; ++j) {
     std::fill(row.begin(), row.end(), 0.0);
     for (NodeId u = 0; u < n; ++u) {
-      for (NodeId v : graph.Neighbors(u)) {
+      for (std::uint64_t k = offsets[u]; k < offsets[u + 1]; ++k) {
+        const NodeId v = adj[k];
         if (u >= v) continue;
-        const double q = rng.NextBernoulli(0.5) ? scale : -scale;
+        const double magnitude =
+            scale * std::sqrt(WP::ArcWeight(graph, k));
+        const double q = rng.NextBernoulli(0.5) ? magnitude : -magnitude;
         row[u] += q;
         row[v] -= q;
       }
@@ -58,7 +67,8 @@ RpEstimator::RpEstimator(const Graph& graph, ErOptions options)
   }
 }
 
-QueryStats RpEstimator::EstimateWithStats(NodeId s, NodeId t) {
+template <WeightPolicy WP>
+QueryStats RpEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   GEER_CHECK(s < graph_->NumNodes());
   GEER_CHECK(t < graph_->NumNodes());
   QueryStats stats;
@@ -72,5 +82,8 @@ QueryStats RpEstimator::EstimateWithStats(NodeId s, NodeId t) {
   stats.value = acc;
   return stats;
 }
+
+template class RpEstimatorT<UnitWeight>;
+template class RpEstimatorT<EdgeWeight>;
 
 }  // namespace geer

@@ -2,54 +2,69 @@
 // via Johnson–Lindenstrauss projection of W^{1/2} B L†. Preprocessing
 // builds a k×n sketch with k = ⌈24 ln n / ε²⌉ (one Laplacian solve per
 // row); queries are then O(k). Memory for the sketch is the bottleneck
-// the paper reports (OOM on Orkut/LiveJournal/Friendster).
+// the paper reports (OOM on Orkut/LiveJournal/Friendster). Weight-generic
+// over graph/weight_policy.h: each edge's sketch entry is scaled by
+// √w(e), which is identically 1 on the unweighted stack.
 
 #ifndef GEER_CORE_RP_H_
 #define GEER_CORE_RP_H_
 
-#include <optional>
+#include <string>
 
 #include "core/estimator.h"
 #include "core/options.h"
+#include "graph/weight_policy.h"
 #include "linalg/dense.h"
 #include "linalg/laplacian_solver.h"
 
 namespace geer {
 
-class RpEstimator : public ErEstimator {
+template <WeightPolicy WP>
+class RpEstimatorT : public ErEstimator {
  public:
+  using GraphT = typename WP::GraphT;
+
   /// Builds the sketch. Aborts if the k×n sketch exceeds
   /// options.rp_max_bytes — use Feasible() to pre-check (the benchmark
   /// harness reports those configurations as OOM, like the paper).
-  explicit RpEstimator(const Graph& graph, ErOptions options = {});
+  explicit RpEstimatorT(const GraphT& graph, ErOptions options = {});
   // Stores a pointer to `graph`; a temporary would dangle.
-  explicit RpEstimator(Graph&&, ErOptions = {}) = delete;
+  explicit RpEstimatorT(GraphT&&, ErOptions = {}) = delete;
 
-  std::string Name() const override { return "RP"; }
+  std::string Name() const override {
+    return std::string(WP::kNamePrefix) + "RP";
+  }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
   /// Projection dimension in use.
   int Dimensions() const { return k_; }
 
   /// Derived sketch size in bytes for the given graph/options.
-  static std::uint64_t SketchBytes(const Graph& graph,
+  static std::uint64_t SketchBytes(const GraphT& graph,
                                    const ErOptions& options);
 
   /// True iff the sketch fits the options' memory budget.
-  static bool Feasible(const Graph& graph, const ErOptions& options) {
+  static bool Feasible(const GraphT& graph, const ErOptions& options) {
     return SketchBytes(graph, options) <= options.rp_max_bytes;
   }
 
   /// The projection dimension k implied by the options (paper's
   /// 24 ln n / ε² unless overridden).
-  static int DeriveDimensions(const Graph& graph, const ErOptions& options);
+  static int DeriveDimensions(const GraphT& graph, const ErOptions& options);
 
  private:
-  const Graph* graph_;
+  const GraphT* graph_;
   int k_ = 0;
   // Row-major k×n sketch Z̃; r̂(s,t) = Σ_j (Z̃(j,s) − Z̃(j,t))².
   Matrix sketch_;
 };
+
+/// The two stacks, by their historical names.
+using RpEstimator = RpEstimatorT<UnitWeight>;
+using WeightedRpEstimator = RpEstimatorT<EdgeWeight>;
+
+extern template class RpEstimatorT<UnitWeight>;
+extern template class RpEstimatorT<EdgeWeight>;
 
 }  // namespace geer
 

@@ -5,40 +5,47 @@
 
 namespace geer {
 
-SmmIterator::SmmIterator(const Graph& graph, TransitionOperator* op,
-                         NodeId s, NodeId t)
+template <WeightPolicy WP>
+SmmIteratorT<WP>::SmmIteratorT(const GraphT& graph,
+                               TransitionOperatorT<WP>* op, NodeId s,
+                               NodeId t)
     : graph_(&graph), op_(op), s_(s), t_(t) {
   GEER_CHECK(s < graph.NumNodes());
   GEER_CHECK(t < graph.NumNodes());
-  inv_ds_ = 1.0 / static_cast<double>(graph.Degree(s));
-  inv_dt_ = 1.0 / static_cast<double>(graph.Degree(t));
+  inv_ws_ = 1.0 / WP::NodeWeight(graph, s);
+  inv_wt_ = 1.0 / WP::NodeWeight(graph, t);
   s_vec_.InitOneHot(s, graph);
   t_vec_.InitOneHot(t, graph);
-  // i = 0 term of Eq. (4): p_0(s,s)/d(s) + p_0(t,t)/d(t)
-  //                        − p_0(s,t)/d(s) − p_0(t,s)/d(t).
-  rb_ = s_vec_.values[s_] * inv_ds_ + t_vec_.values[t_] * inv_dt_ -
-        s_vec_.values[t_] * inv_ds_ - t_vec_.values[s_] * inv_dt_;
+  // i = 0 term of Eq. (4): p_0(s,s)/w(s) + p_0(t,t)/w(t)
+  //                        − p_0(s,t)/w(s) − p_0(t,s)/w(t).
+  rb_ = s_vec_.values[s_] * inv_ws_ + t_vec_.values[t_] * inv_wt_ -
+        s_vec_.values[t_] * inv_ws_ - t_vec_.values[s_] * inv_wt_;
 }
 
-void SmmIterator::Advance() {
+template <WeightPolicy WP>
+void SmmIteratorT<WP>::Advance() {
   spmv_ops_ += op_->ApplyAuto(&s_vec_);
   spmv_ops_ += op_->ApplyAuto(&t_vec_);
   ++iterations_;
-  rb_ += s_vec_.values[s_] * inv_ds_ + t_vec_.values[t_] * inv_dt_ -
-         s_vec_.values[t_] * inv_ds_ - t_vec_.values[s_] * inv_dt_;
+  rb_ += s_vec_.values[s_] * inv_ws_ + t_vec_.values[t_] * inv_wt_ -
+         s_vec_.values[t_] * inv_ws_ - t_vec_.values[s_] * inv_wt_;
 }
 
-SmmEstimator::SmmEstimator(const Graph& graph, ErOptions options)
+template <WeightPolicy WP>
+SmmEstimatorT<WP>::SmmEstimatorT(const GraphT& graph, ErOptions options)
     : graph_(&graph), options_(options), op_(graph) {
   ValidateOptions(options_);
   lambda_ = options_.lambda.has_value()
                 ? *options_.lambda
-                : ComputeSpectralBounds(graph).lambda;
+                : ComputeSpectralBoundsT<WP>(graph).lambda;
 }
 
-QueryStats SmmEstimator::EstimateWithStats(NodeId s, NodeId t) {
+template <WeightPolicy WP>
+QueryStats SmmEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   QueryStats stats;
   if (s == t) return stats;
+  const double ws = WP::NodeWeight(*graph_, s);
+  const double wt = WP::NodeWeight(*graph_, t);
   std::uint32_t ell;
   if (options_.smm_iterations > 0) {
     ell = options_.smm_iterations;
@@ -47,14 +54,12 @@ QueryStats SmmEstimator::EstimateWithStats(NodeId s, NodeId t) {
     stats.truncated = EllWasTruncated(options_.epsilon, lambda_, 1, 1,
                                       options_.max_ell, /*use_peng=*/true);
   } else {
-    ell = RefinedEll(options_.epsilon, lambda_, graph_->Degree(s),
-                     graph_->Degree(t), options_.max_ell);
-    stats.truncated =
-        EllWasTruncated(options_.epsilon, lambda_, graph_->Degree(s),
-                        graph_->Degree(t), options_.max_ell,
-                        /*use_peng=*/false);
+    ell = RefinedEllWeighted(options_.epsilon, lambda_, ws, wt,
+                             options_.max_ell);
+    stats.truncated = EllWasTruncated(options_.epsilon, lambda_, ws, wt,
+                                      options_.max_ell, /*use_peng=*/false);
   }
-  SmmIterator iter(*graph_, &op_, s, t);
+  SmmIteratorT<WP> iter(*graph_, &op_, s, t);
   for (std::uint32_t i = 0; i < ell; ++i) iter.Advance();
   stats.value = iter.rb();
   stats.ell = ell;
@@ -62,5 +67,10 @@ QueryStats SmmEstimator::EstimateWithStats(NodeId s, NodeId t) {
   stats.spmv_ops = iter.spmv_ops();
   return stats;
 }
+
+template class SmmIteratorT<UnitWeight>;
+template class SmmIteratorT<EdgeWeight>;
+template class SmmEstimatorT<UnitWeight>;
+template class SmmEstimatorT<EdgeWeight>;
 
 }  // namespace geer

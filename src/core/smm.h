@@ -2,31 +2,40 @@
 // resistance r_ℓ(s,t) by iterated sparse matrix–vector products with the
 // transition matrix P. After i iterations the iterates satisfy
 // s*(v) = p_i(v, s) and t*(v) = p_i(v, t), and
-//   r_b(s,t) = Σ_{j=0}^{i} [ s*_j(s)/d(s) + t*_j(t)/d(t)
-//                            − s*_j(t)/d(s) − t*_j(s)/d(t) ].
+//   r_b(s,t) = Σ_{j=0}^{i} [ s*_j(s)/w(s) + t*_j(t)/w(t)
+//                            − s*_j(t)/w(s) − t*_j(s)/w(t) ]
+// with w = d on unweighted inputs and w = strength on weighted ones
+// (the body is a template over graph/weight_policy.h).
 //
-// SmmIterator exposes the iteration one step at a time so GEER can apply
+// SmmIteratorT exposes the iteration one step at a time so GEER can apply
 // its greedy stopping rule (Eq. 17) between steps and hand the live
 // iterates to AMC.
 
 #ifndef GEER_CORE_SMM_H_
 #define GEER_CORE_SMM_H_
 
+#include <string>
+
 #include "core/estimator.h"
 #include "core/options.h"
+#include "graph/weight_policy.h"
 #include "linalg/spectral.h"
 #include "linalg/transition.h"
 
 namespace geer {
 
 /// Step-at-a-time driver for Alg. 2 on a fixed query pair.
-class SmmIterator {
+template <WeightPolicy WP>
+class SmmIteratorT {
  public:
+  using GraphT = typename WP::GraphT;
+
   /// Positions the iterator at ℓ_b = 0 (the i=0 term is already folded
   /// into rb()). Requires s ≠ t handled by the caller.
-  SmmIterator(const Graph& graph, TransitionOperator* op, NodeId s, NodeId t);
+  SmmIteratorT(const GraphT& graph, TransitionOperatorT<WP>* op, NodeId s,
+               NodeId t);
   // Stores a pointer to `graph`; a temporary would dangle.
-  SmmIterator(Graph&&, TransitionOperator*, NodeId, NodeId) = delete;
+  SmmIteratorT(GraphT&&, TransitionOperatorT<WP>*, NodeId, NodeId) = delete;
 
   /// Truncated ER accumulated so far: r_{ℓb}(s, t).
   double rb() const { return rb_; }
@@ -51,14 +60,14 @@ class SmmIterator {
   const Vector& tvec() const { return t_vec_.values; }
 
  private:
-  const Graph* graph_;
-  TransitionOperator* op_;
+  const GraphT* graph_;
+  TransitionOperatorT<WP>* op_;
   NodeId s_;
   NodeId t_;
-  double inv_ds_;
-  double inv_dt_;
-  TransitionOperator::SparseVector s_vec_;
-  TransitionOperator::SparseVector t_vec_;
+  double inv_ws_;
+  double inv_wt_;
+  typename TransitionOperatorT<WP>::SparseVector s_vec_;
+  typename TransitionOperatorT<WP>::SparseVector t_vec_;
   double rb_ = 0.0;
   std::uint32_t iterations_ = 0;
   std::uint64_t spmv_ops_ = 0;
@@ -68,14 +77,18 @@ class SmmIterator {
 /// (refined ℓ of Eq. 6 by default, Peng et al.'s Eq. 5 with
 /// options.use_peng_ell — the Fig. 11 comparison; or a fixed count with
 /// options.smm_iterations, which is how the paper builds ground truth).
-class SmmEstimator : public ErEstimator {
+template <WeightPolicy WP>
+class SmmEstimatorT : public ErEstimator {
  public:
-  SmmEstimator(const Graph& graph, ErOptions options = {});
+  using GraphT = typename WP::GraphT;
+
+  explicit SmmEstimatorT(const GraphT& graph, ErOptions options = {});
   // Stores a pointer to `graph`; a temporary would dangle.
-  SmmEstimator(Graph&&, ErOptions = {}) = delete;
+  explicit SmmEstimatorT(GraphT&&, ErOptions = {}) = delete;
 
   std::string Name() const override {
-    return options_.use_peng_ell ? "SMM-PengEll" : "SMM";
+    return std::string(WP::kNamePrefix) +
+           (options_.use_peng_ell ? "SMM-PengEll" : "SMM");
   }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
@@ -83,11 +96,22 @@ class SmmEstimator : public ErEstimator {
   double lambda() const { return lambda_; }
 
  private:
-  const Graph* graph_;
+  const GraphT* graph_;
   ErOptions options_;
   double lambda_;
-  TransitionOperator op_;
+  TransitionOperatorT<WP> op_;
 };
+
+/// The two stacks, by their historical names.
+using SmmIterator = SmmIteratorT<UnitWeight>;
+using SmmEstimator = SmmEstimatorT<UnitWeight>;
+using WeightedSmmIterator = SmmIteratorT<EdgeWeight>;
+using WeightedSmmEstimator = SmmEstimatorT<EdgeWeight>;
+
+extern template class SmmIteratorT<UnitWeight>;
+extern template class SmmIteratorT<EdgeWeight>;
+extern template class SmmEstimatorT<UnitWeight>;
+extern template class SmmEstimatorT<EdgeWeight>;
 
 }  // namespace geer
 

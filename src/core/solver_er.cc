@@ -3,8 +3,10 @@
 namespace geer {
 namespace {
 
-LaplacianSolver::Options SolverOptionsFor(const ErOptions& options) {
-  LaplacianSolver::Options sopt;
+template <WeightPolicy WP>
+typename LaplacianSolverT<WP>::Options SolverOptionsFor(
+    const ErOptions& options) {
+  typename LaplacianSolverT<WP>::Options sopt;
   // Solve far below the query tolerance so this can serve as ground truth.
   sopt.tolerance = 1e-12;
   sopt.max_iterations = 20000;
@@ -14,17 +16,23 @@ LaplacianSolver::Options SolverOptionsFor(const ErOptions& options) {
 
 }  // namespace
 
-SolverEstimator::SolverEstimator(const Graph& graph, ErOptions options)
-    : solver_(graph, SolverOptionsFor(options)) {
+template <WeightPolicy WP>
+SolverEstimatorT<WP>::SolverEstimatorT(const GraphT& graph,
+                                       ErOptions options)
+    : solver_(graph, SolverOptionsFor<WP>(options)) {
   ValidateOptions(options);
 }
 
-QueryStats SolverEstimator::EstimateWithStats(NodeId s, NodeId t) {
+template <WeightPolicy WP>
+QueryStats SolverEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   QueryStats stats;
   CgStats cg;
   stats.value = solver_.EffectiveResistance(s, t, &cg);
   stats.truncated = !cg.converged && s != t;
   return stats;
 }
+
+template class SolverEstimatorT<UnitWeight>;
+template class SolverEstimatorT<EdgeWeight>;
 
 }  // namespace geer

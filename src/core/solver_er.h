@@ -1,28 +1,45 @@
 // High-accuracy ER via a preconditioned CG Laplacian solve per query.
 // Not one of the paper's competitors; used as a scalable ground-truth
-// cross-check for the SMM-based ground truth of §5.1.
+// cross-check for the SMM-based ground truth of §5.1, in both weight
+// modes (the EdgeWeight instantiation is the weighted W-CG oracle).
 
 #ifndef GEER_CORE_SOLVER_ER_H_
 #define GEER_CORE_SOLVER_ER_H_
 
+#include <string>
+
 #include "core/estimator.h"
 #include "core/options.h"
+#include "graph/weight_policy.h"
 #include "linalg/laplacian_solver.h"
 
 namespace geer {
 
-class SolverEstimator : public ErEstimator {
+template <WeightPolicy WP>
+class SolverEstimatorT : public ErEstimator {
  public:
-  explicit SolverEstimator(const Graph& graph, ErOptions options = {});
-  // Stores a pointer to `graph`; a temporary would dangle.
-  explicit SolverEstimator(Graph&&, ErOptions = {}) = delete;
+  using GraphT = typename WP::GraphT;
 
-  std::string Name() const override { return "CG"; }
+  explicit SolverEstimatorT(const GraphT& graph, ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit SolverEstimatorT(GraphT&&, ErOptions = {}) = delete;
+
+  std::string Name() const override {
+    return std::string(WP::kNamePrefix) + "CG";
+  }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
  private:
-  LaplacianSolver solver_;
+  LaplacianSolverT<WP> solver_;
 };
+
+/// The two stacks, by their historical names. The EdgeWeight
+/// instantiation is the weighted ground-truth oracle ("W-CG").
+using SolverEstimator = SolverEstimatorT<UnitWeight>;
+using WeightedSolverEstimator = SolverEstimatorT<EdgeWeight>;
+
+extern template class SolverEstimatorT<UnitWeight>;
+extern template class SolverEstimatorT<EdgeWeight>;
 
 }  // namespace geer
 

@@ -8,15 +8,17 @@
 
 namespace geer {
 
-TpEstimator::TpEstimator(const Graph& graph, ErOptions options)
+template <WeightPolicy WP>
+TpEstimatorT<WP>::TpEstimatorT(const GraphT& graph, ErOptions options)
     : graph_(&graph), options_(options), walker_(graph) {
   ValidateOptions(options_);
   lambda_ = options_.lambda.has_value()
                 ? *options_.lambda
-                : ComputeSpectralBounds(graph).lambda;
+                : ComputeSpectralBoundsT<WP>(graph).lambda;
 }
 
-std::uint64_t TpEstimator::WalksPerLength(std::uint32_t ell) const {
+template <WeightPolicy WP>
+std::uint64_t TpEstimatorT<WP>::WalksPerLength(std::uint32_t ell) const {
   if (ell == 0) return 0;
   const double l = static_cast<double>(ell);
   const double raw = 40.0 * l * l * std::log(8.0 * l / options_.delta) /
@@ -25,7 +27,8 @@ std::uint64_t TpEstimator::WalksPerLength(std::uint32_t ell) const {
       std::ceil(std::max(raw * options_.tp_scale, 1.0)));
 }
 
-QueryStats TpEstimator::EstimateWithStats(NodeId s, NodeId t) {
+template <WeightPolicy WP>
+QueryStats TpEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   GEER_CHECK(s < graph_->NumNodes());
   GEER_CHECK(t < graph_->NumNodes());
   QueryStats stats;
@@ -37,11 +40,11 @@ QueryStats TpEstimator::EstimateWithStats(NodeId s, NodeId t) {
   stats.truncated =
       EllWasTruncated(options_.epsilon, lambda_, 1, 1, options_.max_ell,
                       /*use_peng=*/true);
-  const double inv_ds = 1.0 / static_cast<double>(graph_->Degree(s));
-  const double inv_dt = 1.0 / static_cast<double>(graph_->Degree(t));
+  const double inv_ws = 1.0 / WP::NodeWeight(*graph_, s);
+  const double inv_wt = 1.0 / WP::NodeWeight(*graph_, t);
 
   // i = 0 term of Eq. (4).
-  double estimate = inv_ds + inv_dt;
+  double estimate = inv_ws + inv_wt;
   const std::uint64_t eta = WalksPerLength(ell);
   Rng rng(options_.seed ^ (static_cast<std::uint64_t>(s) << 32) ^ t);
 
@@ -62,14 +65,17 @@ QueryStats TpEstimator::EstimateWithStats(NodeId s, NodeId t) {
     stats.walk_steps += 2 * eta * i;
     const double inv_eta = 1.0 / static_cast<double>(eta);
     // Eq. (4) term for length i with the empirical probabilities.
-    estimate += (static_cast<double>(count_ss) * inv_ds +
-                 static_cast<double>(count_tt) * inv_dt -
-                 static_cast<double>(count_st) * inv_dt -
-                 static_cast<double>(count_ts) * inv_ds) *
+    estimate += (static_cast<double>(count_ss) * inv_ws +
+                 static_cast<double>(count_tt) * inv_wt -
+                 static_cast<double>(count_st) * inv_wt -
+                 static_cast<double>(count_ts) * inv_ws) *
                 inv_eta;
   }
   stats.value = estimate;
   return stats;
 }
+
+template class TpEstimatorT<UnitWeight>;
+template class TpEstimatorT<EdgeWeight>;
 
 }  // namespace geer

@@ -3,25 +3,35 @@
 // i ∈ [1, ℓ] it draws 40 ℓ² ln(8ℓ/δ)/ε² walks from s and from t and uses
 // the end-node frequencies as estimates of p_i(s,·), p_i(t,·). The sheer
 // walk count makes it impractical at small ε — the inefficiency AMC/GEER
-// fix. options.tp_scale linearly rescales the sample constant so the
-// harness can extrapolate timings (see EXPERIMENTS.md).
+// fix. Weight-generic: weighted walks step through the alias sampler and
+// every 1/d(·) becomes 1/w(·). options.tp_scale linearly rescales the
+// sample constant so the harness can extrapolate timings (see
+// EXPERIMENTS.md).
 
 #ifndef GEER_CORE_TP_H_
 #define GEER_CORE_TP_H_
 
+#include <string>
+
 #include "core/estimator.h"
 #include "core/options.h"
-#include "rw/walker.h"
+#include "graph/weight_policy.h"
+#include "rw/walker_policy.h"
 
 namespace geer {
 
-class TpEstimator : public ErEstimator {
+template <WeightPolicy WP>
+class TpEstimatorT : public ErEstimator {
  public:
-  TpEstimator(const Graph& graph, ErOptions options = {});
-  // Stores a pointer to `graph`; a temporary would dangle.
-  TpEstimator(Graph&&, ErOptions = {}) = delete;
+  using GraphT = typename WP::GraphT;
 
-  std::string Name() const override { return "TP"; }
+  explicit TpEstimatorT(const GraphT& graph, ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit TpEstimatorT(GraphT&&, ErOptions = {}) = delete;
+
+  std::string Name() const override {
+    return std::string(WP::kNamePrefix) + "TP";
+  }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
   double lambda() const { return lambda_; }
@@ -30,11 +40,18 @@ class TpEstimator : public ErEstimator {
   std::uint64_t WalksPerLength(std::uint32_t ell) const;
 
  private:
-  const Graph* graph_;
+  const GraphT* graph_;
   ErOptions options_;
   double lambda_;
-  Walker walker_;
+  WalkerFor<WP> walker_;
 };
+
+/// The two stacks, by their historical names.
+using TpEstimator = TpEstimatorT<UnitWeight>;
+using WeightedTpEstimator = TpEstimatorT<EdgeWeight>;
+
+extern template class TpEstimatorT<UnitWeight>;
+extern template class TpEstimatorT<EdgeWeight>;
 
 }  // namespace geer
 

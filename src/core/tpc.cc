@@ -9,7 +9,8 @@
 
 namespace geer {
 
-TpcEstimator::TpcEstimator(const Graph& graph, ErOptions options)
+template <WeightPolicy WP>
+TpcEstimatorT<WP>::TpcEstimatorT(const GraphT& graph, ErOptions options)
     : graph_(&graph),
       options_(options),
       walker_(graph),
@@ -18,21 +19,23 @@ TpcEstimator::TpcEstimator(const Graph& graph, ErOptions options)
   ValidateOptions(options_);
   lambda_ = options_.lambda.has_value()
                 ? *options_.lambda
-                : ComputeSpectralBounds(graph).lambda;
+                : ComputeSpectralBoundsT<WP>(graph).lambda;
 }
 
-double TpcEstimator::BetaHeuristic(std::uint32_t i, NodeId s,
-                                   NodeId t) const {
-  const double stationary = 1.0 / static_cast<double>(graph_->NumArcs());
-  const double start = std::max(1.0 / static_cast<double>(graph_->Degree(s)),
-                                1.0 / static_cast<double>(graph_->Degree(t)));
+template <WeightPolicy WP>
+double TpcEstimatorT<WP>::BetaHeuristic(std::uint32_t i, NodeId s,
+                                        NodeId t) const {
+  const double stationary = 1.0 / WP::TotalNodeWeight(*graph_);
+  const double start = std::max(1.0 / WP::NodeWeight(*graph_, s),
+                                1.0 / WP::NodeWeight(*graph_, t));
   const double decay = std::pow(0.5, std::min<std::uint32_t>(i, 63));
   return std::max(stationary, start * decay);
 }
 
-std::uint64_t TpcEstimator::WalksForLength(std::uint32_t i,
-                                           std::uint32_t ell, NodeId s,
-                                           NodeId t) const {
+template <WeightPolicy WP>
+std::uint64_t TpcEstimatorT<WP>::WalksForLength(std::uint32_t i,
+                                                std::uint32_t ell, NodeId s,
+                                                NodeId t) const {
   const double l = static_cast<double>(ell);
   const double beta = BetaHeuristic(i, s, t);
   const double raw =
@@ -43,7 +46,53 @@ std::uint64_t TpcEstimator::WalksForLength(std::uint32_t i,
       std::ceil(std::max(raw * options_.tpc_scale, 1.0)));
 }
 
-QueryStats TpcEstimator::EstimateWithStats(NodeId s, NodeId t) {
+template <WeightPolicy WP>
+void TpcEstimatorT<WP>::AdvancePopulation(Population* pop, NodeId source,
+                                          std::uint32_t length,
+                                          std::uint64_t n_walks, Rng& rng,
+                                          QueryStats* stats) {
+  // Surplus walks are dropped before the (per-walk) extension work.
+  if (pop->ends.size() > n_walks) pop->ends.resize(n_walks);
+  GEER_DCHECK(length >= pop->length);  // half-lengths grow monotonically
+  const std::uint32_t delta = length - pop->length;
+  if (delta > 0) {
+    for (NodeId& end : pop->ends) {
+      end = walker_.WalkEndpoint(end, delta, rng);
+    }
+    stats->walk_steps += pop->ends.size() * delta;
+  }
+  pop->length = length;
+  while (pop->ends.size() < n_walks) {
+    pop->ends.push_back(walker_.WalkEndpoint(source, length, rng));
+    ++stats->walks;
+    stats->walk_steps += length;
+  }
+}
+
+template <WeightPolicy WP>
+double TpcEstimatorT<WP>::Collide(const std::vector<NodeId>& a,
+                                  const std::vector<NodeId>& b) {
+  touched_.clear();
+  for (const NodeId v : a) {
+    if (count_a_[v] == 0 && count_b_[v] == 0) touched_.push_back(v);
+    ++count_a_[v];
+  }
+  for (const NodeId v : b) {
+    if (count_a_[v] == 0 && count_b_[v] == 0) touched_.push_back(v);
+    ++count_b_[v];
+  }
+  double acc = 0.0;
+  for (const NodeId v : touched_) {
+    acc += static_cast<double>(count_a_[v]) *
+           static_cast<double>(count_b_[v]) / WP::NodeWeight(*graph_, v);
+    count_a_[v] = 0;
+    count_b_[v] = 0;
+  }
+  return acc / (static_cast<double>(a.size()) * static_cast<double>(b.size()));
+}
+
+template <WeightPolicy WP>
+QueryStats TpcEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   GEER_CHECK(s < graph_->NumNodes());
   GEER_CHECK(t < graph_->NumNodes());
   QueryStats stats;
@@ -55,56 +104,35 @@ QueryStats TpcEstimator::EstimateWithStats(NodeId s, NodeId t) {
   stats.truncated =
       EllWasTruncated(options_.epsilon, lambda_, 1, 1, options_.max_ell,
                       /*use_peng=*/true);
-  const double inv_ds = 1.0 / static_cast<double>(graph_->Degree(s));
-  const double inv_dt = 1.0 / static_cast<double>(graph_->Degree(t));
-  double estimate = inv_ds + inv_dt;  // i = 0 term
+  const double inv_ws = 1.0 / WP::NodeWeight(*graph_, s);
+  const double inv_wt = 1.0 / WP::NodeWeight(*graph_, t);
+  double estimate = inv_ws + inv_wt;  // i = 0 term
 
   Rng rng(options_.seed ^ (static_cast<std::uint64_t>(s) << 32) ^ t);
 
-  // Collision statistic: Σ_v cntA(v)·cntB(v)/d(v) / (N_a·N_b), where A
-  // and B are independent endpoint populations.
-  auto collide = [this](NodeId from_a, std::uint32_t len_a, NodeId from_b,
-                        std::uint32_t len_b, std::uint64_t n_walks,
-                        Rng& r, QueryStats* st) {
-    touched_.clear();
-    for (std::uint64_t k = 0; k < n_walks; ++k) {
-      const NodeId end_a = walker_.WalkEndpoint(from_a, len_a, r);
-      if (count_a_[end_a] == 0 && count_b_[end_a] == 0) {
-        touched_.push_back(end_a);
-      }
-      ++count_a_[end_a];
-      const NodeId end_b = walker_.WalkEndpoint(from_b, len_b, r);
-      if (count_a_[end_b] == 0 && count_b_[end_b] == 0) {
-        touched_.push_back(end_b);
-      }
-      ++count_b_[end_b];
-    }
-    st->walks += 2 * n_walks;
-    st->walk_steps += n_walks * (len_a + len_b);
-    double acc = 0.0;
-    for (NodeId v : touched_) {
-      acc += static_cast<double>(count_a_[v]) *
-             static_cast<double>(count_b_[v]) /
-             static_cast<double>(graph_->Degree(v));
-      count_a_[v] = 0;
-      count_b_[v] = 0;
-    }
-    const double n = static_cast<double>(n_walks);
-    return acc / (n * n);
-  };
-
+  // The four cached populations: A side at length ⌈i/2⌉, B side at
+  // ⌊i/2⌋, each from s and from t. A and B never mix, so every per-length
+  // collision pairs two independent populations.
+  Population a_s, a_t, b_s, b_t;
   for (std::uint32_t i = 1; i <= ell; ++i) {
     const std::uint32_t len_a = (i + 1) / 2;  // ⌈i/2⌉
     const std::uint32_t len_b = i / 2;        // ⌊i/2⌋
     const std::uint64_t n_walks = WalksForLength(i, ell, s, t);
-    // p_i(s,s)/d(s), p_i(t,t)/d(t), p_i(s,t)/d(t) (= p_i(t,s)/d(s)).
-    const double p_ss = collide(s, len_a, s, len_b, n_walks, rng, &stats);
-    const double p_tt = collide(t, len_a, t, len_b, n_walks, rng, &stats);
-    const double p_st = collide(s, len_a, t, len_b, n_walks, rng, &stats);
+    AdvancePopulation(&a_s, s, len_a, n_walks, rng, &stats);
+    AdvancePopulation(&a_t, t, len_a, n_walks, rng, &stats);
+    AdvancePopulation(&b_s, s, len_b, n_walks, rng, &stats);
+    AdvancePopulation(&b_t, t, len_b, n_walks, rng, &stats);
+    // p_i(s,s)/w(s), p_i(t,t)/w(t), p_i(s,t)/w(t) (= p_i(t,s)/w(s)).
+    const double p_ss = Collide(a_s.ends, b_s.ends);
+    const double p_tt = Collide(a_t.ends, b_t.ends);
+    const double p_st = Collide(a_s.ends, b_t.ends);
     estimate += p_ss + p_tt - 2.0 * p_st;
   }
   stats.value = estimate;
   return stats;
 }
+
+template class TpcEstimatorT<UnitWeight>;
+template class TpcEstimatorT<EdgeWeight>;
 
 }  // namespace geer

@@ -1,35 +1,53 @@
 // TPC baseline [Peng et al., KDD'21]: the collision refinement of TP.
 // Each length-i probability in Eq. (4) is expressed through two
 // half-length walk populations using reversibility
-// (p_b(v,x) = d(x) p_b(x,v)/d(v) with a = ⌈i/2⌉, b = ⌊i/2⌋, a + b = i):
+// (p_b(v,x) = w(x) p_b(x,v)/w(v) with a = ⌈i/2⌉, b = ⌊i/2⌋, a + b = i):
 //
-//   p_i(x,y)/d(y) = Σ_v p_a(x,v) · p_b(y,v) / d(v),
+//   p_i(x,y)/w(y) = Σ_v p_a(x,v) · p_b(y,v) / w(v),
 //
-// estimated by the collision statistic Σ_v cntA(v)·cntB(v)/d(v) / N².
+// estimated by the collision statistic Σ_v cntA(v)·cntB(v)/w(v) / N².
 // The per-length sample count is 40000·(ℓ√(ℓβ_i)/ε + ℓ³β_i^{3/2}/ε²)
-// where β_i ≥ max{Σ_v p_i(s,v)²/d(v), Σ_v p_i(t,v)²/d(v)} is unknown in
+// where β_i ≥ max{Σ_v p_i(s,v)²/w(v), Σ_v p_i(t,v)²/w(v)} is unknown in
 // practice (paper §2.3.2); we use the documented heuristic
-//   β_i = max(1/(2m), 2^{-i}·max(1/d(s), 1/d(t)))
-// which interpolates the i=0 value toward the stationary limit 1/(2m),
+//   β_i = max(1/(2W), 2^{-i}·max(1/w(s), 1/w(t)))
+// which interpolates the i=0 value toward the stationary limit 1/(2W),
 // and options.tpc_scale rescales the constant. With heuristic β the
 // ε-guarantee is forfeited — exactly the caveat the paper states.
+//
+// Perf: the four walk populations (A/B sides from s and t) are cached
+// across the per-length loop. When the half-length grows from ⌈(i−1)/2⌉
+// to ⌈i/2⌉ every cached walk is EXTENDED by the difference instead of
+// being re-simulated from the source, so a query costs O(Σ_i η_i) steps
+// instead of O(Σ_i η_i·i). The A and B populations stay mutually
+// independent, which is all the collision statistic's unbiasedness needs;
+// only the (already heuristic) across-length variance cancellation
+// changes. Weight-generic over graph/weight_policy.h.
 
 #ifndef GEER_CORE_TPC_H_
 #define GEER_CORE_TPC_H_
 
+#include <string>
+#include <vector>
+
 #include "core/estimator.h"
 #include "core/options.h"
-#include "rw/walker.h"
+#include "graph/weight_policy.h"
+#include "rw/walker_policy.h"
 
 namespace geer {
 
-class TpcEstimator : public ErEstimator {
+template <WeightPolicy WP>
+class TpcEstimatorT : public ErEstimator {
  public:
-  TpcEstimator(const Graph& graph, ErOptions options = {});
-  // Stores a pointer to `graph`; a temporary would dangle.
-  TpcEstimator(Graph&&, ErOptions = {}) = delete;
+  using GraphT = typename WP::GraphT;
 
-  std::string Name() const override { return "TPC"; }
+  explicit TpcEstimatorT(const GraphT& graph, ErOptions options = {});
+  // Stores a pointer to `graph`; a temporary would dangle.
+  explicit TpcEstimatorT(GraphT&&, ErOptions = {}) = delete;
+
+  std::string Name() const override {
+    return std::string(WP::kNamePrefix) + "TPC";
+  }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
   double lambda() const { return lambda_; }
@@ -42,15 +60,39 @@ class TpcEstimator : public ErEstimator {
                                NodeId t) const;
 
  private:
-  const Graph* graph_;
+  /// A cached endpoint population: ends[k] is the current endpoint of the
+  /// k-th walk, all of the same current length.
+  struct Population {
+    std::vector<NodeId> ends;
+    std::uint32_t length = 0;
+  };
+
+  /// Brings `pop` to `length` (extending every cached walk by the
+  /// difference) and to `n_walks` walks (spawning fresh full-length walks
+  /// or dropping surplus ones), charging the work to `stats`.
+  void AdvancePopulation(Population* pop, NodeId source, std::uint32_t length,
+                         std::uint64_t n_walks, Rng& rng, QueryStats* stats);
+
+  /// Collision statistic Σ_v cntA(v)·cntB(v)/w(v) / (|a|·|b|) between two
+  /// independent endpoint populations.
+  double Collide(const std::vector<NodeId>& a, const std::vector<NodeId>& b);
+
+  const GraphT* graph_;
   ErOptions options_;
   double lambda_;
-  Walker walker_;
+  WalkerFor<WP> walker_;
   // Scratch: endpoint histograms with touched-lists, reused across calls.
   std::vector<std::uint32_t> count_a_;
   std::vector<std::uint32_t> count_b_;
   std::vector<NodeId> touched_;
 };
+
+/// The two stacks, by their historical names.
+using TpcEstimator = TpcEstimatorT<UnitWeight>;
+using WeightedTpcEstimator = TpcEstimatorT<EdgeWeight>;
+
+extern template class TpcEstimatorT<UnitWeight>;
+extern template class TpcEstimatorT<EdgeWeight>;
 
 }  // namespace geer
 

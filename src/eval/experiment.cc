@@ -7,30 +7,14 @@
 #include "util/timer.h"
 
 namespace geer {
+namespace {
 
-MethodResult RunMethod(const Dataset& dataset, const std::string& method,
-                       const ErOptions& options,
-                       const std::vector<QueryPair>& queries,
-                       const std::vector<double>& ground_truth,
-                       const RunConfig& config) {
-  MethodResult result;
-  result.method = method;
-  result.dataset = dataset.name;
-  result.epsilon = options.epsilon;
-  if (method == "TP") result.sample_scale = options.tp_scale;
-  if (method == "TPC") result.sample_scale = options.tpc_scale;
-
-  if (!EstimatorFeasible(method, dataset.graph, options)) {
-    result.feasible = false;
-    result.completed = false;
-    return result;
-  }
-  ErOptions opt = options;
-  if (!opt.lambda.has_value()) opt.lambda = dataset.spectral.lambda;
-  std::unique_ptr<ErEstimator> estimator =
-      CreateEstimator(method, dataset.graph, opt);
-  GEER_CHECK(estimator != nullptr) << "unknown estimator " << method;
-
+// The shared measurement loop: answer `queries` on a built estimator
+// under the deadline, accumulating the paper's per-query statistics.
+void MeasureQueries(ErEstimator* estimator,
+                    const std::vector<QueryPair>& queries,
+                    const std::vector<double>& ground_truth,
+                    const RunConfig& config, MethodResult* result) {
   const bool check_errors =
       config.collect_errors && ground_truth.size() == queries.size();
   Deadline deadline(config.deadline_seconds);
@@ -50,27 +34,85 @@ MethodResult RunMethod(const Dataset& dataset, const std::string& method,
     if (check_errors) {
       const double err = std::abs(stats.value - ground_truth[i]);
       sum_err += err;
-      result.max_abs_error = std::max(result.max_abs_error, err);
+      result->max_abs_error = std::max(result->max_abs_error, err);
     }
     sum_walks += static_cast<double>(stats.walks);
     sum_spmv += static_cast<double>(stats.spmv_ops);
     sum_ell += stats.ell;
     sum_ell_b += stats.ell_b;
-    ++result.queries_answered;
+    ++result->queries_answered;
     if (deadline.Expired() && i + 1 < queries.size()) {
-      result.completed = false;  // paper: "fails to finish within one day"
+      result->completed = false;  // paper: "fails to finish within one day"
       break;
     }
   }
-  if (result.queries_answered > 0) {
-    const double n = static_cast<double>(result.queries_answered);
-    result.avg_millis = sum_millis / n;
-    result.avg_abs_error = sum_err / n;
-    result.total_walks = sum_walks / n;
-    result.total_spmv_ops = sum_spmv / n;
-    result.avg_ell = sum_ell / n;
-    result.avg_ell_b = sum_ell_b / n;
+  if (result->queries_answered > 0) {
+    const double n = static_cast<double>(result->queries_answered);
+    result->avg_millis = sum_millis / n;
+    result->avg_abs_error = sum_err / n;
+    result->total_walks = sum_walks / n;
+    result->total_spmv_ops = sum_spmv / n;
+    result->avg_ell = sum_ell / n;
+    result->avg_ell_b = sum_ell_b / n;
   }
+}
+
+MethodResult InitResult(const std::string& method,
+                        const std::string& dataset_name,
+                        const ErOptions& options) {
+  MethodResult result;
+  result.method = method;
+  result.dataset = dataset_name;
+  result.epsilon = options.epsilon;
+  if (method == "TP") result.sample_scale = options.tp_scale;
+  if (method == "TPC") result.sample_scale = options.tpc_scale;
+  return result;
+}
+
+}  // namespace
+
+MethodResult RunMethod(const Dataset& dataset, const std::string& method,
+                       const ErOptions& options,
+                       const std::vector<QueryPair>& queries,
+                       const std::vector<double>& ground_truth,
+                       const RunConfig& config) {
+  MethodResult result = InitResult(method, dataset.name, options);
+
+  if (!EstimatorFeasible(method, dataset.graph, options)) {
+    result.feasible = false;
+    result.completed = false;
+    return result;
+  }
+  ErOptions opt = options;
+  if (!opt.lambda.has_value()) opt.lambda = dataset.spectral.lambda;
+  std::unique_ptr<ErEstimator> estimator =
+      CreateEstimator(method, dataset.graph, opt);
+  GEER_CHECK(estimator != nullptr) << "unknown estimator " << method;
+
+  MeasureQueries(estimator.get(), queries, ground_truth, config, &result);
+  return result;
+}
+
+MethodResult RunWeightedMethod(const WeightedGraph& graph,
+                               const std::string& dataset_name,
+                               const std::string& method,
+                               const ErOptions& options,
+                               const std::vector<QueryPair>& queries,
+                               const std::vector<double>& ground_truth,
+                               const RunConfig& config) {
+  MethodResult result = InitResult(method, dataset_name, options);
+
+  if (!WeightedEstimatorFeasible(method, graph, options)) {
+    result.feasible = false;
+    result.completed = false;
+    return result;
+  }
+  std::unique_ptr<ErEstimator> estimator =
+      CreateWeightedEstimator(method, graph, options);
+  GEER_CHECK(estimator != nullptr) << "unknown weighted estimator "
+                                   << method;
+
+  MeasureQueries(estimator.get(), queries, ground_truth, config, &result);
   return result;
 }
 

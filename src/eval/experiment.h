@@ -12,6 +12,7 @@
 #include "core/options.h"
 #include "eval/datasets.h"
 #include "eval/queries.h"
+#include "graph/weighted_graph.h"
 
 namespace geer {
 
@@ -56,6 +57,18 @@ MethodResult RunMethod(const Dataset& dataset, const std::string& method,
                        const std::vector<QueryPair>& queries,
                        const std::vector<double>& ground_truth,
                        const RunConfig& config = {});
+
+/// Weighted analogue of RunMethod: runs the EdgeWeight instantiation of
+/// `method` (any CreateWeightedEstimator name) on a conductance graph.
+/// options.lambda should carry the precomputed weighted λ for walk-based
+/// methods; `dataset_name` labels the result row.
+MethodResult RunWeightedMethod(const WeightedGraph& graph,
+                               const std::string& dataset_name,
+                               const std::string& method,
+                               const ErOptions& options,
+                               const std::vector<QueryPair>& queries,
+                               const std::vector<double>& ground_truth,
+                               const RunConfig& config = {});
 
 }  // namespace geer
 

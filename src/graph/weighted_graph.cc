@@ -1,4 +1,4 @@
-#include "weighted/weighted_graph.h"
+#include "graph/weighted_graph.h"
 
 #include <algorithm>
 #include <cmath>

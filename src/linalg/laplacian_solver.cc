@@ -6,33 +6,37 @@
 
 namespace geer {
 
-LaplacianSolver::LaplacianSolver(const Graph& graph, Options options)
-    : graph_(&graph), options_(options), inv_degree_(graph.NumNodes(), 0.0) {
+template <WeightPolicy WP>
+LaplacianSolverT<WP>::LaplacianSolverT(const GraphT& graph, Options options)
+    : graph_(&graph), options_(options), inv_weight_(graph.NumNodes(), 0.0) {
   for (NodeId v = 0; v < graph.NumNodes(); ++v) {
-    const std::uint64_t d = graph.Degree(v);
-    GEER_CHECK(d > 0) << "isolated node " << v
-                      << " — Laplacian solver requires a connected graph";
-    inv_degree_[v] = 1.0 / static_cast<double>(d);
+    const double w = WP::NodeWeight(graph, v);
+    GEER_CHECK(w > 0.0) << "isolated node " << v
+                        << " — Laplacian solver requires a connected graph";
+    inv_weight_[v] = 1.0 / w;
   }
 }
 
-void LaplacianSolver::ApplyLaplacian(const Vector& x, Vector* y) const {
+template <WeightPolicy WP>
+void LaplacianSolverT<WP>::ApplyLaplacian(const Vector& x, Vector* y) const {
   const NodeId n = graph_->NumNodes();
   GEER_CHECK_EQ(x.size(), static_cast<std::size_t>(n));
   y->assign(n, 0.0);
-  const auto& offsets = graph_->Offsets();
-  const auto& adj = graph_->NeighborArray();
+  const std::uint64_t* offsets = graph_->Offsets().data();
+  const NodeId* adj = graph_->NeighborArray().data();
+  const auto arcs = WP::Arcs(*graph_);
   for (NodeId u = 0; u < n; ++u) {
     double acc = 0.0;
     for (std::uint64_t k = offsets[u]; k < offsets[u + 1]; ++k) {
-      acc += x[adj[k]];
+      // UnitWeight: the arc view yields a constexpr 1 that folds away.
+      acc += arcs[k] * x[adj[k]];
     }
-    const double d = static_cast<double>(offsets[u + 1] - offsets[u]);
-    (*y)[u] = d * x[u] - acc;
+    (*y)[u] = WP::NodeWeight(*graph_, u) * x[u] - acc;
   }
 }
 
-Vector LaplacianSolver::Solve(const Vector& b, CgStats* stats) const {
+template <WeightPolicy WP>
+Vector LaplacianSolverT<WP>::Solve(const Vector& b, CgStats* stats) const {
   const NodeId n = graph_->NumNodes();
   GEER_CHECK_EQ(b.size(), static_cast<std::size_t>(n));
 
@@ -47,7 +51,7 @@ Vector LaplacianSolver::Solve(const Vector& b, CgStats* stats) const {
 
   Vector r = rhs;  // residual (x = 0 start)
   Vector z(n, 0.0);
-  for (NodeId v = 0; v < n; ++v) z[v] = inv_degree_[v] * r[v];
+  for (NodeId v = 0; v < n; ++v) z[v] = inv_weight_[v] * r[v];
   RemoveMean(&z);
   Vector p = z;
   Vector ap(n, 0.0);
@@ -69,7 +73,7 @@ Vector LaplacianSolver::Solve(const Vector& b, CgStats* stats) const {
       local.converged = true;
       break;
     }
-    for (NodeId v = 0; v < n; ++v) z[v] = inv_degree_[v] * r[v];
+    for (NodeId v = 0; v < n; ++v) z[v] = inv_weight_[v] * r[v];
     RemoveMean(&z);
     const double rz_next = Dot(r, z);
     const double beta = rz_next / rz;
@@ -81,8 +85,9 @@ Vector LaplacianSolver::Solve(const Vector& b, CgStats* stats) const {
   return x;
 }
 
-double LaplacianSolver::EffectiveResistance(NodeId s, NodeId t,
-                                            CgStats* stats) const {
+template <WeightPolicy WP>
+double LaplacianSolverT<WP>::EffectiveResistance(NodeId s, NodeId t,
+                                                 CgStats* stats) const {
   GEER_CHECK(s < graph_->NumNodes());
   GEER_CHECK(t < graph_->NumNodes());
   if (s == t) {
@@ -95,5 +100,8 @@ double LaplacianSolver::EffectiveResistance(NodeId s, NodeId t,
   Vector x = Solve(b, stats);
   return x[s] - x[t];
 }
+
+template class LaplacianSolverT<UnitWeight>;
+template class LaplacianSolverT<EdgeWeight>;
 
 }  // namespace geer

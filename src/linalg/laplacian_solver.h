@@ -1,13 +1,18 @@
 // Jacobi-preconditioned conjugate gradient for graph Laplacian systems
-// L x = b with b ⊥ 𝟙. Substrate for the RP baseline (Spielman–Srivastava
-// random projection) and the high-accuracy ground-truth pipeline.
+// L_w x = b with b ⊥ 𝟙, generic over the weight policy
+// (graph/weight_policy.h): L = D − A for the unit-weight stack,
+// L_w = D_w − A_w for the conductance stack. Substrate for the RP
+// baseline (Spielman–Srivastava random projection) and the
+// high-accuracy ground-truth pipeline in both weight modes —
+// r(s,t) = (e_s − e_t)ᵀ L_w† (e_s − e_t) is exactly the equivalent
+// resistance of the circuit whose edge conductances are the weights.
 
 #ifndef GEER_LINALG_LAPLACIAN_SOLVER_H_
 #define GEER_LINALG_LAPLACIAN_SOLVER_H_
 
 #include <cstdint>
 
-#include "graph/graph.h"
+#include "graph/weight_policy.h"
 #include "linalg/dense.h"
 
 namespace geer {
@@ -22,36 +27,47 @@ struct CgStats {
 /// Solves connected-graph Laplacian systems. The Laplacian is singular
 /// with kernel span{𝟙}; both b and the iterates are projected onto 𝟙^⊥,
 /// making CG well-defined and returning the minimum-norm solution L† b.
-class LaplacianSolver {
+template <WeightPolicy WP>
+class LaplacianSolverT {
  public:
+  using GraphT = typename WP::GraphT;
+
   struct Options {
     int max_iterations = 10000;
     double tolerance = 1e-10;  ///< relative residual ‖r‖/‖b‖
   };
 
-  explicit LaplacianSolver(const Graph& graph)
-      : LaplacianSolver(graph, Options()) {}
-  LaplacianSolver(const Graph& graph, Options options);
+  explicit LaplacianSolverT(const GraphT& graph)
+      : LaplacianSolverT(graph, Options()) {}
+  LaplacianSolverT(const GraphT& graph, Options options);
   // Stores a pointer to `graph`; a temporary would dangle.
-  explicit LaplacianSolver(Graph&&) = delete;
-  LaplacianSolver(Graph&&, Options) = delete;
+  explicit LaplacianSolverT(GraphT&&) = delete;
+  LaplacianSolverT(GraphT&&, Options) = delete;
 
   /// Solves L x = b. `b` is projected onto 𝟙^⊥ internally (the component
   /// along 𝟙 is unsolvable and irrelevant to ER queries).
   Vector Solve(const Vector& b, CgStats* stats = nullptr) const;
 
-  /// Effective resistance via two CG solves worth of work:
+  /// Effective resistance via one CG solve worth of work:
   /// r(s,t) = (e_s − e_t)ᵀ L† (e_s − e_t) with b = e_s − e_t.
-  double EffectiveResistance(NodeId s, NodeId t, CgStats* stats = nullptr) const;
+  double EffectiveResistance(NodeId s, NodeId t,
+                             CgStats* stats = nullptr) const;
 
-  /// y ← L·x (L = D − A), dense.
+  /// y ← L·x (L = D_w − A_w), dense.
   void ApplyLaplacian(const Vector& x, Vector* y) const;
 
  private:
-  const Graph* graph_;
+  const GraphT* graph_;
   Options options_;
-  Vector inv_degree_;  // Jacobi preconditioner diag(D)^{-1}
+  Vector inv_weight_;  // Jacobi preconditioner diag(D_w)^{-1}
 };
+
+/// The two stacks, by their historical names.
+using LaplacianSolver = LaplacianSolverT<UnitWeight>;
+using WeightedLaplacianSolver = LaplacianSolverT<EdgeWeight>;
+
+extern template class LaplacianSolverT<UnitWeight>;
+extern template class LaplacianSolverT<EdgeWeight>;
 
 }  // namespace geer
 

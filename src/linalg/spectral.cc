@@ -18,10 +18,11 @@ double ClampLambda(double lambda2, double lambda_n, double floor_gap) {
 
 }  // namespace
 
-SpectralBounds ComputeSpectralBounds(const Graph& graph,
-                                     const SpectralOptions& options) {
+template <WeightPolicy WP>
+SpectralBounds ComputeSpectralBoundsT(const typename WP::GraphT& graph,
+                                      const SpectralOptions& options) {
   GEER_CHECK_GE(graph.NumNodes(), 2u);
-  NormalizedAdjacencyOperator op(graph);
+  NormalizedAdjacencyOperatorT<WP> op(graph);
   LanczosOptions lopt;
   lopt.max_iterations = options.max_iterations;
   lopt.tolerance = options.tolerance;
@@ -38,17 +39,21 @@ SpectralBounds ComputeSpectralBounds(const Graph& graph,
   return out;
 }
 
-SpectralBounds ComputeSpectralBoundsDense(const Graph& graph) {
+template <WeightPolicy WP>
+SpectralBounds ComputeSpectralBoundsDenseT(const typename WP::GraphT& graph) {
   const NodeId n = graph.NumNodes();
   GEER_CHECK_GE(n, 2u);
   GEER_CHECK_LE(n, 4096u) << "dense spectral oracle limited to small graphs";
   Matrix normalized(n, n, 0.0);
+  const auto& offsets = graph.Offsets();
+  const auto& adj = graph.NeighborArray();
   for (NodeId u = 0; u < n; ++u) {
-    const double du = static_cast<double>(graph.Degree(u));
-    GEER_CHECK(du > 0.0);
-    for (NodeId v : graph.Neighbors(u)) {
-      const double dv = static_cast<double>(graph.Degree(v));
-      normalized(u, v) = 1.0 / std::sqrt(du * dv);
+    const double wu = WP::NodeWeight(graph, u);
+    GEER_CHECK(wu > 0.0);
+    for (std::uint64_t k = offsets[u]; k < offsets[u + 1]; ++k) {
+      const NodeId v = adj[k];
+      normalized(u, v) =
+          WP::ArcWeight(graph, k) / std::sqrt(wu * WP::NodeWeight(graph, v));
     }
   }
   EigenDecomposition eig = JacobiEigenSolve(normalized);
@@ -59,5 +64,13 @@ SpectralBounds ComputeSpectralBoundsDense(const Graph& graph) {
   out.lambda = ClampLambda(out.lambda2, out.lambda_n, 1e-12);
   return out;
 }
+
+template SpectralBounds ComputeSpectralBoundsT<UnitWeight>(
+    const Graph&, const SpectralOptions&);
+template SpectralBounds ComputeSpectralBoundsT<EdgeWeight>(
+    const WeightedGraph&, const SpectralOptions&);
+template SpectralBounds ComputeSpectralBoundsDenseT<UnitWeight>(const Graph&);
+template SpectralBounds ComputeSpectralBoundsDenseT<EdgeWeight>(
+    const WeightedGraph&);
 
 }  // namespace geer

@@ -1,13 +1,15 @@
-// Spectral preprocessing (paper §3.1): compute λ = max(|λ₂|, |λ_n|) of the
-// transition matrix P once per graph; it parameterizes the maximum walk
-// lengths of Eq. (5) and Eq. (6). P is similar to the symmetric
-// N = D^{-1/2} A D^{-1/2}, so Lanczos on N (with the known top eigenvector
-// deflated) yields λ₂ and λ_n exactly as the paper's ARPACK setup does.
+// Spectral preprocessing (paper §3.1): compute λ = max(|λ₂|, |λ_n|) of
+// the transition matrix P once per graph; it parameterizes the maximum
+// walk lengths of Eq. (5) and Eq. (6). P is similar to the symmetric
+// N = D_w^{-1/2} A_w D_w^{-1/2}, so Lanczos on N (with the known top
+// eigenvector deflated) yields λ₂ and λ_n exactly as the paper's ARPACK
+// setup does. Weight-generic: the same code serves the unweighted and
+// weighted (conductance) stacks through graph/weight_policy.h.
 
 #ifndef GEER_LINALG_SPECTRAL_H_
 #define GEER_LINALG_SPECTRAL_H_
 
-#include "graph/graph.h"
+#include "graph/weight_policy.h"
 
 namespace geer {
 
@@ -28,14 +30,46 @@ struct SpectralOptions {
   double floor_gap = 1e-9;
 };
 
-/// Computes λ₂, λ_n and λ for a connected graph. Non-bipartite inputs get
-/// λ < 1; bipartite inputs report λ_n = −1 (the caller should reject them
-/// for walk-based estimators, or run EnsureNonBipartite first).
-SpectralBounds ComputeSpectralBounds(const Graph& graph,
-                                     const SpectralOptions& options = {});
+/// Computes λ₂, λ_n and λ for a connected graph under weight policy WP.
+/// Non-bipartite inputs get λ < 1; bipartite inputs report λ_n = −1 (the
+/// caller should reject them for walk-based estimators, or run
+/// EnsureNonBipartite first).
+template <WeightPolicy WP>
+SpectralBounds ComputeSpectralBoundsT(const typename WP::GraphT& graph,
+                                      const SpectralOptions& options = {});
 
 /// Exact (dense Jacobi) spectral bounds for small graphs; test oracle.
-SpectralBounds ComputeSpectralBoundsDense(const Graph& graph);
+template <WeightPolicy WP>
+SpectralBounds ComputeSpectralBoundsDenseT(const typename WP::GraphT& graph);
+
+/// Unweighted entry points (historical names).
+inline SpectralBounds ComputeSpectralBounds(
+    const Graph& graph, const SpectralOptions& options = {}) {
+  return ComputeSpectralBoundsT<UnitWeight>(graph, options);
+}
+inline SpectralBounds ComputeSpectralBoundsDense(const Graph& graph) {
+  return ComputeSpectralBoundsDenseT<UnitWeight>(graph);
+}
+
+/// Weighted entry points. With unit weights the results match the
+/// unweighted functions on the skeleton exactly.
+inline SpectralBounds ComputeWeightedSpectralBounds(
+    const WeightedGraph& graph, const SpectralOptions& options = {}) {
+  return ComputeSpectralBoundsT<EdgeWeight>(graph, options);
+}
+inline SpectralBounds ComputeWeightedSpectralBoundsDense(
+    const WeightedGraph& graph) {
+  return ComputeSpectralBoundsDenseT<EdgeWeight>(graph);
+}
+
+extern template SpectralBounds ComputeSpectralBoundsT<UnitWeight>(
+    const Graph&, const SpectralOptions&);
+extern template SpectralBounds ComputeSpectralBoundsT<EdgeWeight>(
+    const WeightedGraph&, const SpectralOptions&);
+extern template SpectralBounds ComputeSpectralBoundsDenseT<UnitWeight>(
+    const Graph&);
+extern template SpectralBounds ComputeSpectralBoundsDenseT<EdgeWeight>(
+    const WeightedGraph&);
 
 }  // namespace geer
 

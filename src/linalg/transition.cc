@@ -6,29 +6,12 @@
 
 namespace geer {
 
-void TransitionOperator::SparseVector::InitOneHot(NodeId v,
-                                                  const Graph& graph) {
-  values.assign(graph.NumNodes(), 0.0);
-  GEER_CHECK(v < graph.NumNodes());
-  values[v] = 1.0;
-  support.assign(1, v);
-  dense = false;
-  support_degree_sum = graph.Degree(v);
-}
-
-TransitionOperator::TransitionOperator(const Graph& graph)
-    : graph_(&graph),
-      scratch_(graph.NumNodes(), 0.0),
-      touched_flag_(graph.NumNodes(), 0) {
-  touched_.reserve(graph.NumNodes());
-}
-
-std::uint64_t TransitionOperator::ApplyAuto(SparseVector* x) {
+template <WeightPolicy WP>
+std::uint64_t TransitionOperatorT<WP>::ApplyAuto(SparseVector* x) {
   const NodeId n = graph_->NumNodes();
   GEER_CHECK_EQ(x->values.size(), static_cast<std::size_t>(n));
   if (!x->dense &&
-      x->support.size() >
-          static_cast<std::size_t>(kDenseThreshold * n)) {
+      x->support.size() > static_cast<std::size_t>(kDenseThreshold * n)) {
     x->dense = true;
   }
   if (x->dense) {
@@ -43,43 +26,57 @@ std::uint64_t TransitionOperator::ApplyAuto(SparseVector* x) {
   return work;
 }
 
-void TransitionOperator::ApplyDense(const Vector& x, Vector* y) const {
+template <WeightPolicy WP>
+void TransitionOperatorT<WP>::ApplyDense(const Vector& x, Vector* y) const {
   const NodeId n = graph_->NumNodes();
   GEER_CHECK_EQ(x.size(), static_cast<std::size_t>(n));
   y->assign(n, 0.0);
-  const auto& offsets = graph_->Offsets();
-  const auto& adj = graph_->NeighborArray();
+  const std::uint64_t* offsets = graph_->Offsets().data();
+  const NodeId* adj = graph_->NeighborArray().data();
+  const auto arcs = WP::Arcs(*graph_);
   for (NodeId u = 0; u < n; ++u) {
     double acc = 0.0;
     for (std::uint64_t k = offsets[u]; k < offsets[u + 1]; ++k) {
-      acc += x[adj[k]];
+      // UnitWeight: the arc view yields a constexpr 1 that folds away.
+      acc += arcs[k] * x[adj[k]];
     }
-    const std::uint64_t d = offsets[u + 1] - offsets[u];
-    (*y)[u] = d == 0 ? 0.0 : acc / static_cast<double>(d);
+    const double weight = WP::NodeWeight(*graph_, u);
+    (*y)[u] = weight == 0.0 ? 0.0 : acc / weight;
   }
 }
 
-void TransitionOperator::ApplySparse(SparseVector* x) {
-  // Scatter: for v in supp(x), for u in N(v): y(u) += x(v); then divide
-  // each touched u by d(u). New support = N(supp(x)).
+template <WeightPolicy WP>
+void TransitionOperatorT<WP>::ApplySparse(SparseVector* x) {
+  // Scatter: for v in supp(x), for u in N(v): y(u) += w(v,u)·x(v); then
+  // divide each touched u by w(u). Weight symmetry makes the scatter view
+  // (over v's arcs) equal the gather view (over u's arcs). New support =
+  // N(supp(x)).
   touched_.clear();
+  // Raw pointers and the policy's arc view stay in registers across the
+  // opaque touched_.push_back call below; vector-backed accesses would be
+  // reloaded every iteration.
+  const std::uint64_t* offsets = graph_->Offsets().data();
+  const NodeId* adj = graph_->NeighborArray().data();
+  const auto arcs = WP::Arcs(*graph_);
   for (NodeId v : x->support) {
     const double xv = x->values[v];
     if (xv == 0.0) continue;
-    for (NodeId u : graph_->Neighbors(v)) {
+    const std::uint64_t row_end = offsets[v + 1];
+    for (std::uint64_t k = offsets[v]; k < row_end; ++k) {
+      const NodeId u = adj[k];
       if (!touched_flag_[u]) {
         touched_flag_[u] = 1;
         touched_.push_back(u);
         scratch_[u] = 0.0;
       }
-      scratch_[u] += xv;
+      scratch_[u] += arcs[k] * xv;
     }
   }
   // Clear old support entries in the destination, then commit.
   for (NodeId v : x->support) x->values[v] = 0.0;
   std::uint64_t degree_sum = 0;
   for (NodeId u : touched_) {
-    x->values[u] = scratch_[u] / static_cast<double>(graph_->Degree(u));
+    x->values[u] = scratch_[u] / WP::NodeWeight(*graph_, u);
     touched_flag_[u] = 0;
     degree_sum += graph_->Degree(u);
   }
@@ -87,37 +84,47 @@ void TransitionOperator::ApplySparse(SparseVector* x) {
   x->support_degree_sum = degree_sum;
 }
 
-NormalizedAdjacencyOperator::NormalizedAdjacencyOperator(const Graph& graph)
+template <WeightPolicy WP>
+NormalizedAdjacencyOperatorT<WP>::NormalizedAdjacencyOperatorT(
+    const GraphT& graph)
     : graph_(&graph),
-      inv_sqrt_degree_(graph.NumNodes(), 0.0),
+      inv_sqrt_weight_(graph.NumNodes(), 0.0),
       top_eigenvector_(graph.NumNodes(), 0.0) {
   double norm_sq = 0.0;
   for (NodeId v = 0; v < graph.NumNodes(); ++v) {
-    const double d = static_cast<double>(graph.Degree(v));
-    GEER_CHECK(d > 0.0) << "isolated node " << v
+    const double w = WP::NodeWeight(graph, v);
+    GEER_CHECK(w > 0.0) << "isolated node " << v
                         << " — graph must be connected";
-    inv_sqrt_degree_[v] = 1.0 / std::sqrt(d);
-    top_eigenvector_[v] = std::sqrt(d);
-    norm_sq += d;
+    inv_sqrt_weight_[v] = 1.0 / std::sqrt(w);
+    top_eigenvector_[v] = std::sqrt(w);
+    norm_sq += w;
   }
   const double inv_norm = 1.0 / std::sqrt(norm_sq);
   for (double& e : top_eigenvector_) e *= inv_norm;
 }
 
-void NormalizedAdjacencyOperator::Apply(const Vector& x, Vector* y) const {
+template <WeightPolicy WP>
+void NormalizedAdjacencyOperatorT<WP>::Apply(const Vector& x,
+                                             Vector* y) const {
   const NodeId n = graph_->NumNodes();
   GEER_CHECK_EQ(x.size(), static_cast<std::size_t>(n));
   y->assign(n, 0.0);
-  const auto& offsets = graph_->Offsets();
-  const auto& adj = graph_->NeighborArray();
+  const std::uint64_t* offsets = graph_->Offsets().data();
+  const NodeId* adj = graph_->NeighborArray().data();
+  const auto arcs = WP::Arcs(*graph_);
   for (NodeId u = 0; u < n; ++u) {
     double acc = 0.0;
     for (std::uint64_t k = offsets[u]; k < offsets[u + 1]; ++k) {
       const NodeId v = adj[k];
-      acc += x[v] * inv_sqrt_degree_[v];
+      acc += arcs[k] * x[v] * inv_sqrt_weight_[v];
     }
-    (*y)[u] = acc * inv_sqrt_degree_[u];
+    (*y)[u] = acc * inv_sqrt_weight_[u];
   }
 }
+
+template class TransitionOperatorT<UnitWeight>;
+template class TransitionOperatorT<EdgeWeight>;
+template class NormalizedAdjacencyOperatorT<UnitWeight>;
+template class NormalizedAdjacencyOperatorT<EdgeWeight>;
 
 }  // namespace geer

@@ -1,5 +1,6 @@
-// The random-walk (transition) operator P = D^{-1} A applied to vectors,
-// with two execution modes:
+// The random-walk (transition) operator P = D_w^{-1} A_w applied to
+// vectors, generic over the weight policy (graph/weight_policy.h), with
+// two execution modes:
 //
 //  * sparse "scatter" mode — iterates only the support of x; cost
 //    proportional to Σ_{v∈supp(x)} d(v), exactly the cost model GEER's
@@ -9,86 +10,127 @@
 //
 // ApplyAuto picks the mode from the support size, and reports the support
 // degree-sum the greedy rule needs — so GEER never pays an extra pass.
+//
+// The UnitWeight instantiation multiplies by the constexpr arc weight 1,
+// which constant-folds away: it is the paper's unweighted P = D^{-1} A
+// with no weight loads on the hot path. The EdgeWeight instantiation is
+// the weighted P with (Px)(u) = Σ_{v∈N(u)} w(u,v)/w(u)·x(v). The cost
+// model is identical in both modes — arc traversals — because Eq. 17
+// charges memory touches, which weights do not add to.
 
 #ifndef GEER_LINALG_TRANSITION_H_
 #define GEER_LINALG_TRANSITION_H_
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/weight_policy.h"
 #include "linalg/dense.h"
+#include "util/check.h"
 
 namespace geer {
 
-/// Applies P = D^{-1}A. Stateless w.r.t. queries; owns scratch buffers so
-/// repeated applications do not allocate.
-class TransitionOperator {
+/// Applies P = D_w^{-1} A_w. Stateless w.r.t. queries; owns scratch
+/// buffers so repeated applications do not allocate.
+template <WeightPolicy WP>
+class TransitionOperatorT {
  public:
-  explicit TransitionOperator(const Graph& graph);
+  using GraphT = typename WP::GraphT;
+
+  explicit TransitionOperatorT(const GraphT& graph)
+      : graph_(&graph),
+        scratch_(graph.NumNodes(), 0.0),
+        touched_flag_(graph.NumNodes(), 0) {
+    touched_.reserve(graph.NumNodes());
+  }
   // Stores a pointer to `graph`; a temporary would dangle.
-  explicit TransitionOperator(Graph&&) = delete;
+  explicit TransitionOperatorT(GraphT&&) = delete;
 
   /// A vector together with its support (list of indices of non-zeros).
   /// The support list may over-approximate (contain zero entries) but
   /// never misses a non-zero.
   struct SparseVector {
-    Vector values;                  ///< dense storage, length n
-    std::vector<NodeId> support;    ///< indices with (possibly) non-zero value
-    bool dense = false;             ///< true once support tracking stopped
+    Vector values;                ///< dense storage, length n
+    std::vector<NodeId> support;  ///< indices with (possibly) non-zero value
+    bool dense = false;           ///< true once support tracking stopped
 
     /// Σ_{v∈supp} d(v): the paper's per-iteration SMM cost (Eq. 17 LHS).
     std::uint64_t support_degree_sum = 0;
 
     /// Initializes to the one-hot vector e_v.
-    void InitOneHot(NodeId v, const Graph& graph);
+    void InitOneHot(NodeId v, const GraphT& graph) {
+      values.assign(graph.NumNodes(), 0.0);
+      GEER_CHECK(v < graph.NumNodes());
+      values[v] = 1.0;
+      support.assign(1, v);
+      dense = false;
+      support_degree_sum = graph.Degree(v);
+    }
   };
 
   /// x ← P·x, choosing scatter vs gather from x's density, updating the
   /// support metadata. Returns the number of arc traversals performed.
   std::uint64_t ApplyAuto(SparseVector* x);
 
-  /// Dense gather: y(u) = (1/d(u)) Σ_{v∈N(u)} x(v). Always touches all 2m
-  /// arcs. `y` is resized to n.
+  /// Dense gather: y(u) = (1/w(u)) Σ_{v∈N(u)} w(u,v)·x(v). Always touches
+  /// all 2m arcs. `y` is resized to n.
   void ApplyDense(const Vector& x, Vector* y) const;
 
   /// Fraction of nodes in the support above which ApplyAuto switches to
   /// dense mode permanently.
   static constexpr double kDenseThreshold = 0.25;
 
-  const Graph& graph() const { return *graph_; }
+  const GraphT& graph() const { return *graph_; }
 
  private:
   // Scatter from the support of x into scratch_, producing the new support.
   void ApplySparse(SparseVector* x);
 
-  const Graph* graph_;
+  const GraphT* graph_;
   Vector scratch_;
   std::vector<NodeId> touched_;
   std::vector<char> touched_flag_;
 };
 
-/// Applies the symmetrically normalized adjacency N = D^{-1/2} A D^{-1/2}
-/// (similar to P, hence same spectrum) — the operator Lanczos runs on.
-class NormalizedAdjacencyOperator {
+/// Applies the symmetrically normalized adjacency
+/// N = D_w^{-1/2} A_w D_w^{-1/2} (similar to P, hence same spectrum) —
+/// the operator the λ preprocessing runs Lanczos on.
+template <WeightPolicy WP>
+class NormalizedAdjacencyOperatorT {
  public:
-  explicit NormalizedAdjacencyOperator(const Graph& graph);
+  using GraphT = typename WP::GraphT;
+
+  explicit NormalizedAdjacencyOperatorT(const GraphT& graph);
   // Stores a pointer to `graph`; a temporary would dangle.
-  explicit NormalizedAdjacencyOperator(Graph&&) = delete;
+  explicit NormalizedAdjacencyOperatorT(GraphT&&) = delete;
 
   /// y ← N·x (dense).
   void Apply(const Vector& x, Vector* y) const;
 
-  std::size_t Dim() const { return inv_sqrt_degree_.size(); }
+  std::size_t Dim() const { return inv_sqrt_weight_.size(); }
 
-  /// The known top eigenvector of N: entries ∝ √d(v), unit-normalized.
+  /// The known top eigenvector of N: entries ∝ √w(v), unit-normalized.
   const Vector& TopEigenvector() const { return top_eigenvector_; }
 
  private:
-  const Graph* graph_;
-  Vector inv_sqrt_degree_;
+  const GraphT* graph_;
+  Vector inv_sqrt_weight_;
   Vector top_eigenvector_;
 };
+
+/// The two stacks, by their historical names.
+using TransitionOperator = TransitionOperatorT<UnitWeight>;
+using WeightedTransitionOperator = TransitionOperatorT<EdgeWeight>;
+using NormalizedAdjacencyOperator = NormalizedAdjacencyOperatorT<UnitWeight>;
+using NormalizedWeightedAdjacencyOperator =
+    NormalizedAdjacencyOperatorT<EdgeWeight>;
+
+// Compiled once in transition.cc for both policies.
+extern template class TransitionOperatorT<UnitWeight>;
+extern template class TransitionOperatorT<EdgeWeight>;
+extern template class NormalizedAdjacencyOperatorT<UnitWeight>;
+extern template class NormalizedAdjacencyOperatorT<EdgeWeight>;
 
 }  // namespace geer
 

@@ -1,4 +1,4 @@
-#include "weighted/alias.h"
+#include "rw/alias.h"
 
 #include <cmath>
 
@@ -83,6 +83,17 @@ NodeId WeightedWalker::WalkEndpoint(NodeId source, std::uint32_t length,
   NodeId cur = source;
   for (std::uint32_t i = 0; i < length; ++i) cur = Step(cur, rng);
   return cur;
+}
+
+void WeightedWalker::WalkPath(NodeId source, std::uint32_t length, Rng& rng,
+                              std::vector<NodeId>* out) const {
+  out->clear();
+  out->reserve(length);
+  NodeId cur = source;
+  for (std::uint32_t i = 0; i < length; ++i) {
+    cur = Step(cur, rng);
+    out->push_back(cur);
+  }
 }
 
 }  // namespace geer

@@ -20,37 +20,4 @@ void Walker::WalkPath(NodeId source, std::uint32_t length, Rng& rng,
   }
 }
 
-Walker::Absorption Walker::EscapeTrial(NodeId source, NodeId target,
-                                       std::uint64_t max_steps,
-                                       Rng& rng) const {
-  GEER_DCHECK(source != target);
-  NodeId cur = Step(source, rng);
-  for (std::uint64_t step = 1; step <= max_steps; ++step) {
-    if (cur == target) return Absorption::kHitTarget;
-    if (cur == source) return Absorption::kReturned;
-    cur = Step(cur, rng);
-  }
-  return Absorption::kStepLimit;
-}
-
-Walker::FirstVisit Walker::FirstVisitTrial(NodeId source, NodeId target,
-                                           std::uint64_t max_steps,
-                                           Rng& rng) const {
-  GEER_DCHECK(source != target);
-  FirstVisit result;
-  NodeId prev = source;
-  NodeId cur = Step(source, rng);
-  while (result.steps < max_steps) {
-    ++result.steps;
-    if (cur == target) {
-      result.hit = true;
-      result.used_direct_edge = (prev == source);
-      return result;
-    }
-    prev = cur;
-    cur = Step(cur, rng);
-  }
-  return result;
-}
-
 }  // namespace geer

@@ -1,7 +1,12 @@
 // Random-walk samplers. A "simple random walk" moves from the current
 // node v to a uniformly random neighbor of v (transition matrix
-// P = D^{-1} A). These samplers are the Monte Carlo substrate for MC,
-// MC2, TP, TPC, AMC and GEER.
+// P = D^{-1} A); its weighted counterpart (rw/alias.h) picks neighbor u
+// with probability w(v,u)/w(v). These samplers are the Monte Carlo
+// substrate for MC, MC2, TP, TPC, AMC and GEER in both weight modes.
+//
+// The trial routines (escape trials for MC, first-visit trials for MC2)
+// are generic over any walker exposing Step(); Walker and WeightedWalker
+// share them, so the estimator templates never duplicate trial logic.
 
 #ifndef GEER_RW_WALKER_H_
 #define GEER_RW_WALKER_H_
@@ -14,9 +19,71 @@
 
 namespace geer {
 
-/// Samples simple random walks over a fixed graph.
+/// Outcome of an absorbing walk used by the MC baseline.
+enum class WalkAbsorption {
+  kHitTarget,  ///< reached `target` before returning to `source`
+  kReturned,   ///< returned to `source` before reaching `target`
+  kStepLimit,  ///< exceeded `max_steps` (treated as a failed trial)
+};
+
+/// Result of a first-visit trial used by the MC2 baseline.
+struct WalkFirstVisit {
+  bool used_direct_edge = false;  ///< first arrival at target came via
+                                  ///< the direct source→target edge
+  bool hit = false;               ///< target reached within max_steps
+  std::uint64_t steps = 0;        ///< steps taken
+};
+
+/// Walks from `source` (first step mandatory) until it either returns to
+/// `source` or reaches `target`. For the walk law of `walker`, the escape
+/// probability Pr[hit target first] equals 1/(w(source)·r(source,target))
+/// with w = d in the unit-weight mode.
+template <typename WalkerT>
+WalkAbsorption EscapeTrial(const WalkerT& walker, NodeId source,
+                           NodeId target, std::uint64_t max_steps, Rng& rng) {
+  GEER_DCHECK(source != target);
+  NodeId cur = walker.Step(source, rng);
+  for (std::uint64_t step = 1; step <= max_steps; ++step) {
+    if (cur == target) return WalkAbsorption::kHitTarget;
+    if (cur == source) return WalkAbsorption::kReturned;
+    cur = walker.Step(cur, rng);
+  }
+  return WalkAbsorption::kStepLimit;
+}
+
+/// Walks from `source` until the first visit to `target` (or `max_steps`),
+/// reporting whether that first arrival used the edge (source, target) —
+/// the event whose probability equals w(source,target)·r(source,target)
+/// for (source, target) ∈ E (= r(source,target) in the unit-weight mode).
+template <typename WalkerT>
+WalkFirstVisit FirstVisitTrial(const WalkerT& walker, NodeId source,
+                               NodeId target, std::uint64_t max_steps,
+                               Rng& rng) {
+  GEER_DCHECK(source != target);
+  WalkFirstVisit result;
+  NodeId prev = source;
+  NodeId cur = walker.Step(source, rng);
+  while (result.steps < max_steps) {
+    ++result.steps;
+    if (cur == target) {
+      result.hit = true;
+      result.used_direct_edge = (prev == source);
+      return result;
+    }
+    prev = cur;
+    cur = walker.Step(cur, rng);
+  }
+  return result;
+}
+
+/// Samples simple (uniform-neighbor) random walks over a fixed graph.
 class Walker {
  public:
+  // Compat aliases: the trial types predate the weight-generic refactor
+  // as nested members.
+  using Absorption = WalkAbsorption;
+  using FirstVisit = WalkFirstVisit;
+
   explicit Walker(const Graph& graph) : graph_(&graph) {}
   // Stores a pointer to `graph`; a temporary would dangle.
   explicit Walker(Graph&&) = delete;
@@ -39,33 +106,19 @@ class Walker {
   void WalkPath(NodeId source, std::uint32_t length, Rng& rng,
                 std::vector<NodeId>* out) const;
 
-  /// Outcome of an absorbing walk used by the MC baseline.
-  enum class Absorption {
-    kHitTarget,      ///< reached `target` before returning to `source`
-    kReturned,       ///< returned to `source` before reaching `target`
-    kStepLimit,      ///< exceeded `max_steps` (treated as a failed trial)
-  };
-
-  /// Walks from `source` (first step mandatory) until it either returns to
-  /// `source` or reaches `target`. The escape probability
-  /// Pr[hit target first] equals 1/(d(source)·r(source,target)).
+  /// See the free-function EscapeTrial.
   Absorption EscapeTrial(NodeId source, NodeId target,
-                         std::uint64_t max_steps, Rng& rng) const;
+                         std::uint64_t max_steps, Rng& rng) const {
+    return geer::EscapeTrial(*this, source, target, max_steps, rng);
+  }
 
-  /// Result of a first-visit trial used by the MC2 baseline.
-  struct FirstVisit {
-    bool used_direct_edge = false;  ///< first arrival at target came via
-                                    ///< the direct source→target edge
-    bool hit = false;               ///< target reached within max_steps
-    std::uint64_t steps = 0;        ///< steps taken
-  };
-
-  /// Walks from `source` until the first visit to `target` (or
-  /// `max_steps`), reporting whether that first arrival used the edge
-  /// (source, target) — the event whose probability equals r(source,target)
-  /// for (source,target) ∈ E.
+  /// See the free-function FirstVisitTrial.
   FirstVisit FirstVisitTrial(NodeId source, NodeId target,
-                             std::uint64_t max_steps, Rng& rng) const;
+                             std::uint64_t max_steps, Rng& rng) const {
+    return geer::FirstVisitTrial(*this, source, target, max_steps, rng);
+  }
+
+  const Graph& graph() const { return *graph_; }
 
  private:
   const Graph* graph_;

@@ -1,0 +1,38 @@
+// Maps a weight policy (graph/weight_policy.h) to the walk sampler that
+// realizes its transition matrix: uniform-neighbor stepping for
+// UnitWeight, alias-table stepping for EdgeWeight. Estimator templates
+// declare their sampler as `WalkerFor<WP>` and stay weight-generic; the
+// unit-weight instantiation keeps the branch-free uniform step with no
+// alias-table memory or weight loads.
+
+#ifndef GEER_RW_WALKER_POLICY_H_
+#define GEER_RW_WALKER_POLICY_H_
+
+#include "graph/weight_policy.h"
+#include "rw/alias.h"
+#include "rw/walker.h"
+
+namespace geer {
+
+template <WeightPolicy WP>
+struct WalkerSelector;
+
+template <>
+struct WalkerSelector<UnitWeight> {
+  using type = Walker;
+};
+
+template <>
+struct WalkerSelector<EdgeWeight> {
+  using type = WeightedWalker;
+};
+
+/// The walk sampler for weight policy WP. Both samplers share the same
+/// surface: Step, WalkEndpoint, WalkPath, EscapeTrial, FirstVisitTrial,
+/// graph().
+template <WeightPolicy WP>
+using WalkerFor = typename WalkerSelector<WP>::type;
+
+}  // namespace geer
+
+#endif  // GEER_RW_WALKER_POLICY_H_

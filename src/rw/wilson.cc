@@ -1,41 +1,13 @@
 #include "rw/wilson.h"
 
-#include "util/check.h"
+#include "rw/walker.h"
 
 namespace geer {
 
 SpanningTree SampleUniformSpanningTree(const Graph& graph, NodeId root,
                                        Rng& rng) {
-  const NodeId n = graph.NumNodes();
-  GEER_CHECK(root < n);
-  SpanningTree tree;
-  tree.root = root;
-  tree.parent.assign(n, root);
-  std::vector<char> in_tree(n, 0);
-  in_tree[root] = 1;
-  tree.parent[root] = root;
-
-  // Classic Wilson: from each not-yet-covered node, random-walk until the
-  // current tree is hit, then retrace the loop-erased path via the
-  // remembered successor ("next") pointers.
-  std::vector<NodeId> next(n, 0);
-  for (NodeId start = 0; start < n; ++start) {
-    if (in_tree[start]) continue;
-    NodeId u = start;
-    while (!in_tree[u]) {
-      const std::uint64_t d = graph.Degree(u);
-      GEER_CHECK(d > 0) << "Wilson requires a connected graph";
-      next[u] = graph.NeighborAt(u, rng.NextBounded(d));
-      u = next[u];
-    }
-    u = start;
-    while (!in_tree[u]) {
-      in_tree[u] = 1;
-      tree.parent[u] = next[u];
-      u = next[u];
-    }
-  }
-  return tree;
+  const Walker walker(graph);
+  return SampleSpanningTree(walker, root, rng);
 }
 
 }  // namespace geer

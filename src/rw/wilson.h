@@ -1,6 +1,9 @@
-// Wilson's algorithm: exact uniform spanning tree (UST) sampling via
-// loop-erased random walks. Substrate for the HAY baseline (Hayashi et
-// al.), which uses Pr[e ∈ UST] = r(e) for edges e.
+// Wilson's algorithm: exact random spanning tree sampling via loop-erased
+// random walks. With uniform stepping the sampled tree is a uniform
+// spanning tree (UST); with conductance-weighted stepping it is drawn
+// with probability proportional to Π_{e∈T} w(e) — the weighted tree
+// measure of the matrix-tree theorem, for which Pr[e ∈ T] = w(e)·r(e).
+// Substrate for the HAY baseline in both weight modes.
 
 #ifndef GEER_RW_WILSON_H_
 #define GEER_RW_WILSON_H_
@@ -9,6 +12,7 @@
 
 #include "graph/graph.h"
 #include "rw/rng.h"
+#include "util/check.h"
 
 namespace geer {
 
@@ -24,9 +28,52 @@ struct SpanningTree {
   }
 };
 
-/// Samples a uniformly random spanning tree of the (connected) graph
-/// rooted at `root` using Wilson's loop-erased random-walk algorithm.
-/// Expected time O(mean hitting time).
+/// Samples a random spanning tree of the (connected) graph behind
+/// `walker`, rooted at `root`, using Wilson's loop-erased random-walk
+/// algorithm under the walker's step law. Uniform stepping yields a UST;
+/// weighted stepping yields the w-weighted tree measure. Expected time
+/// O(mean hitting time). `walker` is any sampler with Step() and graph()
+/// (Walker or WeightedWalker).
+template <typename WalkerT>
+SpanningTree SampleSpanningTree(const WalkerT& walker, NodeId root,
+                                Rng& rng) {
+  const auto& graph = walker.graph();
+  const NodeId n = graph.NumNodes();
+  GEER_CHECK(root < n);
+  SpanningTree tree;
+  tree.root = root;
+  tree.parent.assign(n, root);
+  std::vector<char> in_tree(n, 0);
+  in_tree[root] = 1;
+  tree.parent[root] = root;
+
+  // Classic Wilson: from each not-yet-covered node, random-walk until the
+  // current tree is hit, then retrace the loop-erased path via the
+  // remembered successor ("next") pointers.
+  std::vector<NodeId> next(n, 0);
+  for (NodeId start = 0; start < n; ++start) {
+    if (in_tree[start]) continue;
+    // Checking the start suffices: every later node was entered over an
+    // edge, so it has positive degree. Keeping the check out of the walk
+    // loop spares a redundant degree load per step.
+    GEER_CHECK(graph.Degree(start) > 0)
+        << "Wilson requires a connected graph";
+    NodeId u = start;
+    while (!in_tree[u]) {
+      next[u] = walker.Step(u, rng);
+      u = next[u];
+    }
+    u = start;
+    while (!in_tree[u]) {
+      in_tree[u] = 1;
+      tree.parent[u] = next[u];
+      u = next[u];
+    }
+  }
+  return tree;
+}
+
+/// Compat wrapper: uniform spanning tree of an unweighted graph.
 SpanningTree SampleUniformSpanningTree(const Graph& graph, NodeId root,
                                        Rng& rng);
 

@@ -44,8 +44,17 @@ class CheckMessageBuilder {
 }  // namespace internal
 }  // namespace geer
 
+// Branch hint: the failure arm feeds a stringstream; without the hint the
+// compiler may keep that cold machinery interleaved with hot loops
+// (observed on the templated Wilson sampler).
+#if defined(__GNUC__) || defined(__clang__)
+#define GEER_CHECK_LIKELY_(x) __builtin_expect(static_cast<bool>(x), 1)
+#else
+#define GEER_CHECK_LIKELY_(x) static_cast<bool>(x)
+#endif
+
 #define GEER_CHECK(condition)                                       \
-  if (condition) {                                                  \
+  if (GEER_CHECK_LIKELY_(condition)) {                              \
   } else                                                            \
     ::geer::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
 

@@ -1,57 +1,33 @@
-// Weighted AMC (Alg. 1 with strengths): adaptive Monte Carlo estimation of
-//   q(s,t) = Σ_{i=1}^{ℓf} Σ_v (p_i(s,v) − p_i(t,v)) (s(v)/w(s) − t(v)/w(t))
-// where walks follow the weighted transition matrix (alias sampling) and
-// every 1/d(·) of the unweighted analysis becomes 1/w(·). The empirical
-// Bernstein machinery is unchanged: Lemma 3.3 bounds walk sums by visit
-// counts, which do not depend on edge weights. Mirrors core/amc.h.
+// Compatibility shim: weighted AMC is now the EdgeWeight instantiation of
+// the weight-generic AmcEstimatorT / RunAmcT (core/amc.h); see
+// graph/weight_policy.h. WeightedAmcEstimator is an alias defined there.
 
-#ifndef GEER_WEIGHTED_WEIGHTED_AMC_H_
-#define GEER_WEIGHTED_WEIGHTED_AMC_H_
+#ifndef GEER_WEIGHTED_WEIGHTED_AMC_SHIM_H_
+#define GEER_WEIGHTED_WEIGHTED_AMC_SHIM_H_
 
 #include "core/amc.h"
-#include "core/options.h"
-#include "linalg/dense.h"
-#include "rw/rng.h"
-#include "weighted/alias.h"
 #include "weighted/weighted_estimator.h"
 
 namespace geer {
 
-/// The range bound ψ of Eq. (9) with strengths in place of degrees.
-double WeightedAmcPsi(std::uint32_t ell_f, double max1_s, double max2_s,
-                      double strength_s, double max1_t, double max2_t,
-                      double strength_t);
+/// Historical spelling of the weight-generic AmcPsi (Eq. 9 with
+/// strengths in place of degrees).
+inline double WeightedAmcPsi(std::uint32_t ell_f, double max1_s,
+                             double max2_s, double strength_s, double max1_t,
+                             double max2_t, double strength_t) {
+  return AmcPsi(ell_f, max1_s, max2_s, strength_s, max1_t, max2_t,
+                strength_t);
+}
 
-/// Runs weighted Algorithm 1. `walker` must be built on `graph`; passing
-/// it in lets GEER amortize the O(m) alias construction across queries.
-AmcRunResult RunWeightedAmc(const WeightedGraph& graph,
-                            const WeightedWalker& walker, NodeId s, NodeId t,
-                            const Vector& svec, const Vector& tvec,
-                            const AmcParams& params, Rng& rng);
-
-/// Standalone weighted AMC: refined weighted ℓ + Alg. 1 with one-hot
-/// inputs, returning r_f + 1_{s≠t}(1/w(s)+1/w(t)).
-class WeightedAmcEstimator : public WeightedErEstimator {
- public:
-  explicit WeightedAmcEstimator(const WeightedGraph& graph,
-                                ErOptions options = {});
-  // Stores a pointer to `graph`; a temporary would dangle.
-  explicit WeightedAmcEstimator(WeightedGraph&&, ErOptions = {}) = delete;
-
-  std::string Name() const override { return "W-AMC"; }
-  QueryStats EstimateWithStats(NodeId s, NodeId t) override;
-
-  double lambda() const { return lambda_; }
-
- private:
-  const WeightedGraph* graph_;
-  ErOptions options_;
-  double lambda_;
-  WeightedWalker walker_;
-  Vector svec_;  // reusable one-hot buffers
-  Vector tvec_;
-};
+/// Historical spelling of RunAmcT<EdgeWeight>.
+inline AmcRunResult RunWeightedAmc(const WeightedGraph& graph,
+                                   const WeightedWalker& walker, NodeId s,
+                                   NodeId t, const Vector& svec,
+                                   const Vector& tvec,
+                                   const AmcParams& params, Rng& rng) {
+  return RunAmcT<EdgeWeight>(graph, walker, s, t, svec, tvec, params, rng);
+}
 
 }  // namespace geer
 
-#endif  // GEER_WEIGHTED_WEIGHTED_AMC_H_
+#endif  // GEER_WEIGHTED_WEIGHTED_AMC_SHIM_H_

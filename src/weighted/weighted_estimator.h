@@ -1,59 +1,25 @@
-// Query interface for weighted ε-approximate PER estimators. Reuses the
-// unweighted QueryStats instrumentation so the bench harness can print
-// weighted and unweighted runs side by side.
+// Compatibility shim: weighted estimators now implement the SAME
+// ErEstimator interface as the unweighted stack (the interface never
+// depended on the graph type), and the weighted CG oracle is the
+// EdgeWeight instantiation of the weight-generic SolverEstimatorT.
+// Construct weighted estimators by name through CreateWeightedEstimator
+// (core/registry.h).
 
-#ifndef GEER_WEIGHTED_WEIGHTED_ESTIMATOR_H_
-#define GEER_WEIGHTED_WEIGHTED_ESTIMATOR_H_
-
-#include <string>
+#ifndef GEER_WEIGHTED_WEIGHTED_ESTIMATOR_SHIM_H_
+#define GEER_WEIGHTED_WEIGHTED_ESTIMATOR_SHIM_H_
 
 #include "core/estimator.h"
-#include "weighted/weighted_graph.h"
-#include "weighted/weighted_laplacian.h"
+#include "core/solver_er.h"
 
 namespace geer {
 
-/// Interface for ε-approximate effective-resistance estimators on
-/// weighted (conductance) graphs. Same contract as ErEstimator.
-class WeightedErEstimator {
- public:
-  virtual ~WeightedErEstimator() = default;
+/// Historical name for the shared estimator interface.
+using WeightedErEstimator = ErEstimator;
 
-  /// Short algorithm name ("W-GEER", "W-AMC", "W-SMM", "W-CG").
-  virtual std::string Name() const = 0;
-
-  /// Answers the ε-approximate PER query for pair (s, t).
-  virtual QueryStats EstimateWithStats(NodeId s, NodeId t) = 0;
-
-  /// Convenience: just the estimate.
-  double Estimate(NodeId s, NodeId t) { return EstimateWithStats(s, t).value; }
-};
-
-/// High-accuracy oracle: one CG solve per query on the weighted Laplacian.
-/// Deterministic; the ground truth for weighted tests and benches.
-class WeightedSolverEstimator : public WeightedErEstimator {
- public:
-  explicit WeightedSolverEstimator(
-      const WeightedGraph& graph,
-      WeightedLaplacianSolver::Options options = {.max_iterations = 20000,
-                                                  .tolerance = 1e-12})
-      : solver_(graph, options) {}
-  // The solver stores a pointer to `graph`; a temporary would dangle.
-  explicit WeightedSolverEstimator(
-      WeightedGraph&&, WeightedLaplacianSolver::Options = {}) = delete;
-
-  std::string Name() const override { return "W-CG"; }
-
-  QueryStats EstimateWithStats(NodeId s, NodeId t) override {
-    QueryStats stats;
-    stats.value = solver_.EffectiveResistance(s, t);
-    return stats;
-  }
-
- private:
-  WeightedLaplacianSolver solver_;
-};
+// WeightedSolverEstimator — the W-CG ground-truth oracle (one 1e-12 CG
+// solve per query on the weighted Laplacian) — is re-exported from
+// core/solver_er.h.
 
 }  // namespace geer
 
-#endif  // GEER_WEIGHTED_WEIGHTED_ESTIMATOR_H_
+#endif  // GEER_WEIGHTED_WEIGHTED_ESTIMATOR_SHIM_H_

@@ -1,39 +1,11 @@
-// Weighted GEER (Alg. 3 with strengths): the greedy SMM/AMC hybrid on
-// conductance graphs. Identical control flow to core/geer.h — SpMV
-// iterations until the Eq. (17) cost crossover, then weighted AMC seeded
-// with the live iterates.
+// Compatibility shim: weighted GEER is now the EdgeWeight instantiation
+// of the weight-generic GeerEstimatorT (core/geer.h); see
+// graph/weight_policy.h. WeightedGeerEstimator is an alias defined there.
 
-#ifndef GEER_WEIGHTED_WEIGHTED_GEER_H_
-#define GEER_WEIGHTED_WEIGHTED_GEER_H_
+#ifndef GEER_WEIGHTED_WEIGHTED_GEER_SHIM_H_
+#define GEER_WEIGHTED_WEIGHTED_GEER_SHIM_H_
 
-#include "core/options.h"
-#include "weighted/alias.h"
+#include "core/geer.h"
 #include "weighted/weighted_estimator.h"
-#include "weighted/weighted_transition.h"
 
-namespace geer {
-
-/// Weighted ε-approximate PER queries via greedy SMM + AMC integration.
-class WeightedGeerEstimator : public WeightedErEstimator {
- public:
-  explicit WeightedGeerEstimator(const WeightedGraph& graph,
-                                 ErOptions options = {});
-  // Stores a pointer to `graph`; a temporary would dangle.
-  explicit WeightedGeerEstimator(WeightedGraph&&, ErOptions = {}) = delete;
-
-  std::string Name() const override { return "W-GEER"; }
-  QueryStats EstimateWithStats(NodeId s, NodeId t) override;
-
-  double lambda() const { return lambda_; }
-
- private:
-  const WeightedGraph* graph_;
-  ErOptions options_;
-  double lambda_;
-  WeightedTransitionOperator op_;
-  WeightedWalker walker_;
-};
-
-}  // namespace geer
-
-#endif  // GEER_WEIGHTED_WEIGHTED_GEER_H_
+#endif  // GEER_WEIGHTED_WEIGHTED_GEER_SHIM_H_

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "graph/graph.h"
-#include "weighted/weighted_graph.h"
+#include "graph/weighted_graph.h"
 
 namespace geer::gen {
 

@@ -8,7 +8,7 @@
 #include <optional>
 #include <string>
 
-#include "weighted/weighted_graph.h"
+#include "graph/weighted_graph.h"
 
 namespace geer {
 

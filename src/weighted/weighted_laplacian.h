@@ -1,47 +1,11 @@
-// Jacobi-preconditioned conjugate gradient for weighted graph Laplacian
-// systems L_w x = b with L_w = D_w − A_w. This is the ground-truth oracle
-// for the weighted estimators: r(s,t) = (e_s − e_t)ᵀ L_w† (e_s − e_t) is
-// exactly the equivalent resistance of the circuit whose edge conductances
-// are the weights.
+// Compatibility shim: the weighted Laplacian CG solver is now the
+// EdgeWeight instantiation of the weight-generic LaplacianSolverT in
+// linalg/laplacian_solver.h (see graph/weight_policy.h); the historical
+// name WeightedLaplacianSolver is an alias defined there.
 
-#ifndef GEER_WEIGHTED_WEIGHTED_LAPLACIAN_H_
-#define GEER_WEIGHTED_WEIGHTED_LAPLACIAN_H_
+#ifndef GEER_WEIGHTED_WEIGHTED_LAPLACIAN_SHIM_H_
+#define GEER_WEIGHTED_WEIGHTED_LAPLACIAN_SHIM_H_
 
 #include "linalg/laplacian_solver.h"
-#include "weighted/weighted_graph.h"
 
-namespace geer {
-
-/// Solves connected weighted-Laplacian systems; see LaplacianSolver for
-/// the kernel-projection contract (b and iterates live in 𝟙^⊥).
-class WeightedLaplacianSolver {
- public:
-  using Options = LaplacianSolver::Options;
-
-  explicit WeightedLaplacianSolver(const WeightedGraph& graph)
-      : WeightedLaplacianSolver(graph, Options()) {}
-  WeightedLaplacianSolver(const WeightedGraph& graph, Options options);
-  // Stores a pointer to `graph`; a temporary would dangle.
-  explicit WeightedLaplacianSolver(WeightedGraph&&) = delete;
-  WeightedLaplacianSolver(WeightedGraph&&, Options) = delete;
-
-  /// Solves L_w x = b (b projected onto 𝟙^⊥ internally).
-  Vector Solve(const Vector& b, CgStats* stats = nullptr) const;
-
-  /// Equivalent resistance between s and t of the conductance network:
-  /// r(s,t) = (e_s − e_t)ᵀ L_w† (e_s − e_t).
-  double EffectiveResistance(NodeId s, NodeId t,
-                             CgStats* stats = nullptr) const;
-
-  /// y ← L_w·x, dense.
-  void ApplyLaplacian(const Vector& x, Vector* y) const;
-
- private:
-  const WeightedGraph* graph_;
-  Options options_;
-  Vector inv_strength_;  // Jacobi preconditioner diag(D_w)^{-1}
-};
-
-}  // namespace geer
-
-#endif  // GEER_WEIGHTED_WEIGHTED_LAPLACIAN_H_
+#endif  // GEER_WEIGHTED_WEIGHTED_LAPLACIAN_SHIM_H_

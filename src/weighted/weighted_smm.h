@@ -1,85 +1,12 @@
-// Weighted SMM (Alg. 2 with strengths): deterministic computation of the
-// truncated weighted effective resistance
-//   r_ℓ(s,t) = Σ_{i=0}^{ℓ} [p_i(s,s)/w(s) + p_i(t,t)/w(t)
-//                           − p_i(s,t)/w(t) − p_i(t,s)/w(s)]
-// by iterated SpMV with the weighted transition matrix P = D_w^{-1} A_w.
-// Mirrors core/smm.h.
+// Compatibility shim: weighted SMM is now the EdgeWeight instantiation of
+// the weight-generic SmmIteratorT / SmmEstimatorT (core/smm.h); see
+// graph/weight_policy.h. WeightedSmmIterator / WeightedSmmEstimator are
+// aliases defined there.
 
-#ifndef GEER_WEIGHTED_WEIGHTED_SMM_H_
-#define GEER_WEIGHTED_WEIGHTED_SMM_H_
+#ifndef GEER_WEIGHTED_WEIGHTED_SMM_SHIM_H_
+#define GEER_WEIGHTED_WEIGHTED_SMM_SHIM_H_
 
-#include "core/options.h"
+#include "core/smm.h"
 #include "weighted/weighted_estimator.h"
-#include "weighted/weighted_transition.h"
 
-namespace geer {
-
-/// Step-at-a-time driver for weighted Alg. 2 on a fixed query pair.
-class WeightedSmmIterator {
- public:
-  WeightedSmmIterator(const WeightedGraph& graph,
-                      WeightedTransitionOperator* op, NodeId s, NodeId t);
-  // Stores a pointer to `graph`; a temporary would dangle.
-  WeightedSmmIterator(WeightedGraph&&, WeightedTransitionOperator*, NodeId,
-                      NodeId) = delete;
-
-  /// Truncated ER accumulated so far: r_{ℓb}(s, t).
-  double rb() const { return rb_; }
-
-  /// Iterations performed so far (ℓ_b).
-  std::uint32_t iterations() const { return iterations_; }
-
-  /// Arc traversals charged by all iterations so far.
-  std::uint64_t spmv_ops() const { return spmv_ops_; }
-
-  /// Cost of the NEXT iteration (Eq. 17 LHS).
-  std::uint64_t NextIterationCost() const {
-    return s_vec_.support_degree_sum + t_vec_.support_degree_sum;
-  }
-
-  /// Performs one iteration: s* ← P s*, t* ← P t*, accumulates into rb.
-  void Advance();
-
-  /// Live iterates (s*(v) = p_{ℓb}(v, s), t*(v) = p_{ℓb}(v, t)).
-  const Vector& svec() const { return s_vec_.values; }
-  const Vector& tvec() const { return t_vec_.values; }
-
- private:
-  const WeightedGraph* graph_;
-  WeightedTransitionOperator* op_;
-  NodeId s_;
-  NodeId t_;
-  double inv_ws_;
-  double inv_wt_;
-  WeightedTransitionOperator::SparseVector s_vec_;
-  WeightedTransitionOperator::SparseVector t_vec_;
-  double rb_ = 0.0;
-  std::uint32_t iterations_ = 0;
-  std::uint64_t spmv_ops_ = 0;
-};
-
-/// Standalone weighted SMM estimator (deterministic competitor and
-/// ground-truth builder, as in the unweighted module).
-class WeightedSmmEstimator : public WeightedErEstimator {
- public:
-  explicit WeightedSmmEstimator(const WeightedGraph& graph,
-                                ErOptions options = {});
-  // Stores a pointer to `graph`; a temporary would dangle.
-  explicit WeightedSmmEstimator(WeightedGraph&&, ErOptions = {}) = delete;
-
-  std::string Name() const override { return "W-SMM"; }
-  QueryStats EstimateWithStats(NodeId s, NodeId t) override;
-
-  /// λ in use (from options or computed at construction).
-  double lambda() const { return lambda_; }
-
- private:
-  const WeightedGraph* graph_;
-  ErOptions options_;
-  double lambda_;
-  WeightedTransitionOperator op_;
-};
-
-}  // namespace geer
-
-#endif  // GEER_WEIGHTED_WEIGHTED_SMM_H_
+#endif  // GEER_WEIGHTED_WEIGHTED_SMM_SHIM_H_

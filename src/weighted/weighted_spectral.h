@@ -1,26 +1,11 @@
-// Weighted spectral preprocessing: λ = max(|λ₂|, |λ_n|) of the weighted
-// transition matrix P = D_w^{-1} A_w, via Lanczos on the similar symmetric
-// operator N = D_w^{-1/2} A_w D_w^{-1/2} with the known top eigenvector
-// (∝ √w(v)) deflated. Mirrors linalg/spectral.h.
+// Compatibility shim: weighted spectral preprocessing is now the
+// EdgeWeight instantiation of ComputeSpectralBoundsT in linalg/spectral.h
+// (see graph/weight_policy.h); ComputeWeightedSpectralBounds[Dense] are
+// inline wrappers defined there.
 
-#ifndef GEER_WEIGHTED_WEIGHTED_SPECTRAL_H_
-#define GEER_WEIGHTED_WEIGHTED_SPECTRAL_H_
+#ifndef GEER_WEIGHTED_WEIGHTED_SPECTRAL_SHIM_H_
+#define GEER_WEIGHTED_WEIGHTED_SPECTRAL_SHIM_H_
 
 #include "linalg/spectral.h"
-#include "weighted/weighted_graph.h"
 
-namespace geer {
-
-/// Computes λ₂, λ_n and λ of the weighted transition matrix for a
-/// connected weighted graph, reusing SpectralBounds/SpectralOptions from
-/// the unweighted module. With unit weights the result matches
-/// ComputeSpectralBounds on the skeleton exactly.
-SpectralBounds ComputeWeightedSpectralBounds(
-    const WeightedGraph& graph, const SpectralOptions& options = {});
-
-/// Exact (dense Jacobi) weighted spectral bounds for small graphs; oracle.
-SpectralBounds ComputeWeightedSpectralBoundsDense(const WeightedGraph& graph);
-
-}  // namespace geer
-
-#endif  // GEER_WEIGHTED_WEIGHTED_SPECTRAL_H_
+#endif  // GEER_WEIGHTED_WEIGHTED_SPECTRAL_SHIM_H_

@@ -1,84 +1,12 @@
-// The weighted random-walk operator P = D_w^{-1} A_w applied to vectors,
-// mirroring linalg/transition.h with conductance-weighted arcs. The cost
-// model is unchanged — arc traversals — because the greedy rule (Eq. 17)
-// charges memory touches, which weights do not add to.
+// Compatibility shim: the weighted transition operator is now the
+// EdgeWeight instantiation of the weight-generic TransitionOperatorT in
+// linalg/transition.h (see graph/weight_policy.h). The historical names
+// WeightedTransitionOperator / NormalizedWeightedAdjacencyOperator are
+// aliases defined there.
 
-#ifndef GEER_WEIGHTED_WEIGHTED_TRANSITION_H_
-#define GEER_WEIGHTED_WEIGHTED_TRANSITION_H_
+#ifndef GEER_WEIGHTED_WEIGHTED_TRANSITION_SHIM_H_
+#define GEER_WEIGHTED_WEIGHTED_TRANSITION_SHIM_H_
 
-#include <cstdint>
-#include <vector>
+#include "linalg/transition.h"
 
-#include "linalg/dense.h"
-#include "weighted/weighted_graph.h"
-
-namespace geer {
-
-/// Applies P = D_w^{-1} A_w, where (Px)(u) = Σ_{v∈N(u)} w(u,v)/w(u)·x(v).
-/// Owns scratch buffers so repeated applications do not allocate.
-class WeightedTransitionOperator {
- public:
-  explicit WeightedTransitionOperator(const WeightedGraph& graph);
-  // Stores a pointer to `graph`; a temporary would dangle.
-  explicit WeightedTransitionOperator(WeightedGraph&&) = delete;
-
-  /// A vector together with its (possibly over-approximated) support.
-  struct SparseVector {
-    Vector values;                ///< dense storage, length n
-    std::vector<NodeId> support;  ///< indices with (possibly) non-zero value
-    bool dense = false;           ///< true once support tracking stopped
-
-    /// Σ_{v∈supp} d(v): the per-iteration SMM cost (Eq. 17 LHS).
-    std::uint64_t support_degree_sum = 0;
-
-    /// Initializes to the one-hot vector e_v.
-    void InitOneHot(NodeId v, const WeightedGraph& graph);
-  };
-
-  /// x ← P·x, choosing scatter vs gather from x's density. Returns the
-  /// number of arc traversals performed.
-  std::uint64_t ApplyAuto(SparseVector* x);
-
-  /// Dense gather: y(u) = (1/w(u)) Σ_{v∈N(u)} w(u,v)·x(v).
-  void ApplyDense(const Vector& x, Vector* y) const;
-
-  /// Support fraction above which ApplyAuto switches to dense permanently.
-  static constexpr double kDenseThreshold = 0.25;
-
-  const WeightedGraph& graph() const { return *graph_; }
-
- private:
-  void ApplySparse(SparseVector* x);
-
-  const WeightedGraph* graph_;
-  Vector scratch_;
-  std::vector<NodeId> touched_;
-  std::vector<char> touched_flag_;
-};
-
-/// The symmetrically normalized weighted adjacency
-/// N = D_w^{-1/2} A_w D_w^{-1/2} (similar to P, hence same spectrum) —
-/// the operator the weighted λ preprocessing runs Lanczos on.
-class NormalizedWeightedAdjacencyOperator {
- public:
-  explicit NormalizedWeightedAdjacencyOperator(const WeightedGraph& graph);
-  // Stores a pointer to `graph`; a temporary would dangle.
-  explicit NormalizedWeightedAdjacencyOperator(WeightedGraph&&) = delete;
-
-  /// y ← N·x (dense).
-  void Apply(const Vector& x, Vector* y) const;
-
-  std::size_t Dim() const { return inv_sqrt_strength_.size(); }
-
-  /// The known top eigenvector of N: entries ∝ √w(v), unit-normalized.
-  const Vector& TopEigenvector() const { return top_eigenvector_; }
-
- private:
-  const WeightedGraph* graph_;
-  Vector inv_sqrt_strength_;
-  Vector top_eigenvector_;
-};
-
-}  // namespace geer
-
-#endif  // GEER_WEIGHTED_WEIGHTED_TRANSITION_H_
+#endif  // GEER_WEIGHTED_WEIGHTED_TRANSITION_SHIM_H_

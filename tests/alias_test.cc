@@ -1,4 +1,4 @@
-#include "weighted/alias.h"
+#include "rw/alias.h"
 
 #include <gtest/gtest.h>
 

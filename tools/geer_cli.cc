@@ -23,8 +23,8 @@
 //   --csv               machine-readable output
 //   --list              print registered estimators and datasets, exit
 //   --weighted          treat --graph as a "u v w" conductance list and
-//                       use the weighted estimators (--method=W-GEER |
-//                       W-AMC | W-SMM | W-CG)
+//                       run the weighted instantiation of --method (every
+//                       registered algorithm; "W-GEER" ≡ "GEER")
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,13 +37,9 @@
 #include "eval/datasets.h"
 #include "eval/queries.h"
 #include "graph/algorithms.h"
+#include "linalg/spectral.h"
 #include "util/timer.h"
-#include "weighted/weighted_amc.h"
-#include "weighted/weighted_estimator.h"
-#include "weighted/weighted_geer.h"
 #include "weighted/weighted_io.h"
-#include "weighted/weighted_smm.h"
-#include "weighted/weighted_spectral.h"
 
 namespace geer {
 namespace {
@@ -64,24 +60,9 @@ struct CliArgs {
   bool weighted = false;
 };
 
-std::unique_ptr<WeightedErEstimator> CreateWeightedEstimator(
-    const std::string& name, const WeightedGraph& graph,
-    const ErOptions& options) {
-  if (name == "W-GEER") {
-    return std::make_unique<WeightedGeerEstimator>(graph, options);
-  }
-  if (name == "W-AMC") {
-    return std::make_unique<WeightedAmcEstimator>(graph, options);
-  }
-  if (name == "W-SMM") {
-    return std::make_unique<WeightedSmmEstimator>(graph, options);
-  }
-  if (name == "W-CG") return std::make_unique<WeightedSolverEstimator>(graph);
-  return nullptr;
-}
-
-// The --weighted path: conductance edge list in, weighted estimators out.
-int RunWeighted(const CliArgs& args, const std::vector<QueryPair>& queries) {
+// The --weighted path: conductance edge list in, the weighted
+// instantiation of any registered estimator out (core/registry.h).
+int RunWeighted(const CliArgs& args, std::vector<QueryPair> queries) {
   Timer load_timer;
   auto graph = LoadWeightedEdgeList(args.graph_path);
   if (!graph) {
@@ -89,25 +70,50 @@ int RunWeighted(const CliArgs& args, const std::vector<QueryPair>& queries) {
                  args.graph_path.c_str());
     return 1;
   }
-  if (!IsConnected(graph->Skeleton())) {
+  const Graph skeleton = graph->Skeleton();
+  if (!IsConnected(skeleton)) {
     std::fprintf(stderr,
                  "error: weighted input must be connected (use the largest "
                  "component)\n");
     return 1;
   }
-  ErOptions options = args.options;
-  const std::string method = args.method == "GEER" ? "W-GEER" : args.method;
-  if (method != "W-CG") {
-    options.lambda = ComputeWeightedSpectralBounds(*graph).lambda;
+  if (args.random_pairs > 0) {
+    auto extra = RandomPairs(skeleton, args.random_pairs, args.options.seed);
+    queries.insert(queries.end(), extra.begin(), extra.end());
   }
-  auto estimator = CreateWeightedEstimator(method, *graph, options);
-  if (estimator == nullptr) {
+  if (args.random_edges > 0) {
+    auto extra = RandomEdges(skeleton, args.random_edges, args.options.seed);
+    queries.insert(queries.end(), extra.begin(), extra.end());
+  }
+  if (queries.empty()) {
     std::fprintf(stderr,
-                 "error: unknown weighted method '%s' (W-GEER, W-AMC, "
-                 "W-SMM, W-CG)\n",
-                 method.c_str());
+                 "error: no queries (--pair / --random / --edges / "
+                 "--stdin)\n");
     return 2;
   }
+  const std::string canonical = CanonicalEstimatorName(args.method);
+  bool known = false;
+  for (const auto& name : WeightedEstimatorNames()) {
+    if (name == canonical) known = true;
+  }
+  if (!known) {
+    std::fprintf(stderr, "error: unknown weighted method '%s' (try --list)\n",
+                 args.method.c_str());
+    return 2;
+  }
+  ErOptions options = args.options;
+  // Lanczos preprocessing is only worth paying once, and only for the
+  // methods that actually read λ (the walk-length formulas of Eq. 5/6).
+  if (EstimatorReadsLambda(canonical)) {
+    options.lambda = ComputeWeightedSpectralBounds(*graph).lambda;
+  }
+  if (!WeightedEstimatorFeasible(canonical, *graph, options)) {
+    std::fprintf(stderr,
+                 "error: %s is infeasible on this graph (memory budget)\n",
+                 args.method.c_str());
+    return 1;
+  }
+  auto estimator = CreateWeightedEstimator(canonical, *graph, options);
   if (!args.csv) {
     std::printf("# weighted graph: n=%u m=%llu W=%.3f (loaded in %.0f ms); "
                 "method=%s epsilon=%g\n",
@@ -121,6 +127,13 @@ int RunWeighted(const CliArgs& args, const std::vector<QueryPair>& queries) {
       std::fprintf(stderr, "error: query (%u,%u) out of range (n=%u)\n", q.s,
                    q.t, graph->NumNodes());
       return 1;
+    }
+    if (!estimator->SupportsQuery(q.s, q.t)) {
+      if (!args.csv) {
+        std::printf("r(%u, %u): unsupported by %s (edge-only method)\n", q.s,
+                    q.t, estimator->Name().c_str());
+      }
+      continue;
     }
     Timer timer;
     const QueryStats stats = estimator->EstimateWithStats(q.s, q.t);
@@ -161,7 +174,10 @@ int Run(const CliArgs& args) {
   if (args.list) {
     std::printf("estimators:");
     for (const auto& name : EstimatorNames()) std::printf(" %s", name.c_str());
-    std::printf("\nweighted estimators (--weighted): W-GEER W-AMC W-SMM W-CG");
+    std::printf("\nweighted estimators (--weighted):");
+    for (const auto& name : WeightedEstimatorNames()) {
+      std::printf(" %s", name.c_str());
+    }
     std::printf("\ndatasets:");
     for (const auto& name : DatasetNames()) std::printf(" %s", name.c_str());
     std::printf("\n");
@@ -173,11 +189,6 @@ int Run(const CliArgs& args) {
       std::fprintf(stderr, "error: --weighted requires --graph\n");
       return 2;
     }
-    if (args.random_pairs > 0 || args.random_edges > 0) {
-      std::fprintf(stderr,
-                   "error: --weighted supports --pair and --stdin queries\n");
-      return 2;
-    }
     std::vector<QueryPair> queries = args.explicit_pairs;
     if (args.read_stdin) {
       unsigned long long s = 0, t = 0;
@@ -185,11 +196,7 @@ int Run(const CliArgs& args) {
         queries.push_back({static_cast<NodeId>(s), static_cast<NodeId>(t)});
       }
     }
-    if (queries.empty()) {
-      std::fprintf(stderr, "error: no queries (--pair / --stdin)\n");
-      return 2;
-    }
-    return RunWeighted(args, queries);
+    return RunWeighted(args, std::move(queries));
   }
 
   // --- Load the graph ----------------------------------------------------
@@ -251,6 +258,15 @@ int Run(const CliArgs& args) {
   }
 
   // --- Build the estimator -----------------------------------------------
+  bool known = false;
+  for (const auto& name : EstimatorNames()) {
+    if (name == args.method) known = true;
+  }
+  if (!known) {
+    std::fprintf(stderr, "error: unknown method '%s' (try --list)\n",
+                 args.method.c_str());
+    return 2;
+  }
   ErOptions options = args.options;
   options.lambda = dataset->spectral.lambda;
   if (!EstimatorFeasible(args.method, dataset->graph, options)) {
@@ -261,11 +277,6 @@ int Run(const CliArgs& args) {
   }
   Timer build_timer;
   auto estimator = CreateEstimator(args.method, dataset->graph, options);
-  if (estimator == nullptr) {
-    std::fprintf(stderr, "error: unknown method '%s' (try --list)\n",
-                 args.method.c_str());
-    return 2;
-  }
   if (!args.csv) {
     std::printf("# method=%s epsilon=%g delta=%g (constructed in %.0f ms)\n",
                 estimator->Name().c_str(), options.epsilon, options.delta,

@@ -2,7 +2,9 @@
 # Tier-1 verify: configure, build, and run the full ctest suite.
 # This is the CI entry point; it exits non-zero as soon as any stage fails.
 #
-# Usage: tools/run_tier1.sh [build-dir]
+# Usage: tools/run_tier1.sh [--asan] [build-dir]
+#   --asan      build and test with AddressSanitizer + UBSan
+#               (default build dir then becomes "build-asan")
 #   build-dir   defaults to "build" (relative to the repo root)
 #
 # Environment:
@@ -11,13 +13,34 @@
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-BUILD_DIR="${1:-build}"
 JOBS="${JOBS:-$(nproc)}"
+
+ASAN=0
+BUILD_DIR=""
+for arg in "$@"; do
+  case "$arg" in
+    --asan) ASAN=1 ;;
+    -*) echo "unknown flag: $arg" >&2; exit 2 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+CMAKE_ARGS=()
+if [[ "$ASAN" == 1 ]]; then
+  BUILD_DIR="${BUILD_DIR:-build-asan}"
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  CMAKE_ARGS+=("-DCMAKE_CXX_FLAGS=${SAN_FLAGS}"
+               "-DCMAKE_EXE_LINKER_FLAGS=${SAN_FLAGS}")
+else
+  BUILD_DIR="${BUILD_DIR:-build}"
+fi
 
 cd "$REPO_ROOT"
 
 echo "== tier-1: configure (${BUILD_DIR}) =="
-cmake -B "$BUILD_DIR" -S .
+# ${arr[@]+...} guard: expanding an empty array trips `set -u` on
+# bash < 4.4 (e.g. macOS /bin/bash 3.2).
+cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
 
 echo "== tier-1: build (-j${JOBS}) =="
 cmake --build "$BUILD_DIR" -j "$JOBS"
