@@ -1,0 +1,173 @@
+// Shared-precomputation micro bench: quantifies what the batch engine
+// saves on a grouped-by-source query set, per algorithm that shares work
+// (TP/TPC reuse the source's walk populations, SMM/GEER the source-side
+// SpMV push vectors). For each method it answers the SAME query set
+// query-at-a-time and through RunQueryBatch, verifies the values are
+// bit-identical, and reports per-query walks / walk_steps / spmv_ops and
+// amortized milliseconds for both modes. The numbers land in
+// EXPERIMENTS.md.
+//
+// Each method gets the cell that makes its sharing observable: GEER/SMM
+// need a slow-mixing dataset and tight ε so ℓ_b > 0 (there is no SpMV
+// phase to share otherwise), while TP/TPC take Peng's generic ℓ as their
+// walk budget and need a fast-mixing dataset to finish at all — the
+// paper's own reason for benching them on separate regimes.
+//
+//   bench_batch_shared [--scale=f] [--seed=n] [--tp-scale=f] [--csv]
+//                      [--threads=n]
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_common.h"
+#include "core/batch_engine.h"
+#include "core/registry.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace geer {
+namespace {
+
+struct Tally {
+  double wall_ms = 0.0;
+  double walks = 0.0;
+  double walk_steps = 0.0;
+  double spmv_ops = 0.0;
+
+  void Add(const QueryStats& st) {
+    walks += static_cast<double>(st.walks);
+    walk_steps += static_cast<double>(st.walk_steps);
+    spmv_ops += static_cast<double>(st.spmv_ops);
+  }
+};
+
+// A few sources with a fan of targets each — the paper's workload shape
+// (every figure cell answers many queries) with the source skew of a
+// real query log.
+std::vector<QueryPair> GroupedQueries(NodeId n) {
+  const NodeId kSources = 8;
+  const NodeId kTargetsPerSource = 16;
+  std::vector<QueryPair> queries;
+  for (NodeId i = 0; i < kSources; ++i) {
+    const NodeId s = static_cast<NodeId>((i * n) / kSources);
+    for (NodeId j = 0; j < kTargetsPerSource; ++j) {
+      const NodeId t = static_cast<NodeId>((s + 1 + 37 * j) % n);
+      if (t != s) queries.push_back({s, t});
+    }
+  }
+  return queries;
+}
+
+int Main(int argc, char** argv) {
+  bench::BenchArgs args;
+  int threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* key) -> std::optional<std::string> {
+      const std::string prefix = std::string(key) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (auto v = value("--scale")) {
+      args.scale = std::atof(v->c_str());
+    } else if (auto v = value("--seed")) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(v->c_str()));
+    } else if (auto v = value("--tp-scale")) {
+      args.tp_scale = std::atof(v->c_str());
+      args.tpc_scale = args.tp_scale;
+    } else if (auto v = value("--threads")) {
+      threads = std::atoi(v->c_str());
+    } else if (arg == "--csv") {
+      args.csv = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  struct Cell {
+    const char* method;
+    const char* dataset;
+    double epsilon;
+  };
+  const Cell cells[] = {
+      {"GEER", "dblp", 0.05},
+      {"SMM", "dblp", 0.05},
+      {"TP", "facebook", 0.2},
+      {"TPC", "facebook", 0.2},
+  };
+
+  if (args.csv) {
+    std::printf(
+        "method,dataset,epsilon,mode,queries,walks_per_q,walk_steps_per_q,"
+        "spmv_per_q,ms_per_q\n");
+  } else {
+    std::printf("# grouped query set: 8 sources x 16 targets; "
+                "tp/tpc scale=%g, threads=%d\n",
+                args.tp_scale, threads);
+    std::printf("%-8s %-10s %6s %-8s %12s %14s %12s %10s\n", "method",
+                "dataset", "eps", "mode", "walks/q", "walk_steps/q",
+                "spmv/q", "ms/q");
+  }
+
+  for (const Cell& cell : cells) {
+    auto ds = MakeDataset(cell.dataset, args.scale > 0 ? args.scale : 0.1);
+    GEER_CHECK(ds.has_value());
+    const std::vector<QueryPair> queries = GroupedQueries(ds->graph.NumNodes());
+    const double nq = static_cast<double>(queries.size());
+    ErOptions opt = args.BaseOptions(cell.epsilon);
+    opt.lambda = ds->spectral.lambda;
+
+    // Query-at-a-time: the pre-batch-engine serial loop.
+    Tally serial;
+    std::vector<double> serial_values(queries.size());
+    {
+      auto estimator = CreateEstimator(cell.method, ds->graph, opt);
+      Timer timer;
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        const QueryStats st =
+            estimator->EstimateWithStats(queries[i].s, queries[i].t);
+        serial.Add(st);
+        serial_values[i] = st.value;
+      }
+      serial.wall_ms = timer.ElapsedMillis();
+    }
+    // Batched: grouped by source, shared precomputation.
+    Tally batched;
+    {
+      auto estimator = CreateEstimator(cell.method, ds->graph, opt);
+      std::vector<QueryStats> stats(queries.size());
+      BatchOptions bopt;
+      bopt.threads = threads;
+      Timer timer;
+      RunQueryBatch(*estimator, queries, stats, bopt);
+      batched.wall_ms = timer.ElapsedMillis();
+      for (std::size_t i = 0; i < stats.size(); ++i) {
+        batched.Add(stats[i]);
+        GEER_CHECK(stats[i].value == serial_values[i])
+            << cell.method << " batch answer diverged from serial at query "
+            << i;
+      }
+    }
+    for (const auto* mode : {"serial", "batched"}) {
+      const Tally& t = std::strcmp(mode, "serial") == 0 ? serial : batched;
+      if (args.csv) {
+        std::printf("%s,%s,%g,%s,%zu,%.1f,%.1f,%.1f,%.4f\n", cell.method,
+                    cell.dataset, cell.epsilon, mode, queries.size(),
+                    t.walks / nq, t.walk_steps / nq, t.spmv_ops / nq,
+                    t.wall_ms / nq);
+      } else {
+        std::printf("%-8s %-10s %6g %-8s %12.1f %14.1f %12.1f %10.4f\n",
+                    cell.method, cell.dataset, cell.epsilon, mode,
+                    t.walks / nq, t.walk_steps / nq, t.spmv_ops / nq,
+                    t.wall_ms / nq);
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace geer
+
+int main(int argc, char** argv) { return geer::Main(argc, argv); }

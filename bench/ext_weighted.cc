@@ -24,12 +24,12 @@
 #include "eval/datasets.h"
 #include "rw/rng.h"
 #include "util/timer.h"
-#include "weighted/weighted_amc.h"
-#include "weighted/weighted_estimator.h"
-#include "weighted/weighted_generators.h"
-#include "weighted/weighted_geer.h"
-#include "weighted/weighted_smm.h"
-#include "weighted/weighted_spectral.h"
+#include "core/amc.h"
+#include "core/solver_er.h"
+#include "graph/weighted_generators.h"
+#include "core/geer.h"
+#include "core/smm.h"
+#include "linalg/spectral.h"
 
 int main(int argc, char** argv) {
   using namespace geer;
@@ -87,8 +87,8 @@ int main(int argc, char** argv) {
     WeightedSmmEstimator smm(g, opt);
     WeightedAmcEstimator amc(g, opt);
     WeightedGeerEstimator geer(g, opt);
-    WeightedErEstimator* methods[] = {&geer, &amc, &smm};
-    for (WeightedErEstimator* m : methods) {
+    ErEstimator* methods[] = {&geer, &amc, &smm};
+    for (ErEstimator* m : methods) {
       Deadline deadline(deadline_seconds);
       Timer timer;
       double err_sum = 0.0;

@@ -8,7 +8,7 @@
 #include "graph/generators.h"
 #include "graph/weighted_graph.h"
 #include "linalg/spectral.h"
-#include "weighted/weighted_generators.h"
+#include "graph/weighted_generators.h"
 
 namespace geer {
 namespace {

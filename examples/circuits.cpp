@@ -16,11 +16,11 @@
 #include <utility>
 
 #include "util/timer.h"
-#include "weighted/weighted_estimator.h"
-#include "weighted/weighted_generators.h"
-#include "weighted/weighted_geer.h"
-#include "weighted/weighted_laplacian.h"
-#include "weighted/weighted_spectral.h"
+#include "core/solver_er.h"
+#include "graph/weighted_generators.h"
+#include "core/geer.h"
+#include "linalg/laplacian_solver.h"
+#include "linalg/spectral.h"
 
 int main(int argc, char** argv) {
   using namespace geer;

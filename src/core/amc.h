@@ -86,6 +86,12 @@ class AmcEstimatorT : public ErEstimator {
   }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
+  std::unique_ptr<ErEstimator> CloneForBatch() const override {
+    ErOptions opt = options_;
+    opt.lambda = lambda_;  // clones never re-run Lanczos
+    return std::make_unique<AmcEstimatorT<WP>>(*graph_, opt);
+  }
+
   double lambda() const { return lambda_; }
 
  private:

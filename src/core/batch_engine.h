@@ -1,0 +1,62 @@
+// The batch query engine: answers a query set through an estimator's
+// BatchPlan + EstimateBatch surface, optionally on a work-stealing thread
+// pool, with a cooperatively enforced deadline.
+//
+// Determinism contract: per-query values are bit-identical to the serial
+// loop `for q: estimator.Estimate(q.s, q.t)` at ANY worker count,
+// including 1, and under any permutation of the input — because every
+// estimator derives each query's random stream from (seed, s, t) and
+// shared-precomputation overrides are content-addressed by source. What
+// IS execution-dependent is the per-query cost instrumentation (shared
+// work is charged to the query that triggered it) and, under a deadline,
+// WHICH queries complete before the cut.
+
+#ifndef GEER_CORE_BATCH_ENGINE_H_
+#define GEER_CORE_BATCH_ENGINE_H_
+
+#include <span>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace geer {
+
+/// Execution knobs for one batch run.
+struct BatchOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = run on the caller.
+  int threads = 1;
+  /// Cooperative wall-clock budget; ≤ 0 = none. At least one query is
+  /// always answered; the cut granularity is one plan group.
+  double deadline_seconds = 0.0;
+  /// Apply the estimator's PlanBatch grouping. When false the engine
+  /// schedules one group per query in input order (no sharing).
+  bool use_plan = true;
+};
+
+/// Outcome of one batch run.
+struct BatchReport {
+  /// processed[i] == 1 iff query i was reached before any deadline cut
+  /// (its stats slot is valid; zeroed if the query was unsupported).
+  std::vector<std::uint8_t> processed;
+  /// Number of processed queries.
+  std::size_t answered = 0;
+  /// False iff the deadline cut the batch short.
+  bool completed = true;
+  /// Workers actually used: options.threads resolved against the plan's
+  /// group count (and collapsed to 1 when the estimator is not
+  /// clonable).
+  int workers = 1;
+};
+
+/// Runs `queries` through `estimator`, writing stats[i] for queries[i].
+/// With threads > 1, workers 1… run on CloneForBatch() clones (worker 0
+/// reuses `estimator`); if the estimator is not clonable the run falls
+/// back to single-threaded. `stats.size() >= queries.size()`.
+BatchReport RunQueryBatch(ErEstimator& estimator,
+                          std::span<const QueryPair> queries,
+                          std::span<QueryStats> stats,
+                          const BatchOptions& options = {});
+
+}  // namespace geer
+
+#endif  // GEER_CORE_BATCH_ENGINE_H_

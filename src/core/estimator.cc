@@ -1,0 +1,93 @@
+#include "core/estimator.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace geer {
+
+bool BatchContext::Cancelled() const {
+  if (cancel_ == nullptr) return false;
+  if (cancel_->load(std::memory_order_relaxed)) return true;
+  // The deadline only fires once at least one query has completed
+  // batch-wide, preserving the harness's "answer ≥ 1 query" rule.
+  if (deadline_ != nullptr && deadline_->Expired() &&
+      (answered_ == nullptr ||
+       answered_->load(std::memory_order_relaxed) > 0)) {
+    cancel_->store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+BatchPlan BatchPlan::Trivial(std::size_t num_queries) {
+  BatchPlan plan;
+  plan.order.resize(num_queries);
+  plan.group_offsets.resize(num_queries + 1);
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    plan.order[i] = static_cast<std::uint32_t>(i);
+    plan.group_offsets[i] = static_cast<std::uint32_t>(i);
+  }
+  plan.group_offsets[num_queries] = static_cast<std::uint32_t>(num_queries);
+  return plan;
+}
+
+BatchPlan BatchPlan::GroupBySource(std::span<const QueryPair> queries) {
+  // Stable bucketing: groups ordered by first appearance of the source,
+  // original order kept within a group — deterministic in the input.
+  std::unordered_map<NodeId, std::uint32_t> group_of;
+  std::vector<std::vector<std::uint32_t>> buckets;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto [it, inserted] = group_of.try_emplace(
+        queries[i].s, static_cast<std::uint32_t>(buckets.size()));
+    if (inserted) buckets.emplace_back();
+    buckets[it->second].push_back(static_cast<std::uint32_t>(i));
+  }
+  BatchPlan plan;
+  plan.order.reserve(queries.size());
+  plan.group_offsets.reserve(buckets.size() + 1);
+  plan.group_offsets.push_back(0);
+  for (const auto& bucket : buckets) {
+    plan.order.insert(plan.order.end(), bucket.begin(), bucket.end());
+    plan.group_offsets.push_back(
+        static_cast<std::uint32_t>(plan.order.size()));
+  }
+  return plan;
+}
+
+std::size_t EstimateBySourceRuns(
+    std::span<const QueryPair> queries, std::span<QueryStats> stats,
+    const BatchContext& context,
+    const std::function<std::size_t(NodeId, std::span<const QueryPair>,
+                                    std::span<QueryStats>)>& run_fn) {
+  GEER_CHECK(stats.size() >= queries.size());
+  std::size_t i = 0;
+  while (i < queries.size()) {
+    if (context.Cancelled()) return i;
+    std::size_t j = i + 1;
+    while (j < queries.size() && queries[j].s == queries[i].s) ++j;
+    const std::size_t run = j - i;
+    const std::size_t done = run_fn(queries[i].s, queries.subspan(i, run),
+                                    stats.subspan(i, run));
+    i += done;
+    if (done < run) return i;
+  }
+  return i;
+}
+
+std::size_t ErEstimator::EstimateBatch(std::span<const QueryPair> queries,
+                                       std::span<QueryStats> stats,
+                                       const BatchContext& context) {
+  GEER_CHECK(stats.size() >= queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (context.Cancelled()) return i;
+    const QueryPair& q = queries[i];
+    stats[i] = SupportsQuery(q.s, q.t) ? EstimateWithStats(q.s, q.t)
+                                       : QueryStats{};
+    context.ReportAnswered();
+  }
+  return queries.size();
+}
+
+}  // namespace geer

@@ -1,16 +1,30 @@
 // The public query interface every ER algorithm implements, plus the
 // per-query instrumentation the benchmark harness and the paper's
-// cost-model analysis rely on.
+// cost-model analysis rely on, and the batch-query surface the engine in
+// core/batch_engine.h drives.
 
 #ifndef GEER_CORE_ESTIMATOR_H_
 #define GEER_CORE_ESTIMATOR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "graph/graph.h"
 
 namespace geer {
+
+class Deadline;
+
+/// A single PER query (s, t).
+struct QueryPair {
+  NodeId s = 0;
+  NodeId t = 0;
+};
 
 /// Result and cost instrumentation for a single ε-approximate PER query.
 struct QueryStats {
@@ -26,13 +40,84 @@ struct QueryStats {
   bool truncated = false;        ///< hit a safety cap; estimate best-effort
 };
 
+/// Cooperative-cancellation state shared by every worker of one batch
+/// run. Estimators poll Cancelled() between queries and report progress
+/// so the deadline rule ("answer at least one query, then stop as soon
+/// as the budget is spent") holds across threads. The default-constructed
+/// context never cancels.
+class BatchContext {
+ public:
+  BatchContext() = default;
+  BatchContext(std::atomic<bool>* cancel, const Deadline* deadline,
+               std::atomic<std::uint64_t>* answered)
+      : cancel_(cancel), deadline_(deadline), answered_(answered) {}
+
+  /// True once the batch should stop issuing new queries: a caller
+  /// cancelled, or the deadline expired after at least one query
+  /// completed batch-wide.
+  bool Cancelled() const;
+
+  /// Records `n` completed queries (drives the ≥ 1-query deadline rule).
+  void ReportAnswered(std::uint64_t n = 1) const {
+    if (answered_ != nullptr) {
+      answered_->fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::atomic<bool>* cancel_ = nullptr;
+  const Deadline* deadline_ = nullptr;
+  std::atomic<std::uint64_t>* answered_ = nullptr;
+};
+
+/// A query-execution plan: a permutation of the batch's query indices
+/// partitioned into groups of queries that share precomputation. Groups
+/// are the engine's scheduling unit — all queries of a group run on the
+/// same worker, in order, so the estimator's shared state (per-source
+/// walk populations, SpMV iterates, …) is actually reused.
+struct BatchPlan {
+  /// Permutation of [0, n): execution order of the batch.
+  std::vector<std::uint32_t> order;
+  /// Group g covers order[group_offsets[g] .. group_offsets[g+1]).
+  /// Size is #groups + 1; group_offsets.front() == 0,
+  /// group_offsets.back() == n.
+  std::vector<std::uint32_t> group_offsets;
+
+  std::size_t NumGroups() const {
+    return group_offsets.empty() ? 0 : group_offsets.size() - 1;
+  }
+
+  /// The no-sharing plan: identity order, one group per query.
+  static BatchPlan Trivial(std::size_t num_queries);
+
+  /// Groups queries by their source node s, keeping the original order
+  /// within a group and ordering groups by first appearance — the plan
+  /// for estimators whose source-side work is reusable across a group.
+  static BatchPlan GroupBySource(std::span<const QueryPair> queries);
+};
+
+/// Splits `queries` into maximal runs of consecutive same-source queries
+/// and feeds each run to `run_fn(source, run_queries, run_stats)`, which
+/// answers a prefix of its run and returns that prefix's length (the
+/// EstimateBatch contract, per run). Stops between runs once
+/// `context.Cancelled()`, or as soon as a run stops short; returns the
+/// total prefix answered. The same-source-sharing estimators implement
+/// EstimateBatch as this plus their per-run executor.
+std::size_t EstimateBySourceRuns(
+    std::span<const QueryPair> queries, std::span<QueryStats> stats,
+    const BatchContext& context,
+    const std::function<std::size_t(NodeId, std::span<const QueryPair>,
+                                    std::span<QueryStats>)>& run_fn);
+
 /// Interface for ε-approximate pairwise effective resistance estimators.
 ///
 /// Estimators are constructed per graph (amortizing preprocessing such as
 /// the λ spectral bound) and answer repeated queries. Estimate() calls are
 /// deterministic given the seed in the options: each query derives its
 /// stream from (seed, s, t), so shuffling query order does not change
-/// individual answers.
+/// individual answers — and EstimateBatch() returns values bit-identical
+/// to serial Estimate() at any thread count (the batch-determinism suite
+/// enforces this for every registered algorithm).
 class ErEstimator {
  public:
   virtual ~ErEstimator() = default;
@@ -53,6 +138,39 @@ class ErEstimator {
     (void)s;
     (void)t;
     return true;
+  }
+
+  /// Answers a prefix of `queries` in order, writing stats[i] for query
+  /// i, and returns the prefix length. Stops early (between queries)
+  /// once `context.Cancelled()`; unsupported queries inside the prefix
+  /// get zeroed stats. The default loops EstimateWithStats; overrides
+  /// share precomputation across queries (same-source walk populations,
+  /// SpMV push vectors, …) while returning per-query values
+  /// bit-identical to the serial loop. `stats.size() >= queries.size()`.
+  virtual std::size_t EstimateBatch(std::span<const QueryPair> queries,
+                                    std::span<QueryStats> stats,
+                                    const BatchContext& context = {});
+
+  /// Groups `queries` by shared structure for the batch engine. The
+  /// default plan shares nothing (one group per query); estimators with
+  /// an EstimateBatch override return the grouping their sharing needs
+  /// (typically BatchPlan::GroupBySource).
+  virtual BatchPlan PlanBatch(std::span<const QueryPair> queries) const {
+    return BatchPlan::Trivial(queries.size());
+  }
+
+  /// True iff EstimateBatch amortizes work across the queries of a plan
+  /// group (capability reporting for the harness; the registry mirrors
+  /// it as EstimatorSharesBatchWork).
+  virtual bool SharesBatchWork() const { return false; }
+
+  /// An independent estimator answering queries with identical values,
+  /// for one worker thread of a parallel batch: clones share immutable
+  /// preprocessing (the graph, λ, EXACT's factorization, CG's solver,
+  /// RP's sketch) but no mutable scratch. Returns nullptr if the
+  /// estimator cannot be cloned — the engine then runs single-threaded.
+  virtual std::unique_ptr<ErEstimator> CloneForBatch() const {
+    return nullptr;
   }
 };
 

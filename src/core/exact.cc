@@ -27,7 +27,7 @@ ExactEstimatorT<WP>::ExactEstimatorT(const GraphT& graph, ErOptions options,
   auto factor = CholeskyFactor::Factorize(m);
   GEER_CHECK(factor.has_value())
       << "augmented Laplacian not PD — is the graph connected?";
-  factor_ = std::make_unique<CholeskyFactor>(std::move(*factor));
+  factor_ = std::make_shared<const CholeskyFactor>(std::move(*factor));
 }
 
 template <WeightPolicy WP>

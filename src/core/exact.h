@@ -35,14 +35,26 @@ class ExactEstimatorT : public ErEstimator {
   }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
+  /// Batch workers share the O(n²) factorization — the only per-graph
+  /// state — instead of redoing the O(n³) setup per thread.
+  std::unique_ptr<ErEstimator> CloneForBatch() const override {
+    return std::unique_ptr<ErEstimator>(
+        new ExactEstimatorT<WP>(*graph_, factor_));
+  }
+
   /// True iff the dense factorization would fit under `max_nodes`.
   static bool Feasible(const GraphT& graph, NodeId max_nodes = 8192) {
     return graph.NumNodes() <= max_nodes;
   }
 
  private:
+  // Clone constructor: adopts an already-computed shared factorization.
+  ExactEstimatorT(const GraphT& graph,
+                  std::shared_ptr<const CholeskyFactor> factor)
+      : graph_(&graph), factor_(std::move(factor)) {}
+
   const GraphT* graph_;
-  std::unique_ptr<CholeskyFactor> factor_;
+  std::shared_ptr<const CholeskyFactor> factor_;
 };
 
 /// The two stacks, by their historical names.

@@ -35,6 +35,34 @@ template <WeightPolicy WP>
 QueryStats GeerEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   GEER_CHECK(s < graph_->NumNodes());
   GEER_CHECK(t < graph_->NumNodes());
+  return EstimateWithCache(s, t, nullptr);
+}
+
+template <WeightPolicy WP>
+std::size_t GeerEstimatorT<WP>::EstimateBatch(
+    std::span<const QueryPair> queries, std::span<QueryStats> stats,
+    const BatchContext& context) {
+  // One iterate cache per same-source run; queries answer one at a time
+  // against it, so the deadline can cut inside a run.
+  return EstimateBySourceRuns(
+      queries, stats, context,
+      [this, &context](NodeId s, std::span<const QueryPair> run_queries,
+                       std::span<QueryStats> run_stats) -> std::size_t {
+        SmmSourceCacheT<WP> cache(*graph_, &op_, s);
+        for (std::size_t k = 0; k < run_queries.size(); ++k) {
+          if (context.Cancelled()) return k;
+          const QueryPair& q = run_queries[k];
+          GEER_CHECK(q.t < graph_->NumNodes());
+          run_stats[k] = EstimateWithCache(q.s, q.t, &cache);
+          context.ReportAnswered();
+        }
+        return run_queries.size();
+      });
+}
+
+template <WeightPolicy WP>
+QueryStats GeerEstimatorT<WP>::EstimateWithCache(
+    NodeId s, NodeId t, SmmSourceCacheT<WP>* s_cache) {
   QueryStats stats;
   if (s == t) return stats;
 
@@ -51,7 +79,7 @@ QueryStats GeerEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
                                     options_.max_ell, options_.use_peng_ell);
 
   // Lines 2–9: SMM until the greedy rule (Eq. 17) fires or ℓ_b ≥ ℓ.
-  SmmIteratorT<WP> smm(*graph_, &op_, s, t);
+  SmmIteratorT<WP> smm(*graph_, &op_, s, t, s_cache);
   const bool fixed_lb = options_.geer_fixed_lb >= 0;
   const std::uint32_t lb_target =
       fixed_lb ? std::min<std::uint32_t>(

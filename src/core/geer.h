@@ -22,6 +22,7 @@
 
 #include "core/estimator.h"
 #include "core/options.h"
+#include "core/smm.h"
 #include "graph/weight_policy.h"
 #include "linalg/transition.h"
 #include "rw/walker_policy.h"
@@ -48,6 +49,23 @@ class GeerEstimatorT : public ErEstimator {
   }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
+  /// Shares the source-side SMM iterate sequence (the s-half of every
+  /// SpMV pair, via SmmSourceCacheT) across consecutive same-source
+  /// queries; the AMC tail still runs per query on its (seed, s, t)
+  /// stream, so batched values are bit-identical to serial ones.
+  std::size_t EstimateBatch(std::span<const QueryPair> queries,
+                            std::span<QueryStats> stats,
+                            const BatchContext& context = {}) override;
+  BatchPlan PlanBatch(std::span<const QueryPair> queries) const override {
+    return BatchPlan::GroupBySource(queries);
+  }
+  bool SharesBatchWork() const override { return true; }
+  std::unique_ptr<ErEstimator> CloneForBatch() const override {
+    ErOptions opt = options_;
+    opt.lambda = lambda_;  // clones never re-run Lanczos
+    return std::make_unique<GeerEstimatorT<WP>>(*graph_, opt);
+  }
+
   double lambda() const { return lambda_; }
 
   /// Compat spelling of GeerRemainingSampleBudget.
@@ -57,6 +75,9 @@ class GeerEstimatorT : public ErEstimator {
   }
 
  private:
+  QueryStats EstimateWithCache(NodeId s, NodeId t,
+                               SmmSourceCacheT<WP>* s_cache);
+
   const GraphT* graph_;
   ErOptions options_;
   double lambda_;

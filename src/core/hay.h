@@ -37,6 +37,10 @@ class HayEstimatorT : public ErEstimator {
     return s != t && graph_->HasEdge(s, t);
   }
 
+  std::unique_ptr<ErEstimator> CloneForBatch() const override {
+    return std::make_unique<HayEstimatorT<WP>>(*graph_, options_);
+  }
+
   /// Number of spanning trees sampled per query under the options.
   std::uint64_t NumTrees() const;
 

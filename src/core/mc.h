@@ -32,6 +32,10 @@ class McEstimatorT : public ErEstimator {
   }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
+  std::unique_ptr<ErEstimator> CloneForBatch() const override {
+    return std::make_unique<McEstimatorT<WP>>(*graph_, options_);
+  }
+
   /// Trial count η for a given source weight (degree/strength) under the
   /// options.
   std::uint64_t NumTrials(double weight_s) const;

@@ -36,6 +36,10 @@ class Mc2EstimatorT : public ErEstimator {
     return s != t && graph_->HasEdge(s, t);
   }
 
+  std::unique_ptr<ErEstimator> CloneForBatch() const override {
+    return std::make_unique<Mc2EstimatorT<WP>>(*graph_, options_);
+  }
+
   /// Trial count under the options' γ (0 ⇒ the worst-case 1/(2W)).
   std::uint64_t NumTrials() const;
 

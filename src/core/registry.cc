@@ -74,6 +74,15 @@ bool EstimatorReadsLambda(const std::string& name) {
          canonical == "TPC";
 }
 
+bool EstimatorSharesBatchWork(const std::string& name) {
+  // Keep in sync with the SharesBatchWork overrides (registry_test
+  // cross-checks this against constructed instances).
+  const std::string canonical = CanonicalEstimatorName(name);
+  return canonical == "GEER" || canonical == "SMM" ||
+         canonical == "SMM-PengEll" || canonical == "TP" ||
+         canonical == "TPC";
+}
+
 std::unique_ptr<ErEstimator> CreateEstimator(const std::string& name,
                                              const Graph& graph,
                                              const ErOptions& options) {

@@ -73,6 +73,15 @@ std::string CanonicalEstimatorName(const std::string& name);
 /// estimators without a precomputed λ run Lanczos themselves.
 bool EstimatorReadsLambda(const std::string& name);
 
+/// True iff the algorithm's EstimateBatch amortizes work across a
+/// same-source query group (TP/TPC reuse the source's walk populations,
+/// SMM/GEER the source-side SpMV push vectors) — mirrors
+/// ErEstimator::SharesBatchWork so the harness can report capability
+/// without constructing. EXACT/CG/RP instead share construction-time
+/// state (factorization / solver / sketch) across batch workers, which
+/// this predicate does not count.
+bool EstimatorSharesBatchWork(const std::string& name);
+
 }  // namespace geer
 
 #endif  // GEER_CORE_REGISTRY_H_

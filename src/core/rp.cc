@@ -33,7 +33,7 @@ RpEstimatorT<WP>::RpEstimatorT(const GraphT& graph, ErOptions options)
       << "RP sketch of " << SketchBytes(graph, options)
       << " bytes exceeds the rp_max_bytes budget (paper: out of memory)";
   const NodeId n = graph.NumNodes();
-  sketch_ = Matrix(static_cast<std::size_t>(k_), n, 0.0);
+  Matrix sketch(static_cast<std::size_t>(k_), n, 0.0);
 
   typename LaplacianSolverT<WP>::Options sopt;
   // The JL distortion already costs ε; solve well below it.
@@ -62,9 +62,10 @@ RpEstimatorT<WP>::RpEstimatorT(const GraphT& graph, ErOptions options)
       }
     }
     Vector z = solver.Solve(row);
-    double* out = sketch_.Row(static_cast<std::size_t>(j));
+    double* out = sketch.Row(static_cast<std::size_t>(j));
     for (NodeId v = 0; v < n; ++v) out[v] = z[v];
   }
+  sketch_ = std::make_shared<const Matrix>(std::move(sketch));
 }
 
 template <WeightPolicy WP>
@@ -75,7 +76,7 @@ QueryStats RpEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   if (s == t) return stats;
   double acc = 0.0;
   for (int j = 0; j < k_; ++j) {
-    const double* row = sketch_.Row(static_cast<std::size_t>(j));
+    const double* row = sketch_->Row(static_cast<std::size_t>(j));
     const double diff = row[s] - row[t];
     acc += diff * diff;
   }

@@ -9,6 +9,7 @@
 #ifndef GEER_CORE_RP_H_
 #define GEER_CORE_RP_H_
 
+#include <memory>
 #include <string>
 
 #include "core/estimator.h"
@@ -36,6 +37,13 @@ class RpEstimatorT : public ErEstimator {
   }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
+  /// Batch workers share the k×n sketch — the k Laplacian solves of the
+  /// preprocessing are paid once, not per thread.
+  std::unique_ptr<ErEstimator> CloneForBatch() const override {
+    return std::unique_ptr<ErEstimator>(
+        new RpEstimatorT<WP>(*graph_, k_, sketch_));
+  }
+
   /// Projection dimension in use.
   int Dimensions() const { return k_; }
 
@@ -53,10 +61,15 @@ class RpEstimatorT : public ErEstimator {
   static int DeriveDimensions(const GraphT& graph, const ErOptions& options);
 
  private:
+  // Clone constructor: adopts an already-built shared sketch.
+  RpEstimatorT(const GraphT& graph, int k,
+               std::shared_ptr<const Matrix> sketch)
+      : graph_(&graph), k_(k), sketch_(std::move(sketch)) {}
+
   const GraphT* graph_;
   int k_ = 0;
   // Row-major k×n sketch Z̃; r̂(s,t) = Σ_j (Z̃(j,s) − Z̃(j,t))².
-  Matrix sketch_;
+  std::shared_ptr<const Matrix> sketch_;
 };
 
 /// The two stacks, by their historical names.

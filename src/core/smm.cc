@@ -1,34 +1,99 @@
 #include "core/smm.h"
 
+#include <algorithm>
+
 #include "core/ell.h"
 #include "util/check.h"
 
 namespace geer {
 
 template <WeightPolicy WP>
+SmmSourceCacheT<WP>::SmmSourceCacheT(const GraphT& graph,
+                                     TransitionOperatorT<WP>* op,
+                                     NodeId source, std::uint32_t max_cached)
+    : source_(source), op_(op) {
+  GEER_CHECK(source < graph.NumNodes());
+  if (max_cached > 0) {
+    max_cached_ = max_cached;
+  } else {
+    // ~256 MB of cached dense iterates: deep enough for every ℓ_b that
+    // arises on graphs small enough for the cache to be cheap, and a
+    // hard bound on the ones where it would not be (the floor is 2 so
+    // there is always SOMETHING to share — never enough to break the
+    // byte budget by more than one iterate).
+    constexpr std::uint64_t kMaxCachedBytes = 256ull << 20;
+    const std::uint64_t per_iterate =
+        static_cast<std::uint64_t>(graph.NumNodes()) * sizeof(double);
+    const std::uint64_t derived = kMaxCachedBytes / std::max<std::uint64_t>(
+                                                        per_iterate, 1);
+    max_cached_ = static_cast<std::uint32_t>(
+        std::clamp<std::uint64_t>(derived, 2, 1u << 20));
+  }
+  live_.InitOneHot(source, graph);
+  iterates_.push_back(live_.values);
+  support_costs_.push_back(live_.support_degree_sum);
+}
+
+template <WeightPolicy WP>
+void SmmSourceCacheT<WP>::EnsureIterations(std::uint32_t j,
+                                           std::uint64_t* fresh_ops) {
+  const std::uint32_t target = std::min(j, max_cached_);
+  while (iterates_.size() <= target) {
+    *fresh_ops += op_->ApplyAuto(&live_);
+    iterates_.push_back(live_.values);
+    support_costs_.push_back(live_.support_degree_sum);
+  }
+}
+
+template <WeightPolicy WP>
 SmmIteratorT<WP>::SmmIteratorT(const GraphT& graph,
                                TransitionOperatorT<WP>* op, NodeId s,
-                               NodeId t)
-    : graph_(&graph), op_(op), s_(s), t_(t) {
+                               NodeId t, SmmSourceCacheT<WP>* s_cache)
+    : graph_(&graph), op_(op), s_(s), t_(t), s_cache_(s_cache) {
   GEER_CHECK(s < graph.NumNodes());
   GEER_CHECK(t < graph.NumNodes());
   inv_ws_ = 1.0 / WP::NodeWeight(graph, s);
   inv_wt_ = 1.0 / WP::NodeWeight(graph, t);
-  s_vec_.InitOneHot(s, graph);
+  if (s_cache_ != nullptr) {
+    GEER_CHECK_EQ(s_cache_->source(), s);
+  } else {
+    s_vec_.InitOneHot(s, graph);
+  }
   t_vec_.InitOneHot(t, graph);
   // i = 0 term of Eq. (4): p_0(s,s)/w(s) + p_0(t,t)/w(t)
   //                        − p_0(s,t)/w(s) − p_0(t,s)/w(t).
-  rb_ = s_vec_.values[s_] * inv_ws_ + t_vec_.values[t_] * inv_wt_ -
-        s_vec_.values[t_] * inv_ws_ - t_vec_.values[s_] * inv_wt_;
+  const Vector& sv = svec();
+  rb_ = sv[s_] * inv_ws_ + t_vec_.values[t_] * inv_wt_ -
+        sv[t_] * inv_ws_ - t_vec_.values[s_] * inv_wt_;
 }
 
 template <WeightPolicy WP>
 void SmmIteratorT<WP>::Advance() {
-  spmv_ops_ += op_->ApplyAuto(&s_vec_);
+  if (ReadsCache() &&
+      iterations_ + 1 > s_cache_->max_cached_iterations()) {
+    // Past the cache's memory cap: continue on a private copy of the
+    // boundary state. The copy is the exact live state a serial query
+    // would hold at this depth, so the remaining iteration stays
+    // bit-identical — it just stops being shared.
+    s_vec_ = s_cache_->BoundaryState();
+    spilled_ = true;
+  }
+  if (ReadsCache()) {
+    // Only freshly materialized cache steps cost anything — the point of
+    // same-source sharing. The cached vector is produced by the same
+    // ApplyAuto sequence the uncached path runs, so rb stays
+    // bit-identical.
+    std::uint64_t fresh = 0;
+    s_cache_->EnsureIterations(iterations_ + 1, &fresh);
+    spmv_ops_ += fresh;
+  } else {
+    spmv_ops_ += op_->ApplyAuto(&s_vec_);
+  }
   spmv_ops_ += op_->ApplyAuto(&t_vec_);
   ++iterations_;
-  rb_ += s_vec_.values[s_] * inv_ws_ + t_vec_.values[t_] * inv_wt_ -
-         s_vec_.values[t_] * inv_ws_ - t_vec_.values[s_] * inv_wt_;
+  const Vector& sv = svec();
+  rb_ += sv[s_] * inv_ws_ + t_vec_.values[t_] * inv_wt_ -
+         sv[t_] * inv_ws_ - t_vec_.values[s_] * inv_wt_;
 }
 
 template <WeightPolicy WP>
@@ -41,7 +106,8 @@ SmmEstimatorT<WP>::SmmEstimatorT(const GraphT& graph, ErOptions options)
 }
 
 template <WeightPolicy WP>
-QueryStats SmmEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
+QueryStats SmmEstimatorT<WP>::EstimateWithCache(
+    NodeId s, NodeId t, SmmSourceCacheT<WP>* s_cache) {
   QueryStats stats;
   if (s == t) return stats;
   const double ws = WP::NodeWeight(*graph_, s);
@@ -59,7 +125,7 @@ QueryStats SmmEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
     stats.truncated = EllWasTruncated(options_.epsilon, lambda_, ws, wt,
                                       options_.max_ell, /*use_peng=*/false);
   }
-  SmmIteratorT<WP> iter(*graph_, &op_, s, t);
+  SmmIteratorT<WP> iter(*graph_, &op_, s, t, s_cache);
   for (std::uint32_t i = 0; i < ell; ++i) iter.Advance();
   stats.value = iter.rb();
   stats.ell = ell;
@@ -68,6 +134,37 @@ QueryStats SmmEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   return stats;
 }
 
+template <WeightPolicy WP>
+QueryStats SmmEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
+  GEER_CHECK(s < graph_->NumNodes());
+  GEER_CHECK(t < graph_->NumNodes());
+  return EstimateWithCache(s, t, nullptr);
+}
+
+template <WeightPolicy WP>
+std::size_t SmmEstimatorT<WP>::EstimateBatch(
+    std::span<const QueryPair> queries, std::span<QueryStats> stats,
+    const BatchContext& context) {
+  // One iterate cache per same-source run; queries answer one at a time
+  // against it, so the deadline can cut inside a run.
+  return EstimateBySourceRuns(
+      queries, stats, context,
+      [this, &context](NodeId s, std::span<const QueryPair> run_queries,
+                       std::span<QueryStats> run_stats) -> std::size_t {
+        SmmSourceCacheT<WP> cache(*graph_, &op_, s);
+        for (std::size_t k = 0; k < run_queries.size(); ++k) {
+          if (context.Cancelled()) return k;
+          const QueryPair& q = run_queries[k];
+          GEER_CHECK(q.t < graph_->NumNodes());
+          run_stats[k] = EstimateWithCache(q.s, q.t, &cache);
+          context.ReportAnswered();
+        }
+        return run_queries.size();
+      });
+}
+
+template class SmmSourceCacheT<UnitWeight>;
+template class SmmSourceCacheT<EdgeWeight>;
 template class SmmIteratorT<UnitWeight>;
 template class SmmIteratorT<EdgeWeight>;
 template class SmmEstimatorT<UnitWeight>;

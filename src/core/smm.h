@@ -10,11 +10,19 @@
 // SmmIteratorT exposes the iteration one step at a time so GEER can apply
 // its greedy stopping rule (Eq. 17) between steps and hand the live
 // iterates to AMC.
+//
+// Batching: the s-side iterate sequence {P^j e_s} is a pure function of
+// the source, so a same-source query group computes it once through an
+// SmmSourceCacheT and every query's s-side SpMV cost after the first is
+// free (the t-side still runs live per query). The cached vectors are
+// produced by the same ApplyAuto call sequence a serial query would run,
+// so batched values stay bit-identical to serial ones.
 
 #ifndef GEER_CORE_SMM_H_
 #define GEER_CORE_SMM_H_
 
 #include <string>
+#include <vector>
 
 #include "core/estimator.h"
 #include "core/options.h"
@@ -24,6 +32,62 @@
 
 namespace geer {
 
+/// Lazily materialized source-side iterate sequence {P^j e_source},
+/// shared by the queries of a same-source group (SMM and GEER both use
+/// it through SmmIteratorT). Stores one dense vector per iterate plus
+/// the Eq. 17 support cost, growing to the deepest ℓ_b any query needs
+/// — but never past max_cached_iterations(), which bounds the cache to
+/// ~256 MB regardless of n and ℓ_b (the serial path runs in O(n)
+/// memory; a group cache must not turn that into gigabytes). Queries
+/// that iterate deeper continue on a private copy of the boundary state
+/// (bit-identical, just unshared past the cap).
+template <WeightPolicy WP>
+class SmmSourceCacheT {
+ public:
+  using GraphT = typename WP::GraphT;
+  using SparseVector = typename TransitionOperatorT<WP>::SparseVector;
+
+  /// `max_cached` = 0 derives the memory-bounded default; tests pass a
+  /// tiny cap to exercise the past-the-cap spill path.
+  SmmSourceCacheT(const GraphT& graph, TransitionOperatorT<WP>* op,
+                  NodeId source, std::uint32_t max_cached = 0);
+  // The operator outlives the cache; a temporary graph would dangle.
+  SmmSourceCacheT(GraphT&&, TransitionOperatorT<WP>*, NodeId,
+                  std::uint32_t = 0) = delete;
+
+  NodeId source() const { return source_; }
+
+  /// Deepest iterate index this cache will materialize.
+  std::uint32_t max_cached_iterations() const { return max_cached_; }
+
+  /// Materializes iterates up to index min(j, max_cached_iterations()),
+  /// adding the newly performed arc traversals (0 when already cached)
+  /// to *fresh_ops.
+  void EnsureIterations(std::uint32_t j, std::uint64_t* fresh_ops);
+
+  /// Iterate j (requires EnsureIterations(j) and j ≤ the cap); j = 0 is
+  /// e_source.
+  const Vector& Iterate(std::uint32_t j) const { return iterates_[j]; }
+
+  /// Σ_{v∈supp} d(v) of iterate j — its Eq. 17 LHS contribution.
+  std::uint64_t SupportCost(std::uint32_t j) const {
+    return support_costs_[j];
+  }
+
+  /// The live sparse state at the deepest materialized iterate — the
+  /// hand-off for past-the-cap iteration. Requires
+  /// EnsureIterations(max_cached_iterations()).
+  const SparseVector& BoundaryState() const { return live_; }
+
+ private:
+  NodeId source_;
+  TransitionOperatorT<WP>* op_;
+  std::uint32_t max_cached_;
+  SparseVector live_;
+  std::vector<Vector> iterates_;
+  std::vector<std::uint64_t> support_costs_;
+};
+
 /// Step-at-a-time driver for Alg. 2 on a fixed query pair.
 template <WeightPolicy WP>
 class SmmIteratorT {
@@ -31,11 +95,14 @@ class SmmIteratorT {
   using GraphT = typename WP::GraphT;
 
   /// Positions the iterator at ℓ_b = 0 (the i=0 term is already folded
-  /// into rb()). Requires s ≠ t handled by the caller.
+  /// into rb()). Requires s ≠ t handled by the caller. When `s_cache` is
+  /// given (it must be for this s), the s-side iterates are read from it
+  /// — only freshly materialized cache steps charge spmv_ops().
   SmmIteratorT(const GraphT& graph, TransitionOperatorT<WP>* op, NodeId s,
-               NodeId t);
+               NodeId t, SmmSourceCacheT<WP>* s_cache = nullptr);
   // Stores a pointer to `graph`; a temporary would dangle.
-  SmmIteratorT(GraphT&&, TransitionOperatorT<WP>*, NodeId, NodeId) = delete;
+  SmmIteratorT(GraphT&&, TransitionOperatorT<WP>*, NodeId, NodeId,
+               SmmSourceCacheT<WP>* = nullptr) = delete;
 
   /// Truncated ER accumulated so far: r_{ℓb}(s, t).
   double rb() const { return rb_; }
@@ -49,23 +116,33 @@ class SmmIteratorT {
   /// Cost of the NEXT iteration under the paper's model:
   /// Σ_{v∈supp(s*)} d(v) + Σ_{v∈supp(t*)} d(v)  (Eq. 17 LHS).
   std::uint64_t NextIterationCost() const {
-    return s_vec_.support_degree_sum + t_vec_.support_degree_sum;
+    const std::uint64_t s_cost = ReadsCache()
+                                     ? s_cache_->SupportCost(iterations_)
+                                     : s_vec_.support_degree_sum;
+    return s_cost + t_vec_.support_degree_sum;
   }
 
   /// Performs one iteration: s* ← P s*, t* ← P t*, accumulates into rb.
   void Advance();
 
   /// Live iterates (s*(v) = p_{ℓb}(v, s), t*(v) = p_{ℓb}(v, t)).
-  const Vector& svec() const { return s_vec_.values; }
+  const Vector& svec() const {
+    return ReadsCache() ? s_cache_->Iterate(iterations_) : s_vec_.values;
+  }
   const Vector& tvec() const { return t_vec_.values; }
 
  private:
+  /// True while the s-side is served by the cache (not yet past its cap).
+  bool ReadsCache() const { return s_cache_ != nullptr && !spilled_; }
+
   const GraphT* graph_;
   TransitionOperatorT<WP>* op_;
   NodeId s_;
   NodeId t_;
   double inv_ws_;
   double inv_wt_;
+  SmmSourceCacheT<WP>* s_cache_;  // nullable; replaces s_vec_ when set
+  bool spilled_ = false;  // iterated past the cache cap on a private copy
   typename TransitionOperatorT<WP>::SparseVector s_vec_;
   typename TransitionOperatorT<WP>::SparseVector t_vec_;
   double rb_ = 0.0;
@@ -92,10 +169,28 @@ class SmmEstimatorT : public ErEstimator {
   }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
+  /// Shares the source-side iterate sequence across consecutive
+  /// same-source queries via SmmSourceCacheT.
+  std::size_t EstimateBatch(std::span<const QueryPair> queries,
+                            std::span<QueryStats> stats,
+                            const BatchContext& context = {}) override;
+  BatchPlan PlanBatch(std::span<const QueryPair> queries) const override {
+    return BatchPlan::GroupBySource(queries);
+  }
+  bool SharesBatchWork() const override { return true; }
+  std::unique_ptr<ErEstimator> CloneForBatch() const override {
+    ErOptions opt = options_;
+    opt.lambda = lambda_;  // clones never re-run Lanczos
+    return std::make_unique<SmmEstimatorT<WP>>(*graph_, opt);
+  }
+
   /// λ in use (from options or computed at construction).
   double lambda() const { return lambda_; }
 
  private:
+  QueryStats EstimateWithCache(NodeId s, NodeId t,
+                               SmmSourceCacheT<WP>* s_cache);
+
   const GraphT* graph_;
   ErOptions options_;
   double lambda_;
@@ -105,9 +200,13 @@ class SmmEstimatorT : public ErEstimator {
 /// The two stacks, by their historical names.
 using SmmIterator = SmmIteratorT<UnitWeight>;
 using SmmEstimator = SmmEstimatorT<UnitWeight>;
+using SmmSourceCache = SmmSourceCacheT<UnitWeight>;
 using WeightedSmmIterator = SmmIteratorT<EdgeWeight>;
 using WeightedSmmEstimator = SmmEstimatorT<EdgeWeight>;
+using WeightedSmmSourceCache = SmmSourceCacheT<EdgeWeight>;
 
+extern template class SmmSourceCacheT<UnitWeight>;
+extern template class SmmSourceCacheT<EdgeWeight>;
 extern template class SmmIteratorT<UnitWeight>;
 extern template class SmmIteratorT<EdgeWeight>;
 extern template class SmmEstimatorT<UnitWeight>;

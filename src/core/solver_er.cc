@@ -19,7 +19,8 @@ typename LaplacianSolverT<WP>::Options SolverOptionsFor(
 template <WeightPolicy WP>
 SolverEstimatorT<WP>::SolverEstimatorT(const GraphT& graph,
                                        ErOptions options)
-    : solver_(graph, SolverOptionsFor<WP>(options)) {
+    : solver_(std::make_shared<const LaplacianSolverT<WP>>(
+          graph, SolverOptionsFor<WP>(options))) {
   ValidateOptions(options);
 }
 
@@ -27,7 +28,7 @@ template <WeightPolicy WP>
 QueryStats SolverEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   QueryStats stats;
   CgStats cg;
-  stats.value = solver_.EffectiveResistance(s, t, &cg);
+  stats.value = solver_->EffectiveResistance(s, t, &cg);
   stats.truncated = !cg.converged && s != t;
   return stats;
 }

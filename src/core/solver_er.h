@@ -6,6 +6,7 @@
 #ifndef GEER_CORE_SOLVER_ER_H_
 #define GEER_CORE_SOLVER_ER_H_
 
+#include <memory>
 #include <string>
 
 #include "core/estimator.h"
@@ -29,8 +30,18 @@ class SolverEstimatorT : public ErEstimator {
   }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
+  /// Batch workers share the solver (graph view + Jacobi preconditioner);
+  /// Solve() is const and allocates per call, so sharing is race-free.
+  std::unique_ptr<ErEstimator> CloneForBatch() const override {
+    return std::unique_ptr<ErEstimator>(new SolverEstimatorT<WP>(solver_));
+  }
+
  private:
-  LaplacianSolverT<WP> solver_;
+  explicit SolverEstimatorT(
+      std::shared_ptr<const LaplacianSolverT<WP>> solver)
+      : solver_(std::move(solver)) {}
+
+  std::shared_ptr<const LaplacianSolverT<WP>> solver_;
 };
 
 /// The two stacks, by their historical names. The EdgeWeight

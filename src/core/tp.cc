@@ -7,6 +7,13 @@
 #include "util/check.h"
 
 namespace geer {
+namespace {
+
+// Domain-separation tag for TP's per-source walk streams (keeps them
+// decorrelated from TPC's per-walk streams on the same seed and source).
+constexpr std::uint64_t kTpStreamTag = 0x5450u;  // "TP"
+
+}  // namespace
 
 template <WeightPolicy WP>
 TpEstimatorT<WP>::TpEstimatorT(const GraphT& graph, ErOptions options)
@@ -28,51 +35,132 @@ std::uint64_t TpEstimatorT<WP>::WalksPerLength(std::uint32_t ell) const {
 }
 
 template <WeightPolicy WP>
-QueryStats TpEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
-  GEER_CHECK(s < graph_->NumNodes());
-  GEER_CHECK(t < graph_->NumNodes());
-  QueryStats stats;
-  if (s == t) return stats;
-
+void TpEstimatorT<WP>::EstimateSourceGroup(NodeId s,
+                                           std::span<const QueryPair> queries,
+                                           std::span<QueryStats> stats) {
+  const NodeId n = graph_->NumNodes();
+  GEER_CHECK(s < n);
   const std::uint32_t ell =
       PengEll(options_.epsilon, lambda_, options_.max_ell);
-  stats.ell = ell;
-  stats.truncated =
+  const bool truncated =
       EllWasTruncated(options_.epsilon, lambda_, 1, 1, options_.max_ell,
                       /*use_peng=*/true);
-  const double inv_ws = 1.0 / WP::NodeWeight(*graph_, s);
-  const double inv_wt = 1.0 / WP::NodeWeight(*graph_, t);
-
-  // i = 0 term of Eq. (4).
-  double estimate = inv_ws + inv_wt;
   const std::uint64_t eta = WalksPerLength(ell);
-  Rng rng(options_.seed ^ (static_cast<std::uint64_t>(s) << 32) ^ t);
+  const double inv_eta = 1.0 / static_cast<double>(eta);
+  const double inv_ws = 1.0 / WP::NodeWeight(*graph_, s);
+  const std::size_t m = queries.size();
+
+  // Per-query live state; the i = 0 term of Eq. (4) seeds the estimate.
+  struct QueryState {
+    bool live = false;
+    double inv_wt = 0.0;
+    double estimate = 0.0;
+    Rng rng_t{0};
+  };
+  std::vector<QueryState> state(m);
+  if (target_head_.size() != n) target_head_.assign(n, 0);
+  target_next_.assign(m, 0);
+  target_touched_.clear();
+  std::size_t first_live = m;
+  for (std::size_t j = 0; j < m; ++j) {
+    const QueryPair& q = queries[j];
+    GEER_CHECK(q.s < n);
+    GEER_CHECK(q.t < n);
+    GEER_CHECK_EQ(q.s, s);
+    stats[j] = QueryStats{};
+    if (q.s == q.t) continue;  // r(v, v) = 0, zero stats like serial
+    QueryState& st = state[j];
+    st.live = true;
+    st.inv_wt = 1.0 / WP::NodeWeight(*graph_, q.t);
+    st.estimate = inv_ws + st.inv_wt;
+    // The target side keeps the same per-source stream law as the shared
+    // side, so (t, x) queries elsewhere in the batch reuse nothing but
+    // stay bit-identical.
+    st.rng_t = Rng(MixSeed(MixSeed(options_.seed, kTpStreamTag), q.t));
+    stats[j].ell = ell;
+    stats[j].truncated = truncated;
+    // Chain query j under its target node for the shared counting pass.
+    target_next_[j] = target_head_[q.t];
+    target_head_[q.t] = static_cast<std::uint32_t>(j) + 1;
+    target_touched_.push_back(q.t);
+    if (first_live == m) first_live = j;
+  }
+  if (first_live == m) return;  // every query was s == t
+
+  Rng rng_s(MixSeed(MixSeed(options_.seed, kTpStreamTag), s));
+  QueryStats shared;  // source-side cost, charged to the first live query
+  std::vector<std::uint64_t> count_st(m, 0);
 
   for (std::uint32_t i = 1; i <= ell; ++i) {
-    std::uint64_t count_ss = 0;  // s-walks of length i ending at s
-    std::uint64_t count_st = 0;  // s-walks ending at t
-    std::uint64_t count_tt = 0;  // t-walks ending at t
-    std::uint64_t count_ts = 0;  // t-walks ending at s
+    // Source side once for the whole group: count walks ending at s and,
+    // through the target chains, at every live query's t.
+    std::uint64_t count_ss = 0;
+    std::fill(count_st.begin(), count_st.end(), 0);
     for (std::uint64_t k = 0; k < eta; ++k) {
-      const NodeId end_s = walker_.WalkEndpoint(s, i, rng);
-      if (end_s == s) ++count_ss;
-      if (end_s == t) ++count_st;
-      const NodeId end_t = walker_.WalkEndpoint(t, i, rng);
-      if (end_t == t) ++count_tt;
-      if (end_t == s) ++count_ts;
+      const NodeId end = walker_.WalkEndpoint(s, i, rng_s);
+      if (end == s) ++count_ss;
+      for (std::uint32_t idx = target_head_[end]; idx != 0;
+           idx = target_next_[idx - 1]) {
+        ++count_st[idx - 1];
+      }
     }
-    stats.walks += 2 * eta;
-    stats.walk_steps += 2 * eta * i;
-    const double inv_eta = 1.0 / static_cast<double>(eta);
-    // Eq. (4) term for length i with the empirical probabilities.
-    estimate += (static_cast<double>(count_ss) * inv_ws +
-                 static_cast<double>(count_tt) * inv_wt -
-                 static_cast<double>(count_st) * inv_wt -
-                 static_cast<double>(count_ts) * inv_ws) *
-                inv_eta;
+    shared.walks += eta;
+    shared.walk_steps += eta * i;
+
+    // Target sides per query.
+    for (std::size_t j = 0; j < m; ++j) {
+      QueryState& st = state[j];
+      if (!st.live) continue;
+      const NodeId t = queries[j].t;
+      std::uint64_t count_tt = 0;
+      std::uint64_t count_ts = 0;
+      for (std::uint64_t k = 0; k < eta; ++k) {
+        const NodeId end = walker_.WalkEndpoint(t, i, st.rng_t);
+        if (end == t) ++count_tt;
+        if (end == s) ++count_ts;
+      }
+      stats[j].walks += eta;
+      stats[j].walk_steps += eta * i;
+      // Eq. (4) term for length i with the empirical probabilities.
+      st.estimate += (static_cast<double>(count_ss) * inv_ws +
+                      static_cast<double>(count_tt) * st.inv_wt -
+                      static_cast<double>(count_st[j]) * st.inv_wt -
+                      static_cast<double>(count_ts) * inv_ws) *
+                     inv_eta;
+    }
   }
-  stats.value = estimate;
+
+  for (std::size_t j = 0; j < m; ++j) {
+    if (state[j].live) stats[j].value = state[j].estimate;
+  }
+  stats[first_live].walks += shared.walks;
+  stats[first_live].walk_steps += shared.walk_steps;
+  for (const NodeId t : target_touched_) target_head_[t] = 0;
+}
+
+template <WeightPolicy WP>
+QueryStats TpEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
+  const QueryPair query{s, t};
+  QueryStats stats;
+  EstimateSourceGroup(s, std::span<const QueryPair>(&query, 1),
+                      std::span<QueryStats>(&stats, 1));
   return stats;
+}
+
+template <WeightPolicy WP>
+std::size_t TpEstimatorT<WP>::EstimateBatch(
+    std::span<const QueryPair> queries, std::span<QueryStats> stats,
+    const BatchContext& context) {
+  // Groups are answered in lockstep, so a run is all-or-nothing — the
+  // deadline's cut granularity is one same-source group.
+  return EstimateBySourceRuns(
+      queries, stats, context,
+      [this, &context](NodeId s, std::span<const QueryPair> run_queries,
+                       std::span<QueryStats> run_stats) {
+        EstimateSourceGroup(s, run_queries, run_stats);
+        context.ReportAnswered(run_queries.size());
+        return run_queries.size();
+      });
 }
 
 template class TpEstimatorT<UnitWeight>;

@@ -7,11 +7,23 @@
 // every 1/d(·) becomes 1/w(·). options.tp_scale linearly rescales the
 // sample constant so the harness can extrapolate timings (see
 // EXPERIMENTS.md).
+//
+// Batching: each endpoint's walks come from a content-addressed stream
+// seeded by (seed, source) — not (seed, s, t) — and the walk schedule
+// (ℓ and the per-length count η depend only on ε, δ, λ) is
+// query-independent. A query's value is therefore a pure function of
+// (seed, s, t), and a same-source query group can simulate the shared
+// source's walks ONCE per length, counting endpoint hits for every
+// target in the group in the same pass — the per-query walk cost halves
+// and the saved half is shared by the whole group. EstimateBatch does
+// exactly that; serial Estimate is the one-query instance of the same
+// code path, so batched values are bit-identical to serial ones.
 
 #ifndef GEER_CORE_TP_H_
 #define GEER_CORE_TP_H_
 
 #include <string>
+#include <vector>
 
 #include "core/estimator.h"
 #include "core/options.h"
@@ -34,16 +46,43 @@ class TpEstimatorT : public ErEstimator {
   }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
+  /// Shares the source-side walk populations across consecutive
+  /// same-source queries (see the header comment).
+  std::size_t EstimateBatch(std::span<const QueryPair> queries,
+                            std::span<QueryStats> stats,
+                            const BatchContext& context = {}) override;
+  BatchPlan PlanBatch(std::span<const QueryPair> queries) const override {
+    return BatchPlan::GroupBySource(queries);
+  }
+  bool SharesBatchWork() const override { return true; }
+  std::unique_ptr<ErEstimator> CloneForBatch() const override {
+    ErOptions opt = options_;
+    opt.lambda = lambda_;  // clones never re-run Lanczos
+    return std::make_unique<TpEstimatorT<WP>>(*graph_, opt);
+  }
+
   double lambda() const { return lambda_; }
 
   /// Walks per length per endpoint at the current options (after scaling).
   std::uint64_t WalksPerLength(std::uint32_t ell) const;
 
  private:
+  /// Answers a run of same-source queries in lockstep over the walk
+  /// length i, simulating the shared source's η walks once per length.
+  /// Shared-side cost is charged to the first live query of the run.
+  void EstimateSourceGroup(NodeId s, std::span<const QueryPair> queries,
+                           std::span<QueryStats> stats);
+
   const GraphT* graph_;
   ErOptions options_;
   double lambda_;
   WalkerFor<WP> walker_;
+  // Scratch for multi-target endpoint counting: per-node chain heads
+  // (1-based query index) + per-query next links, reset via the touched
+  // list after every group.
+  std::vector<std::uint32_t> target_head_;
+  std::vector<std::uint32_t> target_next_;
+  std::vector<NodeId> target_touched_;
 };
 
 /// The two stacks, by their historical names.

@@ -8,6 +8,12 @@
 #include "util/check.h"
 
 namespace geer {
+namespace {
+
+// Domain-separation tag for TPC's per-walk streams.
+constexpr std::uint64_t kTpcStreamTag = 0x545043u;  // "TPC"
+
+}  // namespace
 
 template <WeightPolicy WP>
 TpcEstimatorT<WP>::TpcEstimatorT(const GraphT& graph, ErOptions options)
@@ -47,37 +53,54 @@ std::uint64_t TpcEstimatorT<WP>::WalksForLength(std::uint32_t i,
 }
 
 template <WeightPolicy WP>
-void TpcEstimatorT<WP>::AdvancePopulation(Population* pop, NodeId source,
+typename TpcEstimatorT<WP>::Population TpcEstimatorT<WP>::MakePopulation(
+    NodeId source, std::uint64_t side) const {
+  Population pop;
+  pop.source = source;
+  pop.stream_base = MixSeed(
+      MixSeed(MixSeed(options_.seed, kTpcStreamTag), source), side);
+  return pop;
+}
+
+template <WeightPolicy WP>
+void TpcEstimatorT<WP>::AdvancePopulation(Population* pop,
                                           std::uint32_t length,
-                                          std::uint64_t n_walks, Rng& rng,
+                                          std::uint64_t n_walks,
                                           QueryStats* stats) {
-  // Surplus walks are dropped before the (per-walk) extension work.
-  if (pop->ends.size() > n_walks) pop->ends.resize(n_walks);
-  GEER_DCHECK(length >= pop->length);  // half-lengths grow monotonically
-  const std::uint32_t delta = length - pop->length;
-  if (delta > 0) {
-    for (NodeId& end : pop->ends) {
-      end = walker_.WalkEndpoint(end, delta, rng);
+  if (pop->ends.size() < n_walks) {
+    const std::size_t old_size = pop->ends.size();
+    pop->ends.resize(n_walks, pop->source);
+    pop->lengths.resize(n_walks, 0);
+    pop->rngs.reserve(n_walks);
+    for (std::size_t k = old_size; k < n_walks; ++k) {
+      pop->rngs.emplace_back(MixSeed(pop->stream_base, k));
     }
-    stats->walk_steps += pop->ends.size() * delta;
+    stats->walks += n_walks - old_size;
   }
-  pop->length = length;
-  while (pop->ends.size() < n_walks) {
-    pop->ends.push_back(walker_.WalkEndpoint(source, length, rng));
-    ++stats->walks;
-    stats->walk_steps += length;
+  for (std::uint64_t k = 0; k < n_walks; ++k) {
+    const std::uint32_t have = pop->lengths[k];
+    if (have >= length) continue;
+    const std::uint32_t delta = length - have;
+    // Stepping in increments is path-identical to one full walk: the
+    // walk's own stream is consumed one step at a time either way.
+    pop->ends[k] = walker_.WalkEndpoint(pop->ends[k], delta, pop->rngs[k]);
+    pop->lengths[k] = length;
+    stats->walk_steps += delta;
   }
 }
 
 template <WeightPolicy WP>
-double TpcEstimatorT<WP>::Collide(const std::vector<NodeId>& a,
-                                  const std::vector<NodeId>& b) {
+double TpcEstimatorT<WP>::Collide(const Population& a, const Population& b,
+                                  std::uint64_t n) {
+  GEER_DCHECK(a.ends.size() >= n && b.ends.size() >= n);
   touched_.clear();
-  for (const NodeId v : a) {
+  for (std::uint64_t k = 0; k < n; ++k) {
+    const NodeId v = a.ends[k];
     if (count_a_[v] == 0 && count_b_[v] == 0) touched_.push_back(v);
     ++count_a_[v];
   }
-  for (const NodeId v : b) {
+  for (std::uint64_t k = 0; k < n; ++k) {
+    const NodeId v = b.ends[k];
     if (count_a_[v] == 0 && count_b_[v] == 0) touched_.push_back(v);
     ++count_b_[v];
   }
@@ -88,48 +111,121 @@ double TpcEstimatorT<WP>::Collide(const std::vector<NodeId>& a,
     count_a_[v] = 0;
     count_b_[v] = 0;
   }
-  return acc / (static_cast<double>(a.size()) * static_cast<double>(b.size()));
+  return acc / (static_cast<double>(n) * static_cast<double>(n));
+}
+
+template <WeightPolicy WP>
+void TpcEstimatorT<WP>::EstimateSourceGroup(
+    NodeId s, std::span<const QueryPair> queries,
+    std::span<QueryStats> stats) {
+  const NodeId n = graph_->NumNodes();
+  GEER_CHECK(s < n);
+  const std::uint32_t ell =
+      PengEll(options_.epsilon, lambda_, options_.max_ell);
+  const bool truncated =
+      EllWasTruncated(options_.epsilon, lambda_, 1, 1, options_.max_ell,
+                      /*use_peng=*/true);
+  const double inv_ws = 1.0 / WP::NodeWeight(*graph_, s);
+  const std::size_t m = queries.size();
+
+  // Shared source-side populations (A at ⌈i/2⌉, B at ⌊i/2⌋) and the
+  // per-query target-side populations; A and B never mix, so every
+  // per-length collision pairs two independent populations.
+  Population a_s = MakePopulation(s, 0);
+  Population b_s = MakePopulation(s, 1);
+  struct QueryState {
+    bool live = false;
+    double estimate = 0.0;
+    Population a_t, b_t;
+  };
+  std::vector<QueryState> state(m);
+  std::size_t first_live = m;
+  for (std::size_t j = 0; j < m; ++j) {
+    const QueryPair& q = queries[j];
+    GEER_CHECK(q.s < n);
+    GEER_CHECK(q.t < n);
+    GEER_CHECK_EQ(q.s, s);
+    stats[j] = QueryStats{};
+    if (q.s == q.t) continue;  // r(v, v) = 0, zero stats like serial
+    QueryState& st = state[j];
+    st.live = true;
+    st.estimate = inv_ws + 1.0 / WP::NodeWeight(*graph_, q.t);  // i = 0
+    st.a_t = MakePopulation(q.t, 0);
+    st.b_t = MakePopulation(q.t, 1);
+    stats[j].ell = ell;
+    stats[j].truncated = truncated;
+    if (first_live == m) first_live = j;
+  }
+  if (first_live == m) return;  // every query was s == t
+
+  QueryStats shared;  // source-side cost, charged to the first live query
+  std::vector<std::uint64_t> n_walks_of(m, 0);
+  for (std::uint32_t i = 1; i <= ell; ++i) {
+    const std::uint32_t len_a = (i + 1) / 2;  // ⌈i/2⌉
+    const std::uint32_t len_b = i / 2;        // ⌊i/2⌋
+    // The shared populations must cover the largest per-query demand;
+    // each query collides only the prefix it would have grown serially.
+    std::uint64_t n_max = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!state[j].live) continue;
+      n_walks_of[j] = WalksForLength(i, ell, s, queries[j].t);
+      n_max = std::max(n_max, n_walks_of[j]);
+    }
+    AdvancePopulation(&a_s, len_a, n_max, &shared);
+    AdvancePopulation(&b_s, len_b, n_max, &shared);
+    // p_ss depends only on the prefix length, and the per-target β
+    // heuristic often coincides across a group — memoize the shared
+    // collision per distinct n instead of re-counting it per query.
+    std::uint64_t memo_n = 0;
+    double memo_p_ss = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      QueryState& st = state[j];
+      if (!st.live) continue;
+      const std::uint64_t n_walks = n_walks_of[j];
+      AdvancePopulation(&st.a_t, len_a, n_walks, &stats[j]);
+      AdvancePopulation(&st.b_t, len_b, n_walks, &stats[j]);
+      // p_i(s,s)/w(s), p_i(t,t)/w(t), p_i(s,t)/w(t) (= p_i(t,s)/w(s)).
+      if (memo_n != n_walks) {
+        memo_n = n_walks;
+        memo_p_ss = Collide(a_s, b_s, n_walks);
+      }
+      const double p_ss = memo_p_ss;
+      const double p_tt = Collide(st.a_t, st.b_t, n_walks);
+      const double p_st = Collide(a_s, st.b_t, n_walks);
+      st.estimate += p_ss + p_tt - 2.0 * p_st;
+    }
+  }
+
+  for (std::size_t j = 0; j < m; ++j) {
+    if (state[j].live) stats[j].value = state[j].estimate;
+  }
+  stats[first_live].walks += shared.walks;
+  stats[first_live].walk_steps += shared.walk_steps;
 }
 
 template <WeightPolicy WP>
 QueryStats TpcEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
-  GEER_CHECK(s < graph_->NumNodes());
-  GEER_CHECK(t < graph_->NumNodes());
+  const QueryPair query{s, t};
   QueryStats stats;
-  if (s == t) return stats;
-
-  const std::uint32_t ell =
-      PengEll(options_.epsilon, lambda_, options_.max_ell);
-  stats.ell = ell;
-  stats.truncated =
-      EllWasTruncated(options_.epsilon, lambda_, 1, 1, options_.max_ell,
-                      /*use_peng=*/true);
-  const double inv_ws = 1.0 / WP::NodeWeight(*graph_, s);
-  const double inv_wt = 1.0 / WP::NodeWeight(*graph_, t);
-  double estimate = inv_ws + inv_wt;  // i = 0 term
-
-  Rng rng(options_.seed ^ (static_cast<std::uint64_t>(s) << 32) ^ t);
-
-  // The four cached populations: A side at length ⌈i/2⌉, B side at
-  // ⌊i/2⌋, each from s and from t. A and B never mix, so every per-length
-  // collision pairs two independent populations.
-  Population a_s, a_t, b_s, b_t;
-  for (std::uint32_t i = 1; i <= ell; ++i) {
-    const std::uint32_t len_a = (i + 1) / 2;  // ⌈i/2⌉
-    const std::uint32_t len_b = i / 2;        // ⌊i/2⌋
-    const std::uint64_t n_walks = WalksForLength(i, ell, s, t);
-    AdvancePopulation(&a_s, s, len_a, n_walks, rng, &stats);
-    AdvancePopulation(&a_t, t, len_a, n_walks, rng, &stats);
-    AdvancePopulation(&b_s, s, len_b, n_walks, rng, &stats);
-    AdvancePopulation(&b_t, t, len_b, n_walks, rng, &stats);
-    // p_i(s,s)/w(s), p_i(t,t)/w(t), p_i(s,t)/w(t) (= p_i(t,s)/w(s)).
-    const double p_ss = Collide(a_s.ends, b_s.ends);
-    const double p_tt = Collide(a_t.ends, b_t.ends);
-    const double p_st = Collide(a_s.ends, b_t.ends);
-    estimate += p_ss + p_tt - 2.0 * p_st;
-  }
-  stats.value = estimate;
+  EstimateSourceGroup(s, std::span<const QueryPair>(&query, 1),
+                      std::span<QueryStats>(&stats, 1));
   return stats;
+}
+
+template <WeightPolicy WP>
+std::size_t TpcEstimatorT<WP>::EstimateBatch(
+    std::span<const QueryPair> queries, std::span<QueryStats> stats,
+    const BatchContext& context) {
+  // Groups are answered in lockstep, so a run is all-or-nothing — the
+  // deadline's cut granularity is one same-source group.
+  return EstimateBySourceRuns(
+      queries, stats, context,
+      [this, &context](NodeId s, std::span<const QueryPair> run_queries,
+                       std::span<QueryStats> run_stats) {
+        EstimateSourceGroup(s, run_queries, run_stats);
+        context.ReportAnswered(run_queries.size());
+        return run_queries.size();
+      });
 }
 
 template class TpcEstimatorT<UnitWeight>;

@@ -14,14 +14,18 @@
 // and options.tpc_scale rescales the constant. With heuristic β the
 // ε-guarantee is forfeited — exactly the caveat the paper states.
 //
-// Perf: the four walk populations (A/B sides from s and t) are cached
-// across the per-length loop. When the half-length grows from ⌈(i−1)/2⌉
-// to ⌈i/2⌉ every cached walk is EXTENDED by the difference instead of
-// being re-simulated from the source, so a query costs O(Σ_i η_i) steps
-// instead of O(Σ_i η_i·i). The A and B populations stay mutually
-// independent, which is all the collision statistic's unbiasedness needs;
-// only the (already heuristic) across-length variance cancellation
-// changes. Weight-generic over graph/weight_policy.h.
+// Perf + batching: every cached walk is content-addressed — walk k of
+// the (source, side) population steps through its own RNG stream seeded
+// from (seed, source, side, k) — so a population's first n endpoints at
+// length L are a pure function of (seed, source, side, n, L), never of
+// which query (or thread) asked first. Walks are still EXTENDED in place
+// as the half-length grows (the PR-2 perf win: a query costs O(Σ_i η_i)
+// steps, not O(Σ_i η_i·i)), and a same-source query group additionally
+// shares the source-side A/B populations: the group advances in lockstep
+// over i, each query colliding its own target populations against the
+// shared prefix it would have simulated serially. The A and B sides stay
+// mutually independent, which is all the collision statistic's
+// unbiasedness needs. Weight-generic over graph/weight_policy.h.
 
 #ifndef GEER_CORE_TPC_H_
 #define GEER_CORE_TPC_H_
@@ -50,6 +54,21 @@ class TpcEstimatorT : public ErEstimator {
   }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
+  /// Shares the source-side walk populations across consecutive
+  /// same-source queries (see the header comment).
+  std::size_t EstimateBatch(std::span<const QueryPair> queries,
+                            std::span<QueryStats> stats,
+                            const BatchContext& context = {}) override;
+  BatchPlan PlanBatch(std::span<const QueryPair> queries) const override {
+    return BatchPlan::GroupBySource(queries);
+  }
+  bool SharesBatchWork() const override { return true; }
+  std::unique_ptr<ErEstimator> CloneForBatch() const override {
+    ErOptions opt = options_;
+    opt.lambda = lambda_;  // clones never re-run Lanczos
+    return std::make_unique<TpcEstimatorT<WP>>(*graph_, opt);
+  }
+
   double lambda() const { return lambda_; }
 
   /// The heuristic β_i used for the sample-count formula.
@@ -60,22 +79,35 @@ class TpcEstimatorT : public ErEstimator {
                                NodeId t) const;
 
  private:
-  /// A cached endpoint population: ends[k] is the current endpoint of the
-  /// k-th walk, all of the same current length.
+  /// A lazily grown walk population from one (source, side): walk k owns
+  /// stream Rng(MixSeed(stream_base, k)), its current endpoint and
+  /// length. Prefixes are content-addressed (see the header comment).
   struct Population {
+    NodeId source = 0;
+    std::uint64_t stream_base = 0;
     std::vector<NodeId> ends;
-    std::uint32_t length = 0;
+    std::vector<std::uint32_t> lengths;
+    std::vector<Rng> rngs;
   };
 
-  /// Brings `pop` to `length` (extending every cached walk by the
-  /// difference) and to `n_walks` walks (spawning fresh full-length walks
-  /// or dropping surplus ones), charging the work to `stats`.
-  void AdvancePopulation(Population* pop, NodeId source, std::uint32_t length,
-                         std::uint64_t n_walks, Rng& rng, QueryStats* stats);
+  /// side: 0 = A (length ⌈i/2⌉), 1 = B (length ⌊i/2⌋).
+  Population MakePopulation(NodeId source, std::uint64_t side) const;
 
-  /// Collision statistic Σ_v cntA(v)·cntB(v)/w(v) / (|a|·|b|) between two
-  /// independent endpoint populations.
-  double Collide(const std::vector<NodeId>& a, const std::vector<NodeId>& b);
+  /// Brings walks [0, n_walks) of `pop` to at least `length` (spawning
+  /// missing walks, extending short ones from their own streams),
+  /// charging the work to `stats`. Walks beyond n_walks are left as-is.
+  void AdvancePopulation(Population* pop, std::uint32_t length,
+                         std::uint64_t n_walks, QueryStats* stats);
+
+  /// Collision statistic Σ_v cntA(v)·cntB(v)/w(v) / n² between the first
+  /// n endpoints of two independent populations.
+  double Collide(const Population& a, const Population& b, std::uint64_t n);
+
+  /// Answers a run of same-source queries in lockstep over the length i,
+  /// sharing the source-side A/B populations. Shared-side cost is
+  /// charged to the first live query of the run.
+  void EstimateSourceGroup(NodeId s, std::span<const QueryPair> queries,
+                           std::span<QueryStats> stats);
 
   const GraphT* graph_;
   ErOptions options_;

@@ -7,7 +7,6 @@
 #include "linalg/laplacian_solver.h"
 #include "rw/rng.h"
 #include "util/check.h"
-#include "weighted/weighted_laplacian.h"
 
 namespace geer {
 

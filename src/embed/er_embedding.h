@@ -20,7 +20,7 @@
 
 #include "graph/graph.h"
 #include "linalg/dense.h"
-#include "weighted/weighted_graph.h"
+#include "graph/weighted_graph.h"
 
 namespace geer {
 

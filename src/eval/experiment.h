@@ -1,7 +1,11 @@
 // The experiment runner behind every figure bench: runs one estimator
 // over a query set with a wall-clock budget, collecting the statistics
 // the paper reports (average query time, average absolute error) plus
-// cost instrumentation.
+// cost instrumentation. Queries route through the batch engine
+// (core/batch_engine.h): the estimator's BatchPlan groups shared work,
+// RunConfig::threads fans the groups out over a work-stealing pool, and
+// the deadline is enforced cooperatively across workers. Per-query
+// values are bit-identical to the serial loop at any thread count.
 
 #ifndef GEER_EVAL_EXPERIMENT_H_
 #define GEER_EVAL_EXPERIMENT_H_
@@ -25,8 +29,10 @@ struct MethodResult {
   bool feasible = true;     ///< false → OOM-style precondition failure
   bool completed = true;    ///< false → deadline hit (paper's ">1 day")
   std::size_t queries_answered = 0;
+  int threads = 1;              ///< engine workers used for this cell
+  bool shares_batch_work = false;  ///< algorithm amortizes same-source work
 
-  double avg_millis = 0.0;     ///< mean per-query wall time
+  double avg_millis = 0.0;     ///< batch wall time / queries answered
   double avg_abs_error = 0.0;  ///< vs supplied ground truth
   double max_abs_error = 0.0;
   double total_walks = 0.0;    ///< mean walks per query
@@ -47,6 +53,7 @@ struct MethodResult {
 struct RunConfig {
   double deadline_seconds = 60.0;  ///< per-(method, ε) budget; ≤0 = none
   bool collect_errors = true;      ///< compare against ground truth
+  int threads = 1;                 ///< engine workers; 0 = hw concurrency
 };
 
 /// Runs `method` over `queries`. `ground_truth[i]` pairs with queries[i]

@@ -1,70 +1,31 @@
 #include "eval/ground_truth.h"
 
-#include <atomic>
-#include <thread>
+#include <memory>
 
 #include "core/options.h"
 #include "core/smm.h"
 #include "linalg/laplacian_solver.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace geer {
-namespace {
-
-int ResolveThreads(int requested, std::size_t work_items) {
-  int threads = requested > 0
-                    ? requested
-                    : static_cast<int>(std::thread::hardware_concurrency());
-  if (threads <= 0) threads = 1;
-  if (static_cast<std::size_t>(threads) > work_items) {
-    threads = static_cast<int>(work_items);
-  }
-  return std::max(threads, 1);
-}
-
-// Runs `fn(query_index)` over all queries with a shared work queue.
-template <typename Fn>
-void ParallelFor(std::size_t count, int num_threads, const Fn& fn) {
-  if (count == 0) return;
-  const int threads = ResolveThreads(num_threads, count);
-  if (threads == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-  std::atomic<std::size_t> next(0);
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int w = 0; w < threads; ++w) {
-    pool.emplace_back([&next, count, &fn]() {
-      for (std::size_t i = next.fetch_add(1); i < count;
-           i = next.fetch_add(1)) {
-        fn(i);
-      }
-    });
-  }
-  for (auto& th : pool) th.join();
-}
-
-}  // namespace
 
 std::vector<double> GroundTruthCg(const Graph& graph,
                                   const std::vector<QueryPair>& queries,
                                   int num_threads) {
   std::vector<double> truth(queries.size(), 0.0);
+  if (queries.empty()) return truth;
   LaplacianSolver::Options opt;
   opt.tolerance = 1e-12;
   opt.max_iterations = 50000;
-  // One solver per worker thread (solvers hold no per-query state but
-  // Solve allocates; constructing per thread keeps it simple and safe).
-  ParallelFor(queries.size(), num_threads, [&](std::size_t i) {
-    thread_local std::unique_ptr<LaplacianSolver> solver;
-    thread_local const Graph* solver_graph = nullptr;
-    if (solver_graph != &graph) {
-      solver = std::make_unique<LaplacianSolver>(graph, opt);
-      solver_graph = &graph;
-    }
-    truth[i] = solver->EffectiveResistance(queries[i].s, queries[i].t);
-  });
+  // Solve() is const and allocates per call, so one solver serves every
+  // worker of the pool race-free.
+  const LaplacianSolver solver(graph, opt);
+  WorkStealingPool::Run(
+      ResolveWorkerCount(num_threads, queries.size()), queries.size(),
+      [&](int /*worker*/, std::size_t i) {
+        truth[i] = solver.EffectiveResistance(queries[i].s, queries[i].t);
+      });
   return truth;
 }
 
@@ -74,12 +35,24 @@ std::vector<double> GroundTruthSmm(const Graph& graph,
                                    int num_threads) {
   GEER_CHECK_GT(iterations, 0u);
   std::vector<double> truth(queries.size(), 0.0);
-  ParallelFor(queries.size(), num_threads, [&](std::size_t i) {
-    TransitionOperator op(graph);
-    SmmIterator iter(graph, &op, queries[i].s, queries[i].t);
-    for (std::uint32_t k = 0; k < iterations; ++k) iter.Advance();
-    truth[i] = iter.rb();
-  });
+  if (queries.empty()) return truth;
+  const int workers = ResolveWorkerCount(num_threads, queries.size());
+  // The transition operator owns scratch buffers, so each worker gets
+  // its own (constructed once per worker, not once per query).
+  std::vector<std::unique_ptr<TransitionOperator>> ops;
+  ops.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    ops.push_back(std::make_unique<TransitionOperator>(graph));
+  }
+  WorkStealingPool::Run(workers, queries.size(),
+                        [&](int worker, std::size_t i) {
+                          SmmIterator iter(graph, ops[worker].get(),
+                                           queries[i].s, queries[i].t);
+                          for (std::uint32_t k = 0; k < iterations; ++k) {
+                            iter.Advance();
+                          }
+                          truth[i] = iter.rb();
+                        });
   return truth;
 }
 

@@ -7,15 +7,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/estimator.h"  // QueryPair
 #include "graph/graph.h"
 
 namespace geer {
-
-/// A single PER query.
-struct QueryPair {
-  NodeId s = 0;
-  NodeId t = 0;
-};
 
 /// `count` node pairs uniform over V×V with s ≠ t (deterministic in seed).
 std::vector<QueryPair> RandomPairs(const Graph& graph, std::size_t count,

@@ -1,4 +1,4 @@
-#include "weighted/weighted_generators.h"
+#include "graph/weighted_generators.h"
 
 #include "rw/rng.h"
 #include "util/check.h"

@@ -1,4 +1,4 @@
-#include "weighted/weighted_io.h"
+#include "graph/weighted_io.h"
 
 #include <cmath>
 #include <cstdlib>

@@ -11,6 +11,17 @@
 
 namespace geer {
 
+/// Mixes two 64-bit words into a decorrelated stream seed (splitmix64
+/// finalizer). Content-addressed random streams — "the k-th walk from
+/// source v" — chain it: MixSeed(MixSeed(seed, v), k). Deterministic and
+/// platform-independent, like everything else in this header.
+inline std::uint64_t MixSeed(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a + 0x9e3779b97f4a7c15ULL * (b + 0x632be59bd9b4e019ULL);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// xoshiro256++ PRNG (Blackman & Vigna). Not cryptographically secure.
 class Rng {
  public:

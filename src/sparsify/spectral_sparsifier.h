@@ -16,7 +16,7 @@
 #include <span>
 
 #include "graph/graph.h"
-#include "weighted/weighted_graph.h"
+#include "graph/weighted_graph.h"
 
 namespace geer {
 

@@ -1,0 +1,96 @@
+#include "util/thread_pool.h"
+
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace geer {
+namespace {
+
+// Mutex-guarded deque: contention is per-task-pop, and tasks in this
+// library (query groups) are orders of magnitude heavier than a lock, so
+// the simple TSan-friendly implementation wins over a lock-free one.
+struct TaskDeque {
+  std::mutex mu;
+  std::deque<std::size_t> tasks;
+
+  bool PopFront(std::size_t* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (tasks.empty()) return false;
+    *out = tasks.front();
+    tasks.pop_front();
+    return true;
+  }
+
+  bool StealBack(std::size_t* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (tasks.empty()) return false;
+    *out = tasks.back();
+    tasks.pop_back();
+    return true;
+  }
+};
+
+}  // namespace
+
+int ResolveWorkerCount(int requested, std::size_t num_tasks) {
+  int workers = requested > 0
+                    ? requested
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (workers <= 0) workers = 1;
+  if (static_cast<std::size_t>(workers) > num_tasks) {
+    workers = static_cast<int>(num_tasks);
+  }
+  return workers < 1 ? 1 : workers;
+}
+
+void WorkStealingPool::Run(
+    int workers, std::size_t num_tasks,
+    const std::function<void(int, std::size_t)>& fn) {
+  if (num_tasks == 0) return;
+  workers = ResolveWorkerCount(workers, num_tasks);
+  if (workers == 1) {
+    for (std::size_t i = 0; i < num_tasks; ++i) fn(0, i);
+    return;
+  }
+
+  std::vector<TaskDeque> deques(static_cast<std::size_t>(workers));
+  // Round-robin deal preserves rough order within each worker while
+  // spreading adjacent (often similarly sized) tasks across workers.
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    deques[i % workers].tasks.push_back(i);
+  }
+
+  auto worker_loop = [&deques, &fn, workers](int id) {
+    std::size_t task = 0;
+    for (;;) {
+      if (deques[id].PopFront(&task)) {
+        fn(id, task);
+        continue;
+      }
+      bool stole = false;
+      for (int off = 1; off < workers; ++off) {
+        const int victim = (id + off) % workers;
+        if (deques[victim].StealBack(&task)) {
+          stole = true;
+          break;
+        }
+      }
+      if (!stole) return;  // all deques empty: done (no task re-entry)
+      fn(id, task);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers) - 1);
+  for (int id = 1; id < workers; ++id) {
+    threads.emplace_back(worker_loop, id);
+  }
+  worker_loop(0);  // the caller is worker 0
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace geer

@@ -1,0 +1,40 @@
+// A small work-stealing fork/join pool for batch query execution.
+//
+// One Run() fans a fixed task set out over N workers: tasks are dealt
+// round-robin into per-worker deques up front; each worker drains its own
+// deque from the front and, when empty, steals from the back of a victim's
+// deque. The calling thread participates as worker 0, so Run(1, …) is an
+// inline loop with zero threading overhead — the batch engine relies on
+// that for its bit-identical single-thread mode.
+//
+// Scheduling order is non-deterministic across runs; callers must make
+// task RESULTS order-independent (the estimator contract's
+// (seed, s, t)-derived streams do exactly that).
+
+#ifndef GEER_UTIL_THREAD_POOL_H_
+#define GEER_UTIL_THREAD_POOL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace geer {
+
+/// Resolves a requested worker count: 0 → hardware concurrency, then
+/// clamped to [1, num_tasks] (never more workers than tasks).
+int ResolveWorkerCount(int requested, std::size_t num_tasks);
+
+/// A work-stealing scheduler over an indexed task set.
+class WorkStealingPool {
+ public:
+  /// Runs fn(worker_id, task_index) for every task in [0, num_tasks),
+  /// blocking until all tasks finished. worker_id ∈ [0, workers);
+  /// `workers` is resolved via ResolveWorkerCount. A task that wants to
+  /// stop the run early must coordinate through its own state (e.g. a
+  /// BatchContext) — the pool always dispatches every task.
+  static void Run(int workers, std::size_t num_tasks,
+                  const std::function<void(int, std::size_t)>& fn);
+};
+
+}  // namespace geer
+
+#endif  // GEER_UTIL_THREAD_POOL_H_

@@ -5,7 +5,7 @@
 #include <cmath>
 #include <vector>
 
-#include "weighted/weighted_generators.h"
+#include "graph/weighted_generators.h"
 
 namespace geer {
 namespace {

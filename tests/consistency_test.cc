@@ -101,13 +101,21 @@ class TightConsistencyTest
 
 TEST_P(TightConsistencyTest, WithinEpsilon) {
   const auto& [method, epsilon] = GetParam();
-  Graph g = testing::DenseTestGraph(24);
+  // AMC's one-hot sample bound is Θ(ℓ²ψ²/ε²), so the tight-ε cells blow
+  // up with the fixture's mixing time: on the 24-node instance the
+  // ε = 0.05 cell alone cost ~37 s of wall clock. The 12-node instance
+  // of the same family (complete core + ring) carries the identical
+  // statistical assertion — one-hot AMC within ε of EXACT under a fixed
+  // seed — at a smaller λ, so ℓ, ψ and the walk budget all shrink.
+  const NodeId n = method == "AMC" ? 12 : 24;
+  Graph g = testing::DenseTestGraph(n);
   ErOptions opt;
   opt.epsilon = epsilon;
   opt.seed = 7;
   auto estimator = CreateEstimator(method, g, opt);
   ExactEstimator exact(g);
-  const std::pair<NodeId, NodeId> pairs[] = {{0, 12}, {3, 20}, {8, 9}};
+  const std::pair<NodeId, NodeId> pairs[] = {
+      {0, n / 2}, {3, static_cast<NodeId>(n - 4)}, {8, 9}};
   for (auto [s, t] : pairs) {
     const double truth = exact.Estimate(s, t);
     EXPECT_LE(std::abs(estimator->Estimate(s, t) - truth), epsilon)

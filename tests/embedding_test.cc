@@ -7,8 +7,8 @@
 
 #include "core/exact.h"
 #include "graph/generators.h"
-#include "weighted/weighted_generators.h"
-#include "weighted/weighted_laplacian.h"
+#include "graph/weighted_generators.h"
+#include "linalg/laplacian_solver.h"
 
 namespace geer {
 namespace {

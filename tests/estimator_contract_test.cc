@@ -28,8 +28,7 @@
 #include "rw/alias.h"
 #include "rw/walker.h"
 #include "test_util.h"
-#include "weighted/weighted_estimator.h"
-#include "weighted/weighted_generators.h"
+#include "graph/weighted_generators.h"
 
 namespace geer {
 namespace {

@@ -19,9 +19,9 @@
 #include "graph/graph.h"
 #include "graph/io.h"
 #include "test_util.h"
-#include "weighted/weighted_generators.h"
-#include "weighted/weighted_graph.h"
-#include "weighted/weighted_io.h"
+#include "graph/weighted_generators.h"
+#include "graph/weighted_graph.h"
+#include "graph/weighted_io.h"
 
 namespace geer {
 namespace {

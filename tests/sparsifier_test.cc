@@ -8,7 +8,7 @@
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "linalg/laplacian_solver.h"
-#include "weighted/weighted_generators.h"
+#include "graph/weighted_generators.h"
 
 namespace geer {
 namespace {

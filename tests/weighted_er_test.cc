@@ -12,16 +12,14 @@
 #include "core/geer.h"
 #include "core/smm.h"
 #include "graph/generators.h"
-#include "weighted/weighted_amc.h"
-#include "weighted/weighted_estimator.h"
-#include "weighted/weighted_generators.h"
-#include "weighted/weighted_geer.h"
-#include "weighted/weighted_smm.h"
+#include "core/amc.h"
+#include "core/solver_er.h"
+#include "graph/weighted_generators.h"
 
 namespace geer {
 namespace {
 
-std::unique_ptr<WeightedErEstimator> MakeWeighted(const std::string& name,
+std::unique_ptr<ErEstimator> MakeWeighted(const std::string& name,
                                                   const WeightedGraph& g,
                                                   const ErOptions& opt) {
   if (name == "W-SMM") return std::make_unique<WeightedSmmEstimator>(g, opt);

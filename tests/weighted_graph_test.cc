@@ -1,9 +1,9 @@
-#include "weighted/weighted_graph.h"
+#include "graph/weighted_graph.h"
 
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
-#include "weighted/weighted_generators.h"
+#include "graph/weighted_generators.h"
 
 namespace geer {
 namespace {

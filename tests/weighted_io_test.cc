@@ -1,4 +1,4 @@
-#include "weighted/weighted_io.h"
+#include "graph/weighted_io.h"
 
 #include <gtest/gtest.h>
 
@@ -7,7 +7,7 @@
 #include <filesystem>
 #include <vector>
 
-#include "weighted/weighted_generators.h"
+#include "graph/weighted_generators.h"
 
 namespace geer {
 namespace {

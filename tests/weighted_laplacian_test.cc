@@ -1,12 +1,11 @@
-#include "weighted/weighted_laplacian.h"
+#include "linalg/laplacian_solver.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "graph/generators.h"
-#include "linalg/laplacian_solver.h"
-#include "weighted/weighted_generators.h"
+#include "graph/weighted_generators.h"
 
 namespace geer {
 namespace {

@@ -11,8 +11,8 @@
 #include <tuple>
 
 #include "graph/generators.h"
-#include "weighted/weighted_generators.h"
-#include "weighted/weighted_laplacian.h"
+#include "graph/weighted_generators.h"
+#include "linalg/laplacian_solver.h"
 
 namespace geer {
 namespace {

@@ -1,12 +1,11 @@
-#include "weighted/weighted_spectral.h"
+#include "linalg/spectral.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "graph/generators.h"
-#include "linalg/spectral.h"
-#include "weighted/weighted_generators.h"
+#include "graph/weighted_generators.h"
 
 namespace geer {
 namespace {

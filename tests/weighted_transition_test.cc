@@ -1,11 +1,11 @@
-#include "weighted/weighted_transition.h"
+#include "linalg/transition.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
-#include "weighted/weighted_generators.h"
-#include "weighted/weighted_graph.h"
+#include "graph/weighted_generators.h"
+#include "graph/weighted_graph.h"
 
 namespace geer {
 namespace {

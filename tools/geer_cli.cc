@@ -21,10 +21,17 @@
 //   --stdin             read "s t" pairs from stdin
 //   --stats             print per-query cost columns
 //   --csv               machine-readable output
-//   --list              print registered estimators and datasets, exit
+//   --list              print registered estimators and datasets (with
+//                       their batch-sharing capability), exit
 //   --weighted          treat --graph as a "u v w" conductance list and
 //                       run the weighted instantiation of --method (every
 //                       registered algorithm; "W-GEER" ≡ "GEER")
+//   --batch             answer through the batch engine: queries are
+//                       grouped by the method's BatchPlan (same-source
+//                       groups share walk populations / SpMV iterates)
+//   --threads=N         batch-engine worker threads (implies --batch;
+//                       0 = hardware concurrency). Values are
+//                       bit-identical at any thread count.
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,13 +40,14 @@
 #include <string>
 #include <vector>
 
+#include "core/batch_engine.h"
 #include "core/registry.h"
 #include "eval/datasets.h"
 #include "eval/queries.h"
 #include "graph/algorithms.h"
 #include "linalg/spectral.h"
 #include "util/timer.h"
-#include "weighted/weighted_io.h"
+#include "graph/weighted_io.h"
 
 namespace geer {
 namespace {
@@ -58,7 +66,83 @@ struct CliArgs {
   bool csv = false;
   bool list = false;
   bool weighted = false;
+  bool batch = false;
+  int threads = 1;
 };
+
+// The --batch / --threads path: one engine run over the whole query set,
+// grouped by the method's plan, then one result row per query in input
+// order. Per-query wall time is meaningless under sharing/parallelism,
+// so the summary reports amortized milliseconds instead.
+int RunBatchQueries(ErEstimator* estimator,
+                    const std::vector<QueryPair>& queries,
+                    const CliArgs& args) {
+  std::vector<QueryStats> stats(queries.size());
+  BatchOptions options;
+  options.threads = args.threads;
+  Timer timer;
+  const BatchReport report =
+      RunQueryBatch(*estimator, queries, stats, options);
+  const double wall_ms = timer.ElapsedMillis();
+
+  if (args.csv) {
+    std::printf(args.stats ? "s,t,er,walks,walk_steps,spmv_ops,ell,ell_b\n"
+                           : "s,t,er\n");
+  } else if (args.stats) {
+    std::printf("%8s %8s %12s %10s %12s %12s %6s %6s\n", "s", "t", "er",
+                "walks", "walk_steps", "spmv_ops", "ell", "ell_b");
+  }
+  std::size_t skipped = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const QueryPair& q = queries[i];
+    if (!report.processed[i]) {  // deadline cut (no CLI deadline today)
+      ++skipped;
+      if (!args.csv) {
+        std::printf("r(%u, %u): not answered (batch cut short)\n", q.s, q.t);
+      }
+      continue;
+    }
+    if (!estimator->SupportsQuery(q.s, q.t)) {
+      ++skipped;
+      if (!args.csv) {
+        std::printf("r(%u, %u): unsupported by %s (edge-only method)\n",
+                    q.s, q.t, estimator->Name().c_str());
+      }
+      continue;
+    }
+    const QueryStats& st = stats[i];
+    if (args.csv) {
+      if (args.stats) {
+        std::printf("%u,%u,%.9g,%llu,%llu,%llu,%u,%u\n", q.s, q.t, st.value,
+                    static_cast<unsigned long long>(st.walks),
+                    static_cast<unsigned long long>(st.walk_steps),
+                    static_cast<unsigned long long>(st.spmv_ops), st.ell,
+                    st.ell_b);
+      } else {
+        std::printf("%u,%u,%.9g\n", q.s, q.t, st.value);
+      }
+    } else if (args.stats) {
+      std::printf("%8u %8u %12.6f %10llu %12llu %12llu %6u %6u\n", q.s, q.t,
+                  st.value, static_cast<unsigned long long>(st.walks),
+                  static_cast<unsigned long long>(st.walk_steps),
+                  static_cast<unsigned long long>(st.spmv_ops), st.ell,
+                  st.ell_b);
+    } else {
+      std::printf("r(%u, %u) = %.6f\n", q.s, q.t, st.value);
+    }
+  }
+  if (!args.csv) {
+    const std::size_t answered = queries.size() - skipped;
+    std::printf(
+        "# batch: %zu queries in %.1f ms (%.2f ms/query amortized, "
+        "threads=%d, shared_precompute=%s)%s\n",
+        answered, wall_ms,
+        wall_ms / static_cast<double>(answered > 0 ? answered : 1),
+        report.workers, estimator->SharesBatchWork() ? "yes" : "no",
+        skipped > 0 ? " — some skipped" : "");
+  }
+  return 0;
+}
 
 // The --weighted path: conductance edge list in, the weighted
 // instantiation of any registered estimator out (core/registry.h).
@@ -128,6 +212,11 @@ int RunWeighted(const CliArgs& args, std::vector<QueryPair> queries) {
                    q.t, graph->NumNodes());
       return 1;
     }
+  }
+  if (args.batch || args.threads != 1) {
+    return RunBatchQueries(estimator.get(), queries, args);
+  }
+  for (const auto& q : queries) {
     if (!estimator->SupportsQuery(q.s, q.t)) {
       if (!args.csv) {
         std::printf("r(%u, %u): unsupported by %s (edge-only method)\n", q.s,
@@ -165,7 +254,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--graph=PATH | --dataset=NAME) [--method=NAME]\n"
                "          [--epsilon=F] [--pair=S:T ...] [--random=N]\n"
-               "          [--edges=N] [--stdin] [--stats] [--csv] [--list]\n",
+               "          [--edges=N] [--stdin] [--stats] [--csv] [--list]\n"
+               "          [--batch] [--threads=N] [--weighted]\n",
                argv0);
   return 2;
 }
@@ -177,6 +267,10 @@ int Run(const CliArgs& args) {
     std::printf("\nweighted estimators (--weighted):");
     for (const auto& name : WeightedEstimatorNames()) {
       std::printf(" %s", name.c_str());
+    }
+    std::printf("\nbatch shared-precompute (--batch):");
+    for (const auto& name : EstimatorNames()) {
+      if (EstimatorSharesBatchWork(name)) std::printf(" %s", name.c_str());
     }
     std::printf("\ndatasets:");
     for (const auto& name : DatasetNames()) std::printf(" %s", name.c_str());
@@ -284,6 +378,9 @@ int Run(const CliArgs& args) {
   }
 
   // --- Answer -------------------------------------------------------------
+  if (args.batch || args.threads != 1) {
+    return RunBatchQueries(estimator.get(), queries, args);
+  }
   if (args.csv) {
     std::printf(args.stats ? "s,t,er,ms,walks,walk_steps,spmv_ops,ell,ell_b\n"
                            : "s,t,er,ms\n");
@@ -375,6 +472,11 @@ int main(int argc, char** argv) {
       args.random_pairs = static_cast<std::size_t>(std::atoll(v->c_str()));
     } else if (auto v = value("--edges")) {
       args.random_edges = static_cast<std::size_t>(std::atoll(v->c_str()));
+    } else if (auto v = value("--threads")) {
+      args.threads = std::atoi(v->c_str());
+      args.batch = true;
+    } else if (arg == "--batch") {
+      args.batch = true;
     } else if (arg == "--stdin") {
       args.read_stdin = true;
     } else if (arg == "--stats") {

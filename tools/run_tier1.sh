@@ -2,13 +2,18 @@
 # Tier-1 verify: configure, build, and run the full ctest suite.
 # This is the CI entry point; it exits non-zero as soon as any stage fails.
 #
-# Usage: tools/run_tier1.sh [--asan] [build-dir]
+# Usage: tools/run_tier1.sh [--asan | --tsan] [build-dir]
 #   --asan      build and test with AddressSanitizer + UBSan
 #               (default build dir then becomes "build-asan")
+#   --tsan      build and test with ThreadSanitizer — the configuration
+#               the batch-determinism suite runs under in CI
+#               (default build dir then becomes "build-tsan")
 #   build-dir   defaults to "build" (relative to the repo root)
 #
 # Environment:
-#   JOBS        parallelism for build and ctest (default: nproc)
+#   JOBS          parallelism for build and ctest (default: nproc)
+#   CTEST_FILTER  optional ctest -R regex (e.g. batch_determinism for the
+#                 TSan CI job); default runs everything
 
 set -euo pipefail
 
@@ -16,19 +21,30 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 
 ASAN=0
+TSAN=0
 BUILD_DIR=""
 for arg in "$@"; do
   case "$arg" in
     --asan) ASAN=1 ;;
+    --tsan) TSAN=1 ;;
     -*) echo "unknown flag: $arg" >&2; exit 2 ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
+if [[ "$ASAN" == 1 && "$TSAN" == 1 ]]; then
+  echo "--asan and --tsan are mutually exclusive" >&2
+  exit 2
+fi
 
 CMAKE_ARGS=()
 if [[ "$ASAN" == 1 ]]; then
   BUILD_DIR="${BUILD_DIR:-build-asan}"
   SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  CMAKE_ARGS+=("-DCMAKE_CXX_FLAGS=${SAN_FLAGS}"
+               "-DCMAKE_EXE_LINKER_FLAGS=${SAN_FLAGS}")
+elif [[ "$TSAN" == 1 ]]; then
+  BUILD_DIR="${BUILD_DIR:-build-tsan}"
+  SAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
   CMAKE_ARGS+=("-DCMAKE_CXX_FLAGS=${SAN_FLAGS}"
                "-DCMAKE_EXE_LINKER_FLAGS=${SAN_FLAGS}")
 else
@@ -45,9 +61,14 @@ cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
 echo "== tier-1: build (-j${JOBS}) =="
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-echo "== tier-1: ctest (-j${JOBS}) =="
+CTEST_ARGS=(--output-on-failure -j "$JOBS")
+if [[ -n "${CTEST_FILTER:-}" ]]; then
+  CTEST_ARGS+=(-R "$CTEST_FILTER")
+fi
+
+echo "== tier-1: ctest (-j${JOBS}${CTEST_FILTER:+, -R $CTEST_FILTER}) =="
 # cd instead of `ctest --test-dir`: the latter needs CTest >= 3.20 while
 # the build itself accepts CMake 3.16.
-(cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+(cd "$BUILD_DIR" && ctest "${CTEST_ARGS[@]}")
 
 echo "== tier-1: PASS =="
