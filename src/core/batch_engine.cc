@@ -47,21 +47,34 @@ BatchReport RunQueryBatch(ErEstimator& estimator,
   ValidatePlan(plan, n);
   const std::size_t num_groups = plan.NumGroups();
 
-  int workers = ResolveWorkerCount(options.threads, num_groups);
-
-  // Workers 1… answer on independent clones; worker 0 reuses the caller's
-  // estimator, so the single-thread path has zero construction overhead.
+  // Worker estimators: caller-provided session workers (persisting their
+  // caches across engine runs), or ad-hoc clones. Workers 1… answer on
+  // independent clones; worker 0 reuses the caller's estimator, so the
+  // single-thread path has zero construction overhead.
+  int workers;
   std::vector<std::unique_ptr<ErEstimator>> clones;
-  if (workers > 1) {
-    clones.reserve(static_cast<std::size_t>(workers) - 1);
-    for (int w = 1; w < workers; ++w) {
-      std::unique_ptr<ErEstimator> clone = estimator.CloneForBatch();
-      if (clone == nullptr) {  // not clonable: degrade to single-threaded
-        clones.clear();
-        workers = 1;
-        break;
+  std::vector<ErEstimator*> worker_estimators;
+  if (!options.session_workers.empty()) {
+    workers = ResolveWorkerCount(
+        static_cast<int>(options.session_workers.size()), num_groups);
+    worker_estimators.assign(options.session_workers.begin(),
+                             options.session_workers.begin() + workers);
+  } else {
+    workers = ResolveWorkerCount(options.threads, num_groups);
+    worker_estimators.push_back(&estimator);
+    if (workers > 1) {
+      clones.reserve(static_cast<std::size_t>(workers) - 1);
+      for (int w = 1; w < workers; ++w) {
+        std::unique_ptr<ErEstimator> clone = estimator.CloneForBatch();
+        if (clone == nullptr) {  // not clonable: degrade to single-threaded
+          clones.clear();
+          workers = 1;
+          break;
+        }
+        clones.push_back(std::move(clone));
+        worker_estimators.push_back(clones.back().get());
       }
-      clones.push_back(std::move(clone));
+      if (workers == 1) worker_estimators.resize(1);
     }
   }
 
@@ -70,7 +83,7 @@ BatchReport RunQueryBatch(ErEstimator& estimator,
   std::atomic<std::uint64_t> answered_counter(0);
   const BatchContext context(
       &cancel, options.deadline_seconds > 0.0 ? &deadline : nullptr,
-      &answered_counter);
+      &answered_counter, options.cancel);
 
   // Per-worker gather/scatter scratch: groups reference arbitrary input
   // positions, while EstimateBatch wants contiguous spans.
@@ -83,8 +96,7 @@ BatchReport RunQueryBatch(ErEstimator& estimator,
   WorkStealingPool::Run(
       workers, num_groups, [&](int worker, std::size_t g) {
         if (context.Cancelled()) return;
-        ErEstimator* est =
-            worker == 0 ? &estimator : clones[worker - 1].get();
+        ErEstimator* est = worker_estimators[worker];
         const std::uint32_t begin = plan.group_offsets[g];
         const std::uint32_t end = plan.group_offsets[g + 1];
         WorkerScratch& ws = scratch[worker];
@@ -93,8 +105,8 @@ BatchReport RunQueryBatch(ErEstimator& estimator,
           ws.queries.push_back(queries[plan.order[k]]);
         }
         ws.stats.assign(ws.queries.size(), QueryStats{});
-        const std::size_t done =
-            est->EstimateBatch(ws.queries, ws.stats, context);
+        const std::size_t done = SubmitGroup(*est, ws.queries, ws.stats,
+                                             context);
         for (std::size_t k = 0; k < done; ++k) {
           const std::uint32_t q = plan.order[begin + k];
           stats[q] = ws.stats[k];
@@ -106,6 +118,14 @@ BatchReport RunQueryBatch(ErEstimator& estimator,
   report.completed = report.answered == n;
   report.workers = workers;
   return report;
+}
+
+std::size_t SubmitGroup(ErEstimator& estimator,
+                        std::span<const QueryPair> queries,
+                        std::span<QueryStats> stats,
+                        const BatchContext& context) {
+  GEER_CHECK(stats.size() >= queries.size());
+  return estimator.EstimateBatch(queries, stats, context);
 }
 
 }  // namespace geer

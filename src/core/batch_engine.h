@@ -14,6 +14,7 @@
 #ifndef GEER_CORE_BATCH_ENGINE_H_
 #define GEER_CORE_BATCH_ENGINE_H_
 
+#include <atomic>
 #include <span>
 #include <vector>
 
@@ -31,6 +32,18 @@ struct BatchOptions {
   /// Apply the estimator's PlanBatch grouping. When false the engine
   /// schedules one group per query in input order (no sharing).
   bool use_plan = true;
+  /// External cooperative-cancel token, polled between queries alongside
+  /// the deadline. A hard stop (no ≥ 1-query guarantee): the serving
+  /// layer sets it on shutdown or when every queued deadline expired.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Caller-owned per-worker estimators that persist across engine runs
+  /// (the serving layer's session clones, typically with
+  /// EnableSessionCache on). When non-empty the engine uses exactly
+  /// these workers — no CloneForBatch, `threads` ignored — so their
+  /// retained per-source caches survive from one micro-batch to the
+  /// next. All entries must answer with identical values (clones of one
+  /// estimator).
+  std::span<ErEstimator* const> session_workers = {};
 };
 
 /// Outcome of one batch run.
@@ -51,11 +64,27 @@ struct BatchReport {
 /// Runs `queries` through `estimator`, writing stats[i] for queries[i].
 /// With threads > 1, workers 1… run on CloneForBatch() clones (worker 0
 /// reuses `estimator`); if the estimator is not clonable the run falls
-/// back to single-threaded. `stats.size() >= queries.size()`.
+/// back to single-threaded. With options.session_workers set, those
+/// estimators are the workers instead (`estimator` still provides the
+/// plan). `stats.size() >= queries.size()`. Re-entrant: concurrent calls
+/// are safe as long as no estimator instance is shared between them.
 BatchReport RunQueryBatch(ErEstimator& estimator,
                           std::span<const QueryPair> queries,
                           std::span<QueryStats> stats,
                           const BatchOptions& options = {});
+
+/// The engine's group-level entry point, exposed for the serving
+/// scheduler: answers `queries` — typically one coalesced plan group —
+/// on the calling thread through `estimator`, honoring `context` for
+/// cooperative cancellation, and returns the answered prefix length
+/// (unsupported queries inside the prefix get zeroed stats). No
+/// planning, cloning, or worker threads. Re-entrant: safe to call
+/// concurrently from many threads provided each call uses a distinct
+/// estimator instance (e.g. one CloneForBatch clone per thread).
+std::size_t SubmitGroup(ErEstimator& estimator,
+                        std::span<const QueryPair> queries,
+                        std::span<QueryStats> stats,
+                        const BatchContext& context = {});
 
 }  // namespace geer
 

@@ -8,6 +8,13 @@
 namespace geer {
 
 bool BatchContext::Cancelled() const {
+  // The external token is a hard stop: it fires regardless of the ≥ 1
+  // answered-query rule (its owner — the serving layer — applies its own
+  // progress policy before setting it).
+  if (external_cancel_ != nullptr &&
+      external_cancel_->load(std::memory_order_relaxed)) {
+    return true;
+  }
   if (cancel_ == nullptr) return false;
   if (cancel_->load(std::memory_order_relaxed)) return true;
   // The deadline only fires once at least one query has completed

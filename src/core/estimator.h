@@ -49,12 +49,17 @@ class BatchContext {
  public:
   BatchContext() = default;
   BatchContext(std::atomic<bool>* cancel, const Deadline* deadline,
-               std::atomic<std::uint64_t>* answered)
-      : cancel_(cancel), deadline_(deadline), answered_(answered) {}
+               std::atomic<std::uint64_t>* answered,
+               const std::atomic<bool>* external_cancel = nullptr)
+      : cancel_(cancel),
+        external_cancel_(external_cancel),
+        deadline_(deadline),
+        answered_(answered) {}
 
   /// True once the batch should stop issuing new queries: a caller
-  /// cancelled, or the deadline expired after at least one query
-  /// completed batch-wide.
+  /// cancelled (the run's own flag or an external token — the serving
+  /// layer's shutdown / expired-deadline signal), or the deadline
+  /// expired after at least one query completed batch-wide.
   bool Cancelled() const;
 
   /// Records `n` completed queries (drives the ≥ 1-query deadline rule).
@@ -66,6 +71,7 @@ class BatchContext {
 
  private:
   std::atomic<bool>* cancel_ = nullptr;
+  const std::atomic<bool>* external_cancel_ = nullptr;
   const Deadline* deadline_ = nullptr;
   std::atomic<std::uint64_t>* answered_ = nullptr;
 };
@@ -172,6 +178,27 @@ class ErEstimator {
   virtual std::unique_ptr<ErEstimator> CloneForBatch() const {
     return nullptr;
   }
+
+  /// Retains EstimateBatch's shared per-source precomputation (SMM/GEER
+  /// iterate caches) inside this instance so later batches on recurring
+  /// sources reuse it instead of rebuilding per call — the serving
+  /// layer's session state. Off by default so one-shot batch runs keep
+  /// their O(n) memory profile. `budget_bytes` bounds the retained
+  /// memory (0 = the implementation default); retained state never
+  /// changes answer VALUES, only the cost charged for them. A no-op for
+  /// estimators with nothing to retain (construction-time state —
+  /// EXACT's factorization, CG's solver, RP's sketch — already persists
+  /// for the instance's lifetime).
+  virtual void EnableSessionCache(std::size_t budget_bytes = 0) {
+    (void)budget_bytes;
+  }
+
+  /// Drops any state retained by EnableSessionCache (the cache stays
+  /// enabled; subsequent batches repopulate it).
+  virtual void ClearSessionCache() {}
+
+  /// True iff this instance currently retains cross-batch session state.
+  virtual bool SessionCacheEnabled() const { return false; }
 };
 
 }  // namespace geer

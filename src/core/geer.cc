@@ -1,6 +1,7 @@
 #include "core/geer.h"
 
 #include <cmath>
+#include <optional>
 
 #include "core/amc.h"
 #include "core/ell.h"
@@ -42,18 +43,26 @@ template <WeightPolicy WP>
 std::size_t GeerEstimatorT<WP>::EstimateBatch(
     std::span<const QueryPair> queries, std::span<QueryStats> stats,
     const BatchContext& context) {
-  // One iterate cache per same-source run; queries answer one at a time
-  // against it, so the deadline can cut inside a run.
+  // One iterate cache per same-source run — retained across calls when a
+  // session is enabled, rebuilt per run otherwise. Queries answer one at
+  // a time against it, so the deadline can cut inside a run.
   return EstimateBySourceRuns(
       queries, stats, context,
       [this, &context](NodeId s, std::span<const QueryPair> run_queries,
                        std::span<QueryStats> run_stats) -> std::size_t {
-        SmmSourceCacheT<WP> cache(*graph_, &op_, s);
+        std::optional<SmmSourceCacheT<WP>> local;
+        SmmSourceCacheT<WP>* cache;
+        if (session_ != nullptr) {
+          cache = session_->CacheFor(s);
+        } else {
+          local.emplace(*graph_, &op_, s);
+          cache = &*local;
+        }
         for (std::size_t k = 0; k < run_queries.size(); ++k) {
           if (context.Cancelled()) return k;
           const QueryPair& q = run_queries[k];
           GEER_CHECK(q.t < graph_->NumNodes());
-          run_stats[k] = EstimateWithCache(q.s, q.t, &cache);
+          run_stats[k] = EstimateWithCache(q.s, q.t, cache);
           context.ReportAnswered();
         }
         return run_queries.size();

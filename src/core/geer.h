@@ -66,6 +66,19 @@ class GeerEstimatorT : public ErEstimator {
     return std::make_unique<GeerEstimatorT<WP>>(*graph_, opt);
   }
 
+  /// Retains source iterate caches across EstimateBatch calls in an
+  /// SmmSessionCacheT (the serving layer's session state). The AMC tail
+  /// still runs per query on its (seed, s, t) stream, so retained state
+  /// never changes answer values.
+  void EnableSessionCache(std::size_t budget_bytes = 0) override {
+    session_ = std::make_unique<SmmSessionCacheT<WP>>(*graph_, &op_,
+                                                      budget_bytes);
+  }
+  void ClearSessionCache() override {
+    if (session_ != nullptr) session_->Clear();
+  }
+  bool SessionCacheEnabled() const override { return session_ != nullptr; }
+
   double lambda() const { return lambda_; }
 
   /// Compat spelling of GeerRemainingSampleBudget.
@@ -83,6 +96,7 @@ class GeerEstimatorT : public ErEstimator {
   double lambda_;
   TransitionOperatorT<WP> op_;
   WalkerFor<WP> walker_;
+  std::unique_ptr<SmmSessionCacheT<WP>> session_;
 };
 
 /// The two stacks, by their historical names.

@@ -1,11 +1,42 @@
 #include "core/smm.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/ell.h"
 #include "util/check.h"
 
 namespace geer {
+
+template <WeightPolicy WP>
+SmmSessionCacheT<WP>::SmmSessionCacheT(const GraphT& graph,
+                                       TransitionOperatorT<WP>* op,
+                                       std::size_t budget_bytes)
+    : graph_(&graph), op_(op) {
+  constexpr std::size_t kDefaultBudgetBytes = 64ull << 20;
+  if (budget_bytes == 0) budget_bytes = kDefaultBudgetBytes;
+  const std::uint64_t per_iterate =
+      static_cast<std::uint64_t>(graph.NumNodes()) * sizeof(double);
+  const std::uint64_t derived =
+      (budget_bytes / kMaxSources) / std::max<std::uint64_t>(per_iterate, 1);
+  // Floor of 2 so there is always something to share (the one-shot
+  // SmmSourceCacheT applies the same floor against its own budget).
+  per_source_cap_ = static_cast<std::uint32_t>(
+      std::clamp<std::uint64_t>(derived, 2, 1u << 20));
+}
+
+template <WeightPolicy WP>
+SmmSourceCacheT<WP>* SmmSessionCacheT<WP>::CacheFor(NodeId source) {
+  for (auto it = caches_.begin(); it != caches_.end(); ++it) {
+    if (it->source() == source) {
+      caches_.splice(caches_.begin(), caches_, it);  // bump to MRU
+      return &caches_.front();
+    }
+  }
+  if (caches_.size() >= kMaxSources) caches_.pop_back();
+  caches_.emplace_front(*graph_, op_, source, per_source_cap_);
+  return &caches_.front();
+}
 
 template <WeightPolicy WP>
 SmmSourceCacheT<WP>::SmmSourceCacheT(const GraphT& graph,
@@ -145,18 +176,26 @@ template <WeightPolicy WP>
 std::size_t SmmEstimatorT<WP>::EstimateBatch(
     std::span<const QueryPair> queries, std::span<QueryStats> stats,
     const BatchContext& context) {
-  // One iterate cache per same-source run; queries answer one at a time
-  // against it, so the deadline can cut inside a run.
+  // One iterate cache per same-source run — retained across calls when a
+  // session is enabled, rebuilt per run otherwise. Queries answer one at
+  // a time against it, so the deadline can cut inside a run.
   return EstimateBySourceRuns(
       queries, stats, context,
       [this, &context](NodeId s, std::span<const QueryPair> run_queries,
                        std::span<QueryStats> run_stats) -> std::size_t {
-        SmmSourceCacheT<WP> cache(*graph_, &op_, s);
+        std::optional<SmmSourceCacheT<WP>> local;
+        SmmSourceCacheT<WP>* cache;
+        if (session_ != nullptr) {
+          cache = session_->CacheFor(s);
+        } else {
+          local.emplace(*graph_, &op_, s);
+          cache = &*local;
+        }
         for (std::size_t k = 0; k < run_queries.size(); ++k) {
           if (context.Cancelled()) return k;
           const QueryPair& q = run_queries[k];
           GEER_CHECK(q.t < graph_->NumNodes());
-          run_stats[k] = EstimateWithCache(q.s, q.t, &cache);
+          run_stats[k] = EstimateWithCache(q.s, q.t, cache);
           context.ReportAnswered();
         }
         return run_queries.size();
@@ -165,6 +204,8 @@ std::size_t SmmEstimatorT<WP>::EstimateBatch(
 
 template class SmmSourceCacheT<UnitWeight>;
 template class SmmSourceCacheT<EdgeWeight>;
+template class SmmSessionCacheT<UnitWeight>;
+template class SmmSessionCacheT<EdgeWeight>;
 template class SmmIteratorT<UnitWeight>;
 template class SmmIteratorT<EdgeWeight>;
 template class SmmEstimatorT<UnitWeight>;

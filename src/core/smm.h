@@ -21,6 +21,8 @@
 #ifndef GEER_CORE_SMM_H_
 #define GEER_CORE_SMM_H_
 
+#include <list>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -86,6 +88,52 @@ class SmmSourceCacheT {
   SparseVector live_;
   std::vector<Vector> iterates_;
   std::vector<std::uint64_t> support_costs_;
+};
+
+/// A bounded pool of per-source iterate caches that persists across
+/// EstimateBatch calls — the cross-batch session state behind
+/// ErEstimator::EnableSessionCache for SMM and GEER. The serving layer's
+/// micro-batches revisit the same sources over and over; without a
+/// session each batch rebuilds the source's iterate sequence from
+/// scratch. Get-or-create with LRU eviction over sources; the byte
+/// budget is split across the source slots, capping each cache's
+/// iterate depth (queries that iterate deeper spill onto a private copy
+/// exactly as in the one-shot path, so retained state never changes
+/// answer values).
+template <WeightPolicy WP>
+class SmmSessionCacheT {
+ public:
+  using GraphT = typename WP::GraphT;
+
+  /// Most recently used sources retained per session.
+  static constexpr std::size_t kMaxSources = 8;
+
+  /// `budget_bytes` = 0 picks the 64 MB default.
+  SmmSessionCacheT(const GraphT& graph, TransitionOperatorT<WP>* op,
+                   std::size_t budget_bytes = 0);
+  // The operator outlives the session; a temporary graph would dangle.
+  SmmSessionCacheT(GraphT&&, TransitionOperatorT<WP>*,
+                   std::size_t = 0) = delete;
+
+  /// The session's cache for `source`: the retained one (bumped to most
+  /// recently used) or a fresh one, evicting the least recently used
+  /// source beyond kMaxSources.
+  SmmSourceCacheT<WP>* CacheFor(NodeId source);
+
+  /// Drops every retained source cache.
+  void Clear() { caches_.clear(); }
+
+  std::size_t num_sources() const { return caches_.size(); }
+
+  /// Iterate-depth cap applied to each retained source cache
+  /// (budget_bytes split across kMaxSources slots).
+  std::uint32_t per_source_iterate_cap() const { return per_source_cap_; }
+
+ private:
+  const GraphT* graph_;
+  TransitionOperatorT<WP>* op_;
+  std::uint32_t per_source_cap_;
+  std::list<SmmSourceCacheT<WP>> caches_;  // front = most recently used
 };
 
 /// Step-at-a-time driver for Alg. 2 on a fixed query pair.
@@ -184,6 +232,17 @@ class SmmEstimatorT : public ErEstimator {
     return std::make_unique<SmmEstimatorT<WP>>(*graph_, opt);
   }
 
+  /// Retains source iterate caches across EstimateBatch calls in an
+  /// SmmSessionCacheT (the serving layer's session state).
+  void EnableSessionCache(std::size_t budget_bytes = 0) override {
+    session_ = std::make_unique<SmmSessionCacheT<WP>>(*graph_, &op_,
+                                                      budget_bytes);
+  }
+  void ClearSessionCache() override {
+    if (session_ != nullptr) session_->Clear();
+  }
+  bool SessionCacheEnabled() const override { return session_ != nullptr; }
+
   /// λ in use (from options or computed at construction).
   double lambda() const { return lambda_; }
 
@@ -195,18 +254,23 @@ class SmmEstimatorT : public ErEstimator {
   ErOptions options_;
   double lambda_;
   TransitionOperatorT<WP> op_;
+  std::unique_ptr<SmmSessionCacheT<WP>> session_;
 };
 
 /// The two stacks, by their historical names.
 using SmmIterator = SmmIteratorT<UnitWeight>;
 using SmmEstimator = SmmEstimatorT<UnitWeight>;
 using SmmSourceCache = SmmSourceCacheT<UnitWeight>;
+using SmmSessionCache = SmmSessionCacheT<UnitWeight>;
 using WeightedSmmIterator = SmmIteratorT<EdgeWeight>;
 using WeightedSmmEstimator = SmmEstimatorT<EdgeWeight>;
 using WeightedSmmSourceCache = SmmSourceCacheT<EdgeWeight>;
+using WeightedSmmSessionCache = SmmSessionCacheT<EdgeWeight>;
 
 extern template class SmmSourceCacheT<UnitWeight>;
 extern template class SmmSourceCacheT<EdgeWeight>;
+extern template class SmmSessionCacheT<UnitWeight>;
+extern template class SmmSessionCacheT<EdgeWeight>;
 extern template class SmmIteratorT<UnitWeight>;
 extern template class SmmIteratorT<EdgeWeight>;
 extern template class SmmEstimatorT<UnitWeight>;

@@ -1,6 +1,11 @@
 #include "eval/experiment.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <future>
+#include <limits>
+#include <thread>
 
 #include "core/batch_engine.h"
 #include "core/registry.h"
@@ -123,6 +128,102 @@ MethodResult RunWeightedMethod(const WeightedGraph& graph,
                                    << method;
 
   MeasureQueries(estimator.get(), queries, ground_truth, config, &result);
+  return result;
+}
+
+namespace {
+
+// sorted[⌈q·n⌉ − 1]: the standard nearest-rank percentile.
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const std::size_t index = static_cast<std::size_t>(
+      std::clamp<double>(rank, 1.0, static_cast<double>(sorted.size())));
+  return sorted[index - 1];
+}
+
+}  // namespace
+
+ServedWorkloadResult RunServedWorkload(ErEstimator& estimator,
+                                       std::span<const TraceEvent> trace,
+                                       const ServeOptions& serve_options,
+                                       double deadline_seconds,
+                                       bool realtime) {
+  const double kNaN = std::numeric_limits<double>::quiet_NaN();
+  ServedWorkloadResult result;
+  result.method = estimator.Name();
+  result.num_events = trace.size();
+  result.values.assign(trace.size(), kNaN);
+  result.latency_ms.assign(trace.size(), kNaN);
+  result.statuses.assign(trace.size(), ServeStatus::kShutdown);
+  if (trace.empty()) return result;
+
+  QueryService service(estimator, serve_options);
+  result.workers = service.workers();
+
+  // Open-loop driver: submissions happen at their recorded offsets (or
+  // back-to-back when compressed) regardless of how far the service has
+  // fallen behind — queueing delay lands in the latency numbers instead
+  // of silently throttling the clients.
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(trace.size());
+  Timer wall;
+  const auto start = std::chrono::steady_clock::now();
+  for (const TraceEvent& event : trace) {
+    if (realtime && event.arrival_seconds > 0.0) {
+      std::this_thread::sleep_until(
+          start + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(event.arrival_seconds)));
+    }
+    futures.push_back(service.Submit(event.query, deadline_seconds));
+  }
+  service.Flush();
+
+  std::vector<double> answered_latencies;
+  answered_latencies.reserve(trace.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const QueryResult r = futures[i].get();
+    result.statuses[i] = r.status;
+    switch (r.status) {
+      case ServeStatus::kAnswered:
+        ++result.answered;
+        result.values[i] = r.stats.value;
+        result.latency_ms[i] = r.total_ms;
+        answered_latencies.push_back(r.total_ms);
+        break;
+      case ServeStatus::kUnsupported:
+        ++result.unsupported;
+        break;
+      case ServeStatus::kRejected:
+        ++result.rejected;
+        break;
+      case ServeStatus::kFailed:
+        ++result.failed;
+        break;
+      default:  // kExpired / kCancelled / kShutdown
+        ++result.expired;
+        break;
+    }
+  }
+  result.wall_seconds = wall.ElapsedSeconds();
+  service.Shutdown();
+  result.avg_batch = service.Metrics().AvgBatch();
+
+  if (result.wall_seconds > 0.0) {
+    result.throughput_qps =
+        static_cast<double>(result.answered) / result.wall_seconds;
+  }
+  if (!answered_latencies.empty()) {
+    std::sort(answered_latencies.begin(), answered_latencies.end());
+    double sum = 0.0;
+    for (const double ms : answered_latencies) sum += ms;
+    result.mean_ms = sum / static_cast<double>(answered_latencies.size());
+    result.p50_ms = Percentile(answered_latencies, 0.50);
+    result.p95_ms = Percentile(answered_latencies, 0.95);
+    result.p99_ms = Percentile(answered_latencies, 0.99);
+    result.max_ms = answered_latencies.back();
+  }
   return result;
 }
 

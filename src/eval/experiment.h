@@ -10,6 +10,7 @@
 #ifndef GEER_EVAL_EXPERIMENT_H_
 #define GEER_EVAL_EXPERIMENT_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,8 @@
 #include "eval/datasets.h"
 #include "eval/queries.h"
 #include "graph/weighted_graph.h"
+#include "serve/query_service.h"
+#include "serve/trace.h"
 
 namespace geer {
 
@@ -76,6 +79,54 @@ MethodResult RunWeightedMethod(const WeightedGraph& graph,
                                const std::vector<QueryPair>& queries,
                                const std::vector<double>& ground_truth,
                                const RunConfig& config = {});
+
+/// Outcome of replaying one timestamped query trace through the serving
+/// front end (serve/query_service.h) — the interactive-workload
+/// counterpart of MethodResult's batch statistics.
+struct ServedWorkloadResult {
+  std::string method;
+  std::size_t num_events = 0;
+  std::size_t answered = 0;
+  std::size_t unsupported = 0;
+  std::size_t expired = 0;   ///< deadline lapsed (incl. cancelled/shutdown)
+  std::size_t rejected = 0;
+  std::size_t failed = 0;    ///< dispatch threw (kFailed) — a server error
+
+  double wall_seconds = 0.0;    ///< first submission → last completion
+  double throughput_qps = 0.0;  ///< answered / wall_seconds
+
+  // Client latency (submission → completion) over ANSWERED queries.
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+
+  double avg_batch = 0.0;  ///< mean dispatched micro-batch size
+  int workers = 1;         ///< dispatch workers the service used
+
+  /// Per-event answers in trace order (NaN when not answered) — the
+  /// serve-determinism suite's comparison payload.
+  std::vector<double> values;
+  /// Per-event client latency in ms, trace order (NaN when not answered).
+  std::vector<double> latency_ms;
+  /// Per-event terminal status, trace order.
+  std::vector<ServeStatus> statuses;
+};
+
+/// Replays `trace` through a QueryService over `estimator` (which the
+/// service borrows exclusively for the call) and reports tail latency +
+/// throughput. With realtime = true the driver sleeps until each event's
+/// arrival offset — the open-loop replay whose queueing delay is honest.
+/// realtime = false submits back-to-back: the compressed replay the
+/// determinism suite and max-throughput benches use. `deadline_seconds`
+/// applies per query (≤ 0 = none). Answer values are bit-identical to
+/// the serial Estimate loop regardless of every serve option.
+ServedWorkloadResult RunServedWorkload(ErEstimator& estimator,
+                                       std::span<const TraceEvent> trace,
+                                       const ServeOptions& serve_options,
+                                       double deadline_seconds = 0.0,
+                                       bool realtime = true);
 
 }  // namespace geer
 

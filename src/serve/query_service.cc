@@ -1,0 +1,318 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+#include <span>
+
+#include "core/batch_engine.h"
+
+namespace geer {
+namespace {
+
+using MillisD = std::chrono::duration<double, std::milli>;
+
+std::chrono::steady_clock::duration SecondsToDuration(double seconds) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+QueryService::QueryService(ErEstimator& estimator,
+                           const ServeOptions& options)
+    : options_(options), primary_(&estimator) {
+  if (options_.max_batch_size == 0) options_.max_batch_size = 1;
+  int requested = options_.threads;
+  if (requested <= 0) {
+    requested = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (requested < 1) requested = 1;
+  workers_.push_back(primary_);
+  // Non-clonable estimators degrade to a single worker, exactly like the
+  // one-shot engine path.
+  for (int w = 1; w < requested; ++w) {
+    std::unique_ptr<ErEstimator> clone = primary_->CloneForBatch();
+    if (clone == nullptr) break;
+    workers_.push_back(clone.get());
+    session_clones_.push_back(std::move(clone));
+  }
+  if (options_.session_cache_bytes > 0) {
+    for (ErEstimator* worker : workers_) {
+      worker->EnableSessionCache(options_.session_cache_bytes);
+    }
+  }
+  scheduler_ = std::thread(&QueryService::SchedulerLoop, this);
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+std::future<QueryResult> QueryService::Submit(QueryPair query,
+                                              double deadline_seconds) {
+  std::promise<QueryResult> promise;
+  std::future<QueryResult> future = promise.get_future();
+  const Clock::time_point now = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      QueryResult result;
+      result.status = ServeStatus::kShutdown;
+      promise.set_value(result);
+      return future;
+    }
+    if (queue_.size() >= options_.max_queue) {
+      ++metrics_.rejected;
+      QueryResult result;
+      result.status = ServeStatus::kRejected;
+      promise.set_value(result);
+      return future;
+    }
+    ++metrics_.submitted;
+    Pending pending;
+    pending.query = query;
+    pending.promise = std::move(promise);
+    pending.submitted = now;
+    pending.deadline = deadline_seconds > 0.0
+                           ? now + SecondsToDuration(deadline_seconds)
+                           : Clock::time_point::max();
+    earliest_deadline_ = std::min(earliest_deadline_, pending.deadline);
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void QueryService::Flush() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return;  // nothing to flush; a stale flag would
+                                 // drain the NEXT arrival uncoalesced
+    flush_requested_ = true;
+  }
+  cv_.notify_one();
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  std::lock_guard<std::mutex> join_lock(lifecycle_mu_);
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+void QueryService::ShutdownNow() {
+  cancel_.store(true, std::memory_order_relaxed);
+  Shutdown();
+}
+
+ServeMetrics QueryService::Metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_;
+}
+
+void QueryService::SchedulerLoop() {
+  const Clock::duration linger =
+      SecondsToDuration(std::max(options_.max_linger_seconds, 0.0));
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (queue_.empty()) {
+      flush_requested_ = false;  // nothing left to flush
+      if (shutdown_) break;
+      cv_.wait(lock, [this] { return !queue_.empty() || shutdown_; });
+      continue;
+    }
+
+    if (cancel_.load(std::memory_order_relaxed)) {
+      // ShutdownNow(): drop the queue without running it.
+      std::vector<Pending> dropped(std::make_move_iterator(queue_.begin()),
+                                   std::make_move_iterator(queue_.end()));
+      queue_.clear();
+      earliest_deadline_ = Clock::time_point::max();
+      metrics_.cancelled += dropped.size();
+      lock.unlock();
+      const Clock::time_point now = Clock::now();
+      for (Pending& p : dropped) {
+        Fulfill(p, ServeStatus::kCancelled, QueryStats{}, now, now, 0);
+      }
+      lock.lock();
+      continue;
+    }
+
+    enum class Trigger { kSize, kLinger, kDeadline, kDrain };
+    Trigger trigger;
+    const Clock::time_point now = Clock::now();
+    if (queue_.size() >= options_.max_batch_size) {
+      trigger = Trigger::kSize;
+    } else if (flush_requested_ || shutdown_) {
+      trigger = Trigger::kDrain;
+    } else {
+      // Next flush instant: the oldest query's linger expiry, pulled
+      // forward if some queued deadline would lapse before a
+      // linger-length dispatch window (earliest_deadline_ is maintained
+      // incrementally — the scheduler wakes per submission, so a full
+      // rescan here would be quadratic under load).
+      Clock::time_point flush_at = queue_.front().submitted + linger;
+      Trigger cause = Trigger::kLinger;
+      if (earliest_deadline_ != Clock::time_point::max() &&
+          earliest_deadline_ - linger < flush_at) {
+        flush_at = earliest_deadline_ - linger;
+        cause = Trigger::kDeadline;
+      }
+      if (now < flush_at) {
+        cv_.wait_until(lock, flush_at);
+        continue;  // re-evaluate: new arrivals may have filled the batch
+      }
+      trigger = cause;
+    }
+
+    const std::size_t take =
+        std::min(queue_.size(), options_.max_batch_size);
+    std::vector<Pending> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    earliest_deadline_ = Clock::time_point::max();
+    for (const Pending& p : queue_) {
+      earliest_deadline_ = std::min(earliest_deadline_, p.deadline);
+    }
+    switch (trigger) {
+      case Trigger::kSize: ++metrics_.flush_size; break;
+      case Trigger::kLinger: ++metrics_.flush_linger; break;
+      case Trigger::kDeadline: ++metrics_.flush_deadline; break;
+      case Trigger::kDrain: ++metrics_.flush_drain; break;
+    }
+    lock.unlock();
+    DispatchBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void QueryService::DispatchBatch(std::vector<Pending> batch) {
+  const Clock::time_point dispatched = Clock::now();
+
+  // Queue-drop expiry: a query whose deadline lapsed while queued is
+  // answered kExpired without costing any estimator work.
+  std::vector<std::size_t> live;
+  live.reserve(batch.size());
+  std::uint64_t dropped = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].deadline <= dispatched) {
+      Fulfill(batch[i], ServeStatus::kExpired, QueryStats{}, dispatched,
+              dispatched, 0);
+      ++dropped;
+    } else {
+      live.push_back(i);
+    }
+  }
+
+  std::uint64_t answered = 0;
+  std::uint64_t unsupported = 0;
+  std::uint64_t expired = dropped;
+  std::uint64_t cancelled = 0;
+  if (!live.empty()) {
+    std::vector<QueryPair> queries;
+    queries.reserve(live.size());
+    bool all_deadlined = true;
+    Clock::time_point latest_deadline = Clock::time_point::min();
+    for (const std::size_t i : live) {
+      queries.push_back(batch[i].query);
+      if (batch[i].deadline == Clock::time_point::max()) {
+        all_deadlined = false;
+      } else {
+        latest_deadline = std::max(latest_deadline, batch[i].deadline);
+      }
+    }
+
+    BatchOptions engine_options;
+    engine_options.session_workers =
+        std::span<ErEstimator* const>(workers_.data(), workers_.size());
+    engine_options.cancel = &cancel_;  // ShutdownNow() cuts in-flight work
+    if (all_deadlined) {
+      // Once every deadline in the batch has passed there is nobody left
+      // to answer — let the engine's deadline machinery cut the run (it
+      // still guarantees ≥ 1 answered query).
+      engine_options.deadline_seconds =
+          std::chrono::duration<double>(latest_deadline - dispatched)
+              .count();
+    }
+    // A dispatch that throws (the pool rethrows the first task exception
+    // here — realistically an allocation failure) must not escape the
+    // scheduler thread: that would std::terminate the process with every
+    // client's future left unresolved. Resolve the batch as kFailed and
+    // keep serving instead.
+    std::vector<QueryStats> stats(queries.size());
+    BatchReport report;
+    bool dispatch_failed = false;
+    try {
+      report = RunQueryBatch(*primary_, queries, stats, engine_options);
+    } catch (...) {
+      dispatch_failed = true;
+    }
+    if (dispatch_failed) {
+      const Clock::time_point done = Clock::now();
+      for (const std::size_t i : live) {
+        Fulfill(batch[i], ServeStatus::kFailed, QueryStats{}, dispatched,
+                done, static_cast<std::uint32_t>(live.size()));
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      metrics_.failed += live.size();
+      metrics_.expired += dropped;  // queue-drop expiries above still count
+      return;
+    }
+
+    const Clock::time_point done = Clock::now();
+    const std::uint32_t batch_size = static_cast<std::uint32_t>(live.size());
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      Pending& p = batch[live[k]];
+      if (!report.processed[k]) {
+        if (cancel_.load(std::memory_order_relaxed)) {
+          Fulfill(p, ServeStatus::kCancelled, QueryStats{}, dispatched, done,
+                  batch_size);
+          ++cancelled;
+        } else {
+          Fulfill(p, ServeStatus::kExpired, QueryStats{}, dispatched, done,
+                  batch_size);
+          ++expired;
+        }
+      } else if (!primary_->SupportsQuery(p.query.s, p.query.t)) {
+        Fulfill(p, ServeStatus::kUnsupported, QueryStats{}, dispatched, done,
+                batch_size);
+        ++unsupported;
+      } else {
+        Fulfill(p, ServeStatus::kAnswered, stats[k], dispatched, done,
+                batch_size);
+        ++answered;
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!live.empty()) {
+    ++metrics_.batches;
+    metrics_.coalesced += live.size();
+    metrics_.max_batch =
+        std::max<std::uint64_t>(metrics_.max_batch, live.size());
+  }
+  metrics_.answered += answered;
+  metrics_.unsupported += unsupported;
+  metrics_.expired += expired;
+  metrics_.cancelled += cancelled;
+}
+
+void QueryService::Fulfill(Pending& p, ServeStatus status,
+                           const QueryStats& stats,
+                           Clock::time_point dispatched,
+                           Clock::time_point done,
+                           std::uint32_t batch_size) {
+  QueryResult result;
+  result.status = status;
+  result.stats = stats;
+  result.queue_ms = MillisD(dispatched - p.submitted).count();
+  result.total_ms = MillisD(done - p.submitted).count();
+  result.batch_size = batch_size;
+  p.promise.set_value(result);
+}
+
+}  // namespace geer

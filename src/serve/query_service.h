@@ -1,0 +1,198 @@
+// The asynchronous serving front end: QueryService accepts single PER
+// queries from any number of client threads through a non-blocking
+// Submit() -> std::future<QueryResult> API and answers them through the
+// batch engine (core/batch_engine.h).
+//
+// A deadline-aware micro-batching scheduler sits between the two: queued
+// queries coalesce until the batch fills (max_batch_size), the oldest
+// query has lingered long enough (max_linger_seconds), or the earliest
+// per-query deadline is about to expire — then the whole micro-batch is
+// planned by the estimator's BatchPlan (same-source queries land in the
+// same group, sharing walk populations / SpMV iterates) and dispatched
+// over the work-stealing pool. The service's worker estimators persist
+// across micro-batches with their session caches enabled
+// (ErEstimator::EnableSessionCache), so EXACT/CG/RP preprocessing and
+// SMM/GEER per-source iterate caches amortize across the whole session,
+// not one batch.
+//
+// Determinism contract: every answer value equals the serial
+// `estimator.Estimate(s, t)` for the construction seed, bit for bit —
+// regardless of worker count, micro-batch boundaries, arrival order, or
+// scheduler interleaving (estimators derive each query's random stream
+// from (seed, s, t); serve_determinism_test enforces this under TSan).
+// What IS timing-dependent: which queries get coalesced together, the
+// cost instrumentation, and which deadline-carrying queries expire.
+
+#ifndef GEER_SERVE_QUERY_SERVICE_H_
+#define GEER_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace geer {
+
+/// Scheduler and dispatch knobs for one QueryService.
+struct ServeOptions {
+  /// Flush as soon as this many queries are queued. 1 = no coalescing
+  /// (the batch-size-1 baseline the serve bench compares against).
+  std::size_t max_batch_size = 64;
+  /// Flush once the oldest queued query has waited this long — the
+  /// latency price of coalescing. ≤ 0 flushes as soon as the scheduler
+  /// is free (load-adaptive batching: whatever queued during the
+  /// previous dispatch rides together).
+  double max_linger_seconds = 0.002;
+  /// Scheduler worker threads for each dispatched micro-batch (engine
+  /// workers; 0 = hardware concurrency). Worker 0 is the scheduler
+  /// thread itself. Values are bit-identical at any count.
+  int threads = 1;
+  /// Backpressure: submissions beyond this many queued queries are
+  /// rejected immediately (status kRejected) instead of queued.
+  std::size_t max_queue = 1 << 16;
+  /// Per-worker session-cache budget in bytes passed to
+  /// ErEstimator::EnableSessionCache (0 disables session caches — every
+  /// micro-batch then rebuilds its shared precomputation).
+  std::size_t session_cache_bytes = 64ull << 20;
+};
+
+/// Terminal state of one submitted query.
+enum class ServeStatus : std::uint8_t {
+  kAnswered,     ///< stats.value is the estimate
+  kUnsupported,  ///< SupportsQuery(s, t) is false (edge-only methods)
+  kExpired,      ///< per-query deadline passed before the answer
+  kRejected,     ///< queue was full at submission
+  kCancelled,    ///< ShutdownNow() discarded it
+  kShutdown,     ///< submitted after Shutdown()
+  kFailed,       ///< dispatch threw (e.g. allocation failure) mid-batch
+};
+
+/// What a client's future resolves to.
+struct QueryResult {
+  ServeStatus status = ServeStatus::kShutdown;
+  QueryStats stats;        ///< valid iff status == kAnswered
+  double queue_ms = 0.0;   ///< submission → dispatch
+  double total_ms = 0.0;   ///< submission → completion (client latency)
+  std::uint32_t batch_size = 0;  ///< micro-batch the query rode in
+};
+
+/// Aggregate counters since construction (monotone; snapshot via
+/// Metrics()).
+struct ServeMetrics {
+  std::uint64_t submitted = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t unsupported = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;     ///< resolved kFailed (dispatch threw)
+  std::uint64_t batches = 0;    ///< micro-batches dispatched
+  std::uint64_t coalesced = 0;  ///< queries dispatched in those batches
+  std::uint64_t max_batch = 0;  ///< largest micro-batch seen
+  // Which trigger flushed each micro-batch.
+  std::uint64_t flush_size = 0;      ///< batch filled to max_batch_size
+  std::uint64_t flush_linger = 0;    ///< oldest query hit max_linger
+  std::uint64_t flush_deadline = 0;  ///< earliest deadline was imminent
+  std::uint64_t flush_drain = 0;     ///< explicit Flush()/Shutdown drain
+
+  /// Mean coalesced micro-batch size.
+  double AvgBatch() const {
+    return batches > 0
+               ? static_cast<double>(coalesced) / static_cast<double>(batches)
+               : 0.0;
+  }
+};
+
+/// The serving front end over one estimator. The service borrows the
+/// estimator exclusively for its lifetime (it becomes dispatch worker 0
+/// and may carry a session cache); don't query it concurrently.
+class QueryService {
+ public:
+  explicit QueryService(ErEstimator& estimator,
+                        const ServeOptions& options = {});
+  ~QueryService();  // Shutdown(): drains, then joins the scheduler
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues one query; the returned future resolves when it is
+  /// answered, expired, or rejected. Never blocks on query work (only on
+  /// the queue mutex). `deadline_seconds` ≤ 0 = no deadline; a deadline
+  /// drops the query (kExpired) if it is still QUEUED when the budget
+  /// lapses, and pulls the flush forward so it usually is not — work
+  /// already dispatched runs to completion and may answer late.
+  /// Thread-safe: any number of client threads may submit concurrently.
+  std::future<QueryResult> Submit(QueryPair query,
+                                  double deadline_seconds = 0.0);
+
+  /// Asks the scheduler to dispatch whatever is queued without waiting
+  /// for a flush trigger. Non-blocking.
+  void Flush();
+
+  /// Stops accepting new queries, answers everything already queued,
+  /// then stops the scheduler. Idempotent; safe from any thread.
+  void Shutdown();
+
+  /// Shutdown without the drain: queued queries resolve kCancelled and
+  /// the in-flight micro-batch is cut at its next query boundary via the
+  /// engine's cancellation token.
+  void ShutdownNow();
+
+  /// Counter snapshot.
+  ServeMetrics Metrics() const;
+
+  /// Dispatch workers in use (1 + clones; ≤ options.threads when the
+  /// estimator is not clonable).
+  int workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    QueryPair query;
+    std::promise<QueryResult> promise;
+    Clock::time_point submitted;
+    Clock::time_point deadline;  // time_point::max() = none
+  };
+
+  void SchedulerLoop();
+  void DispatchBatch(std::vector<Pending> batch);
+  static void Fulfill(Pending& p, ServeStatus status, const QueryStats& stats,
+                      Clock::time_point dispatched, Clock::time_point done,
+                      std::uint32_t batch_size);
+
+  ServeOptions options_;
+  ErEstimator* primary_;
+  std::vector<std::unique_ptr<ErEstimator>> session_clones_;
+  std::vector<ErEstimator*> workers_;  // [primary_, clones…]
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  /// Earliest deadline over queue_ (time_point::max() = none), maintained
+  /// on push and recomputed once per batch pop — the scheduler wakes on
+  /// every submission, so an O(queue) rescan per wakeup would be
+  /// quadratic under load.
+  std::chrono::steady_clock::time_point earliest_deadline_ =
+      std::chrono::steady_clock::time_point::max();
+  bool flush_requested_ = false;
+  bool shutdown_ = false;
+  ServeMetrics metrics_;
+
+  std::atomic<bool> cancel_{false};  // engine token for ShutdownNow()
+
+  std::mutex lifecycle_mu_;  // serializes the scheduler join
+  std::thread scheduler_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_SERVE_QUERY_SERVICE_H_

@@ -1,0 +1,40 @@
+#include "serve/trace.h"
+
+#include <cmath>
+
+#include "rw/rng.h"
+
+namespace geer {
+
+std::vector<TraceEvent> MakeOpenLoopTrace(std::span<const QueryPair> queries,
+                                          double qps, std::uint64_t seed) {
+  std::vector<TraceEvent> trace;
+  trace.reserve(queries.size());
+  Rng rng(MixSeed(seed, 0x7261636521ULL));  // "race!"
+  double t = 0.0;
+  for (const QueryPair& q : queries) {
+    if (qps > 0.0) {
+      // Inverse-CDF exponential gap; 1 − u keeps the argument in (0, 1].
+      t += -std::log(1.0 - rng.NextDouble()) / qps;
+    }
+    trace.push_back({t, q});
+  }
+  return trace;
+}
+
+std::vector<TraceEvent> ShuffleTracePayloads(std::span<const TraceEvent> trace,
+                                             std::uint64_t seed) {
+  std::vector<QueryPair> payloads;
+  payloads.reserve(trace.size());
+  for (const TraceEvent& e : trace) payloads.push_back(e.query);
+  Rng rng(MixSeed(seed, 0x73687566ULL));  // "shuf"
+  for (std::size_t i = payloads.size(); i > 1; --i) {
+    const std::size_t j = rng.NextBounded(i);
+    std::swap(payloads[i - 1], payloads[j]);
+  }
+  std::vector<TraceEvent> out(trace.begin(), trace.end());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i].query = payloads[i];
+  return out;
+}
+
+}  // namespace geer

@@ -1,0 +1,40 @@
+// Timestamped query traces: the input format of the serving layer's
+// workload replay (RunServedWorkload) and the serve benches. A trace is
+// a sequence of client arrivals — (arrival offset, query) — replayed
+// open-loop: arrivals happen at their recorded times no matter how far
+// the server falls behind, which is what exposes queueing delay under
+// load (a closed loop would throttle the clients instead).
+
+#ifndef GEER_SERVE_TRACE_H_
+#define GEER_SERVE_TRACE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/estimator.h"  // QueryPair
+
+namespace geer {
+
+/// One client arrival in a served workload.
+struct TraceEvent {
+  double arrival_seconds = 0.0;  ///< offset from replay start
+  QueryPair query;
+};
+
+/// Open-loop Poisson arrivals over `queries` in order: exponential
+/// inter-arrival gaps at rate `qps`. qps ≤ 0 degenerates to a burst
+/// (every arrival at offset 0). Deterministic in `seed` on every
+/// platform (the library's own rng, not <random>).
+std::vector<TraceEvent> MakeOpenLoopTrace(std::span<const QueryPair> queries,
+                                          double qps, std::uint64_t seed);
+
+/// Deterministic Fisher–Yates permutation of the trace's query payloads;
+/// arrival timestamps stay in place, so the replay clock is unchanged —
+/// the arrival-order perturbation the serve-determinism suite replays.
+std::vector<TraceEvent> ShuffleTracePayloads(std::span<const TraceEvent> trace,
+                                             std::uint64_t seed);
+
+}  // namespace geer
+
+#endif  // GEER_SERVE_TRACE_H_

@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
+#include <atomic>
 #include <deque>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -53,6 +55,8 @@ void WorkStealingPool::Run(
   if (num_tasks == 0) return;
   workers = ResolveWorkerCount(workers, num_tasks);
   if (workers == 1) {
+    // Inline on the caller: an exception propagates directly (remaining
+    // tasks skipped), matching the multi-worker rethrow semantics.
     for (std::size_t i = 0; i < num_tasks; ++i) fn(0, i);
     return;
   }
@@ -64,11 +68,31 @@ void WorkStealingPool::Run(
     deques[i % workers].tasks.push_back(i);
   }
 
-  auto worker_loop = [&deques, &fn, workers](int id) {
+  // First task exception, rethrown on the caller after all workers
+  // joined — an exception escaping a std::thread would terminate the
+  // process. `failed` doubles as a cooperative stop: once set, workers
+  // drop their remaining tasks instead of running them.
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  std::atomic<bool> failed(false);
+
+  auto run_task = [&fn, &error_mu, &first_error, &failed](int id,
+                                                          std::size_t task) {
+    try {
+      fn(id, task);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error == nullptr) first_error = std::current_exception();
+      failed.store(true, std::memory_order_release);
+    }
+  };
+
+  auto worker_loop = [&deques, &run_task, &failed, workers](int id) {
     std::size_t task = 0;
     for (;;) {
+      if (failed.load(std::memory_order_acquire)) return;
       if (deques[id].PopFront(&task)) {
-        fn(id, task);
+        run_task(id, task);
         continue;
       }
       bool stole = false;
@@ -80,7 +104,7 @@ void WorkStealingPool::Run(
         }
       }
       if (!stole) return;  // all deques empty: done (no task re-entry)
-      fn(id, task);
+      run_task(id, task);
     }
   };
 
@@ -91,6 +115,7 @@ void WorkStealingPool::Run(
   }
   worker_loop(0);  // the caller is worker 0
   for (auto& th : threads) th.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 }  // namespace geer

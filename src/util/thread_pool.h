@@ -30,7 +30,18 @@ class WorkStealingPool {
   /// blocking until all tasks finished. worker_id ∈ [0, workers);
   /// `workers` is resolved via ResolveWorkerCount. A task that wants to
   /// stop the run early must coordinate through its own state (e.g. a
-  /// BatchContext) — the pool always dispatches every task.
+  /// BatchContext) — as long as no task throws, the pool dispatches
+  /// every task.
+  ///
+  /// Exceptions: if a task throws, the FIRST exception is rethrown on
+  /// the calling thread after every worker has stopped (no std::terminate
+  /// from a detached worker) — and tasks not yet started by then are
+  /// SKIPPED, voiding the every-task guarantee for that run. A task that
+  /// blocks on a sibling task's side effect must therefore not share a
+  /// run with tasks that may throw: the awaited sibling could be skipped
+  /// and the run would never finish. Nested Run calls from inside a task
+  /// are allowed — each Run owns its deques, so the inner run just adds
+  /// workers for its own task set.
   static void Run(int workers, std::size_t num_tasks,
                   const std::function<void(int, std::size_t)>& fn);
 };

@@ -49,6 +49,27 @@ TEST(FrameworkSelfTest, DoubleEqIsUlpBasedNotExact) {
   EXPECT_FALSE(AlmostEqualDoubles(1.0, -1.0));
 }
 
+TEST(FrameworkSelfTest, ThrowHelpersClassifyOutcomes) {
+  using ::testing::internal::NoThrowTestFailure;
+  using ::testing::internal::ThrowTestFailure;
+  const auto throws_runtime = [] { throw std::runtime_error("x"); };
+  const auto throws_int = [] { throw 42; };
+  const auto benign = [] {};
+  EXPECT_TRUE(
+      ThrowTestFailure<std::runtime_error>(throws_runtime, "s", "t").empty());
+  EXPECT_NE(ThrowTestFailure<std::runtime_error>(benign, "s", "t")
+                .find("throws nothing"),
+            std::string::npos);
+  EXPECT_NE(ThrowTestFailure<std::runtime_error>(throws_int, "s", "t")
+                .find("different exception type"),
+            std::string::npos);
+  EXPECT_TRUE(NoThrowTestFailure(benign, "s").empty());
+  EXPECT_FALSE(NoThrowTestFailure(throws_runtime, "s").empty());
+  // The macro spellings over the same helpers.
+  EXPECT_THROW(throw std::runtime_error("x"), std::runtime_error);
+  EXPECT_NO_THROW((void)0);
+}
+
 TEST(FrameworkSelfTest, ValuesMaterializesInOrder) {
   const auto gen = ::testing::Values(5, 1, 3);
   const std::vector<int> expected = {5, 1, 3};

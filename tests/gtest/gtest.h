@@ -382,6 +382,36 @@ inline std::string DeathTestFailure(const std::function<void()>& body,
   return std::string("Death test failed (") + statement_text + "): " + why;
 }
 
+/// "" when `body` throws ExpectedException; the EXPECT_THROW failure
+/// message otherwise.
+template <typename ExpectedException, typename Fn>
+std::string ThrowTestFailure(Fn&& body, const char* statement_text,
+                             const char* type_text) {
+  try {
+    body();
+  } catch (const ExpectedException&) {
+    return {};
+  } catch (...) {
+    return std::string("Expected: ") + statement_text + " throws " +
+           type_text + "\n  Actual: it throws a different exception type";
+  }
+  return std::string("Expected: ") + statement_text + " throws " +
+         type_text + "\n  Actual: it throws nothing";
+}
+
+/// "" when `body` does not throw; the EXPECT_NO_THROW failure message
+/// otherwise.
+template <typename Fn>
+std::string NoThrowTestFailure(Fn&& body, const char* statement_text) {
+  try {
+    body();
+  } catch (...) {
+    return std::string("Expected: ") + statement_text +
+           " throws nothing\n  Actual: it throws";
+  }
+  return {};
+}
+
 }  // namespace internal
 
 // ---------------------------------------------------------------------------
@@ -689,6 +719,23 @@ bool InstantiateHelper(const char* prefix, const char* suite, Gen gen,
   GTEST_ASSERTION_(                                                         \
       ::testing::internal::DeathTestFailure([&]() { statement; }, (pattern),\
                                             #statement), )
+
+#define GTEST_THROW_(statement, ex_type, fatal_kw)                          \
+  GTEST_ASSERTION_(::testing::internal::ThrowTestFailure<ex_type>(          \
+                       [&]() { statement; }, #statement, #ex_type),         \
+                   fatal_kw)
+
+#define EXPECT_THROW(statement, ex_type) GTEST_THROW_(statement, ex_type, )
+#define ASSERT_THROW(statement, ex_type) \
+  GTEST_THROW_(statement, ex_type, return)
+
+#define EXPECT_NO_THROW(statement)                                          \
+  GTEST_ASSERTION_(::testing::internal::NoThrowTestFailure(                 \
+                       [&]() { statement; }, #statement), )
+#define ASSERT_NO_THROW(statement)                                          \
+  GTEST_ASSERTION_(::testing::internal::NoThrowTestFailure(                 \
+                       [&]() { statement; }, #statement),                   \
+                   return)
 
 #define GTEST_SKIP()                                                        \
   return ::testing::internal::AssertHelper(                                 \

@@ -32,6 +32,18 @@
 //   --threads=N         batch-engine worker threads (implies --batch;
 //                       0 = hardware concurrency). Values are
 //                       bit-identical at any thread count.
+//   --serve             answer through the async serving front end
+//                       (serve/query_service.h): queries arrive as an
+//                       open-loop trace, coalesce in the micro-batching
+//                       scheduler, and the summary reports p50/p95/p99
+//                       client latency + throughput. --threads sets the
+//                       dispatch workers (values stay bit-identical).
+//   --qps=F             serve arrival rate (Poisson); 0 = one burst
+//   --linger-ms=F       serve flush timer (default 2 ms)
+//   --batch-size=N      serve coalescing cap (default 64; 1 = no
+//                       coalescing, the micro-batching ablation)
+//   --deadline-ms=F     per-query deadline; still-queued queries expire
+//                       when it lapses (default: none)
 
 #include <cstdio>
 #include <cstdlib>
@@ -43,9 +55,11 @@
 #include "core/batch_engine.h"
 #include "core/registry.h"
 #include "eval/datasets.h"
+#include "eval/experiment.h"
 #include "eval/queries.h"
 #include "graph/algorithms.h"
 #include "linalg/spectral.h"
+#include "serve/trace.h"
 #include "util/timer.h"
 #include "graph/weighted_io.h"
 
@@ -68,7 +82,61 @@ struct CliArgs {
   bool weighted = false;
   bool batch = false;
   int threads = 1;
+  bool serve = false;
+  double qps = 0.0;
+  double linger_ms = 2.0;
+  std::size_t serve_batch_size = 64;
+  double deadline_ms = 0.0;
 };
+
+// The --serve path: replay the query set as an open-loop arrival trace
+// through the micro-batching QueryService and report what an interactive
+// client sees — per-query latency and the tail summary.
+int RunServedQueries(ErEstimator* estimator,
+                     const std::vector<QueryPair>& queries,
+                     const CliArgs& args) {
+  const std::vector<TraceEvent> trace =
+      MakeOpenLoopTrace(queries, args.qps, args.options.seed);
+  ServeOptions serve_options;
+  serve_options.max_batch_size = args.serve_batch_size;
+  serve_options.max_linger_seconds = args.linger_ms / 1e3;
+  serve_options.threads = args.threads;
+  const ServedWorkloadResult result = RunServedWorkload(
+      *estimator, trace, serve_options, args.deadline_ms / 1e3);
+
+  if (args.csv) std::printf("s,t,er,latency_ms,status\n");
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const QueryPair& q = trace[i].query;
+    const bool answered = result.statuses[i] == ServeStatus::kAnswered;
+    const char* status =
+        answered ? "answered"
+        : result.statuses[i] == ServeStatus::kUnsupported ? "unsupported"
+        : result.statuses[i] == ServeStatus::kRejected    ? "rejected"
+        : result.statuses[i] == ServeStatus::kFailed      ? "failed"
+                                                          : "expired";
+    if (args.csv) {
+      std::printf("%u,%u,%.9g,%.3f,%s\n", q.s, q.t, result.values[i],
+                  result.latency_ms[i], status);
+    } else if (answered) {
+      std::printf("r(%u, %u) = %.6f   (%.2f ms)\n", q.s, q.t,
+                  result.values[i], result.latency_ms[i]);
+    } else {
+      std::printf("r(%u, %u): %s\n", q.s, q.t, status);
+    }
+  }
+  if (!args.csv) {
+    std::printf(
+        "# served %zu/%zu queries in %.1f ms: p50=%.2f p95=%.2f p99=%.2f "
+        "max=%.2f ms, %.0f q/s, avg_batch=%.1f, workers=%d%s\n",
+        result.answered, result.num_events, result.wall_seconds * 1e3,
+        result.p50_ms, result.p95_ms, result.p99_ms, result.max_ms,
+        result.throughput_qps, result.avg_batch, result.workers,
+        result.failed > 0    ? " — some FAILED"
+        : result.expired > 0 ? " — some expired"
+                             : "");
+  }
+  return 0;
+}
 
 // The --batch / --threads path: one engine run over the whole query set,
 // grouped by the method's plan, then one result row per query in input
@@ -213,6 +281,9 @@ int RunWeighted(const CliArgs& args, std::vector<QueryPair> queries) {
       return 1;
     }
   }
+  if (args.serve) {
+    return RunServedQueries(estimator.get(), queries, args);
+  }
   if (args.batch || args.threads != 1) {
     return RunBatchQueries(estimator.get(), queries, args);
   }
@@ -255,7 +326,9 @@ int Usage(const char* argv0) {
                "usage: %s (--graph=PATH | --dataset=NAME) [--method=NAME]\n"
                "          [--epsilon=F] [--pair=S:T ...] [--random=N]\n"
                "          [--edges=N] [--stdin] [--stats] [--csv] [--list]\n"
-               "          [--batch] [--threads=N] [--weighted]\n",
+               "          [--batch] [--threads=N] [--weighted]\n"
+               "          [--serve] [--qps=F] [--linger-ms=F]\n"
+               "          [--batch-size=N] [--deadline-ms=F]\n",
                argv0);
   return 2;
 }
@@ -378,6 +451,9 @@ int Run(const CliArgs& args) {
   }
 
   // --- Answer -------------------------------------------------------------
+  if (args.serve) {
+    return RunServedQueries(estimator.get(), queries, args);
+  }
   if (args.batch || args.threads != 1) {
     return RunBatchQueries(estimator.get(), queries, args);
   }
@@ -475,6 +551,17 @@ int main(int argc, char** argv) {
     } else if (auto v = value("--threads")) {
       args.threads = std::atoi(v->c_str());
       args.batch = true;
+    } else if (auto v = value("--qps")) {
+      args.qps = std::atof(v->c_str());
+    } else if (auto v = value("--linger-ms")) {
+      args.linger_ms = std::atof(v->c_str());
+    } else if (auto v = value("--batch-size")) {
+      args.serve_batch_size =
+          static_cast<std::size_t>(std::atoll(v->c_str()));
+    } else if (auto v = value("--deadline-ms")) {
+      args.deadline_ms = std::atof(v->c_str());
+    } else if (arg == "--serve") {
+      args.serve = true;
     } else if (arg == "--batch") {
       args.batch = true;
     } else if (arg == "--stdin") {

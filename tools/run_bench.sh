@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Perf-tracking bench runner: builds Release, runs the pinned quick bench
+# suite with fixed seeds/reps, and writes the results as machine-readable
+# BENCH JSON — the per-PR perf trajectory CI guards.
+#
+#   tools/run_bench.sh [--pr=N] [--out=FILE] [--build-dir=DIR]
+#
+#   --pr=N         PR number for the default output name BENCH_pr<N>.json.
+#                  Default: $BENCH_PR, else the CHANGES.md line count
+#                  (one line per landed PR).
+#   --out=FILE     output path (overrides the derived name)
+#   --build-dir=D  defaults to "build-bench" (kept separate from the
+#                  tier-1 RelWithAsserts tree: benches run -O2 -DNDEBUG)
+#
+# Environment:
+#   JOBS           build parallelism (default: nproc)
+#   BENCH_THREADS  dispatch workers for the serve bench (default: 2)
+#
+# Pinned suite (fixed seeds, fixed workloads — comparable across PRs):
+#   bench_batch_shared     --csv --scale=0.1 --seed=1
+#   bench_serve_throughput --csv --scale=0.1 --seed=1 --rounds=2
+#   bench_micro_estimators (google-benchmark; skipped when the system
+#                           libbenchmark is absent — builds stay offline)
+#
+# Output: a JSON array of {"method", "metric", "value", "threads"}
+# objects. Metric names are hierarchical ("serve/<dataset>/<mode>/
+# throughput_qps"), so a trajectory plot can select one series across
+# BENCH_pr*.json files.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+BENCH_THREADS="${BENCH_THREADS:-2}"
+
+PR="${BENCH_PR:-}"
+OUT=""
+BUILD_DIR="build-bench"
+for arg in "$@"; do
+  case "$arg" in
+    --pr=*) PR="${arg#--pr=}" ;;
+    --out=*) OUT="${arg#--out=}" ;;
+    --build-dir=*) BUILD_DIR="${arg#--build-dir=}" ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cd "$REPO_ROOT"
+if [[ -z "$PR" ]]; then
+  PR="$(wc -l < CHANGES.md | tr -d ' ')"
+fi
+OUT="${OUT:-BENCH_pr${PR}.json}"
+
+CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=Release)
+if command -v ccache >/dev/null 2>&1; then
+  CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+echo "== bench: configure + build (${BUILD_DIR}, Release) =="
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}" >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" \
+    --target bench_batch_shared bench_serve_throughput >/dev/null
+HAVE_MICRO=0
+if cmake --build "$BUILD_DIR" -j "$JOBS" \
+    --target bench_micro_estimators >/dev/null 2>&1; then
+  HAVE_MICRO=1
+else
+  echo "== bench: libbenchmark absent, skipping micro_estimators =="
+fi
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+echo "== bench: batch_shared =="
+"$BUILD_DIR/bench_batch_shared" --csv --scale=0.1 --seed=1 \
+    > "$TMP_DIR/batch_shared.csv"
+
+echo "== bench: serve_throughput (threads=${BENCH_THREADS}) =="
+"$BUILD_DIR/bench_serve_throughput" --csv --scale=0.1 --seed=1 --rounds=2 \
+    --threads="$BENCH_THREADS" > "$TMP_DIR/serve.csv"
+
+if [[ "$HAVE_MICRO" == 1 ]]; then
+  echo "== bench: micro_estimators (pinned subset) =="
+  "$BUILD_DIR/bench_micro_estimators" \
+      --benchmark_filter='BM_(Geer|Amc|Smm)/10$|BM_(TpScaled|TpcScaled)/2$|BM_Cg$' \
+      --benchmark_format=csv --benchmark_repetitions=1 \
+      > "$TMP_DIR/micro.csv" 2>/dev/null
+fi
+
+# --- CSV -> BENCH JSON (awk only: no jq/python dependency) -----------------
+
+ENTRIES="$TMP_DIR/entries"
+: > "$ENTRIES"
+
+# batch_shared: method,dataset,epsilon,mode,queries,walks_per_q,
+#               walk_steps_per_q,spmv_per_q,ms_per_q
+awk -F, 'NR > 1 {
+  printf "{\"method\": \"%s\", \"metric\": \"batch_shared/%s/eps%s/%s/ms_per_q\", \"value\": %s, \"threads\": 1}\n",
+         $1, $2, $3, $4, $9
+}' "$TMP_DIR/batch_shared.csv" >> "$ENTRIES"
+
+# serve_throughput: method,dataset,epsilon,mode,queries,throughput_qps,
+#                   p50_ms,p95_ms,p99_ms,avg_batch,ms_per_q
+awk -F, -v threads="$BENCH_THREADS" 'NR > 1 {
+  printf "{\"method\": \"%s\", \"metric\": \"serve/%s/%s/throughput_qps\", \"value\": %s, \"threads\": %s}\n",
+         $1, $2, $4, $6, threads
+  printf "{\"method\": \"%s\", \"metric\": \"serve/%s/%s/p95_ms\", \"value\": %s, \"threads\": %s}\n",
+         $1, $2, $4, $8, threads
+}' "$TMP_DIR/serve.csv" >> "$ENTRIES"
+
+# micro_estimators (google-benchmark CSV): name,iterations,real_time,
+# cpu_time,time_unit,...  Rows have the quoted bench name in column 1.
+if [[ "$HAVE_MICRO" == 1 ]]; then
+  awk -F, '/^"BM_/ {
+    name = $1; gsub(/"/, "", name)
+    method = name; sub(/\/.*$/, "", method); sub(/^BM_/, "", method)
+    map["Geer"] = "GEER"; map["Amc"] = "AMC"; map["Smm"] = "SMM"
+    map["TpScaled"] = "TP"; map["TpcScaled"] = "TPC"; map["Cg"] = "CG"
+    if (method in map) method = map[method]
+    printf "{\"method\": \"%s\", \"metric\": \"micro/%s/cpu_%s\", \"value\": %s, \"threads\": 1}\n",
+           method, name, $5, $4
+  }' "$TMP_DIR/micro.csv" >> "$ENTRIES"
+fi
+
+# Join the entry lines into one JSON array.
+mkdir -p "$(dirname "$OUT")"
+awk 'BEGIN { print "[" } { printf "%s%s\n", (NR > 1 ? "," : " "), $0 }
+     END { print "]" }' "$ENTRIES" > "$OUT"
+
+if command -v jq >/dev/null 2>&1; then
+  jq empty "$OUT"  # fail loudly on malformed JSON
+fi
+echo "== bench: wrote $(grep -c '"metric"' "$OUT") entries to ${OUT} =="

@@ -2,18 +2,24 @@
 # Tier-1 verify: configure, build, and run the full ctest suite.
 # This is the CI entry point; it exits non-zero as soon as any stage fails.
 #
-# Usage: tools/run_tier1.sh [--asan | --tsan] [build-dir]
+# Usage: tools/run_tier1.sh [--asan | --tsan] [--strict] [build-dir]
 #   --asan      build and test with AddressSanitizer + UBSan
 #               (default build dir then becomes "build-asan")
 #   --tsan      build and test with ThreadSanitizer — the configuration
-#               the batch-determinism suite runs under in CI
+#               the batch/serve determinism suites run under in CI
 #               (default build dir then becomes "build-tsan")
+#   --strict    configure with -DGEER_CI_STRICT=ON (warnings are errors;
+#               what the CI workflow passes)
 #   build-dir   defaults to "build" (relative to the repo root)
 #
 # Environment:
 #   JOBS          parallelism for build and ctest (default: nproc)
-#   CTEST_FILTER  optional ctest -R regex (e.g. batch_determinism for the
-#                 TSan CI job); default runs everything
+#   CTEST_FILTER  optional ctest -R regex; applied UNIFORMLY in every
+#                 mode — plain, --asan and --tsan all honor it the same
+#                 way (e.g. CTEST_FILTER='(batch|serve)_determinism' for
+#                 the TSan CI job). Default runs everything.
+#   GEER_NO_CCACHE  set to 1 to skip the automatic ccache compiler
+#                 launcher (used whenever ccache is on PATH)
 
 set -euo pipefail
 
@@ -22,11 +28,13 @@ JOBS="${JOBS:-$(nproc)}"
 
 ASAN=0
 TSAN=0
+STRICT=0
 BUILD_DIR=""
 for arg in "$@"; do
   case "$arg" in
     --asan) ASAN=1 ;;
     --tsan) TSAN=1 ;;
+    --strict) STRICT=1 ;;
     -*) echo "unknown flag: $arg" >&2; exit 2 ;;
     *) BUILD_DIR="$arg" ;;
   esac
@@ -49,6 +57,12 @@ elif [[ "$TSAN" == 1 ]]; then
                "-DCMAKE_EXE_LINKER_FLAGS=${SAN_FLAGS}")
 else
   BUILD_DIR="${BUILD_DIR:-build}"
+fi
+if [[ "$STRICT" == 1 ]]; then
+  CMAKE_ARGS+=("-DGEER_CI_STRICT=ON")
+fi
+if [[ "${GEER_NO_CCACHE:-0}" != 1 ]] && command -v ccache >/dev/null 2>&1; then
+  CMAKE_ARGS+=("-DCMAKE_CXX_COMPILER_LAUNCHER=ccache")
 fi
 
 cd "$REPO_ROOT"
