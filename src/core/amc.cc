@@ -111,6 +111,21 @@ AmcEstimatorT<WP>::AmcEstimatorT(const GraphT& graph, ErOptions options)
 }
 
 template <WeightPolicy WP>
+bool AmcEstimatorT<WP>::RebindGraph(const GraphT& graph,
+                                    const GraphEpoch& epoch) {
+  graph_ = &graph;
+  walker_ = WalkerFor<WP>(graph);
+  // λ belongs to the graph, not the options: a stale construction-time
+  // (or clone-baked) value would change walk lengths vs a fresh build.
+  lambda_ = epoch.lambda.has_value()
+                ? *epoch.lambda
+                : ComputeSpectralBoundsT<WP>(graph).lambda;
+  svec_.assign(graph.NumNodes(), 0.0);
+  tvec_.assign(graph.NumNodes(), 0.0);
+  return true;
+}
+
+template <WeightPolicy WP>
 QueryStats AmcEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   GEER_CHECK(s < graph_->NumNodes());
   GEER_CHECK(t < graph_->NumNodes());

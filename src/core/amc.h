@@ -92,6 +92,12 @@ class AmcEstimatorT : public ErEstimator {
     return std::make_unique<AmcEstimatorT<WP>>(*graph_, opt);
   }
 
+  /// Dynamic-graph hook: repoints at the new snapshot, rebuilds the walk
+  /// sampler, re-derives λ (epoch.lambda or Lanczos) and resizes the
+  /// one-hot scratch.
+  using ErEstimator::RebindGraph;
+  bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
+
   double lambda() const { return lambda_; }
 
  private:

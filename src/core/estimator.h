@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -19,6 +20,29 @@
 namespace geer {
 
 class Deadline;
+class WeightedGraph;
+
+/// Describes one published epoch of a dynamic graph (src/dyn/) for
+/// ErEstimator::RebindGraph. `touched` must cover every vertex whose CSR
+/// row differs from the graph the estimator is currently bound to —
+/// callers that skip epochs pass the union of the skipped commits'
+/// touched sets. Epoch numbers must be monotone per logical graph: the
+/// shared-preprocessing estimators (EXACT/CG/RP) key their rebuilt state
+/// on it so clones sharing a holder rebuild once per epoch, not once per
+/// worker.
+struct GraphEpoch {
+  std::uint64_t epoch = 0;
+  /// Sorted vertices whose rows changed (endpoints of changed edges).
+  std::span<const NodeId> touched;
+  /// True when the node count changed — dense per-node caches must then
+  /// flush wholesale regardless of `touched`.
+  bool resized = false;
+  /// Precomputed λ = max(|λ₂|, |λ_n|) for the NEW graph. When absent,
+  /// estimators that read λ re-run the Lanczos preprocessing themselves
+  /// (deterministic, so every worker converges to the same value — just
+  /// slower than computing it once per epoch).
+  std::optional<double> lambda;
+};
 
 /// A single PER query (s, t).
 struct QueryPair {
@@ -199,6 +223,36 @@ class ErEstimator {
 
   /// True iff this instance currently retains cross-batch session state.
   virtual bool SessionCacheEnabled() const { return false; }
+
+  /// Rebinds this estimator to a new epoch of the (logically same) graph
+  /// it was constructed on — the dynamic-graph hook (src/dyn/). On
+  /// success the estimator answers every subsequent query bit-identically
+  /// to a freshly constructed estimator on `graph` with the construction
+  /// options (λ is re-derived for the new graph: from epoch.lambda when
+  /// provided, else by re-running Lanczos). Construction-time
+  /// preprocessing is rebuilt as needed — EXACT/CG/RP rebuild their
+  /// factorization/solver/sketch once per epoch across every clone
+  /// sharing it — while session caches are invalidated selectively:
+  /// SMM/GEER evict only per-source entries whose dependency set
+  /// intersects epoch.touched; TP/TPC (untracked walk visit sets) and
+  /// resized graphs flush wholesale. Precondition mirrors construction:
+  /// `graph` must satisfy the estimator's feasibility checks.
+  ///
+  /// The weight mode must match the construction graph; the non-matching
+  /// overload returns false (as does the default for estimators without
+  /// dynamic support). `graph` must outlive the estimator, exactly like
+  /// the construction graph.
+  virtual bool RebindGraph(const Graph& graph, const GraphEpoch& epoch) {
+    (void)graph;
+    (void)epoch;
+    return false;
+  }
+  virtual bool RebindGraph(const WeightedGraph& graph,
+                           const GraphEpoch& epoch) {
+    (void)graph;
+    (void)epoch;
+    return false;
+  }
 };
 
 }  // namespace geer

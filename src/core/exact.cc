@@ -5,10 +5,8 @@
 namespace geer {
 
 template <WeightPolicy WP>
-ExactEstimatorT<WP>::ExactEstimatorT(const GraphT& graph, ErOptions options,
-                                     NodeId max_nodes)
-    : graph_(&graph) {
-  ValidateOptions(options);
+std::shared_ptr<const CholeskyFactor> ExactEstimatorT<WP>::BuildFactor(
+    const GraphT& graph, NodeId max_nodes) {
   const NodeId n = graph.NumNodes();
   GEER_CHECK_GE(n, 2u);
   GEER_CHECK_LE(n, max_nodes)
@@ -27,7 +25,26 @@ ExactEstimatorT<WP>::ExactEstimatorT(const GraphT& graph, ErOptions options,
   auto factor = CholeskyFactor::Factorize(m);
   GEER_CHECK(factor.has_value())
       << "augmented Laplacian not PD — is the graph connected?";
-  factor_ = std::make_shared<const CholeskyFactor>(std::move(*factor));
+  return std::make_shared<const CholeskyFactor>(std::move(*factor));
+}
+
+template <WeightPolicy WP>
+ExactEstimatorT<WP>::ExactEstimatorT(const GraphT& graph, ErOptions options,
+                                     NodeId max_nodes)
+    : graph_(&graph), max_nodes_(max_nodes) {
+  ValidateOptions(options);
+  factor_ = BuildFactor(graph, max_nodes);
+  shared_factor_ = std::make_shared<EpochShared<CholeskyFactor>>(factor_);
+}
+
+template <WeightPolicy WP>
+bool ExactEstimatorT<WP>::RebindGraph(const GraphT& graph,
+                                      const GraphEpoch& epoch) {
+  factor_ = shared_factor_->GetOrBuild(epoch.epoch, [this, &graph]() {
+    return BuildFactor(graph, max_nodes_);
+  });
+  graph_ = &graph;
+  return true;
 }
 
 template <WeightPolicy WP>

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "core/epoch_shared.h"
 #include "core/estimator.h"
 #include "core/options.h"
 #include "graph/weight_policy.h"
@@ -38,9 +39,16 @@ class ExactEstimatorT : public ErEstimator {
   /// Batch workers share the O(n²) factorization — the only per-graph
   /// state — instead of redoing the O(n³) setup per thread.
   std::unique_ptr<ErEstimator> CloneForBatch() const override {
-    return std::unique_ptr<ErEstimator>(
-        new ExactEstimatorT<WP>(*graph_, factor_));
+    return std::unique_ptr<ErEstimator>(new ExactEstimatorT<WP>(*this));
   }
+
+  /// Dynamic-graph hook: the factorization depends on the WHOLE graph,
+  /// so any epoch change invalidates it — but it is rebuilt exactly once
+  /// per epoch across every clone sharing it (core/epoch_shared.h), not
+  /// once per worker. Aborts like construction if the new snapshot
+  /// exceeds the max_nodes cap — pre-check with Feasible().
+  using ErEstimator::RebindGraph;
+  bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
 
   /// True iff the dense factorization would fit under `max_nodes`.
   static bool Feasible(const GraphT& graph, NodeId max_nodes = 8192) {
@@ -48,13 +56,17 @@ class ExactEstimatorT : public ErEstimator {
   }
 
  private:
-  // Clone constructor: adopts an already-computed shared factorization.
-  ExactEstimatorT(const GraphT& graph,
-                  std::shared_ptr<const CholeskyFactor> factor)
-      : graph_(&graph), factor_(std::move(factor)) {}
+  // Clone constructor: adopts the shared factorization and its
+  // epoch-keyed holder.
+  ExactEstimatorT(const ExactEstimatorT& other) = default;
+
+  static std::shared_ptr<const CholeskyFactor> BuildFactor(
+      const GraphT& graph, NodeId max_nodes);
 
   const GraphT* graph_;
+  NodeId max_nodes_ = 8192;
   std::shared_ptr<const CholeskyFactor> factor_;
+  std::shared_ptr<EpochShared<CholeskyFactor>> shared_factor_;
 };
 
 /// The two stacks, by their historical names.

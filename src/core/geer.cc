@@ -33,6 +33,20 @@ GeerEstimatorT<WP>::GeerEstimatorT(const GraphT& graph, ErOptions options)
 }
 
 template <WeightPolicy WP>
+bool GeerEstimatorT<WP>::RebindGraph(const GraphT& graph,
+                                     const GraphEpoch& epoch) {
+  graph_ = &graph;
+  op_ = TransitionOperatorT<WP>(graph);  // stable address: retained
+                                         // session caches keep their op_
+  walker_ = WalkerFor<WP>(graph);
+  lambda_ = epoch.lambda.has_value()
+                ? *epoch.lambda
+                : ComputeSpectralBoundsT<WP>(graph).lambda;
+  if (session_ != nullptr) session_->Rebind(graph, epoch);
+  return true;
+}
+
+template <WeightPolicy WP>
 QueryStats GeerEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   GEER_CHECK(s < graph_->NumNodes());
   GEER_CHECK(t < graph_->NumNodes());

@@ -79,6 +79,13 @@ class GeerEstimatorT : public ErEstimator {
   }
   bool SessionCacheEnabled() const override { return session_ != nullptr; }
 
+  /// Dynamic-graph hook: repoints at the new snapshot, rebuilds the
+  /// transition operator and walk sampler, re-derives λ, and invalidates
+  /// the SMM session selectively (only sources whose iterate supports
+  /// were touched; the AMC tail carries no cross-query state).
+  using ErEstimator::RebindGraph;
+  bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
+
   double lambda() const { return lambda_; }
 
   /// Compat spelling of GeerRemainingSampleBudget.

@@ -14,6 +14,15 @@ HayEstimatorT<WP>::HayEstimatorT(const GraphT& graph, ErOptions options)
 }
 
 template <WeightPolicy WP>
+bool HayEstimatorT<WP>::RebindGraph(const GraphT& graph,
+                                    const GraphEpoch& epoch) {
+  (void)epoch;
+  graph_ = &graph;
+  walker_ = WalkerFor<WP>(graph);
+  return true;
+}
+
+template <WeightPolicy WP>
 std::uint64_t HayEstimatorT<WP>::NumTrees() const {
   if (options_.hay_num_trees > 0) return options_.hay_num_trees;
   const double n = std::log(2.0 / options_.delta) /

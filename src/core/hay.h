@@ -41,6 +41,11 @@ class HayEstimatorT : public ErEstimator {
     return std::make_unique<HayEstimatorT<WP>>(*graph_, options_);
   }
 
+  /// Dynamic-graph hook: repoints at the new snapshot and rebuilds the
+  /// walk sampler (Wilson's algorithm reads the graph per query).
+  using ErEstimator::RebindGraph;
+  bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
+
   /// Number of spanning trees sampled per query under the options.
   std::uint64_t NumTrees() const;
 

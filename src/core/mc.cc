@@ -13,6 +13,15 @@ McEstimatorT<WP>::McEstimatorT(const GraphT& graph, ErOptions options)
 }
 
 template <WeightPolicy WP>
+bool McEstimatorT<WP>::RebindGraph(const GraphT& graph,
+                                   const GraphEpoch& epoch) {
+  (void)epoch;  // MC has no per-graph preprocessing beyond the sampler
+  graph_ = &graph;
+  walker_ = WalkerFor<WP>(graph);
+  return true;
+}
+
+template <WeightPolicy WP>
 std::uint64_t McEstimatorT<WP>::NumTrials(double weight_s) const {
   const double eta = 3.0 * options_.mc_gamma_upper * weight_s *
                      std::log(1.0 / options_.delta) /

@@ -36,6 +36,11 @@ class McEstimatorT : public ErEstimator {
     return std::make_unique<McEstimatorT<WP>>(*graph_, options_);
   }
 
+  /// Dynamic-graph hook: repoints at the new snapshot and rebuilds the
+  /// walk sampler (MC holds no per-graph preprocessing beyond it).
+  using ErEstimator::RebindGraph;
+  bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
+
   /// Trial count η for a given source weight (degree/strength) under the
   /// options.
   std::uint64_t NumTrials(double weight_s) const;

@@ -13,6 +13,15 @@ Mc2EstimatorT<WP>::Mc2EstimatorT(const GraphT& graph, ErOptions options)
 }
 
 template <WeightPolicy WP>
+bool Mc2EstimatorT<WP>::RebindGraph(const GraphT& graph,
+                                    const GraphEpoch& epoch) {
+  (void)epoch;
+  graph_ = &graph;
+  walker_ = WalkerFor<WP>(graph);
+  return true;
+}
+
+template <WeightPolicy WP>
 std::uint64_t Mc2EstimatorT<WP>::NumTrials() const {
   double gamma = options_.mc2_gamma_lower;
   if (gamma <= 0.0) {

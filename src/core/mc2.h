@@ -40,6 +40,11 @@ class Mc2EstimatorT : public ErEstimator {
     return std::make_unique<Mc2EstimatorT<WP>>(*graph_, options_);
   }
 
+  /// Dynamic-graph hook: repoints at the new snapshot and rebuilds the
+  /// walk sampler.
+  using ErEstimator::RebindGraph;
+  bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
+
   /// Trial count under the options' γ (0 ⇒ the worst-case 1/(2W)).
   std::uint64_t NumTrials() const;
 

@@ -26,21 +26,43 @@ std::uint64_t RpEstimatorT<WP>::SketchBytes(const GraphT& graph,
 
 template <WeightPolicy WP>
 RpEstimatorT<WP>::RpEstimatorT(const GraphT& graph, ErOptions options)
-    : graph_(&graph) {
+    : graph_(&graph), options_(options) {
   ValidateOptions(options);
   k_ = DeriveDimensions(graph, options);
   GEER_CHECK(Feasible(graph, options))
       << "RP sketch of " << SketchBytes(graph, options)
       << " bytes exceeds the rp_max_bytes budget (paper: out of memory)";
+  sketch_ = BuildSketch(graph, options, k_);
+  shared_sketch_ = std::make_shared<EpochShared<Matrix>>(sketch_);
+}
+
+template <WeightPolicy WP>
+bool RpEstimatorT<WP>::RebindGraph(const GraphT& graph,
+                                   const GraphEpoch& epoch) {
+  const int k = DeriveDimensions(graph, options_);
+  GEER_CHECK(Feasible(graph, options_))
+      << "RP sketch of " << SketchBytes(graph, options_)
+      << " bytes exceeds the rp_max_bytes budget (paper: out of memory)";
+  sketch_ = shared_sketch_->GetOrBuild(epoch.epoch, [this, &graph, k]() {
+    return BuildSketch(graph, options_, k);
+  });
+  k_ = k;
+  graph_ = &graph;
+  return true;
+}
+
+template <WeightPolicy WP>
+std::shared_ptr<const Matrix> RpEstimatorT<WP>::BuildSketch(
+    const GraphT& graph, const ErOptions& options, int k_dims) {
   const NodeId n = graph.NumNodes();
-  Matrix sketch(static_cast<std::size_t>(k_), n, 0.0);
+  Matrix sketch(static_cast<std::size_t>(k_dims), n, 0.0);
 
   typename LaplacianSolverT<WP>::Options sopt;
   // The JL distortion already costs ε; solve well below it.
   sopt.tolerance = 1e-8;
   LaplacianSolverT<WP> solver(graph, sopt);
   Rng rng(options.seed ^ 0x9d2c5680cafef00dULL);
-  const double scale = 1.0 / std::sqrt(static_cast<double>(k_));
+  const double scale = 1.0 / std::sqrt(static_cast<double>(k_dims));
 
   // Row j of Q W^{1/2} B has entry +q_e·√w_e at e's lower endpoint and
   // −q_e·√w_e at the upper one, q_e = ±1/√k (√w_e ≡ 1 unweighted). Solve
@@ -48,7 +70,7 @@ RpEstimatorT<WP>::RpEstimatorT(const GraphT& graph, ErOptions options)
   const auto& offsets = graph.Offsets();
   const auto& adj = graph.NeighborArray();
   Vector row(n, 0.0);
-  for (int j = 0; j < k_; ++j) {
+  for (int j = 0; j < k_dims; ++j) {
     std::fill(row.begin(), row.end(), 0.0);
     for (NodeId u = 0; u < n; ++u) {
       for (std::uint64_t k = offsets[u]; k < offsets[u + 1]; ++k) {
@@ -65,7 +87,7 @@ RpEstimatorT<WP>::RpEstimatorT(const GraphT& graph, ErOptions options)
     double* out = sketch.Row(static_cast<std::size_t>(j));
     for (NodeId v = 0; v < n; ++v) out[v] = z[v];
   }
-  sketch_ = std::make_shared<const Matrix>(std::move(sketch));
+  return std::make_shared<const Matrix>(std::move(sketch));
 }
 
 template <WeightPolicy WP>

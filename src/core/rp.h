@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "core/epoch_shared.h"
 #include "core/estimator.h"
 #include "core/options.h"
 #include "graph/weight_policy.h"
@@ -40,9 +41,15 @@ class RpEstimatorT : public ErEstimator {
   /// Batch workers share the k×n sketch — the k Laplacian solves of the
   /// preprocessing are paid once, not per thread.
   std::unique_ptr<ErEstimator> CloneForBatch() const override {
-    return std::unique_ptr<ErEstimator>(
-        new RpEstimatorT<WP>(*graph_, k_, sketch_));
+    return std::unique_ptr<ErEstimator>(new RpEstimatorT<WP>(*this));
   }
+
+  /// Dynamic-graph hook: the sketch depends on the whole graph (one
+  /// Laplacian solve per row), so any epoch change rebuilds it — once
+  /// per epoch across every clone sharing it. Aborts like construction
+  /// if the new sketch exceeds rp_max_bytes — pre-check with Feasible().
+  using ErEstimator::RebindGraph;
+  bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
 
   /// Projection dimension in use.
   int Dimensions() const { return k_; }
@@ -61,15 +68,19 @@ class RpEstimatorT : public ErEstimator {
   static int DeriveDimensions(const GraphT& graph, const ErOptions& options);
 
  private:
-  // Clone constructor: adopts an already-built shared sketch.
-  RpEstimatorT(const GraphT& graph, int k,
-               std::shared_ptr<const Matrix> sketch)
-      : graph_(&graph), k_(k), sketch_(std::move(sketch)) {}
+  // Clone constructor: adopts the shared sketch and its epoch holder.
+  RpEstimatorT(const RpEstimatorT& other) = default;
+
+  static std::shared_ptr<const Matrix> BuildSketch(const GraphT& graph,
+                                                   const ErOptions& options,
+                                                   int k);
 
   const GraphT* graph_;
+  ErOptions options_;
   int k_ = 0;
   // Row-major k×n sketch Z̃; r̂(s,t) = Σ_j (Z̃(j,s) − Z̃(j,t))².
   std::shared_ptr<const Matrix> sketch_;
+  std::shared_ptr<EpochShared<Matrix>> shared_sketch_;
 };
 
 /// The two stacks, by their historical names.

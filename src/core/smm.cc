@@ -26,6 +26,19 @@ SmmSessionCacheT<WP>::SmmSessionCacheT(const GraphT& graph,
 }
 
 template <WeightPolicy WP>
+void SmmSessionCacheT<WP>::Rebind(const GraphT& graph,
+                                  const GraphEpoch& epoch) {
+  graph_ = &graph;
+  if (epoch.resized) {
+    caches_.clear();  // dense iterates are sized to the old node count
+    return;
+  }
+  caches_.remove_if([&epoch](const SmmSourceCacheT<WP>& cache) {
+    return cache.DependsOn(epoch.touched);
+  });
+}
+
+template <WeightPolicy WP>
 SmmSourceCacheT<WP>* SmmSessionCacheT<WP>::CacheFor(NodeId source) {
   for (auto it = caches_.begin(); it != caches_.end(); ++it) {
     if (it->source() == source) {
@@ -63,6 +76,26 @@ SmmSourceCacheT<WP>::SmmSourceCacheT(const GraphT& graph,
   live_.InitOneHot(source, graph);
   iterates_.push_back(live_.values);
   support_costs_.push_back(live_.support_degree_sum);
+  dep_mark_.assign(graph.NumNodes(), 0);
+  AbsorbSupport();
+}
+
+template <WeightPolicy WP>
+void SmmSourceCacheT<WP>::AbsorbSupport() {
+  if (live_.dense) {
+    dep_dense_ = true;  // support tracking stopped; dependency unknown
+    return;
+  }
+  for (const NodeId v : live_.support) dep_mark_[v] = 1;
+}
+
+template <WeightPolicy WP>
+bool SmmSourceCacheT<WP>::DependsOn(std::span<const NodeId> touched) const {
+  if (dep_dense_) return true;
+  for (const NodeId v : touched) {
+    if (v < dep_mark_.size() && dep_mark_[v] != 0) return true;
+  }
+  return false;
 }
 
 template <WeightPolicy WP>
@@ -73,6 +106,7 @@ void SmmSourceCacheT<WP>::EnsureIterations(std::uint32_t j,
     *fresh_ops += op_->ApplyAuto(&live_);
     iterates_.push_back(live_.values);
     support_costs_.push_back(live_.support_degree_sum);
+    AbsorbSupport();
   }
 }
 
@@ -134,6 +168,19 @@ SmmEstimatorT<WP>::SmmEstimatorT(const GraphT& graph, ErOptions options)
   lambda_ = options_.lambda.has_value()
                 ? *options_.lambda
                 : ComputeSpectralBoundsT<WP>(graph).lambda;
+}
+
+template <WeightPolicy WP>
+bool SmmEstimatorT<WP>::RebindGraph(const GraphT& graph,
+                                    const GraphEpoch& epoch) {
+  graph_ = &graph;
+  op_ = TransitionOperatorT<WP>(graph);  // member address is stable, so
+                                         // retained caches keep their op_
+  lambda_ = epoch.lambda.has_value()
+                ? *epoch.lambda
+                : ComputeSpectralBoundsT<WP>(graph).lambda;
+  if (session_ != nullptr) session_->Rebind(graph, epoch);
+  return true;
 }
 
 template <WeightPolicy WP>

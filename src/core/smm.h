@@ -81,13 +81,28 @@ class SmmSourceCacheT {
   /// EnsureIterations(max_cached_iterations()).
   const SparseVector& BoundaryState() const { return live_; }
 
+  /// True iff this cache's dependency set — the union of every
+  /// materialized iterate's support, i.e. every vertex whose row or
+  /// degree the cached sequence read — intersects the sorted `touched`
+  /// list, or support tracking went dense (dependency unknown). The
+  /// dynamic-graph invalidation predicate: a cache for which this is
+  /// FALSE is bit-exact on the new epoch (all rows it read are
+  /// unchanged, and any touched vertex outside the supports contributes
+  /// exactly zero to every cached iterate on both graphs).
+  bool DependsOn(std::span<const NodeId> touched) const;
+
  private:
+  /// Folds live_'s current support into the dependency marks.
+  void AbsorbSupport();
+
   NodeId source_;
   TransitionOperatorT<WP>* op_;
   std::uint32_t max_cached_;
   SparseVector live_;
   std::vector<Vector> iterates_;
   std::vector<std::uint64_t> support_costs_;
+  std::vector<char> dep_mark_;  // n flags: vertex ∈ dependency set
+  bool dep_dense_ = false;      // an iterate stopped support tracking
 };
 
 /// A bounded pool of per-source iterate caches that persists across
@@ -122,6 +137,14 @@ class SmmSessionCacheT {
 
   /// Drops every retained source cache.
   void Clear() { caches_.clear(); }
+
+  /// Dynamic-epoch invalidation: repoints at the new snapshot and evicts
+  /// ONLY the source caches whose dependency set intersects
+  /// epoch.touched (all of them when the node count changed — the dense
+  /// iterate vectors are sized to the old n). Surviving caches answer
+  /// bit-identically on the new epoch; dyn_consistency_test enforces it.
+  void Rebind(const GraphT& graph, const GraphEpoch& epoch);
+  void Rebind(GraphT&&, const GraphEpoch&) = delete;
 
   std::size_t num_sources() const { return caches_.size(); }
 
@@ -242,6 +265,12 @@ class SmmEstimatorT : public ErEstimator {
     if (session_ != nullptr) session_->Clear();
   }
   bool SessionCacheEnabled() const override { return session_ != nullptr; }
+
+  /// Dynamic-graph hook: repoints at the new snapshot, rebuilds the
+  /// transition operator, re-derives λ, and invalidates the session
+  /// selectively (only sources whose iterate supports were touched).
+  using ErEstimator::RebindGraph;
+  bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
 
   /// λ in use (from options or computed at construction).
   double lambda() const { return lambda_; }

@@ -22,6 +22,20 @@ SolverEstimatorT<WP>::SolverEstimatorT(const GraphT& graph,
     : solver_(std::make_shared<const LaplacianSolverT<WP>>(
           graph, SolverOptionsFor<WP>(options))) {
   ValidateOptions(options);
+  shared_solver_ =
+      std::make_shared<EpochShared<LaplacianSolverT<WP>>>(solver_);
+}
+
+template <WeightPolicy WP>
+bool SolverEstimatorT<WP>::RebindGraph(const GraphT& graph,
+                                       const GraphEpoch& epoch) {
+  solver_ = shared_solver_->GetOrBuild(epoch.epoch, [&graph]() {
+    // Solver options are derived from fixed constants (see
+    // SolverOptionsFor), so the rebuild needs only the graph.
+    return std::make_shared<const LaplacianSolverT<WP>>(
+        graph, SolverOptionsFor<WP>(ErOptions{}));
+  });
+  return true;
 }
 
 template <WeightPolicy WP>

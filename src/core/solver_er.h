@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "core/epoch_shared.h"
 #include "core/estimator.h"
 #include "core/options.h"
 #include "graph/weight_policy.h"
@@ -33,15 +34,21 @@ class SolverEstimatorT : public ErEstimator {
   /// Batch workers share the solver (graph view + Jacobi preconditioner);
   /// Solve() is const and allocates per call, so sharing is race-free.
   std::unique_ptr<ErEstimator> CloneForBatch() const override {
-    return std::unique_ptr<ErEstimator>(new SolverEstimatorT<WP>(solver_));
+    return std::unique_ptr<ErEstimator>(new SolverEstimatorT<WP>(*this));
   }
 
+  /// Dynamic-graph hook: the solver's preconditioner depends on the
+  /// whole graph, so any epoch change rebuilds it — once per epoch
+  /// across every clone sharing it (core/epoch_shared.h).
+  using ErEstimator::RebindGraph;
+  bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
+
  private:
-  explicit SolverEstimatorT(
-      std::shared_ptr<const LaplacianSolverT<WP>> solver)
-      : solver_(std::move(solver)) {}
+  // Clone constructor: adopts the shared solver and its epoch holder.
+  SolverEstimatorT(const SolverEstimatorT& other) = default;
 
   std::shared_ptr<const LaplacianSolverT<WP>> solver_;
+  std::shared_ptr<EpochShared<LaplacianSolverT<WP>>> shared_solver_;
 };
 
 /// The two stacks, by their historical names. The EdgeWeight

@@ -1,5 +1,6 @@
 #include "core/tp.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/ell.h"
@@ -16,12 +17,76 @@ constexpr std::uint64_t kTpStreamTag = 0x5450u;  // "TP"
 }  // namespace
 
 template <WeightPolicy WP>
+std::uint32_t TpSessionCacheT<WP>::NodePopulation::Count(std::uint32_t i,
+                                                         NodeId v) const {
+  GEER_DCHECK(i >= 1 && i <= ell);
+  for (const auto& [endpoint, count] : hist[i - 1]) {
+    if (endpoint == v) return count;
+  }
+  return 0;
+}
+
+template <WeightPolicy WP>
+TpSessionCacheT<WP>::TpSessionCacheT(std::size_t budget_bytes)
+    : budget_(budget_bytes == 0 ? 64ull << 20 : budget_bytes) {}
+
+template <WeightPolicy WP>
+const typename TpSessionCacheT<WP>::NodePopulation*
+TpSessionCacheT<WP>::Find(NodeId node) {
+  const auto it = index_.find(node);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+  return &lru_.front();
+}
+
+template <WeightPolicy WP>
+void TpSessionCacheT<WP>::Insert(NodePopulation pop) {
+  const auto it = index_.find(pop.node);
+  if (it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  if (pop.bytes > budget_) return;  // larger than the whole budget
+  bytes_ += pop.bytes;
+  lru_.push_front(std::move(pop));
+  index_[lru_.front().node] = lru_.begin();
+  while (bytes_ > budget_ && lru_.size() > 1) {
+    bytes_ -= lru_.back().bytes;
+    index_.erase(lru_.back().node);
+    lru_.pop_back();
+  }
+}
+
+template <WeightPolicy WP>
+void TpSessionCacheT<WP>::Clear() {
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+template <WeightPolicy WP>
 TpEstimatorT<WP>::TpEstimatorT(const GraphT& graph, ErOptions options)
     : graph_(&graph), options_(options), walker_(graph) {
   ValidateOptions(options_);
   lambda_ = options_.lambda.has_value()
                 ? *options_.lambda
                 : ComputeSpectralBoundsT<WP>(graph).lambda;
+}
+
+template <WeightPolicy WP>
+bool TpEstimatorT<WP>::RebindGraph(const GraphT& graph,
+                                   const GraphEpoch& epoch) {
+  graph_ = &graph;
+  walker_ = WalkerFor<WP>(graph);
+  lambda_ = epoch.lambda.has_value()
+                ? *epoch.lambda
+                : ComputeSpectralBoundsT<WP>(graph).lambda;
+  // Conservative flush: populations do not track which rows their walks
+  // visited, and the new λ changes ℓ/η anyway.
+  if (session_ != nullptr) session_->Clear();
+  hist_count_.clear();
+  return true;
 }
 
 template <WeightPolicy WP>
@@ -35,9 +100,57 @@ std::uint64_t TpEstimatorT<WP>::WalksPerLength(std::uint32_t ell) const {
 }
 
 template <WeightPolicy WP>
+void TpEstimatorT<WP>::ResetHistScratch() {
+  for (const NodeId v : hist_touched_) hist_count_[v] = 0;
+  hist_touched_.clear();
+}
+
+template <WeightPolicy WP>
+void TpEstimatorT<WP>::SimulateLength(NodeId node, std::uint32_t i,
+                                      std::uint64_t eta, Rng& rng,
+                                      SessionPopulation* record) {
+  ResetHistScratch();
+  for (std::uint64_t k = 0; k < eta; ++k) {
+    const NodeId end = walker_.WalkEndpoint(node, i, rng);
+    if (hist_count_[end] == 0) hist_touched_.push_back(end);
+    ++hist_count_[end];
+  }
+  if (record != nullptr) {
+    auto& row = record->hist.emplace_back();
+    row.reserve(hist_touched_.size());
+    // First-visit order: deterministic in the walk stream, no sort.
+    for (const NodeId v : hist_touched_) row.emplace_back(v, hist_count_[v]);
+  }
+}
+
+template <WeightPolicy WP>
+void TpEstimatorT<WP>::SplatRow(
+    const std::vector<std::pair<NodeId, std::uint32_t>>& row) {
+  ResetHistScratch();
+  for (const auto& [endpoint, count] : row) {
+    hist_count_[endpoint] = count;
+    hist_touched_.push_back(endpoint);
+  }
+}
+
+template <WeightPolicy WP>
 void TpEstimatorT<WP>::EstimateSourceGroup(NodeId s,
                                            std::span<const QueryPair> queries,
                                            std::span<QueryStats> stats) {
+  if (session_ != nullptr) {
+    EstimateSourceGroupSession(s, queries, stats);
+  } else {
+    EstimateSourceGroupDirect(s, queries, stats);
+  }
+}
+
+// The original (session-less) hot loop: endpoint hits are counted with
+// per-node target chains during the walk pass — no histogram
+// maintenance on the per-walk path.
+template <WeightPolicy WP>
+void TpEstimatorT<WP>::EstimateSourceGroupDirect(
+    NodeId s, std::span<const QueryPair> queries,
+    std::span<QueryStats> stats) {
   const NodeId n = graph_->NumNodes();
   GEER_CHECK(s < n);
   const std::uint32_t ell =
@@ -138,6 +251,161 @@ void TpEstimatorT<WP>::EstimateSourceGroup(NodeId s,
   for (const NodeId t : target_touched_) target_head_[t] = 0;
 }
 
+// The session path: counts come from the dense histogram scratch, fed
+// either by a fresh simulation (recorded into the session) or by
+// splatting a retained population's row. Bit-identical to the direct
+// path — the counts are the same integers either way.
+template <WeightPolicy WP>
+void TpEstimatorT<WP>::EstimateSourceGroupSession(
+    NodeId s, std::span<const QueryPair> queries,
+    std::span<QueryStats> stats) {
+  const NodeId n = graph_->NumNodes();
+  GEER_CHECK(s < n);
+  const std::uint32_t ell =
+      PengEll(options_.epsilon, lambda_, options_.max_ell);
+  const bool truncated =
+      EllWasTruncated(options_.epsilon, lambda_, 1, 1, options_.max_ell,
+                      /*use_peng=*/true);
+  const std::uint64_t eta = WalksPerLength(ell);
+  const double inv_eta = 1.0 / static_cast<double>(eta);
+  const double inv_ws = 1.0 / WP::NodeWeight(*graph_, s);
+  const std::size_t m = queries.size();
+  if (hist_count_.size() != n) {
+    hist_count_.assign(n, 0);
+    hist_touched_.clear();
+  }
+
+  // Per-query live state; the i = 0 term of Eq. (4) seeds the estimate.
+  struct QueryState {
+    bool live = false;
+    double inv_wt = 0.0;
+    double estimate = 0.0;
+    Rng rng_t{0};
+    const SessionPopulation* t_pop = nullptr;  // session hit for the target
+    SessionPopulation t_rec;                   // session recorder (miss)
+    bool record_t = false;
+  };
+  std::vector<QueryState> state(m);
+  std::size_t first_live = m;
+  for (std::size_t j = 0; j < m; ++j) {
+    const QueryPair& q = queries[j];
+    GEER_CHECK(q.s < n);
+    GEER_CHECK(q.t < n);
+    GEER_CHECK_EQ(q.s, s);
+    stats[j] = QueryStats{};
+    if (q.s == q.t) continue;  // r(v, v) = 0, zero stats like serial
+    QueryState& st = state[j];
+    st.live = true;
+    st.inv_wt = 1.0 / WP::NodeWeight(*graph_, q.t);
+    st.estimate = inv_ws + st.inv_wt;
+    // The target side keeps the same per-source stream law as the shared
+    // side, so one node's cached population serves both roles and stays
+    // bit-identical to the serial simulation.
+    st.rng_t = Rng(MixSeed(MixSeed(options_.seed, kTpStreamTag), q.t));
+    stats[j].ell = ell;
+    stats[j].truncated = truncated;
+    st.t_pop = session_->Find(q.t);
+    if (st.t_pop != nullptr) {
+      GEER_DCHECK(st.t_pop->ell == ell && st.t_pop->eta == eta);
+    } else {
+      st.record_t = true;
+      st.t_rec.node = q.t;
+      st.t_rec.hist.reserve(ell);
+    }
+    if (first_live == m) first_live = j;
+  }
+  if (first_live == m) return;  // every query was s == t
+
+  const SessionPopulation* s_pop = session_->Find(s);
+  if (s_pop != nullptr) {
+    GEER_DCHECK(s_pop->ell == ell && s_pop->eta == eta);
+  }
+  SessionPopulation s_rec;
+  const bool record_s = s_pop == nullptr;
+  if (record_s) {
+    s_rec.node = s;
+    s_rec.hist.reserve(ell);
+  }
+
+  Rng rng_s(MixSeed(MixSeed(options_.seed, kTpStreamTag), s));
+  QueryStats shared;  // source-side cost, charged to the first live query
+  std::vector<std::uint64_t> count_st(m, 0);
+
+  for (std::uint32_t i = 1; i <= ell; ++i) {
+    // Source side once for the whole group: the endpoint histogram of
+    // the η length-i walks (simulated + recorded, or splatted from the
+    // retained population) answers p̂_i(·, s) for s itself and every
+    // live target. The dense scratch is reused by the target sides
+    // below, so every s-side count is extracted before they run.
+    if (s_pop == nullptr) {
+      SimulateLength(s, i, eta, rng_s, record_s ? &s_rec : nullptr);
+      shared.walks += eta;
+      shared.walk_steps += eta * i;
+    } else {
+      SplatRow(s_pop->hist[i - 1]);
+    }
+    const std::uint64_t count_ss = hist_count_[s];
+    for (std::size_t j = 0; j < m; ++j) {
+      if (state[j].live) count_st[j] = hist_count_[queries[j].t];
+    }
+
+    // Target sides per query: a retained population answers its two
+    // lookups by row scan; a miss simulates (and records).
+    for (std::size_t j = 0; j < m; ++j) {
+      QueryState& st = state[j];
+      if (!st.live) continue;
+      const NodeId t = queries[j].t;
+      std::uint64_t count_tt = 0;
+      std::uint64_t count_ts = 0;
+      if (st.t_pop != nullptr) {
+        count_tt = st.t_pop->Count(i, t);
+        count_ts = st.t_pop->Count(i, s);
+      } else {
+        SimulateLength(t, i, eta, st.rng_t,
+                       st.record_t ? &st.t_rec : nullptr);
+        stats[j].walks += eta;
+        stats[j].walk_steps += eta * i;
+        count_tt = hist_count_[t];
+        count_ts = hist_count_[s];
+      }
+      // Eq. (4) term for length i with the empirical probabilities.
+      st.estimate += (static_cast<double>(count_ss) * inv_ws +
+                      static_cast<double>(count_tt) * st.inv_wt -
+                      static_cast<double>(count_st[j]) * st.inv_wt -
+                      static_cast<double>(count_ts) * inv_ws) *
+                     inv_eta;
+    }
+  }
+
+  for (std::size_t j = 0; j < m; ++j) {
+    if (state[j].live) stats[j].value = state[j].estimate;
+  }
+  stats[first_live].walks += shared.walks;
+  stats[first_live].walk_steps += shared.walk_steps;
+
+  // Retain the populations built this group.
+  auto finalize = [ell, eta](SessionPopulation* rec) {
+    rec->ell = ell;
+    rec->eta = eta;
+    std::size_t bytes = sizeof(SessionPopulation);
+    for (const auto& row : rec->hist) {
+      bytes += row.size() * sizeof(std::pair<NodeId, std::uint32_t>) +
+               sizeof(row);
+    }
+    rec->bytes = bytes;
+  };
+  if (record_s) {
+    finalize(&s_rec);
+    session_->Insert(std::move(s_rec));
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    if (state[j].live && state[j].record_t) {
+      finalize(&state[j].t_rec);
+      session_->Insert(std::move(state[j].t_rec));
+    }
+  }
+}
+
 template <WeightPolicy WP>
 QueryStats TpEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   const QueryPair query{s, t};
@@ -163,6 +431,8 @@ std::size_t TpEstimatorT<WP>::EstimateBatch(
       });
 }
 
+template class TpSessionCacheT<UnitWeight>;
+template class TpSessionCacheT<EdgeWeight>;
 template class TpEstimatorT<UnitWeight>;
 template class TpEstimatorT<EdgeWeight>;
 

@@ -22,7 +22,12 @@
 #ifndef GEER_CORE_TP_H_
 #define GEER_CORE_TP_H_
 
+#include <cstddef>
+#include <list>
+#include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/estimator.h"
@@ -31,6 +36,58 @@
 #include "rw/walker_policy.h"
 
 namespace geer {
+
+/// Cross-batch session state for TP (ErEstimator::EnableSessionCache):
+/// per-NODE walk populations, materialized as one endpoint histogram per
+/// length. A node's population is a pure function of (seed, node, ℓ, η)
+/// — the per-source stream law — so it serves BOTH roles: the shared
+/// source side of a group and the per-query target side. A session hit
+/// answers every count lookup (p̂_i(v, s), p̂_i(v, t)) from the histogram
+/// without simulating a single walk; values stay bit-identical because
+/// the counts are exactly what the serial simulation would produce.
+/// LRU over nodes under a byte budget.
+template <WeightPolicy WP>
+class TpSessionCacheT {
+ public:
+  struct NodePopulation {
+    NodeId node = 0;
+    std::uint32_t ell = 0;   ///< lengths materialized: 1..ell
+    std::uint64_t eta = 0;   ///< walks per length
+    /// hist[i-1]: (endpoint, count) pairs of the η length-i walks, in
+    /// first-visit order (deterministic; NOT sorted — consumers splat
+    /// into a dense scratch or scan for the two keys they need).
+    std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> hist;
+    std::size_t bytes = 0;
+
+    /// Count of length-i walks from `node` ending at `v` (linear scan —
+    /// for the target side's two lookups per length).
+    std::uint32_t Count(std::uint32_t i, NodeId v) const;
+  };
+
+  /// `budget_bytes` = 0 picks the 64 MB default.
+  explicit TpSessionCacheT(std::size_t budget_bytes);
+
+  /// The retained population for `node` (bumped to most recently used),
+  /// or nullptr. The caller checks ell/η compatibility.
+  const NodePopulation* Find(NodeId node);
+
+  /// Retains `pop` (replacing any entry for the same node), evicting
+  /// least-recently-used populations beyond the byte budget.
+  void Insert(NodePopulation pop);
+
+  void Clear();
+
+  std::size_t num_nodes_retained() const { return lru_.size(); }
+  std::size_t bytes_retained() const { return bytes_; }
+
+ private:
+  std::size_t budget_;
+  std::size_t bytes_ = 0;
+  std::list<NodePopulation> lru_;  // front = most recently used
+  // O(1) node → list-entry lookup (splice keeps iterators valid).
+  std::unordered_map<NodeId, typename std::list<NodePopulation>::iterator>
+      index_;
+};
 
 template <WeightPolicy WP>
 class TpEstimatorT : public ErEstimator {
@@ -61,34 +118,80 @@ class TpEstimatorT : public ErEstimator {
     return std::make_unique<TpEstimatorT<WP>>(*graph_, opt);
   }
 
+  /// Retains per-node walk populations (endpoint histograms per length)
+  /// across EstimateBatch calls — the serving layer's session state.
+  /// Retained counts never change answer values, only the walks charged.
+  void EnableSessionCache(std::size_t budget_bytes = 0) override {
+    session_ = std::make_unique<TpSessionCacheT<WP>>(budget_bytes);
+  }
+  void ClearSessionCache() override {
+    if (session_ != nullptr) session_->Clear();
+  }
+  bool SessionCacheEnabled() const override { return session_ != nullptr; }
+
+  /// Dynamic-graph hook: repoints at the new snapshot, rebuilds the walk
+  /// sampler, re-derives λ, and flushes the session wholesale — walk
+  /// visit sets are not tracked, so any touched row may invalidate any
+  /// population (and a λ change alters the walk schedule itself).
+  using ErEstimator::RebindGraph;
+  bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
+
   double lambda() const { return lambda_; }
 
   /// Walks per length per endpoint at the current options (after scaling).
   std::uint64_t WalksPerLength(std::uint32_t ell) const;
 
  private:
+  using SessionPopulation = typename TpSessionCacheT<WP>::NodePopulation;
+
   /// Answers a run of same-source queries in lockstep over the walk
   /// length i, simulating the shared source's η walks once per length.
   /// Shared-side cost is charged to the first live query of the run.
+  /// Dispatches to the direct path (no session: chain-counted, the
+  /// original hot loop) or the session path (histogram-backed hits and
+  /// recording).
   void EstimateSourceGroup(NodeId s, std::span<const QueryPair> queries,
                            std::span<QueryStats> stats);
+  void EstimateSourceGroupDirect(NodeId s, std::span<const QueryPair> queries,
+                                 std::span<QueryStats> stats);
+  void EstimateSourceGroupSession(NodeId s,
+                                  std::span<const QueryPair> queries,
+                                  std::span<QueryStats> stats);
+
+  /// Session path: resets the dense histogram scratch, then either
+  /// simulates the η length-i walks of `node` (appending the compacted
+  /// row to `record` when non-null) or splats a retained row into it.
+  void SimulateLength(NodeId node, std::uint32_t i, std::uint64_t eta,
+                      Rng& rng, SessionPopulation* record);
+  void SplatRow(const std::vector<std::pair<NodeId, std::uint32_t>>& row);
+  void ResetHistScratch();
 
   const GraphT* graph_;
   ErOptions options_;
   double lambda_;
   WalkerFor<WP> walker_;
-  // Scratch for multi-target endpoint counting: per-node chain heads
-  // (1-based query index) + per-query next links, reset via the touched
-  // list after every group.
+  std::unique_ptr<TpSessionCacheT<WP>> session_;
+  // Direct-path scratch for multi-target endpoint counting: per-node
+  // chain heads (1-based query index) + per-query next links, reset via
+  // the touched list after every group.
   std::vector<std::uint32_t> target_head_;
   std::vector<std::uint32_t> target_next_;
   std::vector<NodeId> target_touched_;
+  // Session-path scratch: dense endpoint histogram with a touched list;
+  // counts one population's length-i endpoints (simulated or splatted
+  // from a retained row) and doubles as the session recorder.
+  std::vector<std::uint32_t> hist_count_;
+  std::vector<NodeId> hist_touched_;
 };
 
 /// The two stacks, by their historical names.
 using TpEstimator = TpEstimatorT<UnitWeight>;
 using WeightedTpEstimator = TpEstimatorT<EdgeWeight>;
+using TpSessionCache = TpSessionCacheT<UnitWeight>;
+using WeightedTpSessionCache = TpSessionCacheT<EdgeWeight>;
 
+extern template class TpSessionCacheT<UnitWeight>;
+extern template class TpSessionCacheT<EdgeWeight>;
 extern template class TpEstimatorT<UnitWeight>;
 extern template class TpEstimatorT<EdgeWeight>;
 

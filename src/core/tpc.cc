@@ -16,6 +16,58 @@ constexpr std::uint64_t kTpcStreamTag = 0x545043u;  // "TPC"
 }  // namespace
 
 template <WeightPolicy WP>
+TpcSessionCacheT<WP>::TpcSessionCacheT(std::size_t budget_bytes)
+    : budget_(budget_bytes == 0 ? 64ull << 20 : budget_bytes) {}
+
+template <WeightPolicy WP>
+typename TpcSessionCacheT<WP>::Population*
+TpcSessionCacheT<WP>::GetOrCreate(NodeId node, std::uint64_t side,
+                                  std::uint64_t stream_base) {
+  const auto it = index_.find(Key(node, side));
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+    return &lru_.front();
+  }
+  lru_.emplace_front();
+  Population& pop = lru_.front();
+  pop.node = node;
+  pop.side = side;
+  pop.stream_base = stream_base;
+  index_[Key(node, side)] = lru_.begin();
+  return &pop;
+}
+
+template <WeightPolicy WP>
+void TpcSessionCacheT<WP>::Reaccount(std::span<Population* const> grown) {
+  for (Population* pop : grown) {
+    bytes_ -= pop->bytes;
+    std::size_t bytes = sizeof(Population);
+    for (const auto& row : pop->ends_at) {
+      bytes += row.size() * sizeof(NodeId) + sizeof(row);
+    }
+    bytes += pop->rngs.size() * sizeof(Rng);
+    bytes += pop->cur_len.size() * sizeof(std::uint32_t);
+    pop->bytes = bytes;
+    bytes_ += bytes;
+  }
+  while (bytes_ > budget_ && lru_.size() > 1) {
+    bytes_ -= lru_.back().bytes;
+    index_.erase(Key(lru_.back().node, lru_.back().side));
+    lru_.pop_back();
+  }
+  if (bytes_ > budget_ && !lru_.empty() && lru_.front().bytes > budget_) {
+    Clear();  // a single population larger than the whole budget
+  }
+}
+
+template <WeightPolicy WP>
+void TpcSessionCacheT<WP>::Clear() {
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+template <WeightPolicy WP>
 TpcEstimatorT<WP>::TpcEstimatorT(const GraphT& graph, ErOptions options)
     : graph_(&graph),
       options_(options),
@@ -26,6 +78,23 @@ TpcEstimatorT<WP>::TpcEstimatorT(const GraphT& graph, ErOptions options)
   lambda_ = options_.lambda.has_value()
                 ? *options_.lambda
                 : ComputeSpectralBoundsT<WP>(graph).lambda;
+}
+
+template <WeightPolicy WP>
+bool TpcEstimatorT<WP>::RebindGraph(const GraphT& graph,
+                                    const GraphEpoch& epoch) {
+  graph_ = &graph;
+  walker_ = WalkerFor<WP>(graph);
+  lambda_ = epoch.lambda.has_value()
+                ? *epoch.lambda
+                : ComputeSpectralBoundsT<WP>(graph).lambda;
+  count_a_.assign(graph.NumNodes(), 0);
+  count_b_.assign(graph.NumNodes(), 0);
+  touched_.clear();
+  // Conservative flush: populations do not track which rows their walks
+  // visited, and the new λ changes the walk schedule anyway.
+  if (session_ != nullptr) session_->Clear();
+  return true;
 }
 
 template <WeightPolicy WP>
@@ -90,17 +159,100 @@ void TpcEstimatorT<WP>::AdvancePopulation(Population* pop,
 }
 
 template <WeightPolicy WP>
-double TpcEstimatorT<WP>::Collide(const Population& a, const Population& b,
-                                  std::uint64_t n) {
-  GEER_DCHECK(a.ends.size() >= n && b.ends.size() >= n);
+void TpcEstimatorT<WP>::AdvanceSessionPopulation(SessionPopulation* pop,
+                                                 std::uint32_t length,
+                                                 std::uint64_t n_walks,
+                                                 QueryStats* stats) {
+  if (pop->ends_at.size() <= length) pop->ends_at.resize(length + 1);
+  if (pop->rngs.size() < n_walks) {
+    const std::size_t old_size = pop->rngs.size();
+    pop->rngs.reserve(n_walks);
+    pop->cur_len.reserve(n_walks);
+    pop->ends_at[0].reserve(n_walks);
+    for (std::size_t k = old_size; k < n_walks; ++k) {
+      pop->rngs.emplace_back(MixSeed(pop->stream_base, k));
+      pop->cur_len.push_back(0);
+      GEER_DCHECK(pop->ends_at[0].size() == k);
+      pop->ends_at[0].push_back(pop->node);
+    }
+    stats->walks += n_walks - old_size;
+  }
+  if (n_walks == 0) return;
+  // Fast path: the lockstep group pattern leaves walks [0, n_walks) at
+  // one common recorded length (cur_len is non-increasing in k, so the
+  // endpoints suffice to check). Extend length-by-length over the
+  // contiguous snapshot rows — sequential reads/writes instead of a
+  // per-walk pointer chase, and each walk still consumes ITS OWN stream
+  // one step at a time (bit-identical endpoints).
+  if (pop->cur_len[0] == pop->cur_len[n_walks - 1]) {
+    std::uint32_t have = pop->cur_len[0];
+    if (have >= length) return;
+    stats->walk_steps += (length - have) * n_walks;
+    for (std::uint32_t len = have + 1; len <= length; ++len) {
+      auto& row = pop->ends_at[len];
+      GEER_DCHECK(row.empty());
+      row.resize(n_walks);
+      const NodeId* prev = pop->ends_at[len - 1].data();
+      NodeId* out = row.data();
+      for (std::uint64_t k = 0; k < n_walks; ++k) {
+        out[k] = walker_.Step(prev[k], pop->rngs[k]);
+      }
+    }
+    for (std::uint64_t k = 0; k < n_walks; ++k) pop->cur_len[k] = length;
+    return;
+  }
+  for (std::uint64_t k = 0; k < n_walks; ++k) {
+    std::uint32_t have = pop->cur_len[k];
+    if (have >= length) continue;
+    // Extend one step at a time, snapshotting the endpoint at every
+    // length — stream-identical to one WalkEndpoint call, and what lets
+    // a LATER batch collide any shorter length without re-simulating.
+    NodeId cur = pop->ends_at[have][k];
+    stats->walk_steps += length - have;
+    while (have < length) {
+      cur = walker_.Step(cur, pop->rngs[k]);
+      ++have;
+      GEER_DCHECK(pop->ends_at[have].size() == k);
+      pop->ends_at[have].push_back(cur);
+    }
+    pop->cur_len[k] = length;
+  }
+}
+
+template <WeightPolicy WP>
+void TpcEstimatorT<WP>::Advance(const PopHandle& pop, std::uint32_t length,
+                                std::uint64_t n_walks, QueryStats* stats) {
+  if (pop.session != nullptr) {
+    AdvanceSessionPopulation(pop.session, length, n_walks, stats);
+  } else {
+    AdvancePopulation(pop.local, length, n_walks, stats);
+  }
+}
+
+template <WeightPolicy WP>
+std::span<const NodeId> TpcEstimatorT<WP>::Ends(const PopHandle& pop,
+                                                std::uint32_t length,
+                                                std::uint64_t n) const {
+  if (pop.session != nullptr) {
+    GEER_DCHECK(length < pop.session->ends_at.size());
+    GEER_DCHECK(pop.session->ends_at[length].size() >= n);
+    return {pop.session->ends_at[length].data(), n};
+  }
+  GEER_DCHECK(pop.local->ends.size() >= n);
+  return {pop.local->ends.data(), n};
+}
+
+template <WeightPolicy WP>
+double TpcEstimatorT<WP>::Collide(std::span<const NodeId> a_ends,
+                                  std::span<const NodeId> b_ends) {
+  GEER_DCHECK(a_ends.size() == b_ends.size());
+  const std::uint64_t n = a_ends.size();
   touched_.clear();
-  for (std::uint64_t k = 0; k < n; ++k) {
-    const NodeId v = a.ends[k];
+  for (const NodeId v : a_ends) {
     if (count_a_[v] == 0 && count_b_[v] == 0) touched_.push_back(v);
     ++count_a_[v];
   }
-  for (std::uint64_t k = 0; k < n; ++k) {
-    const NodeId v = b.ends[k];
+  for (const NodeId v : b_ends) {
     if (count_a_[v] == 0 && count_b_[v] == 0) touched_.push_back(v);
     ++count_b_[v];
   }
@@ -127,16 +279,40 @@ void TpcEstimatorT<WP>::EstimateSourceGroup(
                       /*use_peng=*/true);
   const double inv_ws = 1.0 / WP::NodeWeight(*graph_, s);
   const std::size_t m = queries.size();
+  const bool use_session = session_ != nullptr;
 
   // Shared source-side populations (A at ⌈i/2⌉, B at ⌊i/2⌋) and the
   // per-query target-side populations; A and B never mix, so every
-  // per-length collision pairs two independent populations.
-  Population a_s = MakePopulation(s, 0);
-  Population b_s = MakePopulation(s, 1);
+  // per-length collision pairs two independent populations. With a
+  // session enabled the populations live in the session cache (endpoint
+  // snapshots per length, reusable next batch); otherwise they are
+  // group-local with endpoints in place.
+  auto stream_base = [this](NodeId node, std::uint64_t side) {
+    return MixSeed(MixSeed(MixSeed(options_.seed, kTpcStreamTag), node),
+                   side);
+  };
+  Population a_s_local;
+  Population b_s_local;
+  PopHandle a_s;
+  PopHandle b_s;
+  std::vector<SessionPopulation*> used;  // for post-group re-accounting
+  if (use_session) {
+    used.reserve(2 + 2 * m);
+    a_s.session = session_->GetOrCreate(s, 0, stream_base(s, 0));
+    b_s.session = session_->GetOrCreate(s, 1, stream_base(s, 1));
+    used.push_back(a_s.session);
+    used.push_back(b_s.session);
+  } else {
+    a_s_local = MakePopulation(s, 0);
+    b_s_local = MakePopulation(s, 1);
+    a_s.local = &a_s_local;
+    b_s.local = &b_s_local;
+  }
   struct QueryState {
     bool live = false;
     double estimate = 0.0;
-    Population a_t, b_t;
+    Population a_t_local, b_t_local;
+    PopHandle a_t, b_t;
   };
   std::vector<QueryState> state(m);
   std::size_t first_live = m;
@@ -150,8 +326,17 @@ void TpcEstimatorT<WP>::EstimateSourceGroup(
     QueryState& st = state[j];
     st.live = true;
     st.estimate = inv_ws + 1.0 / WP::NodeWeight(*graph_, q.t);  // i = 0
-    st.a_t = MakePopulation(q.t, 0);
-    st.b_t = MakePopulation(q.t, 1);
+    if (use_session) {
+      st.a_t.session = session_->GetOrCreate(q.t, 0, stream_base(q.t, 0));
+      st.b_t.session = session_->GetOrCreate(q.t, 1, stream_base(q.t, 1));
+      used.push_back(st.a_t.session);
+      used.push_back(st.b_t.session);
+    } else {
+      st.a_t_local = MakePopulation(q.t, 0);
+      st.b_t_local = MakePopulation(q.t, 1);
+      st.a_t.local = &st.a_t_local;
+      st.b_t.local = &st.b_t_local;
+    }
     stats[j].ell = ell;
     stats[j].truncated = truncated;
     if (first_live == m) first_live = j;
@@ -171,8 +356,8 @@ void TpcEstimatorT<WP>::EstimateSourceGroup(
       n_walks_of[j] = WalksForLength(i, ell, s, queries[j].t);
       n_max = std::max(n_max, n_walks_of[j]);
     }
-    AdvancePopulation(&a_s, len_a, n_max, &shared);
-    AdvancePopulation(&b_s, len_b, n_max, &shared);
+    Advance(a_s, len_a, n_max, &shared);
+    Advance(b_s, len_b, n_max, &shared);
     // p_ss depends only on the prefix length, and the per-target β
     // heuristic often coincides across a group — memoize the shared
     // collision per distinct n instead of re-counting it per query.
@@ -182,16 +367,19 @@ void TpcEstimatorT<WP>::EstimateSourceGroup(
       QueryState& st = state[j];
       if (!st.live) continue;
       const std::uint64_t n_walks = n_walks_of[j];
-      AdvancePopulation(&st.a_t, len_a, n_walks, &stats[j]);
-      AdvancePopulation(&st.b_t, len_b, n_walks, &stats[j]);
+      Advance(st.a_t, len_a, n_walks, &stats[j]);
+      Advance(st.b_t, len_b, n_walks, &stats[j]);
       // p_i(s,s)/w(s), p_i(t,t)/w(t), p_i(s,t)/w(t) (= p_i(t,s)/w(s)).
       if (memo_n != n_walks) {
         memo_n = n_walks;
-        memo_p_ss = Collide(a_s, b_s, n_walks);
+        memo_p_ss = Collide(Ends(a_s, len_a, n_walks),
+                            Ends(b_s, len_b, n_walks));
       }
       const double p_ss = memo_p_ss;
-      const double p_tt = Collide(st.a_t, st.b_t, n_walks);
-      const double p_st = Collide(a_s, st.b_t, n_walks);
+      const double p_tt = Collide(Ends(st.a_t, len_a, n_walks),
+                                  Ends(st.b_t, len_b, n_walks));
+      const double p_st = Collide(Ends(a_s, len_a, n_walks),
+                                  Ends(st.b_t, len_b, n_walks));
       st.estimate += p_ss + p_tt - 2.0 * p_st;
     }
   }
@@ -201,6 +389,7 @@ void TpcEstimatorT<WP>::EstimateSourceGroup(
   }
   stats[first_live].walks += shared.walks;
   stats[first_live].walk_steps += shared.walk_steps;
+  if (use_session) session_->Reaccount(used);  // budget + LRU eviction
 }
 
 template <WeightPolicy WP>
@@ -228,6 +417,8 @@ std::size_t TpcEstimatorT<WP>::EstimateBatch(
       });
 }
 
+template class TpcSessionCacheT<UnitWeight>;
+template class TpcSessionCacheT<EdgeWeight>;
 template class TpcEstimatorT<UnitWeight>;
 template class TpcEstimatorT<EdgeWeight>;
 

@@ -30,15 +30,79 @@
 #ifndef GEER_CORE_TPC_H_
 #define GEER_CORE_TPC_H_
 
+#include <cstddef>
+#include <list>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/estimator.h"
 #include "core/options.h"
 #include "graph/weight_policy.h"
+#include "rw/rng.h"
 #include "rw/walker_policy.h"
 
 namespace geer {
+
+/// Cross-batch session state for TPC (ErEstimator::EnableSessionCache):
+/// per-(node, side) walk populations that RECORD each walk's endpoint at
+/// every half-length as they extend, so later batches can collide any
+/// (length, walk-count) prefix without re-simulating — the cross-batch
+/// generalization of the in-place extension the one-shot path uses.
+/// Content-addressed streams (walk k of a population owns
+/// Rng(MixSeed(stream_base, k))) make every recorded endpoint a pure
+/// function of (seed, node, side, k, length), so retained populations
+/// never change answer values. LRU over (node, side) under a byte
+/// budget, enforced between groups (Reaccount) so pointers handed out
+/// during a group stay valid.
+template <WeightPolicy WP>
+class TpcSessionCacheT {
+ public:
+  struct Population {
+    NodeId node = 0;
+    std::uint64_t side = 0;
+    std::uint64_t stream_base = 0;
+    /// ends_at[len][k]: endpoint of walk k at length len (len 0 = node).
+    /// Row len holds exactly the walks whose recorded length is ≥ len,
+    /// which is always a prefix of the walk index space.
+    std::vector<std::vector<NodeId>> ends_at;
+    std::vector<Rng> rngs;                 ///< live stream per walk
+    std::vector<std::uint32_t> cur_len;    ///< recorded length per walk
+    std::size_t bytes = 0;
+  };
+
+  /// `budget_bytes` = 0 picks the 64 MB default.
+  explicit TpcSessionCacheT(std::size_t budget_bytes);
+
+  /// The population for (node, side), created empty on first use; bumped
+  /// to most recently used. The pointer stays valid until Reaccount().
+  Population* GetOrCreate(NodeId node, std::uint64_t side,
+                          std::uint64_t stream_base);
+
+  /// Re-accounts the byte usage of exactly the populations a group used
+  /// (duplicates are fine — the update is idempotent) and evicts the
+  /// least recently used beyond the budget. O(grown), not O(cache).
+  void Reaccount(std::span<Population* const> grown);
+
+  void Clear();
+
+  std::size_t num_populations() const { return lru_.size(); }
+  std::size_t bytes_retained() const { return bytes_; }
+
+ private:
+  static std::uint64_t Key(NodeId node, std::uint64_t side) {
+    return (static_cast<std::uint64_t>(node) << 1) | (side & 1);
+  }
+
+  std::size_t budget_;
+  std::size_t bytes_ = 0;
+  std::list<Population> lru_;  // front = most recently used
+  // O(1) (node, side) → list-entry lookup (splice keeps iterators valid).
+  std::unordered_map<std::uint64_t,
+                     typename std::list<Population>::iterator>
+      index_;
+};
 
 template <WeightPolicy WP>
 class TpcEstimatorT : public ErEstimator {
@@ -69,6 +133,23 @@ class TpcEstimatorT : public ErEstimator {
     return std::make_unique<TpcEstimatorT<WP>>(*graph_, opt);
   }
 
+  /// Retains per-(node, side) walk populations across EstimateBatch
+  /// calls — the serving layer's session state. Retained walks never
+  /// change answer values, only the steps charged.
+  void EnableSessionCache(std::size_t budget_bytes = 0) override {
+    session_ = std::make_unique<TpcSessionCacheT<WP>>(budget_bytes);
+  }
+  void ClearSessionCache() override {
+    if (session_ != nullptr) session_->Clear();
+  }
+  bool SessionCacheEnabled() const override { return session_ != nullptr; }
+
+  /// Dynamic-graph hook: repoints at the new snapshot, rebuilds the walk
+  /// sampler, re-derives λ, and flushes the session wholesale (walk
+  /// visit sets are untracked; λ changes the schedule anyway).
+  using ErEstimator::RebindGraph;
+  bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
+
   double lambda() const { return lambda_; }
 
   /// The heuristic β_i used for the sample-count formula.
@@ -90,6 +171,17 @@ class TpcEstimatorT : public ErEstimator {
     std::vector<Rng> rngs;
   };
 
+  using SessionPopulation = typename TpcSessionCacheT<WP>::Population;
+
+  /// A population in either storage mode: a group-local one-shot
+  /// Population (endpoints in place, O(η) memory) or a session
+  /// population (per-length endpoint snapshots, reusable across
+  /// batches). Both expose Advance + the endpoint prefix at a length.
+  struct PopHandle {
+    Population* local = nullptr;
+    SessionPopulation* session = nullptr;
+  };
+
   /// side: 0 = A (length ⌈i/2⌉), 1 = B (length ⌊i/2⌋).
   Population MakePopulation(NodeId source, std::uint64_t side) const;
 
@@ -99,9 +191,23 @@ class TpcEstimatorT : public ErEstimator {
   void AdvancePopulation(Population* pop, std::uint32_t length,
                          std::uint64_t n_walks, QueryStats* stats);
 
-  /// Collision statistic Σ_v cntA(v)·cntB(v)/w(v) / n² between the first
-  /// n endpoints of two independent populations.
-  double Collide(const Population& a, const Population& b, std::uint64_t n);
+  /// Session analogue of AdvancePopulation: extends walks one step at a
+  /// time (stream-identical), recording the endpoint at every length.
+  /// Already-recorded (length, walk) cells cost nothing.
+  void AdvanceSessionPopulation(SessionPopulation* pop, std::uint32_t length,
+                                std::uint64_t n_walks, QueryStats* stats);
+
+  void Advance(const PopHandle& pop, std::uint32_t length,
+               std::uint64_t n_walks, QueryStats* stats);
+
+  /// First n endpoints of `pop` at `length` (the caller advanced it).
+  std::span<const NodeId> Ends(const PopHandle& pop, std::uint32_t length,
+                               std::uint64_t n) const;
+
+  /// Collision statistic Σ_v cntA(v)·cntB(v)/w(v) / n² between two
+  /// independent endpoint prefixes (spans of equal length n).
+  double Collide(std::span<const NodeId> a_ends,
+                 std::span<const NodeId> b_ends);
 
   /// Answers a run of same-source queries in lockstep over the length i,
   /// sharing the source-side A/B populations. Shared-side cost is
@@ -113,6 +219,7 @@ class TpcEstimatorT : public ErEstimator {
   ErOptions options_;
   double lambda_;
   WalkerFor<WP> walker_;
+  std::unique_ptr<TpcSessionCacheT<WP>> session_;
   // Scratch: endpoint histograms with touched-lists, reused across calls.
   std::vector<std::uint32_t> count_a_;
   std::vector<std::uint32_t> count_b_;
@@ -122,7 +229,11 @@ class TpcEstimatorT : public ErEstimator {
 /// The two stacks, by their historical names.
 using TpcEstimator = TpcEstimatorT<UnitWeight>;
 using WeightedTpcEstimator = TpcEstimatorT<EdgeWeight>;
+using TpcSessionCache = TpcSessionCacheT<UnitWeight>;
+using WeightedTpcSessionCache = TpcSessionCacheT<EdgeWeight>;
 
+extern template class TpcSessionCacheT<UnitWeight>;
+extern template class TpcSessionCacheT<EdgeWeight>;
 extern template class TpcEstimatorT<UnitWeight>;
 extern template class TpcEstimatorT<EdgeWeight>;
 

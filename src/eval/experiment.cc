@@ -9,6 +9,7 @@
 
 #include "core/batch_engine.h"
 #include "core/registry.h"
+#include "eval/percentile.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -131,19 +132,6 @@ MethodResult RunWeightedMethod(const WeightedGraph& graph,
   return result;
 }
 
-namespace {
-
-// sorted[⌈q·n⌉ − 1]: the standard nearest-rank percentile.
-double Percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
-  const std::size_t index = static_cast<std::size_t>(
-      std::clamp<double>(rank, 1.0, static_cast<double>(sorted.size())));
-  return sorted[index - 1];
-}
-
-}  // namespace
-
 ServedWorkloadResult RunServedWorkload(ErEstimator& estimator,
                                        std::span<const TraceEvent> trace,
                                        const ServeOptions& serve_options,
@@ -219,9 +207,9 @@ ServedWorkloadResult RunServedWorkload(ErEstimator& estimator,
     double sum = 0.0;
     for (const double ms : answered_latencies) sum += ms;
     result.mean_ms = sum / static_cast<double>(answered_latencies.size());
-    result.p50_ms = Percentile(answered_latencies, 0.50);
-    result.p95_ms = Percentile(answered_latencies, 0.95);
-    result.p99_ms = Percentile(answered_latencies, 0.99);
+    result.p50_ms = NearestRankPercentile(answered_latencies, 0.50);
+    result.p95_ms = NearestRankPercentile(answered_latencies, 0.95);
+    result.p99_ms = NearestRankPercentile(answered_latencies, 0.99);
     result.max_ms = answered_latencies.back();
   }
   return result;

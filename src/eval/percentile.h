@@ -1,0 +1,26 @@
+// Shared latency-percentile helper for the eval harnesses (served and
+// dynamic workload replays report the same p50/p95/p99 columns).
+
+#ifndef GEER_EVAL_PERCENTILE_H_
+#define GEER_EVAL_PERCENTILE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace geer {
+
+/// sorted[⌈q·n⌉ − 1]: the standard nearest-rank percentile (0 when
+/// empty). `sorted` must be ascending.
+inline double NearestRankPercentile(const std::vector<double>& sorted,
+                                    double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const std::size_t index = static_cast<std::size_t>(
+      std::clamp<double>(rank, 1.0, static_cast<double>(sorted.size())));
+  return sorted[index - 1];
+}
+
+}  // namespace geer
+
+#endif  // GEER_EVAL_PERCENTILE_H_

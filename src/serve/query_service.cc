@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <span>
+#include <utility>
 
 #include "core/batch_engine.h"
+#include "util/check.h"
 
 namespace geer {
 namespace {
@@ -73,6 +75,7 @@ std::future<QueryResult> QueryService::Submit(QueryPair query,
     pending.deadline = deadline_seconds > 0.0
                            ? now + SecondsToDuration(deadline_seconds)
                            : Clock::time_point::max();
+    pending.seq = next_seq_++;
     earliest_deadline_ = std::min(earliest_deadline_, pending.deadline);
     queue_.push_back(std::move(pending));
   }
@@ -88,6 +91,30 @@ void QueryService::Flush() {
     flush_requested_ = true;
   }
   cv_.notify_one();
+}
+
+std::future<bool> QueryService::ApplyUpdates(
+    std::uint64_t epoch, EpochRebindFn rebind,
+    std::shared_ptr<const void> keep_alive) {
+  GEER_CHECK(rebind != nullptr);
+  PendingSwap swap;
+  swap.epoch = epoch;
+  swap.rebind = std::move(rebind);
+  swap.keep_alive = std::move(keep_alive);
+  std::future<bool> future = swap.done.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      swap.done.set_value(false);
+      return future;
+    }
+    // Barrier: everything submitted so far dispatches on the old epoch
+    // before this swap applies.
+    swap.watermark = next_seq_;
+    swaps_.push_back(std::move(swap));
+  }
+  cv_.notify_one();
+  return future;
 }
 
 void QueryService::Shutdown() {
@@ -110,31 +137,156 @@ ServeMetrics QueryService::Metrics() const {
   return metrics_;
 }
 
+std::vector<std::size_t> QueryService::EdfOrder(
+    std::span<const std::chrono::steady_clock::time_point> deadlines,
+    std::size_t take) {
+  std::vector<std::size_t> order(deadlines.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto earlier = [&deadlines](std::size_t a, std::size_t b) {
+    if (deadlines[a] != deadlines[b]) return deadlines[a] < deadlines[b];
+    return a < b;  // arrival order among equal deadlines
+  };
+  // Select-then-sort: O(n + take log take), not a full O(n log n) sort —
+  // under deadline pressure this runs per micro-batch over the whole
+  // backlog. The comparator is a total order, so the result equals the
+  // full sort's prefix.
+  if (order.size() > take) {
+    std::nth_element(order.begin(),
+                     order.begin() + static_cast<std::ptrdiff_t>(take),
+                     order.end(), earlier);
+    order.resize(take);
+  }
+  std::sort(order.begin(), order.end(), earlier);
+  return order;
+}
+
+std::vector<QueryService::Pending> QueryService::PopBatchLocked(
+    std::size_t take, std::size_t limit) {
+  limit = std::min(limit, queue_.size());
+  take = std::min(take, limit);
+  // Fast path: with no deadline anywhere in the queue, EDF order IS
+  // arrival order — pop the front without the selection machinery (the
+  // common high-qps case; per-dispatch allocations would dominate
+  // microsecond queries).
+  if (earliest_deadline_ == Clock::time_point::max()) {
+    std::vector<Pending> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    return batch;  // earliest_deadline_ is already ::max()
+  }
+  std::vector<Clock::time_point> deadlines;
+  deadlines.reserve(limit);
+  for (std::size_t i = 0; i < limit; ++i) {
+    deadlines.push_back(queue_[i].deadline);
+  }
+  const std::vector<std::size_t> order =
+      EdfOrder(std::span<const Clock::time_point>(deadlines), take);
+
+  std::vector<Pending> batch;
+  batch.reserve(order.size());
+  std::vector<char> selected(limit, 0);
+  for (const std::size_t idx : order) {
+    batch.push_back(std::move(queue_[idx]));
+    selected[idx] = 1;
+  }
+  std::deque<Pending> remaining;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (i < limit && selected[i] != 0) continue;
+    remaining.push_back(std::move(queue_[i]));
+  }
+  queue_ = std::move(remaining);
+  earliest_deadline_ = Clock::time_point::max();
+  for (const Pending& p : queue_) {
+    earliest_deadline_ = std::min(earliest_deadline_, p.deadline);
+  }
+  return batch;
+}
+
 void QueryService::SchedulerLoop() {
   const Clock::duration linger =
       SecondsToDuration(std::max(options_.max_linger_seconds, 0.0));
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (queue_.empty()) {
-      flush_requested_ = false;  // nothing left to flush
-      if (shutdown_) break;
-      cv_.wait(lock, [this] { return !queue_.empty() || shutdown_; });
-      continue;
-    }
-
-    if (cancel_.load(std::memory_order_relaxed)) {
-      // ShutdownNow(): drop the queue without running it.
+    if (cancel_.load(std::memory_order_relaxed) &&
+        (!queue_.empty() || !swaps_.empty())) {
+      // ShutdownNow(): drop the queue and abandon pending swaps.
       std::vector<Pending> dropped(std::make_move_iterator(queue_.begin()),
                                    std::make_move_iterator(queue_.end()));
       queue_.clear();
       earliest_deadline_ = Clock::time_point::max();
       metrics_.cancelled += dropped.size();
+      std::deque<PendingSwap> abandoned = std::move(swaps_);
+      swaps_.clear();
       lock.unlock();
       const Clock::time_point now = Clock::now();
       for (Pending& p : dropped) {
-        Fulfill(p, ServeStatus::kCancelled, QueryStats{}, now, now, 0);
+        Fulfill(p, ServeStatus::kCancelled, QueryStats{}, now, now, 0, 0);
+      }
+      for (PendingSwap& swap : abandoned) swap.done.set_value(false);
+      lock.lock();
+      continue;
+    }
+
+    // A pending epoch swap acts as a barrier: drain every pre-watermark
+    // query now (no lingering — the writer is waiting), then rebind all
+    // workers between micro-batches.
+    if (!swaps_.empty()) {
+      const std::uint64_t watermark = swaps_.front().watermark;
+      std::size_t dispatchable = 0;
+      // queue_ is submission-ordered, so the pre-watermark queries are a
+      // prefix.
+      while (dispatchable < queue_.size() &&
+             queue_[dispatchable].seq < watermark) {
+        ++dispatchable;
+      }
+      if (dispatchable > 0) {
+        const std::size_t take =
+            std::min(dispatchable, options_.max_batch_size);
+        std::vector<Pending> batch = PopBatchLocked(take, dispatchable);
+        ++metrics_.flush_swap;
+        const std::uint64_t batch_id = next_batch_id_++;
+        lock.unlock();
+        DispatchBatch(std::move(batch), batch_id);
+        lock.lock();
+        continue;
+      }
+      PendingSwap swap = std::move(swaps_.front());
+      swaps_.pop_front();
+      lock.unlock();
+      // Worker 0 first: a false return means "cannot rebind", which by
+      // the RebindGraph contract mutated nothing — the swap is abandoned
+      // with every worker still on the old epoch. Once any worker
+      // rebound, the rest MUST follow (they are clones of the same
+      // estimator); a mixed fleet would answer inconsistently.
+      bool ok = true;
+      for (std::size_t w = 0; w < workers_.size(); ++w) {
+        if (!swap.rebind(*workers_[w])) {
+          GEER_CHECK(w == 0)
+              << "epoch swap failed on worker " << w
+              << " after earlier workers rebound — heterogeneous workers?";
+          ok = false;
+          break;
+        }
       }
       lock.lock();
+      if (ok) {
+        current_epoch_ = swap.epoch;
+        epoch_keep_alive_ = std::move(swap.keep_alive);
+        ++metrics_.epoch_swaps;
+      }
+      swap.done.set_value(ok);
+      continue;
+    }
+
+    if (queue_.empty()) {
+      flush_requested_ = false;  // nothing left to flush
+      if (shutdown_) break;
+      cv_.wait(lock, [this] {
+        return !queue_.empty() || shutdown_ || !swaps_.empty();
+      });
       continue;
     }
 
@@ -149,8 +301,8 @@ void QueryService::SchedulerLoop() {
       // Next flush instant: the oldest query's linger expiry, pulled
       // forward if some queued deadline would lapse before a
       // linger-length dispatch window (earliest_deadline_ is maintained
-      // incrementally — the scheduler wakes per submission, so a full
-      // rescan here would be quadratic under load).
+      // incrementally — the scheduler wakes per submission, so an
+      // O(queue) rescan per wakeup would be quadratic under load).
       Clock::time_point flush_at = queue_.front().submitted + linger;
       Trigger cause = Trigger::kLinger;
       if (earliest_deadline_ != Clock::time_point::max() &&
@@ -167,29 +319,30 @@ void QueryService::SchedulerLoop() {
 
     const std::size_t take =
         std::min(queue_.size(), options_.max_batch_size);
-    std::vector<Pending> batch;
-    batch.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-    }
-    earliest_deadline_ = Clock::time_point::max();
-    for (const Pending& p : queue_) {
-      earliest_deadline_ = std::min(earliest_deadline_, p.deadline);
-    }
+    // Earliest-deadline-first: when the flush cannot take everything, a
+    // tight-deadline query is never stuck behind earlier loose ones.
+    std::vector<Pending> batch = PopBatchLocked(take, queue_.size());
     switch (trigger) {
       case Trigger::kSize: ++metrics_.flush_size; break;
       case Trigger::kLinger: ++metrics_.flush_linger; break;
       case Trigger::kDeadline: ++metrics_.flush_deadline; break;
       case Trigger::kDrain: ++metrics_.flush_drain; break;
     }
+    const std::uint64_t batch_id = next_batch_id_++;
     lock.unlock();
-    DispatchBatch(std::move(batch));
+    DispatchBatch(std::move(batch), batch_id);
     lock.lock();
   }
+  // Shutdown with swaps still pending (submitted after the final drain):
+  // resolve their futures so no writer blocks forever.
+  std::deque<PendingSwap> leftover = std::move(swaps_);
+  swaps_.clear();
+  lock.unlock();
+  for (PendingSwap& swap : leftover) swap.done.set_value(false);
 }
 
-void QueryService::DispatchBatch(std::vector<Pending> batch) {
+void QueryService::DispatchBatch(std::vector<Pending> batch,
+                                 std::uint64_t batch_id) {
   const Clock::time_point dispatched = Clock::now();
 
   // Queue-drop expiry: a query whose deadline lapsed while queued is
@@ -200,7 +353,7 @@ void QueryService::DispatchBatch(std::vector<Pending> batch) {
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (batch[i].deadline <= dispatched) {
       Fulfill(batch[i], ServeStatus::kExpired, QueryStats{}, dispatched,
-              dispatched, 0);
+              dispatched, 0, batch_id);
       ++dropped;
     } else {
       live.push_back(i);
@@ -254,7 +407,7 @@ void QueryService::DispatchBatch(std::vector<Pending> batch) {
       const Clock::time_point done = Clock::now();
       for (const std::size_t i : live) {
         Fulfill(batch[i], ServeStatus::kFailed, QueryStats{}, dispatched,
-                done, static_cast<std::uint32_t>(live.size()));
+                done, static_cast<std::uint32_t>(live.size()), batch_id);
       }
       std::lock_guard<std::mutex> lock(mu_);
       metrics_.failed += live.size();
@@ -269,20 +422,20 @@ void QueryService::DispatchBatch(std::vector<Pending> batch) {
       if (!report.processed[k]) {
         if (cancel_.load(std::memory_order_relaxed)) {
           Fulfill(p, ServeStatus::kCancelled, QueryStats{}, dispatched, done,
-                  batch_size);
+                  batch_size, batch_id);
           ++cancelled;
         } else {
           Fulfill(p, ServeStatus::kExpired, QueryStats{}, dispatched, done,
-                  batch_size);
+                  batch_size, batch_id);
           ++expired;
         }
       } else if (!primary_->SupportsQuery(p.query.s, p.query.t)) {
         Fulfill(p, ServeStatus::kUnsupported, QueryStats{}, dispatched, done,
-                batch_size);
+                batch_size, batch_id);
         ++unsupported;
       } else {
         Fulfill(p, ServeStatus::kAnswered, stats[k], dispatched, done,
-                batch_size);
+                batch_size, batch_id);
         ++answered;
       }
     }
@@ -304,14 +457,17 @@ void QueryService::DispatchBatch(std::vector<Pending> batch) {
 void QueryService::Fulfill(Pending& p, ServeStatus status,
                            const QueryStats& stats,
                            Clock::time_point dispatched,
-                           Clock::time_point done,
-                           std::uint32_t batch_size) {
+                           Clock::time_point done, std::uint32_t batch_size,
+                           std::uint64_t batch_id) const {
   QueryResult result;
   result.status = status;
   result.stats = stats;
   result.queue_ms = MillisD(dispatched - p.submitted).count();
   result.total_ms = MillisD(done - p.submitted).count();
   result.batch_size = batch_size;
+  result.batch_id = batch_id;
+  // Written only by the scheduler thread, which also runs every Fulfill.
+  result.epoch = current_epoch_;
   p.promise.set_value(result);
 }
 

@@ -31,6 +31,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -82,6 +83,14 @@ struct QueryResult {
   double queue_ms = 0.0;   ///< submission → dispatch
   double total_ms = 0.0;   ///< submission → completion (client latency)
   std::uint32_t batch_size = 0;  ///< micro-batch the query rode in
+  /// Graph epoch the answer was computed on (0 until the first
+  /// ApplyUpdates) — how dynamic-workload clients pair an answer with
+  /// the snapshot that produced it.
+  std::uint64_t epoch = 0;
+  /// Monotone id of the dispatched micro-batch (1-based; 0 = the query
+  /// never reached a dispatch). Later batch ⇒ later dispatch, which is
+  /// what the EDF dispatch-order tests observe.
+  std::uint64_t batch_id = 0;
 };
 
 /// Aggregate counters since construction (monotone; snapshot via
@@ -102,6 +111,8 @@ struct ServeMetrics {
   std::uint64_t flush_linger = 0;    ///< oldest query hit max_linger
   std::uint64_t flush_deadline = 0;  ///< earliest deadline was imminent
   std::uint64_t flush_drain = 0;     ///< explicit Flush()/Shutdown drain
+  std::uint64_t flush_swap = 0;      ///< pre-swap barrier drain
+  std::uint64_t epoch_swaps = 0;     ///< ApplyUpdates swaps applied
 
   /// Mean coalesced micro-batch size.
   double AvgBatch() const {
@@ -137,6 +148,39 @@ class QueryService {
   /// for a flush trigger. Non-blocking.
   void Flush();
 
+  /// Applied to every worker estimator during an epoch swap; returns
+  /// false if the estimator cannot rebind (the swap is then abandoned
+  /// with nothing mutated). Built by dyn/dyn_serve.h from a committed
+  /// DynamicGraph snapshot.
+  using EpochRebindFn = std::function<bool(ErEstimator&)>;
+
+  /// Schedules an atomic epoch swap — the dynamic-graph entry point.
+  /// The swap is applied by the scheduler BETWEEN micro-batches, never
+  /// concurrently with dispatch, with linearized barrier semantics:
+  /// every query submitted before this call is dispatched on the old
+  /// epoch first (their linger is cut short, as by Flush()); every query
+  /// submitted after it is answered on the new epoch. In-flight work is
+  /// never disturbed, so readers always see one consistent snapshot.
+  ///
+  /// `epoch` stamps subsequent QueryResults and keys the shared-
+  /// preprocessing rebuilds (must be monotone); `keep_alive` pins the
+  /// snapshot the rebinder installs for as long as the service reads it
+  /// (released on the NEXT swap or at destruction). The future resolves
+  /// true once every worker rebound, false if the swap was abandoned
+  /// (unsupported estimator, or shutdown before application). Multiple
+  /// pending swaps apply in submission order. Thread-safe.
+  std::future<bool> ApplyUpdates(std::uint64_t epoch, EpochRebindFn rebind,
+                                 std::shared_ptr<const void> keep_alive =
+                                     nullptr);
+
+  /// Pure earliest-deadline-first selection (exposed for the dispatch-
+  /// order unit test): indices of the `take` earliest-deadline entries —
+  /// time_point::max() = no deadline, ties broken by index, i.e. by
+  /// arrival — in dispatch order.
+  static std::vector<std::size_t> EdfOrder(
+      std::span<const std::chrono::steady_clock::time_point> deadlines,
+      std::size_t take);
+
   /// Stops accepting new queries, answers everything already queued,
   /// then stops the scheduler. Idempotent; safe from any thread.
   void Shutdown();
@@ -161,13 +205,27 @@ class QueryService {
     std::promise<QueryResult> promise;
     Clock::time_point submitted;
     Clock::time_point deadline;  // time_point::max() = none
+    std::uint64_t seq = 0;       // submission order (for swap barriers)
+  };
+
+  /// One scheduled ApplyUpdates call, applied between micro-batches once
+  /// every query with seq < watermark has been dispatched.
+  struct PendingSwap {
+    std::uint64_t epoch = 0;
+    EpochRebindFn rebind;
+    std::shared_ptr<const void> keep_alive;
+    std::uint64_t watermark = 0;
+    std::promise<bool> done;
   };
 
   void SchedulerLoop();
-  void DispatchBatch(std::vector<Pending> batch);
-  static void Fulfill(Pending& p, ServeStatus status, const QueryStats& stats,
-                      Clock::time_point dispatched, Clock::time_point done,
-                      std::uint32_t batch_size);
+  void DispatchBatch(std::vector<Pending> batch, std::uint64_t batch_id);
+  /// Pops `take` of the first `limit` queued queries in EDF order
+  /// (requires mu_ held) and refreshes earliest_deadline_.
+  std::vector<Pending> PopBatchLocked(std::size_t take, std::size_t limit);
+  void Fulfill(Pending& p, ServeStatus status, const QueryStats& stats,
+               Clock::time_point dispatched, Clock::time_point done,
+               std::uint32_t batch_size, std::uint64_t batch_id) const;
 
   ServeOptions options_;
   ErEstimator* primary_;
@@ -177,6 +235,13 @@ class QueryService {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Pending> queue_;
+  std::deque<PendingSwap> swaps_;
+  std::uint64_t next_seq_ = 0;        // submission counter
+  std::uint64_t next_batch_id_ = 1;   // dispatched micro-batch counter
+  /// Epoch currently served. Written only by the scheduler thread while
+  /// applying a swap; read by the scheduler during dispatch.
+  std::uint64_t current_epoch_ = 0;
+  std::shared_ptr<const void> epoch_keep_alive_;
   /// Earliest deadline over queue_ (time_point::max() = none), maintained
   /// on push and recomputed once per batch pop — the scheduler wakes on
   /// every submission, so an O(queue) rescan per wakeup would be

@@ -1,0 +1,389 @@
+// The dynamic-graph correctness contract (src/dyn/): after ANY update
+// sequence, (1) the incrementally committed snapshot's CSR arrays are
+// IDENTICAL to a from-scratch build from the final edge list, in both
+// weight modes and under shuffled update orders / commit partitions, and
+// (2) every registered estimator — all 12 algorithms, both weight modes
+// — answers bit-identically on the rebound estimator (constructed on
+// epoch 0, RebindGraph'd through every commit) and on a freshly
+// constructed estimator over the from-scratch rebuild. Also pins the
+// commit metadata (touched rows, resized flag, epochs) and the
+// SELECTIVE session invalidation: SMM/GEER iterate caches survive
+// updates outside their dependency set (zero fresh source-side SpMV on
+// the next visit) and are evicted by updates inside it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/batch_engine.h"
+#include "core/registry.h"
+#include "core/smm.h"
+#include "dyn/dynamic_graph.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/weighted_generators.h"
+#include "linalg/spectral.h"
+#include "rw/rng.h"
+#include "test_util.h"
+
+namespace geer {
+namespace {
+
+ErOptions TestOptions() {
+  ErOptions opt;
+  opt.epsilon = 0.5;
+  opt.delta = 0.1;
+  opt.seed = 20260801;
+  opt.tp_scale = 0.01;   // scaled constants keep the suite fast; this
+  opt.tpc_scale = 0.01;  // suite checks bit-identity, not accuracy
+  opt.mc_gamma_upper = 8.0;
+  return opt;
+}
+
+template <WeightPolicy WP>
+void ExpectSameArrays(const typename WP::GraphT& a,
+                      const typename WP::GraphT& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.NumNodes(), b.NumNodes()) << label;
+  EXPECT_EQ(a.Offsets(), b.Offsets()) << label;
+  EXPECT_EQ(a.NeighborArray(), b.NeighborArray()) << label;
+  if constexpr (WP::kWeighted) {
+    EXPECT_EQ(a.WeightArray(), b.WeightArray()) << label;
+    EXPECT_EQ(a.TotalWeight(), b.TotalWeight()) << label;
+    for (NodeId v = 0; v < a.NumNodes(); ++v) {
+      EXPECT_EQ(a.Strength(v), b.Strength(v)) << label << " node " << v;
+    }
+  }
+}
+
+template <WeightPolicy WP>
+typename WP::GraphT BaseGraph();
+
+template <>
+Graph BaseGraph<UnitWeight>() {
+  return gen::ErdosRenyi(30, 140, 7);
+}
+
+template <>
+WeightedGraph BaseGraph<EdgeWeight>() {
+  return gen::WithUniformWeights(gen::ErdosRenyi(30, 140, 7), 0.5, 2.0, 11);
+}
+
+// Generator-driven random update streams commit after every batch; the
+// final snapshot must equal the from-scratch build bit for bit.
+template <WeightPolicy WP>
+void RunArraysMatchFromScratch() {
+  DynamicGraphT<WP> dyn(BaseGraph<WP>());
+  UpdateGeneratorT<WP> generator(dyn, 99);
+  for (int batch = 0; batch < 6; ++batch) {
+    for (const EdgeUpdate& op : generator.NextBatch(9)) dyn.Apply(op);
+    // Compare BEFORE committing too: BuildFromScratch sees pending state.
+    const typename WP::GraphT scratch = dyn.BuildFromScratch();
+    auto snapshot = dyn.Commit();
+    ExpectSameArrays<WP>(*snapshot->graph, scratch,
+                         "batch " + std::to_string(batch));
+    EXPECT_EQ(snapshot->epoch, static_cast<std::uint64_t>(batch + 1));
+  }
+}
+
+TEST(DynConsistencyTest, ArraysMatchFromScratchUnweighted) {
+  RunArraysMatchFromScratch<UnitWeight>();
+}
+
+TEST(DynConsistencyTest, ArraysMatchFromScratchWeighted) {
+  RunArraysMatchFromScratch<EdgeWeight>();
+}
+
+// Logically commuting updates (distinct edges) applied in shuffled
+// orders with different commit partitions converge to identical arrays:
+// weights are absolute overwrites, never accumulations.
+template <WeightPolicy WP>
+void RunShuffledOrdersConverge() {
+  const typename WP::GraphT base = BaseGraph<WP>();
+  // Distinct-edge update set: chord insertions, deletions of existing
+  // edges, and (weighted) re-weights of other existing edges.
+  std::vector<EdgeUpdate> updates;
+  Rng rng(5);
+  const NodeId n = base.NumNodes();
+  for (int k = 0; k < 10; ++k) {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      const NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+      const NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+      if (u == v || base.HasEdge(u, v)) continue;
+      bool dup = false;
+      for (const EdgeUpdate& op : updates) {
+        if ((op.u == u && op.v == v) || (op.u == v && op.v == u)) dup = true;
+      }
+      if (dup) continue;
+      updates.push_back({EdgeUpdateKind::kInsert, u, v,
+                         WP::kWeighted ? 1.5 + 0.25 * k : 1.0});
+      break;
+    }
+  }
+  const auto base_edges = base.Edges();
+  for (int k = 0; k < 6; ++k) {
+    const auto& e = base_edges[(k * 37) % base_edges.size()];
+    if constexpr (WP::kWeighted) {
+      updates.push_back(k % 2 == 0
+                            ? EdgeUpdate{EdgeUpdateKind::kDelete, e.u, e.v, 0}
+                            : EdgeUpdate{EdgeUpdateKind::kSetWeight, e.u,
+                                         e.v, 3.25 + k});
+    } else {
+      updates.push_back({EdgeUpdateKind::kDelete, e.first, e.second, 0.0});
+    }
+  }
+
+  std::vector<std::vector<std::uint64_t>> reference_offsets;
+  std::vector<typename WP::GraphT> finals;
+  for (const std::uint64_t shuffle_seed : {0ull, 1ull, 2ull, 3ull}) {
+    std::vector<EdgeUpdate> order = updates;
+    if (shuffle_seed != 0) {
+      Rng shuffle_rng(shuffle_seed);
+      std::shuffle(order.begin(), order.end(), shuffle_rng);
+    }
+    DynamicGraphT<WP> dyn(BaseGraph<WP>());
+    // Vary the commit partition with the order: every (2 + seed) ops.
+    const std::size_t chunk = 2 + static_cast<std::size_t>(shuffle_seed);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      dyn.Apply(order[i]);
+      if ((i + 1) % chunk == 0) dyn.Commit();
+    }
+    auto snapshot = dyn.Commit();
+    finals.push_back(*snapshot->graph);
+  }
+  for (std::size_t i = 1; i < finals.size(); ++i) {
+    ExpectSameArrays<WP>(finals[0], finals[i],
+                         "shuffle " + std::to_string(i));
+  }
+}
+
+TEST(DynConsistencyTest, ShuffledUpdateOrdersConvergeUnweighted) {
+  RunShuffledOrdersConverge<UnitWeight>();
+}
+
+TEST(DynConsistencyTest, ShuffledUpdateOrdersConvergeWeighted) {
+  RunShuffledOrdersConverge<EdgeWeight>();
+}
+
+TEST(DynConsistencyTest, CommitMetadataAndPendingView) {
+  DynamicGraph dyn(testing::TriangleWithTail());  // 0-1,1-2,2-0,2-3,3-4
+  EXPECT_EQ(dyn.Epoch(), 0u);
+  EXPECT_TRUE(dyn.HasEdge(0, 1));
+  EXPECT_FALSE(dyn.HasEdge(0, 3));
+
+  dyn.InsertEdge(0, 3);
+  dyn.DeleteEdge(3, 4);
+  EXPECT_TRUE(dyn.HasEdge(0, 3));   // pending view sees the insert
+  EXPECT_FALSE(dyn.HasEdge(3, 4));  // and the delete
+  EXPECT_EQ(dyn.Current()->graph->NumEdges(), 5u);  // published view does not
+
+  auto snapshot = dyn.Commit();
+  EXPECT_EQ(snapshot->epoch, 1u);
+  EXPECT_FALSE(snapshot->resized);
+  // Touched = endpoints of changed edges, sorted.
+  EXPECT_EQ(snapshot->touched, (std::vector<NodeId>{0, 3, 4}));
+  EXPECT_TRUE(snapshot->graph->HasEdge(0, 3));
+  EXPECT_FALSE(snapshot->graph->HasEdge(3, 4));
+
+  // No-op commit publishes nothing new.
+  auto same = dyn.Commit();
+  EXPECT_EQ(same->epoch, 1u);
+  EXPECT_EQ(same.get(), snapshot.get());
+
+  // Insert-then-delete of the same absent edge collapses to a no-op.
+  dyn.InsertEdge(1, 4);
+  dyn.DeleteEdge(1, 4);
+  EXPECT_EQ(dyn.Commit()->epoch, 1u);
+
+  // ... but when the collapsed insert GREW the node count, the growth
+  // itself still commits (Commit must equal BuildFromScratch, which
+  // sees the larger pending node count).
+  dyn.InsertEdge(0, 5);
+  dyn.DeleteEdge(0, 5);
+  const Graph grown_scratch = dyn.BuildFromScratch();
+  auto growth_only = dyn.Commit();
+  EXPECT_EQ(growth_only->epoch, 2u);
+  EXPECT_TRUE(growth_only->resized);
+  EXPECT_TRUE(growth_only->touched.empty());
+  EXPECT_EQ(growth_only->graph->NumNodes(), 6u);
+  EXPECT_EQ(growth_only->graph->NumNodes(), grown_scratch.NumNodes());
+  EXPECT_EQ(growth_only->graph->NumEdges(), grown_scratch.NumEdges());
+
+  // Node growth sets `resized` and grows the published node count.
+  dyn.InsertEdge(4, 7);
+  auto grown = dyn.Commit();
+  EXPECT_EQ(grown->epoch, 3u);
+  EXPECT_TRUE(grown->resized);
+  EXPECT_EQ(grown->graph->NumNodes(), 8u);
+  EXPECT_EQ(grown->graph->Degree(6), 0u);  // gap nodes exist, isolated
+  EXPECT_EQ(grown->touched, (std::vector<NodeId>{4, 7}));
+
+  // The log records every accepted update in order.
+  EXPECT_EQ(dyn.Log().size(), 7u);
+}
+
+TEST(DynConsistencyTest, InvalidUpdatesAreRejected) {
+  DynamicGraph dyn(testing::TriangleWithTail());
+  EXPECT_DEATH(dyn.InsertEdge(0, 1), "already present");
+  EXPECT_DEATH(dyn.DeleteEdge(0, 3), "not present");
+  EXPECT_DEATH(dyn.InsertEdge(2, 2), "self-loop");
+}
+
+// The acceptance matrix: every registered estimator, both weight modes,
+// rebound through every epoch of an update sequence, answers
+// bit-identically to a fresh estimator on the from-scratch rebuild.
+template <WeightPolicy WP>
+std::unique_ptr<ErEstimator> MakeEstimatorFor(const typename WP::GraphT& g,
+                                              const std::string& name,
+                                              const ErOptions& opt) {
+  if constexpr (WP::kWeighted) {
+    return CreateWeightedEstimator(name, g, opt);
+  } else {
+    return CreateEstimator(name, g, opt);
+  }
+}
+
+template <WeightPolicy WP>
+void RunEveryEstimatorBitIdentical(bool enable_session) {
+  const ErOptions options = TestOptions();  // no λ: rebinds re-derive it
+  std::vector<std::string> names;
+  if constexpr (WP::kWeighted) {
+    names = WeightedEstimatorNames();
+  } else {
+    names = EstimatorNames();
+  }
+
+  for (const std::string& name : names) {
+    DynamicGraphT<WP> graph(BaseGraph<WP>());
+    auto snapshot = graph.Current();
+    auto estimator = MakeEstimatorFor<WP>(*snapshot->graph, name, options);
+    ASSERT_NE(estimator, nullptr) << name;
+    if (enable_session) estimator->EnableSessionCache();
+
+    UpdateGeneratorT<WP> generator(graph, 4242);
+    std::vector<decltype(snapshot)> held = {snapshot};  // graphs must live
+    for (int batch = 0; batch < 3; ++batch) {
+      for (const EdgeUpdate& op : generator.NextBatch(7)) graph.Apply(op);
+      snapshot = graph.Commit();
+      held.push_back(snapshot);
+      GraphEpoch epoch;
+      epoch.epoch = snapshot->epoch;
+      epoch.touched = std::span<const NodeId>(snapshot->touched);
+      epoch.resized = snapshot->resized;
+      ASSERT_TRUE(estimator->RebindGraph(*snapshot->graph, epoch)) << name;
+      // Answer a query ON the intermediate epoch so session caches (when
+      // enabled) actually carry state across the swaps.
+      if (estimator->SupportsQuery(1, 2)) {
+        (void)estimator->EstimateWithStats(1, 2);
+      }
+    }
+
+    const typename WP::GraphT rebuilt = graph.BuildFromScratch();
+    auto fresh = MakeEstimatorFor<WP>(rebuilt, name, options);
+    const auto final_edges = snapshot->graph->Edges();
+    std::vector<QueryPair> queries = {{0, 5}, {3, 17}, {3, 9}, {7, 7},
+                                      {12, 28}, {3, 17}};
+    if constexpr (WP::kWeighted) {
+      queries.push_back({final_edges[0].u, final_edges[0].v});
+      queries.push_back({final_edges[3].u, final_edges[3].v});
+    } else {
+      queries.push_back({final_edges[0].first, final_edges[0].second});
+      queries.push_back({final_edges[3].first, final_edges[3].second});
+    }
+    for (const QueryPair& q : queries) {
+      const bool supported = estimator->SupportsQuery(q.s, q.t);
+      ASSERT_EQ(supported, fresh->SupportsQuery(q.s, q.t))
+          << name << " (" << q.s << "," << q.t << ")";
+      if (!supported) continue;
+      EXPECT_EQ(estimator->Estimate(q.s, q.t), fresh->Estimate(q.s, q.t))
+          << name << " (" << q.s << "," << q.t << ")"
+          << (enable_session ? " [session]" : "");
+    }
+  }
+}
+
+TEST(DynConsistencyTest, EveryEstimatorBitIdenticalUnweighted) {
+  RunEveryEstimatorBitIdentical<UnitWeight>(/*enable_session=*/false);
+}
+
+TEST(DynConsistencyTest, EveryEstimatorBitIdenticalWeighted) {
+  RunEveryEstimatorBitIdentical<EdgeWeight>(/*enable_session=*/false);
+}
+
+TEST(DynConsistencyTest, EveryEstimatorBitIdenticalWithSessions) {
+  RunEveryEstimatorBitIdentical<UnitWeight>(/*enable_session=*/true);
+  RunEveryEstimatorBitIdentical<EdgeWeight>(/*enable_session=*/true);
+}
+
+// The selective-invalidation contract of the SMM/GEER session caches: a
+// commit whose touched set misses a source cache's dependency set keeps
+// that cache (the revisit pays ZERO fresh source-side SpMV), while a
+// commit inside it evicts (full cost again) — and both revisits answer
+// exactly what a fresh estimator on the new graph answers.
+TEST(DynConsistencyTest, SmmSessionSurvivesDisjointUpdates) {
+  // A long path: with a fixed 3-iteration SMM, the dependency set of
+  // source 5 is its 3-hop ball — updates beyond it must not evict.
+  GraphBuilder b(200);
+  for (NodeId v = 0; v + 1 < 200; ++v) b.AddEdge(v, v + 1);
+  const Graph base = b.Build();
+  ErOptions options = TestOptions();
+  options.smm_iterations = 3;
+  options.lambda = 0.5;  // pinned: ℓ formulas are bypassed anyway
+
+  DynamicGraph dyn{Graph(base)};
+  auto snapshot = dyn.Current();
+  SmmEstimator estimator(*snapshot->graph, options);
+  estimator.EnableSessionCache();
+
+  const std::vector<QueryPair> warm = {{5, 9}, {5, 12}};
+  std::vector<QueryStats> cold_stats(warm.size());
+  RunQueryBatch(estimator, warm, cold_stats);
+  const std::uint64_t cold_spmv =
+      cold_stats[0].spmv_ops + cold_stats[1].spmv_ops;
+  ASSERT_GT(cold_spmv, 0u);
+
+  // Far update: chord {150, 160} — outside source 5's 3-hop ball.
+  dyn.InsertEdge(150, 160);
+  snapshot = dyn.Commit();
+  GraphEpoch far;
+  far.epoch = snapshot->epoch;
+  far.touched = std::span<const NodeId>(snapshot->touched);
+  ASSERT_TRUE(estimator.RebindGraph(*snapshot->graph, far));
+  std::vector<QueryStats> warm_stats(warm.size());
+  RunQueryBatch(estimator, warm, warm_stats);
+  // Cache kept: the revisit pays only the target-side SpMV, never the
+  // shared source side again.
+  const std::uint64_t warm_spmv =
+      warm_stats[0].spmv_ops + warm_stats[1].spmv_ops;
+  EXPECT_LT(warm_spmv, cold_spmv)
+      << "far-away update must keep the iterate cache";
+  {
+    SmmEstimator fresh(*snapshot->graph, options);
+    for (const QueryPair& q : warm) {
+      EXPECT_EQ(estimator.Estimate(q.s, q.t), fresh.Estimate(q.s, q.t));
+    }
+  }
+
+  // Near update: chord {6, 9} — inside the dependency set; must evict.
+  dyn.InsertEdge(6, 9);
+  auto near_snapshot = dyn.Commit();
+  GraphEpoch near_epoch;
+  near_epoch.epoch = near_snapshot->epoch;
+  near_epoch.touched = std::span<const NodeId>(near_snapshot->touched);
+  ASSERT_TRUE(estimator.RebindGraph(*near_snapshot->graph, near_epoch));
+  std::vector<QueryStats> evicted_stats(warm.size());
+  RunQueryBatch(estimator, warm, evicted_stats);
+  EXPECT_GT(evicted_stats[0].spmv_ops + evicted_stats[1].spmv_ops, warm_spmv)
+      << "in-dependency update must evict the iterate cache";
+  {
+    SmmEstimator fresh(*near_snapshot->graph, options);
+    for (const QueryPair& q : warm) {
+      EXPECT_EQ(estimator.Estimate(q.s, q.t), fresh.Estimate(q.s, q.t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geer

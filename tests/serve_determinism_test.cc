@@ -281,6 +281,55 @@ TEST_F(ServeDeterminismTest, SessionCachePersistsAcrossBatchesSameValues) {
   }
 }
 
+TEST_F(ServeDeterminismTest, WalkSessionCachesPersistAcrossBatches) {
+  // TP/TPC retain their per-source walk populations across micro-batches
+  // (TP: endpoint histograms per length; TPC: per-length endpoint
+  // snapshots). The second visit to the same sources and targets must
+  // re-simulate strictly fewer walk steps — TP's revisit is entirely
+  // lookup-served — while answering bit-identically; clearing resets the
+  // cost without moving any value.
+  for (const std::string& name : {std::string("TP"), std::string("TPC")}) {
+    auto serial = CreateEstimator(name, graph_, options_);
+    const std::vector<double> expected = SerialValues(serial.get(), queries_);
+
+    auto estimator = CreateEstimator(name, graph_, options_);
+    estimator->EnableSessionCache();
+    EXPECT_TRUE(estimator->SessionCacheEnabled()) << name;
+    std::vector<QueryStats> first(queries_.size());
+    std::vector<QueryStats> second(queries_.size());
+    RunQueryBatch(*estimator, queries_, first);
+    RunQueryBatch(*estimator, queries_, second);
+    std::uint64_t first_steps = 0;
+    std::uint64_t second_steps = 0;
+    for (std::size_t i = 0; i < queries_.size(); ++i) {
+      if (!std::isnan(expected[i])) {
+        EXPECT_EQ(first[i].value, expected[i]) << name << " run 1 #" << i;
+        EXPECT_EQ(second[i].value, expected[i]) << name << " run 2 #" << i;
+      }
+      first_steps += first[i].walk_steps;
+      second_steps += second[i].walk_steps;
+    }
+    ASSERT_GT(first_steps, 0u) << name;
+    EXPECT_LT(second_steps, first_steps) << name;
+    if (name == "TP") {
+      // Every population the revisit needs is retained: zero fresh walks.
+      EXPECT_EQ(second_steps, 0u) << name;
+    }
+
+    estimator->ClearSessionCache();
+    std::vector<QueryStats> third(queries_.size());
+    RunQueryBatch(*estimator, queries_, third);
+    std::uint64_t third_steps = 0;
+    for (std::size_t i = 0; i < queries_.size(); ++i) {
+      if (!std::isnan(expected[i])) {
+        EXPECT_EQ(third[i].value, expected[i]) << name << " run 3 #" << i;
+      }
+      third_steps += third[i].walk_steps;
+    }
+    EXPECT_EQ(third_steps, first_steps) << name;
+  }
+}
+
 TEST_F(ServeDeterminismTest, TinyDeadlineExpiresQueriesWithoutHanging) {
   auto estimator = CreateEstimator("GEER", graph_, options_);
   ServeOptions serve_options;

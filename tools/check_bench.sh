@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Bench regression gate: compares a freshly produced BENCH_pr<N>.json
+# (tools/run_bench.sh) against the newest committed predecessor, per
+# (method, metric, threads) series, and FAILS on a >15% THROUGHPUT
+# regression — the first consumer of the per-PR perf trajectory.
+#
+#   tools/check_bench.sh [NEW.json] [--baseline=FILE] [--threshold=F]
+#
+#   NEW.json          the candidate file (default: the highest-numbered
+#                     BENCH_pr*.json in the repo root)
+#   --baseline=FILE   explicit baseline (default: the highest-numbered
+#                     committed BENCH_pr*.json whose basename differs
+#                     from the candidate's)
+#   --threshold=F     relative regression tolerance (default 0.15)
+#
+# Policy: throughput series (metric contains "throughput" or "qps")
+# hard-fail when the new value drops more than the threshold. Everything
+# else only WARNS past it — ratio series ("speedup"/"retention") when
+# they drop, time series (ms / cpu) when they grow — because those run
+# on shared CI machines and are noisy, while the pinned serve-throughput
+# runs are the load-bearing numbers. Exit codes: 0 ok (possibly with
+# warnings), 1 throughput regression, 2 usage/missing files.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+NEW=""
+BASELINE=""
+THRESHOLD="0.15"
+for arg in "$@"; do
+  case "$arg" in
+    --baseline=*) BASELINE="${arg#--baseline=}" ;;
+    --threshold=*) THRESHOLD="${arg#--threshold=}" ;;
+    -*) echo "unknown flag: $arg" >&2; exit 2 ;;
+    *) NEW="$arg" ;;
+  esac
+done
+
+# Highest PR number wins; ties cannot happen (one file per PR).
+newest_bench() {
+  ls "$REPO_ROOT"/BENCH_pr*.json 2>/dev/null |
+    awk -F'BENCH_pr' '{ n = $2; sub(/\.json$/, "", n);
+                        printf "%012d %s\n", n, $0 }' |
+    sort | awk '{ print $2 }' | tail -n "$1" | head -n 1
+}
+
+if [[ -z "$NEW" ]]; then
+  NEW="$(newest_bench 1 || true)"
+fi
+if [[ -z "$NEW" || ! -f "$NEW" ]]; then
+  echo "check_bench: no candidate BENCH file (${NEW:-none})" >&2
+  exit 2
+fi
+
+if [[ -z "$BASELINE" ]]; then
+  NEW_BASE="$(basename "$NEW")"
+  BASELINE="$(ls "$REPO_ROOT"/BENCH_pr*.json 2>/dev/null |
+    grep -v "/${NEW_BASE}$" |
+    awk -F'BENCH_pr' '{ n = $2; sub(/\.json$/, "", n);
+                        printf "%012d %s\n", n, $0 }' |
+    sort | tail -n 1 | awk '{ print $2 }' || true)"
+fi
+if [[ -z "$BASELINE" || ! -f "$BASELINE" ]]; then
+  echo "check_bench: no committed predecessor to compare against — skipping"
+  exit 0
+fi
+
+echo "== check_bench: $NEW vs baseline $BASELINE (threshold ${THRESHOLD}) =="
+
+# The BENCH files are machine-written by run_bench.sh: one entry object
+# per line with fixed key order — awk-extractable without jq.
+extract() {
+  awk '
+    /"metric"/ {
+      method = $0; sub(/.*"method": "/, "", method); sub(/".*/, "", method)
+      metric = $0; sub(/.*"metric": "/, "", metric); sub(/".*/, "", metric)
+      value = $0; sub(/.*"value": /, "", value); sub(/[,}].*/, "", value)
+      threads = $0; sub(/.*"threads": /, "", threads)
+      sub(/[^0-9].*/, "", threads)
+      printf "%s|%s|%s\t%s\n", method, metric, threads, value
+    }' "$1"
+}
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+extract "$NEW" | sort > "$TMP_DIR/new.tsv"
+extract "$BASELINE" | sort > "$TMP_DIR/old.tsv"
+
+join -t "$(printf '\t')" "$TMP_DIR/old.tsv" "$TMP_DIR/new.tsv" |
+  awk -F'\t' -v thr="$THRESHOLD" '
+    {
+      key = $1; old = $2 + 0; new = $3 + 0
+      gated = (key ~ /throughput|qps/)
+      higher_is_better = gated || (key ~ /speedup|retention/)
+      if (old <= 0) next
+      delta = (new - old) / old
+      if (gated && delta < -thr) {
+        printf "FAIL %-60s %12g -> %12g (%+.1f%%)\n", key, old, new,
+               100 * delta
+        failures++
+      } else if (!gated && higher_is_better && delta < -thr) {
+        printf "warn %-60s %12g -> %12g (%+.1f%%)\n", key, old, new,
+               100 * delta
+        warnings++
+      } else if (!higher_is_better && delta > thr) {
+        printf "warn %-60s %12g -> %12g (%+.1f%%)\n", key, old, new,
+               100 * delta
+        warnings++
+      } else {
+        compared++
+      }
+    }
+    END {
+      printf "== check_bench: %d series ok, %d warnings, %d failures ==\n",
+             compared + 0, warnings + 0, failures + 0
+      exit failures > 0 ? 1 : 0
+    }'

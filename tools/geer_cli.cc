@@ -44,6 +44,16 @@
 //                       coalescing, the micro-batching ablation)
 //   --deadline-ms=F     per-query deadline; still-queued queries expire
 //                       when it lapses (default: none)
+//   --dynamic           replay a DYNAMIC workload (src/dyn/): the query
+//                       stream is interleaved with generated edge
+//                       updates, each commit publishing a new epoch that
+//                       is swapped into the serving scheduler between
+//                       micro-batches; the summary reports per-epoch
+//                       commit/swap cost and latency percentiles. Works
+//                       with --weighted (insert/delete/re-weight) and
+//                       honors --threads/--batch-size/--linger-ms.
+//   --updates=N         total generated edge updates (default 64)
+//   --commit-every=K    updates per commit/epoch (default 16)
 
 #include <cstdio>
 #include <cstdlib>
@@ -54,7 +64,9 @@
 
 #include "core/batch_engine.h"
 #include "core/registry.h"
+#include "dyn/dynamic_graph.h"
 #include "eval/datasets.h"
+#include "eval/dynamic_workload.h"
 #include "eval/experiment.h"
 #include "eval/queries.h"
 #include "graph/algorithms.h"
@@ -87,7 +99,99 @@ struct CliArgs {
   double linger_ms = 2.0;
   std::size_t serve_batch_size = 64;
   double deadline_ms = 0.0;
+  bool dynamic = false;
+  std::size_t dynamic_updates = 64;
+  std::size_t commit_every = 16;
 };
+
+// The --dynamic path: interleave the query stream with generated edge
+// updates (inserts, deletes of generated edges, weight changes on
+// conductance graphs), committing every --commit-every ops and swapping
+// the published epoch into the serving scheduler. Reports per-epoch
+// commit/swap cost and client latency.
+template <typename WPolicy>
+int RunDynamicQueries(const typename WPolicy::GraphT& graph,
+                      const std::string& method, const ErOptions& options,
+                      const std::vector<QueryPair>& queries,
+                      const CliArgs& args) {
+  DynamicGraphT<WPolicy> dyn(graph);
+  // Generation runs against a shadow copy so the replay below applies
+  // each batch exactly once (the generator requires its batches applied
+  // before the next call).
+  DynamicGraphT<WPolicy> shadow(graph);
+  UpdateGeneratorT<WPolicy> generator(shadow, options.seed);
+
+  const std::size_t commit_every = std::max<std::size_t>(args.commit_every, 1);
+  const std::size_t num_commits =
+      (args.dynamic_updates + commit_every - 1) / commit_every;
+  std::vector<DynTraceEvent> trace;
+  trace.reserve(queries.size() + num_commits);
+  std::size_t remaining = args.dynamic_updates;
+  const std::size_t stride =
+      num_commits > 0 ? std::max<std::size_t>(queries.size() /
+                                                  (num_commits + 1),
+                                              1)
+                      : queries.size() + 1;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    trace.push_back(DynTraceEvent::Query(queries[i]));
+    if (remaining > 0 && (i + 1) % stride == 0) {
+      const std::size_t take = std::min(commit_every, remaining);
+      std::vector<EdgeUpdate> batch = generator.NextBatch(take);
+      for (const EdgeUpdate& op : batch) shadow.Apply(op);
+      remaining -= take;
+      trace.push_back(DynTraceEvent::Update(std::move(batch)));
+    }
+  }
+  while (remaining > 0) {  // short query sets: trailing commits
+    const std::size_t take = std::min(commit_every, remaining);
+    std::vector<EdgeUpdate> batch = generator.NextBatch(take);
+    for (const EdgeUpdate& op : batch) shadow.Apply(op);
+    remaining -= take;
+    trace.push_back(DynTraceEvent::Update(std::move(batch)));
+  }
+
+  ServeOptions serve_options;
+  serve_options.max_batch_size = args.serve_batch_size;
+  serve_options.max_linger_seconds = args.linger_ms / 1e3;
+  serve_options.threads = args.threads;
+  const DynamicWorkloadResult result = RunDynamicWorkload<WPolicy>(
+      dyn, method, options, trace, serve_options, args.deadline_ms / 1e3);
+
+  if (args.csv) {
+    std::printf("epoch,updates,touched,commit_ms,swap_ms,answered,p50_ms,"
+                "p95_ms,p99_ms\n");
+  } else {
+    std::printf("%6s %8s %8s %10s %8s %9s %8s %8s %8s\n", "epoch", "updates",
+                "touched", "commit_ms", "swap_ms", "answered", "p50", "p95",
+                "p99");
+  }
+  for (const DynEpochStats& epoch : result.epochs) {
+    if (args.csv) {
+      std::printf("%llu,%zu,%zu,%.3f,%.3f,%zu,%.3f,%.3f,%.3f\n",
+                  static_cast<unsigned long long>(epoch.epoch), epoch.updates,
+                  epoch.touched, epoch.commit_ms, epoch.swap_ms,
+                  epoch.answered, epoch.p50_ms, epoch.p95_ms, epoch.p99_ms);
+    } else {
+      std::printf("%6llu %8zu %8zu %10.3f %8.3f %9zu %8.2f %8.2f %8.2f\n",
+                  static_cast<unsigned long long>(epoch.epoch), epoch.updates,
+                  epoch.touched, epoch.commit_ms, epoch.swap_ms,
+                  epoch.answered, epoch.p50_ms, epoch.p95_ms, epoch.p99_ms);
+    }
+  }
+  if (!args.csv) {
+    std::printf(
+        "# dynamic %s: %zu queries + %zu updates over %zu commits, "
+        "%zu/%zu answered in %.1f ms (%.0f q/s, workers=%d)%s\n",
+        result.method.c_str(), result.num_queries,
+        static_cast<std::size_t>(args.dynamic_updates), result.commits,
+        result.answered, result.num_queries, result.wall_seconds * 1e3,
+        result.throughput_qps, result.workers,
+        result.failed > 0    ? " — some FAILED"
+        : result.expired > 0 ? " — some expired"
+                             : "");
+  }
+  return result.failed > 0 ? 1 : 0;
+}
 
 // The --serve path: replay the query set as an open-loop arrival trace
 // through the micro-batching QueryService and report what an interactive
@@ -265,6 +369,19 @@ int RunWeighted(const CliArgs& args, std::vector<QueryPair> queries) {
                  args.method.c_str());
     return 1;
   }
+  for (const auto& q : queries) {
+    if (q.s >= graph->NumNodes() || q.t >= graph->NumNodes()) {
+      std::fprintf(stderr, "error: query (%u,%u) out of range (n=%u)\n", q.s,
+                   q.t, graph->NumNodes());
+      return 1;
+    }
+  }
+  if (args.dynamic) {
+    // RunDynamicWorkload constructs (and epoch-rebinds) its own
+    // estimator — building one here would duplicate the preprocessing.
+    return RunDynamicQueries<EdgeWeight>(*graph, canonical, options, queries,
+                                         args);
+  }
   auto estimator = CreateWeightedEstimator(canonical, *graph, options);
   if (!args.csv) {
     std::printf("# weighted graph: n=%u m=%llu W=%.3f (loaded in %.0f ms); "
@@ -273,13 +390,6 @@ int RunWeighted(const CliArgs& args, std::vector<QueryPair> queries) {
                 static_cast<unsigned long long>(graph->NumEdges()),
                 graph->TotalWeight(), load_timer.ElapsedMillis(),
                 estimator->Name().c_str(), options.epsilon);
-  }
-  for (const auto& q : queries) {
-    if (q.s >= graph->NumNodes() || q.t >= graph->NumNodes()) {
-      std::fprintf(stderr, "error: query (%u,%u) out of range (n=%u)\n", q.s,
-                   q.t, graph->NumNodes());
-      return 1;
-    }
   }
   if (args.serve) {
     return RunServedQueries(estimator.get(), queries, args);
@@ -328,7 +438,8 @@ int Usage(const char* argv0) {
                "          [--edges=N] [--stdin] [--stats] [--csv] [--list]\n"
                "          [--batch] [--threads=N] [--weighted]\n"
                "          [--serve] [--qps=F] [--linger-ms=F]\n"
-               "          [--batch-size=N] [--deadline-ms=F]\n",
+               "          [--batch-size=N] [--deadline-ms=F]\n"
+               "          [--dynamic] [--updates=N] [--commit-every=K]\n",
                argv0);
   return 2;
 }
@@ -441,6 +552,12 @@ int Run(const CliArgs& args) {
                  "error: %s is infeasible on this graph (memory budget)\n",
                  args.method.c_str());
     return 1;
+  }
+  if (args.dynamic) {
+    // RunDynamicWorkload constructs (and epoch-rebinds) its own
+    // estimator — building one here would duplicate the preprocessing.
+    return RunDynamicQueries<UnitWeight>(dataset->graph, args.method,
+                                         options, queries, args);
   }
   Timer build_timer;
   auto estimator = CreateEstimator(args.method, dataset->graph, options);
@@ -560,6 +677,14 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(v->c_str()));
     } else if (auto v = value("--deadline-ms")) {
       args.deadline_ms = std::atof(v->c_str());
+    } else if (auto v = value("--updates")) {
+      args.dynamic_updates = static_cast<std::size_t>(std::atoll(v->c_str()));
+      args.dynamic = true;
+    } else if (auto v = value("--commit-every")) {
+      args.commit_every = static_cast<std::size_t>(std::atoll(v->c_str()));
+      args.dynamic = true;
+    } else if (arg == "--dynamic") {
+      args.dynamic = true;
     } else if (arg == "--serve") {
       args.serve = true;
     } else if (arg == "--batch") {

@@ -18,9 +18,16 @@
 #
 # Pinned suite (fixed seeds, fixed workloads — comparable across PRs):
 #   bench_batch_shared     --csv --scale=0.1 --seed=1
-#   bench_serve_throughput --csv --scale=0.1 --seed=1 --rounds=2
+#   bench_serve_throughput --csv --scale=0.1 --seed=1 --rounds=8, run 3×
+#                          with per-series best-of (max qps, min p95) —
+#                          the short burst traces are scheduler-noise
+#                          dominated, and best-of is the stable signal
+#   bench_dyn_update       --csv --scale=0.1 --seed=1 --rounds=2
 #   bench_micro_estimators (google-benchmark; skipped when the system
 #                           libbenchmark is absent — builds stay offline)
+#
+# tools/check_bench.sh consumes consecutive BENCH files and gates CI on
+# throughput regressions.
 #
 # Output: a JSON array of {"method", "metric", "value", "threads"}
 # objects. Metric names are hierarchical ("serve/<dataset>/<mode>/
@@ -59,7 +66,8 @@ fi
 echo "== bench: configure + build (${BUILD_DIR}, Release) =="
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}" >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS" \
-    --target bench_batch_shared bench_serve_throughput >/dev/null
+    --target bench_batch_shared bench_serve_throughput bench_dyn_update \
+    >/dev/null
 HAVE_MICRO=0
 if cmake --build "$BUILD_DIR" -j "$JOBS" \
     --target bench_micro_estimators >/dev/null 2>&1; then
@@ -75,9 +83,31 @@ echo "== bench: batch_shared =="
 "$BUILD_DIR/bench_batch_shared" --csv --scale=0.1 --seed=1 \
     > "$TMP_DIR/batch_shared.csv"
 
-echo "== bench: serve_throughput (threads=${BENCH_THREADS}) =="
-"$BUILD_DIR/bench_serve_throughput" --csv --scale=0.1 --seed=1 --rounds=2 \
-    --threads="$BENCH_THREADS" > "$TMP_DIR/serve.csv"
+echo "== bench: serve_throughput (threads=${BENCH_THREADS}, best of 3) =="
+for rep in 1 2 3; do
+  "$BUILD_DIR/bench_serve_throughput" --csv --scale=0.1 --seed=1 --rounds=8 \
+      --threads="$BENCH_THREADS" > "$TMP_DIR/serve_rep${rep}.csv"
+done
+# Best-of per (method,dataset,eps,mode) series: max throughput (col 6),
+# min p95 (col 8). Only those two columns reach the BENCH file.
+awk -F, 'FNR == 1 { header = $0; next }
+  {
+    key = $1 FS $2 FS $3 FS $4
+    if (!(key in qps) || $6 + 0 > qps[key] + 0) qps[key] = $6
+    if (!(key in p95) || $8 + 0 < p95[key] + 0) p95[key] = $8
+    if (!(key in seen)) { order[++rows] = key; seen[key] = 1 }
+  }
+  END {
+    print header
+    for (r = 1; r <= rows; ++r) {
+      key = order[r]
+      printf "%s,0,%s,0,%s,0,0,0\n", key, qps[key], p95[key]
+    }
+  }' "$TMP_DIR"/serve_rep*.csv > "$TMP_DIR/serve.csv"
+
+echo "== bench: dyn_update =="
+"$BUILD_DIR/bench_dyn_update" --csv --scale=0.1 --seed=1 --rounds=2 \
+    > "$TMP_DIR/dyn.csv"
 
 if [[ "$HAVE_MICRO" == 1 ]]; then
   echo "== bench: micro_estimators (pinned subset) =="
@@ -107,6 +137,14 @@ awk -F, -v threads="$BENCH_THREADS" 'NR > 1 {
   printf "{\"method\": \"%s\", \"metric\": \"serve/%s/%s/p95_ms\", \"value\": %s, \"threads\": %s}\n",
          $1, $2, $4, $8, threads
 }' "$TMP_DIR/serve.csv" >> "$ENTRIES"
+
+# dyn_update: metric,dataset,param,value — commit vs rebuild timings and
+# session retention ("dyn/<dataset>/<param>/<metric>"). check_bench.sh
+# treats the speedup/retention series as higher-is-better.
+awk -F, 'NR > 1 {
+  printf "{\"method\": \"DYN\", \"metric\": \"dyn/%s/%s/%s\", \"value\": %s, \"threads\": 1}\n",
+         $2, $3, $1, $4
+}' "$TMP_DIR/dyn.csv" >> "$ENTRIES"
 
 # micro_estimators (google-benchmark CSV): name,iterations,real_time,
 # cpu_time,time_unit,...  Rows have the quoted bench name in column 1.
