@@ -1,5 +1,7 @@
 #include "core/exact.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace geer {
@@ -44,7 +46,48 @@ bool ExactEstimatorT<WP>::RebindGraph(const GraphT& graph,
     return BuildFactor(graph, max_nodes_);
   });
   graph_ = &graph;
+  // Columns are functions of the whole factorization: flush wholesale.
+  // Landmark columns re-warm lazily (pin-on-miss via is_landmark_).
+  if (session_ != nullptr) session_->Clear();
   return true;
+}
+
+template <WeightPolicy WP>
+Vector ExactEstimatorT<WP>::SolveColumn(NodeId node) const {
+  Vector b(graph_->NumNodes(), 0.0);
+  b[node] = 1.0;
+  // M⁻¹ e_node = L† e_node + 𝟙/n (M⁻¹𝟙 = 𝟙); the rank-one part cancels
+  // when two columns are differenced, so the combination is exact.
+  return factor_->Solve(b);
+}
+
+template <WeightPolicy WP>
+const Vector* ExactEstimatorT<WP>::ColumnFor(NodeId node, Vector* scratch) {
+  if (session_ == nullptr) {
+    *scratch = SolveColumn(node);
+    return scratch;
+  }
+  if (const Vector* hit = session_->Find(node)) return hit;
+  Vector col = SolveColumn(node);
+  const std::size_t bytes = col.size() * sizeof(double) + sizeof(Vector);
+  return session_->Insert(node, std::move(col), bytes, IsLandmark(node));
+}
+
+template <WeightPolicy WP>
+std::size_t ExactEstimatorT<WP>::WarmLandmarks(
+    std::span<const NodeId> landmarks) {
+  if (session_ == nullptr) EnableSessionCache();
+  is_landmark_.assign(graph_->NumNodes(), 0);
+  for (const NodeId lm : landmarks) {
+    GEER_CHECK(lm < graph_->NumNodes());
+    is_landmark_[lm] = 1;
+  }
+  Vector scratch;
+  for (const NodeId lm : landmarks) {
+    (void)ColumnFor(lm, &scratch);  // solve + pin (counts hit or miss)
+  }
+  session_->EvictOverBudget();
+  return landmarks.size();
 }
 
 template <WeightPolicy WP>
@@ -53,12 +96,16 @@ QueryStats ExactEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   GEER_CHECK(t < graph_->NumNodes());
   QueryStats stats;
   if (s == t) return stats;
-  Vector b(graph_->NumNodes(), 0.0);
-  b[s] = 1.0;
-  b[t] = -1.0;
-  // (e_s − e_t) ⊥ 𝟙, so M⁻¹ agrees with L† on it.
-  Vector x = factor_->Solve(b);
-  stats.value = x[s] - x[t];
+  const NodeId u = std::min(s, t);
+  const NodeId v = std::max(s, t);
+  Vector scratch_u;
+  Vector scratch_v;
+  const Vector* yu = ColumnFor(u, &scratch_u);
+  const Vector* yv = ColumnFor(v, &scratch_v);
+  // r(u,v) = (e_u − e_v)ᵀ M⁻¹ (e_u − e_v), combined column-wise in fixed
+  // canonical order — bitwise symmetric and cache-independent.
+  stats.value = ((*yu)[u] - (*yu)[v]) - ((*yv)[u] - (*yv)[v]);
+  if (session_ != nullptr) session_->EvictOverBudget();
   return stats;
 }
 

@@ -9,12 +9,14 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/epoch_shared.h"
 #include "core/estimator.h"
 #include "core/options.h"
 #include "graph/weight_policy.h"
 #include "linalg/cholesky.h"
+#include "util/lru_byte_cache.h"
 
 namespace geer {
 
@@ -34,13 +36,40 @@ class ExactEstimatorT : public ErEstimator {
   std::string Name() const override {
     return std::string(WP::kNamePrefix) + "EXACT";
   }
+
+  /// r(s, t) = (y_u[u] − y_u[v]) − (y_v[u] − y_v[v]) from the two solver
+  /// COLUMNS y_x = M⁻¹ e_x with (u, v) = (min, max): exact by linearity
+  /// (M⁻¹𝟙 = 𝟙, so the rank-one parts cancel in the difference), bitwise
+  /// symmetric in (s, t), and — because a column is a pure function of
+  /// its node — identical whether the columns come from the session
+  /// cache, a pinned landmark, or a direct solve.
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
   /// Batch workers share the O(n²) factorization — the only per-graph
-  /// state — instead of redoing the O(n³) setup per thread.
+  /// state — instead of redoing the O(n³) setup per thread. The clone's
+  /// column cache starts cold (per-worker, no sharing races).
   std::unique_ptr<ErEstimator> CloneForBatch() const override {
     return std::unique_ptr<ErEstimator>(new ExactEstimatorT<WP>(*this));
   }
+
+  /// Retains solver columns M⁻¹ e_v per node across queries. Values are
+  /// unchanged: the direct path combines the same two columns.
+  void EnableSessionCache(std::size_t budget_bytes = 0) override {
+    session_ = std::make_unique<LruByteCache<NodeId, Vector>>(
+        budget_bytes == 0 ? 64ull << 20 : budget_bytes);
+  }
+  void ClearSessionCache() override {
+    if (session_ != nullptr) session_->Clear();
+  }
+  bool SessionCacheEnabled() const override { return session_ != nullptr; }
+  CacheStats SessionCacheStats() const override {
+    return session_ != nullptr ? session_->stats() : CacheStats{};
+  }
+
+  /// Solves and pins the landmarks' columns in the session cache
+  /// (enabling it if off). Any (s, t) query combining a landmark column
+  /// is exact — not an approximation — by the linearity argument above.
+  std::size_t WarmLandmarks(std::span<const NodeId> landmarks) override;
 
   /// Dynamic-graph hook: the factorization depends on the WHOLE graph,
   /// so any epoch change invalidates it — but it is rebuilt exactly once
@@ -57,16 +86,32 @@ class ExactEstimatorT : public ErEstimator {
 
  private:
   // Clone constructor: adopts the shared factorization and its
-  // epoch-keyed holder.
-  ExactEstimatorT(const ExactEstimatorT& other) = default;
+  // epoch-keyed holder; the column cache and landmark set start empty
+  // (per-worker state).
+  ExactEstimatorT(const ExactEstimatorT& other)
+      : graph_(other.graph_),
+        max_nodes_(other.max_nodes_),
+        factor_(other.factor_),
+        shared_factor_(other.shared_factor_) {}
 
   static std::shared_ptr<const CholeskyFactor> BuildFactor(
       const GraphT& graph, NodeId max_nodes);
+
+  /// M⁻¹ e_node — from the session cache when enabled (inserting, and
+  /// pinning landmarks, on miss), else into `scratch`. The returned
+  /// pointer stays valid across one more ColumnFor call (list-backed).
+  const Vector* ColumnFor(NodeId node, Vector* scratch);
+  Vector SolveColumn(NodeId node) const;
+  bool IsLandmark(NodeId v) const {
+    return v < is_landmark_.size() && is_landmark_[v] != 0;
+  }
 
   const GraphT* graph_;
   NodeId max_nodes_ = 8192;
   std::shared_ptr<const CholeskyFactor> factor_;
   std::shared_ptr<EpochShared<CholeskyFactor>> shared_factor_;
+  std::unique_ptr<LruByteCache<NodeId, Vector>> session_;
+  std::vector<char> is_landmark_;
 };
 
 /// The two stacks, by their historical names.

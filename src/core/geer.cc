@@ -1,7 +1,9 @@
 #include "core/geer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
+#include <unordered_map>
 
 #include "core/amc.h"
 #include "core/ell.h"
@@ -50,42 +52,95 @@ template <WeightPolicy WP>
 QueryStats GeerEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   GEER_CHECK(s < graph_->NumNodes());
   GEER_CHECK(t < graph_->NumNodes());
-  return EstimateWithCache(s, t, nullptr);
+  // Canonical endpoint order: fixed accumulation order plus a canonical
+  // AMC stream seed make Estimate(s, t) ≡ Estimate(t, s) bitwise — the
+  // symmetry the node-keyed batch caches rely on.
+  const NodeId u = std::min(s, t);
+  const NodeId v = std::max(s, t);
+  return EstimateWithCache(u, v, nullptr, nullptr);
 }
 
 template <WeightPolicy WP>
 std::size_t GeerEstimatorT<WP>::EstimateBatch(
     std::span<const QueryPair> queries, std::span<QueryStats> stats,
     const BatchContext& context) {
-  // One iterate cache per same-source run — retained across calls when a
-  // session is enabled, rebuilt per run otherwise. Queries answer one at
-  // a time against it, so the deadline can cut inside a run.
-  return EstimateBySourceRuns(
-      queries, stats, context,
-      [this, &context](NodeId s, std::span<const QueryPair> run_queries,
-                       std::span<QueryStats> run_stats) -> std::size_t {
-        std::optional<SmmSourceCacheT<WP>> local;
-        SmmSourceCacheT<WP>* cache;
-        if (session_ != nullptr) {
-          cache = session_->CacheFor(s);
-        } else {
-          local.emplace(*graph_, &op_, s);
-          cache = &*local;
-        }
-        for (std::size_t k = 0; k < run_queries.size(); ++k) {
-          if (context.Cancelled()) return k;
-          const QueryPair& q = run_queries[k];
-          GEER_CHECK(q.t < graph_->NumNodes());
-          run_stats[k] = EstimateWithCache(q.s, q.t, cache);
-          context.ReportAnswered();
-        }
-        return run_queries.size();
-      });
+  GEER_CHECK(stats.size() >= queries.size());
+  // Node-keyed iterate pool shared by both query sides (see SMM's
+  // EstimateBatch — the structure is identical; GEER adds the per-query
+  // AMC tail, which carries no cross-query state).
+  std::optional<SmmSessionCacheT<WP>> local;
+  SmmSessionCacheT<WP>* pool = session_.get();
+  if (pool == nullptr) {
+    constexpr std::size_t kOneShotPoolBytes = 256ull << 20;
+    local.emplace(*graph_, &op_, kOneShotPoolBytes, /*deep_entries=*/true);
+    pool = &*local;
+  }
+  // Same admission rule as SMM's EstimateBatch: materialize a stream
+  // only for nodes that recur in this batch or are pinned landmarks;
+  // batch-singletons read resident streams (Lookup) or iterate
+  // privately — bit-identical either way.
+  std::unordered_map<NodeId, std::uint32_t> uses;
+  for (const QueryPair& q : queries) {
+    if (q.s == q.t) continue;
+    ++uses[q.s];
+    ++uses[q.t];
+  }
+  const auto stream_for = [&](NodeId node) -> SmmSourceCacheT<WP>* {
+    if (IsLandmark(node) || uses[node] > 1) {
+      return pool->CacheFor(node, IsLandmark(node));
+    }
+    return pool->Lookup(node);
+  };
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (context.Cancelled()) return i;
+    const QueryPair& q = queries[i];
+    GEER_CHECK(q.s < graph_->NumNodes());
+    GEER_CHECK(q.t < graph_->NumNodes());
+    if (q.s == q.t) {
+      stats[i] = QueryStats{};
+      context.ReportAnswered();
+      continue;
+    }
+    const NodeId u = std::min(q.s, q.t);
+    const NodeId v = std::max(q.s, q.t);
+    SmmSourceCacheT<WP>* u_cache = stream_for(u);
+    SmmSourceCacheT<WP>* v_cache = stream_for(v);
+    stats[i] = EstimateWithCache(u, v, u_cache, v_cache);
+    pool->Sweep({u, v});
+    context.ReportAnswered();
+  }
+  return queries.size();
+}
+
+template <WeightPolicy WP>
+std::size_t GeerEstimatorT<WP>::WarmLandmarks(
+    std::span<const NodeId> landmarks) {
+  if (session_ == nullptr) EnableSessionCache();
+  is_landmark_.assign(graph_->NumNodes(), 0);
+  for (const NodeId lm : landmarks) {
+    GEER_CHECK(lm < graph_->NumNodes());
+    is_landmark_[lm] = 1;
+  }
+  // The greedy rule stops SMM somewhere below ℓ; PengEll bounds every
+  // per-pair ℓ, so warming to it (capped by the entry depth) covers any
+  // ℓ_b a query can reach. Extra depth is never read — values are
+  // unaffected either way.
+  const std::uint32_t depth =
+      std::min(PengEll(options_.epsilon, lambda_, options_.max_ell),
+               session_->per_source_iterate_cap());
+  for (const NodeId lm : landmarks) {
+    SmmSourceCacheT<WP>* cache = session_->CacheFor(lm, /*pin=*/true);
+    std::uint64_t fresh = 0;
+    cache->EnsureIterations(depth, &fresh);
+    session_->Sweep({lm});
+  }
+  return landmarks.size();
 }
 
 template <WeightPolicy WP>
 QueryStats GeerEstimatorT<WP>::EstimateWithCache(
-    NodeId s, NodeId t, SmmSourceCacheT<WP>* s_cache) {
+    NodeId s, NodeId t, SmmSourceCacheT<WP>* s_cache,
+    SmmSourceCacheT<WP>* t_cache) {
   QueryStats stats;
   if (s == t) return stats;
 
@@ -102,7 +157,7 @@ QueryStats GeerEstimatorT<WP>::EstimateWithCache(
                                     options_.max_ell, options_.use_peng_ell);
 
   // Lines 2–9: SMM until the greedy rule (Eq. 17) fires or ℓ_b ≥ ℓ.
-  SmmIteratorT<WP> smm(*graph_, &op_, s, t, s_cache);
+  SmmIteratorT<WP> smm(*graph_, &op_, s, t, s_cache, t_cache);
   const bool fixed_lb = options_.geer_fixed_lb >= 0;
   const std::uint32_t lb_target =
       fixed_lb ? std::min<std::uint32_t>(

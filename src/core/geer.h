@@ -49,15 +49,16 @@ class GeerEstimatorT : public ErEstimator {
   }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
-  /// Shares the source-side SMM iterate sequence (the s-half of every
-  /// SpMV pair, via SmmSourceCacheT) across consecutive same-source
-  /// queries; the AMC tail still runs per query on its (seed, s, t)
-  /// stream, so batched values are bit-identical to serial ones.
+  /// Shares node-keyed SMM iterate sequences for BOTH query sides via an
+  /// SmmSessionCacheT pool (the session when enabled, a batch-local pool
+  /// otherwise); the AMC tail still runs per query on its canonical
+  /// (seed, min, max) stream, so batched values are bit-identical to
+  /// serial ones.
   std::size_t EstimateBatch(std::span<const QueryPair> queries,
                             std::span<QueryStats> stats,
                             const BatchContext& context = {}) override;
   BatchPlan PlanBatch(std::span<const QueryPair> queries) const override {
-    return BatchPlan::GroupBySource(queries);
+    return BatchPlan::GroupByEndpoint(queries);
   }
   bool SharesBatchWork() const override { return true; }
   std::unique_ptr<ErEstimator> CloneForBatch() const override {
@@ -78,10 +79,17 @@ class GeerEstimatorT : public ErEstimator {
     if (session_ != nullptr) session_->Clear();
   }
   bool SessionCacheEnabled() const override { return session_ != nullptr; }
+  CacheStats SessionCacheStats() const override {
+    return session_ != nullptr ? session_->stats() : CacheStats{};
+  }
+
+  /// Pins prebuilt SMM iterate streams for the landmarks in the session
+  /// cache (enabling it if off); the AMC tail is per query either way.
+  std::size_t WarmLandmarks(std::span<const NodeId> landmarks) override;
 
   /// Dynamic-graph hook: repoints at the new snapshot, rebuilds the
   /// transition operator and walk sampler, re-derives λ, and invalidates
-  /// the SMM session selectively (only sources whose iterate supports
+  /// the SMM session selectively (only entries whose iterate supports
   /// were touched; the AMC tail carries no cross-query state).
   using ErEstimator::RebindGraph;
   bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
@@ -96,7 +104,11 @@ class GeerEstimatorT : public ErEstimator {
 
  private:
   QueryStats EstimateWithCache(NodeId s, NodeId t,
-                               SmmSourceCacheT<WP>* s_cache);
+                               SmmSourceCacheT<WP>* s_cache,
+                               SmmSourceCacheT<WP>* t_cache);
+  bool IsLandmark(NodeId v) const {
+    return v < is_landmark_.size() && is_landmark_[v] != 0;
+  }
 
   const GraphT* graph_;
   ErOptions options_;
@@ -104,6 +116,7 @@ class GeerEstimatorT : public ErEstimator {
   TransitionOperatorT<WP> op_;
   WalkerFor<WP> walker_;
   std::unique_ptr<SmmSessionCacheT<WP>> session_;
+  std::vector<char> is_landmark_;
 };
 
 /// The two stacks, by their historical names.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <unordered_map>
 
 #include "core/ell.h"
 #include "util/check.h"
@@ -11,16 +12,26 @@ namespace geer {
 template <WeightPolicy WP>
 SmmSessionCacheT<WP>::SmmSessionCacheT(const GraphT& graph,
                                        TransitionOperatorT<WP>* op,
-                                       std::size_t budget_bytes)
-    : graph_(&graph), op_(op) {
+                                       std::size_t budget_bytes,
+                                       bool deep_entries)
+    : graph_(&graph), op_(op), cache_(budget_bytes) {
   constexpr std::size_t kDefaultBudgetBytes = 64ull << 20;
-  if (budget_bytes == 0) budget_bytes = kDefaultBudgetBytes;
+  if (budget_bytes == 0) {
+    budget_bytes = kDefaultBudgetBytes;
+    cache_.set_budget_bytes(budget_bytes);
+  }
+  // Depth cap per entry: the session splits its budget across
+  // kMaxSources resident streams; the one-shot pool instead grants each
+  // stream the historical standalone SmmSourceCacheT budget (~256 MB)
+  // so batch-local runs keep their depth.
+  constexpr std::uint64_t kDeepEntryBytes = 256ull << 20;
+  const std::uint64_t entry_budget =
+      deep_entries ? kDeepEntryBytes : budget_bytes / kMaxSources;
   const std::uint64_t per_iterate =
       static_cast<std::uint64_t>(graph.NumNodes()) * sizeof(double);
   const std::uint64_t derived =
-      (budget_bytes / kMaxSources) / std::max<std::uint64_t>(per_iterate, 1);
-  // Floor of 2 so there is always something to share (the one-shot
-  // SmmSourceCacheT applies the same floor against its own budget).
+      entry_budget / std::max<std::uint64_t>(per_iterate, 1);
+  // Floor of 2 so there is always something to share.
   per_source_cap_ = static_cast<std::uint32_t>(
       std::clamp<std::uint64_t>(derived, 2, 1u << 20));
 }
@@ -30,25 +41,31 @@ void SmmSessionCacheT<WP>::Rebind(const GraphT& graph,
                                   const GraphEpoch& epoch) {
   graph_ = &graph;
   if (epoch.resized) {
-    caches_.clear();  // dense iterates are sized to the old node count
+    cache_.Clear();  // dense iterates are sized to the old node count
     return;
   }
-  caches_.remove_if([&epoch](const SmmSourceCacheT<WP>& cache) {
+  cache_.EvictIf([&epoch](NodeId, const SmmSourceCacheT<WP>& cache) {
     return cache.DependsOn(epoch.touched);
   });
 }
 
 template <WeightPolicy WP>
-SmmSourceCacheT<WP>* SmmSessionCacheT<WP>::CacheFor(NodeId source) {
-  for (auto it = caches_.begin(); it != caches_.end(); ++it) {
-    if (it->source() == source) {
-      caches_.splice(caches_.begin(), caches_, it);  // bump to MRU
-      return &caches_.front();
+SmmSourceCacheT<WP>* SmmSessionCacheT<WP>::CacheFor(NodeId node, bool pin) {
+  SmmSourceCacheT<WP>* cache = cache_.GetOrCreate(node, [this, node] {
+    return SmmSourceCacheT<WP>(*graph_, op_, node, per_source_cap_);
+  });
+  if (pin) cache_.Pin(node);
+  return cache;
+}
+
+template <WeightPolicy WP>
+void SmmSessionCacheT<WP>::Sweep(std::initializer_list<NodeId> grown) {
+  for (const NodeId node : grown) {
+    if (const SmmSourceCacheT<WP>* cache = cache_.Peek(node)) {
+      cache_.SetBytes(node, cache->ApproxBytes());
     }
   }
-  if (caches_.size() >= kMaxSources) caches_.pop_back();
-  caches_.emplace_front(*graph_, op_, source, per_source_cap_);
-  return &caches_.front();
+  cache_.EvictOverBudget();
 }
 
 template <WeightPolicy WP>
@@ -113,8 +130,14 @@ void SmmSourceCacheT<WP>::EnsureIterations(std::uint32_t j,
 template <WeightPolicy WP>
 SmmIteratorT<WP>::SmmIteratorT(const GraphT& graph,
                                TransitionOperatorT<WP>* op, NodeId s,
-                               NodeId t, SmmSourceCacheT<WP>* s_cache)
-    : graph_(&graph), op_(op), s_(s), t_(t), s_cache_(s_cache) {
+                               NodeId t, SmmSourceCacheT<WP>* s_cache,
+                               SmmSourceCacheT<WP>* t_cache)
+    : graph_(&graph),
+      op_(op),
+      s_(s),
+      t_(t),
+      s_cache_(s_cache),
+      t_cache_(t_cache) {
   GEER_CHECK(s < graph.NumNodes());
   GEER_CHECK(t < graph.NumNodes());
   inv_ws_ = 1.0 / WP::NodeWeight(graph, s);
@@ -124,41 +147,53 @@ SmmIteratorT<WP>::SmmIteratorT(const GraphT& graph,
   } else {
     s_vec_.InitOneHot(s, graph);
   }
-  t_vec_.InitOneHot(t, graph);
+  if (t_cache_ != nullptr) {
+    GEER_CHECK_EQ(t_cache_->source(), t);
+  } else {
+    t_vec_.InitOneHot(t, graph);
+  }
   // i = 0 term of Eq. (4): p_0(s,s)/w(s) + p_0(t,t)/w(t)
   //                        − p_0(s,t)/w(s) − p_0(t,s)/w(t).
   const Vector& sv = svec();
-  rb_ = sv[s_] * inv_ws_ + t_vec_.values[t_] * inv_wt_ -
-        sv[t_] * inv_ws_ - t_vec_.values[s_] * inv_wt_;
+  const Vector& tv = tvec();
+  rb_ = sv[s_] * inv_ws_ + tv[t_] * inv_wt_ -
+        sv[t_] * inv_ws_ - tv[s_] * inv_wt_;
 }
 
 template <WeightPolicy WP>
-void SmmIteratorT<WP>::Advance() {
-  if (ReadsCache() &&
-      iterations_ + 1 > s_cache_->max_cached_iterations()) {
+void SmmIteratorT<WP>::AdvanceSide(SmmSourceCacheT<WP>* cache,
+                                   bool& spilled, SparseVector& vec) {
+  const bool reads_cache = cache != nullptr && !spilled;
+  if (reads_cache && iterations_ + 1 > cache->max_cached_iterations()) {
     // Past the cache's memory cap: continue on a private copy of the
     // boundary state. The copy is the exact live state a serial query
     // would hold at this depth, so the remaining iteration stays
     // bit-identical — it just stops being shared.
-    s_vec_ = s_cache_->BoundaryState();
-    spilled_ = true;
+    vec = cache->BoundaryState();
+    spilled = true;
   }
-  if (ReadsCache()) {
+  if (cache != nullptr && !spilled) {
     // Only freshly materialized cache steps cost anything — the point of
-    // same-source sharing. The cached vector is produced by the same
+    // node-keyed sharing. The cached vector is produced by the same
     // ApplyAuto sequence the uncached path runs, so rb stays
     // bit-identical.
     std::uint64_t fresh = 0;
-    s_cache_->EnsureIterations(iterations_ + 1, &fresh);
+    cache->EnsureIterations(iterations_ + 1, &fresh);
     spmv_ops_ += fresh;
   } else {
-    spmv_ops_ += op_->ApplyAuto(&s_vec_);
+    spmv_ops_ += op_->ApplyAuto(&vec);
   }
-  spmv_ops_ += op_->ApplyAuto(&t_vec_);
+}
+
+template <WeightPolicy WP>
+void SmmIteratorT<WP>::Advance() {
+  AdvanceSide(s_cache_, s_spilled_, s_vec_);
+  AdvanceSide(t_cache_, t_spilled_, t_vec_);
   ++iterations_;
   const Vector& sv = svec();
-  rb_ += sv[s_] * inv_ws_ + t_vec_.values[t_] * inv_wt_ -
-         sv[t_] * inv_ws_ - t_vec_.values[s_] * inv_wt_;
+  const Vector& tv = tvec();
+  rb_ += sv[s_] * inv_ws_ + tv[t_] * inv_wt_ -
+         sv[t_] * inv_ws_ - tv[s_] * inv_wt_;
 }
 
 template <WeightPolicy WP>
@@ -185,7 +220,8 @@ bool SmmEstimatorT<WP>::RebindGraph(const GraphT& graph,
 
 template <WeightPolicy WP>
 QueryStats SmmEstimatorT<WP>::EstimateWithCache(
-    NodeId s, NodeId t, SmmSourceCacheT<WP>* s_cache) {
+    NodeId s, NodeId t, SmmSourceCacheT<WP>* s_cache,
+    SmmSourceCacheT<WP>* t_cache) {
   QueryStats stats;
   if (s == t) return stats;
   const double ws = WP::NodeWeight(*graph_, s);
@@ -203,7 +239,7 @@ QueryStats SmmEstimatorT<WP>::EstimateWithCache(
     stats.truncated = EllWasTruncated(options_.epsilon, lambda_, ws, wt,
                                       options_.max_ell, /*use_peng=*/false);
   }
-  SmmIteratorT<WP> iter(*graph_, &op_, s, t, s_cache);
+  SmmIteratorT<WP> iter(*graph_, &op_, s, t, s_cache, t_cache);
   for (std::uint32_t i = 0; i < ell; ++i) iter.Advance();
   stats.value = iter.rb();
   stats.ell = ell;
@@ -216,37 +252,93 @@ template <WeightPolicy WP>
 QueryStats SmmEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   GEER_CHECK(s < graph_->NumNodes());
   GEER_CHECK(t < graph_->NumNodes());
-  return EstimateWithCache(s, t, nullptr);
+  // Canonical endpoint order with a fixed accumulation order makes
+  // Estimate(s, t) ≡ Estimate(t, s) bitwise — the symmetry the
+  // node-keyed batch caches rely on.
+  const NodeId u = std::min(s, t);
+  const NodeId v = std::max(s, t);
+  return EstimateWithCache(u, v, nullptr, nullptr);
 }
 
 template <WeightPolicy WP>
 std::size_t SmmEstimatorT<WP>::EstimateBatch(
     std::span<const QueryPair> queries, std::span<QueryStats> stats,
     const BatchContext& context) {
-  // One iterate cache per same-source run — retained across calls when a
-  // session is enabled, rebuilt per run otherwise. Queries answer one at
-  // a time against it, so the deadline can cut inside a run.
-  return EstimateBySourceRuns(
-      queries, stats, context,
-      [this, &context](NodeId s, std::span<const QueryPair> run_queries,
-                       std::span<QueryStats> run_stats) -> std::size_t {
-        std::optional<SmmSourceCacheT<WP>> local;
-        SmmSourceCacheT<WP>* cache;
-        if (session_ != nullptr) {
-          cache = session_->CacheFor(s);
-        } else {
-          local.emplace(*graph_, &op_, s);
-          cache = &*local;
-        }
-        for (std::size_t k = 0; k < run_queries.size(); ++k) {
-          if (context.Cancelled()) return k;
-          const QueryPair& q = run_queries[k];
-          GEER_CHECK(q.t < graph_->NumNodes());
-          run_stats[k] = EstimateWithCache(q.s, q.t, cache);
-          context.ReportAnswered();
-        }
-        return run_queries.size();
-      });
+  GEER_CHECK(stats.size() >= queries.size());
+  // Every endpoint's iterate stream lives in a node-keyed pool — the
+  // session when enabled, a batch-local pool otherwise — so both query
+  // sides reuse streams across the whole batch. The canonical (min, max)
+  // evaluation order matches the serial path bit-for-bit.
+  std::optional<SmmSessionCacheT<WP>> local;
+  SmmSessionCacheT<WP>* pool = session_.get();
+  if (pool == nullptr) {
+    constexpr std::size_t kOneShotPoolBytes = 256ull << 20;
+    local.emplace(*graph_, &op_, kOneShotPoolBytes, /*deep_entries=*/true);
+    pool = &*local;
+  }
+  // Admission: a cached stream materializes every iterate densely, which
+  // only pays off when the stream is read more than once. Create one for
+  // a node that recurs in this batch or is a pinned landmark; a
+  // batch-singleton endpoint reads a stream another batch left resident
+  // (Lookup) but iterates privately in place otherwise — both paths run
+  // the identical ApplyAuto sequence, so the answer never moves.
+  std::unordered_map<NodeId, std::uint32_t> uses;
+  for (const QueryPair& q : queries) {
+    if (q.s == q.t) continue;
+    ++uses[q.s];
+    ++uses[q.t];
+  }
+  const auto stream_for = [&](NodeId node) -> SmmSourceCacheT<WP>* {
+    if (IsLandmark(node) || uses[node] > 1) {
+      return pool->CacheFor(node, IsLandmark(node));
+    }
+    return pool->Lookup(node);
+  };
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (context.Cancelled()) return i;
+    const QueryPair& q = queries[i];
+    GEER_CHECK(q.s < graph_->NumNodes());
+    GEER_CHECK(q.t < graph_->NumNodes());
+    if (q.s == q.t) {
+      stats[i] = QueryStats{};
+      context.ReportAnswered();
+      continue;
+    }
+    const NodeId u = std::min(q.s, q.t);
+    const NodeId v = std::max(q.s, q.t);
+    SmmSourceCacheT<WP>* u_cache = stream_for(u);
+    SmmSourceCacheT<WP>* v_cache = stream_for(v);
+    stats[i] = EstimateWithCache(u, v, u_cache, v_cache);
+    pool->Sweep({u, v});
+    context.ReportAnswered();
+  }
+  return queries.size();
+}
+
+template <WeightPolicy WP>
+std::size_t SmmEstimatorT<WP>::WarmLandmarks(
+    std::span<const NodeId> landmarks) {
+  if (session_ == nullptr) EnableSessionCache();
+  is_landmark_.assign(graph_->NumNodes(), 0);
+  for (const NodeId lm : landmarks) {
+    GEER_CHECK(lm < graph_->NumNodes());
+    is_landmark_[lm] = 1;
+  }
+  // Warm to the depth a PengEll-budgeted query would iterate (the
+  // pair-independent bound; refined per-pair ℓ never exceeds it),
+  // clamped by the per-entry cap — deeper demands spill as usual.
+  std::uint32_t depth = options_.smm_iterations > 0
+                            ? options_.smm_iterations
+                            : PengEll(options_.epsilon, lambda_,
+                                      options_.max_ell);
+  depth = std::min(depth, session_->per_source_iterate_cap());
+  for (const NodeId lm : landmarks) {
+    SmmSourceCacheT<WP>* cache = session_->CacheFor(lm, /*pin=*/true);
+    std::uint64_t fresh = 0;
+    cache->EnsureIterations(depth, &fresh);
+    session_->Sweep({lm});
+  }
+  return landmarks.size();
 }
 
 template class SmmSourceCacheT<UnitWeight>;

@@ -11,17 +11,21 @@
 // its greedy stopping rule (Eq. 17) between steps and hand the live
 // iterates to AMC.
 //
-// Batching: the s-side iterate sequence {P^j e_s} is a pure function of
-// the source, so a same-source query group computes it once through an
-// SmmSourceCacheT and every query's s-side SpMV cost after the first is
-// free (the t-side still runs live per query). The cached vectors are
-// produced by the same ApplyAuto call sequence a serial query would run,
-// so batched values stay bit-identical to serial ones.
+// Batching: the iterate sequence {P^j e_x} is a pure function of the
+// node x, so EstimateBatch keys SmmSourceCacheT streams by node and
+// reuses them for the s- AND t-side of every query in the batch (and,
+// with a session enabled, across batches). Queries are evaluated in
+// canonical endpoint order (min, max) with a fixed accumulation order,
+// making Estimate(s, t) ≡ Estimate(t, s) bitwise — so one cached stream
+// serves a node regardless of which side of a query it appears on. The
+// cached vectors are produced by the same ApplyAuto call sequence a
+// serial query would run, so batched values stay bit-identical to
+// serial ones.
 
 #ifndef GEER_CORE_SMM_H_
 #define GEER_CORE_SMM_H_
 
-#include <list>
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <vector>
@@ -91,6 +95,11 @@ class SmmSourceCacheT {
   /// exactly zero to every cached iterate on both graphs).
   bool DependsOn(std::span<const NodeId> touched) const;
 
+  /// Resident dense-iterate bytes — the session pool's accounting unit.
+  std::size_t ApproxBytes() const {
+    return iterates_.size() * dep_mark_.size() * sizeof(double);
+  }
+
  private:
   /// Folds live_'s current support into the dependency marks.
   void AbsorbSupport();
@@ -105,58 +114,80 @@ class SmmSourceCacheT {
   bool dep_dense_ = false;      // an iterate stopped support tracking
 };
 
-/// A bounded pool of per-source iterate caches that persists across
-/// EstimateBatch calls — the cross-batch session state behind
-/// ErEstimator::EnableSessionCache for SMM and GEER. The serving layer's
-/// micro-batches revisit the same sources over and over; without a
-/// session each batch rebuilds the source's iterate sequence from
-/// scratch. Get-or-create with LRU eviction over sources; the byte
-/// budget is split across the source slots, capping each cache's
-/// iterate depth (queries that iterate deeper spill onto a private copy
-/// exactly as in the one-shot path, so retained state never changes
-/// answer values).
+/// A byte-budgeted pool of per-node iterate caches — the cross-batch
+/// session state behind ErEstimator::EnableSessionCache for SMM and
+/// GEER, and the batch-local sharing pool of one-shot EstimateBatch
+/// runs. Entries are keyed by NODE (not "source"): a query pulls the
+/// caches for both of its endpoints, so the serving layer's recurring
+/// endpoints hit warm streams regardless of query side. Admission and
+/// eviction run through the shared LruByteCache; landmark entries are
+/// pinned (budget-exempt) by WarmLandmarks. Retained state never
+/// changes answer values — deeper queries spill onto a private copy of
+/// the boundary state exactly as in the uncached path.
 template <WeightPolicy WP>
 class SmmSessionCacheT {
  public:
   using GraphT = typename WP::GraphT;
 
-  /// Most recently used sources retained per session.
+  /// Budget split used to derive each entry's iterate-depth cap: a
+  /// session sized for `budget_bytes` keeps kMaxSources streams of the
+  /// per-entry cap resident before the LRU starts evicting.
   static constexpr std::size_t kMaxSources = 8;
 
-  /// `budget_bytes` = 0 picks the 64 MB default.
+  /// `budget_bytes` = 0 picks the 64 MB default. With `deep_entries`
+  /// each entry caps its depth by the one-shot SmmSourceCacheT default
+  /// (~256 MB of iterates) instead of the session split — the
+  /// batch-local pool uses this so one-shot runs keep the historical
+  /// per-source depth.
   SmmSessionCacheT(const GraphT& graph, TransitionOperatorT<WP>* op,
-                   std::size_t budget_bytes = 0);
+                   std::size_t budget_bytes = 0, bool deep_entries = false);
   // The operator outlives the session; a temporary graph would dangle.
-  SmmSessionCacheT(GraphT&&, TransitionOperatorT<WP>*,
-                   std::size_t = 0) = delete;
+  SmmSessionCacheT(GraphT&&, TransitionOperatorT<WP>*, std::size_t = 0,
+                   bool = false) = delete;
 
-  /// The session's cache for `source`: the retained one (bumped to most
-  /// recently used) or a fresh one, evicting the least recently used
-  /// source beyond kMaxSources.
-  SmmSourceCacheT<WP>* CacheFor(NodeId source);
+  /// The pool's cache for `node`: the retained one (bumped to most
+  /// recently used, counted as a hit) or a fresh one (a miss). Never
+  /// evicts — a query holds both endpoints' pointers at once; call
+  /// Sweep() once they are released.
+  SmmSourceCacheT<WP>* CacheFor(NodeId node, bool pin = false);
 
-  /// Drops every retained source cache.
-  void Clear() { caches_.clear(); }
+  /// The retained cache for `node` if one is resident (bumped + counted
+  /// like CacheFor), nullptr otherwise — never creates. The admission
+  /// policy in SMM/GEER EstimateBatch uses this for batch-singleton
+  /// endpoints: a warm stream is free to read, but a one-off node is
+  /// not worth materializing a dense stream for.
+  SmmSourceCacheT<WP>* Lookup(NodeId node) { return cache_.Find(node); }
+
+  /// Re-records the grown entries' bytes and evicts LRU unpinned
+  /// entries over budget. Call between queries, with no CacheFor
+  /// pointers outstanding.
+  void Sweep(std::initializer_list<NodeId> grown);
+
+  /// Drops every retained cache (hit/miss counters persist).
+  void Clear() { cache_.Clear(); }
 
   /// Dynamic-epoch invalidation: repoints at the new snapshot and evicts
-  /// ONLY the source caches whose dependency set intersects
-  /// epoch.touched (all of them when the node count changed — the dense
-  /// iterate vectors are sized to the old n). Surviving caches answer
-  /// bit-identically on the new epoch; dyn_consistency_test enforces it.
+  /// ONLY the entries whose dependency set intersects epoch.touched —
+  /// pinned landmarks included; they re-warm lazily on next use — or
+  /// all of them when the node count changed (the dense iterate vectors
+  /// are sized to the old n). Surviving caches answer bit-identically
+  /// on the new epoch; dyn_consistency_test enforces it.
   void Rebind(const GraphT& graph, const GraphEpoch& epoch);
   void Rebind(GraphT&&, const GraphEpoch&) = delete;
 
-  std::size_t num_sources() const { return caches_.size(); }
+  std::size_t num_sources() const { return cache_.size(); }
 
-  /// Iterate-depth cap applied to each retained source cache
-  /// (budget_bytes split across kMaxSources slots).
+  /// Iterate-depth cap applied to each retained entry.
   std::uint32_t per_source_iterate_cap() const { return per_source_cap_; }
+
+  /// Hit/miss/byte counters (ServeMetrics feed).
+  CacheStats stats() const { return cache_.stats(); }
 
  private:
   const GraphT* graph_;
   TransitionOperatorT<WP>* op_;
   std::uint32_t per_source_cap_;
-  std::list<SmmSourceCacheT<WP>> caches_;  // front = most recently used
+  LruByteCache<NodeId, SmmSourceCacheT<WP>> cache_;
 };
 
 /// Step-at-a-time driver for Alg. 2 on a fixed query pair.
@@ -166,13 +197,17 @@ class SmmIteratorT {
   using GraphT = typename WP::GraphT;
 
   /// Positions the iterator at ℓ_b = 0 (the i=0 term is already folded
-  /// into rb()). Requires s ≠ t handled by the caller. When `s_cache` is
-  /// given (it must be for this s), the s-side iterates are read from it
-  /// — only freshly materialized cache steps charge spmv_ops().
+  /// into rb()). Requires s ≠ t handled by the caller. When `s_cache` /
+  /// `t_cache` are given (each must be for its node), that side's
+  /// iterates are read from the cache — only freshly materialized cache
+  /// steps charge spmv_ops(). Each side spills independently past its
+  /// cache's depth cap.
   SmmIteratorT(const GraphT& graph, TransitionOperatorT<WP>* op, NodeId s,
-               NodeId t, SmmSourceCacheT<WP>* s_cache = nullptr);
+               NodeId t, SmmSourceCacheT<WP>* s_cache = nullptr,
+               SmmSourceCacheT<WP>* t_cache = nullptr);
   // Stores a pointer to `graph`; a temporary would dangle.
   SmmIteratorT(GraphT&&, TransitionOperatorT<WP>*, NodeId, NodeId,
+               SmmSourceCacheT<WP>* = nullptr,
                SmmSourceCacheT<WP>* = nullptr) = delete;
 
   /// Truncated ER accumulated so far: r_{ℓb}(s, t).
@@ -187,10 +222,13 @@ class SmmIteratorT {
   /// Cost of the NEXT iteration under the paper's model:
   /// Σ_{v∈supp(s*)} d(v) + Σ_{v∈supp(t*)} d(v)  (Eq. 17 LHS).
   std::uint64_t NextIterationCost() const {
-    const std::uint64_t s_cost = ReadsCache()
+    const std::uint64_t s_cost = ReadsSCache()
                                      ? s_cache_->SupportCost(iterations_)
                                      : s_vec_.support_degree_sum;
-    return s_cost + t_vec_.support_degree_sum;
+    const std::uint64_t t_cost = ReadsTCache()
+                                     ? t_cache_->SupportCost(iterations_)
+                                     : t_vec_.support_degree_sum;
+    return s_cost + t_cost;
   }
 
   /// Performs one iteration: s* ← P s*, t* ← P t*, accumulates into rb.
@@ -198,13 +236,23 @@ class SmmIteratorT {
 
   /// Live iterates (s*(v) = p_{ℓb}(v, s), t*(v) = p_{ℓb}(v, t)).
   const Vector& svec() const {
-    return ReadsCache() ? s_cache_->Iterate(iterations_) : s_vec_.values;
+    return ReadsSCache() ? s_cache_->Iterate(iterations_) : s_vec_.values;
   }
-  const Vector& tvec() const { return t_vec_.values; }
+  const Vector& tvec() const {
+    return ReadsTCache() ? t_cache_->Iterate(iterations_) : t_vec_.values;
+  }
 
  private:
-  /// True while the s-side is served by the cache (not yet past its cap).
-  bool ReadsCache() const { return s_cache_ != nullptr && !spilled_; }
+  using SparseVector = typename TransitionOperatorT<WP>::SparseVector;
+
+  /// True while a side is served by its cache (not yet past the cap).
+  bool ReadsSCache() const { return s_cache_ != nullptr && !s_spilled_; }
+  bool ReadsTCache() const { return t_cache_ != nullptr && !t_spilled_; }
+
+  /// One side's ApplyAuto step — through the cache while it lasts, on
+  /// the private (possibly spilled) vector otherwise.
+  void AdvanceSide(SmmSourceCacheT<WP>* cache, bool& spilled,
+                   SparseVector& vec);
 
   const GraphT* graph_;
   TransitionOperatorT<WP>* op_;
@@ -213,9 +261,11 @@ class SmmIteratorT {
   double inv_ws_;
   double inv_wt_;
   SmmSourceCacheT<WP>* s_cache_;  // nullable; replaces s_vec_ when set
-  bool spilled_ = false;  // iterated past the cache cap on a private copy
-  typename TransitionOperatorT<WP>::SparseVector s_vec_;
-  typename TransitionOperatorT<WP>::SparseVector t_vec_;
+  SmmSourceCacheT<WP>* t_cache_;  // nullable; replaces t_vec_ when set
+  bool s_spilled_ = false;  // iterated past the cap on a private copy
+  bool t_spilled_ = false;
+  SparseVector s_vec_;
+  SparseVector t_vec_;
   double rb_ = 0.0;
   std::uint32_t iterations_ = 0;
   std::uint64_t spmv_ops_ = 0;
@@ -240,13 +290,14 @@ class SmmEstimatorT : public ErEstimator {
   }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
-  /// Shares the source-side iterate sequence across consecutive
-  /// same-source queries via SmmSourceCacheT.
+  /// Shares node-keyed iterate sequences across the batch for BOTH query
+  /// sides via an SmmSessionCacheT pool (the session when enabled, a
+  /// batch-local pool otherwise).
   std::size_t EstimateBatch(std::span<const QueryPair> queries,
                             std::span<QueryStats> stats,
                             const BatchContext& context = {}) override;
   BatchPlan PlanBatch(std::span<const QueryPair> queries) const override {
-    return BatchPlan::GroupBySource(queries);
+    return BatchPlan::GroupByEndpoint(queries);
   }
   bool SharesBatchWork() const override { return true; }
   std::unique_ptr<ErEstimator> CloneForBatch() const override {
@@ -265,10 +316,18 @@ class SmmEstimatorT : public ErEstimator {
     if (session_ != nullptr) session_->Clear();
   }
   bool SessionCacheEnabled() const override { return session_ != nullptr; }
+  CacheStats SessionCacheStats() const override {
+    return session_ != nullptr ? session_->stats() : CacheStats{};
+  }
+
+  /// Pins prebuilt iterate streams for the landmarks in the session
+  /// cache (enabling it if off) so queries touching a hub endpoint
+  /// start from a warm stream.
+  std::size_t WarmLandmarks(std::span<const NodeId> landmarks) override;
 
   /// Dynamic-graph hook: repoints at the new snapshot, rebuilds the
   /// transition operator, re-derives λ, and invalidates the session
-  /// selectively (only sources whose iterate supports were touched).
+  /// selectively (only entries whose iterate supports were touched).
   using ErEstimator::RebindGraph;
   bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
 
@@ -277,13 +336,18 @@ class SmmEstimatorT : public ErEstimator {
 
  private:
   QueryStats EstimateWithCache(NodeId s, NodeId t,
-                               SmmSourceCacheT<WP>* s_cache);
+                               SmmSourceCacheT<WP>* s_cache,
+                               SmmSourceCacheT<WP>* t_cache);
+  bool IsLandmark(NodeId v) const {
+    return v < is_landmark_.size() && is_landmark_[v] != 0;
+  }
 
   const GraphT* graph_;
   ErOptions options_;
   double lambda_;
   TransitionOperatorT<WP> op_;
   std::unique_ptr<SmmSessionCacheT<WP>> session_;
+  std::vector<char> is_landmark_;
 };
 
 /// The two stacks, by their historical names.

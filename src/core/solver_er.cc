@@ -1,5 +1,9 @@
 #include "core/solver_er.h"
 
+#include <algorithm>
+
+#include "util/check.h"
+
 namespace geer {
 namespace {
 
@@ -19,7 +23,8 @@ typename LaplacianSolverT<WP>::Options SolverOptionsFor(
 template <WeightPolicy WP>
 SolverEstimatorT<WP>::SolverEstimatorT(const GraphT& graph,
                                        ErOptions options)
-    : solver_(std::make_shared<const LaplacianSolverT<WP>>(
+    : graph_(&graph),
+      solver_(std::make_shared<const LaplacianSolverT<WP>>(
           graph, SolverOptionsFor<WP>(options))) {
   ValidateOptions(options);
   shared_solver_ =
@@ -35,15 +40,72 @@ bool SolverEstimatorT<WP>::RebindGraph(const GraphT& graph,
     return std::make_shared<const LaplacianSolverT<WP>>(
         graph, SolverOptionsFor<WP>(ErOptions{}));
   });
+  graph_ = &graph;
+  // Columns are solutions against the old Laplacian: flush wholesale.
+  // Landmark columns re-warm lazily (pin-on-miss via is_landmark_).
+  if (session_ != nullptr) session_->Clear();
   return true;
 }
 
 template <WeightPolicy WP>
-QueryStats SolverEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
-  QueryStats stats;
+typename SolverEstimatorT<WP>::Column SolverEstimatorT<WP>::SolveColumn(
+    NodeId node) const {
+  Vector b(graph_->NumNodes(), 0.0);
+  b[node] = 1.0;
+  Column col;
   CgStats cg;
-  stats.value = solver_->EffectiveResistance(s, t, &cg);
-  stats.truncated = !cg.converged && s != t;
+  // Solve() centers b onto 𝟙^⊥, so y = L† ê_node; the centering parts
+  // cancel when two columns are differenced.
+  col.y = solver_->Solve(b, &cg);
+  col.converged = cg.converged;
+  return col;
+}
+
+template <WeightPolicy WP>
+const typename SolverEstimatorT<WP>::Column* SolverEstimatorT<WP>::ColumnFor(
+    NodeId node, Column* scratch) {
+  if (session_ == nullptr) {
+    *scratch = SolveColumn(node);
+    return scratch;
+  }
+  if (const Column* hit = session_->Find(node)) return hit;
+  Column col = SolveColumn(node);
+  const std::size_t bytes = col.y.size() * sizeof(double) + sizeof(Column);
+  return session_->Insert(node, std::move(col), bytes, IsLandmark(node));
+}
+
+template <WeightPolicy WP>
+std::size_t SolverEstimatorT<WP>::WarmLandmarks(
+    std::span<const NodeId> landmarks) {
+  if (session_ == nullptr) EnableSessionCache();
+  is_landmark_.assign(graph_->NumNodes(), 0);
+  for (const NodeId lm : landmarks) {
+    GEER_CHECK(lm < graph_->NumNodes());
+    is_landmark_[lm] = 1;
+  }
+  Column scratch;
+  for (const NodeId lm : landmarks) {
+    (void)ColumnFor(lm, &scratch);  // solve + pin (counts hit or miss)
+  }
+  session_->EvictOverBudget();
+  return landmarks.size();
+}
+
+template <WeightPolicy WP>
+QueryStats SolverEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
+  GEER_CHECK(s < graph_->NumNodes());
+  GEER_CHECK(t < graph_->NumNodes());
+  QueryStats stats;
+  if (s == t) return stats;
+  const NodeId u = std::min(s, t);
+  const NodeId v = std::max(s, t);
+  Column scratch_u;
+  Column scratch_v;
+  const Column* yu = ColumnFor(u, &scratch_u);
+  const Column* yv = ColumnFor(v, &scratch_v);
+  stats.value = (yu->y[u] - yu->y[v]) - (yv->y[u] - yv->y[v]);
+  stats.truncated = !(yu->converged && yv->converged);
+  if (session_ != nullptr) session_->EvictOverBudget();
   return stats;
 }
 

@@ -8,12 +8,14 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/epoch_shared.h"
 #include "core/estimator.h"
 #include "core/options.h"
 #include "graph/weight_policy.h"
 #include "linalg/laplacian_solver.h"
+#include "util/lru_byte_cache.h"
 
 namespace geer {
 
@@ -29,26 +31,73 @@ class SolverEstimatorT : public ErEstimator {
   std::string Name() const override {
     return std::string(WP::kNamePrefix) + "CG";
   }
+
+  /// r(s, t) = (y_u[u] − y_u[v]) − (y_v[u] − y_v[v]) from the two CG
+  /// COLUMNS y_x = L† ê_x (the solver centers e_x onto 𝟙^⊥) with
+  /// (u, v) = (min, max): the centering parts cancel in the difference,
+  /// the combination is bitwise symmetric in (s, t), and — because a
+  /// column is a pure function of its node — identical whether the
+  /// columns come from the session cache, a pinned landmark, or a
+  /// direct solve.
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
   /// Batch workers share the solver (graph view + Jacobi preconditioner);
   /// Solve() is const and allocates per call, so sharing is race-free.
+  /// The clone's column cache starts cold (per-worker, no sharing races).
   std::unique_ptr<ErEstimator> CloneForBatch() const override {
     return std::unique_ptr<ErEstimator>(new SolverEstimatorT<WP>(*this));
   }
 
+  /// Retains CG solution columns L† ê_v per node across queries. Values
+  /// are unchanged: the direct path combines the same two columns.
+  void EnableSessionCache(std::size_t budget_bytes = 0) override {
+    session_ = std::make_unique<LruByteCache<NodeId, Column>>(
+        budget_bytes == 0 ? 64ull << 20 : budget_bytes);
+  }
+  void ClearSessionCache() override {
+    if (session_ != nullptr) session_->Clear();
+  }
+  bool SessionCacheEnabled() const override { return session_ != nullptr; }
+  CacheStats SessionCacheStats() const override {
+    return session_ != nullptr ? session_->stats() : CacheStats{};
+  }
+
+  /// Solves and pins the landmarks' columns in the session cache
+  /// (enabling it if off).
+  std::size_t WarmLandmarks(std::span<const NodeId> landmarks) override;
+
   /// Dynamic-graph hook: the solver's preconditioner depends on the
   /// whole graph, so any epoch change rebuilds it — once per epoch
-  /// across every clone sharing it (core/epoch_shared.h).
+  /// across every clone sharing it (core/epoch_shared.h) — and flushes
+  /// the per-worker column cache.
   using ErEstimator::RebindGraph;
   bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
 
  private:
-  // Clone constructor: adopts the shared solver and its epoch holder.
-  SolverEstimatorT(const SolverEstimatorT& other) = default;
+  /// One cached CG solve; `converged` feeds QueryStats::truncated.
+  struct Column {
+    Vector y;
+    bool converged = false;
+  };
 
+  // Clone constructor: adopts the shared solver and its epoch holder;
+  // the column cache and landmark set start empty (per-worker state).
+  SolverEstimatorT(const SolverEstimatorT& other)
+      : graph_(other.graph_),
+        solver_(other.solver_),
+        shared_solver_(other.shared_solver_) {}
+
+  const Column* ColumnFor(NodeId node, Column* scratch);
+  Column SolveColumn(NodeId node) const;
+  bool IsLandmark(NodeId v) const {
+    return v < is_landmark_.size() && is_landmark_[v] != 0;
+  }
+
+  const GraphT* graph_;
   std::shared_ptr<const LaplacianSolverT<WP>> solver_;
   std::shared_ptr<EpochShared<LaplacianSolverT<WP>>> shared_solver_;
+  std::unique_ptr<LruByteCache<NodeId, Column>> session_;
+  std::vector<char> is_landmark_;
 };
 
 /// The two stacks, by their historical names. The EdgeWeight

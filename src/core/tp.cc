@@ -14,6 +14,21 @@ namespace {
 // decorrelated from TPC's per-walk streams on the same seed and source).
 constexpr std::uint64_t kTpStreamTag = 0x5450u;  // "TP"
 
+// Stamps the walk schedule and the retained-byte estimate on a freshly
+// recorded population (shared by the session path and WarmLandmarks).
+template <typename Population>
+void FinalizePopulation(std::uint32_t ell, std::uint64_t eta,
+                        Population* rec) {
+  rec->ell = ell;
+  rec->eta = eta;
+  std::size_t bytes = sizeof(Population);
+  for (const auto& row : rec->hist) {
+    bytes += row.size() * sizeof(std::pair<NodeId, std::uint32_t>) +
+             sizeof(row);
+  }
+  rec->bytes = bytes;
+}
+
 }  // namespace
 
 template <WeightPolicy WP>
@@ -28,41 +43,24 @@ std::uint32_t TpSessionCacheT<WP>::NodePopulation::Count(std::uint32_t i,
 
 template <WeightPolicy WP>
 TpSessionCacheT<WP>::TpSessionCacheT(std::size_t budget_bytes)
-    : budget_(budget_bytes == 0 ? 64ull << 20 : budget_bytes) {}
+    : cache_(budget_bytes == 0 ? 64ull << 20 : budget_bytes) {}
 
 template <WeightPolicy WP>
 const typename TpSessionCacheT<WP>::NodePopulation*
 TpSessionCacheT<WP>::Find(NodeId node) {
-  const auto it = index_.find(node);
-  if (it == index_.end()) return nullptr;
-  lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
-  return &lru_.front();
+  return cache_.Find(node);
 }
 
 template <WeightPolicy WP>
-void TpSessionCacheT<WP>::Insert(NodePopulation pop) {
-  const auto it = index_.find(pop.node);
-  if (it != index_.end()) {
-    bytes_ -= it->second->bytes;
-    lru_.erase(it->second);
-    index_.erase(it);
-  }
-  if (pop.bytes > budget_) return;  // larger than the whole budget
-  bytes_ += pop.bytes;
-  lru_.push_front(std::move(pop));
-  index_[lru_.front().node] = lru_.begin();
-  while (bytes_ > budget_ && lru_.size() > 1) {
-    bytes_ -= lru_.back().bytes;
-    index_.erase(lru_.back().node);
-    lru_.pop_back();
-  }
-}
-
-template <WeightPolicy WP>
-void TpSessionCacheT<WP>::Clear() {
-  lru_.clear();
-  index_.clear();
-  bytes_ = 0;
+void TpSessionCacheT<WP>::Insert(NodePopulation pop, bool pinned) {
+  // Larger than the whole budget: admitting would only evict every other
+  // population and then be dropped itself next insert — skip admission
+  // entirely (pinned landmarks are budget-exempt, so they always enter).
+  if (!pinned && pop.bytes > cache_.budget_bytes()) return;
+  const NodeId node = pop.node;
+  const std::size_t bytes = pop.bytes;
+  cache_.Insert(node, std::move(pop), bytes, pinned);
+  cache_.EvictOverBudget();
 }
 
 template <WeightPolicy WP>
@@ -83,7 +81,9 @@ bool TpEstimatorT<WP>::RebindGraph(const GraphT& graph,
                 ? *epoch.lambda
                 : ComputeSpectralBoundsT<WP>(graph).lambda;
   // Conservative flush: populations do not track which rows their walks
-  // visited, and the new λ changes ℓ/η anyway.
+  // visited, and the new λ changes ℓ/η anyway. Landmark populations are
+  // re-warmed lazily: their pin-on-insert flag comes from is_landmark_,
+  // so the next query (or WarmLandmarks call) restores them.
   if (session_ != nullptr) session_->Clear();
   hist_count_.clear();
   return true;
@@ -134,25 +134,27 @@ void TpEstimatorT<WP>::SplatRow(
 }
 
 template <WeightPolicy WP>
-void TpEstimatorT<WP>::EstimateSourceGroup(NodeId s,
-                                           std::span<const QueryPair> queries,
-                                           std::span<QueryStats> stats) {
+void TpEstimatorT<WP>::EstimateKeyGroup(NodeId key,
+                                        std::span<const QueryPair> queries,
+                                        std::span<QueryStats> stats) {
   if (session_ != nullptr) {
-    EstimateSourceGroupSession(s, queries, stats);
+    EstimateKeyGroupSession(key, queries, stats);
   } else {
-    EstimateSourceGroupDirect(s, queries, stats);
+    EstimateKeyGroupDirect(key, queries, stats);
   }
 }
 
 // The original (session-less) hot loop: endpoint hits are counted with
-// per-node target chains during the walk pass — no histogram
-// maintenance on the per-walk path.
+// per-node chains during the walk pass — no histogram maintenance on the
+// per-walk path. `key` may be either endpoint of each query; per-length
+// terms accumulate in canonical (min, max) order so the value does not
+// depend on which.
 template <WeightPolicy WP>
-void TpEstimatorT<WP>::EstimateSourceGroupDirect(
-    NodeId s, std::span<const QueryPair> queries,
+void TpEstimatorT<WP>::EstimateKeyGroupDirect(
+    NodeId key, std::span<const QueryPair> queries,
     std::span<QueryStats> stats) {
   const NodeId n = graph_->NumNodes();
-  GEER_CHECK(s < n);
+  GEER_CHECK(key < n);
   const std::uint32_t ell =
       PengEll(options_.epsilon, lambda_, options_.max_ell);
   const bool truncated =
@@ -160,15 +162,17 @@ void TpEstimatorT<WP>::EstimateSourceGroupDirect(
                       /*use_peng=*/true);
   const std::uint64_t eta = WalksPerLength(ell);
   const double inv_eta = 1.0 / static_cast<double>(eta);
-  const double inv_ws = 1.0 / WP::NodeWeight(*graph_, s);
+  const double inv_wk = 1.0 / WP::NodeWeight(*graph_, key);
   const std::size_t m = queries.size();
 
   // Per-query live state; the i = 0 term of Eq. (4) seeds the estimate.
   struct QueryState {
     bool live = false;
-    double inv_wt = 0.0;
+    bool key_is_min = false;
+    NodeId other = 0;
+    double inv_wo = 0.0;
     double estimate = 0.0;
-    Rng rng_t{0};
+    Rng rng_o{0};
   };
   std::vector<QueryState> state(m);
   if (target_head_.size() != n) target_head_.assign(n, 0);
@@ -179,67 +183,80 @@ void TpEstimatorT<WP>::EstimateSourceGroupDirect(
     const QueryPair& q = queries[j];
     GEER_CHECK(q.s < n);
     GEER_CHECK(q.t < n);
-    GEER_CHECK_EQ(q.s, s);
+    GEER_CHECK(q.s == key || q.t == key);
     stats[j] = QueryStats{};
     if (q.s == q.t) continue;  // r(v, v) = 0, zero stats like serial
     QueryState& st = state[j];
     st.live = true;
-    st.inv_wt = 1.0 / WP::NodeWeight(*graph_, q.t);
-    st.estimate = inv_ws + st.inv_wt;
-    // The target side keeps the same per-source stream law as the shared
-    // side, so (t, x) queries elsewhere in the batch reuse nothing but
-    // stay bit-identical.
-    st.rng_t = Rng(MixSeed(MixSeed(options_.seed, kTpStreamTag), q.t));
+    st.other = q.s == key ? q.t : q.s;
+    st.key_is_min = key < st.other;
+    st.inv_wo = 1.0 / WP::NodeWeight(*graph_, st.other);
+    // i = 0 seed 1/w(u) + 1/w(v): FP addition is commutative bitwise, so
+    // no canonical branch is needed here.
+    st.estimate = inv_wk + st.inv_wo;
+    // The other side keeps the same per-node stream law as the shared
+    // side, so any query elsewhere in the batch touching this node reuses
+    // (or recomputes) the identical walks.
+    st.rng_o = Rng(MixSeed(MixSeed(options_.seed, kTpStreamTag), st.other));
     stats[j].ell = ell;
     stats[j].truncated = truncated;
-    // Chain query j under its target node for the shared counting pass.
-    target_next_[j] = target_head_[q.t];
-    target_head_[q.t] = static_cast<std::uint32_t>(j) + 1;
-    target_touched_.push_back(q.t);
+    // Chain query j under its other endpoint for the shared counting pass.
+    target_next_[j] = target_head_[st.other];
+    target_head_[st.other] = static_cast<std::uint32_t>(j) + 1;
+    target_touched_.push_back(st.other);
     if (first_live == m) first_live = j;
   }
   if (first_live == m) return;  // every query was s == t
 
-  Rng rng_s(MixSeed(MixSeed(options_.seed, kTpStreamTag), s));
-  QueryStats shared;  // source-side cost, charged to the first live query
-  std::vector<std::uint64_t> count_st(m, 0);
+  Rng rng_k(MixSeed(MixSeed(options_.seed, kTpStreamTag), key));
+  QueryStats shared;  // key-side cost, charged to the first live query
+  std::vector<std::uint64_t> count_ko(m, 0);
 
   for (std::uint32_t i = 1; i <= ell; ++i) {
-    // Source side once for the whole group: count walks ending at s and,
-    // through the target chains, at every live query's t.
-    std::uint64_t count_ss = 0;
-    std::fill(count_st.begin(), count_st.end(), 0);
+    // Key side once for the whole group: count walks ending at the key
+    // and, through the chains, at every live query's other endpoint.
+    std::uint64_t count_kk = 0;
+    std::fill(count_ko.begin(), count_ko.end(), 0);
     for (std::uint64_t k = 0; k < eta; ++k) {
-      const NodeId end = walker_.WalkEndpoint(s, i, rng_s);
-      if (end == s) ++count_ss;
+      const NodeId end = walker_.WalkEndpoint(key, i, rng_k);
+      if (end == key) ++count_kk;
       for (std::uint32_t idx = target_head_[end]; idx != 0;
            idx = target_next_[idx - 1]) {
-        ++count_st[idx - 1];
+        ++count_ko[idx - 1];
       }
     }
     shared.walks += eta;
     shared.walk_steps += eta * i;
 
-    // Target sides per query.
+    // Other sides per query.
     for (std::size_t j = 0; j < m; ++j) {
       QueryState& st = state[j];
       if (!st.live) continue;
-      const NodeId t = queries[j].t;
-      std::uint64_t count_tt = 0;
-      std::uint64_t count_ts = 0;
+      std::uint64_t count_oo = 0;
+      std::uint64_t count_ok = 0;
       for (std::uint64_t k = 0; k < eta; ++k) {
-        const NodeId end = walker_.WalkEndpoint(t, i, st.rng_t);
-        if (end == t) ++count_tt;
-        if (end == s) ++count_ts;
+        const NodeId end = walker_.WalkEndpoint(st.other, i, st.rng_o);
+        if (end == st.other) ++count_oo;
+        if (end == key) ++count_ok;
       }
       stats[j].walks += eta;
       stats[j].walk_steps += eta * i;
-      // Eq. (4) term for length i with the empirical probabilities.
-      st.estimate += (static_cast<double>(count_ss) * inv_ws +
-                      static_cast<double>(count_tt) * st.inv_wt -
-                      static_cast<double>(count_st[j]) * st.inv_wt -
-                      static_cast<double>(count_ts) * inv_ws) *
-                     inv_eta;
+      // Eq. (4) term for length i with the empirical probabilities, in
+      // canonical (u, v) = (min, max) accumulation order — the branch is
+      // what makes Estimate(s, t) ≡ Estimate(t, s) bitwise.
+      if (st.key_is_min) {
+        st.estimate += (static_cast<double>(count_kk) * inv_wk +
+                        static_cast<double>(count_oo) * st.inv_wo -
+                        static_cast<double>(count_ko[j]) * st.inv_wo -
+                        static_cast<double>(count_ok) * inv_wk) *
+                       inv_eta;
+      } else {
+        st.estimate += (static_cast<double>(count_oo) * st.inv_wo +
+                        static_cast<double>(count_kk) * inv_wk -
+                        static_cast<double>(count_ok) * inv_wk -
+                        static_cast<double>(count_ko[j]) * st.inv_wo) *
+                       inv_eta;
+      }
     }
   }
 
@@ -248,7 +265,7 @@ void TpEstimatorT<WP>::EstimateSourceGroupDirect(
   }
   stats[first_live].walks += shared.walks;
   stats[first_live].walk_steps += shared.walk_steps;
-  for (const NodeId t : target_touched_) target_head_[t] = 0;
+  for (const NodeId o : target_touched_) target_head_[o] = 0;
 }
 
 // The session path: counts come from the dense histogram scratch, fed
@@ -256,11 +273,11 @@ void TpEstimatorT<WP>::EstimateSourceGroupDirect(
 // splatting a retained population's row. Bit-identical to the direct
 // path — the counts are the same integers either way.
 template <WeightPolicy WP>
-void TpEstimatorT<WP>::EstimateSourceGroupSession(
-    NodeId s, std::span<const QueryPair> queries,
+void TpEstimatorT<WP>::EstimateKeyGroupSession(
+    NodeId key, std::span<const QueryPair> queries,
     std::span<QueryStats> stats) {
   const NodeId n = graph_->NumNodes();
-  GEER_CHECK(s < n);
+  GEER_CHECK(key < n);
   const std::uint32_t ell =
       PengEll(options_.epsilon, lambda_, options_.max_ell);
   const bool truncated =
@@ -268,7 +285,7 @@ void TpEstimatorT<WP>::EstimateSourceGroupSession(
                       /*use_peng=*/true);
   const std::uint64_t eta = WalksPerLength(ell);
   const double inv_eta = 1.0 / static_cast<double>(eta);
-  const double inv_ws = 1.0 / WP::NodeWeight(*graph_, s);
+  const double inv_wk = 1.0 / WP::NodeWeight(*graph_, key);
   const std::size_t m = queries.size();
   if (hist_count_.size() != n) {
     hist_count_.assign(n, 0);
@@ -278,12 +295,14 @@ void TpEstimatorT<WP>::EstimateSourceGroupSession(
   // Per-query live state; the i = 0 term of Eq. (4) seeds the estimate.
   struct QueryState {
     bool live = false;
-    double inv_wt = 0.0;
+    bool key_is_min = false;
+    NodeId other = 0;
+    double inv_wo = 0.0;
     double estimate = 0.0;
-    Rng rng_t{0};
-    const SessionPopulation* t_pop = nullptr;  // session hit for the target
-    SessionPopulation t_rec;                   // session recorder (miss)
-    bool record_t = false;
+    Rng rng_o{0};
+    const SessionPopulation* o_pop = nullptr;  // session hit, other side
+    SessionPopulation o_rec;                   // session recorder (miss)
+    bool record_o = false;
   };
   std::vector<QueryState> state(m);
   std::size_t first_live = m;
@@ -291,89 +310,103 @@ void TpEstimatorT<WP>::EstimateSourceGroupSession(
     const QueryPair& q = queries[j];
     GEER_CHECK(q.s < n);
     GEER_CHECK(q.t < n);
-    GEER_CHECK_EQ(q.s, s);
+    GEER_CHECK(q.s == key || q.t == key);
     stats[j] = QueryStats{};
     if (q.s == q.t) continue;  // r(v, v) = 0, zero stats like serial
     QueryState& st = state[j];
     st.live = true;
-    st.inv_wt = 1.0 / WP::NodeWeight(*graph_, q.t);
-    st.estimate = inv_ws + st.inv_wt;
-    // The target side keeps the same per-source stream law as the shared
-    // side, so one node's cached population serves both roles and stays
-    // bit-identical to the serial simulation.
-    st.rng_t = Rng(MixSeed(MixSeed(options_.seed, kTpStreamTag), q.t));
+    st.other = q.s == key ? q.t : q.s;
+    st.key_is_min = key < st.other;
+    st.inv_wo = 1.0 / WP::NodeWeight(*graph_, st.other);
+    // i = 0 seed 1/w(u) + 1/w(v): FP addition is commutative bitwise, so
+    // no canonical branch is needed here.
+    st.estimate = inv_wk + st.inv_wo;
+    // One node population law for both roles: a cached population serves
+    // as the shared key side of one group and the other side of another,
+    // bit-identical to the serial simulation either way.
+    st.rng_o = Rng(MixSeed(MixSeed(options_.seed, kTpStreamTag), st.other));
     stats[j].ell = ell;
     stats[j].truncated = truncated;
-    st.t_pop = session_->Find(q.t);
-    if (st.t_pop != nullptr) {
-      GEER_DCHECK(st.t_pop->ell == ell && st.t_pop->eta == eta);
+    st.o_pop = session_->Find(st.other);
+    if (st.o_pop != nullptr) {
+      GEER_DCHECK(st.o_pop->ell == ell && st.o_pop->eta == eta);
     } else {
-      st.record_t = true;
-      st.t_rec.node = q.t;
-      st.t_rec.hist.reserve(ell);
+      st.record_o = true;
+      st.o_rec.node = st.other;
+      st.o_rec.hist.reserve(ell);
     }
     if (first_live == m) first_live = j;
   }
   if (first_live == m) return;  // every query was s == t
 
-  const SessionPopulation* s_pop = session_->Find(s);
-  if (s_pop != nullptr) {
-    GEER_DCHECK(s_pop->ell == ell && s_pop->eta == eta);
+  const SessionPopulation* key_pop = session_->Find(key);
+  if (key_pop != nullptr) {
+    GEER_DCHECK(key_pop->ell == ell && key_pop->eta == eta);
   }
-  SessionPopulation s_rec;
-  const bool record_s = s_pop == nullptr;
-  if (record_s) {
-    s_rec.node = s;
-    s_rec.hist.reserve(ell);
+  SessionPopulation key_rec;
+  const bool record_key = key_pop == nullptr;
+  if (record_key) {
+    key_rec.node = key;
+    key_rec.hist.reserve(ell);
   }
 
-  Rng rng_s(MixSeed(MixSeed(options_.seed, kTpStreamTag), s));
-  QueryStats shared;  // source-side cost, charged to the first live query
-  std::vector<std::uint64_t> count_st(m, 0);
+  Rng rng_k(MixSeed(MixSeed(options_.seed, kTpStreamTag), key));
+  QueryStats shared;  // key-side cost, charged to the first live query
+  std::vector<std::uint64_t> count_ko(m, 0);
 
   for (std::uint32_t i = 1; i <= ell; ++i) {
-    // Source side once for the whole group: the endpoint histogram of
-    // the η length-i walks (simulated + recorded, or splatted from the
-    // retained population) answers p̂_i(·, s) for s itself and every
-    // live target. The dense scratch is reused by the target sides
-    // below, so every s-side count is extracted before they run.
-    if (s_pop == nullptr) {
-      SimulateLength(s, i, eta, rng_s, record_s ? &s_rec : nullptr);
+    // Key side once for the whole group: the endpoint histogram of the η
+    // length-i walks (simulated + recorded, or splatted from the
+    // retained population) answers p̂_i(·, key) for the key itself and
+    // every live other endpoint. The dense scratch is reused by the
+    // other sides below, so every key-side count is extracted before
+    // they run.
+    if (key_pop == nullptr) {
+      SimulateLength(key, i, eta, rng_k, record_key ? &key_rec : nullptr);
       shared.walks += eta;
       shared.walk_steps += eta * i;
     } else {
-      SplatRow(s_pop->hist[i - 1]);
+      SplatRow(key_pop->hist[i - 1]);
     }
-    const std::uint64_t count_ss = hist_count_[s];
+    const std::uint64_t count_kk = hist_count_[key];
     for (std::size_t j = 0; j < m; ++j) {
-      if (state[j].live) count_st[j] = hist_count_[queries[j].t];
+      if (state[j].live) count_ko[j] = hist_count_[state[j].other];
     }
 
-    // Target sides per query: a retained population answers its two
+    // Other sides per query: a retained population answers its two
     // lookups by row scan; a miss simulates (and records).
     for (std::size_t j = 0; j < m; ++j) {
       QueryState& st = state[j];
       if (!st.live) continue;
-      const NodeId t = queries[j].t;
-      std::uint64_t count_tt = 0;
-      std::uint64_t count_ts = 0;
-      if (st.t_pop != nullptr) {
-        count_tt = st.t_pop->Count(i, t);
-        count_ts = st.t_pop->Count(i, s);
+      std::uint64_t count_oo = 0;
+      std::uint64_t count_ok = 0;
+      if (st.o_pop != nullptr) {
+        count_oo = st.o_pop->Count(i, st.other);
+        count_ok = st.o_pop->Count(i, key);
       } else {
-        SimulateLength(t, i, eta, st.rng_t,
-                       st.record_t ? &st.t_rec : nullptr);
+        SimulateLength(st.other, i, eta, st.rng_o,
+                       st.record_o ? &st.o_rec : nullptr);
         stats[j].walks += eta;
         stats[j].walk_steps += eta * i;
-        count_tt = hist_count_[t];
-        count_ts = hist_count_[s];
+        count_oo = hist_count_[st.other];
+        count_ok = hist_count_[key];
       }
-      // Eq. (4) term for length i with the empirical probabilities.
-      st.estimate += (static_cast<double>(count_ss) * inv_ws +
-                      static_cast<double>(count_tt) * st.inv_wt -
-                      static_cast<double>(count_st[j]) * st.inv_wt -
-                      static_cast<double>(count_ts) * inv_ws) *
-                     inv_eta;
+      // Eq. (4) term for length i with the empirical probabilities, in
+      // canonical (u, v) = (min, max) accumulation order — the branch is
+      // what makes Estimate(s, t) ≡ Estimate(t, s) bitwise.
+      if (st.key_is_min) {
+        st.estimate += (static_cast<double>(count_kk) * inv_wk +
+                        static_cast<double>(count_oo) * st.inv_wo -
+                        static_cast<double>(count_ko[j]) * st.inv_wo -
+                        static_cast<double>(count_ok) * inv_wk) *
+                       inv_eta;
+      } else {
+        st.estimate += (static_cast<double>(count_oo) * st.inv_wo +
+                        static_cast<double>(count_kk) * inv_wk -
+                        static_cast<double>(count_ok) * inv_wk -
+                        static_cast<double>(count_ko[j]) * st.inv_wo) *
+                       inv_eta;
+      }
     }
   }
 
@@ -383,35 +416,63 @@ void TpEstimatorT<WP>::EstimateSourceGroupSession(
   stats[first_live].walks += shared.walks;
   stats[first_live].walk_steps += shared.walk_steps;
 
-  // Retain the populations built this group.
-  auto finalize = [ell, eta](SessionPopulation* rec) {
-    rec->ell = ell;
-    rec->eta = eta;
-    std::size_t bytes = sizeof(SessionPopulation);
-    for (const auto& row : rec->hist) {
-      bytes += row.size() * sizeof(std::pair<NodeId, std::uint32_t>) +
-               sizeof(row);
-    }
-    rec->bytes = bytes;
-  };
-  if (record_s) {
-    finalize(&s_rec);
-    session_->Insert(std::move(s_rec));
+  // Retain the populations built this group; landmark nodes are pinned
+  // on insert (the lazy re-warm after an epoch flush).
+  if (record_key) {
+    FinalizePopulation(ell, eta, &key_rec);
+    session_->Insert(std::move(key_rec), IsLandmark(key));
   }
   for (std::size_t j = 0; j < m; ++j) {
-    if (state[j].live && state[j].record_t) {
-      finalize(&state[j].t_rec);
-      session_->Insert(std::move(state[j].t_rec));
+    if (state[j].live && state[j].record_o) {
+      FinalizePopulation(ell, eta, &state[j].o_rec);
+      session_->Insert(std::move(state[j].o_rec),
+                       IsLandmark(state[j].other));
     }
   }
+}
+
+template <WeightPolicy WP>
+std::size_t TpEstimatorT<WP>::WarmLandmarks(
+    std::span<const NodeId> landmarks) {
+  if (session_ == nullptr) EnableSessionCache();
+  const NodeId n = graph_->NumNodes();
+  is_landmark_.assign(n, 0);
+  for (const NodeId lm : landmarks) {
+    GEER_CHECK(lm < n);
+    is_landmark_[lm] = 1;
+  }
+  const std::uint32_t ell =
+      PengEll(options_.epsilon, lambda_, options_.max_ell);
+  const std::uint64_t eta = WalksPerLength(ell);
+  if (hist_count_.size() != n) {
+    hist_count_.assign(n, 0);
+    hist_touched_.clear();
+  }
+  for (const NodeId lm : landmarks) {
+    // Find counts a hit or a miss — warming is part of the cache trace.
+    if (session_->Find(lm) != nullptr) {
+      session_->Pin(lm);
+      continue;
+    }
+    SessionPopulation rec;
+    rec.node = lm;
+    rec.hist.reserve(ell);
+    Rng rng(MixSeed(MixSeed(options_.seed, kTpStreamTag), lm));
+    for (std::uint32_t i = 1; i <= ell; ++i) {
+      SimulateLength(lm, i, eta, rng, &rec);
+    }
+    FinalizePopulation(ell, eta, &rec);
+    session_->Insert(std::move(rec), /*pinned=*/true);
+  }
+  return landmarks.size();
 }
 
 template <WeightPolicy WP>
 QueryStats TpEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   const QueryPair query{s, t};
   QueryStats stats;
-  EstimateSourceGroup(s, std::span<const QueryPair>(&query, 1),
-                      std::span<QueryStats>(&stats, 1));
+  EstimateKeyGroup(s, std::span<const QueryPair>(&query, 1),
+                   std::span<QueryStats>(&stats, 1));
   return stats;
 }
 
@@ -420,12 +481,12 @@ std::size_t TpEstimatorT<WP>::EstimateBatch(
     std::span<const QueryPair> queries, std::span<QueryStats> stats,
     const BatchContext& context) {
   // Groups are answered in lockstep, so a run is all-or-nothing — the
-  // deadline's cut granularity is one same-source group.
-  return EstimateBySourceRuns(
+  // deadline's cut granularity is one shared-endpoint group.
+  return EstimateByEndpointRuns(
       queries, stats, context,
-      [this, &context](NodeId s, std::span<const QueryPair> run_queries,
+      [this, &context](NodeId key, std::span<const QueryPair> run_queries,
                        std::span<QueryStats> run_stats) {
-        EstimateSourceGroup(s, run_queries, run_stats);
+        EstimateKeyGroup(key, run_queries, run_stats);
         context.ReportAnswered(run_queries.size());
         return run_queries.size();
       });

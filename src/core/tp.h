@@ -9,24 +9,24 @@
 // EXPERIMENTS.md).
 //
 // Batching: each endpoint's walks come from a content-addressed stream
-// seeded by (seed, source) — not (seed, s, t) — and the walk schedule
+// seeded by (seed, node) — not (seed, s, t) — and the walk schedule
 // (ℓ and the per-length count η depend only on ε, δ, λ) is
 // query-independent. A query's value is therefore a pure function of
-// (seed, s, t), and a same-source query group can simulate the shared
-// source's walks ONCE per length, counting endpoint hits for every
-// target in the group in the same pass — the per-query walk cost halves
-// and the saved half is shared by the whole group. EstimateBatch does
-// exactly that; serial Estimate is the one-query instance of the same
-// code path, so batched values are bit-identical to serial ones.
+// its endpoint SET: per-length terms are accumulated in canonical
+// (min, max) order, so Estimate(s, t) ≡ Estimate(t, s) bitwise. A query
+// group keyed by EITHER shared endpoint simulates the key's walks ONCE
+// per length, counting endpoint hits for every query's other side in
+// the same pass — the per-query walk cost halves and the saved half is
+// shared by the whole group. EstimateBatch does exactly that; serial
+// Estimate is the one-query instance of the same code path, so batched
+// values are bit-identical to serial ones.
 
 #ifndef GEER_CORE_TP_H_
 #define GEER_CORE_TP_H_
 
 #include <cstddef>
-#include <list>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -34,6 +34,7 @@
 #include "core/options.h"
 #include "graph/weight_policy.h"
 #include "rw/walker_policy.h"
+#include "util/lru_byte_cache.h"
 
 namespace geer {
 
@@ -45,7 +46,8 @@ namespace geer {
 /// answers every count lookup (p̂_i(v, s), p̂_i(v, t)) from the histogram
 /// without simulating a single walk; values stay bit-identical because
 /// the counts are exactly what the serial simulation would produce.
-/// LRU over nodes under a byte budget.
+/// LRU over nodes under a byte budget (LruByteCache admission layer;
+/// pinned landmark populations are exempt from eviction).
 template <WeightPolicy WP>
 class TpSessionCacheT {
  public:
@@ -68,25 +70,27 @@ class TpSessionCacheT {
   explicit TpSessionCacheT(std::size_t budget_bytes);
 
   /// The retained population for `node` (bumped to most recently used),
-  /// or nullptr. The caller checks ell/η compatibility.
+  /// or nullptr. Counts a cache hit or miss. The caller checks ell/η
+  /// compatibility.
   const NodePopulation* Find(NodeId node);
 
   /// Retains `pop` (replacing any entry for the same node), evicting
-  /// least-recently-used populations beyond the byte budget.
-  void Insert(NodePopulation pop);
+  /// least-recently-used unpinned populations beyond the byte budget.
+  /// Pinned populations (landmarks) are exempt from both the admission
+  /// size check and eviction.
+  void Insert(NodePopulation pop, bool pinned = false);
 
-  void Clear();
+  /// Marks an existing node's population as pinned (no-op when absent).
+  void Pin(NodeId node) { cache_.Pin(node); }
 
-  std::size_t num_nodes_retained() const { return lru_.size(); }
-  std::size_t bytes_retained() const { return bytes_; }
+  void Clear() { cache_.Clear(); }
+
+  std::size_t num_nodes_retained() const { return cache_.size(); }
+  std::size_t bytes_retained() const { return cache_.bytes(); }
+  CacheStats stats() const { return cache_.stats(); }
 
  private:
-  std::size_t budget_;
-  std::size_t bytes_ = 0;
-  std::list<NodePopulation> lru_;  // front = most recently used
-  // O(1) node → list-entry lookup (splice keeps iterators valid).
-  std::unordered_map<NodeId, typename std::list<NodePopulation>::iterator>
-      index_;
+  LruByteCache<NodeId, NodePopulation> cache_;
 };
 
 template <WeightPolicy WP>
@@ -103,13 +107,13 @@ class TpEstimatorT : public ErEstimator {
   }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
-  /// Shares the source-side walk populations across consecutive
-  /// same-source queries (see the header comment).
+  /// Shares the key-side walk populations across consecutive queries
+  /// with a common endpoint — on EITHER side (see the header comment).
   std::size_t EstimateBatch(std::span<const QueryPair> queries,
                             std::span<QueryStats> stats,
                             const BatchContext& context = {}) override;
   BatchPlan PlanBatch(std::span<const QueryPair> queries) const override {
-    return BatchPlan::GroupBySource(queries);
+    return BatchPlan::GroupByEndpoint(queries);
   }
   bool SharesBatchWork() const override { return true; }
   std::unique_ptr<ErEstimator> CloneForBatch() const override {
@@ -128,6 +132,16 @@ class TpEstimatorT : public ErEstimator {
     if (session_ != nullptr) session_->Clear();
   }
   bool SessionCacheEnabled() const override { return session_ != nullptr; }
+  CacheStats SessionCacheStats() const override {
+    return session_ != nullptr ? session_->stats() : CacheStats{};
+  }
+
+  /// Pins full walk populations for the landmarks in the session cache
+  /// (enabling it if off): ℓ = PengEll, η = WalksPerLength(ℓ), so a
+  /// pinned population answers any query's count lookups. Values are
+  /// unchanged — the population is exactly what serial simulation of the
+  /// landmark's stream produces.
+  std::size_t WarmLandmarks(std::span<const NodeId> landmarks) override;
 
   /// Dynamic-graph hook: repoints at the new snapshot, rebuilds the walk
   /// sampler, re-derives λ, and flushes the session wholesale — walk
@@ -144,19 +158,24 @@ class TpEstimatorT : public ErEstimator {
  private:
   using SessionPopulation = typename TpSessionCacheT<WP>::NodePopulation;
 
-  /// Answers a run of same-source queries in lockstep over the walk
-  /// length i, simulating the shared source's η walks once per length.
-  /// Shared-side cost is charged to the first live query of the run.
-  /// Dispatches to the direct path (no session: chain-counted, the
+  /// Answers a run of queries sharing endpoint `key` (on either side) in
+  /// lockstep over the walk length i, simulating the key's η walks once
+  /// per length. Per-length terms accumulate in canonical (min, max)
+  /// endpoint order, so the value is independent of which endpoint is
+  /// the key. Shared-side cost is charged to the first live query of the
+  /// run. Dispatches to the direct path (no session: chain-counted, the
   /// original hot loop) or the session path (histogram-backed hits and
   /// recording).
-  void EstimateSourceGroup(NodeId s, std::span<const QueryPair> queries,
-                           std::span<QueryStats> stats);
-  void EstimateSourceGroupDirect(NodeId s, std::span<const QueryPair> queries,
-                                 std::span<QueryStats> stats);
-  void EstimateSourceGroupSession(NodeId s,
-                                  std::span<const QueryPair> queries,
-                                  std::span<QueryStats> stats);
+  void EstimateKeyGroup(NodeId key, std::span<const QueryPair> queries,
+                        std::span<QueryStats> stats);
+  void EstimateKeyGroupDirect(NodeId key, std::span<const QueryPair> queries,
+                              std::span<QueryStats> stats);
+  void EstimateKeyGroupSession(NodeId key,
+                               std::span<const QueryPair> queries,
+                               std::span<QueryStats> stats);
+  bool IsLandmark(NodeId v) const {
+    return v < is_landmark_.size() && is_landmark_[v] != 0;
+  }
 
   /// Session path: resets the dense histogram scratch, then either
   /// simulates the η length-i walks of `node` (appending the compacted
@@ -182,6 +201,7 @@ class TpEstimatorT : public ErEstimator {
   // from a retained row) and doubles as the session recorder.
   std::vector<std::uint32_t> hist_count_;
   std::vector<NodeId> hist_touched_;
+  std::vector<char> is_landmark_;
 };
 
 /// The two stacks, by their historical names.

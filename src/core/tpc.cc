@@ -17,30 +17,27 @@ constexpr std::uint64_t kTpcStreamTag = 0x545043u;  // "TPC"
 
 template <WeightPolicy WP>
 TpcSessionCacheT<WP>::TpcSessionCacheT(std::size_t budget_bytes)
-    : budget_(budget_bytes == 0 ? 64ull << 20 : budget_bytes) {}
+    : cache_(budget_bytes == 0 ? 64ull << 20 : budget_bytes) {}
 
 template <WeightPolicy WP>
 typename TpcSessionCacheT<WP>::Population*
 TpcSessionCacheT<WP>::GetOrCreate(NodeId node, std::uint64_t side,
-                                  std::uint64_t stream_base) {
-  const auto it = index_.find(Key(node, side));
-  if (it != index_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
-    return &lru_.front();
-  }
-  lru_.emplace_front();
-  Population& pop = lru_.front();
-  pop.node = node;
-  pop.side = side;
-  pop.stream_base = stream_base;
-  index_[Key(node, side)] = lru_.begin();
-  return &pop;
+                                  std::uint64_t stream_base, bool pinned) {
+  const std::uint64_t key = Key(node, side);
+  Population* pop = cache_.GetOrCreate(key, [&] {
+    Population fresh;
+    fresh.node = node;
+    fresh.side = side;
+    fresh.stream_base = stream_base;
+    return fresh;
+  });
+  if (pinned) cache_.Pin(key);
+  return pop;
 }
 
 template <WeightPolicy WP>
 void TpcSessionCacheT<WP>::Reaccount(std::span<Population* const> grown) {
   for (Population* pop : grown) {
-    bytes_ -= pop->bytes;
     std::size_t bytes = sizeof(Population);
     for (const auto& row : pop->ends_at) {
       bytes += row.size() * sizeof(NodeId) + sizeof(row);
@@ -48,23 +45,9 @@ void TpcSessionCacheT<WP>::Reaccount(std::span<Population* const> grown) {
     bytes += pop->rngs.size() * sizeof(Rng);
     bytes += pop->cur_len.size() * sizeof(std::uint32_t);
     pop->bytes = bytes;
-    bytes_ += bytes;
+    cache_.SetBytes(Key(pop->node, pop->side), bytes);
   }
-  while (bytes_ > budget_ && lru_.size() > 1) {
-    bytes_ -= lru_.back().bytes;
-    index_.erase(Key(lru_.back().node, lru_.back().side));
-    lru_.pop_back();
-  }
-  if (bytes_ > budget_ && !lru_.empty() && lru_.front().bytes > budget_) {
-    Clear();  // a single population larger than the whole budget
-  }
-}
-
-template <WeightPolicy WP>
-void TpcSessionCacheT<WP>::Clear() {
-  lru_.clear();
-  index_.clear();
-  bytes_ = 0;
+  cache_.EvictOverBudget();
 }
 
 template <WeightPolicy WP>
@@ -267,52 +250,59 @@ double TpcEstimatorT<WP>::Collide(std::span<const NodeId> a_ends,
 }
 
 template <WeightPolicy WP>
-void TpcEstimatorT<WP>::EstimateSourceGroup(
-    NodeId s, std::span<const QueryPair> queries,
-    std::span<QueryStats> stats) {
+std::uint64_t TpcEstimatorT<WP>::StreamBase(NodeId node,
+                                            std::uint64_t side) const {
+  return MixSeed(MixSeed(MixSeed(options_.seed, kTpcStreamTag), node),
+                 side);
+}
+
+template <WeightPolicy WP>
+void TpcEstimatorT<WP>::EstimateKeyGroup(NodeId key,
+                                         std::span<const QueryPair> queries,
+                                         std::span<QueryStats> stats) {
   const NodeId n = graph_->NumNodes();
-  GEER_CHECK(s < n);
+  GEER_CHECK(key < n);
   const std::uint32_t ell =
       PengEll(options_.epsilon, lambda_, options_.max_ell);
   const bool truncated =
       EllWasTruncated(options_.epsilon, lambda_, 1, 1, options_.max_ell,
                       /*use_peng=*/true);
-  const double inv_ws = 1.0 / WP::NodeWeight(*graph_, s);
+  const double inv_wk = 1.0 / WP::NodeWeight(*graph_, key);
   const std::size_t m = queries.size();
   const bool use_session = session_ != nullptr;
 
-  // Shared source-side populations (A at ⌈i/2⌉, B at ⌊i/2⌋) and the
-  // per-query target-side populations; A and B never mix, so every
+  // Shared key-side populations (A at ⌈i/2⌉, B at ⌊i/2⌋) and the
+  // per-query other-side populations; A and B never mix, so every
   // per-length collision pairs two independent populations. With a
   // session enabled the populations live in the session cache (endpoint
   // snapshots per length, reusable next batch); otherwise they are
   // group-local with endpoints in place.
-  auto stream_base = [this](NodeId node, std::uint64_t side) {
-    return MixSeed(MixSeed(MixSeed(options_.seed, kTpcStreamTag), node),
-                   side);
-  };
-  Population a_s_local;
-  Population b_s_local;
-  PopHandle a_s;
-  PopHandle b_s;
+  Population a_k_local;
+  Population b_k_local;
+  PopHandle a_k;
+  PopHandle b_k;
   std::vector<SessionPopulation*> used;  // for post-group re-accounting
   if (use_session) {
     used.reserve(2 + 2 * m);
-    a_s.session = session_->GetOrCreate(s, 0, stream_base(s, 0));
-    b_s.session = session_->GetOrCreate(s, 1, stream_base(s, 1));
-    used.push_back(a_s.session);
-    used.push_back(b_s.session);
+    a_k.session =
+        session_->GetOrCreate(key, 0, StreamBase(key, 0), IsLandmark(key));
+    b_k.session =
+        session_->GetOrCreate(key, 1, StreamBase(key, 1), IsLandmark(key));
+    used.push_back(a_k.session);
+    used.push_back(b_k.session);
   } else {
-    a_s_local = MakePopulation(s, 0);
-    b_s_local = MakePopulation(s, 1);
-    a_s.local = &a_s_local;
-    b_s.local = &b_s_local;
+    a_k_local = MakePopulation(key, 0);
+    b_k_local = MakePopulation(key, 1);
+    a_k.local = &a_k_local;
+    b_k.local = &b_k_local;
   }
   struct QueryState {
     bool live = false;
+    bool key_is_min = false;
+    NodeId other = 0;
     double estimate = 0.0;
-    Population a_t_local, b_t_local;
-    PopHandle a_t, b_t;
+    Population a_o_local, b_o_local;
+    PopHandle a_o, b_o;
   };
   std::vector<QueryState> state(m);
   std::size_t first_live = m;
@@ -320,22 +310,29 @@ void TpcEstimatorT<WP>::EstimateSourceGroup(
     const QueryPair& q = queries[j];
     GEER_CHECK(q.s < n);
     GEER_CHECK(q.t < n);
-    GEER_CHECK_EQ(q.s, s);
+    GEER_CHECK(q.s == key || q.t == key);
     stats[j] = QueryStats{};
     if (q.s == q.t) continue;  // r(v, v) = 0, zero stats like serial
     QueryState& st = state[j];
     st.live = true;
-    st.estimate = inv_ws + 1.0 / WP::NodeWeight(*graph_, q.t);  // i = 0
+    st.other = q.s == key ? q.t : q.s;
+    st.key_is_min = key < st.other;
+    // i = 0 seed 1/w(u) + 1/w(v): FP addition is commutative bitwise.
+    st.estimate = inv_wk + 1.0 / WP::NodeWeight(*graph_, st.other);
     if (use_session) {
-      st.a_t.session = session_->GetOrCreate(q.t, 0, stream_base(q.t, 0));
-      st.b_t.session = session_->GetOrCreate(q.t, 1, stream_base(q.t, 1));
-      used.push_back(st.a_t.session);
-      used.push_back(st.b_t.session);
+      st.a_o.session = session_->GetOrCreate(st.other, 0,
+                                             StreamBase(st.other, 0),
+                                             IsLandmark(st.other));
+      st.b_o.session = session_->GetOrCreate(st.other, 1,
+                                             StreamBase(st.other, 1),
+                                             IsLandmark(st.other));
+      used.push_back(st.a_o.session);
+      used.push_back(st.b_o.session);
     } else {
-      st.a_t_local = MakePopulation(q.t, 0);
-      st.b_t_local = MakePopulation(q.t, 1);
-      st.a_t.local = &st.a_t_local;
-      st.b_t.local = &st.b_t_local;
+      st.a_o_local = MakePopulation(st.other, 0);
+      st.b_o_local = MakePopulation(st.other, 1);
+      st.a_o.local = &st.a_o_local;
+      st.b_o.local = &st.b_o_local;
     }
     stats[j].ell = ell;
     stats[j].truncated = truncated;
@@ -343,44 +340,52 @@ void TpcEstimatorT<WP>::EstimateSourceGroup(
   }
   if (first_live == m) return;  // every query was s == t
 
-  QueryStats shared;  // source-side cost, charged to the first live query
+  QueryStats shared;  // key-side cost, charged to the first live query
   std::vector<std::uint64_t> n_walks_of(m, 0);
   for (std::uint32_t i = 1; i <= ell; ++i) {
     const std::uint32_t len_a = (i + 1) / 2;  // ⌈i/2⌉
     const std::uint32_t len_b = i / 2;        // ⌊i/2⌋
     // The shared populations must cover the largest per-query demand;
     // each query collides only the prefix it would have grown serially.
+    // β is symmetric in the endpoints, so n matches the serial query.
     std::uint64_t n_max = 0;
     for (std::size_t j = 0; j < m; ++j) {
       if (!state[j].live) continue;
-      n_walks_of[j] = WalksForLength(i, ell, s, queries[j].t);
+      n_walks_of[j] = WalksForLength(i, ell, key, state[j].other);
       n_max = std::max(n_max, n_walks_of[j]);
     }
-    Advance(a_s, len_a, n_max, &shared);
-    Advance(b_s, len_b, n_max, &shared);
-    // p_ss depends only on the prefix length, and the per-target β
+    Advance(a_k, len_a, n_max, &shared);
+    Advance(b_k, len_b, n_max, &shared);
+    // p_kk depends only on the prefix length, and the per-query β
     // heuristic often coincides across a group — memoize the shared
     // collision per distinct n instead of re-counting it per query.
     std::uint64_t memo_n = 0;
-    double memo_p_ss = 0.0;
+    double memo_p_kk = 0.0;
     for (std::size_t j = 0; j < m; ++j) {
       QueryState& st = state[j];
       if (!st.live) continue;
       const std::uint64_t n_walks = n_walks_of[j];
-      Advance(st.a_t, len_a, n_walks, &stats[j]);
-      Advance(st.b_t, len_b, n_walks, &stats[j]);
-      // p_i(s,s)/w(s), p_i(t,t)/w(t), p_i(s,t)/w(t) (= p_i(t,s)/w(s)).
+      Advance(st.a_o, len_a, n_walks, &stats[j]);
+      Advance(st.b_o, len_b, n_walks, &stats[j]);
+      // p_i(u,u)/w(u), p_i(v,v)/w(v), p_i(u,v)/w(v) (= p_i(v,u)/w(u)).
       if (memo_n != n_walks) {
         memo_n = n_walks;
-        memo_p_ss = Collide(Ends(a_s, len_a, n_walks),
-                            Ends(b_s, len_b, n_walks));
+        memo_p_kk = Collide(Ends(a_k, len_a, n_walks),
+                            Ends(b_k, len_b, n_walks));
       }
-      const double p_ss = memo_p_ss;
-      const double p_tt = Collide(Ends(st.a_t, len_a, n_walks),
-                                  Ends(st.b_t, len_b, n_walks));
-      const double p_st = Collide(Ends(a_s, len_a, n_walks),
-                                  Ends(st.b_t, len_b, n_walks));
-      st.estimate += p_ss + p_tt - 2.0 * p_st;
+      const double p_kk = memo_p_kk;
+      const double p_oo = Collide(Ends(st.a_o, len_a, n_walks),
+                                  Ends(st.b_o, len_b, n_walks));
+      // Canonical cross collision: A of the smaller endpoint against B
+      // of the larger, making the value independent of which endpoint
+      // keys the group (and hence of query orientation).
+      const double p_uv =
+          st.key_is_min
+              ? Collide(Ends(a_k, len_a, n_walks),
+                        Ends(st.b_o, len_b, n_walks))
+              : Collide(Ends(st.a_o, len_a, n_walks),
+                        Ends(b_k, len_b, n_walks));
+      st.estimate += p_kk + p_oo - 2.0 * p_uv;
     }
   }
 
@@ -393,11 +398,44 @@ void TpcEstimatorT<WP>::EstimateSourceGroup(
 }
 
 template <WeightPolicy WP>
+std::size_t TpcEstimatorT<WP>::WarmLandmarks(
+    std::span<const NodeId> landmarks) {
+  if (session_ == nullptr) EnableSessionCache();
+  const NodeId n = graph_->NumNodes();
+  is_landmark_.assign(n, 0);
+  for (const NodeId lm : landmarks) {
+    GEER_CHECK(lm < n);
+    is_landmark_[lm] = 1;
+  }
+  const std::uint32_t ell =
+      PengEll(options_.epsilon, lambda_, options_.max_ell);
+  QueryStats scratch;
+  for (const NodeId lm : landmarks) {
+    SessionPopulation* a =
+        session_->GetOrCreate(lm, 0, StreamBase(lm, 0), /*pinned=*/true);
+    SessionPopulation* b =
+        session_->GetOrCreate(lm, 1, StreamBase(lm, 1), /*pinned=*/true);
+    // Advance to the full per-length schedule at the landmark's own β
+    // (a lower bound on any query's β with this endpoint may not hold,
+    // so queries extend the populations in place when they need more
+    // walks — content-addressed streams keep that bit-identical).
+    for (std::uint32_t i = 1; i <= ell; ++i) {
+      const std::uint64_t n_walks = WalksForLength(i, ell, lm, lm);
+      AdvanceSessionPopulation(a, (i + 1) / 2, n_walks, &scratch);
+      AdvanceSessionPopulation(b, i / 2, n_walks, &scratch);
+    }
+    SessionPopulation* const used[] = {a, b};
+    session_->Reaccount(used);
+  }
+  return landmarks.size();
+}
+
+template <WeightPolicy WP>
 QueryStats TpcEstimatorT<WP>::EstimateWithStats(NodeId s, NodeId t) {
   const QueryPair query{s, t};
   QueryStats stats;
-  EstimateSourceGroup(s, std::span<const QueryPair>(&query, 1),
-                      std::span<QueryStats>(&stats, 1));
+  EstimateKeyGroup(s, std::span<const QueryPair>(&query, 1),
+                   std::span<QueryStats>(&stats, 1));
   return stats;
 }
 
@@ -406,12 +444,12 @@ std::size_t TpcEstimatorT<WP>::EstimateBatch(
     std::span<const QueryPair> queries, std::span<QueryStats> stats,
     const BatchContext& context) {
   // Groups are answered in lockstep, so a run is all-or-nothing — the
-  // deadline's cut granularity is one same-source group.
-  return EstimateBySourceRuns(
+  // deadline's cut granularity is one shared-endpoint group.
+  return EstimateByEndpointRuns(
       queries, stats, context,
-      [this, &context](NodeId s, std::span<const QueryPair> run_queries,
+      [this, &context](NodeId key, std::span<const QueryPair> run_queries,
                        std::span<QueryStats> run_stats) {
-        EstimateSourceGroup(s, run_queries, run_stats);
+        EstimateKeyGroup(key, run_queries, run_stats);
         context.ReportAnswered(run_queries.size());
         return run_queries.size();
       });

@@ -20,21 +20,22 @@
 // length L are a pure function of (seed, source, side, n, L), never of
 // which query (or thread) asked first. Walks are still EXTENDED in place
 // as the half-length grows (the PR-2 perf win: a query costs O(Σ_i η_i)
-// steps, not O(Σ_i η_i·i)), and a same-source query group additionally
-// shares the source-side A/B populations: the group advances in lockstep
-// over i, each query colliding its own target populations against the
-// shared prefix it would have simulated serially. The A and B sides stay
-// mutually independent, which is all the collision statistic's
-// unbiasedness needs. Weight-generic over graph/weight_policy.h.
+// steps, not O(Σ_i η_i·i)), and a query group sharing an endpoint on
+// EITHER side additionally shares that key's A/B populations: the group
+// advances in lockstep over i, each query colliding its own other-side
+// populations against the shared prefix it would have simulated
+// serially. The cross collision always pairs A of the smaller endpoint
+// with B of the larger, so Estimate(s, t) ≡ Estimate(t, s) bitwise. The
+// A and B sides stay mutually independent, which is all the collision
+// statistic's unbiasedness needs. Weight-generic over
+// graph/weight_policy.h.
 
 #ifndef GEER_CORE_TPC_H_
 #define GEER_CORE_TPC_H_
 
 #include <cstddef>
-#include <list>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/estimator.h"
@@ -42,6 +43,7 @@
 #include "graph/weight_policy.h"
 #include "rw/rng.h"
 #include "rw/walker_policy.h"
+#include "util/lru_byte_cache.h"
 
 namespace geer {
 
@@ -54,8 +56,9 @@ namespace geer {
 /// Rng(MixSeed(stream_base, k))) make every recorded endpoint a pure
 /// function of (seed, node, side, k, length), so retained populations
 /// never change answer values. LRU over (node, side) under a byte
-/// budget, enforced between groups (Reaccount) so pointers handed out
-/// during a group stay valid.
+/// budget (LruByteCache admission layer), enforced between groups
+/// (Reaccount) so pointers handed out during a group stay valid. Pinned
+/// landmark populations are exempt from eviction.
 template <WeightPolicy WP>
 class TpcSessionCacheT {
  public:
@@ -76,32 +79,30 @@ class TpcSessionCacheT {
   explicit TpcSessionCacheT(std::size_t budget_bytes);
 
   /// The population for (node, side), created empty on first use; bumped
-  /// to most recently used. The pointer stays valid until Reaccount().
+  /// to most recently used (counts a hit or a miss). The pointer stays
+  /// valid until Reaccount(). `pinned` marks the population budget-exempt
+  /// (landmarks).
   Population* GetOrCreate(NodeId node, std::uint64_t side,
-                          std::uint64_t stream_base);
+                          std::uint64_t stream_base, bool pinned = false);
 
   /// Re-accounts the byte usage of exactly the populations a group used
   /// (duplicates are fine — the update is idempotent) and evicts the
-  /// least recently used beyond the budget. O(grown), not O(cache).
+  /// least recently used unpinned populations beyond the budget.
+  /// O(grown), not O(cache).
   void Reaccount(std::span<Population* const> grown);
 
-  void Clear();
+  void Clear() { cache_.Clear(); }
 
-  std::size_t num_populations() const { return lru_.size(); }
-  std::size_t bytes_retained() const { return bytes_; }
+  std::size_t num_populations() const { return cache_.size(); }
+  std::size_t bytes_retained() const { return cache_.bytes(); }
+  CacheStats stats() const { return cache_.stats(); }
 
  private:
   static std::uint64_t Key(NodeId node, std::uint64_t side) {
     return (static_cast<std::uint64_t>(node) << 1) | (side & 1);
   }
 
-  std::size_t budget_;
-  std::size_t bytes_ = 0;
-  std::list<Population> lru_;  // front = most recently used
-  // O(1) (node, side) → list-entry lookup (splice keeps iterators valid).
-  std::unordered_map<std::uint64_t,
-                     typename std::list<Population>::iterator>
-      index_;
+  LruByteCache<std::uint64_t, Population> cache_;
 };
 
 template <WeightPolicy WP>
@@ -118,13 +119,13 @@ class TpcEstimatorT : public ErEstimator {
   }
   QueryStats EstimateWithStats(NodeId s, NodeId t) override;
 
-  /// Shares the source-side walk populations across consecutive
-  /// same-source queries (see the header comment).
+  /// Shares the key-side walk populations across consecutive queries
+  /// with a common endpoint — on EITHER side (see the header comment).
   std::size_t EstimateBatch(std::span<const QueryPair> queries,
                             std::span<QueryStats> stats,
                             const BatchContext& context = {}) override;
   BatchPlan PlanBatch(std::span<const QueryPair> queries) const override {
-    return BatchPlan::GroupBySource(queries);
+    return BatchPlan::GroupByEndpoint(queries);
   }
   bool SharesBatchWork() const override { return true; }
   std::unique_ptr<ErEstimator> CloneForBatch() const override {
@@ -143,6 +144,15 @@ class TpcEstimatorT : public ErEstimator {
     if (session_ != nullptr) session_->Clear();
   }
   bool SessionCacheEnabled() const override { return session_ != nullptr; }
+  CacheStats SessionCacheStats() const override {
+    return session_ != nullptr ? session_->stats() : CacheStats{};
+  }
+
+  /// Pins A/B walk populations for the landmarks in the session cache
+  /// (enabling it if off), advanced to the full per-length schedule at
+  /// the landmark's own β. Queries extend them in place if they need
+  /// more walks — content-addressed streams keep values unchanged.
+  std::size_t WarmLandmarks(std::span<const NodeId> landmarks) override;
 
   /// Dynamic-graph hook: repoints at the new snapshot, rebuilds the walk
   /// sampler, re-derives λ, and flushes the session wholesale (walk
@@ -209,11 +219,19 @@ class TpcEstimatorT : public ErEstimator {
   double Collide(std::span<const NodeId> a_ends,
                  std::span<const NodeId> b_ends);
 
-  /// Answers a run of same-source queries in lockstep over the length i,
-  /// sharing the source-side A/B populations. Shared-side cost is
+  /// Answers a run of queries sharing endpoint `key` (on either side) in
+  /// lockstep over the length i, sharing the key-side A/B populations.
+  /// The cross collision pairs A of the smaller endpoint with B of the
+  /// larger, so the value is independent of which endpoint is the key
+  /// and Estimate(s, t) ≡ Estimate(t, s) bitwise. Shared-side cost is
   /// charged to the first live query of the run.
-  void EstimateSourceGroup(NodeId s, std::span<const QueryPair> queries,
-                           std::span<QueryStats> stats);
+  void EstimateKeyGroup(NodeId key, std::span<const QueryPair> queries,
+                        std::span<QueryStats> stats);
+
+  std::uint64_t StreamBase(NodeId node, std::uint64_t side) const;
+  bool IsLandmark(NodeId v) const {
+    return v < is_landmark_.size() && is_landmark_[v] != 0;
+  }
 
   const GraphT* graph_;
   ErOptions options_;
@@ -224,6 +242,7 @@ class TpcEstimatorT : public ErEstimator {
   std::vector<std::uint32_t> count_a_;
   std::vector<std::uint32_t> count_b_;
   std::vector<NodeId> touched_;
+  std::vector<char> is_landmark_;
 };
 
 /// The two stacks, by their historical names.

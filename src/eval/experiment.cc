@@ -197,6 +197,7 @@ ServedWorkloadResult RunServedWorkload(ErEstimator& estimator,
   result.wall_seconds = wall.ElapsedSeconds();
   service.Shutdown();
   result.avg_batch = service.Metrics().AvgBatch();
+  result.session_cache = service.Metrics().session_cache;
 
   if (result.wall_seconds > 0.0) {
     result.throughput_qps =

@@ -105,6 +105,10 @@ struct ServedWorkloadResult {
   double avg_batch = 0.0;  ///< mean dispatched micro-batch size
   int workers = 1;         ///< dispatch workers the service used
 
+  /// Session/landmark cache counters summed over workers at shutdown
+  /// (all zero when the estimator has no session cache enabled).
+  CacheStats session_cache;
+
   /// Per-event answers in trace order (NaN when not answered) — the
   /// serve-determinism suite's comparison payload.
   std::vector<double> values;

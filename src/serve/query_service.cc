@@ -42,6 +42,19 @@ QueryService::QueryService(ErEstimator& estimator,
       worker->EnableSessionCache(options_.session_cache_bytes);
     }
   }
+  if (!options_.landmarks.empty()) {
+    // Every worker pins its own landmark state (session caches are
+    // per-worker); warming before the scheduler starts keeps the first
+    // micro-batch fast and data-race-free.
+    const std::span<const NodeId> landmarks(options_.landmarks);
+    for (ErEstimator* worker : workers_) {
+      worker->WarmLandmarks(landmarks);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (ErEstimator* worker : workers_) {
+      metrics_.session_cache += worker->SessionCacheStats();
+    }
+  }
   scheduler_ = std::thread(&QueryService::SchedulerLoop, this);
 }
 
@@ -452,6 +465,13 @@ void QueryService::DispatchBatch(std::vector<Pending> batch,
   metrics_.unsupported += unsupported;
   metrics_.expired += expired;
   metrics_.cancelled += cancelled;
+  // Cache counters are read worker-by-worker AFTER the batch finished
+  // (workers are idle between dispatches), then published under mu_ —
+  // Metrics() readers never race the estimators themselves.
+  metrics_.session_cache = CacheStats{};
+  for (const ErEstimator* worker : workers_) {
+    metrics_.session_cache += worker->SessionCacheStats();
+  }
 }
 
 void QueryService::Fulfill(Pending& p, ServeStatus status,

@@ -63,6 +63,12 @@ struct ServeOptions {
   /// ErEstimator::EnableSessionCache (0 disables session caches — every
   /// micro-batch then rebuilds its shared precomputation).
   std::size_t session_cache_bytes = 64ull << 20;
+  /// Landmark nodes warmed and pinned in every worker's session cache at
+  /// construction (ErEstimator::WarmLandmarks — enables the session
+  /// cache even when session_cache_bytes is 0). Pick with
+  /// SelectLandmarks (src/centrality/landmarks.h). Values are unchanged;
+  /// queries touching a landmark skip its precomputation.
+  std::vector<NodeId> landmarks;
 };
 
 /// Terminal state of one submitted query.
@@ -113,6 +119,11 @@ struct ServeMetrics {
   std::uint64_t flush_drain = 0;     ///< explicit Flush()/Shutdown drain
   std::uint64_t flush_swap = 0;      ///< pre-swap barrier drain
   std::uint64_t epoch_swaps = 0;     ///< ApplyUpdates swaps applied
+  /// Session/landmark cache counters summed over all workers, refreshed
+  /// after every dispatched micro-batch (ErEstimator::SessionCacheStats).
+  /// hits/misses/evictions are monotone — LruByteCache keeps them across
+  /// epoch flushes; bytes/entries/pinned are current-resident gauges.
+  CacheStats session_cache;
 
   /// Mean coalesced micro-batch size.
   double AvgBatch() const {

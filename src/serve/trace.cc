@@ -1,8 +1,10 @@
 #include "serve/trace.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "rw/rng.h"
+#include "util/check.h"
 
 namespace geer {
 
@@ -35,6 +37,37 @@ std::vector<TraceEvent> ShuffleTracePayloads(std::span<const TraceEvent> trace,
   std::vector<TraceEvent> out(trace.begin(), trace.end());
   for (std::size_t i = 0; i < out.size(); ++i) out[i].query = payloads[i];
   return out;
+}
+
+std::vector<QueryPair> MakeZipfQueries(std::span<const NodeId> ranking,
+                                       std::size_t count, double exponent,
+                                       std::uint64_t seed) {
+  GEER_CHECK_GE(ranking.size(), 2u) << "Zipf workload needs >= 2 nodes";
+  // Cumulative (k+1)^(-exponent) weights; a draw is one binary search.
+  std::vector<double> cdf(ranking.size());
+  double acc = 0.0;
+  for (std::size_t k = 0; k < ranking.size(); ++k) {
+    acc += std::pow(static_cast<double>(k + 1), -exponent);
+    cdf[k] = acc;
+  }
+  Rng rng(MixSeed(seed, 0x7a697066ULL));  // "zipf"
+  const auto draw = [&]() {
+    const double u = rng.NextDouble() * acc;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const std::size_t k =
+        std::min(static_cast<std::size_t>(it - cdf.begin()),
+                 ranking.size() - 1);
+    return ranking[k];
+  };
+  std::vector<QueryPair> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId s = draw();
+    NodeId t = draw();
+    while (t == s) t = draw();  // r(v, v) = 0 — not a served workload
+    queries.push_back({s, t});
+  }
+  return queries;
 }
 
 }  // namespace geer

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Shell-level self-test for tools/check_bench.sh: synthesizes a small
+# BENCH_pr*.json trajectory in a scratch BENCH_DIR and asserts the
+# gate's observable contract —
+#   1. a >threshold throughput drop between the last two files exits 1,
+#   2. a within-threshold wiggle exits 0,
+#   3. a slow monotone decline (each step under the threshold) passes the
+#      pairwise gate but earns a "drift" warning from the trajectory scan,
+#   4. non-throughput time series never hard-fail (warn only),
+#   5. a single-file trajectory skips cleanly (exit 0).
+# Registered in CMakeLists.txt as test check_bench_selftest; needs only
+# bash + awk, like the script under test.
+
+set -euo pipefail
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+CHECK="$SCRIPT_DIR/../tools/check_bench.sh"
+[[ -x "$CHECK" ]] || { echo "missing $CHECK" >&2; exit 2; }
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fails=0
+expect() {  # expect <name> <want_status> <grep_pattern|-> <cmd...>
+  local name="$1" want="$2" pattern="$3"
+  shift 3
+  local out status=0
+  out="$("$@" 2>&1)" || status=$?
+  if [[ "$status" != "$want" ]]; then
+    echo "FAIL $name: exit $status, want $want"
+    echo "$out" | sed 's/^/    /'
+    fails=$((fails + 1))
+  elif [[ "$pattern" != "-" ]] && ! grep -q "$pattern" <<< "$out"; then
+    echo "FAIL $name: output lacks /$pattern/"
+    echo "$out" | sed 's/^/    /'
+    fails=$((fails + 1))
+  else
+    echo "ok   $name"
+  fi
+}
+
+# One entry object per line, run_bench.sh's exact shape.
+entry() {  # entry <method> <metric> <value>
+  printf '{"method": "%s", "metric": "%s", "value": %s, "threads": 2}\n' \
+      "$1" "$2" "$3"
+}
+bench_file() {  # bench_file <dir> <pr> <tp_qps> <smm_ms>
+  local dir="$1" pr="$2" qps="$3" ms="$4"
+  {
+    echo "["
+    entry TP "serve/facebook/session/throughput_qps" "$qps" | sed 's/^/ /'
+    entry SMM "batch_shared/dblp/eps0.05/shared/ms_per_q" "$ms" | sed 's/^/,/'
+    echo "]"
+  } > "$dir/BENCH_pr${pr}.json"
+}
+
+# 1. >15% throughput drop between the last two files must exit 1.
+DIR="$TMP/drop"; mkdir -p "$DIR"
+bench_file "$DIR" 1 1000 2.0
+bench_file "$DIR" 2 700 2.0
+expect "throughput-drop-fails" 1 "FAIL" \
+    env BENCH_DIR="$DIR" "$CHECK" "$DIR/BENCH_pr2.json"
+
+# 2. A within-threshold wiggle is clean.
+DIR="$TMP/ok"; mkdir -p "$DIR"
+bench_file "$DIR" 1 1000 2.0
+bench_file "$DIR" 2 950 2.1
+expect "small-wiggle-passes" 0 "0 failures" \
+    env BENCH_DIR="$DIR" "$CHECK" "$DIR/BENCH_pr2.json"
+
+# 3. Slow leak: -8% per PR over 4 PRs — every pairwise step passes, the
+#    trajectory scan must still report the monotone drift.
+DIR="$TMP/leak"; mkdir -p "$DIR"
+bench_file "$DIR" 1 1000 2.0
+bench_file "$DIR" 2 920 2.0
+bench_file "$DIR" 3 850 2.0
+bench_file "$DIR" 4 780 2.0
+expect "slow-leak-warns-drift" 0 "drift .*throughput_qps.* over last 4 PRs" \
+    env BENCH_DIR="$DIR" "$CHECK" "$DIR/BENCH_pr4.json"
+
+# 4. Time-series growth warns but never gates.
+DIR="$TMP/time"; mkdir -p "$DIR"
+bench_file "$DIR" 1 1000 2.0
+bench_file "$DIR" 2 1000 3.0
+expect "time-growth-warns-only" 0 "warn .*ms_per_q" \
+    env BENCH_DIR="$DIR" "$CHECK" "$DIR/BENCH_pr2.json"
+
+# 5. No predecessor → skip cleanly.
+DIR="$TMP/single"; mkdir -p "$DIR"
+bench_file "$DIR" 1 1000 2.0
+expect "no-baseline-skips" 0 "skipping" \
+    env BENCH_DIR="$DIR" "$CHECK" "$DIR/BENCH_pr1.json"
+
+if [[ "$fails" -gt 0 ]]; then
+  echo "== check_bench_selftest: $fails failure(s) =="
+  exit 1
+fi
+echo "== check_bench_selftest: all cases ok =="

@@ -4,7 +4,9 @@
 // at 1, 2 and 8 scheduler worker threads, under any micro-batch
 // boundary (max_batch_size 1 / small / unbounded), under a shuffled
 // arrival order, with concurrent client submitters, and with session
-// caches on or off. Also pins the service's lifecycle semantics:
+// caches on or off, and with landmark warm-up configured. Also pins the
+// session/landmark cache observability contract (ServeMetrics exposes
+// the LruByteCache counters) and the service's lifecycle semantics:
 // deadline expiry, backpressure rejection, ShutdownNow cancellation and
 // submit-after-shutdown all resolve every future. The suite runs under
 // ThreadSanitizer in CI.
@@ -17,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "centrality/landmarks.h"
 #include "core/batch_engine.h"
 #include "core/registry.h"
 #include "eval/experiment.h"
@@ -327,6 +330,90 @@ TEST_F(ServeDeterminismTest, WalkSessionCachesPersistAcrossBatches) {
       third_steps += third[i].walk_steps;
     }
     EXPECT_EQ(third_steps, first_steps) << name;
+  }
+}
+
+TEST_F(ServeDeterminismTest, SessionCacheCountersSurfaceInServeMetrics) {
+  // The observability half of the cache contract: ServeMetrics (and the
+  // ServedWorkloadResult snapshot taken at shutdown) must expose the
+  // per-worker LruByteCache counters. One worker keeps the accounting
+  // exact: the first replay populates the cache (misses, resident bytes),
+  // a second replay over the SAME estimator is fully warm — hits grow,
+  // misses do not, and every answer stays bit-identical.
+  auto serial = CreateEstimator("TP", graph_, options_);
+  const std::vector<double> expected = SerialValues(serial.get(), queries_);
+
+  auto estimator = CreateEstimator("TP", graph_, options_);
+  ServeOptions serve_options;
+  serve_options.threads = 1;
+  serve_options.max_batch_size = 4;
+  serve_options.max_linger_seconds = 0.0;
+  QueryService service(*estimator, serve_options);
+
+  // The refresh at each dispatch tail publishes `answered` and the cache
+  // snapshot in one critical section, so once `answered` reaches a pass's
+  // total the session_cache counters cover every batch of that pass.
+  const auto run_pass = [&](std::uint64_t answered_target) {
+    std::vector<std::future<QueryResult>> futures;
+    futures.reserve(queries_.size());
+    for (const QueryPair& q : queries_) futures.push_back(service.Submit(q));
+    service.Flush();
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const QueryResult result = futures[i].get();
+      EXPECT_EQ(result.status, ServeStatus::kAnswered) << "query " << i;
+      EXPECT_EQ(result.stats.value, expected[i]) << "query " << i;
+    }
+    while (service.Metrics().answered < answered_target) {
+      std::this_thread::yield();
+    }
+    return service.Metrics().session_cache;
+  };
+
+  const CacheStats cold = run_pass(queries_.size());
+  EXPECT_GT(cold.misses, 0u);
+  EXPECT_GT(cold.entries, 0u);
+  EXPECT_GT(cold.bytes, 0u);
+  // The trace revisits source 3 across micro-batches, so even the cold
+  // pass sees intra-run hits.
+  EXPECT_GT(cold.hits, 0u);
+  EXPECT_EQ(cold.pinned, 0u);  // no landmarks configured
+
+  // Warm replay of the identical queries: every population is retained,
+  // so hits grow and NOT ONE fresh miss occurs; resident state is stable.
+  const CacheStats warm = run_pass(2 * queries_.size());
+  EXPECT_GT(warm.hits, cold.hits);
+  EXPECT_EQ(warm.misses, cold.misses);
+  EXPECT_EQ(warm.bytes, cold.bytes);
+  EXPECT_EQ(warm.entries, cold.entries);
+  service.Shutdown();
+}
+
+TEST_F(ServeDeterminismTest, LandmarkModeServesBitIdenticalWithPinnedEntries) {
+  // ServeOptions.landmarks warms and pins per-landmark state in every
+  // worker before the scheduler starts. The contract: answers never move
+  // (landmark combination is exact by linearity for the SpMV methods and
+  // reuses the very populations the direct path would record for the walk
+  // methods), and the pinned warm-up is visible in the metrics snapshot.
+  const std::vector<NodeId> landmarks = SelectLandmarks(graph_, 8);
+  ASSERT_EQ(landmarks.size(), 8u);
+  for (const std::string name : {"GEER", "TP", "SMM"}) {
+    auto serial = CreateEstimator(name, graph_, options_);
+    const std::vector<double> expected = SerialValues(serial.get(), queries_);
+
+    auto estimator = CreateEstimator(name, graph_, options_);
+    ServeOptions serve_options;
+    serve_options.threads = 2;
+    serve_options.max_batch_size = 4;
+    serve_options.max_linger_seconds = 0.0;
+    serve_options.landmarks = landmarks;
+    const ServedWorkloadResult served =
+        Serve(estimator.get(), trace_, serve_options);
+    ExpectServedMatchesSerial(served, trace_, expected, name + " landmarks");
+    // Both workers warmed all 8 landmarks; the warm-up itself counts as
+    // misses, and the pinned gauge proves the entries are budget-exempt.
+    EXPECT_GE(served.session_cache.pinned, landmarks.size()) << name;
+    EXPECT_GT(served.session_cache.misses, 0u) << name;
+    EXPECT_GT(served.session_cache.bytes, 0u) << name;
   }
 }
 

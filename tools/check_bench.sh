@@ -13,6 +13,18 @@
 #                     from the candidate's)
 #   --threshold=F     relative regression tolerance (default 0.15)
 #
+# Environment:
+#   BENCH_DIR         directory holding the BENCH_pr*.json trajectory
+#                     (default: the repo root). The shell-level self-test
+#                     points this at a fixture directory.
+#
+# Besides the pairwise gate, the WHOLE committed trajectory is scanned:
+# for every (method, metric, threads) series across all BENCH_pr*.json
+# in PR order, a run of >= 3 consecutive points drifting in the adverse
+# direction (throughput/ratio series falling, time series growing) earns
+# a "drift" warning even when each individual step is under the
+# threshold — the slow-leak regressions a one-step gate never sees.
+#
 # Policy: throughput series (metric contains "throughput" or "qps")
 # hard-fail when the new value drops more than the threshold. Everything
 # else only WARNS past it — ratio series ("speedup"/"retention") when
@@ -24,6 +36,7 @@
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BENCH_ROOT="${BENCH_DIR:-$REPO_ROOT}"
 
 NEW=""
 BASELINE=""
@@ -39,7 +52,7 @@ done
 
 # Highest PR number wins; ties cannot happen (one file per PR).
 newest_bench() {
-  ls "$REPO_ROOT"/BENCH_pr*.json 2>/dev/null |
+  ls "$BENCH_ROOT"/BENCH_pr*.json 2>/dev/null |
     awk -F'BENCH_pr' '{ n = $2; sub(/\.json$/, "", n);
                         printf "%012d %s\n", n, $0 }' |
     sort | awk '{ print $2 }' | tail -n "$1" | head -n 1
@@ -55,7 +68,7 @@ fi
 
 if [[ -z "$BASELINE" ]]; then
   NEW_BASE="$(basename "$NEW")"
-  BASELINE="$(ls "$REPO_ROOT"/BENCH_pr*.json 2>/dev/null |
+  BASELINE="$(ls "$BENCH_ROOT"/BENCH_pr*.json 2>/dev/null |
     grep -v "/${NEW_BASE}$" |
     awk -F'BENCH_pr' '{ n = $2; sub(/\.json$/, "", n);
                         printf "%012d %s\n", n, $0 }' |
@@ -86,6 +99,60 @@ TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
 extract "$NEW" | sort > "$TMP_DIR/new.tsv"
 extract "$BASELINE" | sort > "$TMP_DIR/old.tsv"
+
+# --- whole-trajectory drift scan (warnings only, never gates) --------------
+# All committed BENCH files in PR order, the candidate appended when it is
+# not already the newest on disk; every series is walked backwards from its
+# latest point and a strictly-adverse run of >= 3 points is reported.
+TRAJ="$TMP_DIR/traj.tsv"
+: > "$TRAJ"
+idx=0
+NEW_BASE="$(basename "$NEW")"
+new_in_trajectory=0
+while IFS= read -r f; do
+  [[ -z "$f" ]] && continue
+  idx=$((idx + 1))
+  [[ "$(basename "$f")" == "$NEW_BASE" ]] && new_in_trajectory=1
+  extract "$f" | awk -v i="$idx" '{ printf "%s\t%d\t%s\n", $1, i, $2 }' \
+    >> "$TRAJ"
+done < <(ls "$BENCH_ROOT"/BENCH_pr*.json 2>/dev/null |
+  awk -F'BENCH_pr' '{ n = $2; sub(/\.json$/, "", n);
+                      printf "%012d %s\n", n, $0 }' |
+  sort | awk '{ print $2 }')
+if [[ "$new_in_trajectory" == 0 ]]; then
+  idx=$((idx + 1))
+  extract "$NEW" | awk -v i="$idx" '{ printf "%s\t%d\t%s\n", $1, i, $2 }' \
+    >> "$TRAJ"
+fi
+if [[ "$idx" -ge 3 ]]; then
+  echo "== check_bench: trajectory scan over ${idx} BENCH files =="
+  sort -t "$(printf '\t')" -k1,1 -k2,2n "$TRAJ" |
+    awk -F'\t' '
+      function flush() {
+        if (n < 3) return
+        higher_is_better = (key ~ /throughput|qps|speedup|retention|hit_rate/)
+        # Walk back from the newest point while each step is strictly
+        # adverse; a run of >= 3 points is a drift.
+        run = 1
+        for (i = n; i > 1; --i) {
+          adverse = higher_is_better ? (v[i] < v[i - 1]) : (v[i] > v[i - 1])
+          if (!adverse) break
+          run++
+        }
+        if (run >= 3 && v[n - run + 1] != 0) {
+          printf "drift %-60s %12g -> %12g over last %d PRs\n",
+                 key, v[n - run + 1], v[n], run
+          drifts++
+        }
+      }
+      $1 != key { flush(); key = $1; n = 0 }
+      { v[++n] = $3 + 0 }
+      END {
+        flush()
+        printf "== check_bench: trajectory scan: %d drift warning(s) ==\n",
+               drifts + 0
+      }'
+fi
 
 join -t "$(printf '\t')" "$TMP_DIR/old.tsv" "$TMP_DIR/new.tsv" |
   awk -F'\t' -v thr="$THRESHOLD" '

@@ -22,6 +22,10 @@
 #                          with per-series best-of (max qps, min p95) —
 #                          the short burst traces are scheduler-noise
 #                          dominated, and best-of is the stable signal
+#   bench_landmark_serve   --csv --scale=0.1 --seed=1 --queries=512, run 3×
+#                          best-of like serve_throughput — the landmark/
+#                          series whose landmark-vs-off throughput ratio
+#                          is a PR acceptance gate
 #   bench_dyn_update       --csv --scale=0.1 --seed=1 --rounds=2
 #   bench_micro_estimators (google-benchmark; skipped when the system
 #                           libbenchmark is absent — builds stay offline)
@@ -66,7 +70,8 @@ fi
 echo "== bench: configure + build (${BUILD_DIR}, Release) =="
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}" >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS" \
-    --target bench_batch_shared bench_serve_throughput bench_dyn_update \
+    --target bench_batch_shared bench_serve_throughput bench_landmark_serve \
+    bench_dyn_update \
     >/dev/null
 HAVE_MICRO=0
 if cmake --build "$BUILD_DIR" -j "$JOBS" \
@@ -105,6 +110,29 @@ awk -F, 'FNR == 1 { header = $0; next }
     }
   }' "$TMP_DIR"/serve_rep*.csv > "$TMP_DIR/serve.csv"
 
+echo "== bench: landmark_serve (threads=${BENCH_THREADS}, best of 3) =="
+for rep in 1 2 3; do
+  "$BUILD_DIR/bench_landmark_serve" --csv --scale=0.1 --seed=1 --queries=512 \
+      --threads="$BENCH_THREADS" > "$TMP_DIR/landmark_rep${rep}.csv"
+done
+# Best-of per series: max throughput (col 6), min p95 (col 8); the hit
+# rate (col 10) is deterministic across reps — keep the first.
+awk -F, 'FNR == 1 { header = $0; next }
+  {
+    key = $1 FS $2 FS $3 FS $4
+    if (!(key in qps) || $6 + 0 > qps[key] + 0) qps[key] = $6
+    if (!(key in p95) || $8 + 0 < p95[key] + 0) p95[key] = $8
+    if (!(key in hit)) hit[key] = $10
+    if (!(key in seen)) { order[++rows] = key; seen[key] = 1 }
+  }
+  END {
+    print header
+    for (r = 1; r <= rows; ++r) {
+      key = order[r]
+      printf "%s,0,%s,0,%s,0,%s,0\n", key, qps[key], p95[key], hit[key]
+    }
+  }' "$TMP_DIR"/landmark_rep*.csv > "$TMP_DIR/landmark.csv"
+
 echo "== bench: dyn_update =="
 "$BUILD_DIR/bench_dyn_update" --csv --scale=0.1 --seed=1 --rounds=2 \
     > "$TMP_DIR/dyn.csv"
@@ -137,6 +165,20 @@ awk -F, -v threads="$BENCH_THREADS" 'NR > 1 {
   printf "{\"method\": \"%s\", \"metric\": \"serve/%s/%s/p95_ms\", \"value\": %s, \"threads\": %s}\n",
          $1, $2, $4, $8, threads
 }' "$TMP_DIR/serve.csv" >> "$ENTRIES"
+
+# landmark_serve: method,dataset,epsilon,mode,queries,throughput_qps,
+#                 p50_ms,p95_ms,p99_ms,hit_rate,ms_per_q — the landmark/
+#                 trajectory CI gates (throughput per mode + hit rate).
+awk -F, -v threads="$BENCH_THREADS" 'NR > 1 {
+  printf "{\"method\": \"%s\", \"metric\": \"landmark/%s/%s/throughput_qps\", \"value\": %s, \"threads\": %s}\n",
+         $1, $2, $4, $6, threads
+  printf "{\"method\": \"%s\", \"metric\": \"landmark/%s/%s/p95_ms\", \"value\": %s, \"threads\": %s}\n",
+         $1, $2, $4, $8, threads
+  if ($4 != "off") {
+    printf "{\"method\": \"%s\", \"metric\": \"landmark/%s/%s/hit_rate\", \"value\": %s, \"threads\": %s}\n",
+           $1, $2, $4, $10, threads
+  }
+}' "$TMP_DIR/landmark.csv" >> "$ENTRIES"
 
 # dyn_update: metric,dataset,param,value — commit vs rebuild timings and
 # session retention ("dyn/<dataset>/<param>/<metric>"). check_bench.sh
