@@ -37,6 +37,22 @@ class EpochShared {
     return value_;
   }
 
+  /// Like GetOrBuild, but the builder receives the PREVIOUS epoch's value
+  /// (possibly null) — the incremental-maintenance hook: the first
+  /// rebinder of an epoch derives the new value from the old one (rank-k
+  /// factor update, warm-started Lanczos) instead of from scratch, and
+  /// every other clone adopts the result.
+  template <typename UpdateFn>
+  std::shared_ptr<const T> GetOrUpdate(std::uint64_t epoch,
+                                       UpdateFn&& update) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (epoch != epoch_) {
+      value_ = update(std::as_const(value_));
+      epoch_ = epoch;
+    }
+    return value_;
+  }
+
  private:
   std::mutex mu_;
   std::uint64_t epoch_ = 0;

@@ -22,6 +22,9 @@ namespace geer {
 
 class Deadline;
 class WeightedGraph;
+template <typename T>
+class EpochShared;
+struct EpochSpectral;
 
 /// Describes one published epoch of a dynamic graph (src/dyn/) for
 /// ErEstimator::RebindGraph. `touched` must cover every vertex whose CSR
@@ -43,6 +46,28 @@ struct GraphEpoch {
   /// (deterministic, so every worker converges to the same value — just
   /// slower than computing it once per epoch).
   std::optional<double> lambda;
+  /// Opt-in incremental maintenance: estimators may derive the new
+  /// epoch's numerical state from the previous epoch's instead of
+  /// rebuilding cold — warm-started Lanczos for λ, rank-k-updated
+  /// Cholesky factors for EXACT. Answers may then drift from a freshly
+  /// constructed estimator within the documented tolerances (README
+  /// "Incremental epochs"); leave false for the strict bit-identity
+  /// contract. Structurally exact incremental paths (CG's touched-row
+  /// Jacobi refresh, TP/TPC visit-set retention) are always on — they
+  /// are bit-identical by construction. Lifetime: the first rebinder of
+  /// an incremental epoch diffs the PREVIOUS graph's CSR rows against
+  /// the new ones, so the caller must keep the outgoing graph alive
+  /// until RebindGraph returns (the serving tier does this by retaining
+  /// the old snapshot until the swap completes).
+  bool incremental = false;
+  /// Optional caller-owned per-epoch spectral holder, shared across all
+  /// clones rebound with this epoch (and across epochs by the caller —
+  /// it carries the warm state). Estimators that read λ and find
+  /// `lambda` absent compute it through this holder once per epoch:
+  /// warm-started when `incremental`, cold (bit-identical to a fresh
+  /// construction) otherwise. Null ⇒ each estimator re-runs Lanczos
+  /// privately, as before.
+  std::shared_ptr<EpochShared<EpochSpectral>> spectral;
 };
 
 /// A single PER query (s, t).
@@ -282,9 +307,12 @@ class ErEstimator {
   /// factorization/solver/sketch once per epoch across every clone
   /// sharing it — while session caches are invalidated selectively:
   /// SMM/GEER evict only per-source entries whose dependency set
-  /// intersects epoch.touched; TP/TPC (untracked walk visit sets) and
-  /// resized graphs flush wholesale. Precondition mirrors construction:
-  /// `graph` must satisfy the estimator's feasibility checks.
+  /// intersects epoch.touched, and TP/TPC evict only walk populations
+  /// whose recorded visit set intersects it (their walk streams are
+  /// content-addressed by (seed, node), so a population no changed row
+  /// ever influenced replays bit-identically). Resized graphs flush
+  /// wholesale. Precondition mirrors construction: `graph` must satisfy
+  /// the estimator's feasibility checks.
   ///
   /// The weight mode must match the construction graph; the non-matching
   /// overload returns false (as does the default for estimators without
@@ -301,6 +329,14 @@ class ErEstimator {
     (void)epoch;
     return false;
   }
+
+  /// Number of RebindGraph calls on this instance that reused previous-
+  /// epoch state instead of rebuilding it cold: a warm-started λ, an
+  /// incrementally updated factor/solver, or selective (visit-set)
+  /// session retention. Monotone; the serving layer sums it per worker
+  /// into ServeMetrics.incremental_rebinds so tests can assert the
+  /// incremental path is actually exercised.
+  virtual std::uint64_t IncrementalRebinds() const { return 0; }
 };
 
 }  // namespace geer

@@ -74,10 +74,21 @@ class ExactEstimatorT : public ErEstimator {
   /// Dynamic-graph hook: the factorization depends on the WHOLE graph,
   /// so any epoch change invalidates it — but it is rebuilt exactly once
   /// per epoch across every clone sharing it (core/epoch_shared.h), not
-  /// once per worker. Aborts like construction if the new snapshot
-  /// exceeds the max_nodes cap — pre-check with Feasible().
+  /// once per worker. With epoch.incremental and a small touched set
+  /// (≤ n/4 changed edges — the rank-1 pass costs ~n²/2 vs n³/6 for a
+  /// refactorization), the new factor is derived from the previous one
+  /// by rank-1 edge updates/downdates instead of BuildFactor; values may
+  /// then drift from a fresh factorization within ~1e-9 relative (README
+  /// "Incremental epochs"). Falls back to the full rebuild whenever the
+  /// heuristic, a resize, or a downdate losing positive-definiteness
+  /// says so. Aborts like construction if the new snapshot exceeds the
+  /// max_nodes cap — pre-check with Feasible().
   using ErEstimator::RebindGraph;
   bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
+
+  std::uint64_t IncrementalRebinds() const override {
+    return incremental_rebinds_.load(std::memory_order_relaxed);
+  }
 
   /// True iff the dense factorization would fit under `max_nodes`.
   static bool Feasible(const GraphT& graph, NodeId max_nodes = 8192) {
@@ -94,8 +105,22 @@ class ExactEstimatorT : public ErEstimator {
         factor_(other.factor_),
         shared_factor_(other.shared_factor_) {}
 
+  // One epoch's shared factor plus its provenance (full rebuild vs
+  // rank-k update) — adopters read the flag into their rebind counters.
+  struct FactorEntry {
+    std::shared_ptr<const CholeskyFactor> factor;
+    bool incremental = false;
+  };
+
   static std::shared_ptr<const CholeskyFactor> BuildFactor(
       const GraphT& graph, NodeId max_nodes);
+
+  /// The previous factor updated to `after` by rank-1 edge passes, or
+  /// null when the crossover heuristic (or a failed downdate) demands
+  /// the full rebuild. `before` is the graph the factor was built for.
+  static std::shared_ptr<const CholeskyFactor> TryIncrementalFactor(
+      const CholeskyFactor& prev, const GraphT& before, const GraphT& after,
+      std::span<const NodeId> touched);
 
   /// M⁻¹ e_node — from the session cache when enabled (inserting, and
   /// pinning landmarks, on miss), else into `scratch`. The returned
@@ -109,9 +134,10 @@ class ExactEstimatorT : public ErEstimator {
   const GraphT* graph_;
   NodeId max_nodes_ = 8192;
   std::shared_ptr<const CholeskyFactor> factor_;
-  std::shared_ptr<EpochShared<CholeskyFactor>> shared_factor_;
+  std::shared_ptr<EpochShared<FactorEntry>> shared_factor_;
   std::unique_ptr<LruByteCache<NodeId, Vector>> session_;
   std::vector<char> is_landmark_;
+  std::atomic<std::uint64_t> incremental_rebinds_{0};
 };
 
 /// The two stacks, by their historical names.

@@ -94,6 +94,10 @@ class GeerEstimatorT : public ErEstimator {
   using ErEstimator::RebindGraph;
   bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
 
+  std::uint64_t IncrementalRebinds() const override {
+    return incremental_rebinds_.load(std::memory_order_relaxed);
+  }
+
   double lambda() const { return lambda_; }
 
   /// Compat spelling of GeerRemainingSampleBudget.
@@ -117,6 +121,7 @@ class GeerEstimatorT : public ErEstimator {
   WalkerFor<WP> walker_;
   std::unique_ptr<SmmSessionCacheT<WP>> session_;
   std::vector<char> is_landmark_;
+  std::atomic<std::uint64_t> incremental_rebinds_{0};
 };
 
 /// The two stacks, by their historical names.

@@ -27,19 +27,37 @@ SolverEstimatorT<WP>::SolverEstimatorT(const GraphT& graph,
       solver_(std::make_shared<const LaplacianSolverT<WP>>(
           graph, SolverOptionsFor<WP>(options))) {
   ValidateOptions(options);
-  shared_solver_ =
-      std::make_shared<EpochShared<LaplacianSolverT<WP>>>(solver_);
+  shared_solver_ = std::make_shared<EpochShared<SolverEntry>>(
+      std::make_shared<const SolverEntry>(SolverEntry{solver_, false}));
 }
 
 template <WeightPolicy WP>
 bool SolverEstimatorT<WP>::RebindGraph(const GraphT& graph,
                                        const GraphEpoch& epoch) {
-  solver_ = shared_solver_->GetOrBuild(epoch.epoch, [&graph]() {
-    // Solver options are derived from fixed constants (see
-    // SolverOptionsFor), so the rebuild needs only the graph.
-    return std::make_shared<const LaplacianSolverT<WP>>(
-        graph, SolverOptionsFor<WP>(ErOptions{}));
-  });
+  const auto entry = shared_solver_->GetOrUpdate(
+      epoch.epoch,
+      [&graph, &epoch](const std::shared_ptr<const SolverEntry>& prev)
+          -> std::shared_ptr<const SolverEntry> {
+        // Touched-row Jacobi refresh: bit-identical to a fresh build
+        // (each diagonal entry is a pure function of its row), so it
+        // applies whether or not the caller opted into epoch.incremental.
+        if (prev != nullptr && prev->solver != nullptr && !epoch.resized) {
+          return std::make_shared<const SolverEntry>(SolverEntry{
+              std::make_shared<const LaplacianSolverT<WP>>(
+                  graph, *prev->solver, epoch.touched),
+              true});
+        }
+        // Solver options are derived from fixed constants (see
+        // SolverOptionsFor), so the rebuild needs only the graph.
+        return std::make_shared<const SolverEntry>(SolverEntry{
+            std::make_shared<const LaplacianSolverT<WP>>(
+                graph, SolverOptionsFor<WP>(ErOptions{})),
+            false});
+      });
+  solver_ = entry->solver;
+  if (entry->incremental) {
+    incremental_rebinds_.fetch_add(1, std::memory_order_relaxed);
+  }
   graph_ = &graph;
   // Columns are solutions against the old Laplacian: flush wholesale.
   // Landmark columns re-warm lazily (pin-on-miss via is_landmark_).

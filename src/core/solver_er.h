@@ -66,18 +66,31 @@ class SolverEstimatorT : public ErEstimator {
   /// (enabling it if off).
   std::size_t WarmLandmarks(std::span<const NodeId> landmarks) override;
 
-  /// Dynamic-graph hook: the solver's preconditioner depends on the
-  /// whole graph, so any epoch change rebuilds it — once per epoch
-  /// across every clone sharing it (core/epoch_shared.h) — and flushes
-  /// the per-worker column cache.
+  /// Dynamic-graph hook: once per epoch across every clone sharing the
+  /// holder (core/epoch_shared.h), the solver is rebound — by refreshing
+  /// only the touched rows of the Jacobi diagonal (O(|touched|),
+  /// bit-identical to a fresh construction, so it needs no opt-in) when
+  /// the node count is unchanged, else by a full rebuild — and the
+  /// per-worker column cache is flushed.
   using ErEstimator::RebindGraph;
   bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
+
+  std::uint64_t IncrementalRebinds() const override {
+    return incremental_rebinds_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// One cached CG solve; `converged` feeds QueryStats::truncated.
   struct Column {
     Vector y;
     bool converged = false;
+  };
+
+  // One epoch's shared solver plus its provenance (full rebuild vs
+  // touched-row refresh) — adopters read the flag into their counters.
+  struct SolverEntry {
+    std::shared_ptr<const LaplacianSolverT<WP>> solver;
+    bool incremental = false;
   };
 
   // Clone constructor: adopts the shared solver and its epoch holder;
@@ -95,9 +108,10 @@ class SolverEstimatorT : public ErEstimator {
 
   const GraphT* graph_;
   std::shared_ptr<const LaplacianSolverT<WP>> solver_;
-  std::shared_ptr<EpochShared<LaplacianSolverT<WP>>> shared_solver_;
+  std::shared_ptr<EpochShared<SolverEntry>> shared_solver_;
   std::unique_ptr<LruByteCache<NodeId, Column>> session_;
   std::vector<char> is_landmark_;
+  std::atomic<std::uint64_t> incremental_rebinds_{0};
 };
 
 /// The two stacks, by their historical names. The EdgeWeight

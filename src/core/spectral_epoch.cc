@@ -1,0 +1,58 @@
+#include "core/spectral_epoch.h"
+
+namespace geer {
+
+template <WeightPolicy WP>
+double EpochLambdaShared(EpochShared<EpochSpectral>& holder,
+                         const typename WP::GraphT& graph,
+                         const GraphEpoch& epoch, bool* warm_used) {
+  const std::shared_ptr<const EpochSpectral> entry = holder.GetOrUpdate(
+      epoch.epoch,
+      [&](const std::shared_ptr<const EpochSpectral>& prev)
+          -> std::shared_ptr<const EpochSpectral> {
+        auto next = std::make_shared<EpochSpectral>();
+        if (epoch.incremental && !epoch.resized) {
+          // Warm path: seed from the previous epoch's Ritz vectors when
+          // available, else a per-epoch-seeded cold start that still
+          // records Ritz vectors for the next epoch.
+          if (prev != nullptr) next->warm = prev->warm;
+          next->bounds = ComputeSpectralBoundsWarmT<WP>(
+              graph, epoch.epoch, &next->warm);
+          next->warm_started = prev != nullptr && prev->warm.valid;
+        } else {
+          // Cold path: the exact construction-time computation, so the
+          // adopted λ is bit-identical to a fresh estimator's. No Ritz
+          // recording — the warm chain starts at the first incremental
+          // epoch. A resize also lands here: previous-dimension Ritz
+          // vectors are meaningless for the new operator.
+          next->bounds = ComputeSpectralBoundsT<WP>(graph);
+        }
+        return next;
+      });
+  if (warm_used != nullptr) *warm_used = entry->warm_started;
+  return entry->bounds.lambda;
+}
+
+template <WeightPolicy WP>
+double RebindLambda(const typename WP::GraphT& graph, const GraphEpoch& epoch,
+                    bool* warm_used) {
+  if (warm_used != nullptr) *warm_used = false;
+  if (epoch.lambda.has_value()) return *epoch.lambda;
+  if (epoch.spectral != nullptr) {
+    return EpochLambdaShared<WP>(*epoch.spectral, graph, epoch, warm_used);
+  }
+  return ComputeSpectralBoundsT<WP>(graph).lambda;
+}
+
+template double EpochLambdaShared<UnitWeight>(EpochShared<EpochSpectral>&,
+                                              const Graph&, const GraphEpoch&,
+                                              bool*);
+template double EpochLambdaShared<EdgeWeight>(EpochShared<EpochSpectral>&,
+                                              const WeightedGraph&,
+                                              const GraphEpoch&, bool*);
+template double RebindLambda<UnitWeight>(const Graph&, const GraphEpoch&,
+                                         bool*);
+template double RebindLambda<EdgeWeight>(const WeightedGraph&,
+                                         const GraphEpoch&, bool*);
+
+}  // namespace geer

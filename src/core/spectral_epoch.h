@@ -1,0 +1,72 @@
+// Once-per-epoch spectral recomputation shared across batch/serve clones,
+// with opt-in warm starting (incremental epochs). Every λ-reading
+// estimator (GEER/AMC/SMM/TP/TPC) funnels its RebindGraph λ derivation
+// through EpochLambdaShared when the caller attached a holder to the
+// GraphEpoch: the first rebinder of an epoch runs Lanczos — warm-started
+// from the previous epoch's Ritz vectors when epoch.incremental, cold
+// and bit-identical to a fresh construction otherwise — and every other
+// clone adopts the result. The holder outlives epochs (caller-owned), so
+// it is also the vehicle that carries SpectralWarmState forward.
+
+#ifndef GEER_CORE_SPECTRAL_EPOCH_H_
+#define GEER_CORE_SPECTRAL_EPOCH_H_
+
+#include <memory>
+
+#include "core/epoch_shared.h"
+#include "core/estimator.h"
+#include "graph/weight_policy.h"
+#include "linalg/spectral.h"
+
+namespace geer {
+
+/// One epoch's shared spectral artifacts: the bounds every adopter reads
+/// plus the warm state the NEXT epoch's first rebinder will seed from.
+struct EpochSpectral {
+  SpectralBounds bounds;
+  SpectralWarmState warm;
+  bool warm_started = false;  ///< this epoch's run reused prior Ritz vectors
+};
+
+/// Creates a holder suitable for GraphEpoch::spectral. Starts empty: the
+/// first epoch routed through it runs cold (recording Ritz vectors for
+/// its successors when incremental).
+inline std::shared_ptr<EpochShared<EpochSpectral>> MakeSharedSpectral() {
+  return std::make_shared<EpochShared<EpochSpectral>>(nullptr);
+}
+
+/// λ for `graph` at `epoch`, computed at most once per epoch across every
+/// caller sharing the holder. Non-incremental epochs run the exact same
+/// cold computation as ComputeSpectralBoundsT (bit-identical λ);
+/// incremental epochs run the warm-started, per-epoch-seeded variant and
+/// may drift within the Lanczos tolerance. `warm_used`, when non-null,
+/// reports whether this epoch's value was warm-started (same answer for
+/// every adopter — it is a property of the epoch's single run).
+template <WeightPolicy WP>
+double EpochLambdaShared(EpochShared<EpochSpectral>& holder,
+                         const typename WP::GraphT& graph,
+                         const GraphEpoch& epoch, bool* warm_used = nullptr);
+
+/// The λ a RebindGraph must adopt: epoch.lambda verbatim when the caller
+/// precomputed it; else through epoch.spectral when a holder is attached
+/// (once per epoch across every clone, warm-started when
+/// epoch.incremental); else a private cold Lanczos run — the historical
+/// per-worker behavior. `warm_used` (optional) reports whether the
+/// holder path warm-started this epoch's value.
+template <WeightPolicy WP>
+double RebindLambda(const typename WP::GraphT& graph, const GraphEpoch& epoch,
+                    bool* warm_used = nullptr);
+
+extern template double EpochLambdaShared<UnitWeight>(
+    EpochShared<EpochSpectral>&, const Graph&, const GraphEpoch&, bool*);
+extern template double EpochLambdaShared<EdgeWeight>(
+    EpochShared<EpochSpectral>&, const WeightedGraph&, const GraphEpoch&,
+    bool*);
+extern template double RebindLambda<UnitWeight>(const Graph&,
+                                                const GraphEpoch&, bool*);
+extern template double RebindLambda<EdgeWeight>(const WeightedGraph&,
+                                                const GraphEpoch&, bool*);
+
+}  // namespace geer
+
+#endif  // GEER_CORE_SPECTRAL_EPOCH_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/ell.h"
+#include "core/spectral_epoch.h"
 #include "linalg/spectral.h"
 #include "util/check.h"
 
@@ -21,7 +22,7 @@ void FinalizePopulation(std::uint32_t ell, std::uint64_t eta,
                         Population* rec) {
   rec->ell = ell;
   rec->eta = eta;
-  std::size_t bytes = sizeof(Population);
+  std::size_t bytes = sizeof(Population) + rec->visits.bytes();
   for (const auto& row : rec->hist) {
     bytes += row.size() * sizeof(std::pair<NodeId, std::uint32_t>) +
              sizeof(row);
@@ -75,17 +76,47 @@ TpEstimatorT<WP>::TpEstimatorT(const GraphT& graph, ErOptions options)
 template <WeightPolicy WP>
 bool TpEstimatorT<WP>::RebindGraph(const GraphT& graph,
                                    const GraphEpoch& epoch) {
+  // The outgoing walk schedule, before λ is re-derived: retained
+  // populations are only compatible with the new epoch if (ℓ, η) is
+  // unchanged — every count lookup asserts schedule equality.
+  const std::uint32_t old_ell =
+      PengEll(options_.epsilon, lambda_, options_.max_ell);
+  const std::uint64_t old_eta = WalksPerLength(old_ell);
   graph_ = &graph;
   walker_ = WalkerFor<WP>(graph);
-  lambda_ = epoch.lambda.has_value()
-                ? *epoch.lambda
-                : ComputeSpectralBoundsT<WP>(graph).lambda;
-  // Conservative flush: populations do not track which rows their walks
-  // visited, and the new λ changes ℓ/η anyway. Landmark populations are
-  // re-warmed lazily: their pin-on-insert flag comes from is_landmark_,
-  // so the next query (or WarmLandmarks call) restores them.
-  if (session_ != nullptr) session_->Clear();
-  hist_count_.clear();
+  bool incremental = false;
+  bool warm = false;
+  lambda_ = RebindLambda<WP>(graph, epoch, &warm);
+  incremental = warm;
+  const std::uint32_t new_ell =
+      PengEll(options_.epsilon, lambda_, options_.max_ell);
+  if (session_ != nullptr) {
+    if (epoch.resized || new_ell != old_ell ||
+        WalksPerLength(new_ell) != old_eta) {
+      // Resize or schedule change: every population is stale (wrong
+      // dimension or wrong (ℓ, η)). Landmark populations are re-warmed
+      // lazily — their pin-on-insert flag comes from is_landmark_, so
+      // the next query (or WarmLandmarks call) restores them.
+      session_->Clear();
+    } else {
+      // Selective retention: a population whose recorded visit set is
+      // disjoint from the touched rows replays bit-identically on the
+      // new graph — evict only the intersecting ones. Pinned landmarks
+      // are evicted too when they intersect (lazy re-warm restores
+      // them).
+      session_->EvictIf([&](NodeId, const SessionPopulation& pop) {
+        return pop.visits.Intersects(epoch.touched);
+      });
+      incremental = true;
+    }
+  }
+  if (epoch.resized) {
+    hist_count_.clear();
+    hist_touched_.clear();
+  }
+  if (incremental) {
+    incremental_rebinds_.fetch_add(1, std::memory_order_relaxed);
+  }
   return true;
 }
 
@@ -111,7 +142,21 @@ void TpEstimatorT<WP>::SimulateLength(NodeId node, std::uint32_t i,
                                       SessionPopulation* record) {
   ResetHistScratch();
   for (std::uint64_t k = 0; k < eta; ++k) {
-    const NodeId end = walker_.WalkEndpoint(node, i, rng);
+    NodeId end;
+    if (record != nullptr) {
+      // Unrolled WalkEndpoint (same Step sequence, so the RNG stream —
+      // and every count — is bit-identical) that also records each node
+      // stepped FROM into the population's visit filter. The final
+      // endpoint is not recorded: its row never influenced a step.
+      NodeId cur = node;
+      for (std::uint32_t step = 0; step < i; ++step) {
+        record->visits.Add(cur);
+        cur = walker_.Step(cur, rng);
+      }
+      end = cur;
+    } else {
+      end = walker_.WalkEndpoint(node, i, rng);
+    }
     if (hist_count_[end] == 0) hist_touched_.push_back(end);
     ++hist_count_[end];
   }
@@ -334,6 +379,7 @@ void TpEstimatorT<WP>::EstimateKeyGroupSession(
       st.record_o = true;
       st.o_rec.node = st.other;
       st.o_rec.hist.reserve(ell);
+      st.o_rec.visits = VisitFilter(n);
     }
     if (first_live == m) first_live = j;
   }
@@ -348,6 +394,7 @@ void TpEstimatorT<WP>::EstimateKeyGroupSession(
   if (record_key) {
     key_rec.node = key;
     key_rec.hist.reserve(ell);
+    key_rec.visits = VisitFilter(n);
   }
 
   Rng rng_k(MixSeed(MixSeed(options_.seed, kTpStreamTag), key));
@@ -457,6 +504,7 @@ std::size_t TpEstimatorT<WP>::WarmLandmarks(
     SessionPopulation rec;
     rec.node = lm;
     rec.hist.reserve(ell);
+    rec.visits = VisitFilter(n);
     Rng rng(MixSeed(MixSeed(options_.seed, kTpStreamTag), lm));
     for (std::uint32_t i = 1; i <= ell; ++i) {
       SimulateLength(lm, i, eta, rng, &rec);

@@ -24,7 +24,9 @@
 #ifndef GEER_CORE_TP_H_
 #define GEER_CORE_TP_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -35,6 +37,7 @@
 #include "graph/weight_policy.h"
 #include "rw/walker_policy.h"
 #include "util/lru_byte_cache.h"
+#include "util/visit_filter.h"
 
 namespace geer {
 
@@ -59,6 +62,12 @@ class TpSessionCacheT {
     /// first-visit order (deterministic; NOT sorted — consumers splat
     /// into a dense scratch or scan for the two keys they need).
     std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> hist;
+    /// Every node the walks stepped FROM (start node included; final
+    /// endpoints excluded — their rows never influenced a step). On an
+    /// epoch swap the population stays valid iff this set is disjoint
+    /// from epoch.touched: the stream is content-addressed by
+    /// (seed, node), so untouched rows replay bit-identically.
+    VisitFilter visits;
     std::size_t bytes = 0;
 
     /// Count of length-i walks from `node` ending at `v` (linear scan —
@@ -84,6 +93,14 @@ class TpSessionCacheT {
   void Pin(NodeId node) { cache_.Pin(node); }
 
   void Clear() { cache_.Clear(); }
+
+  /// Removes every population (pinned included) matching
+  /// pred(node, population) — the epoch-swap selective-invalidation
+  /// hook. Returns the number removed.
+  template <typename Pred>
+  std::size_t EvictIf(Pred&& pred) {
+    return cache_.EvictIf(std::forward<Pred>(pred));
+  }
 
   std::size_t num_nodes_retained() const { return cache_.size(); }
   std::size_t bytes_retained() const { return cache_.bytes(); }
@@ -144,11 +161,20 @@ class TpEstimatorT : public ErEstimator {
   std::size_t WarmLandmarks(std::span<const NodeId> landmarks) override;
 
   /// Dynamic-graph hook: repoints at the new snapshot, rebuilds the walk
-  /// sampler, re-derives λ, and flushes the session wholesale — walk
-  /// visit sets are not tracked, so any touched row may invalidate any
-  /// population (and a λ change alters the walk schedule itself).
+  /// sampler, and re-derives λ (through epoch.spectral when attached —
+  /// warm-started when epoch.incremental). Session populations are
+  /// invalidated SELECTIVELY: each records the rows its walks stepped
+  /// from (VisitFilter), and only populations whose visit set intersects
+  /// epoch.touched are evicted — bit-identical retention, because the
+  /// per-node walk streams are content-addressed by (seed, node) and an
+  /// untouched row replays the exact same steps. A λ change that alters
+  /// the walk schedule (ℓ, η) or a resize still flushes wholesale.
   using ErEstimator::RebindGraph;
   bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
+
+  std::uint64_t IncrementalRebinds() const override {
+    return incremental_rebinds_.load(std::memory_order_relaxed);
+  }
 
   double lambda() const { return lambda_; }
 
@@ -202,6 +228,10 @@ class TpEstimatorT : public ErEstimator {
   std::vector<std::uint32_t> hist_count_;
   std::vector<NodeId> hist_touched_;
   std::vector<char> is_landmark_;
+  // RebindGraph calls that reused previous-epoch state (warm λ and/or
+  // selective session retention). Atomic: serve workers may read the
+  // metric while another thread rebinds.
+  std::atomic<std::uint64_t> incremental_rebinds_{0};
 };
 
 /// The two stacks, by their historical names.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/ell.h"
+#include "core/spectral_epoch.h"
 #include "linalg/spectral.h"
 #include "util/check.h"
 
@@ -44,6 +45,7 @@ void TpcSessionCacheT<WP>::Reaccount(std::span<Population* const> grown) {
     }
     bytes += pop->rngs.size() * sizeof(Rng);
     bytes += pop->cur_len.size() * sizeof(std::uint32_t);
+    bytes += pop->visits.bytes();
     pop->bytes = bytes;
     cache_.SetBytes(Key(pop->node, pop->side), bytes);
   }
@@ -68,15 +70,32 @@ bool TpcEstimatorT<WP>::RebindGraph(const GraphT& graph,
                                     const GraphEpoch& epoch) {
   graph_ = &graph;
   walker_ = WalkerFor<WP>(graph);
-  lambda_ = epoch.lambda.has_value()
-                ? *epoch.lambda
-                : ComputeSpectralBoundsT<WP>(graph).lambda;
+  bool warm = false;
+  lambda_ = RebindLambda<WP>(graph, epoch, &warm);
+  bool incremental = warm;
   count_a_.assign(graph.NumNodes(), 0);
   count_b_.assign(graph.NumNodes(), 0);
   touched_.clear();
-  // Conservative flush: populations do not track which rows their walks
-  // visited, and the new λ changes the walk schedule anyway.
-  if (session_ != nullptr) session_->Clear();
+  if (session_ != nullptr) {
+    if (epoch.resized) {
+      session_->Clear();
+    } else {
+      // Selective retention: populations are prefix-pure — their
+      // recorded snapshots stay valid at any (length, walk-count)
+      // prefix even when the new λ changes the schedule, because the
+      // schedule only decides how far queries read or extend. Only
+      // populations whose walks stepped from a touched row replay
+      // differently on the new graph; evict exactly those (pinned
+      // landmarks included — WarmLandmarks re-warms lazily).
+      session_->EvictIf([&](std::uint64_t, const SessionPopulation& pop) {
+        return pop.visits.Intersects(epoch.touched);
+      });
+      incremental = true;
+    }
+  }
+  if (incremental) {
+    incremental_rebinds_.fetch_add(1, std::memory_order_relaxed);
+  }
   return true;
 }
 
@@ -146,6 +165,10 @@ void TpcEstimatorT<WP>::AdvanceSessionPopulation(SessionPopulation* pop,
                                                  std::uint32_t length,
                                                  std::uint64_t n_walks,
                                                  QueryStats* stats) {
+  if (!pop->visits.Initialized()) {
+    pop->visits = VisitFilter(graph_->NumNodes());
+    pop->visits.Add(pop->node);
+  }
   if (pop->ends_at.size() <= length) pop->ends_at.resize(length + 1);
   if (pop->rngs.size() < n_walks) {
     const std::size_t old_size = pop->rngs.size();
@@ -178,6 +201,7 @@ void TpcEstimatorT<WP>::AdvanceSessionPopulation(SessionPopulation* pop,
       const NodeId* prev = pop->ends_at[len - 1].data();
       NodeId* out = row.data();
       for (std::uint64_t k = 0; k < n_walks; ++k) {
+        pop->visits.Add(prev[k]);  // stepped FROM prev[k]
         out[k] = walker_.Step(prev[k], pop->rngs[k]);
       }
     }
@@ -193,6 +217,7 @@ void TpcEstimatorT<WP>::AdvanceSessionPopulation(SessionPopulation* pop,
     NodeId cur = pop->ends_at[have][k];
     stats->walk_steps += length - have;
     while (have < length) {
+      pop->visits.Add(cur);  // stepped FROM cur
       cur = walker_.Step(cur, pop->rngs[k]);
       ++have;
       GEER_DCHECK(pop->ends_at[have].size() == k);

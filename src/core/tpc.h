@@ -33,9 +33,12 @@
 #ifndef GEER_CORE_TPC_H_
 #define GEER_CORE_TPC_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/estimator.h"
@@ -44,6 +47,7 @@
 #include "rw/rng.h"
 #include "rw/walker_policy.h"
 #include "util/lru_byte_cache.h"
+#include "util/visit_filter.h"
 
 namespace geer {
 
@@ -72,6 +76,11 @@ class TpcSessionCacheT {
     std::vector<std::vector<NodeId>> ends_at;
     std::vector<Rng> rngs;                 ///< live stream per walk
     std::vector<std::uint32_t> cur_len;    ///< recorded length per walk
+    /// Every node the walks stepped FROM (the source included; live
+    /// endpoints excluded — their rows feed future extensions, which
+    /// read the new graph either way). On an epoch swap the population
+    /// stays valid iff this set is disjoint from epoch.touched.
+    VisitFilter visits;
     std::size_t bytes = 0;
   };
 
@@ -92,6 +101,14 @@ class TpcSessionCacheT {
   void Reaccount(std::span<Population* const> grown);
 
   void Clear() { cache_.Clear(); }
+
+  /// Removes every population (pinned included) matching
+  /// pred(key, population) — the epoch-swap selective-invalidation hook.
+  /// Returns the number removed.
+  template <typename Pred>
+  std::size_t EvictIf(Pred&& pred) {
+    return cache_.EvictIf(std::forward<Pred>(pred));
+  }
 
   std::size_t num_populations() const { return cache_.size(); }
   std::size_t bytes_retained() const { return cache_.bytes(); }
@@ -155,10 +172,20 @@ class TpcEstimatorT : public ErEstimator {
   std::size_t WarmLandmarks(std::span<const NodeId> landmarks) override;
 
   /// Dynamic-graph hook: repoints at the new snapshot, rebuilds the walk
-  /// sampler, re-derives λ, and flushes the session wholesale (walk
-  /// visit sets are untracked; λ changes the schedule anyway).
+  /// sampler, and re-derives λ (through epoch.spectral when attached —
+  /// warm-started when epoch.incremental). Session populations are
+  /// invalidated SELECTIVELY via their recorded visit sets: populations
+  /// are prefix-pure (recorded snapshots stay valid at any (length,
+  /// walk-count) prefix even when λ changes the schedule — the schedule
+  /// only decides how far queries read or extend), so only populations
+  /// whose walks stepped from a touched row are evicted. A resize still
+  /// flushes wholesale.
   using ErEstimator::RebindGraph;
   bool RebindGraph(const GraphT& graph, const GraphEpoch& epoch) override;
+
+  std::uint64_t IncrementalRebinds() const override {
+    return incremental_rebinds_.load(std::memory_order_relaxed);
+  }
 
   double lambda() const { return lambda_; }
 
@@ -243,6 +270,10 @@ class TpcEstimatorT : public ErEstimator {
   std::vector<std::uint32_t> count_b_;
   std::vector<NodeId> touched_;
   std::vector<char> is_landmark_;
+  // RebindGraph calls that reused previous-epoch state (warm λ and/or
+  // selective session retention). Atomic: serve workers may read the
+  // metric while another thread rebinds.
+  std::atomic<std::uint64_t> incremental_rebinds_{0};
 };
 
 /// The two stacks, by their historical names.

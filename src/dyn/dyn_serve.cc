@@ -9,18 +9,22 @@ namespace geer {
 template <WeightPolicy WP>
 std::future<bool> ApplyEpochUpdate(
     QueryService& service, std::shared_ptr<const DynSnapshotT<WP>> snapshot,
-    std::optional<double> lambda) {
+    std::optional<double> lambda, bool incremental,
+    std::shared_ptr<EpochShared<EpochSpectral>> spectral) {
   GEER_CHECK(snapshot != nullptr && snapshot->graph != nullptr);
   const std::uint64_t epoch = snapshot->epoch;
   // The rebinder captures the snapshot, so the touched span and the graph
   // stay alive for the duration of every worker rebind; keep_alive then
   // pins them for as long as the service answers on this epoch.
-  auto rebind = [snapshot, lambda](ErEstimator& estimator) {
+  auto rebind = [snapshot, lambda, incremental,
+                 spectral = std::move(spectral)](ErEstimator& estimator) {
     GraphEpoch info;
     info.epoch = snapshot->epoch;
     info.touched = std::span<const NodeId>(snapshot->touched);
     info.resized = snapshot->resized;
     info.lambda = lambda;
+    info.incremental = incremental;
+    info.spectral = spectral;
     return estimator.RebindGraph(*snapshot->graph, info);
   };
   return service.ApplyUpdates(epoch, std::move(rebind),
@@ -29,9 +33,9 @@ std::future<bool> ApplyEpochUpdate(
 
 template std::future<bool> ApplyEpochUpdate<UnitWeight>(
     QueryService&, std::shared_ptr<const DynSnapshotT<UnitWeight>>,
-    std::optional<double>);
+    std::optional<double>, bool, std::shared_ptr<EpochShared<EpochSpectral>>);
 template std::future<bool> ApplyEpochUpdate<EdgeWeight>(
     QueryService&, std::shared_ptr<const DynSnapshotT<EdgeWeight>>,
-    std::optional<double>);
+    std::optional<double>, bool, std::shared_ptr<EpochShared<EpochSpectral>>);
 
 }  // namespace geer

@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 
+#include "core/spectral_epoch.h"
 #include "dyn/dynamic_graph.h"
 #include "serve/query_service.h"
 
@@ -20,21 +21,30 @@ namespace geer {
 /// service. `lambda` is the precomputed λ of the snapshot's graph — pass
 /// it when the estimator reads λ (registry EstimatorReadsLambda) so the
 /// Lanczos preprocessing runs once per epoch instead of once per worker;
-/// leave it empty otherwise (or to let each worker recompute). See
-/// QueryService::ApplyUpdates for the barrier semantics; the returned
-/// future resolves true once every worker serves the new epoch.
+/// leave it empty otherwise (or to let each worker recompute).
+/// `incremental` opts the swap into the incremental maintenance paths
+/// (GraphEpoch::incremental — warm-started λ, rank-1-updated factors;
+/// answers may drift within the documented tolerances, see README
+/// "Incremental epochs"); `spectral` is the caller-owned cross-epoch
+/// spectral holder (core/spectral_epoch.h MakeSharedSpectral) that both
+/// shares the per-epoch Lanczos run across workers and carries the warm
+/// state between epochs — pass the SAME holder for every swap of one
+/// service. See QueryService::ApplyUpdates for the barrier semantics;
+/// the returned future resolves true once every worker serves the new
+/// epoch.
 template <WeightPolicy WP>
 std::future<bool> ApplyEpochUpdate(
     QueryService& service,
     std::shared_ptr<const DynSnapshotT<WP>> snapshot,
-    std::optional<double> lambda = std::nullopt);
+    std::optional<double> lambda = std::nullopt, bool incremental = false,
+    std::shared_ptr<EpochShared<EpochSpectral>> spectral = nullptr);
 
 extern template std::future<bool> ApplyEpochUpdate<UnitWeight>(
     QueryService&, std::shared_ptr<const DynSnapshotT<UnitWeight>>,
-    std::optional<double>);
+    std::optional<double>, bool, std::shared_ptr<EpochShared<EpochSpectral>>);
 extern template std::future<bool> ApplyEpochUpdate<EdgeWeight>(
     QueryService&, std::shared_ptr<const DynSnapshotT<EdgeWeight>>,
-    std::optional<double>);
+    std::optional<double>, bool, std::shared_ptr<EpochShared<EpochSpectral>>);
 
 }  // namespace geer
 

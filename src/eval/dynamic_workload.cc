@@ -45,7 +45,7 @@ DynamicWorkloadResult RunDynamicWorkload(
     DynamicGraphT<WP>& graph, const std::string& method,
     const ErOptions& options, std::span<const DynTraceEvent> trace,
     const ServeOptions& serve_options, double deadline_seconds,
-    bool realtime) {
+    bool realtime, bool incremental_epochs) {
   const double kNaN = std::numeric_limits<double>::quiet_NaN();
   DynamicWorkloadResult result;
   result.num_events = trace.size();
@@ -80,6 +80,11 @@ DynamicWorkloadResult RunDynamicWorkload(
 
   Timer wall;
   const auto start = std::chrono::steady_clock::now();
+  // Cross-epoch spectral holder for incremental replays: shares the
+  // once-per-epoch Lanczos run across workers AND carries the Ritz
+  // vectors that warm-start the next epoch's run.
+  std::shared_ptr<EpochShared<EpochSpectral>> spectral =
+      incremental_epochs && reads_lambda ? MakeSharedSpectral() : nullptr;
   {
     QueryService service(*estimator, serve_options);
     result.workers = service.workers();
@@ -105,10 +110,16 @@ DynamicWorkloadResult RunDynamicWorkload(
       for (const EdgeUpdate& op : event.updates) graph.Apply(op);
       auto snapshot = graph.Commit();
       const double commit_ms = commit_timer.ElapsedMillis();
+      // Incremental mode leaves λ to the shared holder (warm-started by
+      // the first rebinding worker, O(touched)-friendly); the default
+      // precomputes it cold here so answers stay bit-identical.
       Timer swap_timer;
       std::future<bool> swapped = ApplyEpochUpdate<WP>(
           service, snapshot,
-          EpochLambda<WP>(*snapshot->graph, reads_lambda));
+          incremental_epochs
+              ? std::nullopt
+              : EpochLambda<WP>(*snapshot->graph, reads_lambda),
+          incremental_epochs, spectral);
       const bool ok = swapped.get();
       GEER_CHECK(ok) << "epoch swap failed for " << method;
       DynEpochStats& stats = epochs[snapshot->epoch];
@@ -152,6 +163,7 @@ DynamicWorkloadResult RunDynamicWorkload(
       }
     }
     result.wall_seconds = wall.ElapsedSeconds();
+    result.incremental_rebinds = service.Metrics().incremental_rebinds;
     service.Shutdown();
     for (auto& [epoch, samples] : latencies) {
       std::sort(samples.begin(), samples.end());
@@ -173,9 +185,9 @@ DynamicWorkloadResult RunDynamicWorkload(
 
 template DynamicWorkloadResult RunDynamicWorkload<UnitWeight>(
     DynamicGraphT<UnitWeight>&, const std::string&, const ErOptions&,
-    std::span<const DynTraceEvent>, const ServeOptions&, double, bool);
+    std::span<const DynTraceEvent>, const ServeOptions&, double, bool, bool);
 template DynamicWorkloadResult RunDynamicWorkload<EdgeWeight>(
     DynamicGraphT<EdgeWeight>&, const std::string&, const ErOptions&,
-    std::span<const DynTraceEvent>, const ServeOptions&, double, bool);
+    std::span<const DynTraceEvent>, const ServeOptions&, double, bool, bool);
 
 }  // namespace geer

@@ -75,6 +75,10 @@ struct DynamicWorkloadResult {
   double wall_seconds = 0.0;
   double throughput_qps = 0.0;  ///< answered / wall
   int workers = 1;
+  /// Final ServeMetrics.incremental_rebinds snapshot: worker rebinds
+  /// that reused previous-epoch state (only ever > 0 when the replay ran
+  /// with incremental_epochs, or for the always-on exact paths).
+  std::uint64_t incremental_rebinds = 0;
 
   /// One entry per epoch the replay served (epoch 0 first), in order.
   std::vector<DynEpochStats> epochs;
@@ -91,21 +95,27 @@ struct DynamicWorkloadResult {
 /// current snapshot. Updates are applied from the replay thread (the
 /// single writer); `options.lambda` is ignored in favor of a per-epoch λ
 /// computed for methods that read it, so every answer is bit-identical
-/// to a from-scratch estimator on that epoch's snapshot. realtime=false
-/// replays back-to-back (determinism suites, max-throughput benches).
+/// to a from-scratch estimator on that epoch's snapshot — UNLESS
+/// `incremental_epochs` is set, which opts every swap into the
+/// incremental maintenance paths (GraphEpoch::incremental: warm-started
+/// Lanczos carried across epochs via a shared spectral holder,
+/// rank-1-updated factors). Swaps are then O(touched) instead of
+/// O(graph) but answers may drift within the documented tolerances
+/// (README "Incremental epochs"). realtime=false replays back-to-back
+/// (determinism suites, max-throughput benches).
 template <WeightPolicy WP>
 DynamicWorkloadResult RunDynamicWorkload(
     DynamicGraphT<WP>& graph, const std::string& method,
     const ErOptions& options, std::span<const DynTraceEvent> trace,
     const ServeOptions& serve_options, double deadline_seconds = 0.0,
-    bool realtime = false);
+    bool realtime = false, bool incremental_epochs = false);
 
 extern template DynamicWorkloadResult RunDynamicWorkload<UnitWeight>(
     DynamicGraphT<UnitWeight>&, const std::string&, const ErOptions&,
-    std::span<const DynTraceEvent>, const ServeOptions&, double, bool);
+    std::span<const DynTraceEvent>, const ServeOptions&, double, bool, bool);
 extern template DynamicWorkloadResult RunDynamicWorkload<EdgeWeight>(
     DynamicGraphT<EdgeWeight>&, const std::string&, const ErOptions&,
-    std::span<const DynTraceEvent>, const ServeOptions&, double, bool);
+    std::span<const DynTraceEvent>, const ServeOptions&, double, bool, bool);
 
 }  // namespace geer
 

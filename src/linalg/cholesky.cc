@@ -25,6 +25,47 @@ std::optional<CholeskyFactor> CholeskyFactor::Factorize(const Matrix& m) {
   return CholeskyFactor(std::move(l));
 }
 
+void CholeskyFactor::RankOneUpdate(const Vector& x) {
+  const std::size_t n = Dim();
+  GEER_CHECK_EQ(x.size(), n);
+  Vector w = x;
+  std::size_t start = 0;
+  while (start < n && w[start] == 0.0) ++start;  // sparse prefix skip
+  for (std::size_t k = start; k < n; ++k) {
+    const double lkk = l_(k, k);
+    const double r = std::hypot(lkk, w[k]);
+    const double c = r / lkk;
+    const double s = w[k] / lkk;
+    l_(k, k) = r;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      l_(i, k) = (l_(i, k) + s * w[i]) / c;
+      w[i] = c * w[i] - s * l_(i, k);
+    }
+  }
+}
+
+bool CholeskyFactor::RankOneDowndate(const Vector& x) {
+  const std::size_t n = Dim();
+  GEER_CHECK_EQ(x.size(), n);
+  Vector w = x;
+  std::size_t start = 0;
+  while (start < n && w[start] == 0.0) ++start;
+  for (std::size_t k = start; k < n; ++k) {
+    const double lkk = l_(k, k);
+    const double r2 = lkk * lkk - w[k] * w[k];
+    if (r2 <= 0.0 || !std::isfinite(r2)) return false;
+    const double r = std::sqrt(r2);
+    const double c = r / lkk;
+    const double s = w[k] / lkk;
+    l_(k, k) = r;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      l_(i, k) = (l_(i, k) - s * w[i]) / c;
+      w[i] = c * w[i] - s * l_(i, k);
+    }
+  }
+  return true;
+}
+
 Vector CholeskyFactor::Solve(const Vector& b) const {
   const std::size_t n = Dim();
   GEER_CHECK_EQ(b.size(), n);

@@ -21,6 +21,19 @@ class CholeskyFactor {
   /// Solves M x = b via forward + backward substitution.
   Vector Solve(const Vector& b) const;
 
+  /// Rank-1 update: replaces the factor of M with the factor of M + xxᵀ
+  /// in O((n − first_nonzero(x))·n) hyperbolic-rotation passes — the
+  /// incremental-epoch primitive (an edge-weight increase δ on {u,v} is
+  /// x = √δ·(e_u − e_v), so the pass starts at min(u,v)). Always
+  /// succeeds: M + xxᵀ is SPD whenever M is.
+  void RankOneUpdate(const Vector& x);
+
+  /// Rank-1 downdate: factor of M − xxᵀ. Returns false (leaving the
+  /// factor in a partially-modified, UNUSABLE state — callers must then
+  /// refactorize from scratch) when M − xxᵀ is not numerically positive
+  /// definite.
+  bool RankOneDowndate(const Vector& x);
+
   std::size_t Dim() const { return l_.Rows(); }
 
  private:

@@ -10,9 +10,18 @@ namespace geer {
 namespace {
 
 // Eigenvalues of a symmetric tridiagonal matrix by bisection-free QL with
-// implicit shifts (standard tql1-style routine, eigenvalues only).
+// implicit shifts (standard tql1/tql2-style routine). When `z` is
+// non-null it must be the k×k identity on entry; the plane rotations are
+// accumulated into it (tql2) so column j of the permuted result holds the
+// eigenvector of the j-th smallest eigenvalue. The z accumulation never
+// feeds back into diag/off, so the returned eigenvalues are bit-identical
+// with and without it. Returns the sorted eigenvalues together with the
+// sort permutation (identity when z is null — the values alone don't
+// need it).
 std::vector<double> TridiagonalEigenvalues(std::vector<double> diag,
-                                           std::vector<double> off) {
+                                           std::vector<double> off,
+                                           Matrix* z = nullptr,
+                                           std::vector<int>* perm = nullptr) {
   const int n = static_cast<int>(diag.size());
   if (n == 0) return {};
   off.push_back(0.0);  // off[i] couples i and i+1; pad.
@@ -50,6 +59,13 @@ std::vector<double> TridiagonalEigenvalues(std::vector<double> diag,
           p = s * r;
           diag[i + 1] = g + p;
           g = c * r - b;
+          if (z != nullptr) {
+            for (int k = 0; k < n; ++k) {
+              f = (*z)(k, i + 1);
+              (*z)(k, i + 1) = s * (*z)(k, i) + c * f;
+              (*z)(k, i) = c * (*z)(k, i) - s * f;
+            }
+          }
         }
         if (r == 0.0 && i >= l) continue;
         diag[l] -= p;
@@ -57,6 +73,15 @@ std::vector<double> TridiagonalEigenvalues(std::vector<double> diag,
         off[m] = 0.0;
       }
     } while (m != l);
+  }
+  if (perm != nullptr) {
+    perm->resize(n);
+    for (int i = 0; i < n; ++i) (*perm)[i] = i;
+    std::sort(perm->begin(), perm->end(),
+              [&diag](int a, int b) { return diag[a] < diag[b]; });
+    std::vector<double> sorted(n);
+    for (int i = 0; i < n; ++i) sorted[i] = diag[(*perm)[i]];
+    return sorted;
   }
   std::sort(diag.begin(), diag.end());
   return diag;
@@ -78,22 +103,42 @@ LanczosResult LanczosExtremeEigenvalues(
   GEER_CHECK_GT(dim, 0u);
   LanczosResult result;
 
-  // Random start vector, deflated and normalized.
-  Rng rng(options.seed);
-  Vector v(dim);
-  for (double& e : v) e = rng.NextDouble() - 0.5;
-  OrthogonalizeAgainst(deflate, &v);
-  double norm = Norm2(v);
-  if (norm < options.tolerance) {
-    // Deflation space covers the start vector (tiny graphs): retry once
-    // with a different seed, else report the trivial subspace.
-    Rng retry(options.seed + 0x51ed2700);
-    for (double& e : v) e = retry.NextDouble() - 0.5;
+  // Start vector: warm (sum of the caller's carried-over Ritz vectors,
+  // deflated) when provided and usable, else the seeded random vector.
+  Vector v(dim, 0.0);
+  double norm = 0.0;
+  if (options.warm_start != nullptr && !options.warm_start->empty()) {
+    bool usable = true;
+    for (const Vector& w0 : *options.warm_start) {
+      if (w0.size() != dim) {
+        usable = false;
+        break;
+      }
+    }
+    if (usable) {
+      for (const Vector& w0 : *options.warm_start) Axpy(1.0, w0, &v);
+      OrthogonalizeAgainst(deflate, &v);
+      norm = Norm2(v);
+      if (norm >= options.tolerance) result.warm_started = true;
+    }
+  }
+  if (!result.warm_started) {
+    // Random start vector, deflated and normalized.
+    Rng rng(options.seed);
+    for (double& e : v) e = rng.NextDouble() - 0.5;
     OrthogonalizeAgainst(deflate, &v);
     norm = Norm2(v);
     if (norm < options.tolerance) {
-      result.converged = true;
-      return result;
+      // Deflation space covers the start vector (tiny graphs): retry once
+      // with a different seed, else report the trivial subspace.
+      Rng retry(options.seed + 0x51ed2700);
+      for (double& e : v) e = retry.NextDouble() - 0.5;
+      OrthogonalizeAgainst(deflate, &v);
+      norm = Norm2(v);
+      if (norm < options.tolerance) {
+        result.converged = true;
+        return result;
+      }
     }
   }
   Scale(1.0 / norm, &v);
@@ -106,6 +151,9 @@ LanczosResult LanczosExtremeEigenvalues(
 
   const int max_iter =
       std::min<int>(options.max_iterations, static_cast<int>(dim));
+  double prev_lo = 0.0;
+  double prev_hi = 0.0;
+  bool have_prev_ritz = false;
   for (int j = 0; j < max_iter; ++j) {
     apply(basis.back(), &w);
     const double a = Dot(basis.back(), w);
@@ -126,13 +174,55 @@ LanczosResult LanczosExtremeEigenvalues(
     Scale(1.0 / b, &w);
     basis.push_back(w);
     result.iterations = j + 1;
+    // Stagnation early exit: once the extreme Ritz values stop moving,
+    // further Krylov growth only polishes interior values the caller
+    // never reads. Ritz extremes are monotone in k (Cauchy interlacing),
+    // so a sub-tolerance step is a reliable convergence signal when the
+    // start vector is already near the extreme eigenvectors.
+    if (options.stagnation_tolerance > 0.0 && alpha.size() >= 3) {
+      std::vector<double> off(beta.begin(),
+                              beta.begin() + (alpha.size() - 1));
+      const std::vector<double> ritz = TridiagonalEigenvalues(alpha, off);
+      const double lo = ritz.front();
+      const double hi = ritz.back();
+      if (have_prev_ritz &&
+          std::abs(hi - prev_hi) <=
+              options.stagnation_tolerance * std::max(1.0, std::abs(hi)) &&
+          std::abs(lo - prev_lo) <=
+              options.stagnation_tolerance * std::max(1.0, std::abs(lo))) {
+        result.converged = true;
+        break;
+      }
+      prev_lo = lo;
+      prev_hi = hi;
+      have_prev_ritz = true;
+    }
   }
   if (!alpha.empty()) {
+    const int k = static_cast<int>(alpha.size());
     std::vector<double> off(beta.begin(),
                             beta.begin() + (alpha.size() - 1));
-    std::vector<double> ritz = TridiagonalEigenvalues(alpha, off);
-    result.min_eigenvalue = ritz.front();
-    result.max_eigenvalue = ritz.back();
+    if (options.want_ritz_vectors) {
+      Matrix z(k, k, 0.0);
+      for (int i = 0; i < k; ++i) z(i, i) = 1.0;
+      std::vector<int> perm;
+      std::vector<double> ritz =
+          TridiagonalEigenvalues(alpha, off, &z, &perm);
+      result.min_eigenvalue = ritz.front();
+      result.max_eigenvalue = ritz.back();
+      // Ritz vector = Σ_j basis_j · z(j, idx), in operator coordinates.
+      const auto combine = [&](int col) {
+        Vector out(dim, 0.0);
+        for (int j = 0; j < k; ++j) Axpy(z(j, col), basis[j], &out);
+        return out;
+      };
+      result.min_ritz_vector = combine(perm.front());
+      result.max_ritz_vector = combine(perm.back());
+    } else {
+      std::vector<double> ritz = TridiagonalEigenvalues(alpha, off);
+      result.min_eigenvalue = ritz.front();
+      result.max_eigenvalue = ritz.back();
+    }
     if (result.iterations >= max_iter) result.converged = true;
   }
   return result;

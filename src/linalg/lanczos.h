@@ -17,6 +17,28 @@ struct LanczosOptions {
   int max_iterations = 200;   ///< Krylov dimension cap
   double tolerance = 1e-10;   ///< residual/beta breakdown tolerance
   std::uint64_t seed = 42;    ///< deterministic start vector
+  /// When non-null and non-empty, the start vector is the (deflated,
+  /// normalized) SUM of these vectors instead of the seeded random
+  /// vector — the warm-start hook for incremental epoch maintenance,
+  /// where the previous epoch's extreme Ritz vectors are excellent
+  /// starts for the perturbed operator. Vectors whose dimension does
+  /// not match, or whose deflated sum is numerically zero, fall back
+  /// to the deterministic seeded cold start.
+  const std::vector<Vector>* warm_start = nullptr;
+  /// Ritz-value stagnation early exit (0 disables). When positive, each
+  /// iteration past a small minimum solves the values-only tridiagonal
+  /// problem (O(k²), cheap next to the O(k·dim) reorthogonalization) and
+  /// stops once BOTH extreme Ritz values moved by less than this
+  /// relative tolerance since the previous iteration. Intended for the
+  /// warm-started spectral path, where a near-eigenvector start
+  /// converges the extremes in a handful of iterations; cold runs leave
+  /// it 0 so their fixed Krylov budget — and hence every bit of the
+  /// returned eigenvalues — is unchanged.
+  double stagnation_tolerance = 0.0;
+  /// Also return the Ritz VECTORS of the extreme Ritz values (costs one
+  /// k×k eigenvector accumulation plus two basis combinations). The
+  /// returned eigenVALUES are bit-identical either way.
+  bool want_ritz_vectors = false;
 };
 
 /// Result: extreme Ritz values of the operator restricted to the subspace
@@ -26,6 +48,12 @@ struct LanczosResult {
   double min_eigenvalue = 0.0;  ///< smallest Ritz value
   int iterations = 0;           ///< Krylov dimension actually built
   bool converged = false;
+  bool warm_started = false;    ///< start vector came from warm_start
+  /// Ritz vectors for the extreme Ritz values, in operator coordinates;
+  /// empty unless options.want_ritz_vectors and the Krylov space is
+  /// non-trivial.
+  Vector max_ritz_vector;
+  Vector min_ritz_vector;
 };
 
 /// Runs Lanczos on the symmetric operator `apply` (y ← Op·x) of dimension

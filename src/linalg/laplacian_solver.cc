@@ -18,6 +18,23 @@ LaplacianSolverT<WP>::LaplacianSolverT(const GraphT& graph, Options options)
 }
 
 template <WeightPolicy WP>
+LaplacianSolverT<WP>::LaplacianSolverT(const GraphT& graph,
+                                       const LaplacianSolverT& prev,
+                                       std::span<const NodeId> touched)
+    : graph_(&graph),
+      options_(prev.options_),
+      inv_weight_(prev.inv_weight_) {
+  GEER_CHECK_EQ(static_cast<std::size_t>(graph.NumNodes()),
+                inv_weight_.size());
+  for (const NodeId v : touched) {
+    const double w = WP::NodeWeight(graph, v);
+    GEER_CHECK(w > 0.0) << "isolated node " << v
+                        << " — Laplacian solver requires a connected graph";
+    inv_weight_[v] = 1.0 / w;
+  }
+}
+
+template <WeightPolicy WP>
 void LaplacianSolverT<WP>::ApplyLaplacian(const Vector& x, Vector* y) const {
   const NodeId n = graph_->NumNodes();
   GEER_CHECK_EQ(x.size(), static_cast<std::size_t>(n));

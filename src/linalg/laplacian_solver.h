@@ -11,6 +11,7 @@
 #define GEER_LINALG_LAPLACIAN_SOLVER_H_
 
 #include <cstdint>
+#include <span>
 
 #include "graph/weight_policy.h"
 #include "linalg/dense.h"
@@ -40,9 +41,18 @@ class LaplacianSolverT {
   explicit LaplacianSolverT(const GraphT& graph)
       : LaplacianSolverT(graph, Options()) {}
   LaplacianSolverT(const GraphT& graph, Options options);
+  /// Rebinds `prev`'s state to a new epoch of the same logical graph
+  /// (same node count) by copying the Jacobi diagonal and recomputing
+  /// only the `touched` rows — O(|touched|) instead of O(n), and
+  /// bit-identical to a fresh construction because each diagonal entry
+  /// is a pure function of its own row.
+  LaplacianSolverT(const GraphT& graph, const LaplacianSolverT& prev,
+                   std::span<const NodeId> touched);
   // Stores a pointer to `graph`; a temporary would dangle.
   explicit LaplacianSolverT(GraphT&&) = delete;
   LaplacianSolverT(GraphT&&, Options) = delete;
+  LaplacianSolverT(GraphT&&, const LaplacianSolverT&,
+                   std::span<const NodeId>) = delete;
 
   /// Solves L x = b. `b` is projected onto 𝟙^⊥ internally (the component
   /// along 𝟙 is unsolvable and irrelevant to ER queries).

@@ -9,7 +9,10 @@
 #ifndef GEER_LINALG_SPECTRAL_H_
 #define GEER_LINALG_SPECTRAL_H_
 
+#include <cstdint>
+
 #include "graph/weight_policy.h"
+#include "linalg/dense.h"
 
 namespace geer {
 
@@ -28,6 +31,14 @@ struct SpectralOptions {
   /// Safety margin: λ is clamped to ≤ 1 − `floor_gap` so the walk-length
   /// formulas stay finite even if Lanczos slightly overshoots.
   double floor_gap = 1e-9;
+  /// Ritz-value stagnation tolerance for WARM-started runs only (see
+  /// LanczosOptions::stagnation_tolerance): with the previous epoch's
+  /// Ritz vectors as the start, the extremes stabilize within a few
+  /// iterations and the run exits early instead of spending the full
+  /// Krylov budget — the O(touched)-ish half of the incremental-epoch
+  /// swap. Cold runs (fresh construction, invalid warm state) never use
+  /// it, keeping their λ bit-identical.
+  double warm_stagnation_tolerance = 1e-9;
 };
 
 /// Computes λ₂, λ_n and λ for a connected graph under weight policy WP.
@@ -41,6 +52,34 @@ SpectralBounds ComputeSpectralBoundsT(const typename WP::GraphT& graph,
 /// Exact (dense Jacobi) spectral bounds for small graphs; test oracle.
 template <WeightPolicy WP>
 SpectralBounds ComputeSpectralBoundsDenseT(const typename WP::GraphT& graph);
+
+/// Carry-over state for warm-started spectral maintenance across dynamic
+/// epochs: the previous epoch's extreme Ritz vectors of N. A small edge
+/// update perturbs N locally, so these vectors are near-eigenvectors of
+/// the new operator and Lanczos converges in a handful of iterations
+/// instead of a cold O(dozens). Invalidated (valid = false) whenever the
+/// node count changes or the previous run produced no usable vectors.
+struct SpectralWarmState {
+  bool valid = false;
+  std::uint64_t epoch = 0;  ///< epoch whose run produced the vectors
+  Vector max_ritz;          ///< Ritz vector of the largest deflated Ritz value
+  Vector min_ritz;          ///< Ritz vector of the smallest Ritz value
+};
+
+/// Warm-started spectral bounds for epoch `epoch` of a dynamic graph.
+/// Reads `state` (when valid and dimension-matched) to seed the Lanczos
+/// start vector, and overwrites it with this epoch's Ritz vectors on
+/// return. The Lanczos seed is mixed with the epoch number, so both the
+/// warm path and its deterministic cold fallback (state invalid /
+/// resized graph) are reproducible AND distinguishable from the
+/// construction-time cold run of ComputeSpectralBoundsT. The returned λ
+/// generally differs from the cold λ in the last bits (documented drift
+/// ≤ the Lanczos tolerance) — callers opt in via GraphEpoch::incremental.
+template <WeightPolicy WP>
+SpectralBounds ComputeSpectralBoundsWarmT(const typename WP::GraphT& graph,
+                                          std::uint64_t epoch,
+                                          SpectralWarmState* state,
+                                          const SpectralOptions& options = {});
 
 /// Unweighted entry points (historical names).
 inline SpectralBounds ComputeSpectralBounds(
@@ -66,6 +105,11 @@ extern template SpectralBounds ComputeSpectralBoundsT<UnitWeight>(
     const Graph&, const SpectralOptions&);
 extern template SpectralBounds ComputeSpectralBoundsT<EdgeWeight>(
     const WeightedGraph&, const SpectralOptions&);
+extern template SpectralBounds ComputeSpectralBoundsWarmT<UnitWeight>(
+    const Graph&, std::uint64_t, SpectralWarmState*, const SpectralOptions&);
+extern template SpectralBounds ComputeSpectralBoundsWarmT<EdgeWeight>(
+    const WeightedGraph&, std::uint64_t, SpectralWarmState*,
+    const SpectralOptions&);
 extern template SpectralBounds ComputeSpectralBoundsDenseT<UnitWeight>(
     const Graph&);
 extern template SpectralBounds ComputeSpectralBoundsDenseT<EdgeWeight>(

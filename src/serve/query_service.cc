@@ -289,6 +289,12 @@ void QueryService::SchedulerLoop() {
         current_epoch_ = swap.epoch;
         epoch_keep_alive_ = std::move(swap.keep_alive);
         ++metrics_.epoch_swaps;
+        // Refresh here as well as post-dispatch, so swap-only sequences
+        // (no queries after the swap) still observe the counter.
+        metrics_.incremental_rebinds = 0;
+        for (const ErEstimator* worker : workers_) {
+          metrics_.incremental_rebinds += worker->IncrementalRebinds();
+        }
       }
       swap.done.set_value(ok);
       continue;
@@ -469,8 +475,10 @@ void QueryService::DispatchBatch(std::vector<Pending> batch,
   // (workers are idle between dispatches), then published under mu_ —
   // Metrics() readers never race the estimators themselves.
   metrics_.session_cache = CacheStats{};
+  metrics_.incremental_rebinds = 0;
   for (const ErEstimator* worker : workers_) {
     metrics_.session_cache += worker->SessionCacheStats();
+    metrics_.incremental_rebinds += worker->IncrementalRebinds();
   }
 }
 

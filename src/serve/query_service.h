@@ -119,6 +119,13 @@ struct ServeMetrics {
   std::uint64_t flush_drain = 0;     ///< explicit Flush()/Shutdown drain
   std::uint64_t flush_swap = 0;      ///< pre-swap barrier drain
   std::uint64_t epoch_swaps = 0;     ///< ApplyUpdates swaps applied
+  /// RebindGraph calls across all workers that reused previous-epoch
+  /// state instead of rebuilding cold (warm-started λ, incrementally
+  /// updated factor/solver, selective visit-set session retention) —
+  /// summed from ErEstimator::IncrementalRebinds after every swap. The
+  /// incremental-epochs tests assert this is > 0 when
+  /// GraphEpoch::incremental workloads actually take the fast path.
+  std::uint64_t incremental_rebinds = 0;
   /// Session/landmark cache counters summed over all workers, refreshed
   /// after every dispatched micro-batch (ErEstimator::SessionCacheStats).
   /// hits/misses/evictions are monotone — LruByteCache keeps them across

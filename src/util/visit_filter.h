@@ -1,0 +1,71 @@
+// Compact per-cache-entry visit filter for the walk estimators' session
+// populations (TP/TPC). A population records (conservatively) every node
+// whose CSR row influenced its walks; on an epoch swap, RebindGraph keeps
+// exactly the entries whose filter is disjoint from epoch.touched —
+// selective retention at O(|touched|) per entry instead of flushing the
+// whole cache. The filter is a power-of-two bit array indexed by
+// node & mask: exact for graphs up to the capacity cap, aliased above it.
+// Aliasing only produces false POSITIVES (spurious intersections), so the
+// failure mode is safe over-eviction, never a stale retained walk.
+
+#ifndef GEER_UTIL_VISIT_FILTER_H_
+#define GEER_UTIL_VISIT_FILTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace geer {
+
+class VisitFilter {
+ public:
+  VisitFilter() = default;
+
+  /// Sizes the filter for a graph of `num_nodes` nodes: the smallest
+  /// power of two ≥ num_nodes, capped at kMaxBits (8 KiB of bits) so the
+  /// per-entry overhead stays bounded on huge graphs.
+  explicit VisitFilter(NodeId num_nodes) {
+    std::uint64_t bits = 64;
+    while (bits < num_nodes && bits < kMaxBits) bits <<= 1;
+    mask_ = static_cast<std::uint32_t>(bits - 1);
+    bits_.assign(bits >> 6, 0);
+  }
+
+  bool Initialized() const { return !bits_.empty(); }
+
+  void Add(NodeId v) {
+    const std::uint32_t b = v & mask_;
+    bits_[b >> 6] |= 1ull << (b & 63);
+  }
+
+  bool MayContain(NodeId v) const {
+    if (bits_.empty()) return false;
+    const std::uint32_t b = v & mask_;
+    return (bits_[b >> 6] & (1ull << (b & 63))) != 0;
+  }
+
+  /// True iff any of `nodes` may have been visited. An uninitialized
+  /// filter reports true — an entry that never recorded its visits must
+  /// be treated as depending on everything.
+  bool Intersects(std::span<const NodeId> nodes) const {
+    if (bits_.empty()) return true;
+    for (const NodeId v : nodes) {
+      if (MayContain(v)) return true;
+    }
+    return false;
+  }
+
+  std::size_t bytes() const { return bits_.size() * sizeof(std::uint64_t); }
+
+ private:
+  static constexpr std::uint64_t kMaxBits = 1ull << 16;
+
+  std::uint32_t mask_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace geer
+
+#endif  // GEER_UTIL_VISIT_FILTER_H_

@@ -6,8 +6,10 @@
 #   2. a within-threshold wiggle exits 0,
 #   3. a slow monotone decline (each step under the threshold) passes the
 #      pairwise gate but earns a "drift" warning from the trajectory scan,
-#   4. non-throughput time series never hard-fail (warn only),
-#   5. a single-file trajectory skips cleanly (exit 0).
+#   4. non-gated time series never hard-fail (warn only),
+#   5. a single-file trajectory skips cleanly (exit 0),
+#   6. gated latency series (swap_ms / p95_ms): growth past the
+#      --time-threshold exits 1, growth under it passes silently.
 # Registered in CMakeLists.txt as test check_bench_selftest; needs only
 # bash + awk, like the script under test.
 
@@ -90,6 +92,27 @@ DIR="$TMP/single"; mkdir -p "$DIR"
 bench_file "$DIR" 1 1000 2.0
 expect "no-baseline-skips" 0 "skipping" \
     env BENCH_DIR="$DIR" "$CHECK" "$DIR/BENCH_pr1.json"
+
+# 6. Gated latency series: swap_ms growth past --time-threshold (35%
+#    default) hard-fails; growth under it is clean (not even a warning).
+swap_file() {  # swap_file <dir> <pr> <swap_ms>
+  local dir="$1" pr="$2" ms="$3"
+  {
+    echo "["
+    entry DYN "dyn/dblp/smm_touch1%_incr/swap_ms" "$ms" | sed 's/^/ /'
+    echo "]"
+  } > "$dir/BENCH_pr${pr}.json"
+}
+DIR="$TMP/swap-grow"; mkdir -p "$DIR"
+swap_file "$DIR" 1 10.0
+swap_file "$DIR" 2 20.0
+expect "swap-ms-growth-fails" 1 "FAIL .*swap_ms" \
+    env BENCH_DIR="$DIR" "$CHECK" "$DIR/BENCH_pr2.json"
+DIR="$TMP/swap-ok"; mkdir -p "$DIR"
+swap_file "$DIR" 1 10.0
+swap_file "$DIR" 2 12.0
+expect "swap-ms-wiggle-passes" 0 "1 series ok, 0 warnings, 0 failures" \
+    env BENCH_DIR="$DIR" "$CHECK" "$DIR/BENCH_pr2.json"
 
 if [[ "$fails" -gt 0 ]]; then
   echo "== check_bench_selftest: $fails failure(s) =="

@@ -69,5 +69,130 @@ TEST(CholeskyTest, RandomSpdRoundTrip) {
   for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], b[i], 1e-8);
 }
 
+// M = AᵀA + c·I, deterministically seeded — SPD by construction.
+Matrix RandomSpd(std::size_t n, std::uint64_t seed, double diag) {
+  Rng rng(seed);
+  Matrix a(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.NextGaussian();
+  }
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = i == j ? diag : 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += a(k, i) * a(k, j);
+      m(i, j) = acc;
+    }
+  }
+  return m;
+}
+
+TEST(CholeskyTest, RankOneUpdateMatchesRefactorize) {
+  const std::size_t n = 12;
+  Matrix m = RandomSpd(n, 101, 1.0);
+  auto f = CholeskyFactor::Factorize(m);
+  ASSERT_TRUE(f.has_value());
+
+  // x = √δ(e_u − e_v): the shape every edge delta produces.
+  Vector x(n, 0.0);
+  x[3] = 1.5;
+  x[9] = -1.5;
+  f->RankOneUpdate(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) += x[i] * x[j];
+  }
+  auto fresh = CholeskyFactor::Factorize(m);
+  ASSERT_TRUE(fresh.has_value());
+
+  Rng rng(7);
+  Vector b(n);
+  for (auto& v : b) v = rng.NextGaussian();
+  const Vector got = f->Solve(b);
+  const Vector want = fresh->Solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(got[i], want[i], 1e-9);
+}
+
+TEST(CholeskyTest, RankOneDowndateMatchesRefactorize) {
+  const std::size_t n = 12;
+  // Heavy diagonal keeps M − xxᵀ comfortably PD.
+  Matrix m = RandomSpd(n, 202, 25.0);
+  auto f = CholeskyFactor::Factorize(m);
+  ASSERT_TRUE(f.has_value());
+
+  Vector x(n, 0.0);
+  x[1] = 0.8;
+  x[6] = -0.8;
+  ASSERT_TRUE(f->RankOneDowndate(x));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) -= x[i] * x[j];
+  }
+  auto fresh = CholeskyFactor::Factorize(m);
+  ASSERT_TRUE(fresh.has_value());
+
+  Rng rng(8);
+  Vector b(n);
+  for (auto& v : b) v = rng.NextGaussian();
+  const Vector got = f->Solve(b);
+  const Vector want = fresh->Solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(got[i], want[i], 1e-9);
+}
+
+TEST(CholeskyTest, UpdateThenDowndateRoundTrips) {
+  const std::size_t n = 8;
+  const Matrix m = RandomSpd(n, 303, 4.0);
+  auto f = CholeskyFactor::Factorize(m);
+  ASSERT_TRUE(f.has_value());
+  Vector x(n, 0.0);
+  x[0] = 2.0;
+  x[5] = -2.0;
+  f->RankOneUpdate(x);
+  ASSERT_TRUE(f->RankOneDowndate(x));
+  auto fresh = CholeskyFactor::Factorize(m);
+  ASSERT_TRUE(fresh.has_value());
+  Vector b(n, 1.0);
+  const Vector got = f->Solve(b);
+  const Vector want = fresh->Solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(got[i], want[i], 1e-9);
+}
+
+TEST(CholeskyTest, DowndateRejectsIndefiniteResult) {
+  // M = I; removing 2·e₀e₀ᵀ would leave a negative pivot.
+  Matrix m(3, 3, 0.0);
+  for (int i = 0; i < 3; ++i) m(i, i) = 1.0;
+  auto f = CholeskyFactor::Factorize(m);
+  ASSERT_TRUE(f.has_value());
+  Vector x(3, 0.0);
+  x[0] = 1.5;
+  EXPECT_FALSE(f->RankOneDowndate(x));
+}
+
+TEST(CholeskyTest, ManyRankOneUpdatesStayAccurate) {
+  const std::size_t n = 10;
+  Matrix m = RandomSpd(n, 404, 2.0);
+  auto f = CholeskyFactor::Factorize(m);
+  ASSERT_TRUE(f.has_value());
+  Rng rng(55);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t u = static_cast<std::size_t>(rng.NextBounded(n));
+    std::size_t v = static_cast<std::size_t>(rng.NextBounded(n));
+    if (v == u) v = (u + 1) % n;
+    const double s = 0.5 + 0.5 * (round % 3);
+    Vector x(n, 0.0);
+    x[u] = s;
+    x[v] = -s;
+    f->RankOneUpdate(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) m(i, j) += x[i] * x[j];
+    }
+  }
+  auto fresh = CholeskyFactor::Factorize(m);
+  ASSERT_TRUE(fresh.has_value());
+  Vector b(n);
+  for (auto& v : b) v = rng.NextGaussian();
+  const Vector got = f->Solve(b);
+  const Vector want = fresh->Solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(got[i], want[i], 1e-8);
+}
+
 }  // namespace
 }  // namespace geer

@@ -1,0 +1,72 @@
+#include "util/visit_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace geer {
+namespace {
+
+TEST(VisitFilterTest, UninitializedIsConservative) {
+  VisitFilter f;
+  EXPECT_FALSE(f.Initialized());
+  // An entry that never recorded its visits depends on everything.
+  const std::vector<NodeId> touched = {3, 7};
+  EXPECT_TRUE(f.Intersects(touched));
+  EXPECT_FALSE(f.MayContain(3));
+  EXPECT_EQ(f.bytes(), 0u);
+}
+
+TEST(VisitFilterTest, ExactBelowCapacityCap) {
+  // 200 nodes round up to 256 bits: no aliasing, membership is exact.
+  VisitFilter f(200);
+  EXPECT_TRUE(f.Initialized());
+  f.Add(0);
+  f.Add(63);
+  f.Add(64);
+  f.Add(199);
+  for (NodeId v = 0; v < 200; ++v) {
+    const bool want = v == 0 || v == 63 || v == 64 || v == 199;
+    EXPECT_EQ(f.MayContain(v), want) << "node " << v;
+  }
+}
+
+TEST(VisitFilterTest, IntersectsMatchesMembership) {
+  VisitFilter f(100);
+  f.Add(10);
+  f.Add(20);
+  const std::vector<NodeId> hit = {5, 20, 99};
+  const std::vector<NodeId> miss = {5, 21, 99};
+  EXPECT_TRUE(f.Intersects(hit));
+  EXPECT_FALSE(f.Intersects(miss));
+  EXPECT_FALSE(f.Intersects({}));
+}
+
+TEST(VisitFilterTest, AliasedAboveCapOnlyFalsePositives) {
+  // 1M nodes exceed the 2^16-bit cap: node & mask aliasing kicks in.
+  const NodeId n = 1u << 20;
+  VisitFilter f(n);
+  EXPECT_EQ(f.bytes(), (1u << 16) / 8);
+  f.Add(5);
+  // Everything congruent to 5 mod 2^16 must report positive (safe
+  // over-eviction); an incongruent node must not.
+  EXPECT_TRUE(f.MayContain(5));
+  EXPECT_TRUE(f.MayContain(5 + (1u << 16)));
+  EXPECT_TRUE(f.MayContain(5 + (1u << 18)));
+  EXPECT_FALSE(f.MayContain(6));
+  // No false negatives under heavy load: every added node stays present.
+  VisitFilter g(n);
+  for (NodeId v = 0; v < n; v += 977) g.Add(v);
+  for (NodeId v = 0; v < n; v += 977) EXPECT_TRUE(g.MayContain(v));
+}
+
+TEST(VisitFilterTest, MinimumSizeIs64Bits) {
+  VisitFilter f(3);
+  EXPECT_EQ(f.bytes(), 8u);
+  f.Add(2);
+  EXPECT_TRUE(f.MayContain(2));
+  EXPECT_FALSE(f.MayContain(1));
+}
+
+}  // namespace
+}  // namespace geer

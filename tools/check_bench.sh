@@ -12,6 +12,10 @@
 #                     committed BENCH_pr*.json whose basename differs
 #                     from the candidate's)
 #   --threshold=F     relative regression tolerance (default 0.15)
+#   --time-threshold=F  growth tolerance for the gated latency series
+#                     (swap_ms / p95_ms; default 0.35 — wall-clock
+#                     timings on shared CI machines are noisier than
+#                     the best-of throughput numbers)
 #
 # Environment:
 #   BENCH_DIR         directory holding the BENCH_pr*.json trajectory
@@ -26,12 +30,16 @@
 # threshold — the slow-leak regressions a one-step gate never sees.
 #
 # Policy: throughput series (metric contains "throughput" or "qps")
-# hard-fail when the new value drops more than the threshold. Everything
-# else only WARNS past it — ratio series ("speedup"/"retention") when
-# they drop, time series (ms / cpu) when they grow — because those run
+# hard-fail when the new value drops more than the threshold. Latency
+# series the PRs gate on — epoch-swap cost ("swap_ms") and serve tail
+# latency ("p95_ms") — hard-fail in the OTHER direction: growth past
+# --time-threshold (wider than the throughput threshold because raw
+# wall-clock is noisier than best-of throughput). Everything else only
+# WARNS past it — ratio series ("speedup"/"retention") when they drop,
+# remaining time series (ms / cpu) when they grow — because those run
 # on shared CI machines and are noisy, while the pinned serve-throughput
 # runs are the load-bearing numbers. Exit codes: 0 ok (possibly with
-# warnings), 1 throughput regression, 2 usage/missing files.
+# warnings), 1 gated regression, 2 usage/missing files.
 
 set -euo pipefail
 
@@ -41,10 +49,12 @@ BENCH_ROOT="${BENCH_DIR:-$REPO_ROOT}"
 NEW=""
 BASELINE=""
 THRESHOLD="0.15"
+TIME_THRESHOLD="0.35"
 for arg in "$@"; do
   case "$arg" in
     --baseline=*) BASELINE="${arg#--baseline=}" ;;
     --threshold=*) THRESHOLD="${arg#--threshold=}" ;;
+    --time-threshold=*) TIME_THRESHOLD="${arg#--time-threshold=}" ;;
     -*) echo "unknown flag: $arg" >&2; exit 2 ;;
     *) NEW="$arg" ;;
   esac
@@ -155,10 +165,11 @@ if [[ "$idx" -ge 3 ]]; then
 fi
 
 join -t "$(printf '\t')" "$TMP_DIR/old.tsv" "$TMP_DIR/new.tsv" |
-  awk -F'\t' -v thr="$THRESHOLD" '
+  awk -F'\t' -v thr="$THRESHOLD" -v time_thr="$TIME_THRESHOLD" '
     {
       key = $1; old = $2 + 0; new = $3 + 0
       gated = (key ~ /throughput|qps/)
+      gated_low = (key ~ /swap_ms|p95_ms/)
       higher_is_better = gated || (key ~ /speedup|retention/)
       if (old <= 0) next
       delta = (new - old) / old
@@ -166,6 +177,12 @@ join -t "$(printf '\t')" "$TMP_DIR/old.tsv" "$TMP_DIR/new.tsv" |
         printf "FAIL %-60s %12g -> %12g (%+.1f%%)\n", key, old, new,
                100 * delta
         failures++
+      } else if (gated_low && delta > time_thr) {
+        printf "FAIL %-60s %12g -> %12g (%+.1f%%)\n", key, old, new,
+               100 * delta
+        failures++
+      } else if (gated_low) {
+        compared++
       } else if (!gated && higher_is_better && delta < -thr) {
         printf "warn %-60s %12g -> %12g (%+.1f%%)\n", key, old, new,
                100 * delta

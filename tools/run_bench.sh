@@ -27,6 +27,9 @@
 #                          series whose landmark-vs-off throughput ratio
 #                          is a PR acceptance gate
 #   bench_dyn_update       --csv --scale=0.1 --seed=1 --rounds=2
+#   bench_epoch_swap       --csv --scale=0.1 --seed=1 --rounds=3 — the
+#                          dyn/*/swap_ms (lower-better) and swap_speedup
+#                          series behind the incremental-epoch gate
 #   bench_micro_estimators (google-benchmark; skipped when the system
 #                           libbenchmark is absent — builds stay offline)
 #
@@ -71,7 +74,7 @@ echo "== bench: configure + build (${BUILD_DIR}, Release) =="
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}" >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS" \
     --target bench_batch_shared bench_serve_throughput bench_landmark_serve \
-    bench_dyn_update \
+    bench_dyn_update bench_epoch_swap \
     >/dev/null
 HAVE_MICRO=0
 if cmake --build "$BUILD_DIR" -j "$JOBS" \
@@ -137,6 +140,10 @@ echo "== bench: dyn_update =="
 "$BUILD_DIR/bench_dyn_update" --csv --scale=0.1 --seed=1 --rounds=2 \
     > "$TMP_DIR/dyn.csv"
 
+echo "== bench: epoch_swap =="
+"$BUILD_DIR/bench_epoch_swap" --csv --scale=0.1 --seed=1 --rounds=3 \
+    > "$TMP_DIR/swap.csv"
+
 if [[ "$HAVE_MICRO" == 1 ]]; then
   echo "== bench: micro_estimators (pinned subset) =="
   "$BUILD_DIR/bench_micro_estimators" \
@@ -187,6 +194,15 @@ awk -F, 'NR > 1 {
   printf "{\"method\": \"DYN\", \"metric\": \"dyn/%s/%s/%s\", \"value\": %s, \"threads\": 1}\n",
          $2, $3, $1, $4
 }' "$TMP_DIR/dyn.csv" >> "$ENTRIES"
+
+# epoch_swap: metric,dataset,param,value — full-rebuild vs incremental
+# RebindGraph latency ("dyn/<dataset>/<param>/swap_ms", lower is better;
+# "swap_speedup", higher is better). check_bench.sh hard-gates the
+# swap_ms series.
+awk -F, 'NR > 1 {
+  printf "{\"method\": \"DYN\", \"metric\": \"dyn/%s/%s/%s\", \"value\": %s, \"threads\": 1}\n",
+         $2, $3, $1, $4
+}' "$TMP_DIR/swap.csv" >> "$ENTRIES"
 
 # micro_estimators (google-benchmark CSV): name,iterations,real_time,
 # cpu_time,time_unit,...  Rows have the quoted bench name in column 1.
