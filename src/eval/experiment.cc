@@ -85,28 +85,68 @@ MethodResult InitResult(const std::string& method,
   return result;
 }
 
+// Weight-mode dispatch onto the registry's two factory/feasibility
+// pairs (the registry keys on the concrete graph type, not the policy).
+bool FeasibleFor(const std::string& method, const Graph& graph,
+                 const ErOptions& options) {
+  return EstimatorFeasible(method, graph, options);
+}
+bool FeasibleFor(const std::string& method, const WeightedGraph& graph,
+                 const ErOptions& options) {
+  return WeightedEstimatorFeasible(method, graph, options);
+}
+std::unique_ptr<ErEstimator> CreateFor(const std::string& method,
+                                       const Graph& graph,
+                                       const ErOptions& options) {
+  return CreateEstimator(method, graph, options);
+}
+std::unique_ptr<ErEstimator> CreateFor(const std::string& method,
+                                       const WeightedGraph& graph,
+                                       const ErOptions& options) {
+  return CreateWeightedEstimator(method, graph, options);
+}
+
 }  // namespace
+
+template <WeightPolicy WP>
+MethodResult RunMethodT(const typename WP::GraphT& graph,
+                        const std::string& dataset_name,
+                        const std::string& method, const ErOptions& options,
+                        const std::vector<QueryPair>& queries,
+                        const std::vector<double>& ground_truth,
+                        const RunConfig& config) {
+  MethodResult result = InitResult(method, dataset_name, options);
+
+  if (!FeasibleFor(method, graph, options)) {
+    result.feasible = false;
+    result.completed = false;
+    return result;
+  }
+  std::unique_ptr<ErEstimator> estimator = CreateFor(method, graph, options);
+  GEER_CHECK(estimator != nullptr) << "unknown estimator " << method;
+
+  MeasureQueries(estimator.get(), queries, ground_truth, config, &result);
+  return result;
+}
+
+template MethodResult RunMethodT<UnitWeight>(
+    const Graph&, const std::string&, const std::string&, const ErOptions&,
+    const std::vector<QueryPair>&, const std::vector<double>&,
+    const RunConfig&);
+template MethodResult RunMethodT<EdgeWeight>(
+    const WeightedGraph&, const std::string&, const std::string&,
+    const ErOptions&, const std::vector<QueryPair>&,
+    const std::vector<double>&, const RunConfig&);
 
 MethodResult RunMethod(const Dataset& dataset, const std::string& method,
                        const ErOptions& options,
                        const std::vector<QueryPair>& queries,
                        const std::vector<double>& ground_truth,
                        const RunConfig& config) {
-  MethodResult result = InitResult(method, dataset.name, options);
-
-  if (!EstimatorFeasible(method, dataset.graph, options)) {
-    result.feasible = false;
-    result.completed = false;
-    return result;
-  }
   ErOptions opt = options;
   if (!opt.lambda.has_value()) opt.lambda = dataset.spectral.lambda;
-  std::unique_ptr<ErEstimator> estimator =
-      CreateEstimator(method, dataset.graph, opt);
-  GEER_CHECK(estimator != nullptr) << "unknown estimator " << method;
-
-  MeasureQueries(estimator.get(), queries, ground_truth, config, &result);
-  return result;
+  return RunMethodT<UnitWeight>(dataset.graph, dataset.name, method, opt,
+                                queries, ground_truth, config);
 }
 
 MethodResult RunWeightedMethod(const WeightedGraph& graph,
@@ -116,38 +156,84 @@ MethodResult RunWeightedMethod(const WeightedGraph& graph,
                                const std::vector<QueryPair>& queries,
                                const std::vector<double>& ground_truth,
                                const RunConfig& config) {
-  MethodResult result = InitResult(method, dataset_name, options);
+  return RunMethodT<EdgeWeight>(graph, dataset_name, method, options, queries,
+                                ground_truth, config);
+}
 
-  if (!WeightedEstimatorFeasible(method, graph, options)) {
-    result.feasible = false;
-    result.completed = false;
-    return result;
+namespace {
+
+/// Records one terminal QueryResult into slot `i` and folds the tail
+/// statistics shared by the open- and closed-loop drivers.
+void RecordOutcome(const QueryResult& r, std::size_t i,
+                   ServedWorkloadResult* result,
+                   std::vector<double>* answered_latencies) {
+  result->statuses[i] = r.status;
+  switch (r.status) {
+    case ServeStatus::kAnswered:
+      ++result->answered;
+      result->values[i] = r.stats.value;
+      result->latency_ms[i] = r.total_ms;
+      // Accumulated here, averaged in FinishAggregates — the
+      // client-observed mean micro-batch (the service overload replaces
+      // it with the authoritative server-side ServeMetrics figure).
+      result->avg_batch += static_cast<double>(r.batch_size);
+      answered_latencies->push_back(r.total_ms);
+      break;
+    case ServeStatus::kUnsupported:
+      ++result->unsupported;
+      break;
+    case ServeStatus::kRejected:
+      ++result->rejected;
+      break;
+    case ServeStatus::kFailed:
+      ++result->failed;
+      break;
+    default:  // kExpired / kCancelled / kShutdown
+      ++result->expired;
+      break;
   }
-  std::unique_ptr<ErEstimator> estimator =
-      CreateWeightedEstimator(method, graph, options);
-  GEER_CHECK(estimator != nullptr) << "unknown weighted estimator "
-                                   << method;
+}
 
-  MeasureQueries(estimator.get(), queries, ground_truth, config, &result);
+void FinishAggregates(std::vector<double>& answered_latencies,
+                      ServedWorkloadResult* result) {
+  if (result->wall_seconds > 0.0) {
+    result->throughput_qps =
+        static_cast<double>(result->answered) / result->wall_seconds;
+  }
+  if (result->answered > 0) {
+    result->avg_batch /= static_cast<double>(result->answered);
+  }
+  if (!answered_latencies.empty()) {
+    std::sort(answered_latencies.begin(), answered_latencies.end());
+    double sum = 0.0;
+    for (const double ms : answered_latencies) sum += ms;
+    result->mean_ms = sum / static_cast<double>(answered_latencies.size());
+    result->p50_ms = NearestRankPercentile(answered_latencies, 0.50);
+    result->p95_ms = NearestRankPercentile(answered_latencies, 0.95);
+    result->p99_ms = NearestRankPercentile(answered_latencies, 0.99);
+    result->max_ms = answered_latencies.back();
+  }
+}
+
+ServedWorkloadResult InitServedResult(std::size_t num_events) {
+  const double kNaN = std::numeric_limits<double>::quiet_NaN();
+  ServedWorkloadResult result;
+  result.num_events = num_events;
+  result.values.assign(num_events, kNaN);
+  result.latency_ms.assign(num_events, kNaN);
+  result.statuses.assign(num_events, ServeStatus::kShutdown);
   return result;
 }
 
-ServedWorkloadResult RunServedWorkload(ErEstimator& estimator,
+}  // namespace
+
+ServedWorkloadResult RunServedWorkload(QuerySubmitter& submitter,
                                        std::span<const TraceEvent> trace,
-                                       const ServeOptions& serve_options,
                                        double deadline_seconds,
                                        bool realtime) {
-  const double kNaN = std::numeric_limits<double>::quiet_NaN();
-  ServedWorkloadResult result;
-  result.method = estimator.Name();
-  result.num_events = trace.size();
-  result.values.assign(trace.size(), kNaN);
-  result.latency_ms.assign(trace.size(), kNaN);
-  result.statuses.assign(trace.size(), ServeStatus::kShutdown);
+  ServedWorkloadResult result = InitServedResult(trace.size());
   if (trace.empty()) return result;
-
-  QueryService service(estimator, serve_options);
-  result.workers = service.workers();
+  result.workers = submitter.workers();
 
   // Open-loop driver: submissions happen at their recorded offsets (or
   // back-to-back when compressed) regardless of how far the service has
@@ -164,55 +250,74 @@ ServedWorkloadResult RunServedWorkload(ErEstimator& estimator,
                       std::chrono::steady_clock::duration>(
                       std::chrono::duration<double>(event.arrival_seconds)));
     }
-    futures.push_back(service.Submit(event.query, deadline_seconds));
+    futures.push_back(submitter.Submit(event.query, deadline_seconds));
   }
-  service.Flush();
+  submitter.Flush();
 
   std::vector<double> answered_latencies;
   answered_latencies.reserve(trace.size());
   for (std::size_t i = 0; i < futures.size(); ++i) {
-    const QueryResult r = futures[i].get();
-    result.statuses[i] = r.status;
-    switch (r.status) {
-      case ServeStatus::kAnswered:
-        ++result.answered;
-        result.values[i] = r.stats.value;
-        result.latency_ms[i] = r.total_ms;
-        answered_latencies.push_back(r.total_ms);
-        break;
-      case ServeStatus::kUnsupported:
-        ++result.unsupported;
-        break;
-      case ServeStatus::kRejected:
-        ++result.rejected;
-        break;
-      case ServeStatus::kFailed:
-        ++result.failed;
-        break;
-      default:  // kExpired / kCancelled / kShutdown
-        ++result.expired;
-        break;
-    }
+    RecordOutcome(futures[i].get(), i, &result, &answered_latencies);
   }
   result.wall_seconds = wall.ElapsedSeconds();
+  FinishAggregates(answered_latencies, &result);
+  return result;
+}
+
+ServedWorkloadResult RunServedWorkload(ErEstimator& estimator,
+                                       std::span<const TraceEvent> trace,
+                                       const ServeOptions& serve_options,
+                                       double deadline_seconds,
+                                       bool realtime) {
+  if (trace.empty()) {
+    ServedWorkloadResult result = InitServedResult(0);
+    result.method = estimator.Name();
+    return result;
+  }
+  QueryService service(estimator, serve_options);
+  ServedWorkloadResult result =
+      RunServedWorkload(service, trace, deadline_seconds, realtime);
   service.Shutdown();
+  // Service-side extras the transport-neutral driver can't see.
+  result.method = estimator.Name();
   result.avg_batch = service.Metrics().AvgBatch();
   result.session_cache = service.Metrics().session_cache;
+  return result;
+}
 
-  if (result.wall_seconds > 0.0) {
-    result.throughput_qps =
-        static_cast<double>(result.answered) / result.wall_seconds;
+ServedWorkloadResult RunClosedLoopWorkload(QuerySubmitter& submitter,
+                                           std::span<const QueryPair> queries,
+                                           int clients,
+                                           double deadline_seconds) {
+  ServedWorkloadResult result = InitServedResult(queries.size());
+  if (queries.empty()) return result;
+  result.workers = submitter.workers();
+  if (clients < 1) clients = 1;
+  const std::size_t stride = static_cast<std::size_t>(clients);
+
+  // One QueryResult slot per query, written by exactly one client
+  // thread (disjoint strided slices — no locking needed).
+  std::vector<QueryResult> outcomes(queries.size());
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(stride);
+  for (std::size_t c = 0; c < stride; ++c) {
+    threads.emplace_back([&, c] {
+      for (std::size_t i = c; i < queries.size(); i += stride) {
+        outcomes[i] =
+            submitter.Submit(queries[i], deadline_seconds).get();
+      }
+    });
   }
-  if (!answered_latencies.empty()) {
-    std::sort(answered_latencies.begin(), answered_latencies.end());
-    double sum = 0.0;
-    for (const double ms : answered_latencies) sum += ms;
-    result.mean_ms = sum / static_cast<double>(answered_latencies.size());
-    result.p50_ms = NearestRankPercentile(answered_latencies, 0.50);
-    result.p95_ms = NearestRankPercentile(answered_latencies, 0.95);
-    result.p99_ms = NearestRankPercentile(answered_latencies, 0.99);
-    result.max_ms = answered_latencies.back();
+  for (std::thread& t : threads) t.join();
+  result.wall_seconds = wall.ElapsedSeconds();
+
+  std::vector<double> answered_latencies;
+  answered_latencies.reserve(queries.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    RecordOutcome(outcomes[i], i, &result, &answered_latencies);
   }
+  FinishAggregates(answered_latencies, &result);
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include "core/options.h"
 #include "eval/datasets.h"
 #include "eval/queries.h"
+#include "graph/weight_policy.h"
 #include "graph/weighted_graph.h"
 #include "serve/query_service.h"
 #include "serve/trace.h"
@@ -59,19 +60,42 @@ struct RunConfig {
   int threads = 1;                 ///< engine workers; 0 = hw concurrency
 };
 
-/// Runs `method` over `queries`. `ground_truth[i]` pairs with queries[i]
-/// (pass empty to skip error collection). Construction-infeasible methods
-/// (EXACT too big, RP over budget) return feasible=false without running.
+/// Runs `method` over `queries` on either weight stack — THE experiment
+/// entry point, templated on the weight policy exactly like the
+/// estimator bodies it drives. `ground_truth[i]` pairs with queries[i]
+/// (pass empty to skip error collection). Construction-infeasible
+/// methods (EXACT too big, RP over budget) return feasible=false without
+/// running. options.lambda should carry the precomputed λ for
+/// walk-based methods (EstimatorReadsLambda); `dataset_name` labels the
+/// result row.
+template <WeightPolicy WP>
+MethodResult RunMethodT(const typename WP::GraphT& graph,
+                        const std::string& dataset_name,
+                        const std::string& method, const ErOptions& options,
+                        const std::vector<QueryPair>& queries,
+                        const std::vector<double>& ground_truth,
+                        const RunConfig& config = {});
+
+extern template MethodResult RunMethodT<UnitWeight>(
+    const Graph&, const std::string&, const std::string&, const ErOptions&,
+    const std::vector<QueryPair>&, const std::vector<double>&,
+    const RunConfig&);
+extern template MethodResult RunMethodT<EdgeWeight>(
+    const WeightedGraph&, const std::string&, const std::string&,
+    const ErOptions&, const std::vector<QueryPair>&,
+    const std::vector<double>&, const RunConfig&);
+
+/// DEPRECATED spelling kept for existing callers: thin alias over
+/// RunMethodT<UnitWeight> that additionally defaults options.lambda from
+/// the dataset's cached spectral bounds. Prefer RunMethodT in new code.
 MethodResult RunMethod(const Dataset& dataset, const std::string& method,
                        const ErOptions& options,
                        const std::vector<QueryPair>& queries,
                        const std::vector<double>& ground_truth,
                        const RunConfig& config = {});
 
-/// Weighted analogue of RunMethod: runs the EdgeWeight instantiation of
-/// `method` (any CreateWeightedEstimator name) on a conductance graph.
-/// options.lambda should carry the precomputed weighted λ for walk-based
-/// methods; `dataset_name` labels the result row.
+/// DEPRECATED spelling kept for existing callers: thin alias over
+/// RunMethodT<EdgeWeight>. Prefer RunMethodT in new code.
 MethodResult RunWeightedMethod(const WeightedGraph& graph,
                                const std::string& dataset_name,
                                const std::string& method,
@@ -118,19 +142,43 @@ struct ServedWorkloadResult {
   std::vector<ServeStatus> statuses;
 };
 
-/// Replays `trace` through a QueryService over `estimator` (which the
-/// service borrows exclusively for the call) and reports tail latency +
-/// throughput. With realtime = true the driver sleeps until each event's
-/// arrival offset — the open-loop replay whose queueing delay is honest.
-/// realtime = false submits back-to-back: the compressed replay the
-/// determinism suite and max-throughput benches use. `deadline_seconds`
-/// applies per query (≤ 0 = none). Answer values are bit-identical to
-/// the serial Estimate loop regardless of every serve option.
+/// Replays `trace` through ANY QuerySubmitter — an in-process
+/// QueryService or a networked net::NetSubmitter — and reports tail
+/// latency + throughput. This is the transport-neutral driver: the
+/// net-determinism suite replays the SAME trace through both transports
+/// with this one function and compares values bitwise. With realtime =
+/// true the driver sleeps until each event's arrival offset — the
+/// open-loop replay whose queueing delay is honest. realtime = false
+/// submits back-to-back: the compressed replay the determinism suite
+/// and max-throughput benches use. `deadline_seconds` applies per query
+/// (≤ 0 = none). method / avg_batch / session_cache stay defaulted
+/// (transport-side details the submitter interface doesn't expose).
+ServedWorkloadResult RunServedWorkload(QuerySubmitter& submitter,
+                                       std::span<const TraceEvent> trace,
+                                       double deadline_seconds = 0.0,
+                                       bool realtime = true);
+
+/// Convenience overload: wraps `estimator` in a QueryService under
+/// `serve_options`, runs the submitter driver above, and fills in the
+/// service-side extras (method, avg_batch, session_cache). Answer values
+/// are bit-identical to the serial Estimate loop regardless of every
+/// serve option.
 ServedWorkloadResult RunServedWorkload(ErEstimator& estimator,
                                        std::span<const TraceEvent> trace,
                                        const ServeOptions& serve_options,
                                        double deadline_seconds = 0.0,
                                        bool realtime = true);
+
+/// Closed-loop counterpart of RunServedWorkload: `clients` driver
+/// threads each own the strided slice i, i+clients, … of `queries` and
+/// keep exactly one query in flight (submit → wait → next), so the
+/// submission rate self-throttles to the service's capacity — the
+/// max-throughput measurement mode of the net bench. Per-query results
+/// land in input order.
+ServedWorkloadResult RunClosedLoopWorkload(QuerySubmitter& submitter,
+                                           std::span<const QueryPair> queries,
+                                           int clients,
+                                           double deadline_seconds = 0.0);
 
 }  // namespace geer
 

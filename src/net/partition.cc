@@ -1,0 +1,50 @@
+#include "net/partition.h"
+
+#include <algorithm>
+
+namespace geer::net {
+
+std::optional<PartitionStrategy> ParseStrategy(const std::string& name) {
+  if (name == "range") return PartitionStrategy::kRange;
+  if (name == "hash") return PartitionStrategy::kHash;
+  return std::nullopt;
+}
+
+const char* StrategyName(PartitionStrategy strategy) {
+  return strategy == PartitionStrategy::kRange ? "range" : "hash";
+}
+
+PartitionMap::PartitionMap(NodeId num_nodes, int num_shards,
+                           PartitionStrategy strategy)
+    : num_nodes_(num_nodes),
+      num_shards_(std::max(num_shards, 1)),
+      strategy_(strategy) {
+  const NodeId shards = static_cast<NodeId>(num_shards_);
+  block_ = num_nodes_ == 0 ? 1 : (num_nodes_ + shards - 1) / shards;
+  if (block_ == 0) block_ = 1;
+}
+
+int PartitionMap::ShardOf(NodeId node) const {
+  if (strategy_ == PartitionStrategy::kRange) {
+    const NodeId shard = node / block_;
+    return static_cast<int>(
+        std::min<NodeId>(shard, static_cast<NodeId>(num_shards_ - 1)));
+  }
+  // Fibonacci multiplicative hash on the 32-bit id: cheap, stateless,
+  // and stable across platforms (no std::hash, whose spread is
+  // implementation-defined).
+  const std::uint32_t h = node * 2654435769u;
+  return static_cast<int>(
+      (static_cast<std::uint64_t>(h) * static_cast<std::uint64_t>(num_shards_)) >>
+      32);
+}
+
+int PartitionMap::HomeShard(const QueryPair& pair) const {
+  const int shard_s = ShardOf(pair.s);
+  const int shard_t = ShardOf(pair.t);
+  if (shard_s == shard_t) return shard_s;
+  return ShardOf(std::min(pair.s, pair.t));
+}
+
+}  // namespace geer::net
+

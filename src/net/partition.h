@@ -1,0 +1,67 @@
+// Node-ownership partition map for the sharded serving tier. Every
+// shard in this tier holds a FULL replica of the graph (effective
+// resistance is a global quantity — splitting the Laplacian across
+// machines would change every answer), so the partition map assigns
+// routing affinity, not data placement: each node has exactly one owner
+// shard, a same-shard (s,t) pair goes to its owner, and a cross-shard
+// pair is routed to the replica owning min(s,t) — a deterministic rule,
+// so the same query always lands on the same shard and the
+// bit-identity contract carries over the wire.
+//
+// Two strategies, chosen at deployment time and fixed for the cluster's
+// lifetime (the router and any debugging tooling must agree):
+//   kRange — contiguous node-id blocks, sized ceil(n/k); preserves the
+//            degree-descending id order datasets ship with, so shard 0
+//            owns the hubs (matches the Zipf-skewed workloads).
+//   kHash  — multiplicative hash; spreads hubs uniformly.
+
+#ifndef GEER_NET_PARTITION_H_
+#define GEER_NET_PARTITION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/estimator.h"
+
+namespace geer::net {
+
+enum class PartitionStrategy : std::uint8_t {
+  kRange = 0,
+  kHash = 1,
+};
+
+/// "range"/"hash" -> strategy; nullopt on anything else.
+std::optional<PartitionStrategy> ParseStrategy(const std::string& name);
+const char* StrategyName(PartitionStrategy strategy);
+
+class PartitionMap {
+ public:
+  PartitionMap(NodeId num_nodes, int num_shards, PartitionStrategy strategy);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  int num_shards() const { return num_shards_; }
+  PartitionStrategy strategy() const { return strategy_; }
+
+  /// Owner shard of one node (node must be < num_nodes()).
+  int ShardOf(NodeId node) const;
+
+  bool SameShard(const QueryPair& pair) const {
+    return ShardOf(pair.s) == ShardOf(pair.t);
+  }
+
+  /// The shard a query is dispatched to: the common owner when both
+  /// endpoints live on one shard, else the owner of min(s,t) — the
+  /// deterministic cross-shard replica rule.
+  int HomeShard(const QueryPair& pair) const;
+
+ private:
+  NodeId num_nodes_;
+  int num_shards_;
+  PartitionStrategy strategy_;
+  NodeId block_ = 1;  // range strategy: nodes per shard, ceil(n/k)
+};
+
+}  // namespace geer::net
+
+#endif  // GEER_NET_PARTITION_H_

@@ -1,0 +1,34 @@
+// Command-line roles of the networked serving tier, shared by the
+// `geer net <role>` subcommand (tools/geer_cli.cc) and the standalone
+// geer_shard_server / geer_router binaries — one flag parser and run
+// loop each, so the CLI and the launch scripts cannot drift apart.
+//
+//   shard   one ShardServer over a full graph replica
+//   router  the partition-owning front end over N shards
+//   client  a measurement client (open- or closed-loop, Zipf-skewed)
+//
+// Server roles support --port=0 (ephemeral) + --port-file=PATH: the
+// actual port is written to the file once listening, which is how
+// tools/start_servers_local.sh sequences a deployment without racing on
+// fixed ports; --timeout-seconds is the CI teardown guard (the process
+// exits on its own even if the teardown signal never arrives).
+
+#ifndef GEER_NET_ROLES_H_
+#define GEER_NET_ROLES_H_
+
+#include <string>
+#include <vector>
+
+namespace geer::net {
+
+/// Dispatches args[0] ∈ {shard, router, client}; prints usage and
+/// returns 2 on anything else. Exit-code semantics of main().
+int RunNetCommand(const std::vector<std::string>& args);
+
+int RunShardRole(const std::vector<std::string>& args);
+int RunRouterRole(const std::vector<std::string>& args);
+int RunClientRole(const std::vector<std::string>& args);
+
+}  // namespace geer::net
+
+#endif  // GEER_NET_ROLES_H_

@@ -1,0 +1,97 @@
+#include "net/server.h"
+
+namespace geer::net {
+
+bool FrameServer::Start(const std::string& host, std::uint16_t port,
+                        Handler handler, std::string* error) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) {
+      if (error != nullptr) *error = "server already started";
+      return false;
+    }
+  }
+  if (!listener_.Bind(host, port, error)) return false;
+  handler_ = std::move(handler);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+    stop_ = false;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void FrameServer::AcceptLoop() {
+  while (true) {
+    Socket conn = listener_.Accept();
+    if (!conn.valid()) break;  // listener closed by RequestStop
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) break;  // raced with shutdown: drop the connection
+    connections_.emplace_back();
+    Connection* slot = &connections_.back();
+    slot->sock = std::move(conn);
+    ++live_connections_;
+    slot->thread = std::thread([this, slot] { ServeConnection(slot); });
+  }
+}
+
+void FrameServer::ServeConnection(Connection* conn) {
+  FrameReader reader;
+  Frame frame;
+  std::string error;
+  while (RecvFrame(conn->sock, reader, &frame, &error)) {
+    const HandlerReply reply = handler_(frame);
+    const bool sent = SendFrame(conn->sock, reply.type, frame.request_id,
+                                reply.payload);
+    if (reply.stop_server) {
+      RequestStop();
+      break;
+    }
+    if (!sent) break;
+  }
+  conn->sock.ShutdownBoth();
+  std::lock_guard<std::mutex> lock(mu_);
+  --live_connections_;
+  drained_cv_.notify_all();
+}
+
+void FrameServer::RequestStop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_ || !started_) {
+    stop_ = true;
+    return;
+  }
+  stop_ = true;
+  listener_.Close();  // unblocks Accept()
+  for (Connection& conn : connections_) {
+    conn.sock.ShutdownBoth();  // unblocks each connection's recv
+  }
+}
+
+void FrameServer::Wait() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return live_connections_ == 0; });
+  for (Connection& conn : connections_) {
+    if (conn.thread.joinable()) conn.thread.join();
+  }
+  connections_.clear();
+  started_ = false;
+}
+
+void FrameServer::Stop() {
+  RequestStop();
+  Wait();
+}
+
+bool FrameServer::stopping() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stop_;
+}
+
+}  // namespace geer::net

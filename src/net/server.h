@@ -1,0 +1,99 @@
+// Blocking frame server: accepts connections on a loopback/TCP port and
+// runs one handler thread per connection, each decoding frames through
+// its own FrameReader and writing the handler's reply frame back — the
+// shard server and router are both a FrameServer plus a dispatch
+// function. Requests on ONE connection are strictly ordered
+// (request/reply in turn); concurrency comes from many connections
+// (clients hold pools — net/client.h ClientPool).
+//
+// Lifecycle: Start() spawns the accept loop; RequestStop() (also
+// triggered by a handler, e.g. on kShutdown) closes the listener and
+// shuts every live connection down, and Wait() blocks until the server
+// is fully drained. Stop() = RequestStop() + Wait(). Malformed input
+// closes only the offending connection.
+
+#ifndef GEER_NET_SERVER_H_
+#define GEER_NET_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace geer::net {
+
+/// One handler reply: the frame to send back (empty payload allowed).
+/// `stop_server` initiates server shutdown AFTER the reply is written —
+/// how kShutdown is acked before the listener goes away.
+struct HandlerReply {
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> payload;
+  bool stop_server = false;
+};
+
+class FrameServer {
+ public:
+  /// Dispatch function: called once per request frame, from the
+  /// connection's thread (concurrent across connections — the handler
+  /// must be thread-safe). The reply is sent with the request's id.
+  /// Handlers signal lifecycle via the server reference (RequestStop).
+  using Handler = std::function<HandlerReply(const Frame&)>;
+
+  FrameServer() = default;
+  ~FrameServer() { Stop(); }
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  /// Binds `host`:`port` (0 = ephemeral) and spawns the accept loop.
+  /// False (and *error) on bind failure.
+  bool Start(const std::string& host, std::uint16_t port, Handler handler,
+             std::string* error);
+
+  /// Actual listening port (after Start with port 0).
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Initiates shutdown: stops accepting, interrupts live connections.
+  /// Safe from handler threads and from any other thread; idempotent.
+  void RequestStop();
+
+  /// Blocks until the accept loop and every connection thread exited.
+  void Wait();
+
+  /// RequestStop() + Wait(). Safe to call repeatedly.
+  void Stop();
+
+  /// True once RequestStop() ran (poll-able readiness for mains).
+  bool stopping() const;
+
+ private:
+  struct Connection {
+    Socket sock;
+    std::thread thread;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+
+  Listener listener_;
+  Handler handler_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::list<Connection> connections_;  // stable addresses for threads
+  std::size_t live_connections_ = 0;
+  std::thread accept_thread_;
+};
+
+}  // namespace geer::net
+
+#endif  // GEER_NET_SERVER_H_

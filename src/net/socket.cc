@@ -1,0 +1,190 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace geer::net {
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_.store(other.fd_.exchange(-1), std::memory_order_release);
+  }
+  return *this;
+}
+
+bool Socket::SendAll(const std::uint8_t* data, std::size_t size) {
+  const int fd = fd_.load(std::memory_order_acquire);
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE, not a process-
+    // killing SIGPIPE.
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+long Socket::Recv(std::uint8_t* data, std::size_t size) {
+  const int fd = fd_.load(std::memory_order_acquire);
+  while (true) {
+    const ssize_t n = ::recv(fd, data, size, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return static_cast<long>(n);
+  }
+}
+
+void Socket::ShutdownBoth() {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  // exchange: exactly one caller gets the live fd to close, however
+  // the destructor races with a cross-thread stop path.
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) (void)::close(fd);
+}
+
+Socket ConnectTo(const std::string& host, std::uint16_t port,
+                 std::string* error) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    if (error != nullptr) {
+      *error = "getaddrinfo(" + host + "): " + ::gai_strerror(rc);
+    }
+    return Socket();
+  }
+  int fd = -1;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    (void)::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = ErrnoMessage(("connect " + host + ":" + port_str).c_str());
+    }
+    return Socket();
+  }
+  SetNoDelay(fd);
+  return Socket(fd);
+}
+
+bool Listener::Bind(const std::string& host, std::uint16_t port,
+                    std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = ErrnoMessage("socket");
+    return false;
+  }
+  int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    (void)::close(fd);
+    if (error != nullptr) *error = "bad bind address: " + host;
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (error != nullptr) *error = ErrnoMessage("bind");
+    (void)::close(fd);
+    return false;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    if (error != nullptr) *error = ErrnoMessage("listen");
+    (void)::close(fd);
+    return false;
+  }
+  // Port 0 = let the kernel pick; read the actual port back so tests
+  // and launch scripts never race on a fixed number.
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    if (error != nullptr) *error = ErrnoMessage("getsockname");
+    (void)::close(fd);
+    return false;
+  }
+  sock_ = Socket(fd);
+  port_ = ntohs(addr.sin_port);
+  return true;
+}
+
+Socket Listener::Accept() {
+  while (true) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return Socket();
+    }
+    SetNoDelay(fd);
+    return Socket(fd);
+  }
+}
+
+bool SendFrame(Socket& sock, FrameType type, std::uint64_t request_id,
+               std::span<const std::uint8_t> payload) {
+  const std::vector<std::uint8_t> bytes =
+      EncodeFrame(type, request_id, payload);
+  return sock.SendAll(bytes.data(), bytes.size());
+}
+
+bool RecvFrame(Socket& sock, FrameReader& reader, Frame* out,
+               std::string* error) {
+  while (true) {
+    const FrameReader::Status status = reader.Next(out, error);
+    if (status == FrameReader::Status::kFrame) return true;
+    if (status == FrameReader::Status::kMalformed) return false;
+    std::uint8_t chunk[4096];
+    const long n = sock.Recv(chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (error != nullptr) {
+        *error = n == 0 ? "peer closed" : ErrnoMessage("recv");
+      }
+      return false;
+    }
+    reader.Feed(std::span<const std::uint8_t>(
+        chunk, static_cast<std::size_t>(n)));
+  }
+}
+
+}  // namespace geer::net

@@ -1,0 +1,108 @@
+// Thin blocking-socket layer under the networked serving tier: RAII fd
+// ownership, loopback/TCP connect + listen with ephemeral-port
+// discovery (bind port 0, read the kernel's choice back — how the tests
+// and launch scripts avoid port collisions), and whole-frame send/recv
+// built on net/frame.h. Everything is blocking; concurrency comes from
+// the thread-per-connection server (net/server.h) and the client
+// connection pool (net/client.h), mirroring the blocking-RPC shape of
+// the zipg-style graph stores this tier is modeled on.
+//
+// POSIX only (the project's CI targets). Errors are reported as
+// false/closed sockets plus an errno-derived message — never exceptions,
+// never aborts: a failed peer must not take the server down.
+
+#ifndef GEER_NET_SOCKET_H_
+#define GEER_NET_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "net/frame.h"
+
+namespace geer::net {
+
+/// RAII TCP socket. Move-only; closes on destruction.
+///
+/// The fd is atomic because shutdown is cross-thread by design:
+/// FrameServer::RequestStop shuts down / closes sockets that the accept
+/// and connection threads are concurrently blocked on (that is HOW they
+/// get woken). The atomic makes the handoff race-free; Close() releases
+/// the fd exactly once even if two threads race it.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_.load(std::memory_order_acquire) >= 0; }
+  int fd() const { return fd_.load(std::memory_order_acquire); }
+
+  /// Sends the whole buffer (looping over partial writes, SIGPIPE
+  /// suppressed). False on any transport error.
+  bool SendAll(const std::uint8_t* data, std::size_t size);
+
+  /// Receives up to `size` bytes; returns the count, 0 on orderly peer
+  /// close, -1 on error.
+  long Recv(std::uint8_t* data, std::size_t size);
+
+  /// Half-closes both directions (wakes a peer blocked in recv) without
+  /// releasing the fd — how the server interrupts connection threads.
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  std::atomic<int> fd_{-1};
+};
+
+/// Blocking connect to host:port (numeric IPv4 or a resolvable name).
+/// TCP_NODELAY is set — frames are small and latency-bound. Invalid
+/// socket + message on failure.
+Socket ConnectTo(const std::string& host, std::uint16_t port,
+                 std::string* error);
+
+/// Listening socket bound to `host` (default loopback). `port` 0 binds
+/// an ephemeral port; port() reports the actual one.
+class Listener {
+ public:
+  Listener() = default;
+
+  /// Binds + listens. False (and *error) on failure.
+  bool Bind(const std::string& host, std::uint16_t port, std::string* error);
+
+  /// Blocking accept. Invalid socket when the listener was closed.
+  Socket Accept();
+
+  bool valid() const { return sock_.valid(); }
+  std::uint16_t port() const { return port_; }
+
+  /// Unblocks Accept() and releases the port.
+  void Close() {
+    sock_.ShutdownBoth();
+    sock_.Close();
+  }
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Sends one whole frame. False on transport error.
+bool SendFrame(Socket& sock, FrameType type, std::uint64_t request_id,
+               std::span<const std::uint8_t> payload);
+
+/// Receives whole frames through `reader`, blocking until one is
+/// complete. False on peer close, transport error, or malformed input
+/// (*error describes which).
+bool RecvFrame(Socket& sock, FrameReader& reader, Frame* out,
+               std::string* error);
+
+}  // namespace geer::net
+
+#endif  // GEER_NET_SOCKET_H_

@@ -1,0 +1,120 @@
+#include "net/submitter.h"
+
+#include <chrono>
+#include <utility>
+
+namespace geer::net {
+
+NetSubmitter::NetSubmitter(std::string host, std::uint16_t port, int clients)
+    : host_(std::move(host)), port_(port) {
+  if (clients < 1) clients = 1;
+  connections_.reserve(static_cast<std::size_t>(clients));
+  for (int i = 0; i < clients; ++i) {
+    connections_.push_back(std::make_unique<Client>());
+  }
+}
+
+NetSubmitter::~NetSubmitter() { Close(); }
+
+bool NetSubmitter::Connect(std::string* error) {
+  for (std::unique_ptr<Client>& conn : connections_) {
+    if (!conn->Connect(host_, port_, error)) return false;
+  }
+  if (!control_.Connect(host_, port_, error)) return false;
+  info_ = control_.info();
+  senders_.reserve(connections_.size());
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    senders_.emplace_back([this, i] { SenderLoop(i); });
+  }
+  return true;
+}
+
+std::future<QueryResult> NetSubmitter::Submit(QueryPair query,
+                                              double deadline_seconds) {
+  Task task;
+  task.request.s = query.s;
+  task.request.t = query.t;
+  task.request.deadline_seconds = deadline_seconds;
+  std::future<QueryResult> future = task.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      QueryResult result;
+      result.status = ServeStatus::kShutdown;
+      task.promise.set_value(result);
+      return future;
+    }
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void NetSubmitter::SenderLoop(std::size_t index) {
+  Client& conn = *connections_[index];
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with nothing left
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const auto sent = std::chrono::steady_clock::now();
+    ServiceResponse response;
+    std::string error;
+    QueryResult result;
+    if (conn.Query(task.request, &response, &error)) {
+      result = response.ToQueryResult();
+    } else {
+      result.status = ServeStatus::kFailed;
+    }
+    result.total_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - sent)
+            .count();
+    task.promise.set_value(result);
+  }
+}
+
+void NetSubmitter::Flush() {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  std::string error;
+  (void)control_.Flush(&error);
+}
+
+bool NetSubmitter::ApplyUpdates(const ApplyUpdatesMsg& msg,
+                                ApplyUpdatesAckMsg* ack, std::string* error) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return control_.ApplyUpdates(msg, ack, error);
+}
+
+bool NetSubmitter::ShutdownServer(std::string* error) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return control_.Shutdown(error);
+}
+
+void NetSubmitter::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && senders_.empty()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : senders_) t.join();
+  senders_.clear();
+  // Anything still queued after the drain (stop raced a burst) resolves
+  // kCancelled so no future ever dangles.
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!queue_.empty()) {
+    QueryResult result;
+    result.status = ServeStatus::kCancelled;
+    queue_.front().promise.set_value(result);
+    queue_.pop_front();
+  }
+  for (std::unique_ptr<Client>& conn : connections_) conn->Close();
+  control_.Close();
+}
+
+}  // namespace geer::net

@@ -1,0 +1,94 @@
+// NetSubmitter: the networked QuerySubmitter (serve/service_api.h).
+// Submit() enqueues the query onto a fixed set of sender threads, each
+// owning one pooled connection to the router (or directly to a single
+// shard), and resolves the future with the decoded reply — so workload
+// drivers written against QuerySubmitter (RunServedWorkload,
+// RunClosedLoopWorkload) replay the same trace over the wire without
+// changing a line. Transport failures resolve the future with
+// ServeStatus::kFailed rather than throwing: a vanished server is a
+// serving outcome, not a client crash.
+
+#ifndef GEER_NET_SUBMITTER_H_
+#define GEER_NET_SUBMITTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "serve/service_api.h"
+
+namespace geer::net {
+
+class NetSubmitter : public QuerySubmitter {
+ public:
+  /// `clients` sender threads, each with its own connection — the
+  /// client-side parallelism (reported by workers()).
+  NetSubmitter(std::string host, std::uint16_t port, int clients = 4);
+  ~NetSubmitter() override;
+
+  NetSubmitter(const NetSubmitter&) = delete;
+  NetSubmitter& operator=(const NetSubmitter&) = delete;
+
+  /// Dials all connections (failing fast rather than on first Submit).
+  bool Connect(std::string* error);
+
+  /// Deployment info from the handshake (valid after Connect()).
+  const HelloAckMsg& info() const { return info_; }
+
+  std::future<QueryResult> Submit(QueryPair query,
+                                  double deadline_seconds = 0.0) override;
+
+  /// Sends one kFlush to the server (drains its pending micro-batch).
+  void Flush() override;
+
+  int workers() const override { return static_cast<int>(senders_.size()); }
+
+  /// Ships an update batch through the server's coordinated epoch swap;
+  /// true once the swap is acked everywhere. Serialized against Submit
+  /// only by the SERVER's barrier — callers wanting the in-process
+  /// trace semantics (every prior query on the old epoch) should drain
+  /// in-flight futures first, exactly like QueryService callers.
+  bool ApplyUpdates(const ApplyUpdatesMsg& msg, ApplyUpdatesAckMsg* ack,
+                    std::string* error);
+
+  /// Asks the server to shut down (router propagates to shards).
+  bool ShutdownServer(std::string* error);
+
+  /// Joins the sender threads; pending queries resolve kCancelled.
+  void Close();
+
+ private:
+  struct Task {
+    ServiceRequest request;
+    std::promise<QueryResult> promise;
+  };
+
+  void SenderLoop(std::size_t index);
+
+  const std::string host_;
+  const std::uint16_t port_;
+  HelloAckMsg info_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool stop_ = false;
+
+  std::vector<std::unique_ptr<Client>> connections_;
+  std::vector<std::thread> senders_;
+  /// Dedicated control-plane connection (Flush/ApplyUpdates/Shutdown),
+  /// kept out of the sender pool so control frames never queue behind
+  /// a slow query. Guarded by control_mu_.
+  std::mutex control_mu_;
+  Client control_;
+};
+
+}  // namespace geer::net
+
+#endif  // GEER_NET_SUBMITTER_H_

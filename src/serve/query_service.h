@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/estimator.h"
+#include "serve/service_api.h"
 
 namespace geer {
 
@@ -71,33 +72,9 @@ struct ServeOptions {
   std::vector<NodeId> landmarks;
 };
 
-/// Terminal state of one submitted query.
-enum class ServeStatus : std::uint8_t {
-  kAnswered,     ///< stats.value is the estimate
-  kUnsupported,  ///< SupportsQuery(s, t) is false (edge-only methods)
-  kExpired,      ///< per-query deadline passed before the answer
-  kRejected,     ///< queue was full at submission
-  kCancelled,    ///< ShutdownNow() discarded it
-  kShutdown,     ///< submitted after Shutdown()
-  kFailed,       ///< dispatch threw (e.g. allocation failure) mid-batch
-};
-
-/// What a client's future resolves to.
-struct QueryResult {
-  ServeStatus status = ServeStatus::kShutdown;
-  QueryStats stats;        ///< valid iff status == kAnswered
-  double queue_ms = 0.0;   ///< submission → dispatch
-  double total_ms = 0.0;   ///< submission → completion (client latency)
-  std::uint32_t batch_size = 0;  ///< micro-batch the query rode in
-  /// Graph epoch the answer was computed on (0 until the first
-  /// ApplyUpdates) — how dynamic-workload clients pair an answer with
-  /// the snapshot that produced it.
-  std::uint64_t epoch = 0;
-  /// Monotone id of the dispatched micro-batch (1-based; 0 = the query
-  /// never reached a dispatch). Later batch ⇒ later dispatch, which is
-  /// what the EDF dispatch-order tests observe.
-  std::uint64_t batch_id = 0;
-};
+// ServeStatus and QueryResult moved to serve/service_api.h — the
+// transport-neutral surface shared with the wire codec and the CLI.
+// Their numeric ServeStatus values are frozen there (wire stability).
 
 /// Aggregate counters since construction (monotone; snapshot via
 /// Metrics()).
@@ -143,7 +120,11 @@ struct ServeMetrics {
 /// The serving front end over one estimator. The service borrows the
 /// estimator exclusively for its lifetime (it becomes dispatch worker 0
 /// and may carry a session cache); don't query it concurrently.
-class QueryService {
+///
+/// QueryService is the in-process QuerySubmitter (serve/service_api.h):
+/// workload drivers written against the submitter interface run
+/// unchanged over this service or a networked net::NetSubmitter.
+class QueryService : public QuerySubmitter {
  public:
   explicit QueryService(ErEstimator& estimator,
                         const ServeOptions& options = {});
@@ -160,11 +141,11 @@ class QueryService {
   /// already dispatched runs to completion and may answer late.
   /// Thread-safe: any number of client threads may submit concurrently.
   std::future<QueryResult> Submit(QueryPair query,
-                                  double deadline_seconds = 0.0);
+                                  double deadline_seconds = 0.0) override;
 
   /// Asks the scheduler to dispatch whatever is queued without waiting
   /// for a flush trigger. Non-blocking.
-  void Flush();
+  void Flush() override;
 
   /// Applied to every worker estimator during an epoch swap; returns
   /// false if the estimator cannot rebind (the swap is then abandoned
@@ -213,7 +194,7 @@ class QueryService {
 
   /// Dispatch workers in use (1 + clones; ≤ options.threads when the
   /// estimator is not clonable).
-  int workers() const { return static_cast<int>(workers_.size()); }
+  int workers() const override { return static_cast<int>(workers_.size()); }
 
  private:
   using Clock = std::chrono::steady_clock;

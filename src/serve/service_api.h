@@ -1,0 +1,287 @@
+// The transport-neutral serving API: the one surface in-process callers
+// (serve/query_service.h), the wire codec (net/codec.h) and the CLI all
+// compile against. It owns
+//
+//   * the WIRE-STABLE ServeStatus enum (values frozen — see below),
+//   * the QueryResult a client's future resolves to,
+//   * POD request/response structs with explicit little-endian
+//     serialize/parse helpers and the protocol version byte, and
+//   * the QuerySubmitter interface: the abstract "submit a query, get a
+//     future" contract that an in-process QueryService and a networked
+//     net::NetSubmitter implement identically, so one workload driver
+//     (eval/experiment.h RunServedWorkload) replays traces against
+//     either.
+//
+// Wire stability contract: kServiceProtocolVersion is bumped whenever
+// any serialized layout below changes; ServeStatus numeric values are
+// FROZEN at the documented numbers and may only be appended to. Every
+// multi-byte field is little-endian on the wire regardless of host
+// order (the Put*/Get* helpers below are the only (de)serializers).
+
+#ifndef GEER_SERVE_SERVICE_API_H_
+#define GEER_SERVE_SERVICE_API_H_
+
+#include <cstdint>
+#include <cstring>
+#include <future>
+#include <span>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace geer {
+
+/// Version byte carried in every frame header (net/frame.h) and checked
+/// on both ends of a connection. Bump on ANY wire layout change.
+inline constexpr std::uint8_t kServiceProtocolVersion = 1;
+
+/// Terminal state of one submitted query.
+///
+/// WIRE-STABLE: these numeric values travel inside ServiceResponse
+/// frames and are frozen at protocol version 1. Never renumber or
+/// reorder; new states append after kFailed.
+enum class ServeStatus : std::uint8_t {
+  kAnswered = 0,     ///< stats.value is the estimate
+  kUnsupported = 1,  ///< SupportsQuery(s, t) is false (edge-only methods)
+  kExpired = 2,      ///< per-query deadline passed before the answer
+  kRejected = 3,     ///< queue was full at submission
+  kCancelled = 4,    ///< ShutdownNow() discarded it
+  kShutdown = 5,     ///< submitted after Shutdown()
+  kFailed = 6,       ///< dispatch threw, or the transport failed
+};
+
+/// Number of wire-stable ServeStatus values at protocol version 1 (for
+/// parse-time range checks; values >= this are rejected as garbage).
+inline constexpr std::uint8_t kNumServeStatusValues = 7;
+
+/// What a client's future resolves to.
+struct QueryResult {
+  ServeStatus status = ServeStatus::kShutdown;
+  QueryStats stats;        ///< valid iff status == kAnswered
+  double queue_ms = 0.0;   ///< submission → dispatch (server-side)
+  double total_ms = 0.0;   ///< submission → completion (client latency)
+  std::uint32_t batch_size = 0;  ///< micro-batch the query rode in
+  /// Graph epoch the answer was computed on (0 until the first
+  /// ApplyUpdates) — how dynamic-workload clients pair an answer with
+  /// the snapshot that produced it.
+  std::uint64_t epoch = 0;
+  /// Monotone id of the dispatched micro-batch (1-based; 0 = the query
+  /// never reached a dispatch). Later batch ⇒ later dispatch, which is
+  /// what the EDF dispatch-order tests observe.
+  std::uint64_t batch_id = 0;
+};
+
+// --------------------------------------------------------------------------
+// Little-endian (de)serialization helpers — the codec's only primitives.
+// --------------------------------------------------------------------------
+
+namespace wire {
+
+inline void PutU8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+inline void PutU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+inline void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+inline void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+/// IEEE-754 bit pattern, little-endian — bit-exact round trip, which the
+/// end-to-end determinism suite depends on.
+inline void PutF64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+/// Each Get* consumes from `in` at `*offset`, advancing it on success.
+/// Returns false (offset untouched) when fewer bytes remain — the
+/// truncation-tolerant contract the codec fuzz tests exercise.
+inline bool GetU8(std::span<const std::uint8_t> in, std::size_t* offset,
+                  std::uint8_t* out) {
+  if (*offset + 1 > in.size()) return false;
+  *out = in[*offset];
+  *offset += 1;
+  return true;
+}
+inline bool GetU16(std::span<const std::uint8_t> in, std::size_t* offset,
+                   std::uint16_t* out) {
+  if (in.size() < 2 || *offset > in.size() - 2) return false;
+  *out = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(in[*offset]) |
+      (static_cast<std::uint16_t>(in[*offset + 1]) << 8));
+  *offset += 2;
+  return true;
+}
+inline bool GetU32(std::span<const std::uint8_t> in, std::size_t* offset,
+                   std::uint32_t* out) {
+  if (in.size() < 4 || *offset > in.size() - 4) return false;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[*offset + i]) << (8 * i);
+  }
+  *out = v;
+  *offset += 4;
+  return true;
+}
+inline bool GetU64(std::span<const std::uint8_t> in, std::size_t* offset,
+                   std::uint64_t* out) {
+  if (in.size() < 8 || *offset > in.size() - 8) return false;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[*offset + i]) << (8 * i);
+  }
+  *out = v;
+  *offset += 8;
+  return true;
+}
+inline bool GetF64(std::span<const std::uint8_t> in, std::size_t* offset,
+                   double* out) {
+  std::uint64_t bits = 0;
+  if (!GetU64(in, offset, &bits)) return false;
+  std::memcpy(out, &bits, sizeof(bits));
+  return true;
+}
+
+}  // namespace wire
+
+// --------------------------------------------------------------------------
+// POD request/response — the payloads of kQuery / kQueryReply frames.
+// --------------------------------------------------------------------------
+
+/// One PER query as it travels the wire (protocol version 1 layout:
+/// s:u32 | t:u32 | deadline_seconds:f64 — 16 bytes).
+struct ServiceRequest {
+  NodeId s = 0;
+  NodeId t = 0;
+  /// Per-query deadline in seconds; <= 0 = none (QueryService::Submit
+  /// semantics, applied server-side from arrival).
+  double deadline_seconds = 0.0;
+
+  void AppendTo(std::vector<std::uint8_t>& out) const {
+    wire::PutU32(out, s);
+    wire::PutU32(out, t);
+    wire::PutF64(out, deadline_seconds);
+  }
+  /// Consumes from `in` at `*offset`; false on truncation.
+  bool ParseFrom(std::span<const std::uint8_t> in, std::size_t* offset) {
+    std::size_t at = *offset;
+    if (!wire::GetU32(in, &at, &s) || !wire::GetU32(in, &at, &t) ||
+        !wire::GetF64(in, &at, &deadline_seconds)) {
+      return false;
+    }
+    *offset = at;
+    return true;
+  }
+
+  QueryPair pair() const { return {s, t}; }
+};
+
+/// One answer as it travels the wire (protocol version 1 layout:
+/// status:u8 | value:f64 | server_ms:f64 | batch_size:u32 | epoch:u64 |
+/// batch_id:u64 — 37 bytes). `value` is the IEEE-754 bit pattern of the
+/// server's estimate, so networked answers are bit-identical to
+/// in-process ones. Cost instrumentation beyond `server_ms` stays
+/// server-side (ServeMetrics) — the wire carries what a remote client
+/// can act on.
+struct ServiceResponse {
+  std::uint8_t status = static_cast<std::uint8_t>(ServeStatus::kShutdown);
+  double value = 0.0;
+  double server_ms = 0.0;  ///< server-side submission → completion
+  std::uint32_t batch_size = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t batch_id = 0;
+
+  void AppendTo(std::vector<std::uint8_t>& out) const {
+    wire::PutU8(out, status);
+    wire::PutF64(out, value);
+    wire::PutF64(out, server_ms);
+    wire::PutU32(out, batch_size);
+    wire::PutU64(out, epoch);
+    wire::PutU64(out, batch_id);
+  }
+  /// Consumes from `in` at `*offset`; false on truncation or a status
+  /// byte outside the frozen value range.
+  bool ParseFrom(std::span<const std::uint8_t> in, std::size_t* offset) {
+    std::size_t at = *offset;
+    ServiceResponse r;
+    if (!wire::GetU8(in, &at, &r.status) ||
+        !wire::GetF64(in, &at, &r.value) ||
+        !wire::GetF64(in, &at, &r.server_ms) ||
+        !wire::GetU32(in, &at, &r.batch_size) ||
+        !wire::GetU64(in, &at, &r.epoch) ||
+        !wire::GetU64(in, &at, &r.batch_id)) {
+      return false;
+    }
+    if (r.status >= kNumServeStatusValues) return false;
+    *this = r;
+    *offset = at;
+    return true;
+  }
+
+  static ServiceResponse FromQueryResult(const QueryResult& r) {
+    ServiceResponse out;
+    out.status = static_cast<std::uint8_t>(r.status);
+    out.value = r.stats.value;
+    out.server_ms = r.total_ms;
+    out.batch_size = r.batch_size;
+    out.epoch = r.epoch;
+    out.batch_id = r.batch_id;
+    return out;
+  }
+  /// The client-side QueryResult. total_ms is left 0 — the transport
+  /// fills it with the measured round trip.
+  QueryResult ToQueryResult() const {
+    QueryResult r;
+    r.status = static_cast<ServeStatus>(status);
+    r.stats.value = value;
+    r.queue_ms = 0.0;
+    r.total_ms = 0.0;
+    r.batch_size = batch_size;
+    r.epoch = epoch;
+    r.batch_id = batch_id;
+    return r;
+  }
+};
+
+// --------------------------------------------------------------------------
+// QuerySubmitter — the transport-neutral submission surface.
+// --------------------------------------------------------------------------
+
+/// Abstract "submit one query, get a future" contract. QueryService
+/// implements it in-process; net::NetSubmitter implements it over a
+/// router/shard connection pool. Workload drivers
+/// (RunServedWorkload / RunClosedLoopWorkload) accept a QuerySubmitter,
+/// so the SAME driver replays a trace against either transport — the
+/// end-to-end determinism suite is literally one driver, two submitters.
+class QuerySubmitter {
+ public:
+  virtual ~QuerySubmitter() = default;
+
+  /// Enqueues one query; the future resolves to its terminal state.
+  /// Never blocks on query work. `deadline_seconds` <= 0 = none.
+  /// Thread-safe: any number of client threads may submit concurrently.
+  virtual std::future<QueryResult> Submit(QueryPair query,
+                                          double deadline_seconds = 0.0) = 0;
+
+  /// Asks the backend to dispatch whatever is queued without waiting for
+  /// a flush trigger. Non-blocking where the transport allows.
+  virtual void Flush() {}
+
+  /// Parallelism the backend answers with (dispatch workers in-process,
+  /// pooled connections over the wire) — reporting only.
+  virtual int workers() const { return 1; }
+};
+
+}  // namespace geer
+
+#endif  // GEER_SERVE_SERVICE_API_H_

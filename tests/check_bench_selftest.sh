@@ -114,6 +114,28 @@ swap_file "$DIR" 2 12.0
 expect "swap-ms-wiggle-passes" 0 "1 series ok, 0 warnings, 0 failures" \
     env BENCH_DIR="$DIR" "$CHECK" "$DIR/BENCH_pr2.json"
 
+# 7. Networked-tier latency series (net/<dataset>/<mode>/p95_ms) is
+#    gated exactly like swap_ms: growth past the threshold fails, a
+#    wiggle under it passes.
+net_file() {  # net_file <dir> <pr> <p95_ms>
+  local dir="$1" pr="$2" ms="$3"
+  {
+    echo "["
+    entry GEER "net/facebook/net_closed/p95_ms" "$ms" | sed 's/^/ /'
+    echo "]"
+  } > "$dir/BENCH_pr${pr}.json"
+}
+DIR="$TMP/net-grow"; mkdir -p "$DIR"
+net_file "$DIR" 1 1.0
+net_file "$DIR" 2 2.0
+expect "net-p95-growth-fails" 1 "FAIL .*net/facebook" \
+    env BENCH_DIR="$DIR" "$CHECK" "$DIR/BENCH_pr2.json"
+DIR="$TMP/net-ok"; mkdir -p "$DIR"
+net_file "$DIR" 1 1.0
+net_file "$DIR" 2 1.1
+expect "net-p95-wiggle-passes" 0 "1 series ok, 0 warnings, 0 failures" \
+    env BENCH_DIR="$DIR" "$CHECK" "$DIR/BENCH_pr2.json"
+
 if [[ "$fails" -gt 0 ]]; then
   echo "== check_bench_selftest: $fails failure(s) =="
   exit 1

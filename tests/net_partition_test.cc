@@ -1,0 +1,131 @@
+// The partition map's routing contract (net/partition.h): every node
+// has exactly one owner in [0, k); both strategies cover all shards and
+// stay reasonably balanced; ShardOf is a pure function of (n, k,
+// strategy, node) — the determinism the router's "same query, same
+// shard" bit-identity rule rests on; and HomeShard implements the
+// documented replica rule (common owner for same-shard pairs, owner of
+// min(s,t) otherwise, symmetric in its arguments).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/partition.h"
+
+namespace geer::net {
+namespace {
+
+TEST(PartitionTest, ParseStrategyNamesRoundTrip) {
+  ASSERT_TRUE(ParseStrategy("range").has_value());
+  ASSERT_TRUE(ParseStrategy("hash").has_value());
+  EXPECT_EQ(*ParseStrategy("range"), PartitionStrategy::kRange);
+  EXPECT_EQ(*ParseStrategy("hash"), PartitionStrategy::kHash);
+  EXPECT_FALSE(ParseStrategy("Range").has_value());
+  EXPECT_FALSE(ParseStrategy("").has_value());
+  EXPECT_FALSE(ParseStrategy("modulo").has_value());
+  EXPECT_EQ(std::string(StrategyName(PartitionStrategy::kRange)), "range");
+  EXPECT_EQ(std::string(StrategyName(PartitionStrategy::kHash)), "hash");
+}
+
+TEST(PartitionTest, EveryNodeOwnedByExactlyOneValidShard) {
+  for (PartitionStrategy strategy :
+       {PartitionStrategy::kRange, PartitionStrategy::kHash}) {
+    for (int k : {1, 2, 3, 7}) {
+      const NodeId n = 1000;
+      PartitionMap map(n, k, strategy);
+      for (NodeId node = 0; node < n; ++node) {
+        const int shard = map.ShardOf(node);
+        EXPECT_GE(shard, 0);
+        EXPECT_LT(shard, k);
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, RangeStrategyIsContiguousCeilBlocks) {
+  // n=10, k=3 → block=ceil(10/3)=4: [0..3]→0, [4..7]→1, [8..9]→2.
+  PartitionMap map(10, 3, PartitionStrategy::kRange);
+  const std::vector<int> want = {0, 0, 0, 0, 1, 1, 1, 1, 2, 2};
+  for (NodeId node = 0; node < 10; ++node) {
+    EXPECT_EQ(map.ShardOf(node), want[node]) << "node " << node;
+  }
+}
+
+TEST(PartitionTest, RangeStrategyClampsLastBlock) {
+  // n=9, k=4 → block=3: shards 0..2 take 3 nodes each and shard 3 would
+  // start at node 9 — the clamp keeps every owner < k with no empty gap
+  // in the id space.
+  PartitionMap map(9, 4, PartitionStrategy::kRange);
+  for (NodeId node = 0; node < 9; ++node) {
+    EXPECT_EQ(map.ShardOf(node), static_cast<int>(node / 3));
+  }
+}
+
+TEST(PartitionTest, BothStrategiesCoverAllShardsAndStayBalanced) {
+  const NodeId n = 4096;
+  for (PartitionStrategy strategy :
+       {PartitionStrategy::kRange, PartitionStrategy::kHash}) {
+    for (int k : {2, 4, 8}) {
+      PartitionMap map(n, k, strategy);
+      std::vector<int> counts(k, 0);
+      for (NodeId node = 0; node < n; ++node) ++counts[map.ShardOf(node)];
+      const int lo = *std::min_element(counts.begin(), counts.end());
+      const int hi = *std::max_element(counts.begin(), counts.end());
+      EXPECT_GT(lo, 0) << StrategyName(strategy) << " k=" << k
+                       << ": some shard owns nothing";
+      // Loose balance bound: no shard more than 2x the ideal share.
+      EXPECT_LE(hi, 2 * static_cast<int>(n) / k)
+          << StrategyName(strategy) << " k=" << k;
+    }
+  }
+}
+
+TEST(PartitionTest, ShardOfIsDeterministicAcrossInstances) {
+  // Two maps with identical parameters must agree node-by-node — the
+  // property that lets a rebuilt router keep routing queries to the same
+  // replicas (and keeps answers bit-identical across restarts).
+  for (PartitionStrategy strategy :
+       {PartitionStrategy::kRange, PartitionStrategy::kHash}) {
+    PartitionMap a(2048, 5, strategy);
+    PartitionMap b(2048, 5, strategy);
+    for (NodeId node = 0; node < 2048; ++node) {
+      ASSERT_EQ(a.ShardOf(node), b.ShardOf(node));
+    }
+  }
+}
+
+TEST(PartitionTest, SingleShardOwnsEverything) {
+  for (PartitionStrategy strategy :
+       {PartitionStrategy::kRange, PartitionStrategy::kHash}) {
+    PartitionMap map(123, 1, strategy);
+    for (NodeId node = 0; node < 123; ++node) {
+      EXPECT_EQ(map.ShardOf(node), 0);
+    }
+    EXPECT_EQ(map.HomeShard({0, 122}), 0);
+  }
+}
+
+TEST(PartitionTest, HomeShardFollowsReplicaRule) {
+  for (PartitionStrategy strategy :
+       {PartitionStrategy::kRange, PartitionStrategy::kHash}) {
+    PartitionMap map(512, 4, strategy);
+    for (NodeId s = 0; s < 512; s += 7) {
+      for (NodeId t = 1; t < 512; t += 13) {
+        const int home = map.HomeShard({s, t});
+        if (map.SameShard({s, t})) {
+          EXPECT_EQ(home, map.ShardOf(s));
+          EXPECT_EQ(home, map.ShardOf(t));
+        } else {
+          EXPECT_EQ(home, map.ShardOf(std::min(s, t)));
+        }
+        // Symmetric: r(s,t) = r(t,s), so the route must not depend on
+        // argument order either.
+        EXPECT_EQ(home, map.HomeShard({t, s}));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geer::net

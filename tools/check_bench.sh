@@ -32,7 +32,9 @@
 # Policy: throughput series (metric contains "throughput" or "qps")
 # hard-fail when the new value drops more than the threshold. Latency
 # series the PRs gate on — epoch-swap cost ("swap_ms") and serve tail
-# latency ("p95_ms") — hard-fail in the OTHER direction: growth past
+# latency ("p95_ms", which covers both the in-process serve/* series and
+# the networked net/<dataset>/<mode>/p95_ms wire-path series) — hard-fail
+# in the OTHER direction: growth past
 # --time-threshold (wider than the throughput threshold because raw
 # wall-clock is noisier than best-of throughput). Everything else only
 # WARNS past it — ratio series ("speedup"/"retention") when they drop,

@@ -2,13 +2,25 @@
 //
 // The tool a downstream user actually runs: load a SNAP edge list (or a
 // named synthetic dataset), pick an algorithm, and answer PER queries from
-// the command line or stdin.
+// the command line or stdin. The first bare word selects a subcommand:
 //
-//   geer --graph=com-dblp.txt --method=GEER --epsilon=0.05 --pair=3:17
-//   geer --dataset=facebook --random=100 --epsilon=0.1 --csv
-//   echo "0 42\n7 99" | geer --graph=g.txt --stdin
+//   geer query   one-shot / batch queries (the default when omitted)
+//   geer batch   answer through the batch engine (same as --batch)
+//   geer serve   replay through the micro-batching serving front end
+//   geer dynamic replay a dynamic workload with epoch swaps
+//   geer net     networked serving roles: shard | router | client
+//   geer list    print registered estimators and datasets
 //
-// Flags:
+//   geer query --graph=com-dblp.txt --method=GEER --epsilon=0.05 --pair=3:17
+//   geer serve --dataset=facebook --random=100 --qps=500
+//   geer net shard --dataset=facebook --port=7001
+//   geer net router --shards=127.0.0.1:7001,127.0.0.1:7002
+//   geer net client --connect=127.0.0.1:7000 --queries=200 --zipf-exp=0.8
+//
+// The pre-subcommand spellings (--serve / --batch / --dynamic / --list
+// as mode flags) are still accepted as hidden aliases for existing
+// scripts; they are DEPRECATED and will be dropped one release after
+// this one. Flags:
 //   --graph=PATH        SNAP edge list (largest CC, bipartiteness broken)
 //   --dataset=NAME      registry dataset (facebook|dblp|youtube|orkut|
 //                       livejournal|friendster), --scale=F node scale
@@ -64,6 +76,7 @@
 
 #include "core/batch_engine.h"
 #include "core/registry.h"
+#include "net/roles.h"
 #include "dyn/dynamic_graph.h"
 #include "eval/datasets.h"
 #include "eval/dynamic_workload.h"
@@ -432,15 +445,21 @@ std::optional<QueryPair> ParsePair(const std::string& text) {
 }
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s (--graph=PATH | --dataset=NAME) [--method=NAME]\n"
-               "          [--epsilon=F] [--pair=S:T ...] [--random=N]\n"
-               "          [--edges=N] [--stdin] [--stats] [--csv] [--list]\n"
-               "          [--batch] [--threads=N] [--weighted]\n"
-               "          [--serve] [--qps=F] [--linger-ms=F]\n"
-               "          [--batch-size=N] [--deadline-ms=F]\n"
-               "          [--dynamic] [--updates=N] [--commit-every=K]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [query|batch|serve|dynamic|net|list] ...\n"
+      "  query   (--graph=PATH | --dataset=NAME) [--method=NAME]\n"
+      "          [--epsilon=F] [--pair=S:T ...] [--random=N] [--edges=N]\n"
+      "          [--stdin] [--stats] [--csv] [--weighted]\n"
+      "  batch   query flags + [--threads=N]\n"
+      "  serve   query flags + [--qps=F] [--linger-ms=F] [--batch-size=N]\n"
+      "          [--deadline-ms=F] [--threads=N]\n"
+      "  dynamic serve flags + [--updates=N] [--commit-every=K]\n"
+      "  net     shard|router|client ... (see `%s net`)\n"
+      "  list    print estimators and datasets\n"
+      "(legacy mode flags --batch/--serve/--dynamic/--list still accepted; "
+      "deprecated)\n",
+      argv0, argv0);
   return 2;
 }
 
@@ -634,7 +653,31 @@ int Run(const CliArgs& args) {
 int main(int argc, char** argv) {
   using namespace geer;
   CliArgs args;
-  for (int i = 1; i < argc; ++i) {
+  int first_flag = 1;
+  // Subcommand dispatch: a leading bare word picks the mode; everything
+  // after it is the mode's flags. Omitting it (or the legacy --serve /
+  // --batch / --dynamic / --list mode flags below) still works.
+  if (argc > 1 && argv[1][0] != '-') {
+    const std::string command = argv[1];
+    first_flag = 2;
+    if (command == "net") {
+      return net::RunNetCommand(
+          std::vector<std::string>(argv + 2, argv + argc));
+    } else if (command == "serve") {
+      args.serve = true;
+    } else if (command == "dynamic") {
+      args.dynamic = true;
+    } else if (command == "batch") {
+      args.batch = true;
+    } else if (command == "list") {
+      args.list = true;
+    } else if (command != "query") {
+      std::fprintf(stderr, "error: unknown subcommand '%s'\n",
+                   command.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  for (int i = first_flag; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&arg](const char* key) -> std::optional<std::string> {
       const std::string prefix = std::string(key) + "=";

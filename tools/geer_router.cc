@@ -1,0 +1,14 @@
+// Standalone shard router: the partition-owning front end of a sharded
+// deployment (src/net/router.h). Identical to `geer net router` — both
+// run net::RunRouterRole — but as its own binary for launch scripts and
+// process supervisors.
+
+#include <string>
+#include <vector>
+
+#include "net/roles.h"
+
+int main(int argc, char** argv) {
+  return geer::net::RunRouterRole(
+      std::vector<std::string>(argv + 1, argv + argc));
+}

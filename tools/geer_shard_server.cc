@@ -1,0 +1,15 @@
+// Standalone shard server: one QueryService over a full graph replica,
+// speaking the frame protocol (src/net/). Identical to `geer net shard`
+// — both run net::RunShardRole — but as its own binary so launch
+// scripts (tools/start_servers_local.sh) and process supervisors get a
+// dedicated executable name to manage.
+
+#include <string>
+#include <vector>
+
+#include "net/roles.h"
+
+int main(int argc, char** argv) {
+  return geer::net::RunShardRole(
+      std::vector<std::string>(argv + 1, argv + argc));
+}

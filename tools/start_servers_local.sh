@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Launches a local sharded deployment: N full-replica shard servers on
+# ephemeral loopback ports plus a router in front of them. Port and pid
+# files land in --run-dir so stop_servers_local.sh (or a --shutdown
+# client) can tear the deployment down, and the router address is
+# printed last for scripting:
+#
+#   tools/start_servers_local.sh --build-dir=build --shards=2 \
+#       --dataset=facebook --scale=0.25 --epsilon=0.1
+#   geer_cli net client --connect=$(cat /tmp/geer_net/router.addr) ...
+#   tools/stop_servers_local.sh
+#
+# Every server gets --timeout-seconds as a watchdog, so an orphaned
+# deployment self-terminates even if the stop script never runs.
+
+set -euo pipefail
+
+BUILD_DIR="build"
+RUN_DIR="/tmp/geer_net"
+SHARDS=2
+DATASET="facebook"
+SCALE=0.25
+METHOD="GEER"
+EPSILON=0.1
+SEED=1
+THREADS=2
+STRATEGY="range"
+TIMEOUT=3600
+
+for arg in "$@"; do
+  case "$arg" in
+    --build-dir=*) BUILD_DIR="${arg#*=}" ;;
+    --run-dir=*)   RUN_DIR="${arg#*=}" ;;
+    --shards=*)    SHARDS="${arg#*=}" ;;
+    --dataset=*)   DATASET="${arg#*=}" ;;
+    --scale=*)     SCALE="${arg#*=}" ;;
+    --method=*)    METHOD="${arg#*=}" ;;
+    --epsilon=*)   EPSILON="${arg#*=}" ;;
+    --seed=*)      SEED="${arg#*=}" ;;
+    --threads=*)   THREADS="${arg#*=}" ;;
+    --strategy=*)  STRATEGY="${arg#*=}" ;;
+    --timeout-seconds=*) TIMEOUT="${arg#*=}" ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+SHARD_BIN="$BUILD_DIR/geer_shard_server"
+ROUTER_BIN="$BUILD_DIR/geer_router"
+for bin in "$SHARD_BIN" "$ROUTER_BIN"; do
+  [[ -x "$bin" ]] || { echo "missing $bin (build first)" >&2; exit 2; }
+done
+
+if [[ -d "$RUN_DIR" ]] && compgen -G "$RUN_DIR/*.pid" > /dev/null; then
+  echo "$RUN_DIR already holds pidfiles — run stop_servers_local.sh first" >&2
+  exit 1
+fi
+mkdir -p "$RUN_DIR"
+rm -f "$RUN_DIR"/*.port "$RUN_DIR"/*.pid "$RUN_DIR"/router.addr
+
+wait_for_port_file() {
+  local file="$1" i
+  for i in $(seq 1 300); do
+    [[ -s "$file" ]] && { cat "$file"; return 0; }
+    sleep 0.1
+  done
+  echo "timed out waiting for $file" >&2
+  return 1
+}
+
+ADDRS=""
+for ((i = 0; i < SHARDS; ++i)); do
+  "$SHARD_BIN" --dataset="$DATASET" --scale="$SCALE" --method="$METHOD" \
+      --epsilon="$EPSILON" --seed="$SEED" --threads="$THREADS" \
+      --shard-id="$i" --num-shards="$SHARDS" --port=0 \
+      --port-file="$RUN_DIR/shard$i.port" --timeout-seconds="$TIMEOUT" \
+      > "$RUN_DIR/shard$i.log" 2>&1 &
+  echo $! > "$RUN_DIR/shard$i.pid"
+done
+for ((i = 0; i < SHARDS; ++i)); do
+  port="$(wait_for_port_file "$RUN_DIR/shard$i.port")"
+  ADDRS+="${ADDRS:+,}127.0.0.1:$port"
+  echo "shard $i: 127.0.0.1:$port (pid $(cat "$RUN_DIR/shard$i.pid"))"
+done
+
+"$ROUTER_BIN" --shards="$ADDRS" --strategy="$STRATEGY" --port=0 \
+    --port-file="$RUN_DIR/router.port" --timeout-seconds="$TIMEOUT" \
+    > "$RUN_DIR/router.log" 2>&1 &
+echo $! > "$RUN_DIR/router.pid"
+RPORT="$(wait_for_port_file "$RUN_DIR/router.port")"
+echo "127.0.0.1:$RPORT" > "$RUN_DIR/router.addr"
+echo "router: 127.0.0.1:$RPORT (pid $(cat "$RUN_DIR/router.pid"))"
+echo "127.0.0.1:$RPORT"

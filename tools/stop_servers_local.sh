@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Tears down a deployment started by start_servers_local.sh. Prefers the
+# protocol-level teardown — one kShutdown to the router, which
+# propagates to every shard and lets each drain its in-flight queries —
+# and falls back to signals for anything still alive (TERM, then KILL
+# after a grace period). Removes the run dir afterwards.
+#
+#   tools/stop_servers_local.sh [--run-dir=/tmp/geer_net] [--build-dir=build]
+
+set -euo pipefail
+
+BUILD_DIR="build"
+RUN_DIR="/tmp/geer_net"
+for arg in "$@"; do
+  case "$arg" in
+    --build-dir=*) BUILD_DIR="${arg#*=}" ;;
+    --run-dir=*)   RUN_DIR="${arg#*=}" ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+[[ -d "$RUN_DIR" ]] || { echo "no run dir $RUN_DIR — nothing to stop"; exit 0; }
+
+CLI_BIN="$BUILD_DIR/geer_cli"
+if [[ -x "$CLI_BIN" && -s "$RUN_DIR/router.addr" ]]; then
+  # Graceful path: 0 queries, just the propagated shutdown.
+  "$CLI_BIN" net client --connect="$(cat "$RUN_DIR/router.addr")" \
+      --queries=0 --shutdown > /dev/null 2>&1 || true
+fi
+
+pids=()
+for pidfile in "$RUN_DIR"/*.pid; do
+  [[ -e "$pidfile" ]] || continue
+  pids+=("$(cat "$pidfile")")
+done
+
+# Grace period for the protocol-level drain, then escalate.
+deadline=$((SECONDS + 10))
+for pid in "${pids[@]:-}"; do
+  while kill -0 "$pid" 2>/dev/null && (( SECONDS < deadline )); do
+    sleep 0.1
+  done
+  if kill -0 "$pid" 2>/dev/null; then
+    echo "pid $pid ignored shutdown; sending TERM"
+    kill "$pid" 2>/dev/null || true
+    sleep 1
+    kill -9 "$pid" 2>/dev/null || true
+  fi
+done
+
+rm -rf "$RUN_DIR"
+echo "deployment stopped"
