@@ -3,6 +3,7 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -41,11 +42,24 @@ BatchReport RunQueryBatch(ErEstimator& estimator,
   report.processed.assign(n, 0);
   if (n == 0) return report;
 
+  obs::Tracer* const tracer = obs::Tracer::Current();
+  const std::uint64_t plan_start = tracer != nullptr ? obs::NowNs() : 0;
   const BatchPlan plan = options.use_plan
                              ? estimator.PlanBatch(queries)
                              : BatchPlan::Trivial(n);
   ValidatePlan(plan, n);
   const std::size_t num_groups = plan.NumGroups();
+  if (tracer != nullptr) {
+    obs::SpanEvent plan_ev;
+    plan_ev.name = "plan";
+    plan_ev.start_ns = plan_start;
+    plan_ev.dur_ns = obs::NowNs() - plan_start;
+    plan_ev.arg_key0 = "queries";
+    plan_ev.arg_val0 = n;
+    plan_ev.arg_key1 = "groups";
+    plan_ev.arg_val1 = num_groups;
+    tracer->Record(plan_ev);
+  }
 
   // Worker estimators: caller-provided session workers (persisting their
   // caches across engine runs), or ad-hoc clones. Workers 1… answer on
@@ -99,6 +113,9 @@ BatchReport RunQueryBatch(ErEstimator& estimator,
         ErEstimator* est = worker_estimators[worker];
         const std::uint32_t begin = plan.group_offsets[g];
         const std::uint32_t end = plan.group_offsets[g + 1];
+        obs::Span estimate_span("estimate");
+        estimate_span.Arg("group", g);
+        estimate_span.Arg("queries", end - begin);
         WorkerScratch& ws = scratch[worker];
         ws.queries.clear();
         for (std::uint32_t k = begin; k < end; ++k) {

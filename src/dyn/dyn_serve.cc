@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace geer {
@@ -18,6 +20,11 @@ std::future<bool> ApplyEpochUpdate(
   // pins them for as long as the service answers on this epoch.
   auto rebind = [snapshot, lambda, incremental,
                  spectral = std::move(spectral)](ErEstimator& estimator) {
+    obs::Span rebind_span("rebind");
+    rebind_span.Arg("epoch", snapshot->epoch);
+    rebind_span.Arg("touched", snapshot->touched.size());
+    static const obs::Registry::MetricId rebind_ns =
+        obs::Registry::Global().Histogram("geer_rebind_ns");
     GraphEpoch info;
     info.epoch = snapshot->epoch;
     info.touched = std::span<const NodeId>(snapshot->touched);
@@ -25,7 +32,10 @@ std::future<bool> ApplyEpochUpdate(
     info.lambda = lambda;
     info.incremental = incremental;
     info.spectral = spectral;
-    return estimator.RebindGraph(*snapshot->graph, info);
+    const std::uint64_t start = obs::NowNs();
+    const bool ok = estimator.RebindGraph(*snapshot->graph, info);
+    obs::Registry::Global().RecordNs(rebind_ns, obs::NowNs() - start);
+    return ok;
   };
   return service.ApplyUpdates(epoch, std::move(rebind),
                               std::move(snapshot));

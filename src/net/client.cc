@@ -96,6 +96,21 @@ bool Client::ApplyUpdates(const ApplyUpdatesMsg& msg, ApplyUpdatesAckMsg* ack,
   return true;
 }
 
+bool Client::Stats(const StatsRequestMsg& msg, StatsReplyMsg* reply,
+                   std::string* error) {
+  Frame frame;
+  if (!Call(FrameType::kStats, EncodeStatsRequest(msg), FrameType::kStatsReply,
+            &frame, error)) {
+    return false;
+  }
+  if (!DecodeStatsReply(frame.payload, reply)) {
+    broken_ = true;
+    if (error != nullptr) *error = "undecodable stats reply";
+    return false;
+  }
+  return true;
+}
+
 bool Client::Shutdown(std::string* error) {
   Frame reply;
   return Call(FrameType::kShutdown, {}, FrameType::kShutdownAck, &reply,

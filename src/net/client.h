@@ -51,6 +51,11 @@ class Client {
   bool ApplyUpdates(const ApplyUpdatesMsg& msg, ApplyUpdatesAckMsg* ack,
                     std::string* error);
 
+  /// Scrapes the server's metrics snapshot (merged across shards when
+  /// the peer is a router).
+  bool Stats(const StatsRequestMsg& msg, StatsReplyMsg* reply,
+             std::string* error);
+
   /// Asks the server to shut down (acked before the server exits).
   bool Shutdown(std::string* error);
 

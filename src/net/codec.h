@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "dyn/dynamic_graph.h"
+#include "obs/stats.h"
 #include "serve/service_api.h"
 
 namespace geer::net {
@@ -62,6 +63,22 @@ struct ApplyUpdatesAckMsg {
   std::uint64_t epoch = 0; ///< epoch now served (valid when ok)
 };
 
+/// kStats payload: scrape request. `prefix` filters metric names by
+/// leading match ("" = everything).
+struct StatsRequestMsg {
+  std::string prefix;
+};
+
+/// kStatsReply payload: one registry snapshot (shard server) or the
+/// bucket-wise merge across every shard (router). The histogram bucket
+/// scheme is stamped on the wire (obs::kHistogramSchemeId) so a future
+/// re-bucketing surfaces as a decode failure, never a silently wrong
+/// merged quantile.
+struct StatsReplyMsg {
+  obs::StatsSnapshot snapshot;
+  std::uint32_t num_shards = 1;  ///< snapshots merged into this reply
+};
+
 /// kError payload: machine code + human-readable message.
 struct ErrorMsg {
   enum Code : std::uint16_t {
@@ -80,6 +97,8 @@ std::vector<std::uint8_t> EncodeHelloAck(const HelloAckMsg& msg);
 std::vector<std::uint8_t> EncodeApplyUpdates(const ApplyUpdatesMsg& msg);
 std::vector<std::uint8_t> EncodeApplyUpdatesAck(const ApplyUpdatesAckMsg& msg);
 std::vector<std::uint8_t> EncodeError(const ErrorMsg& msg);
+std::vector<std::uint8_t> EncodeStatsRequest(const StatsRequestMsg& msg);
+std::vector<std::uint8_t> EncodeStatsReply(const StatsReplyMsg& msg);
 
 // Decoders: payload bytes -> message; false on any malformation.
 // Strict-length: trailing bytes after the message are rejected (a
@@ -90,6 +109,10 @@ bool DecodeApplyUpdates(std::span<const std::uint8_t> payload,
 bool DecodeApplyUpdatesAck(std::span<const std::uint8_t> payload,
                            ApplyUpdatesAckMsg* out);
 bool DecodeError(std::span<const std::uint8_t> payload, ErrorMsg* out);
+bool DecodeStatsRequest(std::span<const std::uint8_t> payload,
+                        StatsRequestMsg* out);
+bool DecodeStatsReply(std::span<const std::uint8_t> payload,
+                      StatsReplyMsg* out);
 
 // ServiceRequest / ServiceResponse payloads (strict-length wrappers over
 // the PODs' own ParseFrom).

@@ -45,6 +45,8 @@ enum class FrameType : std::uint8_t {
   kShutdown = 9,         ///< control: drain and stop serving
   kShutdownAck = 10,     ///< control ack (empty payload)
   kError = 11,           ///< server → client: code + message
+  kStats = 12,           ///< control: scrape metrics (prefix filter)
+  kStatsReply = 13,      ///< counters + gauges + histogram snapshot
 };
 
 /// True for the version-1 values above (dispatchers reply kError to

@@ -10,9 +10,12 @@
 
 #include "eval/datasets.h"
 #include "eval/experiment.h"
+#include "net/client.h"
 #include "net/router.h"
 #include "net/shard_service.h"
 #include "net/submitter.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "serve/trace.h"
 
 namespace geer::net {
@@ -86,14 +89,15 @@ int NetUsage() {
       "                       [--threads=N] [--batch-size=N] [--linger-ms=F]\n"
       "                       [--shard-id=N] [--num-shards=N] [--host=H]\n"
       "                       [--port=P] [--port-file=PATH]\n"
-      "                       [--timeout-seconds=F]\n"
+      "                       [--timeout-seconds=F] [--trace-out=PATH]\n"
       "       geer net router --shards=H:P,H:P,... [--strategy=range|hash]\n"
       "                       [--connections=N] [--no-propagate-shutdown]\n"
       "                       [--host=H] [--port=P] [--port-file=PATH]\n"
       "                       [--timeout-seconds=F]\n"
       "       geer net client --connect=H:P [--clients=K] [--queries=N]\n"
       "                       [--zipf-exp=F] [--qps=F] [--deadline-ms=F]\n"
-      "                       [--seed=N] [--csv] [--shutdown]\n");
+      "                       [--seed=N] [--csv] [--shutdown]\n"
+      "       geer net stats  --connect=H:P [--prefix=NAME] [--raw]\n");
   return 2;
 }
 
@@ -104,6 +108,7 @@ int RunShardRole(const std::vector<std::string>& args) {
   std::string graph_path;
   double scale = 1.0;
   std::string port_file;
+  std::string trace_out;
   double timeout_seconds = 0.0;
   ShardOptions options;
   for (const std::string& arg : args) {
@@ -140,6 +145,8 @@ int RunShardRole(const std::vector<std::string>& args) {
       options.port = static_cast<std::uint16_t>(std::atoi(v->c_str()));
     } else if (auto v = FlagValue(arg, "--port-file")) {
       port_file = *v;
+    } else if (auto v = FlagValue(arg, "--trace-out")) {
+      trace_out = *v;
     } else if (auto v = FlagValue(arg, "--timeout-seconds")) {
       timeout_seconds = std::atof(v->c_str());
     } else {
@@ -159,6 +166,13 @@ int RunShardRole(const std::vector<std::string>& args) {
     std::fprintf(stderr, "error: cannot load replica graph\n");
     return 1;
   }
+  // Install the tracer BEFORE the service exists so estimator
+  // construction and cache warming land in the trace too.
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<obs::Tracer>();
+    obs::Tracer::Install(tracer.get());
+  }
   ShardServer server(std::move(dataset->graph), options);
   std::string error;
   if (!server.Start(&error)) {
@@ -175,7 +189,17 @@ int RunShardRole(const std::vector<std::string>& args) {
               options.host.c_str(), static_cast<unsigned>(server.port()),
               options.method.c_str());
   std::fflush(stdout);
-  return ServeUntilDone(server, timeout_seconds, "shard");
+  const int rc = ServeUntilDone(server, timeout_seconds, "shard");
+  if (tracer != nullptr) {
+    obs::Tracer::Install(nullptr);
+    if (!tracer->WriteChromeTrace(trace_out)) {
+      std::fprintf(stderr, "warning: cannot write --trace-out=%s\n",
+                   trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "# trace written to %s\n", trace_out.c_str());
+    }
+  }
+  return rc;
 }
 
 int RunRouterRole(const std::vector<std::string>& args) {
@@ -350,6 +374,67 @@ int RunClientRole(const std::vector<std::string>& args) {
   return result.failed > 0 ? 1 : 0;
 }
 
+int RunStatsRole(const std::vector<std::string>& args) {
+  std::string connect;
+  std::string prefix;
+  bool raw = false;
+  for (const std::string& arg : args) {
+    if (auto v = FlagValue(arg, "--connect")) {
+      connect = *v;
+    } else if (auto v = FlagValue(arg, "--prefix")) {
+      prefix = *v;
+    } else if (arg == "--raw") {
+      raw = true;
+    } else {
+      return NetUsage();
+    }
+  }
+  auto addr = ParseHostPort(connect);
+  if (!addr) {
+    std::fprintf(stderr, "error: stats needs --connect=HOST:PORT\n");
+    return 2;
+  }
+  Client client;
+  std::string error;
+  if (!client.Connect(addr->host, addr->port, &error)) {
+    std::fprintf(stderr, "error: connect failed: %s\n", error.c_str());
+    return 1;
+  }
+  StatsRequestMsg request;
+  request.prefix = prefix;
+  StatsReplyMsg reply;
+  if (!client.Stats(request, &reply, &error)) {
+    std::fprintf(stderr, "error: stats scrape failed: %s\n", error.c_str());
+    return 1;
+  }
+  client.Close();
+  if (!raw) {
+    std::printf("# stats from %s:%u: shards=%u counters=%zu gauges=%zu "
+                "histograms=%zu\n",
+                addr->host.c_str(), static_cast<unsigned>(addr->port),
+                reply.num_shards, reply.snapshot.counters.size(),
+                reply.snapshot.gauges.size(),
+                reply.snapshot.histograms.size());
+  }
+  std::fputs(obs::RenderPrometheusText(reply.snapshot).c_str(), stdout);
+  if (!raw) {
+    // Human summary per latency series, in ms (the exposition text above
+    // is in ns, the recording unit).
+    for (const auto& [name, h] : reply.snapshot.histograms) {
+      if (h.count == 0) continue;
+      std::printf("# %s: count=%llu mean=%.3fms p50=%.3fms p95=%.3fms "
+                  "p99=%.3fms\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  static_cast<double>(h.sum_ns) /
+                      static_cast<double>(h.count) / 1e6,
+                  obs::HistogramQuantile(h, 0.5) / 1e6,
+                  obs::HistogramQuantile(h, 0.95) / 1e6,
+                  obs::HistogramQuantile(h, 0.99) / 1e6);
+    }
+  }
+  return 0;
+}
+
 int RunNetCommand(const std::vector<std::string>& args) {
   if (args.empty()) return NetUsage();
   const std::string role = args[0];
@@ -357,6 +442,7 @@ int RunNetCommand(const std::vector<std::string>& args) {
   if (role == "shard") return RunShardRole(rest);
   if (role == "router") return RunRouterRole(rest);
   if (role == "client") return RunClientRole(rest);
+  if (role == "stats") return RunStatsRole(rest);
   return NetUsage();
 }
 

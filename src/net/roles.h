@@ -28,6 +28,7 @@ int RunNetCommand(const std::vector<std::string>& args);
 int RunShardRole(const std::vector<std::string>& args);
 int RunRouterRole(const std::vector<std::string>& args);
 int RunClientRole(const std::vector<std::string>& args);
+int RunStatsRole(const std::vector<std::string>& args);
 
 }  // namespace geer::net
 

@@ -98,6 +98,44 @@ HandlerReply Router::Handle(const Frame& frame) {
     }
     case FrameType::kApplyUpdates:
       return HandleApplyUpdates(frame);
+    case FrameType::kStats: {
+      StatsRequestMsg request;
+      if (!DecodeStatsRequest(frame.payload, &request)) {
+        return Error(ErrorMsg::kBadRequest, "undecodable stats payload");
+      }
+      std::shared_lock<std::shared_mutex> lock(swap_mu_);
+      std::vector<obs::StatsSnapshot> snapshots(pools_.size());
+      std::vector<std::string> errors(pools_.size());
+      std::vector<unsigned char> oks(pools_.size(), 0);
+      std::vector<std::thread> threads;
+      threads.reserve(pools_.size());
+      for (std::size_t i = 0; i < pools_.size(); ++i) {
+        threads.emplace_back([this, i, &request, &snapshots, &errors, &oks] {
+          ClientPool::Lease lease = pools_[i]->Acquire();
+          if (!lease) {
+            errors[i] = pools_[i]->last_error();
+            return;
+          }
+          StatsReplyMsg shard_reply;
+          if (lease->Stats(request, &shard_reply, &errors[i])) {
+            snapshots[i] = std::move(shard_reply.snapshot);
+            oks[i] = 1;
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      for (std::size_t i = 0; i < oks.size(); ++i) {
+        if (!oks[i]) {
+          return Error(ErrorMsg::kUpstream,
+                       "stats failed on shard " + std::to_string(i) + ": " +
+                           errors[i]);
+        }
+      }
+      StatsReplyMsg reply;
+      reply.snapshot = obs::MergeSnapshots(snapshots);
+      reply.num_shards = static_cast<std::uint32_t>(pools_.size());
+      return {FrameType::kStatsReply, EncodeStatsReply(reply), false};
+    }
     case FrameType::kShutdown: {
       if (options_.propagate_shutdown) {
         std::unique_lock<std::shared_mutex> lock(swap_mu_);

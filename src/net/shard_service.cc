@@ -7,6 +7,7 @@
 #include "core/registry.h"
 #include "dyn/dyn_serve.h"
 #include "linalg/spectral.h"
+#include "obs/metrics.h"
 
 namespace geer::net {
 
@@ -68,6 +69,16 @@ HandlerReply ShardServer::Handle(const Frame& frame) {
       return {FrameType::kFlushAck, {}, false};
     case FrameType::kApplyUpdates:
       return HandleApplyUpdates(frame);
+    case FrameType::kStats: {
+      StatsRequestMsg request;
+      if (!DecodeStatsRequest(frame.payload, &request)) {
+        return Error(ErrorMsg::kBadRequest, "undecodable stats payload");
+      }
+      StatsReplyMsg reply;
+      reply.snapshot = obs::Registry::Global().Snapshot(request.prefix);
+      reply.num_shards = 1;
+      return {FrameType::kStatsReply, EncodeStatsReply(reply), false};
+    }
     case FrameType::kShutdown:
       return {FrameType::kShutdownAck, {}, true};
     default:

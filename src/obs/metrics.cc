@@ -1,0 +1,153 @@
+#include "obs/metrics.h"
+
+#include <array>
+
+#include "util/check.h"
+
+namespace geer::obs {
+namespace {
+
+/// Registry instances get process-unique ids so the thread_local cache
+/// below can never confuse a dead registry's address with a live one
+/// reallocated at the same spot (tests build short-lived registries).
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+struct TlsCache {
+  std::uint64_t registry_id = 0;
+  void* block = nullptr;
+};
+thread_local TlsCache t_cache;
+
+}  // namespace
+
+struct Registry::ThreadBlock {
+  std::array<std::atomic<std::uint64_t>, Registry::kMaxCells> cells{};
+};
+
+Registry::Registry() : id_(g_next_registry_id.fetch_add(1)) {}
+
+Registry::~Registry() = default;
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // never destroyed: worker
+  return *registry;  // threads may record during static teardown
+}
+
+Registry::MetricId Registry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const MetricInfo& m : metrics_) {
+    if (m.name == name) {
+      GEER_CHECK(!m.is_histogram)
+          << "metric '" << name << "' already registered as a histogram";
+      return m.base;
+    }
+  }
+  GEER_CHECK(next_cell_ + 1 <= kMaxCells) << "metric cell budget exhausted";
+  MetricInfo info;
+  info.name = name;
+  info.is_histogram = false;
+  info.base = next_cell_;
+  next_cell_ += 1;
+  metrics_.push_back(std::move(info));
+  return metrics_.back().base;
+}
+
+Registry::MetricId Registry::Histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const MetricInfo& m : metrics_) {
+    if (m.name == name) {
+      GEER_CHECK(m.is_histogram)
+          << "metric '" << name << "' already registered as a counter";
+      return m.base;
+    }
+  }
+  // Layout: kHistogramBuckets bucket cells followed by one sum cell.
+  GEER_CHECK(next_cell_ + kHistogramBuckets + 1 <= kMaxCells)
+      << "metric cell budget exhausted";
+  MetricInfo info;
+  info.name = name;
+  info.is_histogram = true;
+  info.base = next_cell_;
+  next_cell_ += static_cast<MetricId>(kHistogramBuckets + 1);
+  metrics_.push_back(std::move(info));
+  return metrics_.back().base;
+}
+
+void Registry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+Registry::ThreadBlock* Registry::AttachCurrentThread() {
+  auto block = std::make_unique<ThreadBlock>();
+  ThreadBlock* raw = block.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    blocks_.push_back(std::move(block));
+  }
+  t_cache.registry_id = id_;
+  t_cache.block = raw;
+  return raw;
+}
+
+void Registry::AddSlow(MetricId counter, std::uint64_t delta) {
+  ThreadBlock* block = t_cache.registry_id == id_
+                           ? static_cast<ThreadBlock*>(t_cache.block)
+                           : AttachCurrentThread();
+  block->cells[counter].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::RecordNsSlow(MetricId histogram, std::uint64_t ns) {
+  ThreadBlock* block = t_cache.registry_id == id_
+                           ? static_cast<ThreadBlock*>(t_cache.block)
+                           : AttachCurrentThread();
+  const std::size_t bucket = HistogramBucket(ns);
+  block->cells[histogram + bucket].fetch_add(1, std::memory_order_relaxed);
+  block->cells[histogram + kHistogramBuckets].fetch_add(
+      ns, std::memory_order_relaxed);
+}
+
+std::uint64_t Registry::SumCell(MetricId cell) const {
+  std::uint64_t total = 0;
+  for (const auto& block : blocks_) {
+    total += block->cells[cell].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+StatsSnapshot Registry::Snapshot(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatsSnapshot out;
+  for (const MetricInfo& m : metrics_) {
+    if (!prefix.empty() && m.name.rfind(prefix, 0) != 0) continue;
+    if (!m.is_histogram) {
+      out.counters[m.name] = SumCell(m.base);
+      continue;
+    }
+    HistogramData h;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      h.buckets[b] = SumCell(m.base + static_cast<MetricId>(b));
+      h.count += h.buckets[b];
+    }
+    h.sum_ns = SumCell(m.base + static_cast<MetricId>(kHistogramBuckets));
+    out.histograms[m.name] = std::move(h);
+  }
+  for (const auto& [name, value] : gauges_) {
+    if (!prefix.empty() && name.rfind(prefix, 0) != 0) continue;
+    out.gauges[name] = value;
+  }
+  return out;
+}
+
+HistogramData Registry::ReadHistogram(MetricId histogram) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramData h;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    h.buckets[b] = SumCell(histogram + static_cast<MetricId>(b));
+    h.count += h.buckets[b];
+  }
+  h.sum_ns = SumCell(histogram + static_cast<MetricId>(kHistogramBuckets));
+  return h;
+}
+
+}  // namespace geer::obs

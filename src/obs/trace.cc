@@ -1,0 +1,157 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace geer::obs {
+namespace {
+
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+struct TlsCache {
+  std::uint64_t tracer_id = 0;
+  void* ring = nullptr;
+};
+thread_local TlsCache t_cache;
+
+void AppendU64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+/// Microseconds with sub-µs precision, the unit Chrome traces use.
+void AppendMicros(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Tracer::Ring {
+  std::mutex mu;
+  std::vector<SpanEvent> events;  // bounded at kRingCapacity
+  std::size_t head = 0;           // next write slot once wrapped
+  bool wrapped = false;
+  std::uint32_t lane = 0;  // default tid for this thread's events
+};
+
+std::atomic<Tracer*> Tracer::g_current{nullptr};
+
+Tracer::Tracer() : id_(g_next_tracer_id.fetch_add(1)) {}
+
+Tracer::~Tracer() = default;
+
+void Tracer::Install(Tracer* tracer) {
+  g_current.store(tracer, std::memory_order_release);
+}
+
+Tracer::Ring* Tracer::AttachCurrentThread() {
+  auto ring = std::make_unique<Ring>();
+  ring->events.reserve(kRingCapacity);
+  Ring* raw = ring.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    raw->lane = next_lane_++;
+    rings_.push_back(std::move(ring));
+  }
+  t_cache.tracer_id = id_;
+  t_cache.ring = raw;
+  return raw;
+}
+
+void Tracer::Record(SpanEvent event) {
+  Ring* ring = t_cache.tracer_id == id_ ? static_cast<Ring*>(t_cache.ring)
+                                        : AttachCurrentThread();
+  if (event.tid == 0) event.tid = ring->lane;
+  std::lock_guard<std::mutex> lock(ring->mu);
+  if (ring->events.size() < kRingCapacity) {
+    ring->events.push_back(event);
+    return;
+  }
+  ring->events[ring->head] = event;
+  ring->head = (ring->head + 1) % kRingCapacity;
+  ring->wrapped = true;
+}
+
+std::vector<SpanEvent> Tracer::Drain() const {
+  std::vector<SpanEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    if (!ring->wrapped) {
+      out.insert(out.end(), ring->events.begin(), ring->events.end());
+      continue;
+    }
+    // Oldest first: head..end, then begin..head.
+    out.insert(out.end(), ring->events.begin() + ring->head,
+               ring->events.end());
+    out.insert(out.end(), ring->events.begin(),
+               ring->events.begin() + ring->head);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+std::string Tracer::ToChromeJson() const {
+  const std::vector<SpanEvent> events = Drain();
+  std::uint64_t epoch = events.empty() ? 0 : events.front().start_ns;
+  for (const SpanEvent& e : events) epoch = std::min(epoch, e.start_ns);
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+    AppendU64(out, e.tid);
+    out += ",\"name\":\"";
+    out += e.name != nullptr ? e.name : "?";
+    out += "\",\"ts\":";
+    AppendMicros(out, e.start_ns - epoch);
+    out += ",\"dur\":";
+    AppendMicros(out, e.dur_ns);
+    if (e.arg_key0 != nullptr) {
+      out += ",\"args\":{\"";
+      out += e.arg_key0;
+      out += "\":";
+      AppendU64(out, e.arg_val0);
+      if (e.arg_key1 != nullptr) {
+        out += ",\"";
+        out += e.arg_key1;
+        out += "\":";
+        AppendU64(out, e.arg_val1);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  const std::string json = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  return ok;
+}
+
+}  // namespace geer::obs

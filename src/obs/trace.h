@@ -1,0 +1,135 @@
+// Query-lifecycle tracing: span events (queue wait, batch assembly,
+// plan, estimate, reply, epoch-swap barrier, cache warm, rebind)
+// recorded into per-thread ring buffers and exported as Chrome
+// `trace_event` JSON, loadable in chrome://tracing or Perfetto.
+//
+// Tracing is OPT-IN: nothing records unless a Tracer has been installed
+// (the CLI does this only under --trace-out), so the default serving
+// path pays one relaxed pointer load per span site. Each recording
+// thread gets its own ring guarded by its own mutex — uncontended on
+// the hot path, and it makes Drain() racing Record() TSan-clean
+// without per-event atomics. Rings are bounded; when one wraps, the
+// oldest events on that thread are overwritten (a trace is a window,
+// not a log).
+//
+// Span names must be string literals (or otherwise outlive the
+// tracer): events store the pointer, not a copy.
+
+#ifndef GEER_OBS_TRACE_H_
+#define GEER_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace geer::obs {
+
+/// Monotonic timestamp in nanoseconds (steady clock).
+std::uint64_t NowNs();
+
+/// One completed span ("ph":"X" in Chrome trace terms) with up to two
+/// named integer arguments.
+struct SpanEvent {
+  const char* name = nullptr;  ///< static string, not owned
+  std::uint32_t tid = 0;       ///< 0 = recording thread's lane
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  const char* arg_key0 = nullptr;
+  std::uint64_t arg_val0 = 0;
+  const char* arg_key1 = nullptr;
+  std::uint64_t arg_val1 = 0;
+};
+
+class Tracer {
+ public:
+  /// Events retained per recording thread before the ring wraps.
+  static constexpr std::size_t kRingCapacity = 16384;
+
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Installs `tracer` as the process-wide active tracer (nullptr to
+  /// uninstall). The caller keeps ownership and must uninstall before
+  /// destroying it.
+  static void Install(Tracer* tracer);
+
+  /// The active tracer, or nullptr when tracing is off. Span sites
+  /// check this once per span.
+  static Tracer* Current() {
+    return g_current.load(std::memory_order_acquire);
+  }
+
+  /// Records one completed span. event.tid == 0 means "this thread's
+  /// lane"; nonzero values place the event on a synthetic lane (used
+  /// for per-query queue-wait slices so they don't stack on the
+  /// scheduler's lane).
+  void Record(SpanEvent event);
+
+  /// Snapshot of all recorded events, oldest first within each thread,
+  /// globally sorted by start time. Safe to call while recording.
+  std::vector<SpanEvent> Drain() const;
+
+  /// Renders Drain() as Chrome trace_event JSON ("X" complete events,
+  /// microsecond timestamps relative to the earliest span).
+  std::string ToChromeJson() const;
+
+  /// ToChromeJson() to a file; returns false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  struct Ring;
+
+  Ring* AttachCurrentThread();
+
+  static std::atomic<Tracer*> g_current;
+
+  const std::uint64_t id_;  ///< ABA-safe key for the thread_local cache
+  mutable std::mutex mu_;   ///< guards rings_ (the list, not each ring)
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::uint32_t next_lane_ = 1;
+};
+
+/// RAII span: captures the active tracer and a start timestamp at
+/// construction, records on destruction. No-op when tracing is off.
+class Span {
+ public:
+  explicit Span(const char* name) : tracer_(Tracer::Current()) {
+    if (tracer_ != nullptr) {
+      event_.name = name;
+      event_.start_ns = NowNs();
+    }
+  }
+  ~Span() {
+    if (tracer_ != nullptr) {
+      event_.dur_ns = NowNs() - event_.start_ns;
+      tracer_->Record(event_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a named integer argument (first two calls stick).
+  void Arg(const char* key, std::uint64_t value) {
+    if (tracer_ == nullptr) return;
+    if (event_.arg_key0 == nullptr) {
+      event_.arg_key0 = key;
+      event_.arg_val0 = value;
+    } else if (event_.arg_key1 == nullptr) {
+      event_.arg_key1 = key;
+      event_.arg_val1 = value;
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  SpanEvent event_;
+};
+
+}  // namespace geer::obs
+
+#endif  // GEER_OBS_TRACE_H_

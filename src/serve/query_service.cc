@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/batch_engine.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace geer {
@@ -17,7 +18,34 @@ std::chrono::steady_clock::duration SecondsToDuration(double seconds) {
       std::chrono::duration<double>(seconds));
 }
 
+std::uint64_t ToNs(std::chrono::steady_clock::duration d) {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(d);
+  return ns.count() > 0 ? static_cast<std::uint64_t>(ns.count()) : 0;
+}
+
+/// steady_clock time_point on obs::NowNs()'s axis (same clock).
+std::uint64_t ToNs(std::chrono::steady_clock::time_point t) {
+  return ToNs(t.time_since_epoch());
+}
+
 }  // namespace
+
+DeadlineClass ClassifyDeadline(double deadline_seconds) {
+  if (deadline_seconds <= 0.0) return DeadlineClass::kNone;
+  if (deadline_seconds < 0.010) return DeadlineClass::kTight;
+  if (deadline_seconds < 0.100) return DeadlineClass::kNormal;
+  return DeadlineClass::kLoose;
+}
+
+const char* DeadlineClassName(DeadlineClass c) {
+  switch (c) {
+    case DeadlineClass::kNone: return "none";
+    case DeadlineClass::kTight: return "tight";
+    case DeadlineClass::kNormal: return "normal";
+    case DeadlineClass::kLoose: return "loose";
+  }
+  return "?";
+}
 
 QueryService::QueryService(ErEstimator& estimator,
                            const ServeOptions& options)
@@ -42,7 +70,30 @@ QueryService::QueryService(ErEstimator& estimator,
       worker->EnableSessionCache(options_.session_cache_bytes);
     }
   }
+  {
+    // One registration per method label; re-construction over the same
+    // method reuses the process-wide series (registration is idempotent).
+    obs::Registry& reg = obs::Registry::Global();
+    const std::string method = "{method=\"" + primary_->Name() + "\"}";
+    obs_.submitted = reg.Counter("geer_serve_submitted_total" + method);
+    obs_.answered = reg.Counter("geer_serve_answered_total" + method);
+    obs_.rejected = reg.Counter("geer_serve_rejected_total" + method);
+    obs_.batches = reg.Counter("geer_serve_batches_total" + method);
+    for (std::size_t c = 0; c < kNumDeadlineClasses; ++c) {
+      obs_.expired[c] = reg.Counter(
+          "geer_serve_expired_total{method=\"" + primary_->Name() +
+          "\",class=\"" +
+          DeadlineClassName(static_cast<DeadlineClass>(c)) + "\"}");
+    }
+    obs_.served_latency_ns = reg.Histogram("geer_serve_latency_ns" + method);
+    obs_.queue_wait_ns = reg.Histogram("geer_serve_queue_wait_ns" + method);
+    obs_.epoch_swap_ns = reg.Histogram("geer_serve_epoch_swap_ns" + method);
+    obs_.cache_bytes_gauge = "geer_serve_session_cache_bytes" + method;
+  }
   if (!options_.landmarks.empty()) {
+    obs::Span warm_span("cache_warm");
+    warm_span.Arg("landmarks", options_.landmarks.size());
+    warm_span.Arg("workers", workers_.size());
     // Every worker pins its own landmark state (session caches are
     // per-worker); warming before the scheduler starts keeps the first
     // micro-batch fast and data-race-free.
@@ -75,12 +126,14 @@ std::future<QueryResult> QueryService::Submit(QueryPair query,
     }
     if (queue_.size() >= options_.max_queue) {
       ++metrics_.rejected;
+      obs::Registry::Global().Add(obs_.rejected);
       QueryResult result;
       result.status = ServeStatus::kRejected;
       promise.set_value(result);
       return future;
     }
     ++metrics_.submitted;
+    obs::Registry::Global().Add(obs_.submitted);
     Pending pending;
     pending.query = query;
     pending.promise = std::move(promise);
@@ -88,6 +141,7 @@ std::future<QueryResult> QueryService::Submit(QueryPair query,
     pending.deadline = deadline_seconds > 0.0
                            ? now + SecondsToDuration(deadline_seconds)
                            : Clock::time_point::max();
+    pending.dclass = ClassifyDeadline(deadline_seconds);
     pending.seq = next_seq_++;
     earliest_deadline_ = std::min(earliest_deadline_, pending.deadline);
     queue_.push_back(std::move(pending));
@@ -97,13 +151,29 @@ std::future<QueryResult> QueryService::Submit(QueryPair query,
 }
 
 void QueryService::Flush() {
+  bool notify = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) return;  // nothing to flush; a stale flag would
-                                 // drain the NEXT arrival uncoalesced
-    flush_requested_ = true;
+    // Publish final cache state: dispatch/swap refresh these counters
+    // too, but a one-shot run whose LAST action touched the caches (an
+    // epoch swap flush, a landmark warm) would otherwise report stale
+    // numbers. Safe only while the scheduler is not running the worker
+    // estimators (they are not thread-safe).
+    if (!workers_busy_) {
+      metrics_.session_cache = CacheStats{};
+      for (const ErEstimator* worker : workers_) {
+        metrics_.session_cache += worker->SessionCacheStats();
+      }
+      obs::Registry::Global().SetGauge(
+          obs_.cache_bytes_gauge,
+          static_cast<double>(metrics_.session_cache.bytes));
+    }
+    if (!queue_.empty()) {  // a stale flag would drain the NEXT arrival
+      flush_requested_ = true;  // uncoalesced
+      notify = true;
+    }
   }
-  cv_.notify_one();
+  if (notify) cv_.notify_one();
 }
 
 std::future<bool> QueryService::ApplyUpdates(
@@ -147,7 +217,10 @@ void QueryService::ShutdownNow() {
 
 ServeMetrics QueryService::Metrics() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return metrics_;
+  ServeMetrics snapshot = metrics_;
+  snapshot.served_latency =
+      obs::Registry::Global().ReadHistogram(obs_.served_latency_ns);
+  return snapshot;
 }
 
 std::vector<std::size_t> QueryService::EdfOrder(
@@ -261,13 +334,16 @@ void QueryService::SchedulerLoop() {
         std::vector<Pending> batch = PopBatchLocked(take, dispatchable);
         ++metrics_.flush_swap;
         const std::uint64_t batch_id = next_batch_id_++;
+        workers_busy_ = true;
         lock.unlock();
         DispatchBatch(std::move(batch), batch_id);
         lock.lock();
+        workers_busy_ = false;
         continue;
       }
       PendingSwap swap = std::move(swaps_.front());
       swaps_.pop_front();
+      workers_busy_ = true;
       lock.unlock();
       // Worker 0 first: a false return means "cannot rebind", which by
       // the RebindGraph contract mutated nothing — the swap is abandoned
@@ -275,16 +351,25 @@ void QueryService::SchedulerLoop() {
       // rebound, the rest MUST follow (they are clones of the same
       // estimator); a mixed fleet would answer inconsistently.
       bool ok = true;
-      for (std::size_t w = 0; w < workers_.size(); ++w) {
-        if (!swap.rebind(*workers_[w])) {
-          GEER_CHECK(w == 0)
-              << "epoch swap failed on worker " << w
-              << " after earlier workers rebound — heterogeneous workers?";
-          ok = false;
-          break;
+      {
+        obs::Span swap_span("epoch_swap");
+        swap_span.Arg("epoch", swap.epoch);
+        swap_span.Arg("workers", workers_.size());
+        const std::uint64_t swap_start = obs::NowNs();
+        for (std::size_t w = 0; w < workers_.size(); ++w) {
+          if (!swap.rebind(*workers_[w])) {
+            GEER_CHECK(w == 0)
+                << "epoch swap failed on worker " << w
+                << " after earlier workers rebound — heterogeneous workers?";
+            ok = false;
+            break;
+          }
         }
+        obs::Registry::Global().RecordNs(obs_.epoch_swap_ns,
+                                         obs::NowNs() - swap_start);
       }
       lock.lock();
+      workers_busy_ = false;
       if (ok) {
         current_epoch_ = swap.epoch;
         epoch_keep_alive_ = std::move(swap.keep_alive);
@@ -348,9 +433,11 @@ void QueryService::SchedulerLoop() {
       case Trigger::kDrain: ++metrics_.flush_drain; break;
     }
     const std::uint64_t batch_id = next_batch_id_++;
+    workers_busy_ = true;
     lock.unlock();
     DispatchBatch(std::move(batch), batch_id);
     lock.lock();
+    workers_busy_ = false;
   }
   // Shutdown with swaps still pending (submitted after the final drain):
   // resolve their futures so no writer blocks forever.
@@ -363,17 +450,22 @@ void QueryService::SchedulerLoop() {
 void QueryService::DispatchBatch(std::vector<Pending> batch,
                                  std::uint64_t batch_id) {
   const Clock::time_point dispatched = Clock::now();
+  obs::Span batch_span("batch");
+  batch_span.Arg("batch", batch_id);
+  batch_span.Arg("size", batch.size());
 
   // Queue-drop expiry: a query whose deadline lapsed while queued is
   // answered kExpired without costing any estimator work.
   std::vector<std::size_t> live;
   live.reserve(batch.size());
   std::uint64_t dropped = 0;
+  std::array<std::uint64_t, kNumDeadlineClasses> expired_by_class{};
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (batch[i].deadline <= dispatched) {
       Fulfill(batch[i], ServeStatus::kExpired, QueryStats{}, dispatched,
               dispatched, 0, batch_id);
       ++dropped;
+      ++expired_by_class[static_cast<std::size_t>(batch[i].dclass)];
     } else {
       live.push_back(i);
     }
@@ -431,11 +523,16 @@ void QueryService::DispatchBatch(std::vector<Pending> batch,
       std::lock_guard<std::mutex> lock(mu_);
       metrics_.failed += live.size();
       metrics_.expired += dropped;  // queue-drop expiries above still count
+      for (std::size_t c = 0; c < kNumDeadlineClasses; ++c) {
+        metrics_.expired_by_class[c] += expired_by_class[c];
+      }
       return;
     }
 
     const Clock::time_point done = Clock::now();
     const std::uint32_t batch_size = static_cast<std::uint32_t>(live.size());
+    obs::Span reply_span("reply");
+    reply_span.Arg("batch", batch_id);
     for (std::size_t k = 0; k < live.size(); ++k) {
       Pending& p = batch[live[k]];
       if (!report.processed[k]) {
@@ -447,6 +544,7 @@ void QueryService::DispatchBatch(std::vector<Pending> batch,
           Fulfill(p, ServeStatus::kExpired, QueryStats{}, dispatched, done,
                   batch_size, batch_id);
           ++expired;
+          ++expired_by_class[static_cast<std::size_t>(p.dclass)];
         }
       } else if (!primary_->SupportsQuery(p.query.s, p.query.t)) {
         Fulfill(p, ServeStatus::kUnsupported, QueryStats{}, dispatched, done,
@@ -466,11 +564,15 @@ void QueryService::DispatchBatch(std::vector<Pending> batch,
     metrics_.coalesced += live.size();
     metrics_.max_batch =
         std::max<std::uint64_t>(metrics_.max_batch, live.size());
+    obs::Registry::Global().Add(obs_.batches);
   }
   metrics_.answered += answered;
   metrics_.unsupported += unsupported;
   metrics_.expired += expired;
   metrics_.cancelled += cancelled;
+  for (std::size_t c = 0; c < kNumDeadlineClasses; ++c) {
+    metrics_.expired_by_class[c] += expired_by_class[c];
+  }
   // Cache counters are read worker-by-worker AFTER the batch finished
   // (workers are idle between dispatches), then published under mu_ —
   // Metrics() readers never race the estimators themselves.
@@ -496,6 +598,39 @@ void QueryService::Fulfill(Pending& p, ServeStatus status,
   result.batch_id = batch_id;
   // Written only by the scheduler thread, which also runs every Fulfill.
   result.epoch = current_epoch_;
+
+  obs::Registry& reg = obs::Registry::Global();
+  reg.RecordNs(obs_.served_latency_ns, ToNs(done - p.submitted));
+  reg.RecordNs(obs_.queue_wait_ns, ToNs(dispatched - p.submitted));
+  if (status == ServeStatus::kAnswered) {
+    reg.Add(obs_.answered);
+  } else if (status == ServeStatus::kExpired) {
+    reg.Add(obs_.expired[static_cast<std::size_t>(p.dclass)]);
+  }
+  if (obs::Tracer* tracer = obs::Tracer::Current()) {
+    // Per-query slices go on synthetic lanes (hashed by submission seq)
+    // so concurrent queries render side by side instead of stacking on
+    // the scheduler's lane; queue_wait nests inside the query slice.
+    const std::uint32_t lane =
+        10000 + static_cast<std::uint32_t>(p.seq % 64);
+    obs::SpanEvent query_ev;
+    query_ev.name = "query";
+    query_ev.tid = lane;
+    query_ev.start_ns = ToNs(p.submitted);
+    query_ev.dur_ns = ToNs(done - p.submitted);
+    query_ev.arg_key0 = "batch";
+    query_ev.arg_val0 = batch_id;
+    query_ev.arg_key1 = "status";
+    query_ev.arg_val1 = static_cast<std::uint64_t>(status);
+    tracer->Record(query_ev);
+    obs::SpanEvent wait_ev;
+    wait_ev.name = "queue_wait";
+    wait_ev.tid = lane;
+    wait_ev.start_ns = ToNs(p.submitted);
+    wait_ev.dur_ns = ToNs(dispatched - p.submitted);
+    tracer->Record(wait_ev);
+  }
+
   p.promise.set_value(result);
 }
 

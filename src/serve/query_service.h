@@ -26,6 +26,7 @@
 #ifndef GEER_SERVE_QUERY_SERVICE_H_
 #define GEER_SERVE_QUERY_SERVICE_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -39,9 +40,25 @@
 #include <vector>
 
 #include "core/estimator.h"
+#include "obs/metrics.h"
 #include "serve/service_api.h"
 
 namespace geer {
+
+/// Deadline classes for miss accounting: expiry counts are broken down
+/// by how tight the lapsed budget was, which is what an admission
+/// controller needs (shedding load helps tight-deadline traffic first).
+/// Classified at Submit() from the requested budget.
+enum class DeadlineClass : std::uint8_t {
+  kNone = 0,    ///< no deadline requested
+  kTight = 1,   ///< budget < 10 ms
+  kNormal = 2,  ///< 10 ms ≤ budget < 100 ms
+  kLoose = 3,   ///< budget ≥ 100 ms
+};
+inline constexpr std::size_t kNumDeadlineClasses = 4;
+
+DeadlineClass ClassifyDeadline(double deadline_seconds);
+const char* DeadlineClassName(DeadlineClass c);
 
 /// Scheduler and dispatch knobs for one QueryService.
 struct ServeOptions {
@@ -104,10 +121,21 @@ struct ServeMetrics {
   /// GraphEpoch::incremental workloads actually take the fast path.
   std::uint64_t incremental_rebinds = 0;
   /// Session/landmark cache counters summed over all workers, refreshed
-  /// after every dispatched micro-batch (ErEstimator::SessionCacheStats).
+  /// after every dispatched micro-batch (ErEstimator::SessionCacheStats)
+  /// and from Flush() when the workers are idle — so one-shot CLI runs
+  /// that end on a Flush() report final cache state.
   /// hits/misses/evictions are monotone — LruByteCache keeps them across
   /// epoch flushes; bytes/entries/pinned are current-resident gauges.
   CacheStats session_cache;
+  /// kExpired results broken down by DeadlineClass (indexed by its
+  /// numeric value; sums to `expired`).
+  std::array<std::uint64_t, kNumDeadlineClasses> expired_by_class{};
+  /// Served latency (submit → answer) of every resolved query, from the
+  /// obs registry's log2-bucketed histogram — quantiles via
+  /// obs::HistogramQuantile. Shares the process-wide series, so in a
+  /// multi-service process it aggregates across services of the same
+  /// estimator method.
+  obs::HistogramData served_latency;
 
   /// Mean coalesced micro-batch size.
   double AvgBatch() const {
@@ -205,6 +233,21 @@ class QueryService : public QuerySubmitter {
     Clock::time_point submitted;
     Clock::time_point deadline;  // time_point::max() = none
     std::uint64_t seq = 0;       // submission order (for swap barriers)
+    DeadlineClass dclass = DeadlineClass::kNone;  // for miss accounting
+  };
+
+  /// Metric ids registered once at construction (labeled with the
+  /// estimator's method name); recording through them is wait-free.
+  struct ObsIds {
+    obs::Registry::MetricId submitted = 0;
+    obs::Registry::MetricId answered = 0;
+    obs::Registry::MetricId rejected = 0;
+    obs::Registry::MetricId batches = 0;
+    std::array<obs::Registry::MetricId, kNumDeadlineClasses> expired{};
+    obs::Registry::MetricId served_latency_ns = 0;
+    obs::Registry::MetricId queue_wait_ns = 0;
+    obs::Registry::MetricId epoch_swap_ns = 0;
+    std::string cache_bytes_gauge;  ///< gauge name (set by name, not id)
   };
 
   /// One scheduled ApplyUpdates call, applied between micro-batches once
@@ -249,7 +292,12 @@ class QueryService : public QuerySubmitter {
       std::chrono::steady_clock::time_point::max();
   bool flush_requested_ = false;
   bool shutdown_ = false;
+  /// True while the scheduler runs worker estimators outside mu_
+  /// (dispatch or epoch rebind). Flush() reads cache stats from the
+  /// estimators only when this is false — they are not thread-safe.
+  bool workers_busy_ = false;
   ServeMetrics metrics_;
+  ObsIds obs_;
 
   std::atomic<bool> cancel_{false};  // engine token for ShutdownNow()
 

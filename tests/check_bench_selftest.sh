@@ -9,7 +9,9 @@
 #   4. non-gated time series never hard-fail (warn only),
 #   5. a single-file trajectory skips cleanly (exit 0),
 #   6. gated latency series (swap_ms / p95_ms): growth past the
-#      --time-threshold exits 1, growth under it passes silently.
+#      --time-threshold exits 1, growth under it passes silently,
+#   7. the obs overhead series warns past its absolute 2% budget and is
+#      exempt from the relative gates.
 # Registered in CMakeLists.txt as test check_bench_selftest; needs only
 # bash + awk, like the script under test.
 
@@ -134,6 +136,29 @@ DIR="$TMP/net-ok"; mkdir -p "$DIR"
 net_file "$DIR" 1 1.0
 net_file "$DIR" 2 1.1
 expect "net-p95-wiggle-passes" 0 "1 series ok, 0 warnings, 0 failures" \
+    env BENCH_DIR="$DIR" "$CHECK" "$DIR/BENCH_pr2.json"
+
+# 8. Instrumentation-overhead series (obs/<dataset>/overhead_pct): an
+#    absolute value past the 2% budget warns without gating, and even a
+#    large relative swing between two in-budget values stays silent
+#    (the series is excluded from the relative gates).
+obs_file() {  # obs_file <dir> <pr> <overhead_pct>
+  local dir="$1" pr="$2" pct="$3"
+  {
+    echo "["
+    entry GEER "obs/dblp/overhead_pct" "$pct" | sed 's/^/ /'
+    echo "]"
+  } > "$dir/BENCH_pr${pr}.json"
+}
+DIR="$TMP/obs-over"; mkdir -p "$DIR"
+obs_file "$DIR" 1 0.5
+obs_file "$DIR" 2 3.5
+expect "obs-overhead-budget-warns" 0 "warn .*overhead_pct.*budget" \
+    env BENCH_DIR="$DIR" "$CHECK" "$DIR/BENCH_pr2.json"
+DIR="$TMP/obs-ok"; mkdir -p "$DIR"
+obs_file "$DIR" 1 0.1
+obs_file "$DIR" 2 1.5  # 15x relative, still inside the absolute budget
+expect "obs-overhead-relative-exempt" 0 "1 series ok, 0 warnings, 0 failures" \
     env BENCH_DIR="$DIR" "$CHECK" "$DIR/BENCH_pr2.json"
 
 if [[ "$fails" -gt 0 ]]; then

@@ -67,10 +67,14 @@ TEST(FrameTest, WireConstantsAreFrozen) {
   EXPECT_EQ(static_cast<int>(FrameType::kShutdown), 9);
   EXPECT_EQ(static_cast<int>(FrameType::kShutdownAck), 10);
   EXPECT_EQ(static_cast<int>(FrameType::kError), 11);
+  EXPECT_EQ(static_cast<int>(FrameType::kStats), 12);
+  EXPECT_EQ(static_cast<int>(FrameType::kStatsReply), 13);
   EXPECT_TRUE(IsKnownFrameType(1));
   EXPECT_TRUE(IsKnownFrameType(11));
+  EXPECT_TRUE(IsKnownFrameType(12));
+  EXPECT_TRUE(IsKnownFrameType(13));
   EXPECT_FALSE(IsKnownFrameType(0));
-  EXPECT_FALSE(IsKnownFrameType(12));
+  EXPECT_FALSE(IsKnownFrameType(14));
 }
 
 TEST(FrameTest, RoundTripWholeBuffer) {
@@ -370,6 +374,100 @@ TEST(CodecTest, ServiceResponseRejectsUnknownStatus) {
   EXPECT_FALSE(DecodeServiceResponse(enc, &out));
 }
 
+TEST(CodecTest, StatsRequestRoundTrip) {
+  for (const std::string& prefix : {std::string(""), std::string("geer_")}) {
+    StatsRequestMsg msg;
+    msg.prefix = prefix;
+    const auto enc = EncodeStatsRequest(msg);
+    StatsRequestMsg out;
+    out.prefix = "stale";  // must be overwritten, even by the empty prefix
+    ASSERT_TRUE(DecodeStatsRequest(enc, &out));
+    EXPECT_EQ(out.prefix, prefix);
+    if (!prefix.empty()) {
+      // The empty prefix encodes to 4 bytes whose every strict prefix is
+      // also a truncation of the non-empty encoding; one pass suffices.
+      ExpectRejectsTruncationAndPadding<StatsRequestMsg>(enc,
+                                                         DecodeStatsRequest);
+    }
+  }
+}
+
+TEST(CodecTest, StatsReplyRoundTrip) {
+  StatsReplyMsg msg;
+  msg.num_shards = 3;
+  msg.snapshot.counters["geer_serve_answered_total{method=\"GEER\"}"] = 12345;
+  msg.snapshot.counters["geer_serve_rejected_total"] = 0;
+  msg.snapshot.gauges["geer_serve_session_cache_bytes"] = 4096.5;
+  obs::HistogramData h;
+  h.buckets[0] = 1;
+  h.buckets[20] = 7;
+  h.buckets[obs::kHistogramBuckets - 1] = 2;
+  h.count = 10;
+  h.sum_ns = 987654321;
+  msg.snapshot.histograms["geer_serve_latency_ns"] = h;
+
+  const auto enc = EncodeStatsReply(msg);
+  StatsReplyMsg out;
+  ASSERT_TRUE(DecodeStatsReply(enc, &out));
+  EXPECT_EQ(out.num_shards, 3u);
+  EXPECT_EQ(out.snapshot.counters, msg.snapshot.counters);
+  EXPECT_EQ(out.snapshot.gauges, msg.snapshot.gauges);
+  ASSERT_EQ(out.snapshot.histograms.size(), 1u);
+  const obs::HistogramData& hd =
+      out.snapshot.histograms.at("geer_serve_latency_ns");
+  EXPECT_EQ(hd.buckets, h.buckets);
+  EXPECT_EQ(hd.count, 10u);
+  EXPECT_EQ(hd.sum_ns, 987654321u);
+  ExpectRejectsTruncationAndPadding<StatsReplyMsg>(enc, DecodeStatsReply);
+}
+
+TEST(CodecTest, StatsReplyEmptySnapshotRoundTrips) {
+  const auto enc = EncodeStatsReply({});
+  StatsReplyMsg out;
+  out.snapshot.counters["stale"] = 1;
+  ASSERT_TRUE(DecodeStatsReply(enc, &out));
+  EXPECT_EQ(out.num_shards, 1u);
+  EXPECT_TRUE(out.snapshot.counters.empty());
+  EXPECT_TRUE(out.snapshot.gauges.empty());
+  EXPECT_TRUE(out.snapshot.histograms.empty());
+}
+
+TEST(CodecTest, StatsReplyRejectsForeignBucketScheme) {
+  // A re-bucketed histogram must fail decode, never merge wrongly.
+  auto enc = EncodeStatsReply({});
+  enc[0] = obs::kHistogramSchemeId + 1;  // scheme byte leads the payload
+  StatsReplyMsg out;
+  EXPECT_FALSE(DecodeStatsReply(enc, &out));
+}
+
+TEST(CodecTest, StatsReplyRejectsWrongBucketCount) {
+  StatsReplyMsg msg;
+  msg.snapshot.histograms["h"] = obs::HistogramData{};
+  auto enc = EncodeStatsReply(msg);
+  // bucket-count byte: scheme(1)+shards(4)+counters(4)+gauges(4)+
+  // histograms(4)+name_len(4)+"h"(1).
+  ASSERT_EQ(enc[22], obs::kHistogramBuckets);
+  enc[22] = obs::kHistogramBuckets - 1;
+  StatsReplyMsg out;
+  EXPECT_FALSE(DecodeStatsReply(enc, &out));
+}
+
+TEST(CodecTest, StatsReplyRejectsHostileCounts) {
+  // A claimed 2^32-1 entries of any section must be refused from the
+  // count alone, before any per-entry allocation.
+  const std::uint32_t kHuge = std::numeric_limits<std::uint32_t>::max();
+  for (int section = 0; section < 3; ++section) {
+    std::vector<std::uint8_t> enc;
+    wire::PutU8(enc, obs::kHistogramSchemeId);
+    wire::PutU32(enc, 1);  // num_shards
+    wire::PutU32(enc, section == 0 ? kHuge : 0);  // counters
+    if (section >= 1) wire::PutU32(enc, section == 1 ? kHuge : 0);  // gauges
+    if (section >= 2) wire::PutU32(enc, kHuge);  // histograms
+    StatsReplyMsg out;
+    EXPECT_FALSE(DecodeStatsReply(enc, &out)) << "section " << section;
+  }
+}
+
 TEST(CodecTest, DecodersSurviveRandomGarbage) {
   std::mt19937 rng(987654321);
   for (int trial = 0; trial < 500; ++trial) {
@@ -390,6 +488,10 @@ TEST(CodecTest, DecodersSurviveRandomGarbage) {
     DecodeServiceRequest(junk, &request);
     ServiceResponse response;
     DecodeServiceResponse(junk, &response);
+    StatsRequestMsg stats_request;
+    DecodeStatsRequest(junk, &stats_request);
+    StatsReplyMsg stats_reply;
+    DecodeStatsReply(junk, &stats_reply);
   }
 }
 

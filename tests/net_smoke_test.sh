@@ -2,11 +2,14 @@
 # End-to-end smoke for the networked serving tier: launches two shard
 # servers (full replicas of the same dataset) on ephemeral loopback
 # ports, a router over both, then drives a closed-loop Zipf client
-# through `geer_cli net client` with --shutdown, which must tear the
-# whole deployment down (router propagates kShutdown to every shard).
-# Asserts: the client answers every query and exits 0, the router and
-# both shards exit on their own after shutdown propagation, and the
-# client prints the connected-cluster banner with shards=2.
+# through `geer_cli net client`, scrapes cluster-wide metrics with
+# `geer_cli net stats` (router fans the kStats frame out to every shard
+# and merges the snapshots), and finally tears the whole deployment
+# down with a --shutdown client (router propagates kShutdown to every
+# shard). Asserts: the client answers every query and exits 0, the
+# merged stats carry shards=2 + the served-query counters + latency
+# quantiles, and the router and both shards exit on their own after
+# shutdown propagation.
 #
 # Registered in CMakeLists.txt as test net_cluster_smoke with the
 # binaries passed in:  $1=geer_shard_server  $2=geer_router  $3=geer_cli
@@ -65,9 +68,9 @@ P1="$(wait_for_port_file "$TMP/s1.port")"
 PIDS+=($!)
 RP="$(wait_for_port_file "$TMP/r.port")"
 
-# Closed-loop Zipf workload, then router-led teardown via --shutdown.
+# Closed-loop Zipf workload; the cluster stays up for the stats scrape.
 CLIENT_OUT="$("$CLI_BIN" net client --connect="127.0.0.1:$RP" \
-    --clients=3 --queries=40 --zipf-exp=0.8 --seed=5 --shutdown 2>&1)" || {
+    --clients=3 --queries=40 --zipf-exp=0.8 --seed=5 2>&1)" || {
   echo "client failed:"; echo "$CLIENT_OUT" | sed 's/^/    /'
   for log in "$TMP"/*.log; do echo "-- $log"; sed 's/^/    /' "$log"; done
   exit 1
@@ -78,6 +81,35 @@ grep -q "shards=2" <<< "$CLIENT_OUT" \
     || { echo "FAIL: client banner lacks shards=2" >&2; exit 1; }
 grep -q "40/40 answered" <<< "$CLIENT_OUT" \
     || { echo "FAIL: client did not answer 40/40" >&2; exit 1; }
+
+# Cluster-wide stats scrape through the router: the reply must merge
+# both shards (shards=2 in the banner), carry the served-query counters
+# the workload just generated, and render latency quantiles.
+STATS_OUT="$("$CLI_BIN" net stats --connect="127.0.0.1:$RP" 2>&1)" || {
+  echo "stats scrape failed:"; echo "$STATS_OUT" | sed 's/^/    /'
+  for log in "$TMP"/*.log; do echo "-- $log"; sed 's/^/    /' "$log"; done
+  exit 1
+}
+echo "$STATS_OUT" | head -n 20
+
+grep -q "shards=2" <<< "$STATS_OUT" \
+    || { echo "FAIL: stats banner lacks shards=2" >&2; exit 1; }
+grep -q "geer_serve_answered_total" <<< "$STATS_OUT" \
+    || { echo "FAIL: stats lack geer_serve_answered_total" >&2; exit 1; }
+grep -q "p95=" <<< "$STATS_OUT" \
+    || { echo "FAIL: stats lack histogram quantile summaries" >&2; exit 1; }
+ANSWERED_SUM="$(awk '/^geer_serve_answered_total/ { s += $NF } END { print s+0 }' \
+    <<< "$STATS_OUT")"
+(( ANSWERED_SUM >= 40 )) \
+    || { echo "FAIL: merged answered_total $ANSWERED_SUM < 40" >&2; exit 1; }
+
+# Second (tiny) client run tears the deployment down via --shutdown.
+SHUTDOWN_OUT="$("$CLI_BIN" net client --connect="127.0.0.1:$RP" \
+    --clients=1 --queries=2 --zipf-exp=0.8 --seed=6 --shutdown 2>&1)" || {
+  echo "shutdown client failed:"; echo "$SHUTDOWN_OUT" | sed 's/^/    /'
+  for log in "$TMP"/*.log; do echo "-- $log"; sed 's/^/    /' "$log"; done
+  exit 1
+}
 
 # Shutdown must propagate: every server exits by itself (no kill).
 deadline=$((SECONDS + 30))

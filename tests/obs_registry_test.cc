@@ -1,0 +1,264 @@
+// The metrics-registry contract (obs/metrics.h + obs/stats.h): counters
+// are monotone and sum across per-thread blocks; the log2 histogram
+// bucketing is frozen (scheme id 1); registration is idempotent per
+// name; the SetEnabled() gate drops recordings without losing already-
+// recorded values; snapshots filter by prefix, merge bucket-wise across
+// shards, and render deterministically as Prometheus text.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/stats.h"
+
+namespace geer::obs {
+namespace {
+
+/// Restores the global recording gate whatever a test does to it — the
+/// gate is process-wide, and other suites in this binary record too.
+class ScopedEnabled {
+ public:
+  explicit ScopedEnabled(bool on) : prev_(Enabled()) { SetEnabled(on); }
+  ~ScopedEnabled() { SetEnabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+// ---------------------------------------------------------- bucket scheme
+
+TEST(HistogramBucketTest, SchemeIsFrozen) {
+  // Scheme id 1: bucket 0 = {0}, bucket i = [2^(i-1), 2^i), top bucket
+  // absorbs everything past 2^46. A change here is a wire break and must
+  // bump kHistogramSchemeId, not edit this test.
+  EXPECT_EQ(kHistogramBuckets, 48u);
+  EXPECT_EQ(kHistogramSchemeId, 1);
+  EXPECT_EQ(HistogramBucket(0), 0u);
+  EXPECT_EQ(HistogramBucket(1), 1u);
+  EXPECT_EQ(HistogramBucket(2), 2u);
+  EXPECT_EQ(HistogramBucket(3), 2u);
+  EXPECT_EQ(HistogramBucket(4), 3u);
+  for (std::size_t k = 1; k < 47; ++k) {
+    const std::uint64_t pow = 1ull << k;
+    EXPECT_EQ(HistogramBucket(pow - 1), k) << "2^" << k << " - 1";
+    EXPECT_EQ(HistogramBucket(pow), k + 1) << "2^" << k;
+  }
+  EXPECT_EQ(HistogramBucket(1ull << 47), 47u);
+  EXPECT_EQ(HistogramBucket(std::numeric_limits<std::uint64_t>::max()), 47u);
+}
+
+TEST(HistogramBucketTest, BoundsBracketEveryBucket) {
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    const std::uint64_t lo = HistogramBucketLower(b);
+    const std::uint64_t hi = HistogramBucketUpper(b);
+    EXPECT_LE(lo, hi) << "bucket " << b;
+    EXPECT_EQ(HistogramBucket(lo), b) << "lower bound of bucket " << b;
+  }
+  EXPECT_EQ(HistogramBucketLower(0), 0u);
+  EXPECT_EQ(HistogramBucketLower(1), 1u);
+  EXPECT_EQ(HistogramBucketUpper(1), 2u);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(RegistryTest, CounterAddsAndStaysMonotone) {
+  Registry reg;
+  const Registry::MetricId id = reg.Counter("test_total");
+  reg.Add(id);
+  reg.Add(id, 41);
+  StatsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("test_total"), 42u);
+  reg.Add(id, 0);  // a zero delta must not move the value
+  snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("test_total"), 42u);
+}
+
+TEST(RegistryTest, RegistrationIsIdempotentPerName) {
+  Registry reg;
+  const Registry::MetricId a = reg.Counter("same_total");
+  const Registry::MetricId b = reg.Counter("same_total");
+  EXPECT_EQ(a, b);
+  reg.Add(a);
+  reg.Add(b);
+  EXPECT_EQ(reg.Snapshot().counters.at("same_total"), 2u);
+
+  const Registry::MetricId h1 = reg.Histogram("lat_ns");
+  const Registry::MetricId h2 = reg.Histogram("lat_ns");
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(RegistryTest, HistogramRecordsIntoFrozenBuckets) {
+  Registry reg;
+  const Registry::MetricId id = reg.Histogram("lat_ns");
+  reg.RecordNs(id, 0);     // bucket 0
+  reg.RecordNs(id, 1);     // bucket 1
+  reg.RecordNs(id, 1000);  // bucket 10: [512, 1024)
+  reg.RecordNs(id, 1024);  // bucket 11
+  const HistogramData h = reg.ReadHistogram(id);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum_ns, 2025u);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[10], 1u);
+  EXPECT_EQ(h.buckets[11], 1u);
+}
+
+TEST(RegistryTest, ThreadsMergeIntoOneSeries) {
+  // Each thread writes through its own private cell block; the snapshot
+  // must sum them all — including blocks of threads that have exited.
+  Registry reg;
+  const Registry::MetricId counter = reg.Counter("threaded_total");
+  const Registry::MetricId hist = reg.Histogram("threaded_ns");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, counter, hist] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        reg.Add(counter);
+        reg.RecordNs(hist, 100);  // bucket 7: [64, 128)
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const StatsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("threaded_total"), kThreads * kPerThread);
+  const HistogramData h = reg.ReadHistogram(hist);
+  EXPECT_EQ(h.count, kThreads * kPerThread);
+  EXPECT_EQ(h.buckets[7], kThreads * kPerThread);
+  EXPECT_EQ(h.sum_ns, kThreads * kPerThread * 100);
+}
+
+TEST(RegistryTest, GateDropsRecordingsButKeepsHistory) {
+  ScopedEnabled on(true);
+  Registry reg;
+  const Registry::MetricId counter = reg.Counter("gated_total");
+  const Registry::MetricId hist = reg.Histogram("gated_ns");
+  reg.Add(counter, 5);
+  reg.RecordNs(hist, 10);
+
+  SetEnabled(false);
+  reg.Add(counter, 100);    // dropped
+  reg.RecordNs(hist, 999);  // dropped
+  StatsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("gated_total"), 5u);
+  EXPECT_EQ(reg.ReadHistogram(hist).count, 1u);
+
+  SetEnabled(true);
+  reg.Add(counter, 2);
+  snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("gated_total"), 7u);
+}
+
+TEST(RegistryTest, GaugesSetNotAccumulate) {
+  Registry reg;
+  reg.SetGauge("bytes", 10.0);
+  reg.SetGauge("bytes", 3.5);  // overwrite, not add
+  const StatsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.gauges.at("bytes"), 3.5);
+}
+
+TEST(RegistryTest, SnapshotFiltersByPrefix) {
+  Registry reg;
+  reg.Add(reg.Counter("geer_a_total"), 1);
+  reg.Add(reg.Counter("other_total"), 1);
+  reg.RecordNs(reg.Histogram("geer_b_ns"), 7);
+  reg.SetGauge("geer_g", 1.0);
+  reg.SetGauge("other_g", 1.0);
+
+  const StatsSnapshot all = reg.Snapshot();
+  EXPECT_EQ(all.counters.size(), 2u);
+  const StatsSnapshot geer = reg.Snapshot("geer_");
+  EXPECT_EQ(geer.counters.size(), 1u);
+  EXPECT_EQ(geer.counters.count("geer_a_total"), 1u);
+  EXPECT_EQ(geer.histograms.size(), 1u);
+  EXPECT_EQ(geer.gauges.size(), 1u);
+  EXPECT_EQ(geer.gauges.count("geer_g"), 1u);
+}
+
+TEST(RegistryTest, GlobalIsOneSharedInstance) {
+  EXPECT_EQ(&Registry::Global(), &Registry::Global());
+}
+
+// ------------------------------------------------------ snapshot algebra
+
+TEST(StatsTest, MergeSnapshotsSumsEverything) {
+  StatsSnapshot a;
+  a.counters["answered"] = 10;
+  a.counters["only_a"] = 1;
+  a.gauges["bytes"] = 100.0;
+  a.histograms["lat"].buckets[3] = 4;
+  a.histograms["lat"].count = 4;
+  a.histograms["lat"].sum_ns = 24;
+
+  StatsSnapshot b;
+  b.counters["answered"] = 5;
+  b.gauges["bytes"] = 50.0;
+  b.histograms["lat"].buckets[3] = 1;
+  b.histograms["lat"].buckets[9] = 2;
+  b.histograms["lat"].count = 3;
+  b.histograms["lat"].sum_ns = 1030;
+
+  const std::vector<StatsSnapshot> shards = {a, b};
+  const StatsSnapshot merged = MergeSnapshots(shards);
+  EXPECT_EQ(merged.counters.at("answered"), 15u);
+  EXPECT_EQ(merged.counters.at("only_a"), 1u);
+  EXPECT_EQ(merged.gauges.at("bytes"), 150.0);
+  EXPECT_EQ(merged.histograms.at("lat").buckets[3], 5u);
+  EXPECT_EQ(merged.histograms.at("lat").buckets[9], 2u);
+  EXPECT_EQ(merged.histograms.at("lat").count, 7u);
+  EXPECT_EQ(merged.histograms.at("lat").sum_ns, 1054u);
+}
+
+TEST(StatsTest, QuantileInterpolatesWithinBucket) {
+  HistogramData h;
+  h.buckets[10] = 100;  // all mass in [512, 1024)
+  h.count = 100;
+  const double p0 = HistogramQuantile(h, 0.0);
+  const double p50 = HistogramQuantile(h, 0.5);
+  const double p100 = HistogramQuantile(h, 1.0);
+  EXPECT_GE(p0, 512.0);
+  EXPECT_LE(p100, 1024.0);
+  EXPECT_LT(p0, p50);
+  EXPECT_LT(p50, p100);
+}
+
+TEST(StatsTest, QuantileWalksAcrossBuckets) {
+  HistogramData h;
+  h.buckets[4] = 90;   // [8, 16)
+  h.buckets[20] = 10;  // [2^19, 2^20)
+  h.count = 100;
+  EXPECT_LT(HistogramQuantile(h, 0.5), 16.0);
+  EXPECT_GE(HistogramQuantile(h, 0.95), static_cast<double>(1u << 19));
+  EXPECT_EQ(HistogramQuantile(HistogramData{}, 0.5), 0.0);  // empty
+}
+
+TEST(StatsTest, PrometheusTextIsDeterministic) {
+  StatsSnapshot snap;
+  snap.counters["geer_serve_answered_total{method=\"GEER\"}"] = 7;
+  snap.gauges["geer_cache_bytes"] = 2048.0;
+  snap.histograms["geer_serve_latency_ns{method=\"GEER\"}"].buckets[10] = 3;
+  snap.histograms["geer_serve_latency_ns{method=\"GEER\"}"].count = 3;
+  snap.histograms["geer_serve_latency_ns{method=\"GEER\"}"].sum_ns = 2100;
+
+  const std::string text = RenderPrometheusText(snap);
+  EXPECT_EQ(text, RenderPrometheusText(snap));  // bit-identical re-render
+  EXPECT_NE(
+      text.find("geer_serve_answered_total{method=\"GEER\"} 7"),
+      std::string::npos);
+  EXPECT_NE(text.find("geer_cache_bytes 2048"), std::string::npos);
+  EXPECT_NE(text.find("geer_serve_latency_ns_count{method=\"GEER\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("geer_serve_latency_ns_sum_ns{method=\"GEER\"} 2100"),
+            std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.95\""), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+}  // namespace
+}  // namespace geer::obs

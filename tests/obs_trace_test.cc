@@ -1,0 +1,207 @@
+// The tracing contract (obs/trace.h): nothing records until a Tracer is
+// installed (Span is a no-op); installed, spans land in per-thread rings
+// with distinct lanes, Drain() returns them oldest-first sorted by start
+// time, rings overwrite their oldest events when they wrap, and
+// ToChromeJson() emits well-formed Chrome trace_event JSON with
+// timestamps relative to the earliest span.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace geer::obs {
+namespace {
+
+/// Installs a tracer for one test body and guarantees uninstall — the
+/// active tracer is process-wide state.
+class ScopedTracer {
+ public:
+  ScopedTracer() { Tracer::Install(&tracer_); }
+  ~ScopedTracer() { Tracer::Install(nullptr); }
+  Tracer& get() { return tracer_; }
+
+ private:
+  Tracer tracer_;
+};
+
+SpanEvent MakeEvent(const char* name, std::uint64_t start,
+                    std::uint64_t dur) {
+  SpanEvent e;
+  e.name = name;
+  e.start_ns = start;
+  e.dur_ns = dur;
+  return e;
+}
+
+TEST(TraceTest, NoTracerMeansNoCurrentAndSpanIsNoOp) {
+  ASSERT_EQ(Tracer::Current(), nullptr);
+  {
+    Span span("orphan");  // must not crash or record anywhere
+    span.Arg("k", 1);
+  }
+  EXPECT_EQ(Tracer::Current(), nullptr);
+}
+
+TEST(TraceTest, InstallPublishesAndUninstallClears) {
+  Tracer tracer;
+  Tracer::Install(&tracer);
+  EXPECT_EQ(Tracer::Current(), &tracer);
+  Tracer::Install(nullptr);
+  EXPECT_EQ(Tracer::Current(), nullptr);
+}
+
+TEST(TraceTest, SpanRecordsNameTimingAndArgs) {
+  ScopedTracer scoped;
+  {
+    Span span("unit_work");
+    span.Arg("batch", 7);
+    span.Arg("size", 32);
+    span.Arg("ignored", 99);  // only the first two args stick
+  }
+  const std::vector<SpanEvent> events = scoped.get().Drain();
+  ASSERT_EQ(events.size(), 1u);
+  const SpanEvent& e = events[0];
+  EXPECT_EQ(std::string(e.name), "unit_work");
+  EXPECT_GT(e.start_ns, 0u);
+  EXPECT_NE(e.tid, 0u);  // tid 0 is resolved to the thread's lane
+  EXPECT_EQ(std::string(e.arg_key0), "batch");
+  EXPECT_EQ(e.arg_val0, 7u);
+  EXPECT_EQ(std::string(e.arg_key1), "size");
+  EXPECT_EQ(e.arg_val1, 32u);
+}
+
+TEST(TraceTest, DrainSortsByStartAcrossThreads) {
+  ScopedTracer scoped;
+  Tracer& tracer = scoped.get();
+  tracer.Record(MakeEvent("late", 300, 10));
+  tracer.Record(MakeEvent("early", 100, 10));
+  std::thread other([&tracer] {
+    tracer.Record(MakeEvent("middle", 200, 10));
+  });
+  other.join();
+  const std::vector<SpanEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(std::string(events[0].name), "early");
+  EXPECT_EQ(std::string(events[1].name), "middle");
+  EXPECT_EQ(std::string(events[2].name), "late");
+  // The two recording threads got distinct lanes.
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(TraceTest, ExplicitTidOverridesThreadLane) {
+  ScopedTracer scoped;
+  SpanEvent e = MakeEvent("query", 50, 5);
+  e.tid = 10007;  // synthetic per-query lane
+  scoped.get().Record(e);
+  const std::vector<SpanEvent> events = scoped.get().Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].tid, 10007u);
+}
+
+TEST(TraceTest, RingWrapsKeepingNewestEvents) {
+  ScopedTracer scoped;
+  Tracer& tracer = scoped.get();
+  const std::size_t total = Tracer::kRingCapacity + 10;
+  for (std::size_t i = 0; i < total; ++i) {
+    tracer.Record(MakeEvent("e", i + 1, 1));
+  }
+  const std::vector<SpanEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(), Tracer::kRingCapacity);
+  // The 10 oldest were overwritten; order is oldest-surviving first.
+  EXPECT_EQ(events.front().start_ns, 11u);
+  EXPECT_EQ(events.back().start_ns, total);
+}
+
+TEST(TraceTest, DrainWhileRecordingIsSafe) {
+  // The per-ring mutexes must make a Drain() racing live Record()s
+  // well-defined — this is the case the TSan CI filter exercises.
+  ScopedTracer scoped;
+  Tracer& tracer = scoped.get();
+  constexpr int kThreads = 4;
+  constexpr int kEventsPerThread = 2000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&tracer] {
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        Span span("racy");
+        span.Arg("i", static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  std::size_t drained = 0;
+  for (int i = 0; i < 50; ++i) drained = tracer.Drain().size();
+  for (auto& w : writers) w.join();
+  (void)drained;  // intermediate sizes are racy by design; final is exact
+  EXPECT_EQ(tracer.Drain().size(),
+            static_cast<std::size_t>(kThreads) * kEventsPerThread);
+}
+
+TEST(TraceTest, ChromeJsonSchemaAndRelativeTimestamps) {
+  ScopedTracer scoped;
+  Tracer& tracer = scoped.get();
+  // 1.5 µs and 2.5 µs after an arbitrary epoch; earliest pins ts 0.
+  tracer.Record(MakeEvent("first", 1000000, 1500));
+  SpanEvent second = MakeEvent("second", 1002500, 500);
+  second.arg_key0 = "batch";
+  second.arg_val0 = 3;
+  tracer.Record(second);
+
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"first\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"second\""), std::string::npos);
+  // Relative µs with sub-µs precision: first at 0.000, dur 1.500;
+  // second 2.5 µs later.
+  EXPECT_NE(json.find("\"ts\":0.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2.500"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"batch\":3}"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+
+  // Structural sanity a JSON loader depends on: balanced braces and
+  // brackets, no raw control characters.
+  int braces = 0;
+  int brackets = 0;
+  for (const char c : json) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    EXPECT_TRUE(c == '\n' || static_cast<unsigned char>(c) >= 0x20);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(TraceTest, EmptyTracerRendersValidEmptyTrace) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.ToChromeJson(), "{\"traceEvents\":[]}\n");
+}
+
+TEST(TraceTest, WriteChromeTraceRoundTripsThroughFile) {
+  ScopedTracer scoped;
+  scoped.get().Record(MakeEvent("persisted", 10, 5));
+  const std::string path = ::testing::TempDir() + "geer_trace_test.json";
+  ASSERT_TRUE(scoped.get().WriteChromeTrace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), scoped.get().ToChromeJson());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, WriteChromeTraceFailsCleanlyOnBadPath) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.WriteChromeTrace("/nonexistent-dir/trace.json"));
+}
+
+}  // namespace
+}  // namespace geer::obs

@@ -40,8 +40,11 @@
 # WARNS past it — ratio series ("speedup"/"retention") when they drop,
 # remaining time series (ms / cpu) when they grow — because those run
 # on shared CI machines and are noisy, while the pinned serve-throughput
-# runs are the load-bearing numbers. Exit codes: 0 ok (possibly with
-# warnings), 1 gated regression, 2 usage/missing files.
+# runs are the load-bearing numbers. The obs/<dataset>/overhead_pct
+# series is special-cased: it is a bounded ratio checked against an
+# absolute 2% budget (warning) and excluded from the relative gates.
+# Exit codes: 0 ok (possibly with warnings), 1 gated regression, 2
+# usage/missing files.
 
 set -euo pipefail
 
@@ -166,10 +169,35 @@ if [[ "$idx" -ge 3 ]]; then
       }'
 fi
 
+# --- instrumentation-overhead budget (absolute, candidate only) ------------
+# The obs/<dataset>/overhead_pct series is a bounded ratio, not a
+# trajectory: it is checked against an absolute 2% budget here and kept
+# out of the relative-change gates below (a relative delta on a
+# near-zero, sign-crossing percentage is meaningless).
+awk -F'\t' '
+  $1 ~ /overhead_pct/ {
+    value = $2 + 0
+    # Positive side only: negative readings mean "recording measured
+    # faster", i.e. the cell is inside measurement noise, not a cost.
+    if (value > 2) {
+      printf "warn %-60s %.2f%% exceeds the 2%% obs-overhead budget\n",
+             $1, value
+      over++
+    }
+    seen++
+  }
+  END {
+    if (seen > 0) {
+      printf "== check_bench: obs overhead: %d series, %d over budget ==\n",
+             seen, over + 0
+    }
+  }' "$TMP_DIR/new.tsv"
+
 join -t "$(printf '\t')" "$TMP_DIR/old.tsv" "$TMP_DIR/new.tsv" |
   awk -F'\t' -v thr="$THRESHOLD" -v time_thr="$TIME_THRESHOLD" '
     {
       key = $1; old = $2 + 0; new = $3 + 0
+      if (key ~ /overhead_pct/) { compared++; next }  # absolute gate above
       gated = (key ~ /throughput|qps/)
       gated_low = (key ~ /swap_ms|p95_ms/)
       higher_is_better = gated || (key ~ /speedup|retention/)

@@ -84,6 +84,8 @@
 #include "eval/queries.h"
 #include "graph/algorithms.h"
 #include "linalg/spectral.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/trace.h"
 #include "util/timer.h"
 #include "graph/weighted_io.h"
@@ -115,7 +117,46 @@ struct CliArgs {
   bool dynamic = false;
   std::size_t dynamic_updates = 64;
   std::size_t commit_every = 16;
+  std::string trace_out;  // serve/dynamic: Chrome trace_event JSON path
+  bool obs_dump = false;  // serve/dynamic: print the metrics snapshot
 };
+
+// Scoped --trace-out support: installs a process tracer for the run,
+// writes the Chrome trace_event JSON (chrome://tracing / Perfetto) on
+// scope exit. Inactive (and free) when the path is empty.
+class ScopedTraceExport {
+ public:
+  explicit ScopedTraceExport(const std::string& path) : path_(path) {
+    if (!path_.empty()) {
+      tracer_ = std::make_unique<obs::Tracer>();
+      obs::Tracer::Install(tracer_.get());
+    }
+  }
+  ~ScopedTraceExport() {
+    if (tracer_ == nullptr) return;
+    obs::Tracer::Install(nullptr);
+    if (!tracer_->WriteChromeTrace(path_)) {
+      std::fprintf(stderr, "warning: cannot write --trace-out=%s\n",
+                   path_.c_str());
+    } else {
+      std::fprintf(stderr, "# trace written to %s\n", path_.c_str());
+    }
+  }
+  ScopedTraceExport(const ScopedTraceExport&) = delete;
+  ScopedTraceExport& operator=(const ScopedTraceExport&) = delete;
+
+ private:
+  std::string path_;
+  std::unique_ptr<obs::Tracer> tracer_;
+};
+
+void MaybeDumpObs(const CliArgs& args) {
+  if (!args.obs_dump) return;
+  std::fputs(
+      obs::RenderPrometheusText(obs::Registry::Global().Snapshot("geer_"))
+          .c_str(),
+      stdout);
+}
 
 // The --dynamic path: interleave the query stream with generated edge
 // updates (inserts, deletes of generated edges, weight changes on
@@ -167,6 +208,7 @@ int RunDynamicQueries(const typename WPolicy::GraphT& graph,
   serve_options.max_batch_size = args.serve_batch_size;
   serve_options.max_linger_seconds = args.linger_ms / 1e3;
   serve_options.threads = args.threads;
+  ScopedTraceExport trace_export(args.trace_out);
   const DynamicWorkloadResult result = RunDynamicWorkload<WPolicy>(
       dyn, method, options, trace, serve_options, args.deadline_ms / 1e3);
 
@@ -203,6 +245,7 @@ int RunDynamicQueries(const typename WPolicy::GraphT& graph,
         : result.expired > 0 ? " — some expired"
                              : "");
   }
+  MaybeDumpObs(args);
   return result.failed > 0 ? 1 : 0;
 }
 
@@ -218,6 +261,7 @@ int RunServedQueries(ErEstimator* estimator,
   serve_options.max_batch_size = args.serve_batch_size;
   serve_options.max_linger_seconds = args.linger_ms / 1e3;
   serve_options.threads = args.threads;
+  ScopedTraceExport trace_export(args.trace_out);
   const ServedWorkloadResult result = RunServedWorkload(
       *estimator, trace, serve_options, args.deadline_ms / 1e3);
 
@@ -252,6 +296,7 @@ int RunServedQueries(ErEstimator* estimator,
         : result.expired > 0 ? " — some expired"
                              : "");
   }
+  MaybeDumpObs(args);
   return 0;
 }
 
@@ -453,7 +498,8 @@ int Usage(const char* argv0) {
       "          [--stdin] [--stats] [--csv] [--weighted]\n"
       "  batch   query flags + [--threads=N]\n"
       "  serve   query flags + [--qps=F] [--linger-ms=F] [--batch-size=N]\n"
-      "          [--deadline-ms=F] [--threads=N]\n"
+      "          [--deadline-ms=F] [--threads=N] [--trace-out=PATH]\n"
+      "          [--obs-dump]\n"
       "  dynamic serve flags + [--updates=N] [--commit-every=K]\n"
       "  net     shard|router|client ... (see `%s net`)\n"
       "  list    print estimators and datasets\n"
@@ -723,6 +769,10 @@ int main(int argc, char** argv) {
     } else if (auto v = value("--updates")) {
       args.dynamic_updates = static_cast<std::size_t>(std::atoll(v->c_str()));
       args.dynamic = true;
+    } else if (auto v = value("--trace-out")) {
+      args.trace_out = *v;
+    } else if (arg == "--obs-dump") {
+      args.obs_dump = true;
     } else if (auto v = value("--commit-every")) {
       args.commit_every = static_cast<std::size_t>(std::atoll(v->c_str()));
       args.dynamic = true;

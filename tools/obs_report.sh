@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Pretty-printer for a GEER stats scrape: takes the Prometheus-style
+# exposition text that `geer_cli net stats` / `geer_cli serve
+# --obs-dump` emit (file argument or stdin, or scraped live with
+# --connect) and renders a compact operator report — counters grouped
+# by family, gauges, and one table row per latency histogram with
+# count, mean and p50/p95/p99 in milliseconds.
+#
+#   tools/obs_report.sh [FILE]
+#   tools/obs_report.sh --connect=HOST:PORT [--cli=PATH]
+#   geer_cli net stats --connect=... | tools/obs_report.sh
+#
+#   --connect=H:P  scrape a live shard/router with `geer_cli net stats`
+#   --cli=PATH     geer_cli binary for --connect (default: build/geer_cli
+#                  next to the repo root, then geer_cli on PATH)
+#
+# Pure bash + awk, like the other tools/ scripts.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+CONNECT=""
+CLI=""
+FILE=""
+for arg in "$@"; do
+  case "$arg" in
+    --connect=*) CONNECT="${arg#--connect=}" ;;
+    --cli=*) CLI="${arg#--cli=}" ;;
+    -*) echo "unknown flag: $arg" >&2; exit 2 ;;
+    *) FILE="$arg" ;;
+  esac
+done
+
+if [[ -n "$CONNECT" ]]; then
+  if [[ -z "$CLI" ]]; then
+    if [[ -x "$REPO_ROOT/build/geer_cli" ]]; then
+      CLI="$REPO_ROOT/build/geer_cli"
+    else
+      CLI="$(command -v geer_cli || true)"
+    fi
+  fi
+  [[ -n "$CLI" && -x "$CLI" ]] || {
+    echo "obs_report: no geer_cli binary (build one or pass --cli=)" >&2
+    exit 2
+  }
+  INPUT="$("$CLI" net stats --connect="$CONNECT")"
+elif [[ -n "$FILE" ]]; then
+  INPUT="$(cat "$FILE")"
+else
+  INPUT="$(cat)"
+fi
+
+awk '
+  # `# stats from ...` banner lines from the CLI pass through verbatim;
+  # everything else is `name value` exposition lines.
+  /^#/ { print; next }
+  NF != 2 { next }
+  {
+    name = $1; value = $2 + 0
+    # Histogram sub-series reassemble by family+labels.
+    if (name ~ /_count(\{|$)/) {
+      key = name; sub(/_count/, "", key)
+      hist_count[key] = value; order_hist(key); next
+    }
+    if (name ~ /_sum_ns(\{|$)/) {
+      key = name; sub(/_sum_ns/, "", key)
+      hist_sum[key] = value; order_hist(key); next
+    }
+    if (name ~ /quantile="0\.5"/) {
+      key = strip_quantile(name, "0\\.5")
+      hist_p50[key] = value; order_hist(key); next
+    }
+    if (name ~ /quantile="0\.95"/) {
+      key = strip_quantile(name, "0\\.95")
+      hist_p95[key] = value; order_hist(key); next
+    }
+    if (name ~ /quantile="0\.99"/) {
+      key = strip_quantile(name, "0\\.99")
+      hist_p99[key] = value; order_hist(key); next
+    }
+    if (name ~ /_total(\{|$)/) {
+      counters[++nc] = name; counter_value[nc] = value; next
+    }
+    gauges[++ng] = name; gauge_value[ng] = value
+  }
+  # Drop the quantile label but keep the rest of the label set:
+  # `f{a="b",quantile="0.5"}` -> `f{a="b"}`, `f{quantile="0.5"}` -> `f`.
+  function strip_quantile(k, q) {
+    sub(",quantile=\"" q "\"", "", k)
+    sub("{quantile=\"" q "\"}", "", k)
+    return k
+  }
+  function order_hist(k) {
+    if (!(k in hist_seen)) { hist_order[++nh] = k; hist_seen[k] = 1 }
+  }
+  END {
+    if (nc > 0) {
+      print ""
+      print "counters"
+      for (i = 1; i <= nc; ++i) {
+        printf "  %-64s %14.0f\n", counters[i], counter_value[i]
+      }
+    }
+    if (ng > 0) {
+      print ""
+      print "gauges"
+      for (i = 1; i <= ng; ++i) {
+        printf "  %-64s %14.1f\n", gauges[i], gauge_value[i]
+      }
+    }
+    if (nh > 0) {
+      print ""
+      printf "%-56s %10s %9s %9s %9s %9s\n", "latency histograms (ms)",
+             "count", "mean", "p50", "p95", "p99"
+      for (i = 1; i <= nh; ++i) {
+        k = hist_order[i]
+        count = hist_count[k] + 0
+        mean = count > 0 ? hist_sum[k] / count / 1e6 : 0
+        printf "  %-54s %10.0f %9.3f %9.3f %9.3f %9.3f\n", k, count, mean,
+               hist_p50[k] / 1e6, hist_p95[k] / 1e6, hist_p99[k] / 1e6
+      }
+    }
+  }
+' <<< "$INPUT"

@@ -22,6 +22,10 @@
 #                          with per-series best-of (max qps, min p95) —
 #                          the short burst traces are scheduler-noise
 #                          dominated, and best-of is the stable signal
+#   bench_serve_throughput --obs-overhead, same pinning, run 3× — the
+#                          obs/<dataset>/overhead_pct series: what the
+#                          metrics registry costs when recording vs
+#                          gated off (check_bench.sh warns above 2%)
 #   bench_landmark_serve   --csv --scale=0.1 --seed=1 --queries=512, run 3×
 #                          best-of like serve_throughput — the landmark/
 #                          series whose landmark-vs-off throughput ratio
@@ -118,6 +122,33 @@ awk -F, 'FNR == 1 { header = $0; next }
     }
   }' "$TMP_DIR"/serve_rep*.csv > "$TMP_DIR/serve.csv"
 
+echo "== bench: obs overhead (threads=${BENCH_THREADS}, best of 3) =="
+for rep in 1 2 3; do
+  "$BUILD_DIR/bench_serve_throughput" --obs-overhead --csv --scale=0.1 \
+      --seed=1 --rounds=8 --threads="$BENCH_THREADS" \
+      > "$TMP_DIR/obs_rep${rep}.csv"
+done
+# Best-of qps per (method,dataset,eps,mode), then the percentage the
+# metrics registry costs when recording: (off - on) / off * 100.
+awk -F, 'FNR == 1 { next }
+  {
+    key = $1 FS $2 FS $3 FS $4
+    if (!(key in qps) || $6 + 0 > qps[key] + 0) qps[key] = $6
+  }
+  END {
+    print "method,dataset,overhead_pct"
+    for (key in qps) {
+      split(key, f, FS)
+      if (f[4] == "obs_off") {
+        on_key = f[1] FS f[2] FS f[3] FS "obs_on"
+        if (on_key in qps && qps[key] + 0 > 0) {
+          printf "%s,%s,%.4f\n", f[1], f[2],
+                 (qps[key] - qps[on_key]) / qps[key] * 100
+        }
+      }
+    }
+  }' "$TMP_DIR"/obs_rep*.csv > "$TMP_DIR/obs.csv"
+
 echo "== bench: landmark_serve (threads=${BENCH_THREADS}, best of 3) =="
 for rep in 1 2 3; do
   "$BUILD_DIR/bench_landmark_serve" --csv --scale=0.1 --seed=1 --queries=512 \
@@ -199,6 +230,16 @@ awk -F, -v threads="$BENCH_THREADS" 'NR > 1 {
   printf "{\"method\": \"%s\", \"metric\": \"serve/%s/%s/p95_ms\", \"value\": %s, \"threads\": %s}\n",
          $1, $2, $4, $8, threads
 }' "$TMP_DIR/serve.csv" >> "$ENTRIES"
+
+# obs overhead: method,dataset,overhead_pct — what the always-on metrics
+# registry costs relative to gated-off, in percent of qps (signed: noise
+# can make it slightly negative). check_bench.sh warns when it exceeds
+# 2% and keeps it out of the relative-change gates (it is already a
+# bounded ratio, not a trajectory).
+awk -F, -v threads="$BENCH_THREADS" 'NR > 1 {
+  printf "{\"method\": \"%s\", \"metric\": \"obs/%s/overhead_pct\", \"value\": %s, \"threads\": %s}\n",
+         $1, $2, $3, threads
+}' "$TMP_DIR/obs.csv" >> "$ENTRIES"
 
 # landmark_serve: method,dataset,epsilon,mode,queries,throughput_qps,
 #                 p50_ms,p95_ms,p99_ms,hit_rate,ms_per_q — the landmark/
